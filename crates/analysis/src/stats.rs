@@ -1,0 +1,172 @@
+//! Descriptive statistics for Monte-Carlo campaigns.
+//!
+//! The paper reports means with 5%/95% (and 10%/90%) whisker quantiles
+//! (Figures 1b, 7, 8, 9), medians with 25%/75% ribbons (Figures 11, 12),
+//! and 99% / 99.9% / max percentiles (Table 1). [`Summary`] computes all
+//! of these in one pass over a sample.
+
+/// The `q`-quantile (`0 ≤ q ≤ 1`) of a sample, by the nearest-rank
+/// method on a sorted copy: `q = 0` is the minimum, `q = 1` the maximum.
+/// Panics on an empty sample.
+pub fn percentile(values: &[f64], q: f64) -> f64 {
+    assert!(!values.is_empty(), "percentile of empty sample");
+    assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
+    let mut sorted: Vec<f64> = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN in samples"));
+    let idx = ((q * (sorted.len() - 1) as f64).round() as usize).min(sorted.len() - 1);
+    sorted[idx]
+}
+
+/// One-pass summary of a sample.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Summary {
+    /// Sample size.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation (n−1 denominator; 0 for n ≤ 1).
+    pub std_dev: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+    /// Median (50%).
+    pub median: f64,
+    /// 5% quantile (lower whisker of Figures 7–9).
+    pub p05: f64,
+    /// 10% quantile (lower whisker of Figure 1b).
+    pub p10: f64,
+    /// 25% quantile (ribbon of Figures 11–12).
+    pub p25: f64,
+    /// 75% quantile.
+    pub p75: f64,
+    /// 90% quantile.
+    pub p90: f64,
+    /// 95% quantile.
+    pub p95: f64,
+    /// 99% quantile (Table 1).
+    pub p99: f64,
+    /// 99.9% quantile (Table 1).
+    pub p999: f64,
+}
+
+impl Summary {
+    /// Summarize a non-empty sample.
+    pub fn of(values: &[f64]) -> Summary {
+        assert!(!values.is_empty(), "summary of empty sample");
+        let n = values.len();
+        let mean = values.iter().sum::<f64>() / n as f64;
+        let var = if n > 1 {
+            values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (n - 1) as f64
+        } else {
+            0.0
+        };
+        let mut sorted: Vec<f64> = values.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN in samples"));
+        let q = |p: f64| {
+            let idx = ((p * (n - 1) as f64).round() as usize).min(n - 1);
+            sorted[idx]
+        };
+        Summary {
+            n,
+            mean,
+            std_dev: var.sqrt(),
+            min: sorted[0],
+            max: sorted[n - 1],
+            median: q(0.5),
+            p05: q(0.05),
+            p10: q(0.10),
+            p25: q(0.25),
+            p75: q(0.75),
+            p90: q(0.90),
+            p95: q(0.95),
+            p99: q(0.99),
+            p999: q(0.999),
+        }
+    }
+
+    /// Summarize integer samples (latencies, message counts, gaps).
+    pub fn of_u64<I: IntoIterator<Item = u64>>(values: I) -> Summary {
+        let v: Vec<f64> = values.into_iter().map(|x| x as f64).collect();
+        Summary::of(&v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_sample() {
+        let s = Summary::of(&[4.0; 10]);
+        assert_eq!(s.mean, 4.0);
+        assert_eq!(s.std_dev, 0.0);
+        assert_eq!(s.min, 4.0);
+        assert_eq!(s.max, 4.0);
+        assert_eq!(s.p999, 4.0);
+    }
+
+    #[test]
+    fn known_small_sample() {
+        let s = Summary::of(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(s.n, 5);
+        assert_eq!(s.mean, 3.0);
+        assert_eq!(s.median, 3.0);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 5.0);
+        // Sample std of 1..5 = sqrt(2.5).
+        assert!((s.std_dev - 2.5f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let v: Vec<f64> = (0..101).map(|x| x as f64).collect();
+        assert_eq!(percentile(&v, 0.0), 0.0);
+        assert_eq!(percentile(&v, 0.5), 50.0);
+        assert_eq!(percentile(&v, 0.95), 95.0);
+        assert_eq!(percentile(&v, 1.0), 100.0);
+    }
+
+    #[test]
+    fn percentile_unsorted_input() {
+        assert_eq!(percentile(&[9.0, 1.0, 5.0], 0.5), 5.0);
+    }
+
+    #[test]
+    fn of_u64_converts() {
+        let s = Summary::of_u64([8u64, 10, 12]);
+        assert_eq!(s.mean, 10.0);
+        assert_eq!(s.median, 10.0);
+    }
+
+    #[test]
+    fn single_observation() {
+        let s = Summary::of(&[7.5]);
+        assert_eq!(s.n, 1);
+        assert_eq!(s.std_dev, 0.0);
+        assert_eq!(s.p05, 7.5);
+        assert_eq!(s.p999, 7.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_sample_panics() {
+        let _ = Summary::of(&[]);
+    }
+
+    #[test]
+    fn quantiles_are_monotone() {
+        let v: Vec<f64> = (0..1000).map(|x| ((x * 7919) % 1000) as f64).collect();
+        let s = Summary::of(&v);
+        assert!(s.min <= s.p05);
+        assert!(s.p05 <= s.p10);
+        assert!(s.p10 <= s.p25);
+        assert!(s.p25 <= s.median);
+        assert!(s.median <= s.p75);
+        assert!(s.p75 <= s.p90);
+        assert!(s.p90 <= s.p95);
+        assert!(s.p95 <= s.p99);
+        assert!(s.p99 <= s.p999);
+        assert!(s.p999 <= s.max);
+    }
+}

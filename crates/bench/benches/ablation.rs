@@ -1,0 +1,44 @@
+//! Ablation pipeline benchmark: one synchronized broadcast per
+//! correction algorithm at fixed P and fault count.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ct_core::correction::CorrectionKind;
+use ct_core::protocol::BroadcastSpec;
+use ct_core::tree::TreeKind;
+use ct_logp::LogP;
+use ct_sim::{FaultPlan, Simulation};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_correction_kinds");
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.sample_size(20);
+    let p = 1 << 12;
+    for kind in [
+        CorrectionKind::Opportunistic { distance: 4 },
+        CorrectionKind::OpportunisticOptimized { distance: 4 },
+        CorrectionKind::Checked,
+        CorrectionKind::FailureProof,
+        CorrectionKind::Delayed { delay: 16 },
+    ] {
+        let spec = BroadcastSpec::corrected_tree_sync(TreeKind::BINOMIAL, kind);
+        group.bench_function(kind.to_string(), |b| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let plan = FaultPlan::random_count(p, 8, seed).unwrap();
+                Simulation::builder(p, LogP::PAPER)
+                    .faults(plan)
+                    .seed(seed)
+                    .build()
+                    .run(&spec)
+                    .unwrap()
+                    .quiescence
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Figure 10 pipeline benchmark: extracting the (g_max, L_SCC) pair
+//! from one faulty corrected broadcast.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ct_core::correction::CorrectionKind;
+use ct_core::protocol::{BroadcastSpec, ColoredVia};
+use ct_core::tree::{ring, TreeKind};
+use ct_logp::LogP;
+use ct_sim::{FaultPlan, Simulation};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig10_gap_vs_correction");
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.sample_size(20);
+    let p = 1 << 12;
+    let logp = LogP::PAPER;
+    let spec = BroadcastSpec::corrected_tree_sync(TreeKind::BINOMIAL, CorrectionKind::Checked);
+    let start = TreeKind::BINOMIAL
+        .build(p, &logp)
+        .unwrap()
+        .dissemination_deadline(&logp);
+    group.bench_function("gmax_lscc_point", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let plan = FaultPlan::random_rate(p, 0.02, seed).unwrap();
+            let out = Simulation::builder(p, logp)
+                .faults(plan)
+                .seed(seed)
+                .build()
+                .run(&spec)
+                .unwrap();
+            let mask: Vec<bool> = out
+                .colored_via
+                .iter()
+                .map(|v| matches!(v, Some(ColoredVia::Root) | Some(ColoredVia::Dissemination)))
+                .collect();
+            (ring::max_gap(&mask), out.quiescence.since(start).steps())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Figure 11 pipeline benchmark: one cluster broadcast per variant on
+//! the thread runtime.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ct_core::correction::CorrectionKind;
+use ct_core::protocol::BroadcastSpec;
+use ct_core::tree::TreeKind;
+use ct_gossip::GossipSpec;
+use ct_logp::LogP;
+use ct_runtime::Cluster;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig11_runtime_latency");
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.sample_size(10);
+    let p = 32;
+    let dead = vec![false; p as usize];
+    let mut cluster = Cluster::new(p, LogP::PAPER);
+    let native = BroadcastSpec::plain_tree(TreeKind::BINOMIAL);
+    let ours = BroadcastSpec::corrected_tree(
+        TreeKind::BINOMIAL,
+        CorrectionKind::OpportunisticOptimized { distance: 1 },
+    );
+    let gossip = GossipSpec::round_limited(10, CorrectionKind::Opportunistic { distance: 4 });
+    group.bench_function("binomial_native", |b| {
+        b.iter(|| cluster.run_broadcast(&native, &dead, 0).unwrap().latency)
+    });
+    group.bench_function("binomial_ours", |b| {
+        b.iter(|| cluster.run_broadcast(&ours, &dead, 0).unwrap().latency)
+    });
+    group.bench_function("gossip", |b| {
+        b.iter(|| cluster.run_broadcast(&gossip, &dead, 0).unwrap().latency)
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

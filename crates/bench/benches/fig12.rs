@@ -1,0 +1,49 @@
+//! Figure 12 pipeline benchmark: Corrected-Tree variants on the thread
+//! runtime, with and without emulated failures.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ct_core::correction::CorrectionKind;
+use ct_core::protocol::BroadcastSpec;
+use ct_core::tree::{Ordering, TreeKind};
+use ct_logp::LogP;
+use ct_runtime::Cluster;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig12_runtime_variants");
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.sample_size(10);
+    let p = 32u32;
+    let live = vec![false; p as usize];
+    let mut dead = live.clone();
+    dead[7] = true;
+    let mut cluster = Cluster::new(p, LogP::PAPER);
+    for d in [0u32, 1, 2] {
+        let spec = if d == 0 {
+            BroadcastSpec::plain_tree(TreeKind::BINOMIAL)
+        } else {
+            BroadcastSpec::corrected_tree(
+                TreeKind::BINOMIAL,
+                CorrectionKind::OpportunisticOptimized { distance: d },
+            )
+        };
+        group.bench_function(format!("binomial_d{d}"), |b| {
+            b.iter(|| cluster.run_broadcast(&spec, &live, 0).unwrap().latency)
+        });
+    }
+    let lame4 = BroadcastSpec::plain_tree(TreeKind::Lame { k: 4, order: Ordering::Interleaved });
+    group.bench_function("lame4_d0", |b| {
+        b.iter(|| cluster.run_broadcast(&lame4, &live, 0).unwrap().latency)
+    });
+    let d2 = BroadcastSpec::corrected_tree(
+        TreeKind::BINOMIAL,
+        CorrectionKind::OpportunisticOptimized { distance: 2 },
+    );
+    group.bench_function("binomial_d2_faulty", |b| {
+        b.iter(|| cluster.run_broadcast(&d2, &dead, 0).unwrap().latency)
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

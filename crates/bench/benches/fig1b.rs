@@ -1,0 +1,48 @@
+//! Figure 1b pipeline benchmark: one synchronized-checked corrected
+//! broadcast with k random failures, in-order vs interleaved binomial.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ct_core::correction::CorrectionKind;
+use ct_core::protocol::BroadcastSpec;
+use ct_core::tree::{Ordering, TreeKind};
+use ct_logp::LogP;
+use ct_sim::{FaultPlan, Simulation};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig1b_correction_time");
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.sample_size(20);
+    let p = 1 << 12;
+    for (name, order) in [("in-order", Ordering::InOrder), ("interleaved", Ordering::Interleaved)]
+    {
+        for faults in [1u32, 5] {
+            let spec = BroadcastSpec::corrected_tree_sync(
+                TreeKind::Binomial { order },
+                CorrectionKind::Checked,
+            );
+            group.bench_with_input(
+                BenchmarkId::new(name, faults),
+                &faults,
+                |b, &faults| {
+                    let mut seed = 0u64;
+                    b.iter(|| {
+                        seed += 1;
+                        let plan = FaultPlan::random_count(p, faults, seed).unwrap();
+                        Simulation::builder(p, LogP::PAPER)
+                            .faults(plan)
+                            .seed(seed)
+                            .build()
+                            .run(&spec)
+                            .unwrap()
+                            .quiescence
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

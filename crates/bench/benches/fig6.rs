@@ -1,0 +1,40 @@
+//! Figure 6 pipeline benchmark: failure-free message accounting per
+//! broadcast variant.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ct_core::correction::CorrectionKind;
+use ct_core::protocol::BroadcastSpec;
+use ct_core::tree::TreeKind;
+use ct_gossip::GossipSpec;
+use ct_logp::LogP;
+use ct_sim::Simulation;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6_messages_per_process");
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.sample_size(20);
+    let p = 1 << 12;
+    let sim = Simulation::builder(p, LogP::PAPER).seed(3).build();
+    for kind in [TreeKind::BINOMIAL, TreeKind::FOUR_ARY, TreeKind::LAME2, TreeKind::OPTIMAL] {
+        let opp = BroadcastSpec::corrected_tree(
+            kind,
+            CorrectionKind::OpportunisticOptimized { distance: 4 },
+        );
+        group.bench_function(format!("opp4/{kind}"), |b| {
+            b.iter(|| sim.run(&opp).unwrap().messages.total())
+        });
+        let checked = BroadcastSpec::corrected_tree_sync(kind, CorrectionKind::Checked);
+        group.bench_function(format!("checked/{kind}"), |b| {
+            b.iter(|| sim.run(&checked).unwrap().messages.total())
+        });
+    }
+    let gossip = GossipSpec::time_limited(40, CorrectionKind::Checked);
+    group.bench_function("checked/gossip", |b| {
+        b.iter(|| sim.run(&gossip).unwrap().messages.total())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

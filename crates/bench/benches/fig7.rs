@@ -1,0 +1,33 @@
+//! Figure 7 pipeline benchmark: fault-free quiescence latency runs for
+//! acknowledged vs corrected trees across process counts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ct_core::correction::CorrectionKind;
+use ct_core::protocol::BroadcastSpec;
+use ct_core::tree::TreeKind;
+use ct_logp::LogP;
+use ct_sim::Simulation;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7_quiescence_scaling");
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.sample_size(10);
+    for exp in [10u32, 12, 14] {
+        let p = 1u32 << exp;
+        let sim = Simulation::builder(p, LogP::PAPER).build();
+        let acked = BroadcastSpec::ack_tree(TreeKind::BINOMIAL);
+        let corrected =
+            BroadcastSpec::corrected_tree_sync(TreeKind::BINOMIAL, CorrectionKind::Checked);
+        group.bench_with_input(BenchmarkId::new("ack", p), &(), |b, _| {
+            b.iter(|| sim.run(&acked).unwrap().quiescence)
+        });
+        group.bench_with_input(BenchmarkId::new("corrected", p), &(), |b, _| {
+            b.iter(|| sim.run(&corrected).unwrap().quiescence)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Figure 8 pipeline benchmark: one resilience-grid repetition
+//! (quiescence under a 1% fault rate) per tree variant.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ct_core::correction::CorrectionKind;
+use ct_core::protocol::BroadcastSpec;
+use ct_core::tree::TreeKind;
+use ct_logp::LogP;
+use ct_sim::{FaultPlan, Simulation};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8_latency_under_faults");
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.sample_size(20);
+    let p = 1 << 12;
+    for kind in [TreeKind::BINOMIAL, TreeKind::FOUR_ARY, TreeKind::LAME2, TreeKind::OPTIMAL] {
+        let spec = BroadcastSpec::corrected_tree_sync(kind, CorrectionKind::Checked);
+        group.bench_function(kind.label(), |b| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let plan = FaultPlan::random_rate(p, 0.01, seed).unwrap();
+                Simulation::builder(p, LogP::PAPER)
+                    .faults(plan)
+                    .seed(seed)
+                    .build()
+                    .run(&spec)
+                    .unwrap()
+                    .quiescence
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Figure 9 pipeline benchmark: message accounting under faults.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ct_core::correction::CorrectionKind;
+use ct_core::protocol::BroadcastSpec;
+use ct_core::tree::TreeKind;
+use ct_logp::LogP;
+use ct_sim::{FaultPlan, Simulation};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig9_messages_under_faults");
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.sample_size(20);
+    let p = 1 << 12;
+    let spec = BroadcastSpec::corrected_tree_sync(TreeKind::BINOMIAL, CorrectionKind::Checked);
+    for rate_pct in [0u32, 1, 4] {
+        group.bench_with_input(BenchmarkId::new("binomial", rate_pct), &rate_pct, |b, &r| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let plan = FaultPlan::random_rate(p, r as f64 / 100.0, seed).unwrap();
+                Simulation::builder(p, LogP::PAPER)
+                    .faults(plan)
+                    .seed(seed)
+                    .build()
+                    .run(&spec)
+                    .unwrap()
+                    .messages
+                    .total()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

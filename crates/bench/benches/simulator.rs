@@ -1,0 +1,37 @@
+//! Engine microbenchmarks: event-loop throughput across protocol
+//! classes and process counts (not a paper figure; guards the
+//! simulator's own performance).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ct_core::correction::CorrectionKind;
+use ct_core::protocol::BroadcastSpec;
+use ct_core::tree::TreeKind;
+use ct_gossip::GossipSpec;
+use ct_logp::LogP;
+use ct_sim::Simulation;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator_throughput");
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.sample_size(10);
+    for exp in [12u32, 14, 16] {
+        let p = 1u32 << exp;
+        let sim = Simulation::builder(p, LogP::PAPER).seed(1).build();
+        let spec =
+            BroadcastSpec::corrected_tree_sync(TreeKind::BINOMIAL, CorrectionKind::Checked);
+        let events = sim.run(&spec).unwrap().events;
+        group.throughput(Throughput::Elements(events));
+        group.bench_with_input(BenchmarkId::new("checked_binomial", p), &(), |b, _| {
+            b.iter(|| sim.run(&spec).unwrap().events)
+        });
+    }
+    let p = 1 << 12;
+    let sim = Simulation::builder(p, LogP::PAPER).seed(1).build();
+    let gossip = GossipSpec::time_limited(40, CorrectionKind::Checked);
+    group.bench_function("gossip_4k", |b| b.iter(|| sim.run(&gossip).unwrap().events));
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Table 1 pipeline benchmark: percentile aggregation of a resilience
+//! sample (the analysis stage that turns grid records into the table).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ct_analysis::{percentile, Summary};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1_correction_cost");
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    let mut rng = StdRng::seed_from_u64(42);
+    let sample: Vec<f64> = (0..100_000).map(|_| rng.gen_range(8.0..90.0)).collect();
+    group.bench_function("percentiles_100k", |b| {
+        b.iter(|| {
+            (
+                percentile(&sample, 0.99),
+                percentile(&sample, 0.999),
+                percentile(&sample, 1.0),
+            )
+        })
+    });
+    group.bench_function("summary_100k", |b| b.iter(|| Summary::of(&sample)));
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Topology-construction microbenchmarks: the renumbering machinery
+//! that Corrected Trees reduce the problem to (not a paper figure).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ct_core::tree::{Ordering, TreeKind};
+use ct_logp::LogP;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("topology_construction");
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.sample_size(20);
+    let logp = LogP::PAPER;
+    for exp in [12u32, 16] {
+        let p = 1u32 << exp;
+        for kind in [
+            TreeKind::BINOMIAL,
+            TreeKind::FOUR_ARY,
+            TreeKind::LAME2,
+            TreeKind::OPTIMAL,
+            TreeKind::Binomial { order: Ordering::InOrder },
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(kind.label(), p),
+                &kind,
+                |b, kind| b.iter(|| kind.build(p, &logp).unwrap().num_edges()),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

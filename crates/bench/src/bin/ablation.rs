@@ -1,0 +1,24 @@
+//! Correction-algorithm ablation (beyond the paper's figures): latency,
+//! message cost and liveness of every correction algorithm — including
+//! the unevaluated delayed correction — under a fault-count sweep.
+//!
+//! Usage: `ablation [--p N] [--reps N] [--seed N] [--out DIR]`
+
+use ct_bench::{emit, Args};
+use ct_exp::ablation::{run, to_csv, AblationConfig};
+
+fn main() {
+    let args = Args::from_env();
+    let mut cfg = AblationConfig::quick();
+    cfg.p = args.get("--p", cfg.p);
+    cfg.reps = args.get("--reps", cfg.reps);
+    cfg.seed0 = args.get("--seed", cfg.seed0);
+    cfg.threads = args.get("--threads", cfg.threads);
+
+    eprintln!(
+        "ablation: P={}, tree={}, faults={:?}, delays={:?}, reps={}",
+        cfg.p, cfg.tree, cfg.fault_counts, cfg.delays, cfg.reps
+    );
+    let rows = run(&cfg).expect("campaign");
+    emit("ablation", &to_csv(&rows), &args);
+}

@@ -1,0 +1,24 @@
+//! Correlated node failures vs random numbering (§2.1 extension):
+//! whole multi-rank nodes crash; compare the correction ring's gap
+//! structure and correction time under linear vs shuffled numbering.
+//!
+//! Usage: `correlated [--p N] [--node-size N] [--reps N] [--seed N] [--out DIR]`
+
+use ct_bench::{emit, Args};
+use ct_exp::correlated::{run, to_csv, CorrelatedConfig};
+
+fn main() {
+    let args = Args::from_env();
+    let mut cfg = CorrelatedConfig::quick();
+    cfg.p = args.get("--p", cfg.p);
+    cfg.node_size = args.get("--node-size", cfg.node_size);
+    cfg.reps = args.get("--reps", cfg.reps);
+    cfg.seed0 = args.get("--seed", cfg.seed0);
+
+    eprintln!(
+        "correlated: P={}, node_size={}, nodes={:?}, reps={}",
+        cfg.p, cfg.node_size, cfg.node_counts, cfg.reps
+    );
+    let rows = run(&cfg).expect("campaign");
+    emit("correlated", &to_csv(&rows), &args);
+}

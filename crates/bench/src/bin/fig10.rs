@@ -1,0 +1,30 @@
+//! Regenerate Figure 10: the (maximum gap, correction time) scatter of
+//! the resilience grid with the Lemma-3 lower/upper bounds.
+//!
+//! Usage: `fig10 [--paper] [--p N] [--reps N] [--seed N] [--out DIR]`
+
+use ct_bench::{emit, Args};
+use ct_exp::fig10;
+use ct_exp::resilience::{run_grid, ResilienceConfig};
+
+fn main() {
+    let args = Args::from_env();
+    let mut cfg = ResilienceConfig::quick();
+    cfg.include_gossip = false; // tree points only, as in the figure
+    if args.flag("--paper") {
+        cfg.p = 1 << 16;
+        cfg.reps = 1000;
+    }
+    cfg.p = args.get("--p", cfg.p);
+    cfg.reps = args.get("--reps", cfg.reps);
+    cfg.seed0 = args.get("--seed", cfg.seed0);
+    cfg.threads = args.get("--threads", cfg.threads);
+
+    eprintln!("fig10: P={}, reps={}, rates={:?}", cfg.p, cfg.reps, cfg.rates);
+    let cells = run_grid(&cfg).expect("grid");
+    let points = fig10::from_cells(&cells, &cfg.logp);
+    let conf = fig10::bounds_conformance(&points);
+    emit("fig10", &fig10::to_csv(&points), &args);
+    println!("Lemma-3 bound conformance: {:.1}%", conf * 100.0);
+    assert!(conf >= 1.0, "simulation points escaped the analytical bounds");
+}

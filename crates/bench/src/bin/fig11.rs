@@ -1,0 +1,29 @@
+//! Regenerate Figure 11: cluster broadcast median latency vs rank count
+//! (native binomial vs the Corrected-Trees implementation vs gossip).
+//!
+//! Usage: `fig11 [--paper] [--max-p N] [--iters N] [--seed N] [--out DIR]`
+
+use ct_bench::{emit, Args};
+use ct_exp::fig11::{run, to_csv, Fig11Config};
+
+fn main() {
+    let args = Args::from_env();
+    let mut cfg = Fig11Config::quick();
+    if args.flag("--paper") {
+        cfg.process_counts = vec![8, 16, 32, 64, 128, 256, 512];
+        cfg.iterations = 30;
+    }
+    let max_p: u32 = args.get("--max-p", 0);
+    if max_p > 0 {
+        cfg.process_counts = (2..)
+            .map(|n| 1 << n)
+            .take_while(|&p| p <= max_p)
+            .collect();
+    }
+    cfg.iterations = args.get("--iters", cfg.iterations);
+    cfg.seed = args.get("--seed", cfg.seed);
+
+    eprintln!("fig11: P sweep {:?}, iters={}", cfg.process_counts, cfg.iterations);
+    let rows = run(&cfg).expect("cluster sweep");
+    emit("fig11", &to_csv(&rows), &args);
+}

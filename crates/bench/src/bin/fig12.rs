@@ -1,0 +1,30 @@
+//! Regenerate Figure 12: cluster latency of Corrected-Tree variants —
+//! binomial d ∈ {0,1,2}, Lamé (k=4, d=0) and binomial d=2 with
+//! emulated rank failures.
+//!
+//! Usage: `fig12 [--paper] [--max-p N] [--iters N] [--seed N] [--out DIR]`
+
+use ct_bench::{emit, Args};
+use ct_exp::fig12::{run, to_csv, Fig12Config};
+
+fn main() {
+    let args = Args::from_env();
+    let mut cfg = Fig12Config::quick();
+    if args.flag("--paper") {
+        cfg.process_counts = vec![8, 16, 32, 64, 128, 256, 512];
+        cfg.iterations = 30;
+    }
+    let max_p: u32 = args.get("--max-p", 0);
+    if max_p > 0 {
+        cfg.process_counts = (3..)
+            .map(|n| 1 << n)
+            .take_while(|&p| p <= max_p)
+            .collect();
+    }
+    cfg.iterations = args.get("--iters", cfg.iterations);
+    cfg.seed = args.get("--seed", cfg.seed);
+
+    eprintln!("fig12: P sweep {:?}, iters={}", cfg.process_counts, cfg.iterations);
+    let rows = run(&cfg).expect("cluster sweep");
+    emit("fig12", &to_csv(&rows), &args);
+}

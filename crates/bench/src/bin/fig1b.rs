@@ -1,0 +1,27 @@
+//! Regenerate Figure 1b: expected checked-correction time for in-order
+//! vs interleaved binomial trees under 1, 2 and 5 random failures.
+//!
+//! Usage: `fig1b [--paper] [--p N] [--reps N] [--seed N] [--out DIR]`
+
+use ct_bench::{emit, Args};
+use ct_exp::fig1b::{run, to_csv, Fig1bConfig};
+
+fn main() {
+    let args = Args::from_env();
+    let mut cfg = Fig1bConfig::quick();
+    if args.flag("--paper") {
+        cfg.p = 1 << 16;
+        cfg.reps = 1000;
+    }
+    cfg.p = args.get("--p", cfg.p);
+    cfg.reps = args.get("--reps", cfg.reps);
+    cfg.seed0 = args.get("--seed", cfg.seed0);
+    cfg.threads = args.get("--threads", cfg.threads);
+
+    eprintln!(
+        "fig1b: P={}, faults={:?}, reps={}, threads={}",
+        cfg.p, cfg.fault_counts, cfg.reps, cfg.threads
+    );
+    let rows = run(&cfg).expect("campaign");
+    emit("fig1b", &to_csv(&rows), &args);
+}

@@ -1,0 +1,23 @@
+//! Regenerate Figure 6: average messages per process, failure-free, by
+//! correction type across the four trees and Corrected Gossip.
+//!
+//! Usage: `fig6 [--paper] [--p N] [--seed N] [--out DIR]`
+
+use ct_bench::{emit, Args};
+use ct_exp::fig6::{run, to_csv, Fig6Config};
+
+fn main() {
+    let args = Args::from_env();
+    let mut cfg = Fig6Config::quick();
+    if args.flag("--paper") {
+        cfg.p = 1 << 16;
+        cfg.gossip_reps = 20;
+    }
+    cfg.p = args.get("--p", cfg.p);
+    cfg.seed0 = args.get("--seed", cfg.seed0);
+    cfg.gossip_reps = args.get("--reps", cfg.gossip_reps);
+
+    eprintln!("fig6: P={}, distances={:?}", cfg.p, cfg.distances);
+    let rows = run(&cfg).expect("campaign");
+    emit("fig6", &to_csv(&rows), &args);
+}

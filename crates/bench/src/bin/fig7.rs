@@ -1,0 +1,26 @@
+//! Regenerate Figure 7: fault-free quiescence latency vs process count
+//! for acknowledged trees, Corrected Trees and checked Corrected Gossip.
+//!
+//! Usage: `fig7 [--paper] [--max-exp N] [--seed N] [--out DIR]`
+
+use ct_bench::{emit, Args};
+use ct_exp::fig7::{run, to_csv, Fig7Config};
+
+fn main() {
+    let args = Args::from_env();
+    let mut cfg = if args.flag("--paper") {
+        Fig7Config::paper()
+    } else {
+        Fig7Config::quick()
+    };
+    let max_exp: u32 = args.get("--max-exp", 0);
+    if max_exp > 0 {
+        cfg.process_counts = (10..=max_exp).map(|n| 1 << n).collect();
+    }
+    cfg.seed0 = args.get("--seed", cfg.seed0);
+    cfg.gossip_reps = args.get("--reps", cfg.gossip_reps);
+
+    eprintln!("fig7: P sweep {:?}", cfg.process_counts);
+    let rows = run(&cfg).expect("campaign");
+    emit("fig7", &to_csv(&rows), &args);
+}

@@ -1,0 +1,33 @@
+//! Regenerate Figure 9: average messages per process vs fault rate.
+//!
+//! Usage: `fig9 [--paper] [--p N] [--reps N] [--seed N] [--out DIR]`
+
+use ct_bench::{emit, Args};
+use ct_exp::resilience::{run_grid, ResilienceConfig};
+use ct_exp::{fig9, tuning};
+
+fn main() {
+    let args = Args::from_env();
+    let mut cfg = ResilienceConfig::quick();
+    if args.flag("--paper") {
+        cfg.p = 1 << 16;
+        cfg.reps = 1000;
+    }
+    cfg.p = args.get("--p", cfg.p);
+    cfg.reps = args.get("--reps", cfg.reps);
+    cfg.seed0 = args.get("--seed", cfg.seed0);
+    cfg.threads = args.get("--threads", cfg.threads);
+    let lo = cfg.logp.transit_steps();
+    let log2p = (32 - cfg.p.leading_zeros()) as u64;
+    cfg.gossip_time = tuning::min_latency_gossip_time(
+        cfg.p, cfg.logp, lo, lo * (log2p + 8), 2, 3, cfg.seed0,
+    )
+    .expect("tuning");
+
+    eprintln!(
+        "fig9: P={}, reps={}, gossip_time={}, rates={:?}",
+        cfg.p, cfg.reps, cfg.gossip_time, cfg.rates
+    );
+    let cells = run_grid(&cfg).expect("grid");
+    emit("fig9", &fig9::to_csv(&fig9::from_cells(&cells)), &args);
+}

@@ -1,0 +1,27 @@
+//! Regenerate Table 1: g_max and L_SCC percentiles (99% / 99.9% / max)
+//! per fault rate, aggregated over all tree types.
+//!
+//! Usage: `table1 [--paper] [--p N] [--reps N] [--seed N] [--out DIR]`
+
+use ct_bench::{emit, Args};
+use ct_exp::resilience::{run_grid, ResilienceConfig};
+use ct_exp::table1;
+
+fn main() {
+    let args = Args::from_env();
+    let mut cfg = ResilienceConfig::quick();
+    cfg.include_gossip = false;
+    if args.flag("--paper") {
+        cfg.p = 1 << 16;
+        cfg.reps = 1000;
+    }
+    cfg.p = args.get("--p", cfg.p);
+    cfg.reps = args.get("--reps", cfg.reps);
+    cfg.seed0 = args.get("--seed", cfg.seed0);
+    cfg.threads = args.get("--threads", cfg.threads);
+
+    eprintln!("table1: P={}, reps={}, rates={:?}", cfg.p, cfg.reps, cfg.rates);
+    let cells = run_grid(&cfg).expect("grid");
+    emit("table1", &table1::to_csv(&table1::from_cells(&cells)), &args);
+    println!("(fault-free reference: g_max = 0, L_SCC = 8)");
+}

@@ -1,0 +1,158 @@
+//! # ct-bench — benchmark harness and figure regenerators
+//!
+//! Two complementary entry points:
+//!
+//! * **Binaries** (`src/bin/fig*.rs`, `table1.rs`) regenerate the
+//!   paper's tables and figures: each prints the figure's series as an
+//!   aligned table and writes `results/<name>.csv`. Flags:
+//!   `--paper` switches to the paper's scale, `--p N`, `--reps N`,
+//!   `--seed N` override individual knobs, `--out DIR` redirects CSV
+//!   output.
+//! * **Criterion benches** (`benches/`) measure the cost of the
+//!   protocols and of the simulator itself at fixed small scales, one
+//!   bench group per experiment, so regressions in any reproduced
+//!   pipeline show up in `cargo bench`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::path::PathBuf;
+
+use ct_exp::csv::CsvTable;
+
+/// Tiny argv parser shared by all figure binaries: `--key value` pairs
+/// plus boolean flags.
+#[derive(Clone, Debug, Default)]
+pub struct Args {
+    raw: Vec<String>,
+}
+
+impl Args {
+    /// Parse from the process arguments.
+    pub fn from_env() -> Args {
+        Args { raw: std::env::args().skip(1).collect() }
+    }
+
+    /// Parse from an explicit list (tests).
+    pub fn from_vec(raw: Vec<String>) -> Args {
+        Args { raw }
+    }
+
+    /// Is the boolean flag present?
+    pub fn flag(&self, name: &str) -> bool {
+        self.raw.iter().any(|a| a == name)
+    }
+
+    /// The value following `name`, parsed, or `default`.
+    ///
+    /// # Panics
+    /// Panics with a usage message if the value is missing or unparsable.
+    pub fn get<T: std::str::FromStr>(&self, name: &str, default: T) -> T {
+        match self.raw.iter().position(|a| a == name) {
+            None => default,
+            Some(i) => {
+                let v = self
+                    .raw
+                    .get(i + 1)
+                    .unwrap_or_else(|| panic!("missing value after {name}"));
+                v.parse()
+                    .unwrap_or_else(|_| panic!("cannot parse {name} value {v:?}"))
+            }
+        }
+    }
+
+    /// The output directory for CSVs (default `results/`).
+    pub fn out_dir(&self) -> PathBuf {
+        PathBuf::from(self.get("--out", "results".to_owned()))
+    }
+}
+
+/// Print a CSV table to stdout as an aligned text table and also write
+/// it to `<out>/<name>.csv`.
+pub fn emit(name: &str, table: &CsvTable, args: &Args) {
+    let csv = table.to_csv();
+    let rows: Vec<Vec<String>> = csv
+        .lines()
+        .map(split_csv_line)
+        .collect();
+    let widths: Vec<usize> = (0..rows[0].len())
+        .map(|c| rows.iter().map(|r| r[c].len()).max().unwrap_or(0))
+        .collect();
+    for (i, row) in rows.iter().enumerate() {
+        let line: Vec<String> = row
+            .iter()
+            .zip(&widths)
+            .map(|(f, w)| format!("{f:<w$}"))
+            .collect();
+        println!("{}", line.join("  "));
+        if i == 0 {
+            println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        }
+    }
+    let path = args.out_dir().join(format!("{name}.csv"));
+    match table.write_to(&path) {
+        Ok(()) => println!("\n[written {}]", path.display()),
+        Err(e) => eprintln!("\n[could not write {}: {e}]", path.display()),
+    }
+}
+
+/// Split one CSV line produced by [`CsvTable::to_csv`] (handles quoting).
+fn split_csv_line(line: &str) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut cur = String::new();
+    let mut in_quotes = false;
+    let mut chars = line.chars().peekable();
+    while let Some(c) = chars.next() {
+        match (c, in_quotes) {
+            ('"', false) => in_quotes = true,
+            ('"', true) => {
+                if chars.peek() == Some(&'"') {
+                    cur.push('"');
+                    chars.next();
+                } else {
+                    in_quotes = false;
+                }
+            }
+            (',', false) => fields.push(std::mem::take(&mut cur)),
+            _ => cur.push(c),
+        }
+    }
+    fields.push(cur);
+    fields
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn args_parse_values_and_flags() {
+        let a = Args::from_vec(vec![
+            "--p".into(),
+            "4096".into(),
+            "--paper".into(),
+            "--reps".into(),
+            "100".into(),
+        ]);
+        assert_eq!(a.get("--p", 16u32), 4096);
+        assert_eq!(a.get("--reps", 1u32), 100);
+        assert_eq!(a.get("--seed", 7u64), 7);
+        assert!(a.flag("--paper"));
+        assert!(!a.flag("--quick"));
+        assert_eq!(a.out_dir(), PathBuf::from("results"));
+    }
+
+    #[test]
+    fn csv_line_splitting_handles_quotes() {
+        assert_eq!(split_csv_line("a,b"), vec!["a", "b"]);
+        assert_eq!(split_csv_line("\"x,y\",z"), vec!["x,y", "z"]);
+        assert_eq!(split_csv_line("\"he said \"\"hi\"\"\",2"), vec!["he said \"hi\"", "2"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "missing value")]
+    fn missing_value_panics() {
+        let a = Args::from_vec(vec!["--p".into()]);
+        let _: u32 = a.get("--p", 1);
+    }
+}

@@ -1,0 +1,240 @@
+//! Checked correction (§3.1).
+//!
+//! Every dissemination-colored process alternates sends left and right
+//! at increasing ring distance. It stops sending into a direction once
+//! it has received a message *from* that direction from a process it has
+//! already sent *to* — i.e. the two colored ring segments have shaken
+//! hands. Paper example: process 23 received nearest correction
+//! messages from 19 and 28; it keeps sending until it has sent to both,
+//! producing `{22, 24, 21, 25, 20, 26, 19, 27, 28}`.
+//!
+//! This colors all live processes regardless of the maximum gap size, as
+//! long as no process fails during the correction phase, and costs
+//! `M_SCC = 3 + ⌊L/o⌋` messages per process in the fault-free case
+//! (Corollary 1).
+
+use ct_logp::{ring_add, ring_gap_ccw, ring_gap_cw, ring_sub, Rank, Time};
+
+use super::{CorrPoll, Correction};
+
+/// State machine for checked correction.
+#[derive(Debug, Clone)]
+pub struct CheckedCorrection {
+    rank: Rank,
+    p: u32,
+    start: Time,
+    /// Next 1-based offsets per direction.
+    next_right: u32,
+    next_left: u32,
+    /// Ring gaps `(g_right, g_left)` of every sender heard from. The
+    /// nearer side is the message's direction (a tie counts as both);
+    /// a direction is done once some sender from it has been sent to —
+    /// via either side, which matters on tiny rings where both
+    /// directions reach the same process.
+    heard: Vec<(u32, u32)>,
+    prefer_left: bool,
+}
+
+impl CheckedCorrection {
+    /// Create the machine for `rank` of `p`, first send not before
+    /// `start`.
+    pub fn new(rank: Rank, p: u32, start: Time) -> Self {
+        assert!(p >= 1 && rank < p);
+        CheckedCorrection {
+            rank,
+            p,
+            start,
+            next_right: 1,
+            next_left: 1,
+            heard: Vec::new(),
+            // The paper's Lemma 2 proof sends the first message to the
+            // left ("If processes send the first message to the left…").
+            prefer_left: true,
+        }
+    }
+
+    /// `p - 1` caps every direction: after sending to all other
+    /// processes there is nobody left (only reachable when the whole
+    /// rest of the ring was uncolored and silent).
+    fn cap(&self) -> u32 {
+        self.p.saturating_sub(1)
+    }
+
+    fn sent_to(&self, gaps: (u32, u32)) -> bool {
+        self.next_right > gaps.0 || self.next_left > gaps.1
+    }
+
+    fn right_done(&self) -> bool {
+        self.next_right > self.cap()
+            || self
+                .heard
+                .iter()
+                .any(|&(gr, gl)| gr <= gl && self.sent_to((gr, gl)))
+    }
+
+    fn left_done(&self) -> bool {
+        self.next_left > self.cap()
+            || self
+                .heard
+                .iter()
+                .any(|&(gr, gl)| gl <= gr && self.sent_to((gr, gl)))
+    }
+}
+
+impl Correction for CheckedCorrection {
+    fn on_correction(&mut self, from: Rank, _now: Time) {
+        if from == self.rank {
+            return;
+        }
+        let g = (
+            ring_gap_cw(self.rank, from, self.p),
+            ring_gap_ccw(self.rank, from, self.p),
+        );
+        if !self.heard.contains(&g) {
+            self.heard.push(g);
+        }
+    }
+
+    fn poll(&mut self, now: Time) -> CorrPoll {
+        if now < self.start {
+            return CorrPoll::WaitUntil(self.start);
+        }
+        if self.p <= 1 || (self.right_done() && self.left_done()) {
+            return CorrPoll::Done;
+        }
+        let go_left = if self.left_done() {
+            false
+        } else if self.right_done() {
+            true
+        } else {
+            self.prefer_left
+        };
+        let target = if go_left {
+            let t = ring_sub(self.rank, self.next_left, self.p);
+            self.next_left += 1;
+            self.prefer_left = false;
+            t
+        } else {
+            let t = ring_add(self.rank, self.next_right, self.p);
+            self.next_right += 1;
+            self.prefer_left = true;
+            t
+        };
+        CorrPoll::Send(target)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Drive the machine, feeding `arrivals` as (after_nth_send, from).
+    fn run(mut m: CheckedCorrection, arrivals: &[(usize, Rank)]) -> Vec<Rank> {
+        let mut sent = Vec::new();
+        let mut ai = 0;
+        loop {
+            while ai < arrivals.len() && arrivals[ai].0 <= sent.len() {
+                m.on_correction(arrivals[ai].1, Time::ZERO);
+                ai += 1;
+            }
+            match m.poll(Time::ZERO) {
+                CorrPoll::Send(t) => sent.push(t),
+                CorrPoll::Done => break,
+                other => panic!("unexpected {other:?}"),
+            }
+            assert!(sent.len() < 1000, "machine failed to terminate");
+        }
+        sent
+    }
+
+    #[test]
+    fn paper_example_process_23() {
+        // Receives from 19 (left, distance 4) and 28 (right, distance 5)
+        // early; must send {22,24,21,25,20,26,19,27,28} in that order.
+        let m = CheckedCorrection::new(23, 64, Time::ZERO);
+        let sent = run(m, &[(0, 19), (0, 28)]);
+        assert_eq!(sent, vec![22, 24, 21, 25, 20, 26, 19, 27, 28]);
+    }
+
+    #[test]
+    fn fault_free_neighbors_stop_after_handshake() {
+        // Both immediate neighbors heard: sends exactly to them, stops.
+        let m = CheckedCorrection::new(5, 64, Time::ZERO);
+        let sent = run(m, &[(0, 4), (0, 6)]);
+        assert_eq!(sent, vec![4, 6]);
+    }
+
+    #[test]
+    fn late_arrival_after_overshoot_stops_immediately() {
+        // We already sent to distance 3 both sides when messages from
+        // distance-2 senders arrive → both directions instantly done.
+        let mut m = CheckedCorrection::new(10, 64, Time::ZERO);
+        let mut sent = Vec::new();
+        for _ in 0..6 {
+            match m.poll(Time::ZERO) {
+                CorrPoll::Send(t) => sent.push(t),
+                other => panic!("{other:?}"),
+            }
+        }
+        assert_eq!(sent, vec![9, 11, 8, 12, 7, 13]);
+        m.on_correction(8, Time::ZERO);
+        m.on_correction(12, Time::ZERO);
+        assert_eq!(m.poll(Time::ZERO), CorrPoll::Done);
+    }
+
+    #[test]
+    fn unheard_direction_keeps_probing() {
+        // Only the left side answers; the right side keeps growing until
+        // someone (rank 9 at distance 4) finally answers.
+        let m = CheckedCorrection::new(5, 64, Time::ZERO);
+        let sent = run(m, &[(0, 4), (5, 9)]);
+        // Left: only 4. Right: 6, 7, 8, 9 (heard from 9 after 5 sends).
+        assert_eq!(sent, vec![4, 6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn sole_colored_process_terminates_via_ring_cap() {
+        // Nobody else ever sends: the machine must still terminate after
+        // covering the whole ring in both directions.
+        let m = CheckedCorrection::new(0, 6, Time::ZERO);
+        let sent = run(m, &[]);
+        // Alternating left/right over 5 offsets each.
+        assert_eq!(sent.len(), 10);
+        assert!(sent.iter().all(|&t| t != 0));
+    }
+
+    #[test]
+    fn synchronized_start_is_respected() {
+        let start = Time::new(25);
+        let mut m = CheckedCorrection::new(3, 16, start);
+        assert_eq!(m.poll(Time::new(24)), CorrPoll::WaitUntil(start));
+        assert_eq!(m.poll(Time::new(25)), CorrPoll::Send(2));
+    }
+
+    #[test]
+    fn two_process_ring_one_message_suffices() {
+        // p=2: the only other process is at distance 1 both ways; after
+        // sending left once and hearing from it, both directions are
+        // done — no duplicate probe to the same process.
+        let m = CheckedCorrection::new(0, 2, Time::ZERO);
+        let sent = run(m, &[(1, 1)]);
+        assert_eq!(sent, vec![1]);
+    }
+
+    #[test]
+    fn single_process_done() {
+        let mut m = CheckedCorrection::new(0, 1, Time::ZERO);
+        assert_eq!(m.poll(Time::ZERO), CorrPoll::Done);
+    }
+
+    #[test]
+    fn duplicate_arrivals_are_idempotent() {
+        let mut m = CheckedCorrection::new(5, 64, Time::ZERO);
+        m.on_correction(4, Time::ZERO);
+        m.on_correction(4, Time::ZERO);
+        m.on_correction(6, Time::ZERO);
+        let sent = run(m, &[]);
+        assert_eq!(sent, vec![4, 6]);
+        // heard list stays small even under duplicates.
+    }
+}

@@ -1,0 +1,239 @@
+//! Ring-correction algorithms (§3.1, §3.3).
+//!
+//! After dissemination, all processes colored *by dissemination* send
+//! correction messages to ring neighbors so that every live process the
+//! tree missed still gets the payload. Processes colored *by correction*
+//! stay silent (except for tree forwarding on early correction in
+//! overlapped mode, handled by the protocol layer).
+//!
+//! Each algorithm is a small pull-model state machine ([`Correction`]):
+//! the driver (protocol layer) feeds it received correction messages and
+//! polls it for the next target whenever the sender port is free. The
+//! machines are transport-agnostic and identical under the LogP
+//! simulator and the thread-cluster runtime.
+//!
+//! | kind | messages (fault-free) | guarantee |
+//! |---|---|---|
+//! | [`OpportunisticCorrection`] | `2d` per process | colors all iff `g_max ≤ 2d` |
+//! | optimized opportunistic | `≤ 2d` | same, fewer messages (§3.3) |
+//! | [`CheckedCorrection`] | `3 + ⌊L/o⌋` synchronized | all live colored for any `g_max`, if no failures during correction |
+//! | [`FailureProofCorrection`] | more | all live colored even with failures during correction |
+//! | [`DelayedCorrection`] | 1 + reply | minimal messages, latency penalty on faults (§3.3) |
+
+pub mod checked;
+pub mod delayed;
+pub mod failure_proof;
+pub mod opportunistic;
+
+use core::fmt;
+
+use ct_logp::{Rank, Time};
+use serde::{Deserialize, Serialize};
+
+pub use checked::CheckedCorrection;
+pub use delayed::DelayedCorrection;
+pub use failure_proof::FailureProofCorrection;
+pub use opportunistic::OpportunisticCorrection;
+
+/// A direction on the correction ring.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Direction {
+    /// Descending ranks (`r-1, r-2, …`).
+    Left,
+    /// Ascending ranks (`r+1, r+2, …`).
+    Right,
+}
+
+impl Direction {
+    /// The opposite direction.
+    pub fn flip(self) -> Direction {
+        match self {
+            Direction::Left => Direction::Right,
+            Direction::Right => Direction::Left,
+        }
+    }
+}
+
+/// Which correction algorithm a broadcast uses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CorrectionKind {
+    /// No correction: plain, fault-agnostic tree broadcast.
+    None,
+    /// Opportunistic with correction distance `d` (§3.1): `d` messages
+    /// in each direction, unconditionally.
+    Opportunistic {
+        /// Correction distance `d ≥ 1`.
+        distance: u32,
+    },
+    /// Optimized opportunistic (§3.3): skips targets provably covered by
+    /// a correction message already received from the other side. The
+    /// paper's default for Corrected Trees.
+    OpportunisticOptimized {
+        /// Correction distance `d ≥ 1`.
+        distance: u32,
+    },
+    /// Checked correction (§3.1): keep alternating left/right at
+    /// increasing distance until a message arrives from each direction
+    /// from a process already sent to.
+    Checked,
+    /// Failure-proof correction: generalized checked correction in which
+    /// correction-colored processes acknowledge, so senders converge
+    /// even when processes fail *during* correction. (The paper defers
+    /// details to Corrected Gossip; this is our faithful-overhead
+    /// reconstruction, see DESIGN.md.)
+    FailureProof,
+    /// Delayed correction (§3.3): one left message, then probe rightward
+    /// only if no message arrived from the right within `delay` steps.
+    Delayed {
+        /// Steps to wait before suspecting the right side is uncolored.
+        delay: u64,
+    },
+}
+
+impl CorrectionKind {
+    /// Does this kind participate in the correction phase at all?
+    pub fn is_none(&self) -> bool {
+        matches!(self, CorrectionKind::None)
+    }
+
+    /// Do correction-colored processes send a reply/acknowledgment?
+    /// Only failure-proof correction requires this.
+    pub fn replies_when_correction_colored(&self) -> bool {
+        matches!(self, CorrectionKind::FailureProof)
+    }
+
+    /// Instantiate the state machine for `rank` in a ring of `p`
+    /// processes, starting (i.e. allowed to send) at `start`.
+    pub fn machine(&self, rank: Rank, p: u32, start: Time) -> Option<Box<dyn Correction>> {
+        match *self {
+            CorrectionKind::None => None,
+            CorrectionKind::Opportunistic { distance } => Some(Box::new(
+                OpportunisticCorrection::new(rank, p, distance, start, false),
+            )),
+            CorrectionKind::OpportunisticOptimized { distance } => Some(Box::new(
+                OpportunisticCorrection::new(rank, p, distance, start, true),
+            )),
+            CorrectionKind::Checked => Some(Box::new(CheckedCorrection::new(rank, p, start))),
+            CorrectionKind::FailureProof => {
+                Some(Box::new(FailureProofCorrection::new(rank, p, start)))
+            }
+            CorrectionKind::Delayed { delay } => {
+                Some(Box::new(DelayedCorrection::new(rank, p, delay, start)))
+            }
+        }
+    }
+}
+
+impl fmt::Display for CorrectionKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CorrectionKind::None => write!(f, "none"),
+            CorrectionKind::Opportunistic { distance } => {
+                write!(f, "opportunistic(d={distance})")
+            }
+            CorrectionKind::OpportunisticOptimized { distance } => {
+                write!(f, "opportunistic-opt(d={distance})")
+            }
+            CorrectionKind::Checked => write!(f, "checked"),
+            CorrectionKind::FailureProof => write!(f, "failure-proof"),
+            CorrectionKind::Delayed { delay } => write!(f, "delayed({delay})"),
+        }
+    }
+}
+
+/// What a correction machine wants to do next.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CorrPoll {
+    /// Send a correction message to this rank now.
+    Send(Rank),
+    /// Nothing to send before this time; poll again then.
+    WaitUntil(Time),
+    /// Nothing to send until another message is received.
+    Idle,
+    /// This machine will never send again.
+    Done,
+}
+
+/// A correction state machine for one dissemination-colored process.
+pub trait Correction: Send {
+    /// A correction message from `from` arrived (processing finished) at
+    /// `now`.
+    fn on_correction(&mut self, from: Rank, now: Time);
+
+    /// Next action, given that the sender port is free at `now`.
+    fn poll(&mut self, now: Time) -> CorrPoll;
+}
+
+/// Classify the ring direction of a message from `from` as seen by `me`:
+/// the side on which `from` is nearer. Ties (`p` even, antipodal
+/// sender) count as both sides and are reported as `None`.
+pub fn direction_of(me: Rank, from: Rank, p: u32) -> Option<Direction> {
+    let right = ct_logp::ring_gap_cw(me, from, p);
+    let left = ct_logp::ring_gap_ccw(me, from, p);
+    match right.cmp(&left) {
+        core::cmp::Ordering::Less => Some(Direction::Right),
+        core::cmp::Ordering::Greater => Some(Direction::Left),
+        core::cmp::Ordering::Equal => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn direction_classification() {
+        assert_eq!(direction_of(5, 6, 16), Some(Direction::Right));
+        assert_eq!(direction_of(5, 4, 16), Some(Direction::Left));
+        assert_eq!(direction_of(0, 15, 16), Some(Direction::Left));
+        assert_eq!(direction_of(15, 0, 16), Some(Direction::Right));
+        // Antipodal tie.
+        assert_eq!(direction_of(0, 8, 16), None);
+        assert_eq!(direction_of(0, 7, 16), Some(Direction::Right));
+        assert_eq!(direction_of(0, 9, 16), Some(Direction::Left));
+    }
+
+    #[test]
+    fn flip_is_involution() {
+        assert_eq!(Direction::Left.flip(), Direction::Right);
+        assert_eq!(Direction::Right.flip().flip(), Direction::Right);
+    }
+
+    #[test]
+    fn kind_labels() {
+        assert_eq!(CorrectionKind::None.to_string(), "none");
+        assert_eq!(
+            CorrectionKind::Opportunistic { distance: 2 }.to_string(),
+            "opportunistic(d=2)"
+        );
+        assert_eq!(
+            CorrectionKind::OpportunisticOptimized { distance: 4 }.to_string(),
+            "opportunistic-opt(d=4)"
+        );
+        assert_eq!(CorrectionKind::Checked.to_string(), "checked");
+        assert_eq!(CorrectionKind::FailureProof.to_string(), "failure-proof");
+        assert_eq!(CorrectionKind::Delayed { delay: 9 }.to_string(), "delayed(9)");
+    }
+
+    #[test]
+    fn machine_constructor_dispatch() {
+        assert!(CorrectionKind::None.machine(0, 8, Time::ZERO).is_none());
+        for kind in [
+            CorrectionKind::Opportunistic { distance: 2 },
+            CorrectionKind::OpportunisticOptimized { distance: 2 },
+            CorrectionKind::Checked,
+            CorrectionKind::FailureProof,
+            CorrectionKind::Delayed { delay: 6 },
+        ] {
+            assert!(kind.machine(3, 8, Time::ZERO).is_some(), "{kind}");
+        }
+    }
+
+    #[test]
+    fn only_failure_proof_replies() {
+        assert!(CorrectionKind::FailureProof.replies_when_correction_colored());
+        assert!(!CorrectionKind::Checked.replies_when_correction_colored());
+        assert!(!CorrectionKind::Opportunistic { distance: 1 }
+            .replies_when_correction_colored());
+    }
+}

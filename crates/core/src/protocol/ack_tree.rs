@@ -1,0 +1,200 @@
+//! Tree broadcast with acknowledgments — the traditional fault-tolerance
+//! baseline (§4.1, e.g. Buntinas \[5\]).
+//!
+//! Acknowledgments travel along the same tree as dissemination: a leaf
+//! acknowledges to its parent as soon as it is colored; an inner process
+//! acknowledges after it has received acknowledgments from all of its
+//! children; the root is finished when all children acknowledged. "Even
+//! in the fault-free case the tree has to be traversed twice, effectively
+//! doubling the latency in comparison to a non-resilient algorithm"
+//! (§5) — exactly the effect Figure 7 shows.
+//!
+//! Under failures the ack wave stalls (a dead child never acknowledges);
+//! recovering from that requires a failure detector and tree
+//! restructuring, which is what Corrected Trees avoid.
+
+use std::sync::Arc;
+
+use ct_logp::{Rank, Time};
+
+use crate::tree::{Topology, Tree};
+
+use super::{ColoredVia, Payload, Process, SendPoll};
+
+/// State machine for one rank of the acknowledged tree broadcast.
+pub struct AckTreeProcess {
+    rank: Rank,
+    tree: Arc<Tree>,
+    colored_at: Option<Time>,
+    colored_via: Option<ColoredVia>,
+    next_child: usize,
+    acks_received: usize,
+    ack_sent: bool,
+    done: bool,
+}
+
+impl AckTreeProcess {
+    /// Create the machine for `rank` of the shared topology.
+    pub fn new(rank: Rank, tree: Arc<Tree>) -> Self {
+        let is_root = rank == 0;
+        AckTreeProcess {
+            rank,
+            tree,
+            colored_at: is_root.then_some(Time::ZERO),
+            colored_via: is_root.then_some(ColoredVia::Root),
+            next_child: 0,
+            acks_received: 0,
+            ack_sent: false,
+            done: false,
+        }
+    }
+
+    fn num_children(&self) -> usize {
+        self.tree.children(self.rank).len()
+    }
+
+    /// Has the root observed a fully acknowledged broadcast? Only
+    /// meaningful on rank 0.
+    pub fn root_completed(&self) -> bool {
+        self.rank == 0 && self.acks_received == self.num_children()
+    }
+}
+
+impl Process for AckTreeProcess {
+    fn on_message(&mut self, from: Rank, payload: Payload, now: Time) {
+        match payload {
+            Payload::Tree => {
+                if self.colored_at.is_none() {
+                    self.colored_at = Some(now);
+                    self.colored_via = Some(ColoredVia::Dissemination);
+                }
+            }
+            Payload::Ack => {
+                debug_assert!(self.tree.children(self.rank).contains(&from));
+                self.acks_received += 1;
+            }
+            Payload::Correction | Payload::Gossip { .. } => {
+                debug_assert!(false, "unexpected payload in ack-tree broadcast");
+            }
+        }
+    }
+
+    fn poll_send(&mut self, now: Time) -> SendPoll {
+        let _ = now;
+        if self.done {
+            return SendPoll::Done;
+        }
+        if self.colored_at.is_none() {
+            return SendPoll::Idle;
+        }
+        let children = self.tree.children(self.rank);
+        if self.next_child < children.len() {
+            let to = children[self.next_child];
+            self.next_child += 1;
+            return SendPoll::Now { to, payload: Payload::Tree };
+        }
+        if self.acks_received < children.len() {
+            return SendPoll::Idle; // waiting for child acknowledgments
+        }
+        if self.rank != 0 && !self.ack_sent {
+            self.ack_sent = true;
+            return SendPoll::Now {
+                to: self.tree.parent(self.rank).expect("non-root"),
+                payload: Payload::Ack,
+            };
+        }
+        self.done = true;
+        SendPoll::Done
+    }
+
+    fn colored_at(&self) -> Option<Time> {
+        self.colored_at
+    }
+
+    fn colored_via(&self) -> Option<ColoredVia> {
+        self.colored_via
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::TreeKind;
+    use ct_logp::LogP;
+
+    fn tree(p: u32) -> Arc<Tree> {
+        Arc::new(TreeKind::BINOMIAL.build(p, &LogP::PAPER).unwrap())
+    }
+
+    #[test]
+    fn leaf_acks_immediately_after_coloring() {
+        let mut p7 = AckTreeProcess::new(7, tree(8));
+        assert_eq!(p7.poll_send(Time::ZERO), SendPoll::Idle);
+        p7.on_message(3, Payload::Tree, Time::new(12));
+        assert_eq!(
+            p7.poll_send(Time::new(12)),
+            SendPoll::Now { to: 3, payload: Payload::Ack }
+        );
+        assert_eq!(p7.poll_send(Time::new(13)), SendPoll::Done);
+    }
+
+    #[test]
+    fn inner_node_waits_for_all_child_acks() {
+        // Rank 1 in binomial(8) has children {3, 5}.
+        let mut p1 = AckTreeProcess::new(1, tree(8));
+        p1.on_message(0, Payload::Tree, Time::new(4));
+        assert_eq!(
+            p1.poll_send(Time::new(4)),
+            SendPoll::Now { to: 3, payload: Payload::Tree }
+        );
+        assert_eq!(
+            p1.poll_send(Time::new(5)),
+            SendPoll::Now { to: 5, payload: Payload::Tree }
+        );
+        assert_eq!(p1.poll_send(Time::new(6)), SendPoll::Idle);
+        p1.on_message(3, Payload::Ack, Time::new(14));
+        assert_eq!(p1.poll_send(Time::new(14)), SendPoll::Idle);
+        p1.on_message(5, Payload::Ack, Time::new(15));
+        assert_eq!(
+            p1.poll_send(Time::new(15)),
+            SendPoll::Now { to: 0, payload: Payload::Ack }
+        );
+        assert_eq!(p1.poll_send(Time::new(16)), SendPoll::Done);
+    }
+
+    #[test]
+    fn root_completes_only_after_every_ack() {
+        let mut root = AckTreeProcess::new(0, tree(8));
+        for to in [1u32, 2, 4] {
+            assert_eq!(
+                root.poll_send(Time::ZERO),
+                SendPoll::Now { to, payload: Payload::Tree }
+            );
+        }
+        assert_eq!(root.poll_send(Time::ZERO), SendPoll::Idle);
+        assert!(!root.root_completed());
+        for from in [1u32, 2, 4] {
+            root.on_message(from, Payload::Ack, Time::new(20));
+        }
+        assert!(root.root_completed());
+        assert_eq!(root.poll_send(Time::new(20)), SendPoll::Done);
+    }
+
+    #[test]
+    fn two_process_ack_roundtrip() {
+        let t = tree(2);
+        let mut root = AckTreeProcess::new(0, Arc::clone(&t));
+        let mut leaf = AckTreeProcess::new(1, t);
+        assert_eq!(
+            root.poll_send(Time::ZERO),
+            SendPoll::Now { to: 1, payload: Payload::Tree }
+        );
+        leaf.on_message(0, Payload::Tree, Time::new(4));
+        assert_eq!(
+            leaf.poll_send(Time::new(4)),
+            SendPoll::Now { to: 0, payload: Payload::Ack }
+        );
+        root.on_message(1, Payload::Ack, Time::new(8));
+        assert!(root.root_completed());
+    }
+}

@@ -1,0 +1,449 @@
+//! Transport-agnostic broadcast protocols.
+//!
+//! A broadcast instance is a vector of per-rank [`Process`] state
+//! machines. The driver — the `ct-sim` LogP simulator or the
+//! `ct-runtime` thread cluster — owns delivery and timing and obeys one
+//! contract:
+//!
+//! * [`Process::on_message`] is invoked when a message has been fully
+//!   received (LogP: arrival plus receive overhead `o`).
+//! * [`Process::poll_send`] is invoked whenever the process's sender
+//!   port is free: after start-up, after each completed send, after each
+//!   delivered message, and at any requested [`SendPoll::WaitUntil`]
+//!   time. A returned [`SendPoll::Now`] occupies the port for `o`.
+//! * [`SendPoll::Idle`] means "nothing until another message arrives";
+//!   [`SendPoll::Done`] is terminal.
+//!
+//! Because both drivers run the *same* state machines, the simulator and
+//! the cluster implementation cannot diverge — mirroring the paper's
+//! flogsim/dying-tree split without the code duplication.
+
+pub mod ack_tree;
+pub mod corrected;
+pub mod relabel;
+pub mod rotate;
+
+use core::fmt;
+use std::sync::Arc;
+
+use ct_logp::{LogP, Rank, Time};
+use serde::{Deserialize, Serialize};
+
+use crate::correction::CorrectionKind;
+use crate::tree::{Tree, TreeError, TreeKind};
+
+pub use ack_tree::AckTreeProcess;
+pub use corrected::CorrectedTreeProcess;
+pub use relabel::{RelabeledProcess, Relabeling};
+pub use rotate::RotatedProcess;
+
+/// The content of a broadcast message. The paper's payloads are small
+/// (no segmentation, §2); what matters to the protocols is only the
+/// message *kind*, so payload bytes are not modeled.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Payload {
+    /// Dissemination message along a tree edge.
+    Tree,
+    /// Gossip dissemination message carrying its round number.
+    Gossip {
+        /// Rounds already taken, incremented per hop (§4.4).
+        round: u32,
+    },
+    /// Ring-correction message.
+    Correction,
+    /// Acknowledgment: child → parent in the ack-tree baseline, or a
+    /// failure-proof delivery confirmation to a correction prober.
+    Ack,
+}
+
+impl Payload {
+    /// Does this payload color an uncolored receiver?
+    pub fn colors(&self) -> bool {
+        !matches!(self, Payload::Ack)
+    }
+}
+
+/// How a process was first colored — used by metrics.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ColoredVia {
+    /// It is the root.
+    Root,
+    /// A dissemination (tree or gossip) message.
+    Dissemination,
+    /// A correction message.
+    Correction,
+}
+
+/// Result of polling a process for its next send.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SendPoll {
+    /// Send `payload` to `to` now.
+    Now {
+        /// Destination rank.
+        to: Rank,
+        /// Message kind.
+        payload: Payload,
+    },
+    /// Nothing before this time; poll again then (and on any delivery).
+    WaitUntil(Time),
+    /// Nothing to send until another message is delivered.
+    Idle,
+    /// This process will never send again.
+    Done,
+}
+
+/// One rank's protocol state machine.
+pub trait Process: Send {
+    /// Deliver a fully received message.
+    fn on_message(&mut self, from: Rank, payload: Payload, now: Time);
+
+    /// Ask for the next send; the sender port is free at `now`.
+    fn poll_send(&mut self, now: Time) -> SendPoll;
+
+    /// When this process became colored, if it has.
+    fn colored_at(&self) -> Option<Time>;
+
+    /// How this process became colored, if it has.
+    fn colored_via(&self) -> Option<ColoredVia>;
+}
+
+/// Context handed to a [`ProtocolFactory`].
+#[derive(Clone, Copy, Debug)]
+pub struct BuildCtx {
+    /// Number of processes.
+    pub p: u32,
+    /// LogP parameters (trees and synchronized deadlines depend on them).
+    pub logp: LogP,
+    /// Seed for protocols with randomized behavior (gossip); tree
+    /// protocols ignore it.
+    pub seed: u64,
+}
+
+/// Anything that can instantiate a full set of per-rank processes.
+pub trait ProtocolFactory {
+    /// Stable label for experiment output.
+    fn label(&self) -> String;
+
+    /// Build the `P` state machines for one broadcast.
+    fn build(&self, ctx: &BuildCtx) -> Result<Vec<Box<dyn Process>>, ProtocolError>;
+}
+
+/// Errors from protocol construction.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ProtocolError {
+    /// The underlying topology could not be built.
+    Tree(TreeError),
+    /// A configuration value is invalid (description inside).
+    InvalidConfig(String),
+}
+
+impl fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtocolError::Tree(e) => write!(f, "topology: {e}"),
+            ProtocolError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+impl From<TreeError> for ProtocolError {
+    fn from(e: TreeError) -> Self {
+        ProtocolError::Tree(e)
+    }
+}
+
+/// When correction begins relative to dissemination (§3.3).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum StartMode {
+    /// All processes start correction at a pre-specified global time —
+    /// the fault-free dissemination deadline unless overridden.
+    Synchronized,
+    /// Each process starts correction immediately after its own
+    /// dissemination sends; correction messages may arrive *early*
+    /// (before the tree message), in which case the receiver still
+    /// forwards tree messages to its children.
+    Overlapped,
+}
+
+impl fmt::Display for StartMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StartMode::Synchronized => write!(f, "sync"),
+            StartMode::Overlapped => write!(f, "overlap"),
+        }
+    }
+}
+
+/// Declarative description of a tree-based broadcast variant.
+///
+/// This is the main public entry point: pick a tree, a correction
+/// algorithm and a start mode, then hand the spec to a driver.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct BroadcastSpec {
+    /// Dissemination topology.
+    pub tree: TreeKind,
+    /// Correction algorithm ([`CorrectionKind::None`] = fault-agnostic
+    /// plain tree broadcast).
+    pub correction: CorrectionKind,
+    /// Synchronized or overlapped correction.
+    pub mode: StartMode,
+    /// Acknowledgment wave after dissemination (the traditional
+    /// fault-tolerance baseline of §4.1). Mutually exclusive with
+    /// correction.
+    pub acked: bool,
+    /// Override for the synchronized correction start; `None` uses the
+    /// fault-free dissemination deadline.
+    pub sync_start_override: Option<u64>,
+    /// The broadcasting process. The paper fixes rank 0 "without loss
+    /// of generality" (§2); any other root runs the same protocol under
+    /// a rank rotation (an automorphism of the correction ring, so all
+    /// interleaving and gap properties are preserved).
+    #[serde(default)]
+    pub root: Rank,
+    /// Randomize the process numbering (§2.1): each run maps virtual
+    /// ranks to physical processes by a seeded random bijection (derived
+    /// from this base seed plus the run seed), de-correlating block
+    /// failures on the ring. `None` keeps the linear numbering.
+    #[serde(default)]
+    pub shuffle_seed: Option<u64>,
+}
+
+impl BroadcastSpec {
+    /// Corrected Tree broadcast with overlapped correction — the
+    /// configuration the paper's prototype implements (§4.4).
+    pub fn corrected_tree(tree: TreeKind, correction: CorrectionKind) -> BroadcastSpec {
+        BroadcastSpec {
+            tree,
+            correction,
+            mode: StartMode::Overlapped,
+            acked: false,
+            sync_start_override: None,
+            root: 0,
+            shuffle_seed: None,
+        }
+    }
+
+    /// Corrected Tree broadcast with synchronized correction (the
+    /// analysis configuration of §4.2).
+    pub fn corrected_tree_sync(tree: TreeKind, correction: CorrectionKind) -> BroadcastSpec {
+        BroadcastSpec {
+            tree,
+            correction,
+            mode: StartMode::Synchronized,
+            acked: false,
+            sync_start_override: None,
+            root: 0,
+            shuffle_seed: None,
+        }
+    }
+
+    /// Plain, fault-agnostic tree broadcast (no correction, no acks).
+    pub fn plain_tree(tree: TreeKind) -> BroadcastSpec {
+        BroadcastSpec {
+            tree,
+            correction: CorrectionKind::None,
+            mode: StartMode::Overlapped,
+            acked: false,
+            sync_start_override: None,
+            root: 0,
+            shuffle_seed: None,
+        }
+    }
+
+    /// Tree broadcast with the acknowledgment wave (§4.1 baseline).
+    pub fn ack_tree(tree: TreeKind) -> BroadcastSpec {
+        BroadcastSpec {
+            tree,
+            correction: CorrectionKind::None,
+            mode: StartMode::Overlapped,
+            acked: true,
+            sync_start_override: None,
+            root: 0,
+            shuffle_seed: None,
+        }
+    }
+
+    /// Same broadcast, rooted at `root` instead of rank 0.
+    pub fn with_root(mut self, root: Rank) -> BroadcastSpec {
+        self.root = root;
+        self
+    }
+
+    /// Same broadcast with a randomized process numbering (§2.1) keyed
+    /// off `seed` (combined with the per-run seed).
+    pub fn with_shuffle(mut self, seed: u64) -> BroadcastSpec {
+        self.shuffle_seed = Some(seed);
+        self
+    }
+
+    /// Build the shared topology for this spec.
+    pub fn build_tree(&self, p: u32, logp: &LogP) -> Result<Arc<Tree>, ProtocolError> {
+        Ok(Arc::new(self.tree.build(p, logp)?))
+    }
+}
+
+impl fmt::Display for BroadcastSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.acked {
+            write!(f, "{}+ack", self.tree)?;
+        } else if self.correction.is_none() {
+            write!(f, "{}", self.tree)?;
+        } else {
+            write!(f, "{}+{}/{}", self.tree, self.correction, self.mode)?;
+        }
+        if self.root != 0 {
+            write!(f, "@root{}", self.root)?;
+        }
+        Ok(())
+    }
+}
+
+impl ProtocolFactory for BroadcastSpec {
+    fn label(&self) -> String {
+        self.to_string()
+    }
+
+    fn build(&self, ctx: &BuildCtx) -> Result<Vec<Box<dyn Process>>, ProtocolError> {
+        if self.acked && !self.correction.is_none() {
+            return Err(ProtocolError::InvalidConfig(
+                "acknowledgments and correction are mutually exclusive".into(),
+            ));
+        }
+        if self.root >= ctx.p {
+            return Err(ProtocolError::InvalidConfig(format!(
+                "root {} out of range for P = {}",
+                self.root, ctx.p
+            )));
+        }
+        let tree = self.build_tree(ctx.p, &ctx.logp)?;
+        // Build the rank-0-rooted machines on virtual ranks.
+        let mut virtual_procs: Vec<Box<dyn Process>> = if self.acked {
+            (0..ctx.p)
+                .map(|v| Box::new(AckTreeProcess::new(v, Arc::clone(&tree))) as Box<dyn Process>)
+                .collect()
+        } else {
+            let sync_start = match self.mode {
+                StartMode::Synchronized => match self.sync_start_override {
+                    Some(t) => Some(Time::new(t)),
+                    None => Some(tree.dissemination_deadline(&ctx.logp)),
+                },
+                StartMode::Overlapped => None,
+            };
+            (0..ctx.p)
+                .map(|v| {
+                    Box::new(CorrectedTreeProcess::new(
+                        v,
+                        Arc::clone(&tree),
+                        self.correction,
+                        sync_start,
+                    )) as Box<dyn Process>
+                })
+                .collect()
+        };
+        let map = match self.shuffle_seed {
+            Some(base) => Some(relabel::Relabeling::random(
+                ctx.p,
+                self.root,
+                base.wrapping_add(ctx.seed),
+            )),
+            None if self.root != 0 => Some(relabel::Relabeling::rotation(ctx.p, self.root)),
+            None => None,
+        };
+        let Some(map) = map else {
+            return Ok(virtual_procs);
+        };
+        // Physical rank map.physical(v) runs virtual rank v.
+        let mut physical: Vec<Option<Box<dyn Process>>> =
+            (0..ctx.p).map(|_| None).collect();
+        for v in (0..ctx.p).rev() {
+            let inner = virtual_procs.pop().expect("one per virtual rank");
+            let phys = map.physical(v);
+            physical[phys as usize] =
+                Some(Box::new(relabel::RelabeledProcess::new(inner, map.clone())));
+        }
+        Ok(physical
+            .into_iter()
+            .map(|p| p.expect("relabeling is a bijection"))
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::Ordering;
+
+    #[test]
+    fn payload_coloring() {
+        assert!(Payload::Tree.colors());
+        assert!(Payload::Correction.colors());
+        assert!(Payload::Gossip { round: 3 }.colors());
+        assert!(!Payload::Ack.colors());
+    }
+
+    #[test]
+    fn spec_labels() {
+        let spec = BroadcastSpec::corrected_tree(
+            TreeKind::BINOMIAL,
+            CorrectionKind::OpportunisticOptimized { distance: 4 },
+        );
+        assert_eq!(
+            spec.label(),
+            "binomial/interleaved+opportunistic-opt(d=4)/overlap"
+        );
+        assert_eq!(
+            BroadcastSpec::ack_tree(TreeKind::LAME2).label(),
+            "lame2/interleaved+ack"
+        );
+        assert_eq!(
+            BroadcastSpec::plain_tree(TreeKind::FOUR_ARY).label(),
+            "4-ary/interleaved"
+        );
+    }
+
+    #[test]
+    fn build_produces_p_processes() {
+        let ctx = BuildCtx { p: 33, logp: LogP::PAPER, seed: 1 };
+        let spec =
+            BroadcastSpec::corrected_tree_sync(TreeKind::BINOMIAL, CorrectionKind::Checked);
+        let procs = spec.build(&ctx).unwrap();
+        assert_eq!(procs.len(), 33);
+        // Only the root is colored initially.
+        assert_eq!(procs[0].colored_via(), Some(ColoredVia::Root));
+        assert!(procs[1..].iter().all(|p| p.colored_at().is_none()));
+    }
+
+    #[test]
+    fn acked_with_correction_is_rejected() {
+        let ctx = BuildCtx { p: 8, logp: LogP::PAPER, seed: 0 };
+        let spec = BroadcastSpec {
+            tree: TreeKind::BINOMIAL,
+            correction: CorrectionKind::Checked,
+            mode: StartMode::Overlapped,
+            acked: true,
+            sync_start_override: None,
+            root: 0,
+            shuffle_seed: None,
+        };
+        assert!(matches!(
+            spec.build(&ctx),
+            Err(ProtocolError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn invalid_tree_propagates() {
+        let ctx = BuildCtx { p: 8, logp: LogP::PAPER, seed: 0 };
+        let spec = BroadcastSpec::plain_tree(TreeKind::Kary {
+            k: 0,
+            order: Ordering::Interleaved,
+        });
+        match spec.build(&ctx) {
+            Err(ProtocolError::Tree(TreeError::ZeroArity)) => {}
+            Err(other) => panic!("wrong error: {other}"),
+            Ok(_) => panic!("build must fail"),
+        }
+    }
+}

@@ -1,0 +1,181 @@
+//! General rank relabeling: random process numbering (§2.1).
+//!
+//! Real failures are rarely independent — all processes of one node die
+//! together, and on a linear ring such a block is one big gap no tree
+//! interleaving can prevent. The paper's remedy: "independence can be
+//! achieved by numbering tree nodes in a random manner" (§2.1). This
+//! module implements that as a bijection between *virtual* ranks (the
+//! protocol's numbering, where all interleaving/gap guarantees live)
+//! and *physical* ranks (where correlated failures strike): scattering
+//! a physical block across the virtual ring turns one `m`-sized gap
+//! into `m` unit gaps.
+//!
+//! [`RotatedProcess`](super::rotate::RotatedProcess) is the special case
+//! of a cyclic relabeling (different root, correlations preserved).
+
+use std::sync::Arc;
+
+use ct_logp::{Rank, Time};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use super::{ColoredVia, Payload, Process, SendPoll};
+
+/// A virtual↔physical rank bijection shared by all `P` processes.
+#[derive(Clone, Debug)]
+pub struct Relabeling {
+    /// `to_physical[v]` = physical rank running virtual rank `v`.
+    to_physical: Arc<Vec<Rank>>,
+    /// `to_virtual[r]` = virtual rank run by physical rank `r`.
+    to_virtual: Arc<Vec<Rank>>,
+}
+
+impl Relabeling {
+    /// Build from an explicit virtual→physical table.
+    ///
+    /// # Panics
+    /// Panics if `to_physical` is not a permutation of `0..P`.
+    pub fn from_table(to_physical: Vec<Rank>) -> Relabeling {
+        let p = to_physical.len();
+        let mut to_virtual = vec![u32::MAX; p];
+        for (v, &phys) in to_physical.iter().enumerate() {
+            assert!((phys as usize) < p, "physical rank out of range");
+            assert_eq!(to_virtual[phys as usize], u32::MAX, "duplicate physical rank");
+            to_virtual[phys as usize] = v as Rank;
+        }
+        Relabeling {
+            to_physical: Arc::new(to_physical),
+            to_virtual: Arc::new(to_virtual),
+        }
+    }
+
+    /// Uniformly random numbering with the virtual root pinned to the
+    /// physical `root` (the initiator must keep its role).
+    pub fn random(p: u32, root: Rank, seed: u64) -> Relabeling {
+        assert!(root < p);
+        let mut table: Vec<Rank> = (0..p).collect();
+        let mut rng = StdRng::seed_from_u64(seed);
+        table.shuffle(&mut rng);
+        // Pin virtual 0 to the physical root by one swap.
+        let pos = table.iter().position(|&r| r == root).expect("root present");
+        table.swap(0, pos);
+        Relabeling::from_table(table)
+    }
+
+    /// Cyclic relabeling: virtual `v` ↔ physical `(v + root) mod P`.
+    pub fn rotation(p: u32, root: Rank) -> Relabeling {
+        assert!(root < p);
+        Relabeling::from_table((0..p).map(|v| (v + root) % p).collect())
+    }
+
+    /// Number of processes.
+    pub fn p(&self) -> u32 {
+        self.to_physical.len() as u32
+    }
+
+    /// Physical rank of virtual `v`.
+    #[inline]
+    pub fn physical(&self, v: Rank) -> Rank {
+        self.to_physical[v as usize]
+    }
+
+    /// Virtual rank of physical `r`.
+    #[inline]
+    pub fn virtual_of(&self, r: Rank) -> Rank {
+        self.to_virtual[r as usize]
+    }
+
+    /// Translate a physical fault mask into the virtual numbering (the
+    /// space where gaps are measured).
+    pub fn virtual_mask(&self, physical_mask: &[bool]) -> Vec<bool> {
+        assert_eq!(physical_mask.len(), self.to_physical.len());
+        (0..self.p())
+            .map(|v| physical_mask[self.physical(v) as usize])
+            .collect()
+    }
+}
+
+/// Wraps a virtual-rank protocol state machine for its physical host.
+pub struct RelabeledProcess {
+    inner: Box<dyn Process>,
+    map: Relabeling,
+}
+
+impl RelabeledProcess {
+    /// Wrap `inner` (the machine for some virtual rank) with the shared
+    /// relabeling.
+    pub fn new(inner: Box<dyn Process>, map: Relabeling) -> Self {
+        RelabeledProcess { inner, map }
+    }
+}
+
+impl Process for RelabeledProcess {
+    fn on_message(&mut self, from: Rank, payload: Payload, now: Time) {
+        self.inner.on_message(self.map.virtual_of(from), payload, now);
+    }
+
+    fn poll_send(&mut self, now: Time) -> SendPoll {
+        match self.inner.poll_send(now) {
+            SendPoll::Now { to, payload } => SendPoll::Now {
+                to: self.map.physical(to),
+                payload,
+            },
+            other => other,
+        }
+    }
+
+    fn colored_at(&self) -> Option<Time> {
+        self.inner.colored_at()
+    }
+
+    fn colored_via(&self) -> Option<ColoredVia> {
+        self.inner.colored_via()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_relabeling_is_a_root_pinned_bijection() {
+        for seed in 0..10u64 {
+            let map = Relabeling::random(64, 7, seed);
+            assert_eq!(map.physical(0), 7, "virtual root on physical 7");
+            assert_eq!(map.virtual_of(7), 0);
+            for v in 0..64 {
+                assert_eq!(map.virtual_of(map.physical(v)), v);
+            }
+        }
+    }
+
+    #[test]
+    fn rotation_matches_modular_arithmetic() {
+        let map = Relabeling::rotation(16, 5);
+        for v in 0..16u32 {
+            assert_eq!(map.physical(v), (v + 5) % 16);
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = Relabeling::random(256, 0, 1);
+        let b = Relabeling::random(256, 0, 2);
+        assert!((0..256).any(|v| a.physical(v) != b.physical(v)));
+    }
+
+    #[test]
+    fn virtual_mask_translates_failures() {
+        let map = Relabeling::from_table(vec![2, 0, 1]);
+        // Physical 1 dead → virtual rank with physical(v) == 1 is v=2.
+        let vm = map.virtual_mask(&[false, true, false]);
+        assert_eq!(vm, vec![false, false, true]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate")]
+    fn rejects_non_permutations() {
+        let _ = Relabeling::from_table(vec![0, 0, 2]);
+    }
+}

@@ -1,0 +1,109 @@
+//! Arbitrary broadcast roots via rank rotation.
+//!
+//! The paper fixes the root at rank 0 "without loss of generality" (§2)
+//! — this module supplies the generality: a broadcast rooted at `root`
+//! runs the rank-0 protocol on *virtual* ranks `v = (r - root) mod P`.
+//! Rotation is an automorphism of the correction ring (it preserves all
+//! ring distances), so every interleaving and gap property carries over
+//! verbatim; only the physical addressing changes.
+
+use ct_logp::{Rank, Time};
+
+use super::{ColoredVia, Payload, Process, SendPoll};
+
+/// Wraps a rank-0-rooted protocol state machine, translating between
+/// physical and virtual ranks at the driver boundary.
+pub struct RotatedProcess {
+    inner: Box<dyn Process>,
+    root: Rank,
+    p: u32,
+}
+
+impl RotatedProcess {
+    /// Wrap `inner` (built for the virtual rank of some physical rank)
+    /// for a broadcast rooted at physical `root`.
+    pub fn new(inner: Box<dyn Process>, root: Rank, p: u32) -> Self {
+        assert!(root < p);
+        RotatedProcess { inner, root, p }
+    }
+
+    /// Physical rank of virtual rank `v`.
+    #[inline]
+    pub fn to_physical(v: Rank, root: Rank, p: u32) -> Rank {
+        debug_assert!(v < p && root < p);
+        let x = v as u64 + root as u64;
+        (x % p as u64) as Rank
+    }
+
+    /// Virtual rank of physical rank `r`.
+    #[inline]
+    pub fn to_virtual(r: Rank, root: Rank, p: u32) -> Rank {
+        debug_assert!(r < p && root < p);
+        let x = r as u64 + p as u64 - root as u64;
+        (x % p as u64) as Rank
+    }
+}
+
+impl Process for RotatedProcess {
+    fn on_message(&mut self, from: Rank, payload: Payload, now: Time) {
+        self.inner
+            .on_message(Self::to_virtual(from, self.root, self.p), payload, now);
+    }
+
+    fn poll_send(&mut self, now: Time) -> SendPoll {
+        match self.inner.poll_send(now) {
+            SendPoll::Now { to, payload } => SendPoll::Now {
+                to: Self::to_physical(to, self.root, self.p),
+                payload,
+            },
+            other => other,
+        }
+    }
+
+    fn colored_at(&self) -> Option<Time> {
+        self.inner.colored_at()
+    }
+
+    fn colored_via(&self) -> Option<ColoredVia> {
+        self.inner.colored_via()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rank_translation_roundtrip() {
+        for p in [1u32, 2, 7, 64] {
+            for root in 0..p {
+                for r in 0..p {
+                    let v = RotatedProcess::to_virtual(r, root, p);
+                    assert!(v < p);
+                    assert_eq!(RotatedProcess::to_physical(v, root, p), r);
+                }
+                // The root maps to virtual rank 0.
+                assert_eq!(RotatedProcess::to_virtual(root, root, p), 0);
+                assert_eq!(RotatedProcess::to_physical(0, root, p), root);
+            }
+        }
+    }
+
+    #[test]
+    fn rotation_preserves_ring_distances() {
+        let p = 32u32;
+        let root = 13u32;
+        for a in 0..p {
+            for b in 0..p {
+                let (va, vb) = (
+                    RotatedProcess::to_virtual(a, root, p),
+                    RotatedProcess::to_virtual(b, root, p),
+                );
+                assert_eq!(
+                    ct_logp::ring_gap_cw(a, b, p),
+                    ct_logp::ring_gap_cw(va, vb, p)
+                );
+            }
+        }
+    }
+}

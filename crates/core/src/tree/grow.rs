@@ -1,0 +1,200 @@
+//! The generic growth process behind binomial, Lamé and optimal trees.
+//!
+//! §3.2.2 builds interleaved trees iteratively: "starting from iteration
+//! `t = 0` with one process that is ready to send, each process ready to
+//! send gets assigned a child. Processes created at an iteration `t`
+//! become ready to send at iteration `t + k`", and new children "get
+//! ranks assigned in succession", lower-ranked parents first.
+//!
+//! Abstracting the two delays gives every recurrence tree in the paper
+//! from one builder:
+//!
+//! | tree | send interval `a` | ready delay `b` | ready-count recurrence |
+//! |---|---|---|---|
+//! | binomial | 1 | 1 | `R(t) = 2·R(t-1)` |
+//! | Lamé order k | 1 | k | `R(t) = R(t-1) + R(t-k)` |
+//! | optimal (§3.2.3) | `o` | `2o + L` | `R(t) = R(t-o) + R(t-2o-L)` |
+//!
+//! A ready process emits a child every `a` steps; a child created by a
+//! send starting at `t` is itself ready at `t + b`. Children are
+//! assigned ranks in `(time, parent rank)` order, which is exactly what
+//! makes the numbering interleaved (Lemma 1). For the optimal tree this
+//! greedy construction also makes all processes stop sending at roughly
+//! the same time, the latency-optimal communication graph of Karp et al.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use ct_logp::{LogP, Rank};
+
+use super::shape::Shape;
+
+/// Parameters of the growth process.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Growth {
+    /// Steps between two consecutive sends of one process (`a ≥ 1`).
+    pub send_interval: u64,
+    /// Steps from the start of the send that creates a process until
+    /// that process is ready to send itself (`b ≥ 1`).
+    pub ready_delay: u64,
+}
+
+impl Growth {
+    /// Binomial tree: `T_t = T_{t-1} • T_{t-1}`.
+    pub fn binomial() -> Growth {
+        Growth { send_interval: 1, ready_delay: 1 }
+    }
+
+    /// Lamé tree of order `k ≥ 1`: `T_t = T_{t-1} • T_{t-k}`.
+    pub fn lame(k: u32) -> Growth {
+        assert!(k >= 1, "Lamé order must be ≥ 1");
+        Growth { send_interval: 1, ready_delay: k as u64 }
+    }
+
+    /// Latency-optimal tree for the given LogP parameters:
+    /// `T_t = T_{t-o} • T_{t-2o-L}`.
+    pub fn optimal(logp: &LogP) -> Growth {
+        Growth {
+            send_interval: logp.o(),
+            ready_delay: logp.transit_steps(),
+        }
+    }
+}
+
+/// Run the growth process until `p` processes exist and return the
+/// resulting interleaved shape.
+pub(crate) fn grow(p: u32, rule: Growth) -> Shape {
+    assert!(p >= 1);
+    assert!(rule.send_interval >= 1 && rule.ready_delay >= 1);
+    let mut shape = Shape::with_capacity(p);
+    if p == 1 {
+        return shape;
+    }
+    // Min-heap of (next send start time, rank). Popping in (time, rank)
+    // order realizes "children of the processes with lower ranks are
+    // considered to be created first" (§3.2.2).
+    let mut ready: BinaryHeap<Reverse<(u64, Rank)>> = BinaryHeap::new();
+    ready.push(Reverse((0, 0)));
+    while shape.len() < p {
+        let Reverse((t, sender)) = ready.pop().expect("at least the root is ready");
+        let child = shape.attach(sender);
+        ready.push(Reverse((t + rule.send_interval, sender)));
+        ready.push(Reverse((t + rule.ready_delay, child)));
+    }
+    shape
+}
+
+/// Per-rank creation times of the growth process — the dissemination
+/// timeline of Figure 5 when the LogP parameters match the rule. Entry 0
+/// (the root) is 0; entry `r` is the start time of the send that created
+/// rank `r`, plus `ready_delay` (i.e. the time `r` finished receiving).
+pub fn creation_times(p: u32, rule: Growth) -> Vec<u64> {
+    assert!(p >= 1);
+    let mut times = Vec::with_capacity(p as usize);
+    times.push(0u64);
+    let mut ready: BinaryHeap<Reverse<(u64, Rank)>> = BinaryHeap::new();
+    ready.push(Reverse((0, 0)));
+    let mut created: Rank = 1;
+    while created < p {
+        let Reverse((t, sender)) = ready.pop().expect("nonempty");
+        times.push(t + rule.ready_delay);
+        ready.push(Reverse((t + rule.send_interval, sender)));
+        ready.push(Reverse((t + rule.ready_delay, created)));
+        created += 1;
+    }
+    times
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::{Ordering, Topology, TreeKind};
+
+    fn children_of(shape_p: u32, rule: Growth, r: Rank) -> Vec<Rank> {
+        let tree = grow(shape_p, rule).into_tree(TreeKind::Binomial {
+            order: Ordering::Interleaved,
+        });
+        tree.children(r).to_vec()
+    }
+
+    #[test]
+    fn binomial_children_are_rank_plus_powers_of_two() {
+        // Classic interleaved binomial: children of r are r + 2^i for
+        // 2^i > r (§3.2.2 simplification).
+        let p = 64;
+        let tree = grow(p, Growth::binomial()).into_tree(TreeKind::BINOMIAL);
+        for r in 0..p {
+            let expected: Vec<Rank> = (0..32)
+                .map(|i| 1u64 << i)
+                .filter(|&pow| pow > r as u64 && (r as u64 + pow) < p as u64)
+                .map(|pow| r + pow as Rank)
+                .collect();
+            assert_eq!(tree.children(r), expected.as_slice(), "children of {r}");
+        }
+    }
+
+    #[test]
+    fn lame1_equals_binomial() {
+        for p in [2u32, 3, 9, 33, 100] {
+            let a = grow(p, Growth::lame(1)).into_tree(TreeKind::BINOMIAL);
+            let b = grow(p, Growth::binomial()).into_tree(TreeKind::BINOMIAL);
+            assert_eq!(a, b, "P={p}");
+        }
+    }
+
+    #[test]
+    fn figure5_lame3_tree() {
+        // Figure 5(b): Lamé tree with k = 3, P = 9.
+        // Derived from Equation (2): 0 → {1,2,3,4,6}, 1 → {5,7}, 2 → {8}.
+        let rule = Growth::lame(3);
+        assert_eq!(children_of(9, rule, 0), vec![1, 2, 3, 4, 6]);
+        assert_eq!(children_of(9, rule, 1), vec![5, 7]);
+        assert_eq!(children_of(9, rule, 2), vec![8]);
+        for r in [3u32, 4, 5, 6, 7, 8] {
+            assert_eq!(children_of(9, rule, r), Vec::<Rank>::new());
+        }
+    }
+
+    #[test]
+    fn figure5_timeline() {
+        // With L = o = 1 the Lamé k=3 construction is the real timeline:
+        // process 1 is ready (finished receiving) at step 3, process 2 at
+        // step 4, ... (Figure 5a).
+        let times = creation_times(9, Growth::lame(3));
+        assert_eq!(times, vec![0, 3, 4, 5, 6, 6, 7, 7, 7]);
+    }
+
+    #[test]
+    fn optimal_tree_has_wider_root_and_lower_height_than_binomial() {
+        let logp = LogP::PAPER; // L=2, o=1 → ready delay 4
+        let p = 1 << 12;
+        let opt = grow(p, Growth::optimal(&logp)).into_tree(TreeKind::OPTIMAL);
+        let bin = grow(p, Growth::binomial()).into_tree(TreeKind::BINOMIAL);
+        // The optimal tree keeps every colored process sending until the
+        // end: the root has far more children and subtree hops are fewer.
+        assert!(opt.children(0).len() > bin.children(0).len());
+        assert!(opt.height() < bin.height());
+    }
+
+    #[test]
+    fn growth_respects_ready_delay() {
+        // With a huge ready delay only the root ever sends → a star.
+        let star = grow(
+            17,
+            Growth { send_interval: 1, ready_delay: 1_000_000 },
+        )
+        .into_tree(TreeKind::BINOMIAL);
+        assert_eq!(star.children(0).len(), 16);
+        assert_eq!(star.height(), 1);
+    }
+
+    #[test]
+    fn creation_times_are_monotone() {
+        for rule in [Growth::binomial(), Growth::lame(2), Growth::lame(5)] {
+            let times = creation_times(200, rule);
+            for w in times.windows(2) {
+                assert!(w[0] <= w[1], "rank creation times must be non-decreasing");
+            }
+        }
+    }
+}

@@ -1,0 +1,209 @@
+//! Definition 1: the interleaving property.
+//!
+//! > A tree `T_f` is interleaved iff for any of its subtrees `T_s` and a
+//! > ring `R_s` comprising the nodes of `T_s`, any adjacent pair of
+//! > distinct nodes in `R_s` either descend from each other or their
+//! > only common ancestor is `root(T_s)`.
+//!
+//! The ring `R_s` orders the subtree's nodes by rank (preserving their
+//! relative order on the full ring `R_f`) and additionally connects the
+//! first and last node.
+//!
+//! This module is the executable form of the definition: `O(n·h²)` and
+//! meant for validation and property testing (Lemma 1), not for the hot
+//! path — the builders guarantee interleaving by construction.
+
+use ct_logp::Rank;
+
+use super::Topology;
+
+/// A witness that a tree is *not* interleaved: an adjacent pair on the
+/// ring of `subtree_root`'s subtree that neither descends from one
+/// another nor meets only at the subtree root.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Violation {
+    /// Root of the violating subtree `T_s`.
+    pub subtree_root: Rank,
+    /// The offending adjacent pair on `R_s`.
+    pub pair: (Rank, Rank),
+    /// The pair's lowest common ancestor (≠ `subtree_root`).
+    pub lca: Rank,
+}
+
+/// Lowest common ancestor by depth-walking.
+pub fn lca<T: Topology + ?Sized>(tree: &T, mut a: Rank, mut b: Rank) -> Rank {
+    while tree.depth(a) > tree.depth(b) {
+        a = tree.parent(a).expect("non-root has a parent");
+    }
+    while tree.depth(b) > tree.depth(a) {
+        b = tree.parent(b).expect("non-root has a parent");
+    }
+    while a != b {
+        a = tree.parent(a).expect("walk terminates at the root");
+        b = tree.parent(b).expect("walk terminates at the root");
+    }
+    a
+}
+
+/// `true` iff `anc` is an ancestor of `x` (or equal to it).
+pub fn is_ancestor<T: Topology + ?Sized>(tree: &T, anc: Rank, mut x: Rank) -> bool {
+    loop {
+        if x == anc {
+            return true;
+        }
+        match tree.parent(x) {
+            Some(p) => x = p,
+            None => return false,
+        }
+    }
+}
+
+/// Collect the ranks of the subtree rooted at `s`, ascending (= their
+/// relative order on the ring).
+fn subtree_sorted<T: Topology + ?Sized>(tree: &T, s: Rank) -> Vec<Rank> {
+    let mut nodes = Vec::new();
+    let mut stack = vec![s];
+    while let Some(x) = stack.pop() {
+        nodes.push(x);
+        stack.extend_from_slice(tree.children(x));
+    }
+    nodes.sort_unstable();
+    nodes
+}
+
+/// Check Definition 1 exhaustively over all subtrees; returns the first
+/// violation found, or `None` if the tree is interleaved.
+pub fn find_violation<T: Topology + ?Sized>(tree: &T) -> Option<Violation> {
+    let p = tree.num_processes();
+    for s in 0..p {
+        let nodes = subtree_sorted(tree, s);
+        let n = nodes.len();
+        if n < 2 {
+            continue;
+        }
+        for idx in 0..n {
+            let u = nodes[idx];
+            let v = nodes[(idx + 1) % n];
+            if u == v {
+                continue;
+            }
+            if is_ancestor(tree, u, v) || is_ancestor(tree, v, u) {
+                continue;
+            }
+            let l = lca(tree, u, v);
+            if l != s {
+                return Some(Violation { subtree_root: s, pair: (u, v), lca: l });
+            }
+        }
+    }
+    None
+}
+
+/// Convenience wrapper: `true` iff the tree satisfies Definition 1.
+pub fn is_interleaved<T: Topology + ?Sized>(tree: &T) -> bool {
+    find_violation(tree).is_none()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::{Ordering, TreeKind};
+    use ct_logp::LogP;
+
+    #[test]
+    fn paper_example_subtree_of_binomial() {
+        // §3.2 example: in the interleaved binomial tree of Figure 4
+        // (right), the subtree rooted at node 1 has ring pairs
+        // (1,3),(3,5),(5,7),(7,1) — all fine — and the full tree is
+        // interleaved.
+        let t = TreeKind::BINOMIAL.build(8, &LogP::PAPER).unwrap();
+        assert!(is_interleaved(&t));
+    }
+
+    #[test]
+    fn interleaved_builders_satisfy_definition1() {
+        let logp = LogP::PAPER;
+        let kinds = [
+            TreeKind::Kary { k: 2, order: Ordering::Interleaved },
+            TreeKind::Kary { k: 3, order: Ordering::Interleaved },
+            TreeKind::FOUR_ARY,
+            TreeKind::BINOMIAL,
+            TreeKind::LAME2,
+            TreeKind::Lame { k: 3, order: Ordering::Interleaved },
+            TreeKind::OPTIMAL,
+        ];
+        for kind in kinds {
+            for p in [1u32, 2, 5, 16, 17, 63, 64, 65, 100] {
+                let t = kind.build(p, &logp).unwrap();
+                assert!(
+                    is_interleaved(&t),
+                    "{kind} with P={p}: {:?}",
+                    find_violation(&t)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn in_order_trees_violate_definition1() {
+        let logp = LogP::PAPER;
+        // Figure 3 (left): nodes 2 and 3 are ring-adjacent, both children
+        // of node 1 ≠ root.
+        let t = TreeKind::Kary { k: 2, order: Ordering::InOrder }
+            .build(7, &logp)
+            .unwrap();
+        let v = find_violation(&t).expect("in-order binary tree is not interleaved");
+        assert_ne!(v.lca, v.subtree_root);
+
+        let t = TreeKind::Binomial { order: Ordering::InOrder }
+            .build(16, &logp)
+            .unwrap();
+        assert!(!is_interleaved(&t));
+    }
+
+    #[test]
+    fn chain_is_trivially_interleaved() {
+        // k = 1: every adjacent pair descends from each other.
+        let t = TreeKind::Kary { k: 1, order: Ordering::InOrder }
+            .build(9, &LogP::PAPER)
+            .unwrap();
+        assert!(is_interleaved(&t));
+    }
+
+    #[test]
+    fn optimal_tree_interleaving_boundary() {
+        // The greedy optimal tree assigns ranks in creation order. When
+        // o | L every event time is a multiple of o, all ready
+        // processes send "together" (the construction is a rescaled
+        // Lamé tree of order (2o+L)/o) and Lemma 1 applies. When o ∤ L
+        // sender phases stagger, consecutive ranks can land in the same
+        // non-root subtree, and Definition 1 genuinely fails — the
+        // paper's evaluation (o = 1) never hits this regime. Minimal
+        // counterexample found by property testing: L=1, o=2, P=15,
+        // ring-adjacent pair (13, 14) with LCA 1.
+        let bad = LogP::new(1, 2, 1).unwrap();
+        let t = TreeKind::OPTIMAL.build(15, &bad).unwrap();
+        let v = find_violation(&t).expect("o ∤ L staggers creation phases");
+        assert_ne!(v.lca, v.subtree_root);
+
+        // Same o with a divisible latency is fine.
+        let good = LogP::new(2, 2, 1).unwrap();
+        let t = TreeKind::OPTIMAL.build(15, &good).unwrap();
+        assert!(is_interleaved(&t));
+    }
+
+    #[test]
+    fn lca_and_ancestor_basics() {
+        let t = TreeKind::BINOMIAL.build(8, &LogP::PAPER).unwrap();
+        // Interleaved binomial on 8: 0→{1,2,4}, 1→{3,5}, 2→{6}, 3→{7}.
+        assert_eq!(lca(&t, 3, 5), 1);
+        assert_eq!(lca(&t, 7, 5), 1);
+        assert_eq!(lca(&t, 6, 4), 0);
+        assert_eq!(lca(&t, 3, 3), 3);
+        assert!(is_ancestor(&t, 0, 7));
+        assert!(is_ancestor(&t, 1, 7));
+        assert!(is_ancestor(&t, 3, 7));
+        assert!(!is_ancestor(&t, 2, 7));
+        assert!(is_ancestor(&t, 4, 4));
+    }
+}

@@ -1,0 +1,179 @@
+//! k-ary trees (§3.2.1).
+//!
+//! A full k-ary tree has `k^ℓ` processes at level `ℓ`. The interleaved
+//! numbering gives process `r` at level `ℓ` the children
+//!
+//! ```text
+//! { r' | r' = r + i·k^ℓ,  0 < i ≤ k,  r' < P }
+//! ```
+//!
+//! so that a failing process at level `ℓ` leaves every `k^ℓ`-th process
+//! uncolored — many gaps of size 1 instead of one subtree-sized gap.
+//! With fewer than `k` failures at least every `k`-th process is colored
+//! after dissemination, which is why opportunistic correction with
+//! `d ≥ k` tolerates at least `k - 1` failures (§4.2).
+
+use ct_logp::Rank;
+
+use super::shape::Shape;
+
+/// First rank of level `ℓ` in the interleaved numbering:
+/// `S(ℓ) = (k^ℓ - 1)/(k - 1)` for `k > 1`, `S(ℓ) = ℓ` for `k = 1`.
+/// Saturates at `u64::MAX` to stay safe for deep levels.
+fn level_start(k: u32, level: u32) -> u64 {
+    if k == 1 {
+        return level as u64;
+    }
+    let mut total: u64 = 0;
+    let mut width: u64 = 1;
+    for _ in 0..level {
+        total = total.saturating_add(width);
+        width = width.saturating_mul(k as u64);
+        if total == u64::MAX {
+            break;
+        }
+    }
+    total
+}
+
+/// Level of rank `r` in the interleaved numbering.
+pub fn level_of(r: Rank, k: u32) -> u32 {
+    assert!(k >= 1);
+    let mut level = 0;
+    while level_start(k, level + 1) <= r as u64 {
+        level += 1;
+    }
+    level
+}
+
+/// Children of `r` in a k-ary interleaved tree with `p` processes, in
+/// send order (`i = 1, …, k`).
+pub fn children_interleaved(r: Rank, k: u32, p: u32) -> Vec<Rank> {
+    assert!(k >= 1 && r < p);
+    let level = level_of(r, k);
+    let stride = (k as u64).saturating_pow(level);
+    (1..=k as u64)
+        .map(|i| r as u64 + i.saturating_mul(stride))
+        .take_while(|&c| c < p as u64)
+        .map(|c| c as Rank)
+        .collect()
+}
+
+/// Parent of `r > 0` in the interleaved numbering.
+pub fn parent_interleaved(r: Rank, k: u32) -> Rank {
+    assert!(r > 0 && k >= 1);
+    let level = level_of(r, k);
+    debug_assert!(level >= 1);
+    let start = level_start(k, level);
+    let prev_start = level_start(k, level - 1);
+    let x = r as u64 - start;
+    let stride = (k as u64).saturating_pow(level - 1);
+    (prev_start + x % stride) as Rank
+}
+
+/// Build the interleaved k-ary shape for `p` processes.
+pub(crate) fn kary_interleaved(p: u32, k: u32) -> Shape {
+    assert!(p >= 1 && k >= 1);
+    let mut shape = Shape::with_capacity(p);
+    // Ranks are attached in increasing order; `attach` requires the
+    // parent to exist, which holds because parents have smaller ranks.
+    // We must attach rank r to parent_interleaved(r) in increasing r, but
+    // `Shape::attach` appends children in call order — for a parent at
+    // level ℓ its children r + i·k^ℓ increase with i, and increasing
+    // child rank visits parents cyclically; attaching ranks in ascending
+    // order therefore appends each parent's children in ascending i. ✓
+    for r in 1..p {
+        let parent = parent_interleaved(r, k);
+        let attached = shape.attach(parent);
+        debug_assert_eq!(attached, r);
+    }
+    shape
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::{Ordering, Topology, TreeKind};
+    use ct_logp::LogP;
+
+    #[test]
+    fn level_boundaries_binary() {
+        // k=2: levels start at 0, 1, 3, 7, 15, …
+        assert_eq!(level_start(2, 0), 0);
+        assert_eq!(level_start(2, 1), 1);
+        assert_eq!(level_start(2, 2), 3);
+        assert_eq!(level_start(2, 3), 7);
+        assert_eq!(level_of(0, 2), 0);
+        assert_eq!(level_of(1, 2), 1);
+        assert_eq!(level_of(2, 2), 1);
+        assert_eq!(level_of(3, 2), 2);
+        assert_eq!(level_of(6, 2), 2);
+        assert_eq!(level_of(7, 2), 3);
+    }
+
+    #[test]
+    fn figure3_right_binary_tree() {
+        // Figure 3 (right), k = 2, P = 7: 0→{1,2}, 1→{3,5}, 2→{4,6}.
+        assert_eq!(children_interleaved(0, 2, 7), vec![1, 2]);
+        assert_eq!(children_interleaved(1, 2, 7), vec![3, 5]);
+        assert_eq!(children_interleaved(2, 2, 7), vec![4, 6]);
+        for leaf in 3..7 {
+            assert!(children_interleaved(leaf, 2, 7).is_empty());
+        }
+        assert_eq!(parent_interleaved(4, 2), 2);
+        assert_eq!(parent_interleaved(3, 2), 1);
+        assert_eq!(parent_interleaved(5, 2), 1);
+        assert_eq!(parent_interleaved(6, 2), 2);
+    }
+
+    #[test]
+    fn parent_child_are_inverse() {
+        for k in [1u32, 2, 3, 4, 7] {
+            let p = 200;
+            for r in 0..p {
+                for c in children_interleaved(r, k, p) {
+                    assert_eq!(parent_interleaved(c, k), r, "k={k} r={r} c={c}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unary_tree_is_a_chain() {
+        let shape = kary_interleaved(5, 1);
+        let t = shape.into_tree(TreeKind::Kary { k: 1, order: Ordering::Interleaved });
+        for r in 0..4 {
+            assert_eq!(t.children(r), &[r + 1]);
+        }
+        assert_eq!(t.height(), 4);
+    }
+
+    #[test]
+    fn failure_at_level_l_leaves_stride_gaps() {
+        // §3.2.1: a failing process on level ℓ leads to every k^ℓ-th
+        // process being uncolored. Check for k=3, a level-1 failure.
+        let k = 3;
+        let p = 40;
+        let t = TreeKind::Kary { k, order: Ordering::Interleaved }
+            .build(p, &LogP::PAPER)
+            .unwrap();
+        let failed: Rank = 2; // level 1
+        let mut uncolored: Vec<Rank> = t.subtree(failed);
+        uncolored.sort_unstable();
+        // All descendants are ≡ failed (mod k^1) spaced by powers of 3.
+        for w in uncolored.windows(2) {
+            assert!((w[1] - w[0]) % k == 0, "stride must be multiple of k^1");
+        }
+    }
+
+    #[test]
+    fn send_order_is_ascending_child_rank() {
+        let t = TreeKind::FOUR_ARY.build(100, &LogP::PAPER).unwrap();
+        for r in 0..100 {
+            let kids = t.children(r);
+            for w in kids.windows(2) {
+                assert!(w[0] < w[1]);
+            }
+        }
+    }
+}

@@ -1,0 +1,544 @@
+//! Dissemination-tree topologies and their ring structure.
+//!
+//! A topology assigns every process `0 ≤ r < P` a parent and an ordered
+//! list of children; the broadcast payload flows root → leaves along
+//! those edges (§2). The *numbering* of tree positions determines how
+//! failures translate into gaps on the correction ring (§3.2):
+//!
+//! * [`Ordering::InOrder`] numbers processes by depth-first traversal, so
+//!   a failed subtree is a *contiguous* run of unreached ranks — one big
+//!   gap (Figure 1a, top).
+//! * [`Ordering::Interleaved`] spreads every subtree across the ring
+//!   (Definition 1), so the same failure leaves many size-1 gaps
+//!   (Figure 1a, bottom).
+//!
+//! Four shapes are provided, all constructed by [`TreeKind::build`]:
+//! k-ary (§3.2.1), binomial and Lamé (§3.2.2) and the latency-optimal
+//! tree (§3.2.3). Binomial, Lamé and optimal all come from one generic
+//! *growth* process ([`grow`]) parameterized by how often a process can
+//! send and how long a new process needs before it can start sending.
+
+pub mod grow;
+pub mod interleaving;
+pub mod kary;
+pub mod recurrence;
+pub mod ring;
+pub mod schedule;
+pub(crate) mod shape;
+pub mod stats;
+
+use core::fmt;
+
+use ct_logp::{LogP, Rank, Time};
+use serde::{Deserialize, Serialize};
+
+/// How tree positions are numbered (§3.2, Figure 3).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum Ordering {
+    /// Depth-first numbering: subtrees occupy contiguous rank ranges.
+    InOrder,
+    /// Interleaved numbering per Definition 1: subtrees spread over the
+    /// ring, minimizing the maximum gap under failures.
+    Interleaved,
+}
+
+impl fmt::Display for Ordering {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Ordering::InOrder => write!(f, "in-order"),
+            Ordering::Interleaved => write!(f, "interleaved"),
+        }
+    }
+}
+
+/// The tree shapes evaluated in the paper.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum TreeKind {
+    /// Full k-ary tree (§3.2.1): every inner process has `k` children.
+    Kary {
+        /// Fan-out; must be ≥ 1.
+        k: u32,
+        /// Numbering scheme.
+        order: Ordering,
+    },
+    /// Binomial tree (§3.2.2): `T_t = T_{t-1} • T_{t-1}`, the classic
+    /// small-message broadcast tree (equals [`TreeKind::Lame`] with
+    /// `k = 1`).
+    Binomial {
+        /// Numbering scheme.
+        order: Ordering,
+    },
+    /// Lamé tree of order `k` (§3.2.2): `T_t = T_{t-1} • T_{t-k}`.
+    /// Latency-optimal when `2o + L = k`.
+    Lame {
+        /// Recurrence order; must be ≥ 1. The paper's evaluation uses
+        /// `k = 2` (between binomial and optimal for `L=2, o=1`).
+        k: u32,
+        /// Numbering scheme.
+        order: Ordering,
+    },
+    /// Latency-optimal tree (§3.2.3): `T_t = T_{t-o} • T_{t-2o-L}`,
+    /// built so that all processes stop sending at about the same time.
+    /// The shape depends on the LogP parameters passed to
+    /// [`TreeKind::build`].
+    Optimal {
+        /// Numbering scheme.
+        order: Ordering,
+    },
+}
+
+impl TreeKind {
+    /// Interleaved binomial tree, the paper's default workhorse.
+    pub const BINOMIAL: TreeKind = TreeKind::Binomial {
+        order: Ordering::Interleaved,
+    };
+    /// Interleaved 4-ary tree as used in Figures 6, 8, 9.
+    pub const FOUR_ARY: TreeKind = TreeKind::Kary {
+        k: 4,
+        order: Ordering::Interleaved,
+    };
+    /// Interleaved order-2 Lamé tree as used in the evaluation (§4).
+    pub const LAME2: TreeKind = TreeKind::Lame {
+        k: 2,
+        order: Ordering::Interleaved,
+    };
+    /// Interleaved optimal tree.
+    pub const OPTIMAL: TreeKind = TreeKind::Optimal {
+        order: Ordering::Interleaved,
+    };
+
+    /// Build the topology for `p` processes under LogP parameters
+    /// `logp` (only [`TreeKind::Optimal`] consults them).
+    ///
+    /// ```
+    /// use ct_core::tree::{interleaving, Topology, TreeKind};
+    /// use ct_logp::LogP;
+    ///
+    /// let tree = TreeKind::BINOMIAL.build(8, &LogP::PAPER)?;
+    /// assert_eq!(tree.children(0), &[1, 2, 4]); // r + 2^i for 2^i > r
+    /// assert!(interleaving::is_interleaved(&tree)); // Definition 1
+    /// # Ok::<(), ct_core::tree::TreeError>(())
+    /// ```
+    ///
+    /// # Errors
+    /// Returns [`TreeError`] for `p == 0` or a degenerate shape
+    /// parameter (`k == 0`).
+    pub fn build(self, p: u32, logp: &LogP) -> Result<Tree, TreeError> {
+        if p == 0 {
+            return Err(TreeError::NoProcesses);
+        }
+        let (shape, order) = match self {
+            TreeKind::Kary { k, order } => {
+                if k == 0 {
+                    return Err(TreeError::ZeroArity);
+                }
+                (kary::kary_interleaved(p, k), order)
+            }
+            TreeKind::Binomial { order } => (grow::grow(p, grow::Growth::binomial()), order),
+            TreeKind::Lame { k, order } => {
+                if k == 0 {
+                    return Err(TreeError::ZeroArity);
+                }
+                (grow::grow(p, grow::Growth::lame(k)), order)
+            }
+            TreeKind::Optimal { order } => (grow::grow(p, grow::Growth::optimal(logp)), order),
+        };
+        let tree = match order {
+            Ordering::Interleaved => shape.into_tree(self),
+            Ordering::InOrder => shape.renumber_dfs().into_tree(self),
+        };
+        Ok(tree)
+    }
+
+    /// Human-readable identifier used in experiment CSV headers.
+    pub fn label(&self) -> String {
+        self.to_string()
+    }
+}
+
+impl fmt::Display for TreeKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TreeKind::Kary { k, order } => write!(f, "{k}-ary/{order}"),
+            TreeKind::Binomial { order } => write!(f, "binomial/{order}"),
+            TreeKind::Lame { k, order } => write!(f, "lame{k}/{order}"),
+            TreeKind::Optimal { order } => write!(f, "optimal/{order}"),
+        }
+    }
+}
+
+/// Errors from topology construction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TreeError {
+    /// `p == 0`: a broadcast needs at least the root.
+    NoProcesses,
+    /// A fan-out / recurrence order of zero was requested.
+    ZeroArity,
+    /// A custom parent array names a rank outside `0..P`.
+    ParentOutOfRange {
+        /// The child whose parent is invalid.
+        child: Rank,
+    },
+    /// A custom parent array does not root rank 0 at itself.
+    BadRoot,
+    /// A custom parent array contains a cycle / disconnected component.
+    NotATree {
+        /// A rank not reachable from the root.
+        unreachable: Rank,
+    },
+}
+
+impl fmt::Display for TreeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TreeError::NoProcesses => write!(f, "a tree needs at least one process"),
+            TreeError::ZeroArity => write!(f, "tree arity / recurrence order must be ≥ 1"),
+            TreeError::ParentOutOfRange { child } => {
+                write!(f, "rank {child} has an out-of-range parent")
+            }
+            TreeError::BadRoot => write!(f, "rank 0 must be its own parent (the root)"),
+            TreeError::NotATree { unreachable } => {
+                write!(f, "rank {unreachable} is not reachable from the root")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TreeError {}
+
+/// Read-only view of a dissemination topology.
+///
+/// Implemented by [`Tree`]; protocols are generic over this so custom
+/// topologies (e.g. topology-aware renumberings, §6) plug in unchanged.
+pub trait Topology {
+    /// Number of processes.
+    fn num_processes(&self) -> u32;
+
+    /// Children of `r` in **send order** (the parent transmits to
+    /// `children(r)[0]` first; order matters for latency).
+    fn children(&self, r: Rank) -> &[Rank];
+
+    /// Parent of `r`, or `None` for the root (rank 0).
+    fn parent(&self, r: Rank) -> Option<Rank>;
+
+    /// Depth of `r` (root = 0).
+    fn depth(&self, r: Rank) -> u32;
+}
+
+/// A concrete, fully materialized topology in CSR (compressed sparse
+/// row) layout: cache-friendly and compact even at `P = 2¹⁹`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Tree {
+    p: u32,
+    /// `parent[r]`; `parent[0] == 0` by convention.
+    parent: Vec<Rank>,
+    /// CSR offsets into `child_targets`, length `p + 1`.
+    child_offsets: Vec<u32>,
+    /// Concatenated child lists in send order.
+    child_targets: Vec<Rank>,
+    depth: Vec<u32>,
+    kind: Option<TreeKind>,
+}
+
+impl Tree {
+    /// Construct from a parent array and per-rank ordered child lists.
+    /// Used by the builders; validates structural sanity in debug builds.
+    pub(crate) fn from_links(
+        parent: Vec<Rank>,
+        children: &[Vec<Rank>],
+        kind: Option<TreeKind>,
+    ) -> Tree {
+        let p = parent.len() as u32;
+        debug_assert_eq!(children.len(), parent.len());
+        let mut child_offsets = Vec::with_capacity(parent.len() + 1);
+        let mut child_targets = Vec::with_capacity(parent.len().saturating_sub(1));
+        child_offsets.push(0u32);
+        for kids in children {
+            child_targets.extend_from_slice(kids);
+            child_offsets.push(child_targets.len() as u32);
+        }
+        debug_assert_eq!(child_targets.len() as u32, p.saturating_sub(1));
+
+        // Depths via one pass: parents are created before children in all
+        // builders only for interleaved numbering, so do an explicit BFS.
+        let mut depth = vec![u32::MAX; parent.len()];
+        depth[0] = 0;
+        let mut queue = std::collections::VecDeque::with_capacity(64);
+        queue.push_back(0 as Rank);
+        while let Some(r) = queue.pop_front() {
+            let (lo, hi) = (child_offsets[r as usize], child_offsets[r as usize + 1]);
+            for &c in &child_targets[lo as usize..hi as usize] {
+                depth[c as usize] = depth[r as usize] + 1;
+                queue.push_back(c);
+            }
+        }
+        debug_assert!(depth.iter().all(|&d| d != u32::MAX), "tree is connected");
+
+        Tree {
+            p,
+            parent,
+            child_offsets,
+            child_targets,
+            depth,
+            kind,
+        }
+    }
+
+    /// Build a custom topology from a parent array (`parent[0]` must be
+    /// `0`; children are ordered by ascending rank = send order). This
+    /// is the extension point §6 gestures at — topology-aware trees
+    /// "tuned to the topology of the underlying network" plug into
+    /// every protocol, driver and experiment unchanged.
+    ///
+    /// # Errors
+    /// Rejects empty, mis-rooted, cyclic or disconnected inputs.
+    pub fn from_parents(parent: Vec<Rank>) -> Result<Tree, TreeError> {
+        if parent.is_empty() {
+            return Err(TreeError::NoProcesses);
+        }
+        let p = parent.len() as u32;
+        if parent[0] != 0 {
+            return Err(TreeError::BadRoot);
+        }
+        let mut children: Vec<Vec<Rank>> = vec![Vec::new(); p as usize];
+        for (child, &par) in parent.iter().enumerate().skip(1) {
+            if par >= p {
+                return Err(TreeError::ParentOutOfRange { child: child as Rank });
+            }
+            children[par as usize].push(child as Rank);
+        }
+        // Reachability from the root detects cycles and disconnection.
+        let mut reached = vec![false; p as usize];
+        reached[0] = true;
+        let mut stack: Vec<Rank> = vec![0];
+        while let Some(r) = stack.pop() {
+            for &c in &children[r as usize] {
+                if !reached[c as usize] {
+                    reached[c as usize] = true;
+                    stack.push(c);
+                }
+            }
+        }
+        if let Some(unreachable) = reached.iter().position(|&b| !b) {
+            return Err(TreeError::NotATree { unreachable: unreachable as Rank });
+        }
+        Ok(Tree::from_links(parent, &children, None))
+    }
+
+    /// The [`TreeKind`] this topology was built as, or `None` for a
+    /// custom topology ([`Tree::from_parents`]).
+    pub fn kind(&self) -> Option<TreeKind> {
+        self.kind
+    }
+
+    /// Total number of parent→child edges (`P - 1`).
+    pub fn num_edges(&self) -> u32 {
+        self.child_targets.len() as u32
+    }
+
+    /// Height of the tree (maximum depth).
+    pub fn height(&self) -> u32 {
+        self.depth.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Iterator over `(parent, child)` edges in rank order of the parent.
+    pub fn edges(&self) -> impl Iterator<Item = (Rank, Rank)> + '_ {
+        (0..self.p).flat_map(move |r| self.children(r).iter().map(move |&c| (r, c)))
+    }
+
+    /// All ranks in the subtree rooted at `r` (including `r`), in
+    /// preorder.
+    pub fn subtree(&self, r: Rank) -> Vec<Rank> {
+        let mut out = Vec::new();
+        let mut stack = vec![r];
+        while let Some(x) = stack.pop() {
+            out.push(x);
+            // Reverse keeps preorder = send order.
+            stack.extend(self.children(x).iter().rev().copied());
+        }
+        out
+    }
+
+    /// The fault-free dissemination schedule: for each rank, the time it
+    /// becomes colored under LogP timing (see [`schedule`]).
+    pub fn dissemination_schedule(&self, logp: &LogP) -> Vec<Time> {
+        schedule::dissemination_schedule(self, logp)
+    }
+
+    /// The time by which every process is colored in the fault-free case
+    /// — the natural start for synchronized correction.
+    pub fn dissemination_deadline(&self, logp: &LogP) -> Time {
+        self.dissemination_schedule(logp)
+            .into_iter()
+            .max()
+            .unwrap_or(Time::ZERO)
+    }
+}
+
+impl Topology for Tree {
+    #[inline]
+    fn num_processes(&self) -> u32 {
+        self.p
+    }
+
+    #[inline]
+    fn children(&self, r: Rank) -> &[Rank] {
+        let lo = self.child_offsets[r as usize] as usize;
+        let hi = self.child_offsets[r as usize + 1] as usize;
+        &self.child_targets[lo..hi]
+    }
+
+    #[inline]
+    fn parent(&self, r: Rank) -> Option<Rank> {
+        if r == 0 {
+            None
+        } else {
+            Some(self.parent[r as usize])
+        }
+    }
+
+    #[inline]
+    fn depth(&self, r: Rank) -> u32 {
+        self.depth[r as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_valid(tree: &Tree) {
+        let p = tree.num_processes();
+        assert_eq!(tree.num_edges(), p - 1);
+        let mut seen_as_child = vec![false; p as usize];
+        for (parent, child) in tree.edges() {
+            assert!(child < p);
+            assert!(!seen_as_child[child as usize], "rank {child} has two parents");
+            seen_as_child[child as usize] = true;
+            assert_eq!(tree.parent(child), Some(parent));
+            assert_eq!(tree.depth(child), tree.depth(parent) + 1);
+        }
+        assert!(!seen_as_child[0], "root must not be a child");
+        assert!(seen_as_child[1..].iter().all(|&b| b), "all non-roots reached");
+        assert_eq!(tree.parent(0), None);
+        assert_eq!(tree.depth(0), 0);
+    }
+
+    #[test]
+    fn all_kinds_build_valid_trees() {
+        let logp = LogP::PAPER;
+        let kinds = [
+            TreeKind::Kary { k: 1, order: Ordering::Interleaved },
+            TreeKind::Kary { k: 2, order: Ordering::Interleaved },
+            TreeKind::Kary { k: 2, order: Ordering::InOrder },
+            TreeKind::Kary { k: 4, order: Ordering::Interleaved },
+            TreeKind::Binomial { order: Ordering::Interleaved },
+            TreeKind::Binomial { order: Ordering::InOrder },
+            TreeKind::Lame { k: 2, order: Ordering::Interleaved },
+            TreeKind::Lame { k: 3, order: Ordering::Interleaved },
+            TreeKind::Lame { k: 2, order: Ordering::InOrder },
+            TreeKind::Optimal { order: Ordering::Interleaved },
+            TreeKind::Optimal { order: Ordering::InOrder },
+        ];
+        for kind in kinds {
+            for p in [1u32, 2, 3, 7, 8, 9, 31, 64, 100, 255] {
+                let tree = kind.build(p, &logp).unwrap();
+                assert_eq!(tree.num_processes(), p, "{kind} P={p}");
+                check_valid(&tree);
+            }
+        }
+    }
+
+    #[test]
+    fn build_rejects_degenerate_inputs() {
+        let logp = LogP::PAPER;
+        assert_eq!(
+            TreeKind::BINOMIAL.build(0, &logp),
+            Err(TreeError::NoProcesses)
+        );
+        assert_eq!(
+            TreeKind::Kary { k: 0, order: Ordering::Interleaved }.build(4, &logp),
+            Err(TreeError::ZeroArity)
+        );
+        assert_eq!(
+            TreeKind::Lame { k: 0, order: Ordering::Interleaved }.build(4, &logp),
+            Err(TreeError::ZeroArity)
+        );
+    }
+
+    #[test]
+    fn single_process_tree_is_trivial() {
+        let tree = TreeKind::BINOMIAL.build(1, &LogP::PAPER).unwrap();
+        assert_eq!(tree.num_processes(), 1);
+        assert_eq!(tree.children(0), &[] as &[Rank]);
+        assert_eq!(tree.parent(0), None);
+        assert_eq!(tree.height(), 0);
+    }
+
+    #[test]
+    fn subtree_is_preorder_and_complete() {
+        let tree = TreeKind::BINOMIAL.build(16, &LogP::PAPER).unwrap();
+        let whole = tree.subtree(0);
+        assert_eq!(whole.len(), 16);
+        assert_eq!(whole[0], 0);
+        let mut sorted = whole.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..16).collect::<Vec<_>>());
+        // A leaf's subtree is itself.
+        let leaf = (0..16).find(|&r| tree.children(r).is_empty()).unwrap();
+        assert_eq!(tree.subtree(leaf), vec![leaf]);
+    }
+
+    #[test]
+    fn from_parents_accepts_valid_custom_topologies() {
+        // A "fat chain": 0 → 1 → {2,3} → …
+        let tree = Tree::from_parents(vec![0, 0, 1, 1, 2, 3]).unwrap();
+        check_valid(&tree);
+        assert_eq!(tree.kind(), None);
+        assert_eq!(tree.children(1), &[2, 3]);
+        assert_eq!(tree.height(), 3);
+    }
+
+    #[test]
+    fn from_parents_rejects_invalid_inputs() {
+        assert_eq!(Tree::from_parents(vec![]), Err(TreeError::NoProcesses));
+        assert_eq!(Tree::from_parents(vec![1, 0]), Err(TreeError::BadRoot));
+        assert_eq!(
+            Tree::from_parents(vec![0, 7]),
+            Err(TreeError::ParentOutOfRange { child: 1 })
+        );
+        // 1 and 2 form a cycle off the root.
+        assert_eq!(
+            Tree::from_parents(vec![0, 2, 1]),
+            Err(TreeError::NotATree { unreachable: 1 })
+        );
+        // Self-loop off the root.
+        assert_eq!(
+            Tree::from_parents(vec![0, 1]),
+            Err(TreeError::NotATree { unreachable: 1 })
+        );
+    }
+
+    #[test]
+    fn builders_roundtrip_through_from_parents() {
+        let built = TreeKind::LAME2.build(40, &LogP::PAPER).unwrap();
+        let parents: Vec<Rank> =
+            (0..40).map(|r| built.parent(r).unwrap_or(0)).collect();
+        let rebuilt = Tree::from_parents(parents).unwrap();
+        for r in 0..40 {
+            assert_eq!(built.children(r), rebuilt.children(r), "rank {r}");
+            assert_eq!(built.depth(r), rebuilt.depth(r));
+        }
+    }
+
+    #[test]
+    fn display_labels_are_stable() {
+        assert_eq!(TreeKind::BINOMIAL.to_string(), "binomial/interleaved");
+        assert_eq!(TreeKind::FOUR_ARY.to_string(), "4-ary/interleaved");
+        assert_eq!(TreeKind::LAME2.to_string(), "lame2/interleaved");
+        assert_eq!(
+            TreeKind::Optimal { order: Ordering::InOrder }.to_string(),
+            "optimal/in-order"
+        );
+    }
+}

@@ -1,0 +1,212 @@
+//! Ready-to-send recurrences `R(t)` (Equation 1 and §3.2.3).
+//!
+//! `R(t)` counts the processes ready to send at iteration `t` of the
+//! growth process. For a Lamé tree of order `k`:
+//!
+//! ```text
+//! R(t) = 0                     t < 0
+//! R(t) = 1                     0 ≤ t < k
+//! R(t) = R(t-1) + R(t-k)       t ≥ k
+//! ```
+//!
+//! and for the latency-optimal tree `R(t) = R(t-o) + R(t-2o-L)` with
+//! boundary `1` on `0 ≤ t < 2o + L`. These sequences drive Equation (2)
+//! (child ranks `r' = r + R(i + k - 1)`), the analysis of dissemination
+//! latency, and consistency tests for the growth builder.
+
+use ct_logp::LogP;
+
+/// A lazily extended ready-to-send sequence `R(t) = R(t-a) + R(t-b)`
+/// with `R(t) = 1` for `0 ≤ t < b` and `R(t) = 0` for `t < 0`.
+///
+/// `a = 1, b = k` gives Lamé order `k` (Equation 1; binomial for
+/// `k = 1`), `a = o, b = 2o + L` gives the optimal tree (§3.2.3).
+#[derive(Clone, Debug)]
+pub struct ReadyCount {
+    a: u64,
+    b: u64,
+    // values[t] = R(t), extended on demand; saturating at u64::MAX.
+    values: Vec<u64>,
+}
+
+impl ReadyCount {
+    /// Generic recurrence with send interval `a ≥ 1` and ready delay
+    /// `b ≥ 1`.
+    pub fn new(a: u64, b: u64) -> ReadyCount {
+        assert!(a >= 1 && b >= 1, "recurrence delays must be ≥ 1");
+        ReadyCount { a, b, values: Vec::new() }
+    }
+
+    /// The Lamé order-`k` sequence of Equation (1); `k = 1` is binomial
+    /// (`R(t) = 2^t`).
+    pub fn lame(k: u32) -> ReadyCount {
+        ReadyCount::new(1, k as u64)
+    }
+
+    /// The optimal-tree sequence for LogP parameters.
+    pub fn optimal(logp: &LogP) -> ReadyCount {
+        ReadyCount::new(logp.o(), logp.transit_steps())
+    }
+
+    /// `R(t)`; `t < 0` is represented by calling [`ReadyCount::at`] with
+    /// a negative `i64`.
+    pub fn at(&mut self, t: i64) -> u64 {
+        if t < 0 {
+            return 0;
+        }
+        let t = t as u64;
+        while self.values.len() as u64 <= t {
+            let n = self.values.len() as u64;
+            let v = if n < self.b {
+                1
+            } else {
+                let ra = self.values[(n - self.a) as usize];
+                let rb = self.values[(n - self.b) as usize];
+                ra.saturating_add(rb)
+            };
+            self.values.push(v);
+        }
+        self.values[t as usize]
+    }
+
+    /// Smallest `t` with `R(t) ≥ n` — the number of iterations the
+    /// growth process needs to make `n` processes ready.
+    pub fn inverse(&mut self, n: u64) -> u64 {
+        if n <= 1 {
+            return 0;
+        }
+        let mut t = 0;
+        while self.at(t as i64) < n {
+            t += 1;
+        }
+        t
+    }
+
+    /// Smallest iteration `s'` at which rank `r` can send:
+    /// `min { s | R(s) > r }` (Equation 2).
+    pub fn first_send_iteration(&mut self, r: u64) -> u64 {
+        self.inverse(r.saturating_add(1))
+    }
+}
+
+/// Children of rank `r` per Equation (2):
+/// `{ r' | r' = r + R(i + b - a·1), i ≥ s', R(s') > r, r' < P }` with the
+/// index advancing by the send interval `a`.
+///
+/// Only valid when the recurrence is *phase-consistent* (`a = 1`, i.e.
+/// Lamé/binomial, or `o = 1` optimal); the growth builder in
+/// [`super::grow`] is the general construction and the two are verified
+/// to agree in tests.
+pub fn children_by_equation2(r: u64, p: u64, seq: &mut ReadyCount) -> Vec<u64> {
+    let (a, b) = (seq.a, seq.b);
+    let s_prime = seq.first_send_iteration(r);
+    let mut out = Vec::new();
+    let mut i = s_prime;
+    loop {
+        let child = r + seq.at((i + b - a) as i64);
+        if child >= p {
+            break;
+        }
+        out.push(child);
+        i += a;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::grow::{grow, Growth};
+    use crate::tree::{Topology, TreeKind};
+
+    #[test]
+    fn binomial_sequence_is_powers_of_two() {
+        let mut r = ReadyCount::lame(1);
+        for t in 0..20 {
+            assert_eq!(r.at(t), 1u64 << t as u64);
+        }
+        assert_eq!(r.at(-1), 0);
+    }
+
+    #[test]
+    fn lame3_sequence_matches_figure5() {
+        // §3.2.2 example: R(3) = 2, R(4) = 3 ("Then process 2 can send at
+        // iteration 4, since R(4) = 3 and so on").
+        let mut r = ReadyCount::lame(3);
+        let expected = [1u64, 1, 1, 2, 3, 4, 6, 9, 13, 19];
+        for (t, &e) in expected.iter().enumerate() {
+            assert_eq!(r.at(t as i64), e, "R({t})");
+        }
+    }
+
+    #[test]
+    fn lame2_is_fibonacci_like() {
+        let mut r = ReadyCount::lame(2);
+        // R: 1 1 2 3 5 8 13 … (Fibonacci shifted)
+        let expected = [1u64, 1, 2, 3, 5, 8, 13, 21, 34];
+        for (t, &e) in expected.iter().enumerate() {
+            assert_eq!(r.at(t as i64), e);
+        }
+    }
+
+    #[test]
+    fn optimal_paper_params_sequence() {
+        // L=2, o=1 → R(t) = R(t-1) + R(t-4), boundary 1 for t ∈ [0, 4).
+        let mut r = ReadyCount::optimal(&ct_logp::LogP::PAPER);
+        let expected = [1u64, 1, 1, 1, 2, 3, 4, 5, 7, 10, 14, 19, 26];
+        for (t, &e) in expected.iter().enumerate() {
+            assert_eq!(r.at(t as i64), e, "R({t})");
+        }
+    }
+
+    #[test]
+    fn inverse_is_left_inverse() {
+        let mut r = ReadyCount::lame(2);
+        for n in 1..2000u64 {
+            let t = r.inverse(n);
+            assert!(r.at(t as i64) >= n);
+            if t > 0 {
+                assert!(r.at(t as i64 - 1) < n);
+            }
+        }
+    }
+
+    #[test]
+    fn equation2_agrees_with_growth_builder_for_lame_trees() {
+        for k in [1u32, 2, 3, 5] {
+            let p = 500u32;
+            let tree = grow(p, Growth::lame(k)).into_tree(TreeKind::LAME2);
+            let mut seq = ReadyCount::lame(k);
+            for r in 0..p {
+                let expected: Vec<u64> =
+                    children_by_equation2(r as u64, p as u64, &mut seq);
+                let actual: Vec<u64> =
+                    tree.children(r).iter().map(|&c| c as u64).collect();
+                assert_eq!(actual, expected, "k={k} r={r}");
+            }
+        }
+    }
+
+    #[test]
+    fn equation2_agrees_with_growth_builder_for_optimal_o1() {
+        // For o = 1 the optimal-tree formula is phase-consistent.
+        for l in [1u64, 2, 3, 5] {
+            let logp = ct_logp::LogP::new(l, 1, 1).unwrap();
+            let p = 300u32;
+            let tree = grow(p, Growth::optimal(&logp)).into_tree(TreeKind::OPTIMAL);
+            let mut seq = ReadyCount::optimal(&logp);
+            for r in 0..p {
+                let expected = children_by_equation2(r as u64, p as u64, &mut seq);
+                let actual: Vec<u64> =
+                    tree.children(r).iter().map(|&c| c as u64).collect();
+                assert_eq!(actual, expected, "L={l} r={r}");
+            }
+        }
+    }
+
+    #[test]
+    fn ready_count_saturates_instead_of_overflowing() {
+        let mut r = ReadyCount::lame(1);
+        assert_eq!(r.at(200), u64::MAX); // 2^200 saturates
+    }
+}

@@ -1,0 +1,204 @@
+//! Coloring state and ring-gap analysis (§2, §3.1).
+//!
+//! A process is *colored* once it received the broadcast payload (the
+//! root is colored by definition). After dissemination the uncolored
+//! processes form *gaps* on the correction ring: maximal runs of
+//! consecutive uncolored ranks (wrapping at `P`). The maximum gap size
+//! `g_max` is the key proxy for correction latency (Lemma 3, Figure 10).
+
+use ct_logp::Rank;
+
+use super::Topology;
+
+/// A maximal run of uncolored processes on the ring.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Gap {
+    /// First uncolored rank of the run.
+    pub start: Rank,
+    /// Number of consecutive uncolored ranks (wrapping).
+    pub len: u32,
+}
+
+/// Compute all gaps of a coloring, in ring order starting from the
+/// lowest-rank gap that does not wrap through rank `P-1 → 0`.
+///
+/// `colored[r]` is the coloring; `colored[0]` must be `true` (the root
+/// initiates the broadcast and is always colored), which also guarantees
+/// at most one wrapping run.
+pub fn gaps(colored: &[bool]) -> Vec<Gap> {
+    assert!(!colored.is_empty());
+    assert!(colored[0], "the root (rank 0) is colored by definition");
+    let p = colored.len();
+    let mut out = Vec::new();
+    let mut run_start: Option<usize> = None;
+    for (r, &is_colored) in colored.iter().enumerate() {
+        match (is_colored, run_start) {
+            (false, None) => run_start = Some(r),
+            (true, Some(s)) => {
+                out.push(Gap { start: s as Rank, len: (r - s) as u32 });
+                run_start = None;
+            }
+            _ => {}
+        }
+    }
+    if let Some(s) = run_start {
+        // Run reaches P-1; rank 0 is colored, so it ends there.
+        out.push(Gap { start: s as Rank, len: (p - s) as u32 });
+    }
+    out
+}
+
+/// The maximum gap size `g_max`; 0 when fully colored.
+pub fn max_gap(colored: &[bool]) -> u32 {
+    gaps(colored).iter().map(|g| g.len).max().unwrap_or(0)
+}
+
+/// Number of uncolored processes.
+pub fn uncolored_count(colored: &[bool]) -> u32 {
+    colored.iter().filter(|&&c| !c).count() as u32
+}
+
+/// The coloring produced by a *complete* tree dissemination in the
+/// presence of fail-stop processes: every process reachable from the
+/// root through live intermediate nodes is colored; failed processes and
+/// the descendants of failed processes stay uncolored (§2.1).
+///
+/// `failed[r]` marks dead processes; the root must be alive. This is the
+/// closed-form equivalent of running the dissemination phase in the
+/// simulator and is used by the fast Monte-Carlo campaigns (Figure 1b).
+pub fn color_after_dissemination<T: Topology + ?Sized>(tree: &T, failed: &[bool]) -> Vec<bool> {
+    let p = tree.num_processes() as usize;
+    assert_eq!(failed.len(), p);
+    assert!(!failed[0], "the root is assumed alive (§2.1)");
+    let mut colored = vec![false; p];
+    colored[0] = true;
+    let mut stack: Vec<Rank> = vec![0];
+    while let Some(r) = stack.pop() {
+        for &c in tree.children(r) {
+            // A message is always sent, but a dead recipient drops it
+            // (stays uncolored) and never forwards.
+            if !failed[c as usize] {
+                colored[c as usize] = true;
+                stack.push(c);
+            }
+        }
+    }
+    colored
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::{Ordering, TreeKind};
+    use ct_logp::LogP;
+
+    #[test]
+    fn no_gaps_when_fully_colored() {
+        assert!(gaps(&[true, true, true]).is_empty());
+        assert_eq!(max_gap(&[true; 8]), 0);
+    }
+
+    #[test]
+    fn single_interior_gap() {
+        let colored = [true, false, false, true, true];
+        let g = gaps(&colored);
+        assert_eq!(g, vec![Gap { start: 1, len: 2 }]);
+        assert_eq!(max_gap(&colored), 2);
+        assert_eq!(uncolored_count(&colored), 2);
+    }
+
+    #[test]
+    fn trailing_gap_ends_at_root() {
+        let colored = [true, true, false, false];
+        assert_eq!(gaps(&colored), vec![Gap { start: 2, len: 2 }]);
+    }
+
+    #[test]
+    fn multiple_gaps_in_ring_order() {
+        let colored = [true, false, true, false, false, true, false];
+        let g = gaps(&colored);
+        assert_eq!(
+            g,
+            vec![
+                Gap { start: 1, len: 1 },
+                Gap { start: 3, len: 2 },
+                Gap { start: 6, len: 1 },
+            ]
+        );
+        assert_eq!(max_gap(&colored), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "root")]
+    fn rejects_uncolored_root() {
+        let _ = gaps(&[false, true]);
+    }
+
+    #[test]
+    fn figure3_failure_in_order_vs_interleaved() {
+        // Figure 3: binary tree, P = 7. In-order: process 4 fails →
+        // children 5, 6 uncolored plus 4 itself: one gap of size 3
+        // (ranks 4,5,6). Interleaved: process 2 fails → its children 4
+        // and 6 uncolored: gaps of size 1 at {2}, {4}, {6}.
+        let logp = LogP::PAPER;
+        let in_order = TreeKind::Kary { k: 2, order: Ordering::InOrder }
+            .build(7, &logp)
+            .unwrap();
+        let mut failed = vec![false; 7];
+        failed[4] = true;
+        let colored = color_after_dissemination(&in_order, &failed);
+        assert_eq!(gaps(&colored), vec![Gap { start: 4, len: 3 }]);
+
+        let interleaved = TreeKind::Kary { k: 2, order: Ordering::Interleaved }
+            .build(7, &logp)
+            .unwrap();
+        let mut failed = vec![false; 7];
+        failed[2] = true;
+        let colored = color_after_dissemination(&interleaved, &failed);
+        let g = gaps(&colored);
+        assert_eq!(g.len(), 3);
+        assert!(g.iter().all(|gap| gap.len == 1), "{g:?}");
+        assert_eq!(max_gap(&colored), 1);
+    }
+
+    #[test]
+    fn kary_tolerates_k_minus_1_failures_with_stride_coloring() {
+        // §3.2.1: with k-1 failures at least every k-th process is
+        // colored after dissemination.
+        let k = 4u32;
+        let p = 256u32;
+        let tree = TreeKind::Kary { k, order: Ordering::Interleaved }
+            .build(p, &LogP::PAPER)
+            .unwrap();
+        // Fail k-1 = 3 arbitrary non-root processes.
+        for failset in [[1u32, 2, 3], [5, 17, 90], [1, 6, 200]] {
+            let mut failed = vec![false; p as usize];
+            for f in failset {
+                failed[f as usize] = true;
+            }
+            let colored = color_after_dissemination(&tree, &failed);
+            assert!(
+                max_gap(&colored) < k,
+                "g_max must stay below k: {failset:?} → {}",
+                max_gap(&colored)
+            );
+        }
+    }
+
+    #[test]
+    fn failed_leaf_is_a_size_one_gap() {
+        let tree = TreeKind::BINOMIAL.build(16, &LogP::PAPER).unwrap();
+        let leaf = (0..16u32).find(|&r| tree.children(r).is_empty()).unwrap();
+        let mut failed = vec![false; 16];
+        failed[leaf as usize] = true;
+        let colored = color_after_dissemination(&tree, &failed);
+        assert_eq!(gaps(&colored), vec![Gap { start: leaf, len: 1 }]);
+    }
+
+    #[test]
+    fn fault_free_dissemination_colors_everyone() {
+        let tree = TreeKind::LAME2.build(100, &LogP::PAPER).unwrap();
+        let colored = color_after_dissemination(&tree, &[false; 100]);
+        assert!(colored.iter().all(|&c| c));
+    }
+}

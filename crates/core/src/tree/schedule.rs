@@ -1,0 +1,157 @@
+//! Exact fault-free dissemination timing under LogP.
+//!
+//! During dissemination every process receives exactly one message, so
+//! there is no receive-port contention and the timeline is closed-form:
+//! a process colored at time `c` starts sending immediately; its `j`-th
+//! child's message (0-indexed, send order) starts at `c + j·o` and the
+//! child is colored — processing finished — at `c + j·o + 2o + L`.
+//!
+//! The root is colored at time 0. The maximum over all ranks is the
+//! dissemination deadline used to start synchronized correction, and
+//! "the latency of a tree-based broadcast is exact" (§4.1).
+
+use ct_logp::{LogP, Time};
+
+use super::{Topology, Tree};
+
+/// Per-rank coloring times of a fault-free dissemination.
+pub fn dissemination_schedule(tree: &Tree, logp: &LogP) -> Vec<Time> {
+    let p = tree.num_processes() as usize;
+    let mut colored_at = vec![Time::NEVER; p];
+    colored_at[0] = Time::ZERO;
+    // Parents always have smaller color times than children, so a BFS
+    // (or any order where parents precede children) computes in one pass.
+    let mut queue = std::collections::VecDeque::with_capacity(64);
+    queue.push_back(0u32);
+    let o = logp.o();
+    let transit = logp.transit_steps();
+    while let Some(r) = queue.pop_front() {
+        let c = colored_at[r as usize];
+        for (j, &child) in tree.children(r).iter().enumerate() {
+            colored_at[child as usize] = c + (j as u64 * o) + transit;
+            queue.push_back(child);
+        }
+    }
+    colored_at
+}
+
+/// Time at which rank `r`'s *sender* goes idle in a fault-free
+/// dissemination: coloring time plus `o` per child message. Leaves go
+/// idle at their coloring time.
+pub fn sender_idle_schedule(tree: &Tree, logp: &LogP) -> Vec<Time> {
+    let colored = dissemination_schedule(tree, logp);
+    colored
+        .iter()
+        .enumerate()
+        .map(|(r, &c)| c + logp.o() * tree.children(r as u32).len() as u64)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::{Ordering, TreeKind};
+    use ct_logp::LogP;
+
+    #[test]
+    fn root_is_colored_at_zero() {
+        let t = TreeKind::BINOMIAL.build(32, &LogP::PAPER).unwrap();
+        let s = dissemination_schedule(&t, &LogP::PAPER);
+        assert_eq!(s[0], Time::ZERO);
+        assert!(s.iter().skip(1).all(|&t| t > Time::ZERO && !t.is_never()));
+    }
+
+    #[test]
+    fn binomial_deadline_matches_closed_form() {
+        // Interleaved binomial, P = 2^n: the critical path is the chain
+        // 0 → 1 → 3 → 7 → … (first-child hops, offset 0 each), n hops of
+        // 2o + L. With 2o + L > (n-1)o no offset-heavy path beats it, so
+        // the deadline is n·(2o + L) for the paper's parameters.
+        let logp = LogP::PAPER;
+        for n in 1..10u32 {
+            let p = 1u32 << n;
+            let t = TreeKind::BINOMIAL.build(p, &logp).unwrap();
+            let deadline = t.dissemination_deadline(&logp);
+            let expected = n as u64 * logp.transit_steps();
+            assert_eq!(deadline, Time::new(expected), "P=2^{n}");
+        }
+    }
+
+    #[test]
+    fn child_times_follow_send_order() {
+        let logp = LogP::PAPER;
+        let t = TreeKind::FOUR_ARY.build(200, &logp).unwrap();
+        let s = dissemination_schedule(&t, &logp);
+        for r in 0..200u32 {
+            let kids = t.children(r);
+            for (j, &c) in kids.iter().enumerate() {
+                let expected = s[r as usize] + (j as u64 * logp.o()) + logp.transit_steps();
+                assert_eq!(s[c as usize], expected);
+            }
+        }
+    }
+
+    #[test]
+    fn fig5_lame3_is_latency_optimal_for_its_params() {
+        // Figure 5: k = 3 Lamé tree with L = o = 1 (2o+L = 3 = k)
+        // guarantees minimal latency: identical to the optimal tree.
+        let logp = LogP::FIG5;
+        for p in [2u32, 5, 9, 30, 100] {
+            let lame = TreeKind::Lame { k: 3, order: Ordering::Interleaved }
+                .build(p, &logp)
+                .unwrap();
+            let opt = TreeKind::OPTIMAL.build(p, &logp).unwrap();
+            assert_eq!(
+                lame.dissemination_deadline(&logp),
+                opt.dissemination_deadline(&logp),
+                "P={p}"
+            );
+        }
+    }
+
+    #[test]
+    fn optimal_tree_latency_dominates_other_trees() {
+        let logp = LogP::PAPER;
+        for p in [16u32, 100, 1000, 4096] {
+            let opt = TreeKind::OPTIMAL.build(p, &logp).unwrap();
+            let d_opt = opt.dissemination_deadline(&logp);
+            for kind in [TreeKind::BINOMIAL, TreeKind::LAME2, TreeKind::FOUR_ARY] {
+                let t = kind.build(p, &logp).unwrap();
+                assert!(
+                    d_opt <= t.dissemination_deadline(&logp),
+                    "optimal must be fastest at P={p} vs {kind}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn in_order_and_interleaved_have_identical_latency() {
+        // Renumbering changes ring behavior under faults, not timing.
+        let logp = LogP::PAPER;
+        for p in [7u32, 64, 129] {
+            let a = TreeKind::Binomial { order: Ordering::Interleaved }
+                .build(p, &logp)
+                .unwrap();
+            let b = TreeKind::Binomial { order: Ordering::InOrder }
+                .build(p, &logp)
+                .unwrap();
+            assert_eq!(
+                a.dissemination_deadline(&logp),
+                b.dissemination_deadline(&logp)
+            );
+        }
+    }
+
+    #[test]
+    fn sender_idle_after_all_children_served() {
+        let logp = LogP::PAPER;
+        let t = TreeKind::BINOMIAL.build(64, &logp).unwrap();
+        let colored = dissemination_schedule(&t, &logp);
+        let idle = sender_idle_schedule(&t, &logp);
+        for r in 0..64u32 {
+            let kids = t.children(r).len() as u64;
+            assert_eq!(idle[r as usize], colored[r as usize] + kids * logp.o());
+        }
+    }
+}

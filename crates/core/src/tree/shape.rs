@@ -1,0 +1,160 @@
+//! Intermediate tree representation shared by the builders.
+//!
+//! Builders produce a [`Shape`] with *interleaved* ranks (their natural
+//! construction order). [`Shape::renumber_dfs`] converts to the in-order
+//! numbering by relabelling positions in depth-first (preorder) traversal
+//! — the paper's "numbering the processes in the order of depth-first
+//! traversal" (§3.2) — while keeping the communication shape identical.
+
+use ct_logp::Rank;
+
+use super::{Tree, TreeKind};
+
+/// A tree under construction: parent links plus ordered child lists.
+pub(crate) struct Shape {
+    /// `parent[r]`, with `parent[0] == 0`.
+    pub parent: Vec<Rank>,
+    /// Children of each rank in send order.
+    pub children: Vec<Vec<Rank>>,
+}
+
+impl Shape {
+    /// An isolated root; builders attach the remaining `p - 1` processes.
+    pub fn with_capacity(p: u32) -> Shape {
+        let mut parent = Vec::with_capacity(p as usize);
+        parent.push(0);
+        let mut children = Vec::with_capacity(p as usize);
+        children.push(Vec::new());
+        Shape { parent, children }
+    }
+
+    /// Number of processes attached so far.
+    pub fn len(&self) -> u32 {
+        self.parent.len() as u32
+    }
+
+    /// Attach the next process (rank `len()`) as the last child of
+    /// `parent`, returning the new rank.
+    pub fn attach(&mut self, parent: Rank) -> Rank {
+        let child = self.len();
+        self.parent.push(parent);
+        self.children.push(Vec::new());
+        self.children[parent as usize].push(child);
+        child
+    }
+
+    /// Finalize into an immutable [`Tree`].
+    pub fn into_tree(self, kind: TreeKind) -> Tree {
+        Tree::from_links(self.parent, &self.children, Some(kind))
+    }
+
+    /// Relabel ranks by preorder depth-first traversal (children visited
+    /// in send order). The root keeps rank 0 and every subtree becomes a
+    /// contiguous rank range — the in-order numbering of Figures 3/4.
+    pub fn renumber_dfs(self) -> Shape {
+        let p = self.parent.len();
+        // new_rank[old] — assigned in preorder.
+        let mut new_rank = vec![0 as Rank; p];
+        let mut next: Rank = 0;
+        // Explicit stack; children pushed reversed so send order pops first.
+        let mut stack: Vec<Rank> = vec![0];
+        while let Some(old) = stack.pop() {
+            new_rank[old as usize] = next;
+            next += 1;
+            stack.extend(self.children[old as usize].iter().rev().copied());
+        }
+        debug_assert_eq!(next as usize, p);
+
+        let mut parent = vec![0 as Rank; p];
+        let mut children: Vec<Vec<Rank>> = vec![Vec::new(); p];
+        for old in 0..p {
+            let new = new_rank[old] as usize;
+            parent[new] = new_rank[self.parent[old] as usize];
+            children[new] = self.children[old]
+                .iter()
+                .map(|&c| new_rank[c as usize])
+                .collect();
+        }
+        parent[new_rank[0] as usize] = new_rank[0];
+        Shape { parent, children }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::{Ordering, Topology};
+
+    fn chain(p: u32) -> Shape {
+        let mut s = Shape::with_capacity(p);
+        for r in 0..p - 1 {
+            s.attach(r);
+        }
+        s
+    }
+
+    #[test]
+    fn attach_assigns_sequential_ranks() {
+        let mut s = Shape::with_capacity(4);
+        assert_eq!(s.attach(0), 1);
+        assert_eq!(s.attach(0), 2);
+        assert_eq!(s.attach(1), 3);
+        assert_eq!(s.children[0], vec![1, 2]);
+        assert_eq!(s.children[1], vec![3]);
+        assert_eq!(s.parent, vec![0, 0, 0, 1]);
+    }
+
+    #[test]
+    fn dfs_renumber_keeps_chain_identical() {
+        let s = chain(5).renumber_dfs();
+        assert_eq!(s.parent, vec![0, 0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn dfs_renumber_matches_figure3_binary_tree() {
+        // Interleaved binary tree of Figure 3 (right): 0→{1,2}, 1→{3,5},
+        // 2→{4,6}. DFS renumbering must produce the left-hand in-order
+        // tree: 0→{1,4}, 1→{2,3}, 4→{5,6}.
+        let mut s = Shape::with_capacity(7);
+        s.attach(0); // 1
+        s.attach(0); // 2
+        s.attach(1); // 3
+        s.attach(2); // 4
+        s.attach(1); // 5
+        s.attach(2); // 6
+        let t = s
+            .renumber_dfs()
+            .into_tree(TreeKind::Kary { k: 2, order: Ordering::InOrder });
+        assert_eq!(t.children(0), &[1, 4]);
+        assert_eq!(t.children(1), &[2, 3]);
+        assert_eq!(t.children(4), &[5, 6]);
+        assert_eq!(t.parent(3), Some(1));
+        assert_eq!(t.parent(5), Some(4));
+    }
+
+    #[test]
+    fn dfs_renumber_makes_subtrees_contiguous() {
+        // Binomial-like shape on 8 ranks.
+        let mut s = Shape::with_capacity(8);
+        s.attach(0); // 1
+        s.attach(0); // 2
+        s.attach(1); // 3
+        s.attach(0); // 4
+        s.attach(1); // 5
+        s.attach(2); // 6
+        s.attach(3); // 7
+        let t = s
+            .renumber_dfs()
+            .into_tree(TreeKind::Binomial { order: Ordering::InOrder });
+        for r in 0..8 {
+            let mut sub = t.subtree(r);
+            sub.sort_unstable();
+            let lo = sub[0];
+            assert_eq!(
+                sub,
+                (lo..lo + sub.len() as Rank).collect::<Vec<_>>(),
+                "subtree of {r} must be a contiguous rank range"
+            );
+        }
+    }
+}

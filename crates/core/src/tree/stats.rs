@@ -1,0 +1,148 @@
+//! Structural tree statistics.
+//!
+//! §4.3 explains resilience differences through structure: "slower trees
+//! have larger height and lower average fan-out at the same process
+//! count", so a failure hits more descendants on average. These helpers
+//! quantify that.
+
+use super::Topology;
+
+/// Summary of a topology's shape.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TreeStats {
+    /// Process count.
+    pub processes: u32,
+    /// Maximum depth.
+    pub height: u32,
+    /// Number of leaves.
+    pub leaves: u32,
+    /// Maximum number of children of any process.
+    pub max_fanout: u32,
+    /// Mean children per *inner* (non-leaf) process.
+    pub avg_inner_fanout: f64,
+    /// Mean number of descendants of a non-root process (the expected
+    /// collateral damage of one uniformly random failure).
+    pub avg_descendants_nonroot: f64,
+    /// Per-level process counts, index = depth.
+    pub level_sizes: Vec<u32>,
+}
+
+/// Compute [`TreeStats`] for any topology.
+pub fn tree_stats<T: Topology + ?Sized>(tree: &T) -> TreeStats {
+    let p = tree.num_processes();
+    let mut leaves = 0u32;
+    let mut max_fanout = 0u32;
+    let mut inner = 0u64;
+    let mut inner_children = 0u64;
+    let mut level_sizes: Vec<u32> = Vec::new();
+    // Subtree sizes bottom-up: iterate ranks in decreasing depth order.
+    let mut order: Vec<u32> = (0..p).collect();
+    order.sort_unstable_by_key(|&r| tree.depth(r));
+    let mut subtree = vec![1u64; p as usize];
+    for &r in order.iter().rev() {
+        let d = tree.depth(r) as usize;
+        if level_sizes.len() <= d {
+            level_sizes.resize(d + 1, 0);
+        }
+        level_sizes[d] += 1;
+        let kids = tree.children(r);
+        if kids.is_empty() {
+            leaves += 1;
+        } else {
+            inner += 1;
+            inner_children += kids.len() as u64;
+        }
+        max_fanout = max_fanout.max(kids.len() as u32);
+        for &c in kids {
+            subtree[r as usize] += subtree[c as usize];
+        }
+    }
+    let descendants_sum: u64 = (1..p as usize).map(|r| subtree[r] - 1).sum();
+    TreeStats {
+        processes: p,
+        height: tree.depth(order[order.len() - 1]),
+        leaves,
+        max_fanout,
+        avg_inner_fanout: if inner == 0 {
+            0.0
+        } else {
+            inner_children as f64 / inner as f64
+        },
+        avg_descendants_nonroot: if p <= 1 {
+            0.0
+        } else {
+            descendants_sum as f64 / (p - 1) as f64
+        },
+        level_sizes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::{Ordering, TreeKind};
+    use ct_logp::LogP;
+
+    #[test]
+    fn stats_of_full_binary_tree() {
+        let t = TreeKind::Kary { k: 2, order: Ordering::Interleaved }
+            .build(7, &LogP::PAPER)
+            .unwrap();
+        let s = tree_stats(&t);
+        assert_eq!(s.processes, 7);
+        assert_eq!(s.height, 2);
+        assert_eq!(s.leaves, 4);
+        assert_eq!(s.max_fanout, 2);
+        assert_eq!(s.avg_inner_fanout, 2.0);
+        assert_eq!(s.level_sizes, vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn stats_of_chain() {
+        let t = TreeKind::Kary { k: 1, order: Ordering::Interleaved }
+            .build(5, &LogP::PAPER)
+            .unwrap();
+        let s = tree_stats(&t);
+        assert_eq!(s.height, 4);
+        assert_eq!(s.leaves, 1);
+        assert_eq!(s.max_fanout, 1);
+        // Descendants of ranks 1..4: 3+2+1+0 = 6, /4 = 1.5.
+        assert!((s.avg_descendants_nonroot - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn binomial_root_has_log_p_children() {
+        let t = TreeKind::BINOMIAL.build(1 << 10, &LogP::PAPER).unwrap();
+        let s = tree_stats(&t);
+        assert_eq!(s.max_fanout, 10);
+        assert_eq!(s.height, 10);
+        assert_eq!(s.level_sizes.iter().sum::<u32>(), 1 << 10);
+    }
+
+    #[test]
+    fn slower_trees_have_more_average_descendants() {
+        // §4.3: binomial (slower) processes are ancestors to more
+        // processes than the optimal tree's at the same P.
+        let logp = LogP::PAPER;
+        let p = 1 << 12;
+        let bin = tree_stats(&TreeKind::BINOMIAL.build(p, &logp).unwrap());
+        let opt = tree_stats(&TreeKind::OPTIMAL.build(p, &logp).unwrap());
+        assert!(
+            bin.avg_descendants_nonroot > opt.avg_descendants_nonroot,
+            "binomial {} vs optimal {}",
+            bin.avg_descendants_nonroot,
+            opt.avg_descendants_nonroot
+        );
+    }
+
+    #[test]
+    fn singleton_stats() {
+        let t = TreeKind::BINOMIAL.build(1, &LogP::PAPER).unwrap();
+        let s = tree_stats(&t);
+        assert_eq!(s.processes, 1);
+        assert_eq!(s.height, 0);
+        assert_eq!(s.leaves, 1);
+        assert_eq!(s.avg_descendants_nonroot, 0.0);
+        assert_eq!(s.avg_inner_fanout, 0.0);
+    }
+}

@@ -1,0 +1,275 @@
+//! Seeded Monte-Carlo campaigns.
+//!
+//! A [`Campaign`] runs one protocol variant `reps` times with seeds
+//! `seed0, seed0+1, …` — fault placement and gossip randomness both
+//! derive from the per-run seed, so any row of any figure can be
+//! regenerated exactly ("we keep the random generator seed of every
+//! experiment", §4). Repetitions are embarrassingly parallel and can be
+//! spread over OS threads.
+
+use ct_core::protocol::ColoredVia;
+use ct_core::tree::ring;
+use ct_logp::{LogP, Rank};
+use ct_sim::{FaultPlan, SimError, Simulation};
+
+use crate::variants::Variant;
+
+/// How failures are drawn for each repetition.
+#[derive(Clone, Debug, PartialEq)]
+pub enum FaultSpec {
+    /// No failures.
+    None,
+    /// Exactly `n` uniformly random failures per run (Figure 1b).
+    Count(u32),
+    /// A fraction of all processes fails per run (Figures 8–10, Table 1).
+    Rate(f64),
+    /// A fixed set of ranks fails in every run.
+    Ranks(Vec<Rank>),
+}
+
+impl FaultSpec {
+    fn plan(&self, p: u32, seed: u64) -> Result<FaultPlan, String> {
+        match self {
+            FaultSpec::None => Ok(FaultPlan::none(p)),
+            FaultSpec::Count(n) => {
+                FaultPlan::random_count(p, *n, seed).map_err(|e| e.to_string())
+            }
+            FaultSpec::Rate(r) => FaultPlan::random_rate(p, *r, seed).map_err(|e| e.to_string()),
+            FaultSpec::Ranks(ranks) => {
+                FaultPlan::from_ranks(p, ranks).map_err(|e| e.to_string())
+            }
+        }
+    }
+}
+
+/// One repetition's measurements.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RunRecord {
+    /// Seed of this repetition.
+    pub seed: u64,
+    /// Number of failed processes.
+    pub faults: u32,
+    /// Quiescence latency in steps.
+    pub quiescence: u64,
+    /// Coloring latency in steps.
+    pub coloring: u64,
+    /// Total messages sent.
+    pub messages: u64,
+    /// Messages per process (over all `P`).
+    pub messages_per_process: f64,
+    /// Did every live process get colored?
+    pub all_live_colored: bool,
+    /// Live processes left uncolored.
+    pub uncolored: u32,
+    /// Maximum ring gap after dissemination (dead processes count as
+    /// uncolored).
+    pub g_max: u32,
+    /// Correction time `quiescence − sync_start`, for variants with
+    /// synchronized correction.
+    pub lscc: Option<u64>,
+}
+
+/// A configured experiment cell: one variant, one fault regime.
+#[derive(Clone, Debug)]
+pub struct Campaign {
+    /// Protocol under test.
+    pub variant: Variant,
+    /// Process count.
+    pub p: u32,
+    /// Machine model.
+    pub logp: LogP,
+    /// Fault regime.
+    pub faults: FaultSpec,
+    /// Repetitions.
+    pub reps: u32,
+    /// First seed; repetition `i` uses `seed0 + i`.
+    pub seed0: u64,
+}
+
+impl Campaign {
+    /// Fault-free single-variant campaign.
+    pub fn new(variant: Variant, p: u32, logp: LogP) -> Campaign {
+        Campaign { variant, p, logp, faults: FaultSpec::None, reps: 1, seed0: 1 }
+    }
+
+    /// Set the fault regime.
+    pub fn with_faults(mut self, faults: FaultSpec) -> Campaign {
+        self.faults = faults;
+        self
+    }
+
+    /// Set repetitions.
+    pub fn with_reps(mut self, reps: u32) -> Campaign {
+        assert!(reps >= 1);
+        self.reps = reps;
+        self
+    }
+
+    /// Set the base seed.
+    pub fn with_seed(mut self, seed0: u64) -> Campaign {
+        self.seed0 = seed0;
+        self
+    }
+
+    /// Execute one repetition.
+    pub fn run_one(&self, rep: u32) -> Result<RunRecord, CampaignError> {
+        let seed = self.seed0 + rep as u64;
+        let plan = self
+            .faults
+            .plan(self.p, seed)
+            .map_err(CampaignError::Faults)?;
+        let faults = plan.count();
+        let sim = Simulation::builder(self.p, self.logp)
+            .faults(plan)
+            .seed(seed)
+            .build();
+        let out = sim.run(&self.variant).map_err(CampaignError::Sim)?;
+        let diss_mask: Vec<bool> = out
+            .colored_via
+            .iter()
+            .map(|v| matches!(v, Some(ColoredVia::Root) | Some(ColoredVia::Dissemination)))
+            .collect();
+        let g_max = ring::max_gap(&diss_mask);
+        let lscc = self
+            .variant
+            .sync_start(self.p, &self.logp)
+            .map(|start| out.quiescence.since(start).steps());
+        Ok(RunRecord {
+            seed,
+            faults,
+            quiescence: out.quiescence.steps(),
+            coloring: out.coloring_latency.steps(),
+            messages: out.messages.total(),
+            messages_per_process: out.messages_per_process(),
+            all_live_colored: out.all_live_colored(),
+            uncolored: out.uncolored_live().len() as u32,
+            g_max,
+            lscc,
+        })
+    }
+
+    /// Execute all repetitions sequentially.
+    pub fn run(&self) -> Result<Vec<RunRecord>, CampaignError> {
+        (0..self.reps).map(|i| self.run_one(i)).collect()
+    }
+
+    /// Execute all repetitions across `threads` OS threads. Results are
+    /// identical to [`Campaign::run`] (each repetition is seeded
+    /// independently); only wall-clock time changes.
+    pub fn run_parallel(&self, threads: usize) -> Result<Vec<RunRecord>, CampaignError> {
+        let threads = threads.max(1).min((self.reps as usize).max(1));
+        if threads <= 1 {
+            return self.run();
+        }
+        let mut slots: Vec<Option<Result<RunRecord, CampaignError>>> =
+            (0..self.reps).map(|_| None).collect();
+        let next = std::sync::atomic::AtomicU32::new(0);
+        let slots_mutex = std::sync::Mutex::new(&mut slots);
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if i >= self.reps {
+                        break;
+                    }
+                    let record = self.run_one(i);
+                    let mut guard = slots_mutex.lock().expect("no poisoning");
+                    guard[i as usize] = Some(record);
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|s| s.expect("every repetition filled"))
+            .collect()
+    }
+}
+
+/// Campaign-level errors.
+#[derive(Debug)]
+pub enum CampaignError {
+    /// Fault plan construction failed.
+    Faults(String),
+    /// Simulation failed.
+    Sim(SimError),
+}
+
+impl core::fmt::Display for CampaignError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            CampaignError::Faults(s) => write!(f, "fault plan: {s}"),
+            CampaignError::Sim(e) => write!(f, "simulation: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CampaignError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ct_core::tree::TreeKind;
+
+    #[test]
+    fn fault_free_checked_campaign_matches_lemma2() {
+        let c = Campaign::new(
+            Variant::tree_checked_sync(TreeKind::BINOMIAL),
+            256,
+            LogP::PAPER,
+        )
+        .with_reps(3);
+        let records = c.run().unwrap();
+        assert_eq!(records.len(), 3);
+        for r in &records {
+            assert!(r.all_live_colored);
+            assert_eq!(r.g_max, 0);
+            assert_eq!(r.lscc, Some(8));
+            assert_eq!(r.faults, 0);
+        }
+    }
+
+    #[test]
+    fn fault_count_spec_is_exact_per_run() {
+        let c = Campaign::new(
+            Variant::tree_checked_sync(TreeKind::BINOMIAL),
+            512,
+            LogP::PAPER,
+        )
+        .with_faults(FaultSpec::Count(5))
+        .with_reps(4);
+        for r in c.run().unwrap() {
+            assert_eq!(r.faults, 5);
+            assert!(r.all_live_colored, "checked correction heals everything");
+            assert!(r.g_max >= 1);
+            assert!(r.lscc.unwrap() >= 8);
+        }
+    }
+
+    #[test]
+    fn parallel_equals_sequential() {
+        let c = Campaign::new(
+            Variant::tree_opportunistic(TreeKind::LAME2, 4),
+            256,
+            LogP::PAPER,
+        )
+        .with_faults(FaultSpec::Rate(0.01))
+        .with_reps(8);
+        let seq = c.run().unwrap();
+        let par = c.run_parallel(4).unwrap();
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn fixed_rank_faults_apply_every_run() {
+        let c = Campaign::new(
+            Variant::tree_checked_sync(TreeKind::BINOMIAL),
+            64,
+            LogP::PAPER,
+        )
+        .with_faults(FaultSpec::Ranks(vec![1, 2]))
+        .with_reps(2);
+        for r in c.run().unwrap() {
+            assert_eq!(r.faults, 2);
+        }
+    }
+}

@@ -1,0 +1,155 @@
+//! The fault-rate sweep of §4.3.
+//!
+//! One campaign grid underlies Figures 8, 9, 10 and Table 1: the four
+//! paper trees with synchronized checked correction, plus checked
+//! Corrected Gossip, each run at fault rates 0.01%–4% on `P` processes
+//! ("we simulated 10⁵ broadcasts of every type on 64K processes" —
+//! repetitions and `P` are configurable here). Each repetition records
+//! quiescence latency, message counts, the post-dissemination maximum
+//! gap and the correction time `L_SCC`.
+
+use ct_core::correction::CorrectionKind;
+use ct_core::tree::TreeKind;
+use ct_logp::LogP;
+
+use crate::campaign::{Campaign, CampaignError, FaultSpec, RunRecord};
+use crate::variants::Variant;
+
+/// The paper's fault rates (fractions): 0.01%, 0.1%, 1%, 2%, 4%.
+pub const PAPER_FAULT_RATES: [f64; 5] = [0.0001, 0.001, 0.01, 0.02, 0.04];
+
+/// Configuration of the resilience grid.
+#[derive(Clone, Debug)]
+pub struct ResilienceConfig {
+    /// Process count (paper: 2¹⁶).
+    pub p: u32,
+    /// Machine model.
+    pub logp: LogP,
+    /// Fault rates to sweep.
+    pub rates: Vec<f64>,
+    /// Repetitions per cell (paper: 10⁵).
+    pub reps: u32,
+    /// Base seed.
+    pub seed0: u64,
+    /// Worker threads for repetitions.
+    pub threads: usize,
+    /// Gossip time for the checked-gossip competitor (pre-tuned for the
+    /// chosen `p`; see [`crate::tuning`]).
+    pub gossip_time: u64,
+    /// Include the gossip competitor at all.
+    pub include_gossip: bool,
+}
+
+impl ResilienceConfig {
+    /// Laptop-scale defaults: `P = 4096`, 50 reps. Pass the paper's
+    /// scale (`p = 1 << 16`, `reps = 100_000`) for a full reproduction.
+    pub fn quick() -> ResilienceConfig {
+        ResilienceConfig {
+            p: 1 << 12,
+            logp: LogP::PAPER,
+            rates: PAPER_FAULT_RATES.to_vec(),
+            reps: 50,
+            seed0: 1,
+            threads: std::thread::available_parallelism().map_or(4, |n| n.get()),
+            gossip_time: 30,
+            include_gossip: true,
+        }
+    }
+}
+
+/// One grid cell's results.
+#[derive(Clone, Debug)]
+pub struct ResilienceCell {
+    /// Variant label.
+    pub label: String,
+    /// Is this one of the tree variants (vs gossip)?
+    pub is_tree: bool,
+    /// Tree kind when `is_tree`.
+    pub tree: Option<TreeKind>,
+    /// Fault rate of this cell.
+    pub rate: f64,
+    /// All repetition records.
+    pub records: Vec<RunRecord>,
+}
+
+/// Run the full grid.
+pub fn run_grid(cfg: &ResilienceConfig) -> Result<Vec<ResilienceCell>, CampaignError> {
+    let mut cells = Vec::new();
+    for &rate in &cfg.rates {
+        for kind in Variant::paper_trees() {
+            let variant = Variant::tree_checked_sync(kind);
+            let records = Campaign::new(variant, cfg.p, cfg.logp)
+                .with_faults(FaultSpec::Rate(rate))
+                .with_reps(cfg.reps)
+                .with_seed(cfg.seed0)
+                .run_parallel(cfg.threads)?;
+            cells.push(ResilienceCell {
+                label: kind.label(),
+                is_tree: true,
+                tree: Some(kind),
+                rate,
+                records,
+            });
+        }
+        if cfg.include_gossip {
+            let variant = Variant::gossip(cfg.gossip_time, CorrectionKind::Checked);
+            let records = Campaign::new(variant, cfg.p, cfg.logp)
+                .with_faults(FaultSpec::Rate(rate))
+                .with_reps(cfg.reps)
+                .with_seed(cfg.seed0)
+                .run_parallel(cfg.threads)?;
+            cells.push(ResilienceCell {
+                label: "gossip".into(),
+                is_tree: false,
+                tree: None,
+                rate,
+                records,
+            });
+        }
+    }
+    Ok(cells)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> ResilienceConfig {
+        ResilienceConfig {
+            p: 256,
+            logp: LogP::PAPER,
+            rates: vec![0.01, 0.04],
+            reps: 4,
+            seed0: 5,
+            threads: 2,
+            gossip_time: 22,
+            include_gossip: true,
+        }
+    }
+
+    #[test]
+    fn grid_covers_all_cells() {
+        let cells = run_grid(&tiny()).unwrap();
+        // 2 rates × (4 trees + gossip).
+        assert_eq!(cells.len(), 10);
+        for cell in &cells {
+            assert_eq!(cell.records.len(), 4);
+            assert!(cell.records.iter().all(|r| r.all_live_colored),
+                "checked correction colors everything: {} @ {}", cell.label, cell.rate);
+        }
+    }
+
+    #[test]
+    fn higher_fault_rate_means_more_faults() {
+        let cells = run_grid(&tiny()).unwrap();
+        let mean_faults = |rate: f64| -> f64 {
+            let cell = cells
+                .iter()
+                .find(|c| c.is_tree && (c.rate - rate).abs() < 1e-12)
+                .unwrap();
+            cell.records.iter().map(|r| r.faults as f64).sum::<f64>()
+                / cell.records.len() as f64
+        };
+        assert!(mean_faults(0.04) > mean_faults(0.01));
+    }
+}

@@ -1,0 +1,440 @@
+//! # ct-gossip — Corrected Gossip baseline
+//!
+//! Reimplementation of the algorithm Corrected Trees is measured against
+//! (Hoefler, Barak, Shiloh, Drezner: *Corrected Gossip Algorithms for
+//! Fast Reliable Broadcast on Unreliable Systems*, IPDPS'17; summarized
+//! in §3.1 of the paper).
+//!
+//! Dissemination is randomized: the root sends the payload to random
+//! processes; every process colored this way gossips onward. After a
+//! fixed budget — a wall-clock gossip time in the simulator, or a hop-
+//! counted round limit as in the paper's MPI prototype (§4.4, because
+//! clock synchronization is imprecise on a real cluster) — all processes
+//! colored *by gossip* run one of the ring-correction algorithms from
+//! `ct-core`. Gossip is extremely robust to failures but sends many
+//! redundant messages; that trade-off is exactly what Figures 6–9
+//! quantify.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+
+use ct_core::correction::{CorrPoll, Correction, CorrectionKind};
+use ct_core::protocol::{
+    BuildCtx, ColoredVia, Payload, Process, ProtocolError, ProtocolFactory, SendPoll,
+};
+use ct_logp::{Rank, Time};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// When the gossip phase ends.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GossipMode {
+    /// All colored processes gossip until the global time `G`, then
+    /// enter correction simultaneously (the IPDPS'17 formulation; needs
+    /// the synchronized clocks a simulator has).
+    TimeLimited(u64),
+    /// Every message carries a round counter, incremented per send; a
+    /// process whose counter reaches the limit stops gossiping and
+    /// enters correction (the paper's MPI implementation, §4.4).
+    RoundLimited(u32),
+}
+
+impl fmt::Display for GossipMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GossipMode::TimeLimited(g) => write!(f, "time={g}"),
+            GossipMode::RoundLimited(r) => write!(f, "rounds={r}"),
+        }
+    }
+}
+
+/// Declarative description of a Corrected Gossip broadcast.
+///
+/// ```
+/// use ct_core::correction::CorrectionKind;
+/// use ct_gossip::GossipSpec;
+/// use ct_logp::LogP;
+/// use ct_sim::Simulation;
+///
+/// let spec = GossipSpec::time_limited(14, CorrectionKind::Checked);
+/// let out = Simulation::builder(128, LogP::PAPER).seed(1).build().run(&spec)?;
+/// assert!(out.all_live_colored());
+/// assert!(out.messages.gossip > 0);
+/// # Ok::<(), ct_sim::SimError>(())
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct GossipSpec {
+    /// Gossip budget.
+    pub mode: GossipMode,
+    /// Correction algorithm run after gossip.
+    pub correction: CorrectionKind,
+}
+
+impl GossipSpec {
+    /// Time-limited gossip followed by the given correction.
+    pub fn time_limited(gossip_time: u64, correction: CorrectionKind) -> GossipSpec {
+        GossipSpec { mode: GossipMode::TimeLimited(gossip_time), correction }
+    }
+
+    /// Round-limited gossip (the cluster formulation).
+    pub fn round_limited(rounds: u32, correction: CorrectionKind) -> GossipSpec {
+        GossipSpec { mode: GossipMode::RoundLimited(rounds), correction }
+    }
+}
+
+impl fmt::Display for GossipSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "gossip({})+{}", self.mode, self.correction)
+    }
+}
+
+impl ProtocolFactory for GossipSpec {
+    fn label(&self) -> String {
+        self.to_string()
+    }
+
+    fn build(&self, ctx: &BuildCtx) -> Result<Vec<Box<dyn Process>>, ProtocolError> {
+        match self.mode {
+            GossipMode::TimeLimited(0) => {
+                return Err(ProtocolError::InvalidConfig(
+                    "gossip time must be ≥ 1 step".into(),
+                ))
+            }
+            GossipMode::RoundLimited(0) => {
+                return Err(ProtocolError::InvalidConfig(
+                    "gossip round limit must be ≥ 1".into(),
+                ))
+            }
+            _ => {}
+        }
+        Ok((0..ctx.p)
+            .map(|r| Box::new(GossipProcess::new(r, ctx.p, *self, ctx.seed)) as Box<dyn Process>)
+            .collect())
+    }
+}
+
+/// Per-rank state machine for Corrected Gossip.
+pub struct GossipProcess {
+    rank: Rank,
+    p: u32,
+    spec: GossipSpec,
+    rng: SmallRng,
+    colored_at: Option<Time>,
+    colored_via: Option<ColoredVia>,
+    /// Hop counter for round-limited mode.
+    round: u32,
+    gossip_over: bool,
+    machine: Option<Box<dyn Correction>>,
+    machine_done: bool,
+    pending_corr: Vec<(Rank, Time)>,
+    done: bool,
+}
+
+impl GossipProcess {
+    /// Create the machine for `rank` of `p`; the per-process RNG stream
+    /// is derived from `(seed, rank)` so runs are reproducible.
+    pub fn new(rank: Rank, p: u32, spec: GossipSpec, seed: u64) -> Self {
+        let stream = seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(rank as u64 + 1);
+        let is_root = rank == 0;
+        GossipProcess {
+            rank,
+            p,
+            spec,
+            rng: SmallRng::seed_from_u64(stream),
+            colored_at: is_root.then_some(Time::ZERO),
+            colored_via: is_root.then_some(ColoredVia::Root),
+            round: 0,
+            gossip_over: false,
+            machine: None,
+            machine_done: false,
+            pending_corr: Vec::new(),
+            done: false,
+        }
+    }
+
+    /// A uniformly random rank different from our own.
+    pub fn random_target(&mut self) -> Rank {
+        debug_assert!(self.p >= 2);
+        let raw = self.rng.gen_range(0..self.p - 1);
+        if raw >= self.rank {
+            raw + 1
+        } else {
+            raw
+        }
+    }
+
+    fn participates(&self) -> bool {
+        !self.spec.correction.is_none()
+            && matches!(
+                self.colored_via,
+                Some(ColoredVia::Root) | Some(ColoredVia::Dissemination)
+            )
+    }
+
+    /// Correction start time: the global gossip deadline in time-limited
+    /// mode, or "now" (overlapped per process) in round-limited mode.
+    fn correction_start(&self, now: Time) -> Time {
+        match self.spec.mode {
+            GossipMode::TimeLimited(g) => Time::new(g),
+            GossipMode::RoundLimited(_) => now,
+        }
+    }
+
+    fn ensure_machine(&mut self, now: Time) {
+        if self.machine.is_some() || self.machine_done {
+            return;
+        }
+        let start = self.correction_start(now);
+        let mut machine = self
+            .spec
+            .correction
+            .machine(self.rank, self.p, start)
+            .expect("participating implies a correction kind");
+        for (from, t) in self.pending_corr.drain(..) {
+            machine.on_correction(from, t);
+        }
+        self.machine = Some(machine);
+    }
+}
+
+impl Process for GossipProcess {
+    fn on_message(&mut self, from: Rank, payload: Payload, now: Time) {
+        match payload {
+            Payload::Gossip { round } => {
+                if self.colored_at.is_none() {
+                    self.colored_at = Some(now);
+                    self.colored_via = Some(ColoredVia::Dissemination);
+                    self.done = false;
+                }
+                // Track gossip progress even on duplicates: the round
+                // counter is a logical clock for the round-limited mode.
+                self.round = self.round.max(round);
+                if let GossipMode::RoundLimited(limit) = self.spec.mode {
+                    if round >= limit {
+                        self.gossip_over = true;
+                    }
+                }
+            }
+            Payload::Correction => {
+                if self.colored_at.is_none() {
+                    self.colored_at = Some(now);
+                    self.colored_via = Some(ColoredVia::Correction);
+                    // Colored by correction: stays silent (§3.1).
+                }
+                if self.participates() {
+                    if let Some(m) = self.machine.as_mut() {
+                        m.on_correction(from, now);
+                    } else if !self.machine_done {
+                        self.pending_corr.push((from, now));
+                    }
+                }
+            }
+            Payload::Tree | Payload::Ack => {
+                debug_assert!(false, "unexpected payload in gossip broadcast");
+            }
+        }
+    }
+
+    fn poll_send(&mut self, now: Time) -> SendPoll {
+        if self.done {
+            return SendPoll::Done;
+        }
+        if self.colored_at.is_none() {
+            return SendPoll::Idle;
+        }
+        if self.colored_via == Some(ColoredVia::Correction) {
+            // Non-participant.
+            self.done = true;
+            return SendPoll::Done;
+        }
+        // Gossip phase.
+        if !self.gossip_over && self.p >= 2 {
+            match self.spec.mode {
+                GossipMode::TimeLimited(g) => {
+                    if now < Time::new(g) {
+                        let to = self.random_target();
+                        self.round += 1;
+                        return SendPoll::Now {
+                            to,
+                            payload: Payload::Gossip { round: self.round },
+                        };
+                    }
+                    self.gossip_over = true;
+                }
+                GossipMode::RoundLimited(limit) => {
+                    if self.round < limit {
+                        let to = self.random_target();
+                        self.round += 1;
+                        return SendPoll::Now {
+                            to,
+                            payload: Payload::Gossip { round: self.round },
+                        };
+                    }
+                    self.gossip_over = true;
+                }
+            }
+        }
+        // Correction phase.
+        if self.spec.correction.is_none() {
+            self.done = true;
+            return SendPoll::Done;
+        }
+        if !self.machine_done {
+            self.ensure_machine(now);
+            let poll = self.machine.as_mut().expect("just ensured").poll(now);
+            return match poll {
+                CorrPoll::Send(to) => SendPoll::Now { to, payload: Payload::Correction },
+                CorrPoll::WaitUntil(t) => SendPoll::WaitUntil(t),
+                CorrPoll::Idle => SendPoll::Idle,
+                CorrPoll::Done => {
+                    self.machine = None;
+                    self.machine_done = true;
+                    self.done = true;
+                    SendPoll::Done
+                }
+            };
+        }
+        self.done = true;
+        SendPoll::Done
+    }
+
+    fn colored_at(&self) -> Option<Time> {
+        self.colored_at
+    }
+
+    fn colored_via(&self) -> Option<ColoredVia> {
+        self.colored_via
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ct_logp::LogP;
+    use ct_sim::{FaultPlan, Simulation};
+
+    #[test]
+    fn fault_free_gossip_with_checked_correction_colors_everyone() {
+        let spec = GossipSpec::time_limited(12, CorrectionKind::Checked);
+        for seed in 0..5 {
+            let out = Simulation::builder(128, LogP::PAPER)
+                .seed(seed)
+                .build()
+                .run(&spec)
+                .unwrap();
+            assert!(out.all_live_colored(), "seed {seed}: {:?}", out.uncolored_live());
+            assert!(out.messages.gossip > 0);
+            assert!(out.messages.correction > 0);
+        }
+    }
+
+    #[test]
+    fn gossip_is_robust_to_heavy_failures() {
+        let spec = GossipSpec::time_limited(24, CorrectionKind::Checked);
+        let faults = FaultPlan::random_rate(256, 0.04, 11).unwrap();
+        let out = Simulation::builder(256, LogP::PAPER)
+            .seed(3)
+            .faults(faults)
+            .build()
+            .run(&spec)
+            .unwrap();
+        assert!(out.all_live_colored(), "{:?}", out.uncolored_live());
+    }
+
+    #[test]
+    fn round_limited_mode_terminates_and_colors() {
+        let spec = GossipSpec::round_limited(10, CorrectionKind::Checked);
+        let out = Simulation::builder(64, LogP::PAPER)
+            .seed(5)
+            .build()
+            .run(&spec)
+            .unwrap();
+        assert!(out.all_live_colored(), "{:?}", out.uncolored_live());
+    }
+
+    #[test]
+    fn gossip_message_count_scales_with_gossip_time() {
+        let short = GossipSpec::time_limited(8, CorrectionKind::Checked);
+        let long = GossipSpec::time_limited(20, CorrectionKind::Checked);
+        let run = |s: &GossipSpec| {
+            Simulation::builder(128, LogP::PAPER)
+                .seed(1)
+                .build()
+                .run(s)
+                .unwrap()
+                .messages
+                .gossip
+        };
+        assert!(run(&long) > run(&short));
+    }
+
+    #[test]
+    fn same_seed_reproduces_gossip_exactly() {
+        let spec = GossipSpec::time_limited(15, CorrectionKind::Checked);
+        let run = || {
+            Simulation::builder(200, LogP::PAPER)
+                .seed(42)
+                .build()
+                .run(&spec)
+                .unwrap()
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(a.colored_at, b.colored_at);
+        assert_eq!(a.messages, b.messages);
+    }
+
+    #[test]
+    fn different_ranks_use_different_streams() {
+        let spec = GossipSpec::time_limited(10, CorrectionKind::Checked);
+        let mut a = GossipProcess::new(1, 1000, spec, 7);
+        let mut b = GossipProcess::new(2, 1000, spec, 7);
+        let ta: Vec<Rank> = (0..20).map(|_| a.random_target()).collect();
+        let tb: Vec<Rank> = (0..20).map(|_| b.random_target()).collect();
+        assert_ne!(ta, tb);
+        assert!(ta.iter().all(|&t| t != 1 && t < 1000));
+        assert!(tb.iter().all(|&t| t != 2));
+    }
+
+    #[test]
+    fn rejects_zero_budgets() {
+        let ctx = BuildCtx { p: 8, logp: LogP::PAPER, seed: 0 };
+        assert!(GossipSpec::time_limited(0, CorrectionKind::Checked)
+            .build(&ctx)
+            .is_err());
+        assert!(GossipSpec::round_limited(0, CorrectionKind::Checked)
+            .build(&ctx)
+            .is_err());
+    }
+
+    #[test]
+    fn gossip_sends_many_more_messages_than_tree_dissemination() {
+        // Sanity for the Figure 6 shape: gossip with enough time to color
+        // everyone sends ≫ 1 dissemination message per process.
+        let spec = GossipSpec::time_limited(20, CorrectionKind::Opportunistic { distance: 4 });
+        let out = Simulation::builder(256, LogP::PAPER)
+            .seed(2)
+            .build()
+            .run(&spec)
+            .unwrap();
+        assert!(
+            out.messages.gossip as f64 / 256.0 > 1.5,
+            "gossip redundancy should exceed tree dissemination"
+        );
+    }
+
+    #[test]
+    fn label_is_stable() {
+        assert_eq!(
+            GossipSpec::time_limited(30, CorrectionKind::Checked).label(),
+            "gossip(time=30)+checked"
+        );
+        assert_eq!(
+            GossipSpec::round_limited(4, CorrectionKind::Opportunistic { distance: 2 }).label(),
+            "gossip(rounds=4)+opportunistic(d=2)"
+        );
+    }
+}

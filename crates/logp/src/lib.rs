@@ -1,0 +1,30 @@
+//! # ct-logp — the LogP machine model
+//!
+//! Shared primitives for the Corrected Trees reproduction: process
+//! [`Rank`]s, discrete [`Time`] steps, and the [`LogP`] parameter set of
+//! Culler et al. (PPoPP'93) as specialized by the paper (§2.2):
+//!
+//! * `P` processes communicate over a reliable interconnect that neither
+//!   loses nor reorders messages;
+//! * every transmission costs a send overhead `o` at the sender and a
+//!   receive overhead `o` at the receiver;
+//! * the wire adds a uniform latency `L`;
+//! * the gap `g` satisfies `g ≤ o` in the small-message regime and is
+//!   therefore ignored by all protocols (a process can inject messages
+//!   back-to-back every `o` steps);
+//! * a process can overlap one send with one receive, but processes at
+//!   most one of each at a time.
+//!
+//! All quantities are positive integers (`{o, L} ⊂ ℤ⁺`), so simulation is
+//! exact and bit-reproducible.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod params;
+pub mod rank;
+pub mod time;
+
+pub use params::LogP;
+pub use rank::{ring_add, ring_distance, ring_gap_ccw, ring_gap_cw, ring_sub, Rank};
+pub use time::Time;

@@ -1,0 +1,122 @@
+//! Process ranks and ring geometry.
+//!
+//! A broadcast involves `P` processes with ranks `0, …, P-1`; the root is
+//! always rank 0 (§2). The correction phase arranges all ranks on a
+//! *linear ring* in rank order, with rank `P-1` adjacent to rank 0
+//! (§3.1). The helpers here compute directed and undirected distances on
+//! that ring; all tree-to-ring mappings in `ct-core` are expressed with
+//! them.
+
+/// A process rank, `0 ≤ rank < P`.
+///
+/// `u32` comfortably covers the paper's largest experiment (`P = 2¹⁹`)
+/// while keeping per-process bookkeeping compact at 64K+ processes.
+pub type Rank = u32;
+
+/// Clockwise (ascending-rank) distance from `from` to `to` on a ring of
+/// `p` processes: the number of hops walking `from → from+1 → …` until
+/// reaching `to`, wrapping at `p`.
+///
+/// # Panics
+/// Panics if `p == 0` or either rank is out of range (debug builds).
+#[inline]
+pub fn ring_gap_cw(from: Rank, to: Rank, p: u32) -> u32 {
+    debug_assert!(p > 0 && from < p && to < p);
+    if to >= from {
+        to - from
+    } else {
+        p - from + to
+    }
+}
+
+/// Counter-clockwise (descending-rank) distance from `from` to `to`.
+#[inline]
+pub fn ring_gap_ccw(from: Rank, to: Rank, p: u32) -> u32 {
+    debug_assert!(p > 0 && from < p && to < p);
+    ring_gap_cw(to, from, p)
+}
+
+/// Undirected ring distance: `min(cw, ccw)`.
+#[inline]
+pub fn ring_distance(a: Rank, b: Rank, p: u32) -> u32 {
+    let cw = ring_gap_cw(a, b, p);
+    cw.min(p - cw)
+}
+
+/// The rank `steps` positions clockwise (ascending) from `r` on a ring of
+/// `p` processes.
+#[inline]
+pub fn ring_add(r: Rank, steps: u32, p: u32) -> Rank {
+    debug_assert!(p > 0 && r < p);
+    (((r as u64) + (steps as u64)) % (p as u64)) as Rank
+}
+
+/// The rank `steps` positions counter-clockwise (descending) from `r`.
+#[inline]
+pub fn ring_sub(r: Rank, steps: u32, p: u32) -> Rank {
+    debug_assert!(p > 0 && r < p);
+    let steps = (steps as u64) % (p as u64);
+    let r = r as u64;
+    let p = p as u64;
+    ((r + p - steps) % p) as Rank
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cw_gap_wraps() {
+        assert_eq!(ring_gap_cw(0, 3, 8), 3);
+        assert_eq!(ring_gap_cw(6, 2, 8), 4);
+        assert_eq!(ring_gap_cw(5, 5, 8), 0);
+        assert_eq!(ring_gap_cw(7, 0, 8), 1);
+    }
+
+    #[test]
+    fn ccw_gap_is_reverse_cw() {
+        for p in [1u32, 2, 3, 8, 13] {
+            for a in 0..p {
+                for b in 0..p {
+                    assert_eq!(ring_gap_ccw(a, b, p), ring_gap_cw(b, a, p));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn distance_is_symmetric_and_bounded() {
+        for p in [1u32, 2, 5, 16] {
+            for a in 0..p {
+                for b in 0..p {
+                    let d = ring_distance(a, b, p);
+                    assert_eq!(d, ring_distance(b, a, p));
+                    assert!(d <= p / 2);
+                    if a == b {
+                        assert_eq!(d, 0);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ring_add_sub_roundtrip() {
+        for p in [1u32, 2, 7, 64] {
+            for r in 0..p {
+                for s in 0..(2 * p + 1) {
+                    let fwd = ring_add(r, s, p);
+                    assert!(fwd < p);
+                    assert_eq!(ring_sub(fwd, s, p), r);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ring_add_large_steps_no_overflow() {
+        // (MAX-1) + MAX ≡ MAX-1 (mod MAX): adding a full lap is a no-op.
+        assert_eq!(ring_add(u32::MAX - 1, u32::MAX, u32::MAX), u32::MAX - 1);
+        assert_eq!(ring_sub(0, u32::MAX, u32::MAX), 0);
+    }
+}

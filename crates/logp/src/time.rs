@@ -1,0 +1,237 @@
+//! Discrete simulation time.
+//!
+//! The paper assumes `{o, L} ∈ ℤ⁺`, so all event times are exact
+//! non-negative integers. [`Time`] is a thin newtype over `u64` with
+//! saturating arithmetic and a [`Time::NEVER`] sentinel used for "this
+//! event is not scheduled".
+
+use core::fmt;
+use core::ops::{Add, AddAssign, Mul, Sub, SubAssign};
+
+use serde::{Deserialize, Serialize};
+
+/// A point in (or duration of) discrete simulated time, in LogP steps.
+///
+/// `Time` is totally ordered and supports saturating `+`, `-` and `*`
+/// with both `Time` and plain `u64` step counts. Subtraction saturates at
+/// zero, addition at [`Time::NEVER`]; `NEVER` is absorbing for addition,
+/// which makes "schedule at `deadline + o`" safe even for unscheduled
+/// deadlines.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct Time(u64);
+
+impl Time {
+    /// Time zero: the instant the root starts sending the first message.
+    pub const ZERO: Time = Time(0);
+    /// One LogP step.
+    pub const STEP: Time = Time(1);
+    /// Sentinel for "never happens"; absorbing under addition.
+    pub const NEVER: Time = Time(u64::MAX);
+
+    /// Construct a time from a raw step count.
+    #[inline]
+    pub const fn new(steps: u64) -> Self {
+        Time(steps)
+    }
+
+    /// The raw step count.
+    #[inline]
+    pub const fn steps(self) -> u64 {
+        self.0
+    }
+
+    /// `true` iff this is the [`Time::NEVER`] sentinel.
+    #[inline]
+    pub const fn is_never(self) -> bool {
+        self.0 == u64::MAX
+    }
+
+    /// Saturating addition of a raw step count.
+    #[inline]
+    pub const fn plus(self, steps: u64) -> Self {
+        Time(self.0.saturating_add(steps))
+    }
+
+    /// Saturating subtraction of a raw step count (floors at zero).
+    #[inline]
+    pub const fn minus(self, steps: u64) -> Self {
+        Time(self.0.saturating_sub(steps))
+    }
+
+    /// The later of two times.
+    #[inline]
+    pub fn max(self, other: Self) -> Self {
+        if self.0 >= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// The earlier of two times (`NEVER` loses against anything).
+    #[inline]
+    pub fn min(self, other: Self) -> Self {
+        if self.0 <= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Duration between two points, `self - earlier`, saturating at zero.
+    #[inline]
+    pub const fn since(self, earlier: Time) -> Time {
+        Time(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl fmt::Debug for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_never() {
+            write!(f, "Time(NEVER)")
+        } else {
+            write!(f, "Time({})", self.0)
+        }
+    }
+}
+
+impl fmt::Display for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // `f.pad` honors width/alignment requested by the caller.
+        if self.is_never() {
+            f.pad("∞")
+        } else {
+            f.pad(&self.0.to_string())
+        }
+    }
+}
+
+impl From<u64> for Time {
+    fn from(steps: u64) -> Self {
+        Time(steps)
+    }
+}
+
+impl Add for Time {
+    type Output = Time;
+    #[inline]
+    fn add(self, rhs: Time) -> Time {
+        Time(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl Add<u64> for Time {
+    type Output = Time;
+    #[inline]
+    fn add(self, rhs: u64) -> Time {
+        self.plus(rhs)
+    }
+}
+
+impl AddAssign for Time {
+    #[inline]
+    fn add_assign(&mut self, rhs: Time) {
+        *self = *self + rhs;
+    }
+}
+
+impl AddAssign<u64> for Time {
+    #[inline]
+    fn add_assign(&mut self, rhs: u64) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Time {
+    type Output = Time;
+    #[inline]
+    fn sub(self, rhs: Time) -> Time {
+        Time(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Sub<u64> for Time {
+    type Output = Time;
+    #[inline]
+    fn sub(self, rhs: u64) -> Time {
+        self.minus(rhs)
+    }
+}
+
+impl SubAssign for Time {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Time) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<u64> for Time {
+    type Output = Time;
+    #[inline]
+    fn mul(self, rhs: u64) -> Time {
+        Time(self.0.saturating_mul(rhs))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_and_step() {
+        assert_eq!(Time::ZERO.steps(), 0);
+        assert_eq!(Time::STEP.steps(), 1);
+        assert_eq!(Time::ZERO + Time::STEP, Time::new(1));
+    }
+
+    #[test]
+    fn ordering_is_numeric() {
+        assert!(Time::new(3) < Time::new(5));
+        assert!(Time::NEVER > Time::new(u64::MAX - 1));
+        assert_eq!(Time::new(7).max(Time::new(3)), Time::new(7));
+        assert_eq!(Time::new(7).min(Time::new(3)), Time::new(3));
+    }
+
+    #[test]
+    fn never_is_absorbing_for_add() {
+        assert_eq!(Time::NEVER + 5, Time::NEVER);
+        assert_eq!(Time::NEVER + Time::new(123), Time::NEVER);
+        assert!(Time::NEVER.is_never());
+        assert!(!(Time::ZERO).is_never());
+    }
+
+    #[test]
+    fn subtraction_saturates_at_zero() {
+        assert_eq!(Time::new(3) - 10u64, Time::ZERO);
+        assert_eq!(Time::new(10) - Time::new(3), Time::new(7));
+        assert_eq!(Time::new(3).since(Time::new(10)), Time::ZERO);
+        assert_eq!(Time::new(10).since(Time::new(4)), Time::new(6));
+    }
+
+    #[test]
+    fn multiplication_scales_steps() {
+        assert_eq!(Time::new(3) * 4, Time::new(12));
+        assert_eq!(Time::NEVER * 2, Time::NEVER);
+        let zero_scale = 0u64;
+        assert_eq!(Time::new(5) * zero_scale, Time::ZERO);
+    }
+
+    #[test]
+    fn assign_ops() {
+        let mut t = Time::new(2);
+        t += 3u64;
+        assert_eq!(t, Time::new(5));
+        t += Time::new(1);
+        assert_eq!(t, Time::new(6));
+        t -= Time::new(2);
+        assert_eq!(t, Time::new(4));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Time::new(42).to_string(), "42");
+        assert_eq!(Time::NEVER.to_string(), "∞");
+        assert_eq!(format!("{:?}", Time::NEVER), "Time(NEVER)");
+        assert_eq!(format!("{:?}", Time::new(2)), "Time(2)");
+    }
+}

@@ -1,0 +1,459 @@
+//! Worker threads, wire format and the per-broadcast drive loop.
+//!
+//! A [`Cluster`] owns `P` long-lived worker threads. Each broadcast
+//! iteration ships one freshly built protocol state machine to every
+//! worker; workers then exchange rank-addressed messages until the
+//! coordinator has seen a "colored" notification from every live rank
+//! (or times out), sends `Stop`, and collects acknowledgments. Stale
+//! messages are discarded by broadcast id, so iterations cannot bleed
+//! into one another even with messages still in flight.
+
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use ct_core::protocol::{BuildCtx, Payload, Process, ProtocolError, ProtocolFactory, SendPoll};
+use ct_logp::{LogP, Rank, Time};
+
+/// Wire traffic between the coordinator and workers.
+enum WorkerMsg {
+    /// Begin broadcast `id` with this protocol instance; `dead` workers
+    /// emulate a crashed process for the whole iteration.
+    Start {
+        id: u64,
+        process: Box<dyn Process>,
+        dead: bool,
+        epoch: Instant,
+    },
+    /// Rank-to-rank payload of broadcast `id`.
+    Data { id: u64, from: Rank, payload: Payload },
+    /// End broadcast `id`; the worker acknowledges and discards state.
+    Stop { id: u64 },
+    /// Tear the worker down.
+    Shutdown,
+}
+
+/// Worker → coordinator notifications.
+enum CoordMsg {
+    /// `rank` became colored in broadcast `id`.
+    Colored { id: u64, rank: Rank },
+    /// `rank` finished cleaning up broadcast `id`; carries the number of
+    /// messages this rank sent during the iteration.
+    StopAck { id: u64, rank: Rank, sent: u64 },
+}
+
+/// Errors from cluster operation.
+#[derive(Debug)]
+pub enum ClusterError {
+    /// The protocol factory failed.
+    Protocol(ProtocolError),
+    /// A protocol asked for a synchronized wait the cluster cannot hono
+    /// r precisely; reported for diagnosis (the drive loop still sleeps).
+    WorkerPanicked,
+}
+
+impl core::fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ClusterError::Protocol(e) => write!(f, "protocol: {e}"),
+            ClusterError::WorkerPanicked => write!(f, "a worker thread panicked"),
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {}
+
+impl From<ProtocolError> for ClusterError {
+    fn from(e: ProtocolError) -> Self {
+        ClusterError::Protocol(e)
+    }
+}
+
+/// Result of one broadcast iteration on the cluster.
+#[derive(Clone, Debug)]
+pub struct RunReport {
+    /// Wall-clock time from `Start` until the last live rank reported
+    /// the payload (coloring latency).
+    pub latency: Duration,
+    /// Live ranks that never got colored before the timeout (empty on
+    /// success).
+    pub uncolored: Vec<Rank>,
+    /// Total messages sent by all ranks.
+    pub messages: u64,
+    /// Whether the iteration completed before the deadline.
+    pub completed: bool,
+}
+
+/// A pool of worker threads emulating a cluster of `P` single-process
+/// nodes over a reliable in-memory interconnect.
+pub struct Cluster {
+    p: u32,
+    logp: LogP,
+    to_workers: Vec<Sender<WorkerMsg>>,
+    from_workers: Receiver<CoordMsg>,
+    handles: Vec<JoinHandle<()>>,
+    next_id: u64,
+    /// Per-iteration completion deadline.
+    timeout: Duration,
+}
+
+impl Cluster {
+    /// Spin up `p` worker threads. `logp` is only forwarded to protocol
+    /// factories (tree construction); transport timing is real.
+    pub fn new(p: u32, logp: LogP) -> Cluster {
+        assert!(p >= 1);
+        let mut to_workers = Vec::with_capacity(p as usize);
+        let mut worker_rx = Vec::with_capacity(p as usize);
+        for _ in 0..p {
+            let (tx, rx) = unbounded::<WorkerMsg>();
+            to_workers.push(tx);
+            worker_rx.push(rx);
+        }
+        let (coord_tx, from_workers) = unbounded::<CoordMsg>();
+        let peers: Arc<Vec<Sender<WorkerMsg>>> = Arc::new(to_workers.clone());
+        let mut handles = Vec::with_capacity(p as usize);
+        for (rank, rx) in worker_rx.into_iter().enumerate() {
+            let peers = Arc::clone(&peers);
+            let coord = coord_tx.clone();
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("ct-rank-{rank}"))
+                    .spawn(move || worker_main(rank as Rank, rx, peers, coord))
+                    .expect("spawn worker thread"),
+            );
+        }
+        Cluster {
+            p,
+            logp,
+            to_workers,
+            from_workers,
+            handles,
+            next_id: 1,
+            timeout: Duration::from_secs(5),
+        }
+    }
+
+    /// Number of ranks.
+    pub fn p(&self) -> u32 {
+        self.p
+    }
+
+    /// Change the per-iteration completion deadline (default 5 s).
+    pub fn set_timeout(&mut self, timeout: Duration) {
+        self.timeout = timeout;
+    }
+
+    /// Run one broadcast of `factory`'s protocol with `dead` marking
+    /// emulated crash failures. The protocol's initiating rank (rank 0,
+    /// or `BroadcastSpec::root` for rotated broadcasts) must be alive —
+    /// a dead initiator simply times out with nobody colored.
+    pub fn run_broadcast(
+        &mut self,
+        factory: &dyn ProtocolFactory,
+        dead: &[bool],
+        seed: u64,
+    ) -> Result<RunReport, ClusterError> {
+        assert_eq!(dead.len(), self.p as usize);
+        let id = self.next_id;
+        self.next_id += 1;
+        let ctx = BuildCtx { p: self.p, logp: self.logp, seed };
+        let mut processes = factory.build(&ctx)?;
+        assert_eq!(processes.len(), self.p as usize);
+
+        let live: u32 = dead.iter().filter(|&&d| !d).count() as u32;
+        let epoch = Instant::now();
+        // Reverse order so the root receives its Start last: by the time
+        // it begins disseminating, everyone else is already listening.
+        for rank in (0..self.p).rev() {
+            let process = processes.pop().expect("one per rank");
+            self.to_workers[rank as usize]
+                .send(WorkerMsg::Start { id, process, dead: dead[rank as usize], epoch })
+                .expect("worker alive");
+        }
+
+        let start = Instant::now();
+        let deadline = start + self.timeout;
+        let mut colored = vec![false; self.p as usize];
+        let mut colored_count = 0u32;
+        let mut completed = false;
+        let mut latency = self.timeout;
+        while colored_count < live {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            match self.from_workers.recv_timeout(remaining) {
+                Ok(CoordMsg::Colored { id: mid, rank, .. }) if mid == id => {
+                    if !colored[rank as usize] {
+                        colored[rank as usize] = true;
+                        colored_count += 1;
+                    }
+                }
+                Ok(_) => {} // stale notification from a previous iteration
+                Err(RecvTimeoutError::Timeout) => break,
+                Err(RecvTimeoutError::Disconnected) => {
+                    return Err(ClusterError::WorkerPanicked)
+                }
+            }
+        }
+        if colored_count == live {
+            completed = true;
+            latency = start.elapsed();
+        }
+
+        // Tear down the iteration and collect per-rank message counts.
+        for tx in &self.to_workers {
+            tx.send(WorkerMsg::Stop { id }).expect("worker alive");
+        }
+        let mut acked = vec![false; self.p as usize];
+        let mut acks = 0u32;
+        let mut messages = 0u64;
+        while acks < self.p {
+            match self.from_workers.recv_timeout(Duration::from_secs(10)) {
+                Ok(CoordMsg::StopAck { id: mid, rank, sent }) if mid == id => {
+                    assert!(!acked[rank as usize], "duplicate StopAck from {rank}");
+                    acked[rank as usize] = true;
+                    acks += 1;
+                    messages += sent;
+                }
+                Ok(_) => {}
+                Err(_) => return Err(ClusterError::WorkerPanicked),
+            }
+        }
+
+        let uncolored = colored
+            .iter()
+            .zip(dead)
+            .enumerate()
+            .filter_map(|(r, (&c, &d))| (!c && !d).then_some(r as Rank))
+            .collect();
+        Ok(RunReport { latency, uncolored, messages, completed })
+    }
+}
+
+impl Drop for Cluster {
+    fn drop(&mut self) {
+        for tx in &self.to_workers {
+            let _ = tx.send(WorkerMsg::Shutdown);
+        }
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Microseconds since the iteration epoch, as protocol [`Time`].
+fn now_since(epoch: Instant) -> Time {
+    Time::new(epoch.elapsed().as_micros() as u64)
+}
+
+fn worker_main(
+    rank: Rank,
+    rx: Receiver<WorkerMsg>,
+    peers: Arc<Vec<Sender<WorkerMsg>>>,
+    coord: Sender<CoordMsg>,
+) {
+    // State of the current iteration, if any.
+    let mut cur: Option<(u64, Box<dyn Process>, bool, Instant)> = None;
+    let mut sent: u64 = 0;
+    let mut notified = false;
+    // Pending protocol-requested wake-up.
+    let mut wake_at: Option<Time> = None;
+
+    loop {
+        // Drive the protocol as far as it goes right now.
+        if let Some((id, process, dead, epoch)) = cur.as_mut() {
+            if !*dead {
+                loop {
+                    let now = now_since(*epoch);
+                    match process.poll_send(now) {
+                        SendPoll::Now { to, payload } => {
+                            sent += 1;
+                            // The interconnect is reliable: a send only
+                            // fails if the whole cluster is shutting down.
+                            let _ = peers[to as usize].send(WorkerMsg::Data {
+                                id: *id,
+                                from: rank,
+                                payload,
+                            });
+                        }
+                        SendPoll::WaitUntil(t) => {
+                            wake_at = Some(t);
+                            break;
+                        }
+                        SendPoll::Idle | SendPoll::Done => {
+                            wake_at = None;
+                            break;
+                        }
+                    }
+                }
+                if !notified && process.colored_at().is_some() {
+                    notified = true;
+                    let _ = coord.send(CoordMsg::Colored { id: *id, rank });
+                }
+            }
+        }
+
+        // Block for the next message, honoring a pending wake-up.
+        let msg = match (&cur, wake_at) {
+            (Some((_, _, dead, epoch)), Some(at)) if !*dead => {
+                let now = now_since(*epoch);
+                let sleep = Duration::from_micros(at.steps().saturating_sub(now.steps()));
+                match rx.recv_timeout(sleep) {
+                    Ok(m) => m,
+                    Err(RecvTimeoutError::Timeout) => {
+                        wake_at = None;
+                        continue; // re-poll at the requested time
+                    }
+                    Err(RecvTimeoutError::Disconnected) => return,
+                }
+            }
+            _ => match rx.recv() {
+                Ok(m) => m,
+                Err(_) => return,
+            },
+        };
+
+        match msg {
+            WorkerMsg::Start { id, process, dead, epoch } => {
+                cur = Some((id, process, dead, epoch));
+                sent = 0;
+                notified = false;
+                wake_at = None;
+            }
+            WorkerMsg::Data { id, from, payload } => {
+                if let Some((cid, process, dead, epoch)) = cur.as_mut() {
+                    if id == *cid && !*dead {
+                        let now = now_since(*epoch);
+                        process.on_message(from, payload, now);
+                    }
+                    // Stale or dead: drop silently (crash emulation).
+                }
+            }
+            WorkerMsg::Stop { id } => {
+                let matches_current = cur.as_ref().is_some_and(|(cid, ..)| *cid == id);
+                if matches_current {
+                    cur = None;
+                }
+                let _ = coord.send(CoordMsg::StopAck { id, rank, sent });
+                sent = 0;
+                wake_at = None;
+            }
+            WorkerMsg::Shutdown => return,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ct_core::correction::CorrectionKind;
+    use ct_core::protocol::BroadcastSpec;
+    use ct_core::tree::TreeKind;
+
+    fn no_faults(p: u32) -> Vec<bool> {
+        vec![false; p as usize]
+    }
+
+    #[test]
+    fn fault_free_binomial_completes() {
+        let mut cluster = Cluster::new(32, LogP::PAPER);
+        let spec = BroadcastSpec::plain_tree(TreeKind::BINOMIAL);
+        let report = cluster.run_broadcast(&spec, &no_faults(32), 0).unwrap();
+        assert!(report.completed, "uncolored: {:?}", report.uncolored);
+        assert!(report.uncolored.is_empty());
+        assert_eq!(report.messages, 31);
+    }
+
+    #[test]
+    fn corrected_tree_heals_crashed_ranks() {
+        let p = 64;
+        let mut cluster = Cluster::new(p, LogP::PAPER);
+        let spec = BroadcastSpec::corrected_tree(
+            TreeKind::BINOMIAL,
+            CorrectionKind::OpportunisticOptimized { distance: 4 },
+        );
+        let mut dead = no_faults(p);
+        dead[1] = true;
+        dead[2] = true;
+        dead[33] = true;
+        let report = cluster.run_broadcast(&spec, &dead, 0).unwrap();
+        assert!(report.completed, "uncolored: {:?}", report.uncolored);
+    }
+
+    #[test]
+    fn plain_tree_with_crash_times_out_and_reports_orphans() {
+        let p = 16;
+        let mut cluster = Cluster::new(p, LogP::PAPER);
+        cluster.set_timeout(Duration::from_millis(200));
+        let spec = BroadcastSpec::plain_tree(TreeKind::BINOMIAL);
+        let mut dead = no_faults(p);
+        dead[1] = true; // orphan subtree {1,3,5,7,9,11,13,15}
+        let report = cluster.run_broadcast(&spec, &dead, 0).unwrap();
+        assert!(!report.completed);
+        assert_eq!(report.uncolored, vec![3, 5, 7, 9, 11, 13, 15]);
+    }
+
+    #[test]
+    fn iterations_are_isolated() {
+        let p = 16;
+        let mut cluster = Cluster::new(p, LogP::PAPER);
+        let spec = BroadcastSpec::corrected_tree(
+            TreeKind::BINOMIAL,
+            CorrectionKind::Opportunistic { distance: 2 },
+        );
+        for i in 0..10 {
+            let report = cluster.run_broadcast(&spec, &no_faults(p), i).unwrap();
+            assert!(report.completed, "iteration {i}");
+            // All 15 tree messages must flow each iteration; correction
+            // sends may be truncated by Stop (latency is the metric
+            // here, as in the paper's cluster experiments) but can never
+            // exceed the protocol's deterministic total of 16·2d. Any
+            // cross-iteration leakage would break these bounds.
+            assert!(
+                (15..=15 + 16 * 4).contains(&report.messages),
+                "iteration {i}: {} messages",
+                report.messages
+            );
+        }
+    }
+
+    #[test]
+    fn rotated_root_broadcast_completes_on_the_cluster() {
+        let p = 32;
+        let mut cluster = Cluster::new(p, LogP::PAPER);
+        let spec = BroadcastSpec::corrected_tree(
+            TreeKind::BINOMIAL,
+            CorrectionKind::OpportunisticOptimized { distance: 2 },
+        )
+        .with_root(19);
+        // Physical rank 0 may even be dead — it is not the root here.
+        let mut dead = no_faults(p);
+        dead[0] = true;
+        let report = cluster.run_broadcast(&spec, &dead, 0).unwrap();
+        assert!(report.completed, "uncolored: {:?}", report.uncolored);
+    }
+
+    #[test]
+    fn shuffled_numbering_broadcast_completes_on_the_cluster() {
+        let p = 64;
+        let mut cluster = Cluster::new(p, LogP::PAPER);
+        let spec = BroadcastSpec::corrected_tree(TreeKind::LAME2, CorrectionKind::Checked)
+            .with_shuffle(0xBEEF);
+        let mut dead = no_faults(p);
+        for r in [8u32, 9, 10, 11] {
+            dead[r as usize] = true; // a correlated block
+        }
+        for seed in 0..3 {
+            let report = cluster.run_broadcast(&spec, &dead, seed).unwrap();
+            assert!(report.completed, "seed {seed}: {:?}", report.uncolored);
+        }
+    }
+
+    #[test]
+    fn single_rank_cluster() {
+        let mut cluster = Cluster::new(1, LogP::PAPER);
+        let spec = BroadcastSpec::plain_tree(TreeKind::BINOMIAL);
+        let report = cluster.run_broadcast(&spec, &no_faults(1), 0).unwrap();
+        assert!(report.completed);
+        assert_eq!(report.messages, 0);
+    }
+}

@@ -1,0 +1,29 @@
+//! # ct-runtime — in-process message-passing cluster
+//!
+//! The stand-in for the paper's MPI prototype on Piz Daint (§4.4, their
+//! `dying-tree`). One OS thread per rank, crossbeam channels as the
+//! reliable, non-reordering interconnect, and emulated crash failures
+//! ("faults were emulated as crash failures and deadlocks without
+//! noticeable differences", §4.4 — a dead rank here simply discards all
+//! traffic and sends nothing).
+//!
+//! The same protocol state machines that run under the LogP simulator
+//! run here unmodified, driven by wall-clock time (microseconds since
+//! broadcast start) instead of LogP steps. As on the real cluster,
+//! globally synchronized correction is impractical ("problematic due to
+//! limited clock synchronisation precision"), so cluster experiments use
+//! overlapped correction and round-limited gossip — exactly the paper's
+//! prototype scope.
+//!
+//! [`harness`] layers an OSU-benchmark-style measurement loop on top:
+//! repeated broadcasts with warmup, reporting per-iteration latency from
+//! the root's start until every live rank holds the payload.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cluster;
+pub mod harness;
+
+pub use cluster::{Cluster, ClusterError, RunReport};
+pub use harness::{BenchConfig, BenchResult};

@@ -1,0 +1,640 @@
+//! The discrete-event engine.
+//!
+//! Four event kinds drive a run:
+//!
+//! * `SenderFree(r)` — `r`'s sender port became free; poll the protocol.
+//! * `Arrive(r, …)` — a message reached `r`'s receive port (queues FIFO).
+//! * `RecvDone(r)` — `r` finished the `o`-long processing of the message
+//!   at the head of its receive queue; `on_message` runs, then the
+//!   sender is polled (sends overlap receives, §2.2).
+//! * `Repoll(r)` — a protocol-requested `WaitUntil` expired.
+//!
+//! Ties are broken by insertion order (a monotone sequence number), so a
+//! run is a pure function of `(P, LogP, faults, seed, protocol)`.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+use ct_core::protocol::{BuildCtx, Payload, Process, ProtocolError, ProtocolFactory, SendPoll};
+use ct_logp::{LogP, Rank, Time};
+
+use crate::faults::FaultPlan;
+use crate::metrics::{MessageCounts, Outcome};
+use crate::trace::{Trace, TraceEvent, TraceKind};
+
+/// Default cap on processed events — a runaway-protocol backstop far
+/// above any legitimate run (`≈ 100` events per process at `P = 2¹⁹`).
+pub const DEFAULT_MAX_EVENTS: u64 = 2_000_000_000;
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum EventKind {
+    SenderFree,
+    Arrive { from: Rank, payload: Payload },
+    RecvDone,
+    Repoll,
+}
+
+impl EventKind {
+    /// Same-time ordering class. Deliveries must precede sender polls at
+    /// equal timestamps: a message whose processing completes at `t` is
+    /// available to the send decision made at `t` — this is what makes
+    /// the simulated checked correction match Lemma 2 exactly (a process
+    /// that hears from both sides at `t` sends nothing more at `t`).
+    fn class(self) -> u8 {
+        match self {
+            EventKind::Arrive { .. } => 0,
+            EventKind::RecvDone => 1,
+            EventKind::SenderFree => 2,
+            EventKind::Repoll => 3,
+        }
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Event {
+    time: Time,
+    seq: u64,
+    rank: Rank,
+    kind: EventKind,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for Event {}
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.kind.class(), self.seq).cmp(&(
+            other.time,
+            other.kind.class(),
+            other.seq,
+        ))
+    }
+}
+
+/// Errors from a simulation run.
+#[derive(Debug)]
+pub enum SimError {
+    /// The protocol factory failed.
+    Protocol(ProtocolError),
+    /// The event cap was exceeded (protocol likely livelocked).
+    EventLimitExceeded {
+        /// The configured cap.
+        limit: u64,
+    },
+    /// A protocol returned `WaitUntil(t)` with `t` not in the future.
+    NonAdvancingWait {
+        /// The offending rank.
+        rank: Rank,
+        /// Current time.
+        now: Time,
+        /// Requested wake-up.
+        at: Time,
+    },
+}
+
+impl core::fmt::Display for SimError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            SimError::Protocol(e) => write!(f, "protocol: {e}"),
+            SimError::EventLimitExceeded { limit } => {
+                write!(f, "event limit of {limit} exceeded")
+            }
+            SimError::NonAdvancingWait { rank, now, at } => {
+                write!(f, "rank {rank} requested WaitUntil({at}) at time {now}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+impl From<ProtocolError> for SimError {
+    fn from(e: ProtocolError) -> Self {
+        SimError::Protocol(e)
+    }
+}
+
+/// A configured simulation; reusable across protocol factories.
+///
+/// ```
+/// use ct_core::correction::CorrectionKind;
+/// use ct_core::protocol::BroadcastSpec;
+/// use ct_core::tree::TreeKind;
+/// use ct_logp::LogP;
+/// use ct_sim::{FaultPlan, Simulation};
+///
+/// let spec = BroadcastSpec::corrected_tree(
+///     TreeKind::BINOMIAL,
+///     CorrectionKind::OpportunisticOptimized { distance: 4 },
+/// );
+/// let outcome = Simulation::builder(64, LogP::PAPER)
+///     .faults(FaultPlan::random_count(64, 3, 7)?)
+///     .seed(7)
+///     .build()
+///     .run(&spec)?;
+/// assert!(outcome.all_live_colored());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct Simulation {
+    p: u32,
+    logp: LogP,
+    faults: FaultPlan,
+    seed: u64,
+    record_trace: bool,
+    max_events: u64,
+}
+
+/// Builder for [`Simulation`].
+#[derive(Clone, Debug)]
+pub struct SimulationBuilder {
+    p: u32,
+    logp: LogP,
+    faults: Option<FaultPlan>,
+    seed: u64,
+    record_trace: bool,
+    max_events: u64,
+}
+
+impl Simulation {
+    /// Start configuring a simulation of `p` processes.
+    pub fn builder(p: u32, logp: LogP) -> SimulationBuilder {
+        SimulationBuilder {
+            p,
+            logp,
+            faults: None,
+            seed: 0,
+            record_trace: false,
+            max_events: DEFAULT_MAX_EVENTS,
+        }
+    }
+
+    /// The LogP parameters in use.
+    pub fn logp(&self) -> &LogP {
+        &self.logp
+    }
+
+    /// The fault plan in use.
+    pub fn faults(&self) -> &FaultPlan {
+        &self.faults
+    }
+
+    /// Run one broadcast and return its metrics.
+    pub fn run(&self, factory: &dyn ProtocolFactory) -> Result<Outcome, SimError> {
+        self.run_impl(factory, false).map(|(o, _)| o)
+    }
+
+    /// Run one broadcast, additionally recording a full event trace.
+    pub fn run_traced(&self, factory: &dyn ProtocolFactory) -> Result<(Outcome, Trace), SimError> {
+        self.run_impl(factory, true)
+            .map(|(o, t)| (o, t.expect("trace requested")))
+    }
+
+    fn run_impl(
+        &self,
+        factory: &dyn ProtocolFactory,
+        force_trace: bool,
+    ) -> Result<(Outcome, Option<Trace>), SimError> {
+        let p = self.p;
+        let ctx = BuildCtx { p, logp: self.logp, seed: self.seed };
+        let mut procs: Vec<Box<dyn Process>> = factory.build(&ctx)?;
+        assert_eq!(procs.len(), p as usize, "factory must build P processes");
+
+        let o = self.logp.o();
+        let wire = self.logp.o() + self.logp.l(); // send start → arrival
+        let tracing = self.record_trace || force_trace;
+        let mut trace = tracing.then(Trace::default);
+
+        let mut heap: BinaryHeap<Reverse<Event>> = BinaryHeap::new();
+        let mut seq: u64 = 0;
+        let mut push = |heap: &mut BinaryHeap<Reverse<Event>>,
+                        seq: &mut u64,
+                        time: Time,
+                        rank: Rank,
+                        kind: EventKind| {
+            *seq += 1;
+            heap.push(Reverse(Event { time, seq: *seq, rank, kind }));
+        };
+
+        // Per-rank driver state.
+        let mut send_busy_until = vec![Time::ZERO; p as usize];
+        let mut done = vec![false; p as usize];
+        let mut recv_queue: Vec<VecDeque<(Rank, Payload)>> =
+            (0..p).map(|_| VecDeque::new()).collect();
+        let mut recv_busy = vec![false; p as usize];
+        let mut sent_per_rank = vec![0u32; p as usize];
+        let mut messages = MessageCounts::default();
+        let mut quiescence = Time::ZERO;
+        let mut events: u64 = 0;
+
+        // Initial poll of every live rank at t = 0.
+        for r in 0..p {
+            if !self.faults.is_failed(r) {
+                push(&mut heap, &mut seq, Time::ZERO, r, EventKind::SenderFree);
+            }
+        }
+
+        while let Some(Reverse(ev)) = heap.pop() {
+            events += 1;
+            if events > self.max_events {
+                return Err(SimError::EventLimitExceeded { limit: self.max_events });
+            }
+            let now = ev.time;
+            let r = ev.rank;
+            match ev.kind {
+                EventKind::Arrive { from, payload } => {
+                    if self.faults.is_failed(r) {
+                        if let Some(t) = trace.as_mut() {
+                            t.events.push(TraceEvent {
+                                time: now,
+                                kind: TraceKind::DropDead,
+                                from,
+                                to: r,
+                                payload,
+                            });
+                        }
+                        continue;
+                    }
+                    if let Some(t) = trace.as_mut() {
+                        t.events.push(TraceEvent {
+                            time: now,
+                            kind: TraceKind::Arrive,
+                            from,
+                            to: r,
+                            payload,
+                        });
+                    }
+                    recv_queue[r as usize].push_back((from, payload));
+                    if !recv_busy[r as usize] {
+                        recv_busy[r as usize] = true;
+                        push(&mut heap, &mut seq, now + o, r, EventKind::RecvDone);
+                    }
+                }
+                EventKind::RecvDone => {
+                    let (from, payload) = recv_queue[r as usize]
+                        .pop_front()
+                        .expect("RecvDone implies a queued message");
+                    if let Some(t) = trace.as_mut() {
+                        t.events.push(TraceEvent {
+                            time: now,
+                            kind: TraceKind::Deliver,
+                            from,
+                            to: r,
+                            payload,
+                        });
+                    }
+                    quiescence = quiescence.max(now);
+                    procs[r as usize].on_message(from, payload, now);
+                    // Delivery may have unblocked sends.
+                    done[r as usize] = false;
+                    if send_busy_until[r as usize] <= now {
+                        self.poll(
+                            r,
+                            now,
+                            &mut procs,
+                            &mut heap,
+                            &mut seq,
+                            &mut send_busy_until,
+                            &mut done,
+                            &mut sent_per_rank,
+                            &mut messages,
+                            &mut quiescence,
+                            &mut trace,
+                            wire,
+                            o,
+                            &mut push,
+                        )?;
+                    }
+                    if !recv_queue[r as usize].is_empty() {
+                        push(&mut heap, &mut seq, now + o, r, EventKind::RecvDone);
+                    } else {
+                        recv_busy[r as usize] = false;
+                    }
+                }
+                EventKind::SenderFree | EventKind::Repoll => {
+                    if done[r as usize] || send_busy_until[r as usize] > now {
+                        continue;
+                    }
+                    self.poll(
+                        r,
+                        now,
+                        &mut procs,
+                        &mut heap,
+                        &mut seq,
+                        &mut send_busy_until,
+                        &mut done,
+                        &mut sent_per_rank,
+                        &mut messages,
+                        &mut quiescence,
+                        &mut trace,
+                        wire,
+                        o,
+                        &mut push,
+                    )?;
+                }
+            }
+        }
+
+        let colored_at: Vec<Option<Time>> = procs.iter().map(|p| p.colored_at()).collect();
+        let colored_via = procs.iter().map(|p| p.colored_via()).collect();
+        let coloring_latency = colored_at
+            .iter()
+            .zip(self.faults.mask())
+            .filter_map(|(c, &f)| if f { None } else { *c })
+            .max()
+            .unwrap_or(Time::ZERO);
+
+        let outcome = Outcome {
+            label: factory.label(),
+            p,
+            seed: self.seed,
+            colored_at,
+            colored_via,
+            failed: self.faults.mask().to_vec(),
+            messages,
+            sent_per_rank,
+            coloring_latency,
+            quiescence,
+            events,
+        };
+        Ok((outcome, trace))
+    }
+
+    /// Poll `r`'s protocol while its sender port is free; schedules at
+    /// most one send (the port then stays busy for `o`).
+    #[allow(clippy::too_many_arguments)]
+    fn poll(
+        &self,
+        r: Rank,
+        now: Time,
+        procs: &mut [Box<dyn Process>],
+        heap: &mut BinaryHeap<Reverse<Event>>,
+        seq: &mut u64,
+        send_busy_until: &mut [Time],
+        done: &mut [bool],
+        sent_per_rank: &mut [u32],
+        messages: &mut MessageCounts,
+        quiescence: &mut Time,
+        trace: &mut Option<Trace>,
+        wire: u64,
+        o: u64,
+        push: &mut impl FnMut(&mut BinaryHeap<Reverse<Event>>, &mut u64, Time, Rank, EventKind),
+    ) -> Result<(), SimError> {
+        match procs[r as usize].poll_send(now) {
+            SendPoll::Now { to, payload } => {
+                debug_assert!(to < self.p, "send target out of range");
+                sent_per_rank[r as usize] += 1;
+                match payload {
+                    Payload::Tree => messages.tree += 1,
+                    Payload::Gossip { .. } => messages.gossip += 1,
+                    Payload::Correction => messages.correction += 1,
+                    Payload::Ack => messages.ack += 1,
+                }
+                if let Some(t) = trace.as_mut() {
+                    t.events.push(TraceEvent {
+                        time: now,
+                        kind: TraceKind::SendStart,
+                        from: r,
+                        to,
+                        payload,
+                    });
+                }
+                send_busy_until[r as usize] = now + o;
+                *quiescence = (*quiescence).max(now + o);
+                push(heap, seq, now + o, r, EventKind::SenderFree);
+                // The wire delivers even to dead processes; they drop it.
+                push(heap, seq, now + wire, to, EventKind::Arrive { from: r, payload });
+            }
+            SendPoll::WaitUntil(at) => {
+                if at <= now {
+                    return Err(SimError::NonAdvancingWait { rank: r, now, at });
+                }
+                push(heap, seq, at, r, EventKind::Repoll);
+            }
+            SendPoll::Idle => {}
+            SendPoll::Done => done[r as usize] = true,
+        }
+        Ok(())
+    }
+}
+
+impl SimulationBuilder {
+    /// Set the fault plan (default: no failures).
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        assert_eq!(plan.p(), self.p, "fault plan size must match P");
+        self.faults = Some(plan);
+        self
+    }
+
+    /// Set the seed passed to randomized protocols (default 0).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Record a full event trace on every run (default off).
+    pub fn trace(mut self, on: bool) -> Self {
+        self.record_trace = on;
+        self
+    }
+
+    /// Override the runaway-event cap.
+    pub fn max_events(mut self, cap: u64) -> Self {
+        self.max_events = cap;
+        self
+    }
+
+    /// Finalize.
+    pub fn build(self) -> Simulation {
+        let faults = self.faults.unwrap_or_else(|| FaultPlan::none(self.p));
+        Simulation {
+            p: self.p,
+            logp: self.logp,
+            faults,
+            seed: self.seed,
+            record_trace: self.record_trace,
+            max_events: self.max_events,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ct_core::correction::CorrectionKind;
+    use ct_core::protocol::BroadcastSpec;
+    use ct_core::tree::TreeKind;
+
+    fn sim(p: u32) -> Simulation {
+        Simulation::builder(p, LogP::PAPER).build()
+    }
+
+    #[test]
+    fn plain_binomial_broadcast_colors_everyone() {
+        let spec = BroadcastSpec::plain_tree(TreeKind::BINOMIAL);
+        let out = sim(64).run(&spec).unwrap();
+        assert!(out.all_live_colored());
+        assert_eq!(out.messages.tree, 63);
+        assert_eq!(out.messages.total(), 63);
+        // P=2^6: coloring latency = 6 · (2o+L) = 24 (see schedule tests).
+        assert_eq!(out.coloring_latency, Time::new(24));
+    }
+
+    #[test]
+    fn simulated_schedule_matches_analytic_schedule() {
+        // The engine's fault-free dissemination must equal the closed
+        // form in ct-core::tree::schedule for every rank.
+        for kind in [TreeKind::BINOMIAL, TreeKind::LAME2, TreeKind::OPTIMAL, TreeKind::FOUR_ARY]
+        {
+            let p = 100;
+            let logp = LogP::PAPER;
+            let tree = kind.build(p, &logp).unwrap();
+            let analytic = tree.dissemination_schedule(&logp);
+            let spec = BroadcastSpec::plain_tree(kind);
+            let out = Simulation::builder(p, logp).build().run(&spec).unwrap();
+            for (r, &expected) in analytic.iter().enumerate() {
+                assert_eq!(out.colored_at[r], Some(expected), "{kind} rank {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn failed_subtree_stays_uncolored_without_correction() {
+        let spec = BroadcastSpec::plain_tree(TreeKind::BINOMIAL);
+        // Rank 1's subtree in binomial(8) is {1, 3, 5, 7}.
+        let faults = FaultPlan::from_ranks(8, &[1]).unwrap();
+        let out = Simulation::builder(8, LogP::PAPER)
+            .faults(faults)
+            .build()
+            .run(&spec)
+            .unwrap();
+        assert!(!out.all_live_colored());
+        assert_eq!(out.uncolored_live(), vec![3, 5, 7]);
+        // Root still sends to dead rank 1 (no feedback); the orphaned
+        // subtree {3,5,7} never forwards: 3 (root) + 1 (rank 2 → 6).
+        assert_eq!(out.messages.tree, 4);
+    }
+
+    #[test]
+    fn corrected_tree_overlapped_heals_failures() {
+        let spec = BroadcastSpec::corrected_tree(
+            TreeKind::BINOMIAL,
+            CorrectionKind::OpportunisticOptimized { distance: 4 },
+        );
+        let faults = FaultPlan::from_ranks(64, &[1, 2, 40]).unwrap();
+        let out = Simulation::builder(64, LogP::PAPER)
+            .faults(faults)
+            .build()
+            .run(&spec)
+            .unwrap();
+        assert!(out.all_live_colored(), "uncolored: {:?}", out.uncolored_live());
+        assert!(out.correction_colored() > 0);
+    }
+
+    #[test]
+    fn checked_sync_heals_any_gap() {
+        // Fail all children of the root except one — a huge gap that
+        // opportunistic(d) cannot cover but checked correction can.
+        let spec = BroadcastSpec::corrected_tree_sync(TreeKind::BINOMIAL, CorrectionKind::Checked);
+        let faults = FaultPlan::from_ranks(64, &[1, 2, 4, 8, 16]).unwrap();
+        let out = Simulation::builder(64, LogP::PAPER)
+            .faults(faults)
+            .build()
+            .run(&spec)
+            .unwrap();
+        assert!(out.all_live_colored(), "uncolored: {:?}", out.uncolored_live());
+    }
+
+    #[test]
+    fn quiescence_is_at_least_coloring_latency() {
+        let spec =
+            BroadcastSpec::corrected_tree_sync(TreeKind::LAME2, CorrectionKind::Checked);
+        let out = sim(128).run(&spec).unwrap();
+        assert!(out.quiescence >= out.coloring_latency);
+    }
+
+    #[test]
+    fn same_seed_same_outcome() {
+        let spec = BroadcastSpec::corrected_tree(
+            TreeKind::BINOMIAL,
+            CorrectionKind::OpportunisticOptimized { distance: 2 },
+        );
+        let faults = FaultPlan::random_count(256, 10, 99).unwrap();
+        let mk = || {
+            Simulation::builder(256, LogP::PAPER)
+                .faults(faults.clone())
+                .seed(7)
+                .build()
+                .run(&spec)
+                .unwrap()
+        };
+        let a = mk();
+        let b = mk();
+        assert_eq!(a.colored_at, b.colored_at);
+        assert_eq!(a.messages, b.messages);
+        assert_eq!(a.quiescence, b.quiescence);
+        assert_eq!(a.events, b.events);
+    }
+
+    #[test]
+    fn trace_records_sends_and_deliveries() {
+        let spec = BroadcastSpec::plain_tree(TreeKind::BINOMIAL);
+        let (out, trace) = sim(8).run_traced(&spec).unwrap();
+        let sends = trace.sends().count() as u64;
+        assert_eq!(sends, out.messages.total());
+        // Every delivery follows its send by exactly 2o + L.
+        for s in trace.sends() {
+            let deliver = trace
+                .events
+                .iter()
+                .find(|e| {
+                    e.kind == TraceKind::Deliver && e.from == s.from && e.to == s.to
+                })
+                .expect("fault-free: every send is delivered");
+            assert_eq!(deliver.time, s.time + LogP::PAPER.transit_steps());
+        }
+    }
+
+    #[test]
+    fn event_limit_guards_against_runaway() {
+        let spec = BroadcastSpec::plain_tree(TreeKind::BINOMIAL);
+        let err = Simulation::builder(1024, LogP::PAPER)
+            .max_events(10)
+            .build()
+            .run(&spec);
+        assert!(matches!(err, Err(SimError::EventLimitExceeded { limit: 10 })));
+    }
+
+    #[test]
+    fn ack_tree_doubles_latency() {
+        let plain = BroadcastSpec::plain_tree(TreeKind::BINOMIAL);
+        let acked = BroadcastSpec::ack_tree(TreeKind::BINOMIAL);
+        let p = 256;
+        let a = sim(p).run(&plain).unwrap();
+        let b = sim(p).run(&acked).unwrap();
+        assert_eq!(b.messages.ack, (p - 1) as u64);
+        assert!(
+            b.quiescence.steps() >= 2 * a.coloring_latency.steps(),
+            "ack wave must at least double the broadcast: {} vs {}",
+            b.quiescence,
+            a.coloring_latency
+        );
+    }
+
+    #[test]
+    fn single_process_broadcast_is_trivial() {
+        let spec = BroadcastSpec::corrected_tree_sync(TreeKind::BINOMIAL, CorrectionKind::Checked);
+        let out = sim(1).run(&spec).unwrap();
+        assert!(out.all_live_colored());
+        assert_eq!(out.messages.total(), 0);
+        assert_eq!(out.coloring_latency, Time::ZERO);
+    }
+}

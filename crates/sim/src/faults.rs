@@ -1,0 +1,309 @@
+//! Fail-stop fault injection (§2.1, §4.3).
+//!
+//! A failed process neither sends nor processes messages; senders get no
+//! feedback. Failures are decided *before* the broadcast (during one
+//! execution every process is either dead or alive) and the root is
+//! always alive because it initiates the operation.
+//!
+//! The paper's resilience experiments pick a fraction of processes
+//! (0.01%–4%) uniformly at random; adversarial placements (the root's
+//! children, whole subtrees) are provided for testing worst cases.
+
+use core::fmt;
+
+use ct_logp::Rank;
+use rand::rngs::StdRng;
+use rand::seq::index::sample;
+use rand::SeedableRng;
+
+/// Which processes are dead for one broadcast execution.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FaultPlan {
+    failed: Vec<bool>,
+    count: u32,
+}
+
+/// Errors constructing a fault plan.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FaultError {
+    /// Rank 0 initiates the broadcast and must stay alive (§2.1).
+    RootMustLive,
+    /// A rank outside `0..P` was named.
+    RankOutOfRange(Rank),
+    /// More failures requested than non-root processes exist.
+    TooManyFaults {
+        /// Requested number of failures.
+        requested: u32,
+        /// Non-root processes available to fail.
+        available: u32,
+    },
+}
+
+impl fmt::Display for FaultError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultError::RootMustLive => write!(f, "rank 0 (the root) cannot fail"),
+            FaultError::RankOutOfRange(r) => write!(f, "rank {r} out of range"),
+            FaultError::TooManyFaults { requested, available } => {
+                write!(f, "{requested} faults requested but only {available} non-root processes")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FaultError {}
+
+impl FaultPlan {
+    /// No failures.
+    pub fn none(p: u32) -> FaultPlan {
+        FaultPlan { failed: vec![false; p as usize], count: 0 }
+    }
+
+    /// Fail exactly the listed ranks; the broadcast root (rank 0) is
+    /// protected. For non-zero roots see
+    /// [`FaultPlan::from_ranks_protecting`].
+    pub fn from_ranks(p: u32, ranks: &[Rank]) -> Result<FaultPlan, FaultError> {
+        Self::from_ranks_protecting(p, ranks, 0)
+    }
+
+    /// Fail exactly the listed ranks, rejecting the protected rank (the
+    /// broadcast root, which must be alive because it initiates the
+    /// operation, §2.1).
+    pub fn from_ranks_protecting(
+        p: u32,
+        ranks: &[Rank],
+        protected: Rank,
+    ) -> Result<FaultPlan, FaultError> {
+        assert!(protected < p, "protected rank out of range");
+        let mut failed = vec![false; p as usize];
+        let mut count = 0;
+        for &r in ranks {
+            if r == protected {
+                return Err(FaultError::RootMustLive);
+            }
+            if r >= p {
+                return Err(FaultError::RankOutOfRange(r));
+            }
+            if !failed[r as usize] {
+                failed[r as usize] = true;
+                count += 1;
+            }
+        }
+        Ok(FaultPlan { failed, count })
+    }
+
+    /// Fail `n` distinct non-root processes chosen uniformly at random.
+    pub fn random_count(p: u32, n: u32, seed: u64) -> Result<FaultPlan, FaultError> {
+        Self::random_count_protecting(p, n, seed, 0)
+    }
+
+    /// Fail `n` distinct processes chosen uniformly at random among all
+    /// ranks except `protected`.
+    pub fn random_count_protecting(
+        p: u32,
+        n: u32,
+        seed: u64,
+        protected: Rank,
+    ) -> Result<FaultPlan, FaultError> {
+        assert!(protected < p, "protected rank out of range");
+        let available = p.saturating_sub(1);
+        if n > available {
+            return Err(FaultError::TooManyFaults { requested: n, available });
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut failed = vec![false; p as usize];
+        // Sample from 0..p-1, skipping over the protected rank.
+        for idx in sample(&mut rng, available as usize, n as usize) {
+            let r = if (idx as u32) < protected { idx as u32 } else { idx as u32 + 1 };
+            failed[r as usize] = true;
+        }
+        Ok(FaultPlan { failed, count: n })
+    }
+
+    /// Correlated failures (§2.1): processes are grouped into aligned
+    /// "nodes" of `node_size` consecutive ranks (the multi-core nodes of
+    /// a real cluster) and `n_nodes` whole nodes crash together, chosen
+    /// uniformly among the nodes not containing `protected`.
+    pub fn node_blocks(
+        p: u32,
+        node_size: u32,
+        n_nodes: u32,
+        seed: u64,
+        protected: Rank,
+    ) -> Result<FaultPlan, FaultError> {
+        assert!(node_size >= 1 && protected < p);
+        let total_nodes = p.div_ceil(node_size);
+        let protected_node = protected / node_size;
+        let available = total_nodes.saturating_sub(1);
+        if n_nodes > available {
+            return Err(FaultError::TooManyFaults { requested: n_nodes, available });
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut failed = vec![false; p as usize];
+        let mut count = 0;
+        for idx in sample(&mut rng, available as usize, n_nodes as usize) {
+            let node = if (idx as u32) < protected_node {
+                idx as u32
+            } else {
+                idx as u32 + 1
+            };
+            let start = node * node_size;
+            for r in start..(start + node_size).min(p) {
+                failed[r as usize] = true;
+                count += 1;
+            }
+        }
+        Ok(FaultPlan { failed, count })
+    }
+
+    /// Fail a fraction `rate` (e.g. `0.01` = 1%) of all `p` processes,
+    /// rounded to the nearest whole number of processes, never the root.
+    pub fn random_rate(p: u32, rate: f64, seed: u64) -> Result<FaultPlan, FaultError> {
+        assert!((0.0..=1.0).contains(&rate), "rate must be in [0, 1]");
+        let n = ((p as f64 * rate).round() as u32).min(p.saturating_sub(1));
+        FaultPlan::random_count(p, n, seed)
+    }
+
+    /// Number of processes.
+    pub fn p(&self) -> u32 {
+        self.failed.len() as u32
+    }
+
+    /// Number of failed processes.
+    pub fn count(&self) -> u32 {
+        self.count
+    }
+
+    /// Is `r` dead?
+    #[inline]
+    pub fn is_failed(&self, r: Rank) -> bool {
+        self.failed[r as usize]
+    }
+
+    /// The full mask, indexable by rank.
+    pub fn mask(&self) -> &[bool] {
+        &self.failed
+    }
+
+    /// Iterator over failed ranks in ascending order.
+    pub fn failed_ranks(&self) -> impl Iterator<Item = Rank> + '_ {
+        self.failed
+            .iter()
+            .enumerate()
+            .filter_map(|(r, &f)| f.then_some(r as Rank))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_has_no_failures() {
+        let plan = FaultPlan::none(16);
+        assert_eq!(plan.count(), 0);
+        assert_eq!(plan.failed_ranks().count(), 0);
+        assert!(!plan.is_failed(3));
+    }
+
+    #[test]
+    fn from_ranks_rejects_root_and_out_of_range() {
+        assert_eq!(FaultPlan::from_ranks(8, &[0]), Err(FaultError::RootMustLive));
+        assert_eq!(
+            FaultPlan::from_ranks(8, &[9]),
+            Err(FaultError::RankOutOfRange(9))
+        );
+    }
+
+    #[test]
+    fn from_ranks_dedupes() {
+        let plan = FaultPlan::from_ranks(8, &[3, 3, 5]).unwrap();
+        assert_eq!(plan.count(), 2);
+        assert_eq!(plan.failed_ranks().collect::<Vec<_>>(), vec![3, 5]);
+    }
+
+    #[test]
+    fn random_count_is_exact_and_rootless() {
+        for seed in 0..20u64 {
+            let plan = FaultPlan::random_count(100, 13, seed).unwrap();
+            assert_eq!(plan.count(), 13);
+            assert_eq!(plan.failed_ranks().count(), 13);
+            assert!(!plan.is_failed(0));
+        }
+    }
+
+    #[test]
+    fn random_count_is_reproducible() {
+        let a = FaultPlan::random_count(1000, 50, 42).unwrap();
+        let b = FaultPlan::random_count(1000, 50, 42).unwrap();
+        assert_eq!(a, b);
+        let c = FaultPlan::random_count(1000, 50, 43).unwrap();
+        assert_ne!(a, c, "different seeds should differ (overwhelmingly)");
+    }
+
+    #[test]
+    fn random_count_rejects_excess() {
+        assert_eq!(
+            FaultPlan::random_count(4, 4, 0),
+            Err(FaultError::TooManyFaults { requested: 4, available: 3 })
+        );
+        assert!(FaultPlan::random_count(4, 3, 0).is_ok());
+    }
+
+    #[test]
+    fn random_rate_rounds_to_count() {
+        // 1% of 64Ki = 655.36 → 655.
+        let plan = FaultPlan::random_rate(1 << 16, 0.01, 7).unwrap();
+        assert_eq!(plan.count(), 655);
+        // 0% → none.
+        assert_eq!(FaultPlan::random_rate(100, 0.0, 7).unwrap().count(), 0);
+    }
+
+    #[test]
+    fn node_blocks_fail_whole_aligned_nodes() {
+        let plan = FaultPlan::node_blocks(64, 4, 3, 9, 0).unwrap();
+        assert_eq!(plan.count(), 12);
+        assert!(!plan.is_failed(0), "the root's node is protected");
+        assert!(!plan.is_failed(1) && !plan.is_failed(2) && !plan.is_failed(3));
+        // Every failed rank's whole node is failed.
+        for r in plan.failed_ranks() {
+            let start = (r / 4) * 4;
+            for x in start..start + 4 {
+                assert!(plan.is_failed(x), "partial node at {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn node_blocks_respects_protected_rank() {
+        let plan = FaultPlan::node_blocks(32, 8, 3, 2, 20).unwrap();
+        // Node 2 (ranks 16..24) holds the protected rank 20.
+        for r in 16..24 {
+            assert!(!plan.is_failed(r));
+        }
+        assert_eq!(plan.count(), 24);
+    }
+
+    #[test]
+    fn node_blocks_rejects_excess_nodes() {
+        assert_eq!(
+            FaultPlan::node_blocks(16, 4, 4, 0, 0),
+            Err(FaultError::TooManyFaults { requested: 4, available: 3 })
+        );
+    }
+
+    #[test]
+    fn node_blocks_handles_ragged_last_node() {
+        // P = 10, node size 4 → nodes {0..4}, {4..8}, {8..10}.
+        let plan = FaultPlan::node_blocks(10, 4, 2, 1, 0).unwrap();
+        assert_eq!(plan.count(), 6); // nodes 1 and 2: 4 + 2 ranks
+        assert!(plan.is_failed(9));
+    }
+
+    #[test]
+    fn rate_one_spares_only_the_root() {
+        let plan = FaultPlan::random_rate(10, 1.0, 3).unwrap();
+        assert_eq!(plan.count(), 9);
+        assert!(!plan.is_failed(0));
+    }
+}

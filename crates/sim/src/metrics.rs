@@ -1,0 +1,166 @@
+//! Per-run measurements.
+//!
+//! The paper's two headline metrics (§4): **coloring latency** — root's
+//! first send to the last live process becoming colored — and
+//! **quiescence latency** — root's first send until all broadcast
+//! activity is over. Network load is measured in messages sent.
+
+use ct_core::protocol::ColoredVia;
+use ct_core::tree::ring;
+use ct_logp::{Rank, Time};
+
+/// Message totals by payload kind.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MessageCounts {
+    /// Tree dissemination messages.
+    pub tree: u64,
+    /// Gossip dissemination messages.
+    pub gossip: u64,
+    /// Ring correction messages.
+    pub correction: u64,
+    /// Acknowledgments: the ack-tree wave, or failure-proof delivery
+    /// confirmations.
+    pub ack: u64,
+}
+
+impl MessageCounts {
+    /// Total messages sent.
+    pub fn total(&self) -> u64 {
+        self.tree + self.gossip + self.correction + self.ack
+    }
+}
+
+/// The result of one simulated broadcast.
+#[derive(Clone, Debug)]
+pub struct Outcome {
+    /// Protocol label (from the factory).
+    pub label: String,
+    /// Process count.
+    pub p: u32,
+    /// Seed that drove this run.
+    pub seed: u64,
+    /// Per-rank coloring time (`None` = never colored).
+    pub colored_at: Vec<Option<Time>>,
+    /// How each rank was colored.
+    pub colored_via: Vec<Option<ColoredVia>>,
+    /// Fault mask used.
+    pub failed: Vec<bool>,
+    /// Message totals.
+    pub messages: MessageCounts,
+    /// Per-rank sent-message counts.
+    pub sent_per_rank: Vec<u32>,
+    /// Coloring latency: last live process colored (ZERO if none).
+    pub coloring_latency: Time,
+    /// Quiescence latency: last send completion or delivery processing.
+    pub quiescence: Time,
+    /// Number of simulator events processed.
+    pub events: u64,
+}
+
+impl Outcome {
+    /// Were all live processes colored (non-faulty liveness, §2.1)?
+    pub fn all_live_colored(&self) -> bool {
+        self.colored_at
+            .iter()
+            .zip(&self.failed)
+            .all(|(c, &f)| f || c.is_some())
+    }
+
+    /// Live processes that were never colored.
+    pub fn uncolored_live(&self) -> Vec<Rank> {
+        self.colored_at
+            .iter()
+            .zip(&self.failed)
+            .enumerate()
+            .filter_map(|(r, (c, &f))| (!f && c.is_none()).then_some(r as Rank))
+            .collect()
+    }
+
+    /// Average messages sent per process (all `P` processes, dead ones
+    /// send nothing — matching Figure 6/9's y-axis).
+    pub fn messages_per_process(&self) -> f64 {
+        self.messages.total() as f64 / self.p as f64
+    }
+
+    /// Coloring mask (by *any* means) — input to gap analysis.
+    pub fn colored_mask(&self) -> Vec<bool> {
+        self.colored_at.iter().map(|c| c.is_some()).collect()
+    }
+
+    /// Ring gaps of the final coloring.
+    pub fn gaps(&self) -> Vec<ring::Gap> {
+        ring::gaps(&self.colored_mask())
+    }
+
+    /// Maximum gap of the final coloring (0 when every process,
+    /// including dead ones, is "colored" — dead processes can never be,
+    /// so with faults this is ≥ 1).
+    pub fn max_gap(&self) -> u32 {
+        ring::max_gap(&self.colored_mask())
+    }
+
+    /// Number of processes colored by correction rather than
+    /// dissemination.
+    pub fn correction_colored(&self) -> u32 {
+        self.colored_via
+            .iter()
+            .filter(|v| matches!(v, Some(ColoredVia::Correction)))
+            .count() as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outcome_stub() -> Outcome {
+        Outcome {
+            label: "test".into(),
+            p: 4,
+            seed: 0,
+            colored_at: vec![Some(Time::ZERO), Some(Time::new(4)), None, Some(Time::new(6))],
+            colored_via: vec![
+                Some(ColoredVia::Root),
+                Some(ColoredVia::Dissemination),
+                None,
+                Some(ColoredVia::Correction),
+            ],
+            failed: vec![false, false, true, false],
+            messages: MessageCounts { tree: 3, gossip: 0, correction: 2, ack: 0 },
+            sent_per_rank: vec![3, 2, 0, 0],
+            coloring_latency: Time::new(6),
+            quiescence: Time::new(9),
+            events: 12,
+        }
+    }
+
+    #[test]
+    fn totals_and_averages() {
+        let o = outcome_stub();
+        assert_eq!(o.messages.total(), 5);
+        assert!((o.messages_per_process() - 1.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn liveness_accounting_ignores_dead() {
+        let o = outcome_stub();
+        assert!(o.all_live_colored());
+        assert!(o.uncolored_live().is_empty());
+        let mut o2 = o.clone();
+        o2.colored_at[3] = None;
+        assert!(!o2.all_live_colored());
+        assert_eq!(o2.uncolored_live(), vec![3]);
+    }
+
+    #[test]
+    fn gap_analysis_counts_dead_as_uncolored() {
+        let o = outcome_stub();
+        assert_eq!(o.max_gap(), 1); // rank 2 (dead) is the only gap
+        assert_eq!(o.gaps().len(), 1);
+    }
+
+    #[test]
+    fn correction_colored_count() {
+        assert_eq!(outcome_stub().correction_colored(), 1);
+    }
+}

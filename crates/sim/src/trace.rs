@@ -1,0 +1,168 @@
+//! Optional event traces (Figure 5-style timelines).
+//!
+//! Tracing is off by default — at `P = 2¹⁹` a trace would dwarf the
+//! simulation itself — and is enabled per run for debugging, the
+//! `protocol_trace` example and timeline tests.
+
+use core::fmt;
+
+use ct_core::protocol::Payload;
+use ct_logp::{Rank, Time};
+
+/// What happened.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TraceKind {
+    /// `from` started transmitting to `to` (sender port busy `o`).
+    SendStart,
+    /// The message reached `to`'s receive port (after `o + L`).
+    Arrive,
+    /// `to` finished processing the message (`on_message` ran).
+    Deliver,
+    /// The message was dropped because `to` is dead.
+    DropDead,
+}
+
+/// One timeline entry.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Simulated time of the event.
+    pub time: Time,
+    /// Event class.
+    pub kind: TraceKind,
+    /// Sending rank.
+    pub from: Rank,
+    /// Receiving rank.
+    pub to: Rank,
+    /// Message kind.
+    pub payload: Payload,
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let kind = match self.kind {
+            TraceKind::SendStart => "send ",
+            TraceKind::Arrive => "arrive",
+            TraceKind::Deliver => "deliver",
+            TraceKind::DropDead => "drop",
+        };
+        write!(
+            f,
+            "t={:>5} {kind:<8} {:>4} → {:<4} {:?}",
+            self.time, self.from, self.to, self.payload
+        )
+    }
+}
+
+/// A recorded run timeline, in event order.
+#[derive(Clone, Debug, Default)]
+pub struct Trace {
+    /// All recorded events.
+    pub events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    /// Events involving `rank` (as sender or receiver).
+    pub fn for_rank(&self, rank: Rank) -> Vec<&TraceEvent> {
+        self.events
+            .iter()
+            .filter(|e| e.from == rank || e.to == rank)
+            .collect()
+    }
+
+    /// Send-start events only, in time order.
+    pub fn sends(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.events
+            .iter()
+            .filter(|e| e.kind == TraceKind::SendStart)
+    }
+
+    /// Render an ASCII timeline of sender activity, one row per rank —
+    /// the shape of Figure 5a. `S` marks a send slot, `R` a delivery.
+    pub fn ascii_timeline(&self, p: u32, o: u64) -> String {
+        let horizon = self
+            .events
+            .iter()
+            .map(|e| e.time.steps() + o)
+            .max()
+            .unwrap_or(0) as usize;
+        let mut rows = vec![vec![b'.'; horizon]; p as usize];
+        for e in &self.events {
+            match e.kind {
+                TraceKind::SendStart => {
+                    for dt in 0..o as usize {
+                        let t = e.time.steps() as usize + dt;
+                        if t < horizon {
+                            rows[e.from as usize][t] = b'S';
+                        }
+                    }
+                }
+                TraceKind::Deliver => {
+                    for dt in 0..o as usize {
+                        // Delivery time marks the *end* of processing.
+                        let t = (e.time.steps() as usize).saturating_sub(dt + 1);
+                        if t < horizon {
+                            rows[e.to as usize][t] = b'R';
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        let mut out = String::new();
+        for (r, row) in rows.iter().enumerate() {
+            out.push_str(&format!("{r:>5} |"));
+            out.push_str(std::str::from_utf8(row).expect("ascii"));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(time: u64, kind: TraceKind, from: Rank, to: Rank) -> TraceEvent {
+        TraceEvent { time: Time::new(time), kind, from, to, payload: Payload::Tree }
+    }
+
+    #[test]
+    fn filters_by_rank() {
+        let trace = Trace {
+            events: vec![
+                ev(0, TraceKind::SendStart, 0, 1),
+                ev(3, TraceKind::Deliver, 0, 1),
+                ev(1, TraceKind::SendStart, 0, 2),
+                ev(4, TraceKind::Deliver, 0, 2),
+            ],
+        };
+        assert_eq!(trace.for_rank(1).len(), 2);
+        assert_eq!(trace.for_rank(2).len(), 2);
+        assert_eq!(trace.for_rank(0).len(), 4);
+        assert_eq!(trace.sends().count(), 2);
+    }
+
+    #[test]
+    fn ascii_timeline_marks_send_and_receive() {
+        let trace = Trace {
+            events: vec![
+                ev(0, TraceKind::SendStart, 0, 1),
+                ev(4, TraceKind::Deliver, 0, 1),
+            ],
+        };
+        let art = trace.ascii_timeline(2, 1);
+        let lines: Vec<&str> = art.lines().collect();
+        assert!(lines[0].contains('S'));
+        assert!(lines[1].contains('R'));
+    }
+
+    #[test]
+    fn display_mentions_the_essentials() {
+        let e = ev(7, TraceKind::SendStart, 3, 9);
+        let s = e.to_string();
+        assert!(s.contains("t=    7"), "{s}");
+        assert!(s.contains("send"), "{s}");
+        assert!(s.contains("3 → 9"), "{s}");
+        assert!(s.contains("Tree"), "{s}");
+    }
+}

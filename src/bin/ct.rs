@@ -1,0 +1,275 @@
+//! `ct` — command-line front end for one-off broadcast experiments.
+//!
+//! ```console
+//! $ ct run   --tree binomial --correction checked --mode sync \
+//!            --p 1024 --faults 5 --seed 7 [--trace] [--logp L=2,o=1]
+//! $ ct tree  --tree lame2 --p 16            # print topology + stats
+//! $ ct sweep --tree optimal --correction opp4 --p 4096 --rate 0.02 --reps 50
+//! ```
+//!
+//! Everything the subcommands do is also available as library API; the
+//! CLI exists so a cluster operator can poke at a configuration without
+//! writing a program.
+
+use corrected_trees::analysis::Summary;
+use corrected_trees::core::correction::CorrectionKind;
+use corrected_trees::core::protocol::BroadcastSpec;
+use corrected_trees::core::tree::{interleaving, stats, Ordering, Topology, TreeKind};
+use corrected_trees::logp::LogP;
+use corrected_trees::sim::{FaultPlan, Simulation};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: ct <run|tree|sweep> [options]\n\
+         \n\
+         common options:\n\
+           --tree <binomial|binomial-inorder|kary<K>|lame<K>|optimal>  (default binomial)\n\
+           --p <N>            processes (default 1024)\n\
+           --logp <L=2,o=1>   machine model (default paper: L=2,o=1)\n\
+         run options:\n\
+           --correction <none|opp<D>|opp-plain<D>|checked|failure-proof|delayed<T>>\n\
+           --mode <sync|overlap>   (default overlap)\n\
+           --acked                 acknowledged tree instead of correction\n\
+           --root <R>              broadcast root (default 0)\n\
+           --shuffle <SEED>        randomize process numbering (§2.1)\n\
+           --faults <N> | --rate <F>   random failures (default none)\n\
+           --seed <S>              run seed (default 1)\n\
+           --trace                 print the full event trace\n\
+         sweep options:\n\
+           --reps <N>              repetitions (default 50)"
+    );
+    std::process::exit(2);
+}
+
+struct Cli {
+    args: Vec<String>,
+}
+
+impl Cli {
+    fn value(&self, key: &str) -> Option<&str> {
+        self.args
+            .iter()
+            .position(|a| a == key)
+            .and_then(|i| self.args.get(i + 1))
+            .map(String::as_str)
+    }
+
+    fn parsed<T: std::str::FromStr>(&self, key: &str, default: T) -> T {
+        match self.value(key) {
+            None => default,
+            Some(v) => v.parse().unwrap_or_else(|_| {
+                eprintln!("cannot parse {key} value {v:?}");
+                usage()
+            }),
+        }
+    }
+
+    fn flag(&self, key: &str) -> bool {
+        self.args.iter().any(|a| a == key)
+    }
+}
+
+fn parse_tree(s: &str) -> TreeKind {
+    let (name, order) = match s.strip_suffix("-inorder") {
+        Some(base) => (base, Ordering::InOrder),
+        None => (s, Ordering::Interleaved),
+    };
+    if name == "binomial" {
+        TreeKind::Binomial { order }
+    } else if name == "optimal" {
+        TreeKind::Optimal { order }
+    } else if let Some(k) = name.strip_prefix("kary") {
+        TreeKind::Kary { k: k.parse().unwrap_or_else(|_| usage()), order }
+    } else if let Some(k) = name.strip_prefix("lame") {
+        TreeKind::Lame { k: k.parse().unwrap_or_else(|_| usage()), order }
+    } else {
+        eprintln!("unknown tree {s:?}");
+        usage()
+    }
+}
+
+fn parse_correction(s: &str) -> CorrectionKind {
+    if s == "none" {
+        CorrectionKind::None
+    } else if s == "checked" {
+        CorrectionKind::Checked
+    } else if s == "failure-proof" {
+        CorrectionKind::FailureProof
+    } else if let Some(d) = s.strip_prefix("opp-plain") {
+        CorrectionKind::Opportunistic { distance: d.parse().unwrap_or_else(|_| usage()) }
+    } else if let Some(d) = s.strip_prefix("opp") {
+        CorrectionKind::OpportunisticOptimized { distance: d.parse().unwrap_or_else(|_| usage()) }
+    } else if let Some(t) = s.strip_prefix("delayed") {
+        CorrectionKind::Delayed { delay: t.parse().unwrap_or_else(|_| usage()) }
+    } else {
+        eprintln!("unknown correction {s:?}");
+        usage()
+    }
+}
+
+fn build_spec(cli: &Cli) -> BroadcastSpec {
+    let tree = parse_tree(cli.value("--tree").unwrap_or("binomial"));
+    let correction = parse_correction(cli.value("--correction").unwrap_or("opp4"));
+    let mut spec = if cli.flag("--acked") {
+        BroadcastSpec::ack_tree(tree)
+    } else if cli.value("--mode") == Some("sync") {
+        BroadcastSpec::corrected_tree_sync(tree, correction)
+    } else {
+        BroadcastSpec::corrected_tree(tree, correction)
+    };
+    spec = spec.with_root(cli.parsed("--root", 0u32));
+    if let Some(seed) = cli.value("--shuffle") {
+        spec = spec.with_shuffle(seed.parse().unwrap_or_else(|_| usage()));
+    }
+    spec
+}
+
+fn faults(cli: &Cli, p: u32, seed: u64, root: u32) -> FaultPlan {
+    if let Some(n) = cli.value("--faults") {
+        let n: u32 = n.parse().unwrap_or_else(|_| usage());
+        FaultPlan::random_count_protecting(p, n, seed, root).unwrap_or_else(|e| {
+            eprintln!("{e}");
+            std::process::exit(2);
+        })
+    } else if let Some(r) = cli.value("--rate") {
+        let r: f64 = r.parse().unwrap_or_else(|_| usage());
+        let n = ((p as f64 * r).round() as u32).min(p - 1);
+        FaultPlan::random_count_protecting(p, n, seed, root).unwrap_or_else(|e| {
+            eprintln!("{e}");
+            std::process::exit(2);
+        })
+    } else {
+        FaultPlan::none(p)
+    }
+}
+
+fn cmd_run(cli: &Cli) {
+    let p: u32 = cli.parsed("--p", 1024);
+    let logp: LogP = cli
+        .value("--logp")
+        .map(|s| s.parse().expect("valid LogP string"))
+        .unwrap_or(LogP::PAPER);
+    let seed: u64 = cli.parsed("--seed", 1);
+    let spec = build_spec(cli);
+    let plan = faults(cli, p, seed, spec.root);
+    let failed: Vec<u32> = plan.failed_ranks().collect();
+
+    let sim = Simulation::builder(p, logp).faults(plan).seed(seed).build();
+    if cli.flag("--trace") {
+        let (out, trace) = sim.run_traced(&spec).expect("valid configuration");
+        for e in &trace.events {
+            println!("{e}");
+        }
+        report(&out, &failed);
+    } else {
+        let out = sim.run(&spec).expect("valid configuration");
+        report(&out, &failed);
+    }
+}
+
+fn report(out: &corrected_trees::sim::Outcome, failed: &[u32]) {
+    println!("protocol            {}", out.label);
+    println!("processes           {}", out.p);
+    println!("failed ranks        {failed:?}");
+    println!("all live colored    {}", out.all_live_colored());
+    if !out.all_live_colored() {
+        println!("uncolored live      {:?}", out.uncolored_live());
+    }
+    println!("coloring latency    {} steps", out.coloring_latency);
+    println!("quiescence latency  {} steps", out.quiescence);
+    println!(
+        "messages            {} ({:.3}/process; tree {}, corr {}, gossip {}, ack {})",
+        out.messages.total(),
+        out.messages_per_process(),
+        out.messages.tree,
+        out.messages.correction,
+        out.messages.gossip,
+        out.messages.ack,
+    );
+    println!("colored by corr.    {}", out.correction_colored());
+    println!("max ring gap        {}", out.max_gap());
+}
+
+fn cmd_tree(cli: &Cli) {
+    let p: u32 = cli.parsed("--p", 16);
+    let logp: LogP = cli
+        .value("--logp")
+        .map(|s| s.parse().expect("valid LogP string"))
+        .unwrap_or(LogP::PAPER);
+    let kind = parse_tree(cli.value("--tree").unwrap_or("binomial"));
+    let tree = kind.build(p, &logp).expect("valid tree");
+    let s = stats::tree_stats(&tree);
+    println!(
+        "{kind}: P={p}, height {}, leaves {}, max fan-out {}, avg inner fan-out {:.2}",
+        s.height, s.leaves, s.max_fanout, s.avg_inner_fanout
+    );
+    println!(
+        "interleaved (Definition 1): {}",
+        interleaving::is_interleaved(&tree)
+    );
+    println!(
+        "fault-free dissemination deadline: {} steps",
+        tree.dissemination_deadline(&logp)
+    );
+    for r in 0..p {
+        if !tree.children(r).is_empty() {
+            println!("  {r:>4} → {:?}", tree.children(r));
+        }
+    }
+}
+
+fn cmd_sweep(cli: &Cli) {
+    let p: u32 = cli.parsed("--p", 1024);
+    let logp: LogP = cli
+        .value("--logp")
+        .map(|s| s.parse().expect("valid LogP string"))
+        .unwrap_or(LogP::PAPER);
+    let reps: u32 = cli.parsed("--reps", 50);
+    let seed0: u64 = cli.parsed("--seed", 1);
+    let spec = build_spec(cli);
+    let mut quiescence = Vec::with_capacity(reps as usize);
+    let mut msgs = Vec::with_capacity(reps as usize);
+    let mut incomplete = 0u32;
+    for rep in 0..reps {
+        let seed = seed0 + rep as u64;
+        let plan = faults(cli, p, seed, spec.root);
+        let out = Simulation::builder(p, logp)
+            .faults(plan)
+            .seed(seed)
+            .build()
+            .run(&spec)
+            .expect("valid configuration");
+        if !out.all_live_colored() {
+            incomplete += 1;
+        }
+        quiescence.push(out.quiescence.steps() as f64);
+        msgs.push(out.messages_per_process());
+    }
+    let q = Summary::of(&quiescence);
+    let m = Summary::of(&msgs);
+    println!("protocol   {}", spec);
+    println!("reps       {reps} ({} without full coloring)", incomplete);
+    println!(
+        "quiescence mean {:.2}  p05 {:.0}  median {:.0}  p95 {:.0}  max {:.0}",
+        q.mean, q.p05, q.median, q.p95, q.max
+    );
+    println!(
+        "msgs/proc  mean {:.3}  p05 {:.3}  p95 {:.3}",
+        m.mean, m.p05, m.p95
+    );
+}
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        usage();
+    }
+    let cmd = args.remove(0);
+    let cli = Cli { args };
+    match cmd.as_str() {
+        "run" => cmd_run(&cli),
+        "tree" => cmd_tree(&cli),
+        "sweep" => cmd_sweep(&cli),
+        _ => usage(),
+    }
+}

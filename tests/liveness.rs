@@ -1,0 +1,163 @@
+//! Reliability guarantees of §2.1 under randomized and adversarial
+//! failures, across crates: topologies (ct-core) + simulator (ct-sim).
+//!
+//! *Non-faulty liveness*: a broadcast initiated by a live root is
+//! received by all live processes — guaranteed unconditionally by
+//! checked correction, and by opportunistic correction whenever the
+//! maximum gap is at most `2d`.
+
+use corrected_trees::core::correction::CorrectionKind;
+use corrected_trees::core::protocol::BroadcastSpec;
+use corrected_trees::core::tree::{Ordering, TreeKind};
+use corrected_trees::logp::LogP;
+use corrected_trees::sim::{FaultPlan, Simulation};
+use proptest::prelude::*;
+
+fn run(spec: BroadcastSpec, p: u32, faults: FaultPlan, seed: u64) -> corrected_trees::sim::Outcome {
+    Simulation::builder(p, LogP::PAPER)
+        .faults(faults)
+        .seed(seed)
+        .build()
+        .run(&spec)
+        .expect("valid configuration")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Checked correction colors every live process for *any* fault set
+    /// (with live root), any tree shape, synchronized or overlapped.
+    #[test]
+    fn checked_correction_always_achieves_nonfaulty_liveness(
+        p in 2u32..200,
+        fault_fraction in 0.0f64..0.35,
+        seed in 0u64..1_000_000,
+        tree_idx in 0usize..6,
+        synchronized in any::<bool>(),
+    ) {
+        let kind = [
+            TreeKind::BINOMIAL,
+            TreeKind::FOUR_ARY,
+            TreeKind::LAME2,
+            TreeKind::OPTIMAL,
+            TreeKind::Binomial { order: Ordering::InOrder },
+            TreeKind::Kary { k: 2, order: Ordering::InOrder },
+        ][tree_idx];
+        let spec = if synchronized {
+            BroadcastSpec::corrected_tree_sync(kind, CorrectionKind::Checked)
+        } else {
+            BroadcastSpec::corrected_tree(kind, CorrectionKind::Checked)
+        };
+        let faults = FaultPlan::random_rate(p, fault_fraction, seed).expect("plan");
+        let out = run(spec, p, faults, seed);
+        prop_assert!(
+            out.all_live_colored(),
+            "uncolored live: {:?}", out.uncolored_live()
+        );
+    }
+
+    /// Failure-proof correction gives the same guarantee (with its
+    /// extra acknowledgment traffic).
+    #[test]
+    fn failure_proof_correction_achieves_nonfaulty_liveness(
+        p in 2u32..150,
+        fault_fraction in 0.0f64..0.4,
+        seed in 0u64..1_000_000,
+    ) {
+        let spec = BroadcastSpec::corrected_tree(TreeKind::BINOMIAL, CorrectionKind::FailureProof);
+        let faults = FaultPlan::random_rate(p, fault_fraction, seed).expect("plan");
+        let out = run(spec, p, faults, seed);
+        prop_assert!(out.all_live_colored(), "{:?}", out.uncolored_live());
+    }
+
+    /// §4.2: in a k-ary interleaved tree, opportunistic correction with
+    /// distance d ≥ k is guaranteed to tolerate up to k-1 failures.
+    #[test]
+    fn kary_opportunistic_tolerates_k_minus_one_failures(
+        k in 2u32..6,
+        n_exp in 4u32..9,
+        seed in 0u64..1_000_000,
+    ) {
+        let p = 1u32 << n_exp;
+        let kind = TreeKind::Kary { k, order: Ordering::Interleaved };
+        let spec = BroadcastSpec::corrected_tree(
+            kind,
+            CorrectionKind::OpportunisticOptimized { distance: k },
+        );
+        let faults = FaultPlan::random_count(p, k - 1, seed).expect("plan");
+        let out = run(spec, p, faults, seed);
+        prop_assert!(out.all_live_colored(), "k={k} P={p}: {:?}", out.uncolored_live());
+    }
+
+    /// Delayed correction also restores liveness (probing covers gaps)
+    /// given a generous delay.
+    #[test]
+    fn delayed_correction_achieves_nonfaulty_liveness(
+        p in 2u32..120,
+        n_faults in 0u32..6,
+        seed in 0u64..1_000_000,
+    ) {
+        let n_faults = n_faults.min(p - 1);
+        let spec = BroadcastSpec::corrected_tree_sync(
+            TreeKind::BINOMIAL,
+            CorrectionKind::Delayed { delay: 3 * LogP::PAPER.transit_steps() },
+        );
+        let faults = FaultPlan::random_count(p, n_faults, seed).expect("plan");
+        let out = run(spec, p, faults, seed);
+        prop_assert!(out.all_live_colored(), "{:?}", out.uncolored_live());
+    }
+}
+
+#[test]
+fn adversarial_all_root_children_fail() {
+    // The worst case for a binomial tree: every child of the root dies.
+    // Only the root is dissemination-colored; checked correction must
+    // still cover the whole ring.
+    let p = 64u32;
+    let tree = TreeKind::BINOMIAL.build(p, &LogP::PAPER).unwrap();
+    let root_children: Vec<u32> =
+        corrected_trees::core::tree::Topology::children(&tree, 0).to_vec();
+    let spec = BroadcastSpec::corrected_tree_sync(TreeKind::BINOMIAL, CorrectionKind::Checked);
+    let faults = FaultPlan::from_ranks(p, &root_children).unwrap();
+    let out = run(spec, p, faults, 1);
+    assert!(out.all_live_colored(), "{:?}", out.uncolored_live());
+}
+
+#[test]
+fn adversarial_contiguous_ring_block_fails() {
+    let p = 128u32;
+    let block: Vec<u32> = (40..70).collect();
+    let spec = BroadcastSpec::corrected_tree_sync(TreeKind::LAME2, CorrectionKind::Checked);
+    let faults = FaultPlan::from_ranks(p, &block).unwrap();
+    let out = run(spec, p, faults, 1);
+    assert!(out.all_live_colored(), "{:?}", out.uncolored_live());
+}
+
+#[test]
+fn opportunistic_coverage_boundary_is_exactly_2d() {
+    // §3.1: opportunistic correction colors all processes only if the
+    // maximum gap does not exceed 2d. A chain topology (k = 1) makes
+    // the boundary exact: killing rank x orphans the contiguous tail
+    // [x, P), a gap of size P - x. Synchronized mode keeps correction-
+    // colored processes silent, so nothing re-seeds the gap.
+    let p = 64u32;
+    let d = 3u32;
+    let kind = TreeKind::Kary { k: 1, order: Ordering::Interleaved };
+    let spec =
+        BroadcastSpec::corrected_tree_sync(kind, CorrectionKind::Opportunistic { distance: d });
+
+    // Gap of exactly 2d: covered from the left (rank x-1 reaches x+d-1)
+    // and across the ring wrap (rank 0 reaches back to P-d).
+    let x = p - 2 * d;
+    let out = run(spec, p, FaultPlan::from_ranks(p, &[x]).unwrap(), 1);
+    assert!(out.all_live_colored(), "gap 2d: {:?}", out.uncolored_live());
+
+    // Gap of 2d + 1: the middle process P-d-1 is beyond both reaches.
+    let x = p - 2 * d - 1;
+    let out = run(spec, p, FaultPlan::from_ranks(p, &[x]).unwrap(), 1);
+    assert_eq!(
+        out.uncolored_live(),
+        vec![p - d - 1],
+        "exactly the middle of the too-large gap stays dark"
+    );
+}

@@ -1,0 +1,97 @@
+//! The two drivers — LogP simulator and thread cluster — run the same
+//! protocol state machines. These tests pin down that shared-semantics
+//! contract: identical coloring outcomes and tree message counts, and
+//! correction healing the same fault patterns on both.
+
+use corrected_trees::core::correction::CorrectionKind;
+use corrected_trees::core::protocol::BroadcastSpec;
+use corrected_trees::core::tree::TreeKind;
+use corrected_trees::logp::LogP;
+use corrected_trees::runtime::Cluster;
+use corrected_trees::sim::{FaultPlan, Simulation};
+
+#[test]
+fn plain_tree_message_counts_agree() {
+    let p = 64u32;
+    let spec = BroadcastSpec::plain_tree(TreeKind::BINOMIAL);
+    let sim_out = Simulation::builder(p, LogP::PAPER)
+        .build()
+        .run(&spec)
+        .unwrap();
+    let mut cluster = Cluster::new(p, LogP::PAPER);
+    let report = cluster
+        .run_broadcast(&spec, &vec![false; p as usize], 0)
+        .unwrap();
+    assert!(report.completed);
+    // Dissemination is deterministic and runs to completion on both
+    // drivers: exactly P - 1 messages.
+    assert_eq!(sim_out.messages.total(), 63);
+    assert_eq!(report.messages, 63);
+}
+
+#[test]
+fn both_drivers_heal_the_same_fault_pattern() {
+    let p = 128u32;
+    let spec = BroadcastSpec::corrected_tree(
+        TreeKind::LAME2,
+        CorrectionKind::OpportunisticOptimized { distance: 4 },
+    );
+    let dead_ranks = [3u32, 64, 65, 100];
+    let plan = FaultPlan::from_ranks(p, &dead_ranks).unwrap();
+    let sim_out = Simulation::builder(p, LogP::PAPER)
+        .faults(plan)
+        .build()
+        .run(&spec)
+        .unwrap();
+    assert!(sim_out.all_live_colored(), "{:?}", sim_out.uncolored_live());
+
+    let mut dead = vec![false; p as usize];
+    for &r in &dead_ranks {
+        dead[r as usize] = true;
+    }
+    let mut cluster = Cluster::new(p, LogP::PAPER);
+    let report = cluster.run_broadcast(&spec, &dead, 0).unwrap();
+    assert!(report.completed, "cluster uncolored: {:?}", report.uncolored);
+    assert!(report.uncolored.is_empty());
+}
+
+#[test]
+fn plain_tree_leaves_identical_orphans_on_both_drivers() {
+    let p = 32u32;
+    let spec = BroadcastSpec::plain_tree(TreeKind::BINOMIAL);
+    let plan = FaultPlan::from_ranks(p, &[2]).unwrap();
+    let sim_out = Simulation::builder(p, LogP::PAPER)
+        .faults(plan)
+        .build()
+        .run(&spec)
+        .unwrap();
+
+    let mut dead = vec![false; p as usize];
+    dead[2] = true;
+    let mut cluster = Cluster::new(p, LogP::PAPER);
+    cluster.set_timeout(std::time::Duration::from_millis(300));
+    let report = cluster.run_broadcast(&spec, &dead, 0).unwrap();
+    assert!(!report.completed);
+    assert_eq!(sim_out.uncolored_live(), report.uncolored);
+}
+
+#[test]
+fn gossip_round_limited_completes_on_both_drivers() {
+    let p = 64u32;
+    let spec = corrected_trees::gossip::GossipSpec::round_limited(
+        10,
+        CorrectionKind::Opportunistic { distance: 4 },
+    );
+    let sim_out = Simulation::builder(p, LogP::PAPER)
+        .seed(3)
+        .build()
+        .run(&spec)
+        .unwrap();
+    assert!(sim_out.all_live_colored(), "{:?}", sim_out.uncolored_live());
+
+    let mut cluster = Cluster::new(p, LogP::PAPER);
+    let report = cluster
+        .run_broadcast(&spec, &vec![false; p as usize], 3)
+        .unwrap();
+    assert!(report.completed, "{:?}", report.uncolored);
+}
