@@ -78,10 +78,7 @@ pub fn lscc_bounds(g_max: u32, logp: &LogP) -> (Time, Time) {
         return (base, base);
     }
     let o = logp.o();
-    (
-        base + (g_max as u64) * o,
-        base + (2 * g_max as u64 + 1) * o,
-    )
+    (base + (g_max as u64) * o, base + (2 * g_max as u64 + 1) * o)
 }
 
 #[cfg(test)]

@@ -10,11 +10,7 @@ use ct_sim::{FaultPlan, Simulation};
 
 /// Run a synchronized-checked corrected broadcast and return
 /// (L_SCC in steps, correction messages, dissemination-coloring mask).
-fn run_scc(
-    p: u32,
-    logp: LogP,
-    faults: FaultPlan,
-) -> (u64, u64, Vec<bool>) {
+fn run_scc(p: u32, logp: LogP, faults: FaultPlan) -> (u64, u64, Vec<bool>) {
     let spec = BroadcastSpec::corrected_tree_sync(TreeKind::BINOMIAL, CorrectionKind::Checked);
     let tree = TreeKind::BINOMIAL.build(p, &logp).unwrap();
     let start = tree.dissemination_deadline(&logp);
@@ -51,7 +47,16 @@ fn lemma2_and_corollary1_exact_for_paper_params() {
 fn lemma2_exact_whenever_o_divides_l() {
     // The paper's ⌊L/o⌋ closed form is exact for o | L — which includes
     // every configuration its evaluation uses (o = 1).
-    for (l, o) in [(1u64, 1u64), (2, 1), (3, 1), (4, 1), (2, 2), (4, 2), (3, 3), (6, 3)] {
+    for (l, o) in [
+        (1u64, 1u64),
+        (2, 1),
+        (3, 1),
+        (4, 1),
+        (2, 2),
+        (4, 2),
+        (3, 3),
+        (6, 3),
+    ] {
         let logp = LogP::new(l, o, 1).unwrap();
         let (lscc, corr_msgs, _) = run_scc(64, logp, FaultPlan::none(64));
         assert_eq!(

@@ -31,7 +31,10 @@ fn bench(c: &mut Criterion) {
             b.iter(|| cluster.run_broadcast(&spec, &live, 0).unwrap().latency)
         });
     }
-    let lame4 = BroadcastSpec::plain_tree(TreeKind::Lame { k: 4, order: Ordering::Interleaved });
+    let lame4 = BroadcastSpec::plain_tree(TreeKind::Lame {
+        k: 4,
+        order: Ordering::Interleaved,
+    });
     group.bench_function("lame4_d0", |b| {
         b.iter(|| cluster.run_broadcast(&lame4, &live, 0).unwrap().latency)
     });

@@ -14,31 +14,29 @@ fn bench(c: &mut Criterion) {
     group.warm_up_time(std::time::Duration::from_millis(500));
     group.sample_size(20);
     let p = 1 << 12;
-    for (name, order) in [("in-order", Ordering::InOrder), ("interleaved", Ordering::Interleaved)]
-    {
+    for (name, order) in [
+        ("in-order", Ordering::InOrder),
+        ("interleaved", Ordering::Interleaved),
+    ] {
         for faults in [1u32, 5] {
             let spec = BroadcastSpec::corrected_tree_sync(
                 TreeKind::Binomial { order },
                 CorrectionKind::Checked,
             );
-            group.bench_with_input(
-                BenchmarkId::new(name, faults),
-                &faults,
-                |b, &faults| {
-                    let mut seed = 0u64;
-                    b.iter(|| {
-                        seed += 1;
-                        let plan = FaultPlan::random_count(p, faults, seed).unwrap();
-                        Simulation::builder(p, LogP::PAPER)
-                            .faults(plan)
-                            .seed(seed)
-                            .build()
-                            .run(&spec)
-                            .unwrap()
-                            .quiescence
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(name, faults), &faults, |b, &faults| {
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed += 1;
+                    let plan = FaultPlan::random_count(p, faults, seed).unwrap();
+                    Simulation::builder(p, LogP::PAPER)
+                        .faults(plan)
+                        .seed(seed)
+                        .build()
+                        .run(&spec)
+                        .unwrap()
+                        .quiescence
+                })
+            });
         }
     }
     group.finish();

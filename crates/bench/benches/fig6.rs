@@ -16,7 +16,12 @@ fn bench(c: &mut Criterion) {
     group.sample_size(20);
     let p = 1 << 12;
     let sim = Simulation::builder(p, LogP::PAPER).seed(3).build();
-    for kind in [TreeKind::BINOMIAL, TreeKind::FOUR_ARY, TreeKind::LAME2, TreeKind::OPTIMAL] {
+    for kind in [
+        TreeKind::BINOMIAL,
+        TreeKind::FOUR_ARY,
+        TreeKind::LAME2,
+        TreeKind::OPTIMAL,
+    ] {
         let opp = BroadcastSpec::corrected_tree(
             kind,
             CorrectionKind::OpportunisticOptimized { distance: 4 },

@@ -14,7 +14,12 @@ fn bench(c: &mut Criterion) {
     group.warm_up_time(std::time::Duration::from_millis(500));
     group.sample_size(20);
     let p = 1 << 12;
-    for kind in [TreeKind::BINOMIAL, TreeKind::FOUR_ARY, TreeKind::LAME2, TreeKind::OPTIMAL] {
+    for kind in [
+        TreeKind::BINOMIAL,
+        TreeKind::FOUR_ARY,
+        TreeKind::LAME2,
+        TreeKind::OPTIMAL,
+    ] {
         let spec = BroadcastSpec::corrected_tree_sync(kind, CorrectionKind::Checked);
         group.bench_function(kind.label(), |b| {
             let mut seed = 0u64;

@@ -15,21 +15,25 @@ fn bench(c: &mut Criterion) {
     let p = 1 << 12;
     let spec = BroadcastSpec::corrected_tree_sync(TreeKind::BINOMIAL, CorrectionKind::Checked);
     for rate_pct in [0u32, 1, 4] {
-        group.bench_with_input(BenchmarkId::new("binomial", rate_pct), &rate_pct, |b, &r| {
-            let mut seed = 0u64;
-            b.iter(|| {
-                seed += 1;
-                let plan = FaultPlan::random_rate(p, r as f64 / 100.0, seed).unwrap();
-                Simulation::builder(p, LogP::PAPER)
-                    .faults(plan)
-                    .seed(seed)
-                    .build()
-                    .run(&spec)
-                    .unwrap()
-                    .messages
-                    .total()
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("binomial", rate_pct),
+            &rate_pct,
+            |b, &r| {
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed += 1;
+                    let plan = FaultPlan::random_rate(p, r as f64 / 100.0, seed).unwrap();
+                    Simulation::builder(p, LogP::PAPER)
+                        .faults(plan)
+                        .seed(seed)
+                        .build()
+                        .run(&spec)
+                        .unwrap()
+                        .messages
+                        .total()
+                })
+            },
+        );
     }
     group.finish();
 }

@@ -18,8 +18,7 @@ fn bench(c: &mut Criterion) {
     for exp in [12u32, 14, 16] {
         let p = 1u32 << exp;
         let sim = Simulation::builder(p, LogP::PAPER).seed(1).build();
-        let spec =
-            BroadcastSpec::corrected_tree_sync(TreeKind::BINOMIAL, CorrectionKind::Checked);
+        let spec = BroadcastSpec::corrected_tree_sync(TreeKind::BINOMIAL, CorrectionKind::Checked);
         let events = sim.run(&spec).unwrap().events;
         group.throughput(Throughput::Elements(events));
         group.bench_with_input(BenchmarkId::new("checked_binomial", p), &(), |b, _| {

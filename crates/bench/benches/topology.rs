@@ -18,13 +18,13 @@ fn bench(c: &mut Criterion) {
             TreeKind::FOUR_ARY,
             TreeKind::LAME2,
             TreeKind::OPTIMAL,
-            TreeKind::Binomial { order: Ordering::InOrder },
+            TreeKind::Binomial {
+                order: Ordering::InOrder,
+            },
         ] {
-            group.bench_with_input(
-                BenchmarkId::new(kind.label(), p),
-                &kind,
-                |b, kind| b.iter(|| kind.build(p, &logp).unwrap().num_edges()),
-            );
+            group.bench_with_input(BenchmarkId::new(kind.label(), p), &kind, |b, kind| {
+                b.iter(|| kind.build(p, &logp).unwrap().num_edges())
+            });
         }
     }
     group.finish();

@@ -4,8 +4,11 @@
 //!
 //! Usage: `ablation [--p N] [--reps N] [--seed N] [--out DIR]`
 
-use ct_bench::{emit, Args};
+use std::time::Instant;
+
+use ct_bench::{emit_with_manifest, Args, RunManifest};
 use ct_exp::ablation::{run, to_csv, AblationConfig};
+use ct_logp::LogP;
 
 fn main() {
     let args = Args::from_env();
@@ -19,6 +22,17 @@ fn main() {
         "ablation: P={}, tree={}, faults={:?}, delays={:?}, reps={}",
         cfg.p, cfg.tree, cfg.fault_counts, cfg.delays, cfg.reps
     );
+    let t0 = Instant::now();
     let rows = run(&cfg).expect("campaign");
-    emit("ablation", &to_csv(&rows), &args);
+    let manifest = RunManifest::new("ablation")
+        .protocol(format!("{} tree, every correction algorithm", cfg.tree))
+        .p(cfg.p)
+        .logp(LogP::PAPER)
+        .seed(cfg.seed0)
+        .reps(cfg.reps)
+        .faults(format!("count in {:?}", cfg.fault_counts))
+        .wall_secs(t0.elapsed().as_secs_f64())
+        .with_extra("delays", format!("{:?}", cfg.delays))
+        .with_extra("distances", format!("{:?}", cfg.distances));
+    emit_with_manifest("ablation", &to_csv(&rows), &args, manifest);
 }

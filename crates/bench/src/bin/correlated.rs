@@ -4,8 +4,11 @@
 //!
 //! Usage: `correlated [--p N] [--node-size N] [--reps N] [--seed N] [--out DIR]`
 
-use ct_bench::{emit, Args};
+use std::time::Instant;
+
+use ct_bench::{emit_with_manifest, Args, RunManifest};
 use ct_exp::correlated::{run, to_csv, CorrelatedConfig};
+use ct_logp::LogP;
 
 fn main() {
     let args = Args::from_env();
@@ -19,6 +22,18 @@ fn main() {
         "correlated: P={}, node_size={}, nodes={:?}, reps={}",
         cfg.p, cfg.node_size, cfg.node_counts, cfg.reps
     );
+    let t0 = Instant::now();
     let rows = run(&cfg).expect("campaign");
-    emit("correlated", &to_csv(&rows), &args);
+    let manifest = RunManifest::new("correlated")
+        .protocol("corrected tree, linear vs shuffled rank numbering")
+        .p(cfg.p)
+        .logp(LogP::PAPER)
+        .seed(cfg.seed0)
+        .reps(cfg.reps)
+        .faults(format!(
+            "whole nodes (size {}) in {:?}",
+            cfg.node_size, cfg.node_counts
+        ))
+        .wall_secs(t0.elapsed().as_secs_f64());
+    emit_with_manifest("correlated", &to_csv(&rows), &args, manifest);
 }

@@ -3,7 +3,9 @@
 //!
 //! Usage: `fig10 [--paper] [--p N] [--reps N] [--seed N] [--out DIR]`
 
-use ct_bench::{emit, Args};
+use std::time::Instant;
+
+use ct_bench::{emit_with_manifest, Args, RunManifest};
 use ct_exp::fig10;
 use ct_exp::resilience::{run_grid, ResilienceConfig};
 
@@ -20,11 +22,26 @@ fn main() {
     cfg.seed0 = args.get("--seed", cfg.seed0);
     cfg.threads = args.get("--threads", cfg.threads);
 
-    eprintln!("fig10: P={}, reps={}, rates={:?}", cfg.p, cfg.reps, cfg.rates);
+    eprintln!(
+        "fig10: P={}, reps={}, rates={:?}",
+        cfg.p, cfg.reps, cfg.rates
+    );
+    let t0 = Instant::now();
     let cells = run_grid(&cfg).expect("grid");
     let points = fig10::from_cells(&cells, &cfg.logp);
     let conf = fig10::bounds_conformance(&points);
-    emit("fig10", &fig10::to_csv(&points), &args);
+    let manifest = RunManifest::new("fig10")
+        .protocol("4 trees (checked sync)")
+        .p(cfg.p)
+        .logp(cfg.logp)
+        .seed(cfg.seed0)
+        .reps(cfg.reps)
+        .faults(format!("rate in {:?}", cfg.rates))
+        .wall_secs(t0.elapsed().as_secs_f64());
+    emit_with_manifest("fig10", &fig10::to_csv(&points), &args, manifest);
     println!("Lemma-3 bound conformance: {:.1}%", conf * 100.0);
-    assert!(conf >= 1.0, "simulation points escaped the analytical bounds");
+    assert!(
+        conf >= 1.0,
+        "simulation points escaped the analytical bounds"
+    );
 }

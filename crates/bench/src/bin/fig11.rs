@@ -3,8 +3,11 @@
 //!
 //! Usage: `fig11 [--paper] [--max-p N] [--iters N] [--seed N] [--out DIR]`
 
-use ct_bench::{emit, Args};
+use std::time::Instant;
+
+use ct_bench::{emit_with_manifest, Args, RunManifest};
 use ct_exp::fig11::{run, to_csv, Fig11Config};
+use ct_logp::LogP;
 
 fn main() {
     let args = Args::from_env();
@@ -15,15 +18,25 @@ fn main() {
     }
     let max_p: u32 = args.get("--max-p", 0);
     if max_p > 0 {
-        cfg.process_counts = (2..)
-            .map(|n| 1 << n)
-            .take_while(|&p| p <= max_p)
-            .collect();
+        cfg.process_counts = (2..).map(|n| 1 << n).take_while(|&p| p <= max_p).collect();
     }
     cfg.iterations = args.get("--iters", cfg.iterations);
     cfg.seed = args.get("--seed", cfg.seed);
 
-    eprintln!("fig11: P sweep {:?}, iters={}", cfg.process_counts, cfg.iterations);
+    eprintln!(
+        "fig11: P sweep {:?}, iters={}",
+        cfg.process_counts, cfg.iterations
+    );
+    let t0 = Instant::now();
     let rows = run(&cfg).expect("cluster sweep");
-    emit("fig11", &to_csv(&rows), &args);
+    let manifest = RunManifest::new("fig11")
+        .protocol("cluster: native binomial vs corrected tree vs gossip")
+        .logp(LogP::PAPER)
+        .seed(cfg.seed)
+        .reps(cfg.iterations)
+        .faults("none")
+        .wall_secs(t0.elapsed().as_secs_f64())
+        .with_extra("process_counts", format!("{:?}", cfg.process_counts))
+        .with_extra("gossip_rounds", cfg.gossip_rounds.to_string());
+    emit_with_manifest("fig11", &to_csv(&rows), &args, manifest);
 }

@@ -4,8 +4,11 @@
 //!
 //! Usage: `fig12 [--paper] [--max-p N] [--iters N] [--seed N] [--out DIR]`
 
-use ct_bench::{emit, Args};
+use std::time::Instant;
+
+use ct_bench::{emit_with_manifest, Args, RunManifest};
 use ct_exp::fig12::{run, to_csv, Fig12Config};
+use ct_logp::LogP;
 
 fn main() {
     let args = Args::from_env();
@@ -16,15 +19,24 @@ fn main() {
     }
     let max_p: u32 = args.get("--max-p", 0);
     if max_p > 0 {
-        cfg.process_counts = (3..)
-            .map(|n| 1 << n)
-            .take_while(|&p| p <= max_p)
-            .collect();
+        cfg.process_counts = (3..).map(|n| 1 << n).take_while(|&p| p <= max_p).collect();
     }
     cfg.iterations = args.get("--iters", cfg.iterations);
     cfg.seed = args.get("--seed", cfg.seed);
 
-    eprintln!("fig12: P sweep {:?}, iters={}", cfg.process_counts, cfg.iterations);
+    eprintln!(
+        "fig12: P sweep {:?}, iters={}",
+        cfg.process_counts, cfg.iterations
+    );
+    let t0 = Instant::now();
     let rows = run(&cfg).expect("cluster sweep");
-    emit("fig12", &to_csv(&rows), &args);
+    let manifest = RunManifest::new("fig12")
+        .protocol("cluster: corrected-tree variants (binomial d=0/1/2, lame4, faulty)")
+        .logp(LogP::PAPER)
+        .seed(cfg.seed)
+        .reps(cfg.iterations)
+        .faults("emulated rank failures (faulty series only)")
+        .wall_secs(t0.elapsed().as_secs_f64())
+        .with_extra("process_counts", format!("{:?}", cfg.process_counts));
+    emit_with_manifest("fig12", &to_csv(&rows), &args, manifest);
 }

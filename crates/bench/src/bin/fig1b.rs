@@ -3,8 +3,11 @@
 //!
 //! Usage: `fig1b [--paper] [--p N] [--reps N] [--seed N] [--out DIR]`
 
-use ct_bench::{emit, Args};
+use std::time::Instant;
+
+use ct_bench::{emit_with_manifest, Args, RunManifest};
 use ct_exp::fig1b::{run, to_csv, Fig1bConfig};
+use ct_logp::LogP;
 
 fn main() {
     let args = Args::from_env();
@@ -22,6 +25,15 @@ fn main() {
         "fig1b: P={}, faults={:?}, reps={}, threads={}",
         cfg.p, cfg.fault_counts, cfg.reps, cfg.threads
     );
+    let t0 = Instant::now();
     let rows = run(&cfg).expect("campaign");
-    emit("fig1b", &to_csv(&rows), &args);
+    let manifest = RunManifest::new("fig1b")
+        .protocol("binomial in-order vs interleaved, checked sync correction")
+        .p(cfg.p)
+        .logp(LogP::PAPER)
+        .seed(cfg.seed0)
+        .reps(cfg.reps)
+        .faults(format!("count in {:?}", cfg.fault_counts))
+        .wall_secs(t0.elapsed().as_secs_f64());
+    emit_with_manifest("fig1b", &to_csv(&rows), &args, manifest);
 }

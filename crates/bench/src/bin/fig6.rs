@@ -3,8 +3,11 @@
 //!
 //! Usage: `fig6 [--paper] [--p N] [--seed N] [--out DIR]`
 
-use ct_bench::{emit, Args};
+use std::time::Instant;
+
+use ct_bench::{emit_with_manifest, Args, RunManifest};
 use ct_exp::fig6::{run, to_csv, Fig6Config};
+use ct_logp::LogP;
 
 fn main() {
     let args = Args::from_env();
@@ -18,6 +21,16 @@ fn main() {
     cfg.gossip_reps = args.get("--reps", cfg.gossip_reps);
 
     eprintln!("fig6: P={}, distances={:?}", cfg.p, cfg.distances);
+    let t0 = Instant::now();
     let rows = run(&cfg).expect("campaign");
-    emit("fig6", &to_csv(&rows), &args);
+    let manifest = RunManifest::new("fig6")
+        .protocol("4 trees + corrected gossip, correction-type sweep")
+        .p(cfg.p)
+        .logp(LogP::PAPER)
+        .seed(cfg.seed0)
+        .reps(cfg.gossip_reps)
+        .faults("none")
+        .wall_secs(t0.elapsed().as_secs_f64())
+        .with_extra("distances", format!("{:?}", cfg.distances));
+    emit_with_manifest("fig6", &to_csv(&rows), &args, manifest);
 }

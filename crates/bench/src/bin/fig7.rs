@@ -3,8 +3,11 @@
 //!
 //! Usage: `fig7 [--paper] [--max-exp N] [--seed N] [--out DIR]`
 
-use ct_bench::{emit, Args};
+use std::time::Instant;
+
+use ct_bench::{emit_with_manifest, Args, RunManifest};
 use ct_exp::fig7::{run, to_csv, Fig7Config};
+use ct_logp::LogP;
 
 fn main() {
     let args = Args::from_env();
@@ -21,6 +24,15 @@ fn main() {
     cfg.gossip_reps = args.get("--reps", cfg.gossip_reps);
 
     eprintln!("fig7: P sweep {:?}", cfg.process_counts);
+    let t0 = Instant::now();
     let rows = run(&cfg).expect("campaign");
-    emit("fig7", &to_csv(&rows), &args);
+    let manifest = RunManifest::new("fig7")
+        .protocol("acked trees, corrected trees, checked corrected gossip")
+        .logp(LogP::PAPER)
+        .seed(cfg.seed0)
+        .reps(cfg.gossip_reps)
+        .faults("none")
+        .wall_secs(t0.elapsed().as_secs_f64())
+        .with_extra("process_counts", format!("{:?}", cfg.process_counts));
+    emit_with_manifest("fig7", &to_csv(&rows), &args, manifest);
 }

@@ -2,7 +2,9 @@
 //!
 //! Usage: `fig9 [--paper] [--p N] [--reps N] [--seed N] [--out DIR]`
 
-use ct_bench::{emit, Args};
+use std::time::Instant;
+
+use ct_bench::{emit_with_manifest, Args, RunManifest};
 use ct_exp::resilience::{run_grid, ResilienceConfig};
 use ct_exp::{fig9, tuning};
 
@@ -19,15 +21,29 @@ fn main() {
     cfg.threads = args.get("--threads", cfg.threads);
     let lo = cfg.logp.transit_steps();
     let log2p = (32 - cfg.p.leading_zeros()) as u64;
-    cfg.gossip_time = tuning::min_latency_gossip_time(
-        cfg.p, cfg.logp, lo, lo * (log2p + 8), 2, 3, cfg.seed0,
-    )
-    .expect("tuning");
+    cfg.gossip_time =
+        tuning::min_latency_gossip_time(cfg.p, cfg.logp, lo, lo * (log2p + 8), 2, 3, cfg.seed0)
+            .expect("tuning");
 
     eprintln!(
         "fig9: P={}, reps={}, gossip_time={}, rates={:?}",
         cfg.p, cfg.reps, cfg.gossip_time, cfg.rates
     );
+    let t0 = Instant::now();
     let cells = run_grid(&cfg).expect("grid");
-    emit("fig9", &fig9::to_csv(&fig9::from_cells(&cells)), &args);
+    let manifest = RunManifest::new("fig9")
+        .protocol("4 trees (checked sync) + checked corrected gossip")
+        .p(cfg.p)
+        .logp(cfg.logp)
+        .seed(cfg.seed0)
+        .reps(cfg.reps)
+        .faults(format!("rate in {:?}", cfg.rates))
+        .wall_secs(t0.elapsed().as_secs_f64())
+        .with_extra("gossip_time", cfg.gossip_time.to_string());
+    emit_with_manifest(
+        "fig9",
+        &fig9::to_csv(&fig9::from_cells(&cells)),
+        &args,
+        manifest,
+    );
 }

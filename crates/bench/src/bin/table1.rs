@@ -3,7 +3,9 @@
 //!
 //! Usage: `table1 [--paper] [--p N] [--reps N] [--seed N] [--out DIR]`
 
-use ct_bench::{emit, Args};
+use std::time::Instant;
+
+use ct_bench::{emit_with_manifest, Args, RunManifest};
 use ct_exp::resilience::{run_grid, ResilienceConfig};
 use ct_exp::table1;
 
@@ -20,8 +22,25 @@ fn main() {
     cfg.seed0 = args.get("--seed", cfg.seed0);
     cfg.threads = args.get("--threads", cfg.threads);
 
-    eprintln!("table1: P={}, reps={}, rates={:?}", cfg.p, cfg.reps, cfg.rates);
+    eprintln!(
+        "table1: P={}, reps={}, rates={:?}",
+        cfg.p, cfg.reps, cfg.rates
+    );
+    let t0 = Instant::now();
     let cells = run_grid(&cfg).expect("grid");
-    emit("table1", &table1::to_csv(&table1::from_cells(&cells)), &args);
+    let manifest = RunManifest::new("table1")
+        .protocol("4 trees (checked sync), aggregated")
+        .p(cfg.p)
+        .logp(cfg.logp)
+        .seed(cfg.seed0)
+        .reps(cfg.reps)
+        .faults(format!("rate in {:?}", cfg.rates))
+        .wall_secs(t0.elapsed().as_secs_f64());
+    emit_with_manifest(
+        "table1",
+        &table1::to_csv(&table1::from_cells(&cells)),
+        &args,
+        manifest,
+    );
     println!("(fault-free reference: g_max = 0, L_SCC = 8)");
 }

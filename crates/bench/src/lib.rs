@@ -4,7 +4,9 @@
 //!
 //! * **Binaries** (`src/bin/fig*.rs`, `table1.rs`) regenerate the
 //!   paper's tables and figures: each prints the figure's series as an
-//!   aligned table and writes `results/<name>.csv`. Flags:
+//!   aligned table and writes `results/<name>.csv` plus a
+//!   `results/<name>.meta.json` provenance manifest (seed, parameters,
+//!   git revision, wall time — see [`ct_obs::RunManifest`]). Flags:
 //!   `--paper` switches to the paper's scale, `--p N`, `--reps N`,
 //!   `--seed N` override individual knobs, `--out DIR` redirects CSV
 //!   output.
@@ -19,6 +21,7 @@
 use std::path::PathBuf;
 
 use ct_exp::csv::CsvTable;
+pub use ct_obs::RunManifest;
 
 /// Tiny argv parser shared by all figure binaries: `--key value` pairs
 /// plus boolean flags.
@@ -30,7 +33,9 @@ pub struct Args {
 impl Args {
     /// Parse from the process arguments.
     pub fn from_env() -> Args {
-        Args { raw: std::env::args().skip(1).collect() }
+        Args {
+            raw: std::env::args().skip(1).collect(),
+        }
     }
 
     /// Parse from an explicit list (tests).
@@ -70,11 +75,28 @@ impl Args {
 /// Print a CSV table to stdout as an aligned text table and also write
 /// it to `<out>/<name>.csv`.
 pub fn emit(name: &str, table: &CsvTable, args: &Args) {
+    let _ = emit_csv(name, table, args);
+}
+
+/// Like [`emit`], additionally writing a provenance manifest next to
+/// the CSV as `<out>/<name>.meta.json`. The manifest is stamped with
+/// the current git revision and wall-clock timestamp before writing,
+/// so callers only fill in the experiment parameters.
+pub fn emit_with_manifest(name: &str, table: &CsvTable, args: &Args, manifest: RunManifest) {
+    let Some(csv_path) = emit_csv(name, table, args) else {
+        return;
+    };
+    match manifest.stamped().write_next_to(&csv_path) {
+        Ok(path) => println!("[manifest {}]", path.display()),
+        Err(e) => eprintln!("[could not write manifest for {}: {e}]", csv_path.display()),
+    }
+}
+
+/// Shared body of [`emit`]/[`emit_with_manifest`]: print the aligned
+/// table, write the CSV, return its path when the write succeeded.
+fn emit_csv(name: &str, table: &CsvTable, args: &Args) -> Option<PathBuf> {
     let csv = table.to_csv();
-    let rows: Vec<Vec<String>> = csv
-        .lines()
-        .map(split_csv_line)
-        .collect();
+    let rows: Vec<Vec<String>> = csv.lines().map(split_csv_line).collect();
     let widths: Vec<usize> = (0..rows[0].len())
         .map(|c| rows.iter().map(|r| r[c].len()).max().unwrap_or(0))
         .collect();
@@ -86,13 +108,22 @@ pub fn emit(name: &str, table: &CsvTable, args: &Args) {
             .collect();
         println!("{}", line.join("  "));
         if i == 0 {
-            println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+            println!(
+                "{}",
+                "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1))
+            );
         }
     }
     let path = args.out_dir().join(format!("{name}.csv"));
     match table.write_to(&path) {
-        Ok(()) => println!("\n[written {}]", path.display()),
-        Err(e) => eprintln!("\n[could not write {}: {e}]", path.display()),
+        Ok(()) => {
+            println!("\n[written {}]", path.display());
+            Some(path)
+        }
+        Err(e) => {
+            eprintln!("\n[could not write {}: {e}]", path.display());
+            None
+        }
     }
 }
 
@@ -146,7 +177,10 @@ mod tests {
     fn csv_line_splitting_handles_quotes() {
         assert_eq!(split_csv_line("a,b"), vec!["a", "b"]);
         assert_eq!(split_csv_line("\"x,y\",z"), vec!["x,y", "z"]);
-        assert_eq!(split_csv_line("\"he said \"\"hi\"\"\",2"), vec!["he said \"hi\"", "2"]);
+        assert_eq!(
+            split_csv_line("\"he said \"\"hi\"\"\",2"),
+            vec!["he said \"hi\"", "2"]
+        );
     }
 
     #[test]
@@ -154,5 +188,22 @@ mod tests {
     fn missing_value_panics() {
         let a = Args::from_vec(vec!["--p".into()]);
         let _: u32 = a.get("--p", 1);
+    }
+
+    #[test]
+    fn emit_with_manifest_writes_meta_json_next_to_csv() {
+        let dir = std::env::temp_dir().join("ct-bench-emit-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let args = Args::from_vec(vec!["--out".into(), dir.display().to_string()]);
+        let mut table = CsvTable::new(["p", "latency"]);
+        table.row(["64", "22"]);
+        let manifest = RunManifest::new("demo").p(64).seed(7).reps(1);
+        emit_with_manifest("demo", &table, &args, manifest);
+        let body = std::fs::read_to_string(dir.join("demo.meta.json")).unwrap();
+        assert!(body.starts_with(r#"{"name":"demo""#), "{body}");
+        assert!(body.contains(r#""seed":7"#), "{body}");
+        assert!(body.contains(r#""created_unix":"#), "{body}");
+        assert!(std::fs::metadata(dir.join("demo.csv")).is_ok());
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

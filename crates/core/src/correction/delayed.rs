@@ -199,7 +199,7 @@ mod tests {
         let mut a = DelayedCorrection::new(0, 2, 5, Time::ZERO);
         let mut b = DelayedCorrection::new(1, 2, 5, Time::ZERO);
         let mut in_flight: Vec<(Rank, Rank)> = Vec::new(); // (from, to)
-        // First sends.
+                                                           // First sends.
         if let CorrPoll::Send(t) = a.poll(Time::ZERO) {
             in_flight.push((0, t));
         }

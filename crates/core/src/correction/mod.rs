@@ -27,10 +27,8 @@ pub mod opportunistic;
 
 use core::fmt;
 
-use ct_logp::{Rank, Time};
-use serde::{Deserialize, Serialize};
-
 pub use checked::CheckedCorrection;
+use ct_logp::{Rank, Time};
 pub use delayed::DelayedCorrection;
 pub use failure_proof::FailureProofCorrection;
 pub use opportunistic::OpportunisticCorrection;
@@ -55,7 +53,7 @@ impl Direction {
 }
 
 /// Which correction algorithm a broadcast uses.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum CorrectionKind {
     /// No correction: plain, fault-agnostic tree broadcast.
     None,
@@ -212,7 +210,10 @@ mod tests {
         );
         assert_eq!(CorrectionKind::Checked.to_string(), "checked");
         assert_eq!(CorrectionKind::FailureProof.to_string(), "failure-proof");
-        assert_eq!(CorrectionKind::Delayed { delay: 9 }.to_string(), "delayed(9)");
+        assert_eq!(
+            CorrectionKind::Delayed { delay: 9 }.to_string(),
+            "delayed(9)"
+        );
     }
 
     #[test]
@@ -233,7 +234,6 @@ mod tests {
     fn only_failure_proof_replies() {
         assert!(CorrectionKind::FailureProof.replies_when_correction_colored());
         assert!(!CorrectionKind::Checked.replies_when_correction_colored());
-        assert!(!CorrectionKind::Opportunistic { distance: 1 }
-            .replies_when_correction_colored());
+        assert!(!CorrectionKind::Opportunistic { distance: 1 }.replies_when_correction_colored());
     }
 }

@@ -91,7 +91,10 @@ impl Process for AckTreeProcess {
         if self.next_child < children.len() {
             let to = children[self.next_child];
             self.next_child += 1;
-            return SendPoll::Now { to, payload: Payload::Tree };
+            return SendPoll::Now {
+                to,
+                payload: Payload::Tree,
+            };
         }
         if self.acks_received < children.len() {
             return SendPoll::Idle; // waiting for child acknowledgments
@@ -133,7 +136,10 @@ mod tests {
         p7.on_message(3, Payload::Tree, Time::new(12));
         assert_eq!(
             p7.poll_send(Time::new(12)),
-            SendPoll::Now { to: 3, payload: Payload::Ack }
+            SendPoll::Now {
+                to: 3,
+                payload: Payload::Ack
+            }
         );
         assert_eq!(p7.poll_send(Time::new(13)), SendPoll::Done);
     }
@@ -145,11 +151,17 @@ mod tests {
         p1.on_message(0, Payload::Tree, Time::new(4));
         assert_eq!(
             p1.poll_send(Time::new(4)),
-            SendPoll::Now { to: 3, payload: Payload::Tree }
+            SendPoll::Now {
+                to: 3,
+                payload: Payload::Tree
+            }
         );
         assert_eq!(
             p1.poll_send(Time::new(5)),
-            SendPoll::Now { to: 5, payload: Payload::Tree }
+            SendPoll::Now {
+                to: 5,
+                payload: Payload::Tree
+            }
         );
         assert_eq!(p1.poll_send(Time::new(6)), SendPoll::Idle);
         p1.on_message(3, Payload::Ack, Time::new(14));
@@ -157,7 +169,10 @@ mod tests {
         p1.on_message(5, Payload::Ack, Time::new(15));
         assert_eq!(
             p1.poll_send(Time::new(15)),
-            SendPoll::Now { to: 0, payload: Payload::Ack }
+            SendPoll::Now {
+                to: 0,
+                payload: Payload::Ack
+            }
         );
         assert_eq!(p1.poll_send(Time::new(16)), SendPoll::Done);
     }
@@ -168,7 +183,10 @@ mod tests {
         for to in [1u32, 2, 4] {
             assert_eq!(
                 root.poll_send(Time::ZERO),
-                SendPoll::Now { to, payload: Payload::Tree }
+                SendPoll::Now {
+                    to,
+                    payload: Payload::Tree
+                }
             );
         }
         assert_eq!(root.poll_send(Time::ZERO), SendPoll::Idle);
@@ -187,12 +205,18 @@ mod tests {
         let mut leaf = AckTreeProcess::new(1, t);
         assert_eq!(
             root.poll_send(Time::ZERO),
-            SendPoll::Now { to: 1, payload: Payload::Tree }
+            SendPoll::Now {
+                to: 1,
+                payload: Payload::Tree
+            }
         );
         leaf.on_message(0, Payload::Tree, Time::new(4));
         assert_eq!(
             leaf.poll_send(Time::new(4)),
-            SendPoll::Now { to: 0, payload: Payload::Ack }
+            SendPoll::Now {
+                to: 0,
+                payload: Payload::Ack
+            }
         );
         root.on_message(1, Payload::Ack, Time::new(8));
         assert!(root.root_completed());

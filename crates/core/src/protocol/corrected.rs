@@ -23,7 +23,7 @@ use std::sync::Arc;
 
 use ct_logp::{Rank, Time};
 
-use crate::correction::{Correction, CorrectionKind, CorrPoll};
+use crate::correction::{CorrPoll, Correction, CorrectionKind};
 use crate::tree::{Topology, Tree};
 
 use super::{ColoredVia, Payload, Process, SendPoll};
@@ -182,7 +182,10 @@ impl Process for CorrectedTreeProcess {
         }
         // Failure-proof acknowledgments first.
         if let Some(to) = self.replies.pop_front() {
-            return SendPoll::Now { to, payload: Payload::Ack };
+            return SendPoll::Now {
+                to,
+                payload: Payload::Ack,
+            };
         }
         if self.colored_at.is_none() {
             return SendPoll::Idle;
@@ -192,7 +195,10 @@ impl Process for CorrectedTreeProcess {
             if self.next_child < children.len() {
                 let to = children[self.next_child];
                 self.next_child += 1;
-                return SendPoll::Now { to, payload: Payload::Tree };
+                return SendPoll::Now {
+                    to,
+                    payload: Payload::Tree,
+                };
             }
             self.sending_tree = false;
         }
@@ -204,7 +210,10 @@ impl Process for CorrectedTreeProcess {
                 .expect("machine just ensured")
                 .poll(now);
             return match poll {
-                CorrPoll::Send(to) => SendPoll::Now { to, payload: Payload::Correction },
+                CorrPoll::Send(to) => SendPoll::Now {
+                    to,
+                    payload: Payload::Correction,
+                },
                 CorrPoll::WaitUntil(t) => SendPoll::WaitUntil(t),
                 CorrPoll::Idle => SendPoll::Idle,
                 CorrPoll::Done => {
@@ -301,12 +310,7 @@ mod tests {
     fn correction_colored_sends_no_correction() {
         // Overlapped: rank 3 colored by a correction message — it must
         // forward tree messages (early correction) but never correct.
-        let mut p3 = CorrectedTreeProcess::new(
-            3,
-            tree(8),
-            CorrectionKind::Checked,
-            None,
-        );
+        let mut p3 = CorrectedTreeProcess::new(3, tree(8), CorrectionKind::Checked, None);
         p3.on_message(4, Payload::Correction, Time::new(5));
         assert_eq!(p3.colored_via(), Some(ColoredVia::Correction));
         let sent = drain_now(&mut p3, Time::new(5));
@@ -318,12 +322,7 @@ mod tests {
     fn synchronized_correction_colored_does_not_forward() {
         let t = tree(8);
         let start = t.dissemination_deadline(&LogP::PAPER);
-        let mut p3 = CorrectedTreeProcess::new(
-            3,
-            t,
-            CorrectionKind::Checked,
-            Some(start),
-        );
+        let mut p3 = CorrectedTreeProcess::new(3, t, CorrectionKind::Checked, Some(start));
         p3.on_message(2, Payload::Correction, start + 3);
         assert_eq!(p3.colored_via(), Some(ColoredVia::Correction));
         assert_eq!(p3.poll_send(start + 3), SendPoll::Done);
@@ -333,22 +332,23 @@ mod tests {
     fn synchronized_participant_waits_for_global_start() {
         let t = tree(8);
         let start = Time::new(40);
-        let mut p3 = CorrectedTreeProcess::new(
-            3,
-            t,
-            CorrectionKind::Checked,
-            Some(start),
-        );
+        let mut p3 = CorrectedTreeProcess::new(3, t, CorrectionKind::Checked, Some(start));
         p3.on_message(1, Payload::Tree, Time::new(6));
         // Tree child of 3 is 7.
         assert_eq!(
             p3.poll_send(Time::new(6)),
-            SendPoll::Now { to: 7, payload: Payload::Tree }
+            SendPoll::Now {
+                to: 7,
+                payload: Payload::Tree
+            }
         );
         assert_eq!(p3.poll_send(Time::new(7)), SendPoll::WaitUntil(start));
         assert_eq!(
             p3.poll_send(start),
-            SendPoll::Now { to: 2, payload: Payload::Correction }
+            SendPoll::Now {
+                to: 2,
+                payload: Payload::Correction
+            }
         );
     }
 
@@ -383,12 +383,7 @@ mod tests {
 
     #[test]
     fn failure_proof_correction_colored_replies_once_per_prober() {
-        let mut p3 = CorrectedTreeProcess::new(
-            3,
-            tree(8),
-            CorrectionKind::FailureProof,
-            None,
-        );
+        let mut p3 = CorrectedTreeProcess::new(3, tree(8), CorrectionKind::FailureProof, None);
         p3.on_message(1, Payload::Correction, Time::new(9));
         assert_eq!(p3.colored_via(), Some(ColoredVia::Correction));
         let sent = drain_now(&mut p3, Time::new(9));
@@ -401,7 +396,10 @@ mod tests {
         p3.on_message(2, Payload::Correction, Time::new(13));
         assert_eq!(
             p3.poll_send(Time::new(13)),
-            SendPoll::Now { to: 2, payload: Payload::Ack }
+            SendPoll::Now {
+                to: 2,
+                payload: Payload::Ack
+            }
         );
     }
 

@@ -26,11 +26,9 @@ pub mod rotate;
 use core::fmt;
 use std::sync::Arc;
 
-use ct_logp::{LogP, Rank, Time};
-use serde::{Deserialize, Serialize};
-
 use crate::correction::CorrectionKind;
 use crate::tree::{Tree, TreeError, TreeKind};
+use ct_logp::{LogP, Rank, Time};
 
 pub use ack_tree::AckTreeProcess;
 pub use corrected::CorrectedTreeProcess;
@@ -64,7 +62,7 @@ impl Payload {
 }
 
 /// How a process was first colored — used by metrics.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum ColoredVia {
     /// It is the root.
     Root,
@@ -155,7 +153,7 @@ impl From<TreeError> for ProtocolError {
 }
 
 /// When correction begins relative to dissemination (§3.3).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum StartMode {
     /// All processes start correction at a pre-specified global time —
     /// the fault-free dissemination deadline unless overridden.
@@ -180,7 +178,7 @@ impl fmt::Display for StartMode {
 ///
 /// This is the main public entry point: pick a tree, a correction
 /// algorithm and a start mode, then hand the spec to a driver.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct BroadcastSpec {
     /// Dissemination topology.
     pub tree: TreeKind,
@@ -200,13 +198,11 @@ pub struct BroadcastSpec {
     /// of generality" (§2); any other root runs the same protocol under
     /// a rank rotation (an automorphism of the correction ring, so all
     /// interleaving and gap properties are preserved).
-    #[serde(default)]
     pub root: Rank,
     /// Randomize the process numbering (§2.1): each run maps virtual
     /// ranks to physical processes by a seeded random bijection (derived
     /// from this base seed plus the run seed), de-correlating block
     /// failures on the ring. `None` keeps the linear numbering.
-    #[serde(default)]
     pub shuffle_seed: Option<u64>,
 }
 
@@ -355,8 +351,7 @@ impl ProtocolFactory for BroadcastSpec {
             return Ok(virtual_procs);
         };
         // Physical rank map.physical(v) runs virtual rank v.
-        let mut physical: Vec<Option<Box<dyn Process>>> =
-            (0..ctx.p).map(|_| None).collect();
+        let mut physical: Vec<Option<Box<dyn Process>>> = (0..ctx.p).map(|_| None).collect();
         for v in (0..ctx.p).rev() {
             let inner = virtual_procs.pop().expect("one per virtual rank");
             let phys = map.physical(v);
@@ -405,9 +400,12 @@ mod tests {
 
     #[test]
     fn build_produces_p_processes() {
-        let ctx = BuildCtx { p: 33, logp: LogP::PAPER, seed: 1 };
-        let spec =
-            BroadcastSpec::corrected_tree_sync(TreeKind::BINOMIAL, CorrectionKind::Checked);
+        let ctx = BuildCtx {
+            p: 33,
+            logp: LogP::PAPER,
+            seed: 1,
+        };
+        let spec = BroadcastSpec::corrected_tree_sync(TreeKind::BINOMIAL, CorrectionKind::Checked);
         let procs = spec.build(&ctx).unwrap();
         assert_eq!(procs.len(), 33);
         // Only the root is colored initially.
@@ -417,7 +415,11 @@ mod tests {
 
     #[test]
     fn acked_with_correction_is_rejected() {
-        let ctx = BuildCtx { p: 8, logp: LogP::PAPER, seed: 0 };
+        let ctx = BuildCtx {
+            p: 8,
+            logp: LogP::PAPER,
+            seed: 0,
+        };
         let spec = BroadcastSpec {
             tree: TreeKind::BINOMIAL,
             correction: CorrectionKind::Checked,
@@ -435,7 +437,11 @@ mod tests {
 
     #[test]
     fn invalid_tree_propagates() {
-        let ctx = BuildCtx { p: 8, logp: LogP::PAPER, seed: 0 };
+        let ctx = BuildCtx {
+            p: 8,
+            logp: LogP::PAPER,
+            seed: 0,
+        };
         let spec = BroadcastSpec::plain_tree(TreeKind::Kary {
             k: 0,
             order: Ordering::Interleaved,

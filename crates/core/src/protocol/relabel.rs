@@ -41,7 +41,11 @@ impl Relabeling {
         let mut to_virtual = vec![u32::MAX; p];
         for (v, &phys) in to_physical.iter().enumerate() {
             assert!((phys as usize) < p, "physical rank out of range");
-            assert_eq!(to_virtual[phys as usize], u32::MAX, "duplicate physical rank");
+            assert_eq!(
+                to_virtual[phys as usize],
+                u32::MAX,
+                "duplicate physical rank"
+            );
             to_virtual[phys as usize] = v as Rank;
         }
         Relabeling {
@@ -112,7 +116,8 @@ impl RelabeledProcess {
 
 impl Process for RelabeledProcess {
     fn on_message(&mut self, from: Rank, payload: Payload, now: Time) {
-        self.inner.on_message(self.map.virtual_of(from), payload, now);
+        self.inner
+            .on_message(self.map.virtual_of(from), payload, now);
     }
 
     fn poll_send(&mut self, now: Time) -> SendPoll {

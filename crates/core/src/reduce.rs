@@ -46,10 +46,7 @@ impl ReduceOutcome {
     /// Were the contributions of *all* live processes delivered
     /// (non-faulty liveness, reduction flavor)?
     pub fn all_live_delivered(&self, failed: &[bool]) -> bool {
-        self.delivered
-            .iter()
-            .zip(failed)
-            .all(|(&d, &f)| f || d)
+        self.delivered.iter().zip(failed).all(|(&d, &f)| f || d)
     }
 
     /// Live processes whose contribution was lost.
@@ -122,16 +119,14 @@ pub fn simulate(tree: &Tree, d: u32, failed: &[bool], logp: &LogP) -> ReduceOutc
     // Phase 2 cost: every live process with a live parent sends one
     // gather message (the root sends none).
     let gather_messages = (1..p)
-        .filter(|&r| {
-            !failed[r as usize] && !failed[tree.parent(r).expect("non-root") as usize]
-        })
+        .filter(|&r| !failed[r as usize] && !failed[tree.parent(r).expect("non-root") as usize])
         .count() as u64;
 
     // Latency: the ring phase injects d messages back-to-back
     // (d·o + transit to land the last one), then the gather mirrors the
     // dissemination schedule.
-    let ring_phase = Time::new(eff_d.max(1) as u64 * logp.o()).minus(logp.o())
-        + logp.transit_steps();
+    let ring_phase =
+        Time::new(eff_d.max(1) as u64 * logp.o()).minus(logp.o()) + logp.transit_steps();
     let gather_phase = schedule::dissemination_schedule(tree, logp)
         .into_iter()
         .max()
@@ -170,7 +165,11 @@ mod tests {
         let mut failed = vec![false; 64];
         failed[1] = true;
         let out = simulate(&t, 4, &failed, &LogP::PAPER);
-        assert!(out.all_live_delivered(&failed), "lost: {:?}", out.lost(&failed));
+        assert!(
+            out.all_live_delivered(&failed),
+            "lost: {:?}",
+            out.lost(&failed)
+        );
     }
 
     #[test]
@@ -196,9 +195,11 @@ mod tests {
         // them — interleaving is what saves the day.
         let p = 64u32;
         let d = 2;
-        let in_order = TreeKind::Binomial { order: Ordering::InOrder }
-            .build(p, &LogP::PAPER)
-            .unwrap();
+        let in_order = TreeKind::Binomial {
+            order: Ordering::InOrder,
+        }
+        .build(p, &LogP::PAPER)
+        .unwrap();
         let interleaved = tree(p);
         // Fail an inner node with a subtree larger than d everywhere.
         let victim = 1u32;

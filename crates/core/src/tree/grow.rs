@@ -42,13 +42,19 @@ pub struct Growth {
 impl Growth {
     /// Binomial tree: `T_t = T_{t-1} • T_{t-1}`.
     pub fn binomial() -> Growth {
-        Growth { send_interval: 1, ready_delay: 1 }
+        Growth {
+            send_interval: 1,
+            ready_delay: 1,
+        }
     }
 
     /// Lamé tree of order `k ≥ 1`: `T_t = T_{t-1} • T_{t-k}`.
     pub fn lame(k: u32) -> Growth {
         assert!(k >= 1, "Lamé order must be ≥ 1");
-        Growth { send_interval: 1, ready_delay: k as u64 }
+        Growth {
+            send_interval: 1,
+            ready_delay: k as u64,
+        }
     }
 
     /// Latency-optimal tree for the given LogP parameters:
@@ -181,7 +187,10 @@ mod tests {
         // With a huge ready delay only the root ever sends → a star.
         let star = grow(
             17,
-            Growth { send_interval: 1, ready_delay: 1_000_000 },
+            Growth {
+                send_interval: 1,
+                ready_delay: 1_000_000,
+            },
         )
         .into_tree(TreeKind::BINOMIAL);
         assert_eq!(star.children(0).len(), 16);

@@ -92,7 +92,11 @@ pub fn find_violation<T: Topology + ?Sized>(tree: &T) -> Option<Violation> {
             }
             let l = lca(tree, u, v);
             if l != s {
-                return Some(Violation { subtree_root: s, pair: (u, v), lca: l });
+                return Some(Violation {
+                    subtree_root: s,
+                    pair: (u, v),
+                    lca: l,
+                });
             }
         }
     }
@@ -124,12 +128,21 @@ mod tests {
     fn interleaved_builders_satisfy_definition1() {
         let logp = LogP::PAPER;
         let kinds = [
-            TreeKind::Kary { k: 2, order: Ordering::Interleaved },
-            TreeKind::Kary { k: 3, order: Ordering::Interleaved },
+            TreeKind::Kary {
+                k: 2,
+                order: Ordering::Interleaved,
+            },
+            TreeKind::Kary {
+                k: 3,
+                order: Ordering::Interleaved,
+            },
             TreeKind::FOUR_ARY,
             TreeKind::BINOMIAL,
             TreeKind::LAME2,
-            TreeKind::Lame { k: 3, order: Ordering::Interleaved },
+            TreeKind::Lame {
+                k: 3,
+                order: Ordering::Interleaved,
+            },
             TreeKind::OPTIMAL,
         ];
         for kind in kinds {
@@ -149,24 +162,32 @@ mod tests {
         let logp = LogP::PAPER;
         // Figure 3 (left): nodes 2 and 3 are ring-adjacent, both children
         // of node 1 ≠ root.
-        let t = TreeKind::Kary { k: 2, order: Ordering::InOrder }
-            .build(7, &logp)
-            .unwrap();
+        let t = TreeKind::Kary {
+            k: 2,
+            order: Ordering::InOrder,
+        }
+        .build(7, &logp)
+        .unwrap();
         let v = find_violation(&t).expect("in-order binary tree is not interleaved");
         assert_ne!(v.lca, v.subtree_root);
 
-        let t = TreeKind::Binomial { order: Ordering::InOrder }
-            .build(16, &logp)
-            .unwrap();
+        let t = TreeKind::Binomial {
+            order: Ordering::InOrder,
+        }
+        .build(16, &logp)
+        .unwrap();
         assert!(!is_interleaved(&t));
     }
 
     #[test]
     fn chain_is_trivially_interleaved() {
         // k = 1: every adjacent pair descends from each other.
-        let t = TreeKind::Kary { k: 1, order: Ordering::InOrder }
-            .build(9, &LogP::PAPER)
-            .unwrap();
+        let t = TreeKind::Kary {
+            k: 1,
+            order: Ordering::InOrder,
+        }
+        .build(9, &LogP::PAPER)
+        .unwrap();
         assert!(is_interleaved(&t));
     }
 

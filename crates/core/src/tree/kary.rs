@@ -141,7 +141,10 @@ mod tests {
     #[test]
     fn unary_tree_is_a_chain() {
         let shape = kary_interleaved(5, 1);
-        let t = shape.into_tree(TreeKind::Kary { k: 1, order: Ordering::Interleaved });
+        let t = shape.into_tree(TreeKind::Kary {
+            k: 1,
+            order: Ordering::Interleaved,
+        });
         for r in 0..4 {
             assert_eq!(t.children(r), &[r + 1]);
         }
@@ -154,9 +157,12 @@ mod tests {
         // process being uncolored. Check for k=3, a level-1 failure.
         let k = 3;
         let p = 40;
-        let t = TreeKind::Kary { k, order: Ordering::Interleaved }
-            .build(p, &LogP::PAPER)
-            .unwrap();
+        let t = TreeKind::Kary {
+            k,
+            order: Ordering::Interleaved,
+        }
+        .build(p, &LogP::PAPER)
+        .unwrap();
         let failed: Rank = 2; // level 1
         let mut uncolored: Vec<Rank> = t.subtree(failed);
         uncolored.sort_unstable();

@@ -30,10 +30,8 @@ pub mod stats;
 use core::fmt;
 
 use ct_logp::{LogP, Rank, Time};
-use serde::{Deserialize, Serialize};
-
 /// How tree positions are numbered (§3.2, Figure 3).
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum Ordering {
     /// Depth-first numbering: subtrees occupy contiguous rank ranges.
     InOrder,
@@ -52,7 +50,7 @@ impl fmt::Display for Ordering {
 }
 
 /// The tree shapes evaluated in the paper.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum TreeKind {
     /// Full k-ary tree (§3.2.1): every inner process has `k` children.
     Kary {
@@ -303,7 +301,9 @@ impl Tree {
         let mut children: Vec<Vec<Rank>> = vec![Vec::new(); p as usize];
         for (child, &par) in parent.iter().enumerate().skip(1) {
             if par >= p {
-                return Err(TreeError::ParentOutOfRange { child: child as Rank });
+                return Err(TreeError::ParentOutOfRange {
+                    child: child as Rank,
+                });
             }
             children[par as usize].push(child as Rank);
         }
@@ -320,7 +320,9 @@ impl Tree {
             }
         }
         if let Some(unreachable) = reached.iter().position(|&b| !b) {
-            return Err(TreeError::NotATree { unreachable: unreachable as Rank });
+            return Err(TreeError::NotATree {
+                unreachable: unreachable as Rank,
+            });
         }
         Ok(Tree::from_links(parent, &children, None))
     }
@@ -413,13 +415,19 @@ mod tests {
         let mut seen_as_child = vec![false; p as usize];
         for (parent, child) in tree.edges() {
             assert!(child < p);
-            assert!(!seen_as_child[child as usize], "rank {child} has two parents");
+            assert!(
+                !seen_as_child[child as usize],
+                "rank {child} has two parents"
+            );
             seen_as_child[child as usize] = true;
             assert_eq!(tree.parent(child), Some(parent));
             assert_eq!(tree.depth(child), tree.depth(parent) + 1);
         }
         assert!(!seen_as_child[0], "root must not be a child");
-        assert!(seen_as_child[1..].iter().all(|&b| b), "all non-roots reached");
+        assert!(
+            seen_as_child[1..].iter().all(|&b| b),
+            "all non-roots reached"
+        );
         assert_eq!(tree.parent(0), None);
         assert_eq!(tree.depth(0), 0);
     }
@@ -428,17 +436,46 @@ mod tests {
     fn all_kinds_build_valid_trees() {
         let logp = LogP::PAPER;
         let kinds = [
-            TreeKind::Kary { k: 1, order: Ordering::Interleaved },
-            TreeKind::Kary { k: 2, order: Ordering::Interleaved },
-            TreeKind::Kary { k: 2, order: Ordering::InOrder },
-            TreeKind::Kary { k: 4, order: Ordering::Interleaved },
-            TreeKind::Binomial { order: Ordering::Interleaved },
-            TreeKind::Binomial { order: Ordering::InOrder },
-            TreeKind::Lame { k: 2, order: Ordering::Interleaved },
-            TreeKind::Lame { k: 3, order: Ordering::Interleaved },
-            TreeKind::Lame { k: 2, order: Ordering::InOrder },
-            TreeKind::Optimal { order: Ordering::Interleaved },
-            TreeKind::Optimal { order: Ordering::InOrder },
+            TreeKind::Kary {
+                k: 1,
+                order: Ordering::Interleaved,
+            },
+            TreeKind::Kary {
+                k: 2,
+                order: Ordering::Interleaved,
+            },
+            TreeKind::Kary {
+                k: 2,
+                order: Ordering::InOrder,
+            },
+            TreeKind::Kary {
+                k: 4,
+                order: Ordering::Interleaved,
+            },
+            TreeKind::Binomial {
+                order: Ordering::Interleaved,
+            },
+            TreeKind::Binomial {
+                order: Ordering::InOrder,
+            },
+            TreeKind::Lame {
+                k: 2,
+                order: Ordering::Interleaved,
+            },
+            TreeKind::Lame {
+                k: 3,
+                order: Ordering::Interleaved,
+            },
+            TreeKind::Lame {
+                k: 2,
+                order: Ordering::InOrder,
+            },
+            TreeKind::Optimal {
+                order: Ordering::Interleaved,
+            },
+            TreeKind::Optimal {
+                order: Ordering::InOrder,
+            },
         ];
         for kind in kinds {
             for p in [1u32, 2, 3, 7, 8, 9, 31, 64, 100, 255] {
@@ -457,11 +494,19 @@ mod tests {
             Err(TreeError::NoProcesses)
         );
         assert_eq!(
-            TreeKind::Kary { k: 0, order: Ordering::Interleaved }.build(4, &logp),
+            TreeKind::Kary {
+                k: 0,
+                order: Ordering::Interleaved
+            }
+            .build(4, &logp),
             Err(TreeError::ZeroArity)
         );
         assert_eq!(
-            TreeKind::Lame { k: 0, order: Ordering::Interleaved }.build(4, &logp),
+            TreeKind::Lame {
+                k: 0,
+                order: Ordering::Interleaved
+            }
+            .build(4, &logp),
             Err(TreeError::ZeroArity)
         );
     }
@@ -522,8 +567,7 @@ mod tests {
     #[test]
     fn builders_roundtrip_through_from_parents() {
         let built = TreeKind::LAME2.build(40, &LogP::PAPER).unwrap();
-        let parents: Vec<Rank> =
-            (0..40).map(|r| built.parent(r).unwrap_or(0)).collect();
+        let parents: Vec<Rank> = (0..40).map(|r| built.parent(r).unwrap_or(0)).collect();
         let rebuilt = Tree::from_parents(parents).unwrap();
         for r in 0..40 {
             assert_eq!(built.children(r), rebuilt.children(r), "rank {r}");
@@ -537,7 +581,10 @@ mod tests {
         assert_eq!(TreeKind::FOUR_ARY.to_string(), "4-ary/interleaved");
         assert_eq!(TreeKind::LAME2.to_string(), "lame2/interleaved");
         assert_eq!(
-            TreeKind::Optimal { order: Ordering::InOrder }.to_string(),
+            TreeKind::Optimal {
+                order: Ordering::InOrder
+            }
+            .to_string(),
             "optimal/in-order"
         );
     }

@@ -34,7 +34,11 @@ impl ReadyCount {
     /// `b ≥ 1`.
     pub fn new(a: u64, b: u64) -> ReadyCount {
         assert!(a >= 1 && b >= 1, "recurrence delays must be ≥ 1");
-        ReadyCount { a, b, values: Vec::new() }
+        ReadyCount {
+            a,
+            b,
+            values: Vec::new(),
+        }
     }
 
     /// The Lamé order-`k` sequence of Equation (1); `k = 1` is binomial
@@ -178,10 +182,8 @@ mod tests {
             let tree = grow(p, Growth::lame(k)).into_tree(TreeKind::LAME2);
             let mut seq = ReadyCount::lame(k);
             for r in 0..p {
-                let expected: Vec<u64> =
-                    children_by_equation2(r as u64, p as u64, &mut seq);
-                let actual: Vec<u64> =
-                    tree.children(r).iter().map(|&c| c as u64).collect();
+                let expected: Vec<u64> = children_by_equation2(r as u64, p as u64, &mut seq);
+                let actual: Vec<u64> = tree.children(r).iter().map(|&c| c as u64).collect();
                 assert_eq!(actual, expected, "k={k} r={r}");
             }
         }
@@ -197,8 +199,7 @@ mod tests {
             let mut seq = ReadyCount::optimal(&logp);
             for r in 0..p {
                 let expected = children_by_equation2(r as u64, p as u64, &mut seq);
-                let actual: Vec<u64> =
-                    tree.children(r).iter().map(|&c| c as u64).collect();
+                let actual: Vec<u64> = tree.children(r).iter().map(|&c| c as u64).collect();
                 assert_eq!(actual, expected, "L={l} r={r}");
             }
         }

@@ -35,7 +35,10 @@ pub fn gaps(colored: &[bool]) -> Vec<Gap> {
         match (is_colored, run_start) {
             (false, None) => run_start = Some(r),
             (true, Some(s)) => {
-                out.push(Gap { start: s as Rank, len: (r - s) as u32 });
+                out.push(Gap {
+                    start: s as Rank,
+                    len: (r - s) as u32,
+                });
                 run_start = None;
             }
             _ => {}
@@ -43,7 +46,10 @@ pub fn gaps(colored: &[bool]) -> Vec<Gap> {
     }
     if let Some(s) = run_start {
         // Run reaches P-1; rank 0 is colored, so it ends there.
-        out.push(Gap { start: s as Rank, len: (p - s) as u32 });
+        out.push(Gap {
+            start: s as Rank,
+            len: (p - s) as u32,
+        });
     }
     out
 }
@@ -141,17 +147,23 @@ mod tests {
         // (ranks 4,5,6). Interleaved: process 2 fails → its children 4
         // and 6 uncolored: gaps of size 1 at {2}, {4}, {6}.
         let logp = LogP::PAPER;
-        let in_order = TreeKind::Kary { k: 2, order: Ordering::InOrder }
-            .build(7, &logp)
-            .unwrap();
+        let in_order = TreeKind::Kary {
+            k: 2,
+            order: Ordering::InOrder,
+        }
+        .build(7, &logp)
+        .unwrap();
         let mut failed = vec![false; 7];
         failed[4] = true;
         let colored = color_after_dissemination(&in_order, &failed);
         assert_eq!(gaps(&colored), vec![Gap { start: 4, len: 3 }]);
 
-        let interleaved = TreeKind::Kary { k: 2, order: Ordering::Interleaved }
-            .build(7, &logp)
-            .unwrap();
+        let interleaved = TreeKind::Kary {
+            k: 2,
+            order: Ordering::Interleaved,
+        }
+        .build(7, &logp)
+        .unwrap();
         let mut failed = vec![false; 7];
         failed[2] = true;
         let colored = color_after_dissemination(&interleaved, &failed);
@@ -167,9 +179,12 @@ mod tests {
         // colored after dissemination.
         let k = 4u32;
         let p = 256u32;
-        let tree = TreeKind::Kary { k, order: Ordering::Interleaved }
-            .build(p, &LogP::PAPER)
-            .unwrap();
+        let tree = TreeKind::Kary {
+            k,
+            order: Ordering::Interleaved,
+        }
+        .build(p, &LogP::PAPER)
+        .unwrap();
         // Fail k-1 = 3 arbitrary non-root processes.
         for failset in [[1u32, 2, 3], [5, 17, 90], [1, 6, 200]] {
             let mut failed = vec![false; p as usize];
@@ -192,7 +207,13 @@ mod tests {
         let mut failed = vec![false; 16];
         failed[leaf as usize] = true;
         let colored = color_after_dissemination(&tree, &failed);
-        assert_eq!(gaps(&colored), vec![Gap { start: leaf, len: 1 }]);
+        assert_eq!(
+            gaps(&colored),
+            vec![Gap {
+                start: leaf,
+                len: 1
+            }]
+        );
     }
 
     #[test]

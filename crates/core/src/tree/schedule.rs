@@ -97,9 +97,12 @@ mod tests {
         // guarantees minimal latency: identical to the optimal tree.
         let logp = LogP::FIG5;
         for p in [2u32, 5, 9, 30, 100] {
-            let lame = TreeKind::Lame { k: 3, order: Ordering::Interleaved }
-                .build(p, &logp)
-                .unwrap();
+            let lame = TreeKind::Lame {
+                k: 3,
+                order: Ordering::Interleaved,
+            }
+            .build(p, &logp)
+            .unwrap();
             let opt = TreeKind::OPTIMAL.build(p, &logp).unwrap();
             assert_eq!(
                 lame.dissemination_deadline(&logp),
@@ -130,12 +133,16 @@ mod tests {
         // Renumbering changes ring behavior under faults, not timing.
         let logp = LogP::PAPER;
         for p in [7u32, 64, 129] {
-            let a = TreeKind::Binomial { order: Ordering::Interleaved }
-                .build(p, &logp)
-                .unwrap();
-            let b = TreeKind::Binomial { order: Ordering::InOrder }
-                .build(p, &logp)
-                .unwrap();
+            let a = TreeKind::Binomial {
+                order: Ordering::Interleaved,
+            }
+            .build(p, &logp)
+            .unwrap();
+            let b = TreeKind::Binomial {
+                order: Ordering::InOrder,
+            }
+            .build(p, &logp)
+            .unwrap();
             assert_eq!(
                 a.dissemination_deadline(&logp),
                 b.dissemination_deadline(&logp)

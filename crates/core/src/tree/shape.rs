@@ -122,9 +122,10 @@ mod tests {
         s.attach(2); // 4
         s.attach(1); // 5
         s.attach(2); // 6
-        let t = s
-            .renumber_dfs()
-            .into_tree(TreeKind::Kary { k: 2, order: Ordering::InOrder });
+        let t = s.renumber_dfs().into_tree(TreeKind::Kary {
+            k: 2,
+            order: Ordering::InOrder,
+        });
         assert_eq!(t.children(0), &[1, 4]);
         assert_eq!(t.children(1), &[2, 3]);
         assert_eq!(t.children(4), &[5, 6]);
@@ -143,9 +144,9 @@ mod tests {
         s.attach(1); // 5
         s.attach(2); // 6
         s.attach(3); // 7
-        let t = s
-            .renumber_dfs()
-            .into_tree(TreeKind::Binomial { order: Ordering::InOrder });
+        let t = s.renumber_dfs().into_tree(TreeKind::Binomial {
+            order: Ordering::InOrder,
+        });
         for r in 0..8 {
             let mut sub = t.subtree(r);
             sub.sort_unstable();

@@ -85,9 +85,12 @@ mod tests {
 
     #[test]
     fn stats_of_full_binary_tree() {
-        let t = TreeKind::Kary { k: 2, order: Ordering::Interleaved }
-            .build(7, &LogP::PAPER)
-            .unwrap();
+        let t = TreeKind::Kary {
+            k: 2,
+            order: Ordering::Interleaved,
+        }
+        .build(7, &LogP::PAPER)
+        .unwrap();
         let s = tree_stats(&t);
         assert_eq!(s.processes, 7);
         assert_eq!(s.height, 2);
@@ -99,9 +102,12 @@ mod tests {
 
     #[test]
     fn stats_of_chain() {
-        let t = TreeKind::Kary { k: 1, order: Ordering::Interleaved }
-            .build(5, &LogP::PAPER)
-            .unwrap();
+        let t = TreeKind::Kary {
+            k: 1,
+            order: Ordering::Interleaved,
+        }
+        .build(5, &LogP::PAPER)
+        .unwrap();
         let s = tree_stats(&t);
         assert_eq!(s.height, 4);
         assert_eq!(s.leaves, 1);

@@ -9,14 +9,34 @@ use proptest::prelude::*;
 
 fn arb_kind() -> impl Strategy<Value = TreeKind> {
     prop_oneof![
-        (1u32..6).prop_map(|k| TreeKind::Kary { k, order: Ordering::Interleaved }),
-        (1u32..6).prop_map(|k| TreeKind::Kary { k, order: Ordering::InOrder }),
-        Just(TreeKind::Binomial { order: Ordering::Interleaved }),
-        Just(TreeKind::Binomial { order: Ordering::InOrder }),
-        (1u32..6).prop_map(|k| TreeKind::Lame { k, order: Ordering::Interleaved }),
-        (1u32..6).prop_map(|k| TreeKind::Lame { k, order: Ordering::InOrder }),
-        Just(TreeKind::Optimal { order: Ordering::Interleaved }),
-        Just(TreeKind::Optimal { order: Ordering::InOrder }),
+        (1u32..6).prop_map(|k| TreeKind::Kary {
+            k,
+            order: Ordering::Interleaved
+        }),
+        (1u32..6).prop_map(|k| TreeKind::Kary {
+            k,
+            order: Ordering::InOrder
+        }),
+        Just(TreeKind::Binomial {
+            order: Ordering::Interleaved
+        }),
+        Just(TreeKind::Binomial {
+            order: Ordering::InOrder
+        }),
+        (1u32..6).prop_map(|k| TreeKind::Lame {
+            k,
+            order: Ordering::Interleaved
+        }),
+        (1u32..6).prop_map(|k| TreeKind::Lame {
+            k,
+            order: Ordering::InOrder
+        }),
+        Just(TreeKind::Optimal {
+            order: Ordering::Interleaved
+        }),
+        Just(TreeKind::Optimal {
+            order: Ordering::InOrder
+        }),
     ]
 }
 

@@ -9,7 +9,10 @@
 
 use ct_core::protocol::ColoredVia;
 use ct_core::tree::ring;
-use ct_logp::{LogP, Rank};
+use ct_logp::{LogP, Rank, Time};
+use ct_obs::event::phases;
+use ct_obs::json::JsonObject;
+use ct_obs::{Event, EventKind, EventSink, MetricsRegistry, MetricsSink, NullSink};
 use ct_sim::{FaultPlan, SimError, Simulation};
 
 use crate::variants::Variant;
@@ -31,13 +34,9 @@ impl FaultSpec {
     fn plan(&self, p: u32, seed: u64) -> Result<FaultPlan, String> {
         match self {
             FaultSpec::None => Ok(FaultPlan::none(p)),
-            FaultSpec::Count(n) => {
-                FaultPlan::random_count(p, *n, seed).map_err(|e| e.to_string())
-            }
+            FaultSpec::Count(n) => FaultPlan::random_count(p, *n, seed).map_err(|e| e.to_string()),
             FaultSpec::Rate(r) => FaultPlan::random_rate(p, *r, seed).map_err(|e| e.to_string()),
-            FaultSpec::Ranks(ranks) => {
-                FaultPlan::from_ranks(p, ranks).map_err(|e| e.to_string())
-            }
+            FaultSpec::Ranks(ranks) => FaultPlan::from_ranks(p, ranks).map_err(|e| e.to_string()),
         }
     }
 }
@@ -69,6 +68,39 @@ pub struct RunRecord {
     pub lscc: Option<u64>,
 }
 
+impl RunRecord {
+    /// Render as one JSON object (fixed field order, one line — ready
+    /// for JSONL export).
+    pub fn to_json(&self) -> String {
+        let mut obj = JsonObject::new();
+        obj.field_u64("seed", self.seed);
+        obj.field_u64("faults", u64::from(self.faults));
+        obj.field_u64("quiescence", self.quiescence);
+        obj.field_u64("coloring", self.coloring);
+        obj.field_u64("messages", self.messages);
+        obj.field_f64("messages_per_process", self.messages_per_process);
+        obj.field_bool("all_live_colored", self.all_live_colored);
+        obj.field_u64("uncolored", u64::from(self.uncolored));
+        obj.field_u64("g_max", u64::from(self.g_max));
+        match self.lscc {
+            Some(v) => obj.field_u64("lscc", v),
+            None => obj.field_null("lscc"),
+        };
+        obj.finish()
+    }
+}
+
+/// Render a batch of records as JSONL: one record per line, trailing
+/// newline, empty string for no records.
+pub fn records_to_jsonl(records: &[RunRecord]) -> String {
+    let mut out = String::new();
+    for r in records {
+        out.push_str(&r.to_json());
+        out.push('\n');
+    }
+    out
+}
+
 /// A configured experiment cell: one variant, one fault regime.
 #[derive(Clone, Debug)]
 pub struct Campaign {
@@ -89,7 +121,14 @@ pub struct Campaign {
 impl Campaign {
     /// Fault-free single-variant campaign.
     pub fn new(variant: Variant, p: u32, logp: LogP) -> Campaign {
-        Campaign { variant, p, logp, faults: FaultSpec::None, reps: 1, seed0: 1 }
+        Campaign {
+            variant,
+            p,
+            logp,
+            faults: FaultSpec::None,
+            reps: 1,
+            seed0: 1,
+        }
     }
 
     /// Set the fault regime.
@@ -113,6 +152,17 @@ impl Campaign {
 
     /// Execute one repetition.
     pub fn run_one(&self, rep: u32) -> Result<RunRecord, CampaignError> {
+        self.run_one_observed(rep, &mut NullSink)
+    }
+
+    /// Execute one repetition, streaming its protocol events into
+    /// `sink` (the engine wraps each run in a `broadcast` phase span).
+    /// With a [`NullSink`] this is exactly [`Campaign::run_one`].
+    pub fn run_one_observed(
+        &self,
+        rep: u32,
+        sink: &mut dyn EventSink,
+    ) -> Result<RunRecord, CampaignError> {
         let seed = self.seed0 + rep as u64;
         let plan = self
             .faults
@@ -123,7 +173,9 @@ impl Campaign {
             .faults(plan)
             .seed(seed)
             .build();
-        let out = sim.run(&self.variant).map_err(CampaignError::Sim)?;
+        let out = sim
+            .run_with_sink(&self.variant, sink)
+            .map_err(CampaignError::Sim)?;
         let diss_mask: Vec<bool> = out
             .colored_via
             .iter()
@@ -151,6 +203,77 @@ impl Campaign {
     /// Execute all repetitions sequentially.
     pub fn run(&self) -> Result<Vec<RunRecord>, CampaignError> {
         (0..self.reps).map(|i| self.run_one(i)).collect()
+    }
+
+    /// Execute all repetitions sequentially, calling `progress` after
+    /// each completed repetition with `(rep_index, record)` — the hook
+    /// behind structured campaign progress reporting.
+    pub fn run_with_progress(
+        &self,
+        mut progress: impl FnMut(u32, &RunRecord),
+    ) -> Result<Vec<RunRecord>, CampaignError> {
+        let mut records = Vec::with_capacity(self.reps as usize);
+        for i in 0..self.reps {
+            let record = self.run_one(i)?;
+            progress(i, &record);
+            records.push(record);
+        }
+        Ok(records)
+    }
+
+    /// Execute all repetitions sequentially, streaming every event into
+    /// `sink`. The whole campaign is wrapped in a `campaign` phase span
+    /// and repetition `i` in a `rep i` span. Phase-begin events carry
+    /// logical time `0` — each repetition restarts the logical clock —
+    /// and phase-end events the repetition's quiescence time.
+    pub fn run_observed(&self, sink: &mut dyn EventSink) -> Result<Vec<RunRecord>, CampaignError> {
+        let observing = sink.enabled();
+        if observing {
+            sink.emit(&Event::sim(
+                Time::ZERO,
+                EventKind::PhaseBegin {
+                    name: phases::CAMPAIGN.to_owned(),
+                },
+            ));
+        }
+        let mut records = Vec::with_capacity(self.reps as usize);
+        for i in 0..self.reps {
+            let name = format!("{} {i}", phases::REP);
+            if observing {
+                sink.emit(&Event::sim(
+                    Time::ZERO,
+                    EventKind::PhaseBegin { name: name.clone() },
+                ));
+            }
+            let record = self.run_one_observed(i, sink)?;
+            if observing {
+                sink.emit(&Event::sim(
+                    Time::new(record.quiescence),
+                    EventKind::PhaseEnd { name },
+                ));
+            }
+            records.push(record);
+        }
+        if observing {
+            let end = records.iter().map(|r| r.quiescence).max().unwrap_or(0);
+            sink.emit(&Event::sim(
+                Time::new(end),
+                EventKind::PhaseEnd {
+                    name: phases::CAMPAIGN.to_owned(),
+                },
+            ));
+        }
+        Ok(records)
+    }
+
+    /// Execute all repetitions while folding every event into a
+    /// [`MetricsRegistry`]: per-payload message counters, delivery and
+    /// coloring counters and the coloring-time histogram, aggregated
+    /// over the whole campaign.
+    pub fn run_metered(&self) -> Result<(Vec<RunRecord>, MetricsRegistry), CampaignError> {
+        let mut sink = MetricsSink::new();
+        let records = self.run_observed(&mut sink)?;
+        Ok((records, sink.registry))
     }
 
     /// Execute all repetitions across `threads` OS threads. Results are
@@ -257,6 +380,143 @@ mod tests {
         let seq = c.run().unwrap();
         let par = c.run_parallel(4).unwrap();
         assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn records_export_as_stable_jsonl() {
+        let c = Campaign::new(
+            Variant::tree_checked_sync(TreeKind::BINOMIAL),
+            64,
+            LogP::PAPER,
+        )
+        .with_reps(2);
+        let records = c.run().unwrap();
+        let jsonl = records_to_jsonl(&records);
+        assert!(jsonl.ends_with('\n'));
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(
+            lines[0].starts_with(r#"{"seed":1,"faults":0,"#),
+            "{}",
+            lines[0]
+        );
+        assert!(
+            lines[0].contains(r#""all_live_colored":true"#),
+            "{}",
+            lines[0]
+        );
+        assert!(lines[0].contains(r#""lscc":8"#), "{}", lines[0]);
+    }
+
+    #[test]
+    fn progress_callback_sees_every_repetition_in_order() {
+        let c = Campaign::new(
+            Variant::tree_checked_sync(TreeKind::BINOMIAL),
+            64,
+            LogP::PAPER,
+        )
+        .with_reps(4);
+        let mut seen = Vec::new();
+        let records = c.run_with_progress(|i, r| seen.push((i, r.seed))).unwrap();
+        assert_eq!(records.len(), 4);
+        let expected: Vec<(u32, u64)> = (0..4).map(|i| (i, 1 + u64::from(i))).collect();
+        assert_eq!(seen, expected);
+    }
+
+    #[test]
+    fn observed_campaign_wraps_reps_in_phase_spans() {
+        let c = Campaign::new(
+            Variant::tree_checked_sync(TreeKind::BINOMIAL),
+            32,
+            LogP::PAPER,
+        )
+        .with_reps(2);
+        let mut sink = ct_obs::VecSink::new();
+        let records = c.run_observed(&mut sink).unwrap();
+        let spans: Vec<String> = sink
+            .events
+            .iter()
+            .filter_map(|e| match &e.kind {
+                EventKind::PhaseBegin { name } => Some(format!("+{name}")),
+                EventKind::PhaseEnd { name } => Some(format!("-{name}")),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            spans,
+            vec![
+                "+campaign",
+                "+rep 0",
+                "+broadcast",
+                "-broadcast",
+                "-rep 0",
+                "+rep 1",
+                "+broadcast",
+                "-broadcast",
+                "-rep 1",
+                "-campaign",
+            ]
+        );
+        // Observation never perturbs results.
+        assert_eq!(records, c.run().unwrap());
+    }
+
+    /// The registry's per-payload counters, fed purely from the event
+    /// stream, must reproduce the engine's own `MessageCounts` on a
+    /// Figure-6-style campaign (corrected tree, random faults).
+    #[test]
+    fn metered_campaign_counters_match_message_counts() {
+        use ct_obs::metrics::names;
+
+        let reps = 5u32;
+        let c = Campaign::new(
+            Variant::tree_opportunistic(TreeKind::BINOMIAL, 2),
+            256,
+            LogP::PAPER,
+        )
+        .with_faults(FaultSpec::Count(3))
+        .with_reps(reps);
+        let (records, registry) = c.run_metered().unwrap();
+
+        // Recompute the campaign's aggregate MessageCounts straight
+        // from the simulator, without any sink in the loop.
+        let mut tree = 0u64;
+        let mut gossip = 0u64;
+        let mut correction = 0u64;
+        let mut ack = 0u64;
+        for i in 0..reps {
+            let seed = c.seed0 + u64::from(i);
+            let plan = FaultPlan::random_count(c.p, 3, seed).unwrap();
+            let out = Simulation::builder(c.p, c.logp)
+                .faults(plan)
+                .seed(seed)
+                .build()
+                .run(&c.variant)
+                .unwrap();
+            tree += out.messages.tree;
+            gossip += out.messages.gossip;
+            correction += out.messages.correction;
+            ack += out.messages.ack;
+        }
+
+        assert_eq!(registry.counter(names::MSGS_TREE), tree);
+        assert_eq!(registry.counter(names::MSGS_GOSSIP), gossip);
+        assert_eq!(registry.counter(names::MSGS_CORRECTION), correction);
+        assert_eq!(registry.counter(names::MSGS_ACK), ack);
+        assert_eq!(
+            registry.messages_total(),
+            records.iter().map(|r| r.messages).sum::<u64>()
+        );
+        // One Colored event per rank that got colored (dead ranks and
+        // stragglers never do), and each coloring lands in the
+        // histogram.
+        let colored_expected: u64 = records
+            .iter()
+            .map(|r| u64::from(c.p - r.faults - r.uncolored))
+            .sum();
+        assert_eq!(registry.counter(names::COLORED), colored_expected);
+        let hist = registry.histogram(names::COLORING_TIME).unwrap();
+        assert_eq!(hist.count(), colored_expected);
     }
 
     #[test]

@@ -73,9 +73,7 @@ pub struct CorrelatedRow {
 /// interleaved binomial tree.
 pub fn run(cfg: &CorrelatedConfig) -> Result<Vec<CorrelatedRow>, CampaignError> {
     let logp = LogP::PAPER;
-    let tree = TreeKind::BINOMIAL
-        .build(cfg.p, &logp)
-        .expect("valid tree");
+    let tree = TreeKind::BINOMIAL.build(cfg.p, &logp).expect("valid tree");
     let start = tree.dissemination_deadline(&logp);
     let mut rows = Vec::new();
     for shuffled in [false, true] {
@@ -105,16 +103,10 @@ pub fn run(cfg: &CorrelatedConfig) -> Result<Vec<CorrelatedRow>, CampaignError> 
                 let phys_diss: Vec<bool> = out
                     .colored_via
                     .iter()
-                    .map(|v| {
-                        matches!(v, Some(ColoredVia::Root) | Some(ColoredVia::Dissemination))
-                    })
+                    .map(|v| matches!(v, Some(ColoredVia::Root) | Some(ColoredVia::Dissemination)))
                     .collect();
                 let virt_diss = if shuffled {
-                    let map = Relabeling::random(
-                        cfg.p,
-                        0,
-                        0xC0FFEEu64.wrapping_add(seed),
-                    );
+                    let map = Relabeling::random(cfg.p, 0, 0xC0FFEEu64.wrapping_add(seed));
                     (0..cfg.p)
                         .map(|v| phys_diss[map.physical(v) as usize])
                         .collect()

@@ -36,7 +36,9 @@ pub fn from_cells(cells: &[ResilienceCell], logp: &LogP) -> Vec<Fig10Point> {
     for cell in cells.iter().filter(|c| c.is_tree) {
         let is_binomial = matches!(cell.tree, Some(TreeKind::Binomial { .. }));
         for rec in &cell.records {
-            let lscc = rec.lscc.expect("resilience grid uses synchronized correction");
+            let lscc = rec
+                .lscc
+                .expect("resilience grid uses synchronized correction");
             match points
                 .iter_mut()
                 .find(|pt| pt.g_max == rec.g_max && pt.lscc == lscc)
@@ -73,12 +75,22 @@ pub fn bounds_conformance(points: &[Fig10Point]) -> f64 {
 
 /// Render as CSV.
 pub fn to_csv(points: &[Fig10Point]) -> CsvTable {
-    let mut t = CsvTable::new(["g_max", "correction_time", "tree", "lower_bound", "upper_bound"]);
+    let mut t = CsvTable::new([
+        "g_max",
+        "correction_time",
+        "tree",
+        "lower_bound",
+        "upper_bound",
+    ]);
     for pt in points {
         t.row([
             pt.g_max.to_string(),
             pt.lscc.to_string(),
-            if pt.from_binomial { "binomial".into() } else { "any".to_string() },
+            if pt.from_binomial {
+                "binomial".into()
+            } else {
+                "any".to_string()
+            },
             pt.lower.to_string(),
             pt.upper.to_string(),
         ]);

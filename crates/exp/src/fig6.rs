@@ -15,10 +15,10 @@ use ct_core::correction::CorrectionKind;
 use ct_logp::LogP;
 
 use crate::campaign::{Campaign, CampaignError};
-use ct_core::protocol::ProtocolFactory as _;
 use crate::csv::{fmt_f64, CsvTable};
 use crate::tuning;
 use crate::variants::Variant;
+use ct_core::protocol::ProtocolFactory as _;
 
 /// Configuration for the Figure 6 campaign.
 #[derive(Clone, Debug)]
@@ -69,8 +69,8 @@ pub fn run(cfg: &Fig6Config) -> Result<Vec<Fig6Row>, CampaignError> {
             .with_reps(reps)
             .with_seed(cfg.seed0)
             .run()?;
-        let mean = records.iter().map(|r| r.messages_per_process).sum::<f64>()
-            / records.len() as f64;
+        let mean =
+            records.iter().map(|r| r.messages_per_process).sum::<f64>() / records.len() as f64;
         rows.push(Fig6Row {
             group: group.to_owned(),
             variant: variant.label(),
@@ -87,14 +87,8 @@ pub fn run(cfg: &Fig6Config) -> Result<Vec<Fig6Row>, CampaignError> {
         // Gossip with the smallest fully-coloring gossip time (§4.1).
         let log2p = (32 - cfg.p.leading_zeros()) as u64;
         let cap = logp.transit_steps() * (log2p + 16);
-        let g = tuning::min_full_coloring_gossip_time(
-            cfg.p,
-            logp,
-            d,
-            cfg.tuning_reps,
-            cfg.seed0,
-            cap,
-        )?;
+        let g =
+            tuning::min_full_coloring_gossip_time(cfg.p, logp, d, cfg.tuning_reps, cfg.seed0, cap)?;
         push(
             &group,
             &Variant::gossip(g, CorrectionKind::Opportunistic { distance: d }),
@@ -154,7 +148,9 @@ mod tests {
         let logp = LogP::PAPER;
         // §4.1: every process sends its tree message(s) (P-1 total ≈ 1
         // per process) plus M_SCC = 5 correction messages.
-        for r in rows.iter().filter(|r| r.group == "checked" && !r.variant.starts_with("gossip"))
+        for r in rows
+            .iter()
+            .filter(|r| r.group == "checked" && !r.variant.starts_with("gossip"))
         {
             let expected = (256.0 - 1.0) / 256.0 + m_scc(&logp) as f64;
             assert!(

@@ -149,7 +149,11 @@ mod tests {
     fn corrected_trees_beat_acknowledged_trees() {
         let rows = run(&tiny()).unwrap();
         for &p in &[1u32 << 8, 1 << 10] {
-            for kind in ["binomial/interleaved", "lame2/interleaved", "optimal/interleaved"] {
+            for kind in [
+                "binomial/interleaved",
+                "lame2/interleaved",
+                "optimal/interleaved",
+            ] {
                 let get = |suffix: &str| {
                     rows.iter()
                         .find(|r| r.p == p && r.series == format!("{kind} ({suffix})"))
@@ -190,9 +194,7 @@ mod tests {
                 .quiescence
                 .mean
         };
-        assert!(
-            q("optimal/interleaved (corr.)") <= q("binomial/interleaved (corr.)")
-        );
+        assert!(q("optimal/interleaved (corr.)") <= q("binomial/interleaved (corr.)"));
         assert!(q("optimal/interleaved (corr.)") <= q("lame2/interleaved (corr.)"));
     }
 

@@ -79,7 +79,11 @@ mod tests {
                 .quiescence
                 .mean
         };
-        for series in ["binomial/interleaved", "lame2/interleaved", "optimal/interleaved"] {
+        for series in [
+            "binomial/interleaved",
+            "lame2/interleaved",
+            "optimal/interleaved",
+        ] {
             assert!(
                 mean(series, 0.04) > mean(series, 0.001),
                 "{series} must slow down under more faults"

@@ -134,8 +134,12 @@ mod tests {
         assert_eq!(cells.len(), 10);
         for cell in &cells {
             assert_eq!(cell.records.len(), 4);
-            assert!(cell.records.iter().all(|r| r.all_live_colored),
-                "checked correction colors everything: {} @ {}", cell.label, cell.rate);
+            assert!(
+                cell.records.iter().all(|r| r.all_live_colored),
+                "checked correction colors everything: {} @ {}",
+                cell.label,
+                cell.rate
+            );
         }
     }
 
@@ -147,8 +151,7 @@ mod tests {
                 .iter()
                 .find(|c| c.is_tree && (c.rate - rate).abs() < 1e-12)
                 .unwrap();
-            cell.records.iter().map(|r| r.faults as f64).sum::<f64>()
-                / cell.records.len() as f64
+            cell.records.iter().map(|r| r.faults as f64).sum::<f64>() / cell.records.len() as f64
         };
         assert!(mean_faults(0.04) > mean_faults(0.01));
     }

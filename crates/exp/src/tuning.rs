@@ -75,8 +75,7 @@ pub fn min_latency_gossip_time(
             .with_reps(reps)
             .with_seed(seed0);
         let records = c.run()?;
-        let mean = records.iter().map(|r| r.quiescence as f64).sum::<f64>()
-            / records.len() as f64;
+        let mean = records.iter().map(|r| r.quiescence as f64).sum::<f64>() / records.len() as f64;
         if mean < best.1 {
             best = (g, mean);
         }

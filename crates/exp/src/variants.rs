@@ -38,7 +38,10 @@ impl Variant {
     /// Corrected tree with synchronized checked correction (the
     /// analysis workhorse).
     pub fn tree_checked_sync(kind: TreeKind) -> Variant {
-        Variant::Tree(BroadcastSpec::corrected_tree_sync(kind, CorrectionKind::Checked))
+        Variant::Tree(BroadcastSpec::corrected_tree_sync(
+            kind,
+            CorrectionKind::Checked,
+        ))
     }
 
     /// Corrected tree with optimized overlapped opportunistic correction
@@ -118,7 +121,10 @@ mod tests {
         let v = Variant::tree_checked_sync(TreeKind::BINOMIAL);
         let logp = LogP::PAPER;
         let tree = TreeKind::BINOMIAL.build(64, &logp).unwrap();
-        assert_eq!(v.sync_start(64, &logp), Some(tree.dissemination_deadline(&logp)));
+        assert_eq!(
+            v.sync_start(64, &logp),
+            Some(tree.dissemination_deadline(&logp))
+        );
     }
 
     #[test]
@@ -128,7 +134,10 @@ mod tests {
             Variant::tree_opportunistic(TreeKind::BINOMIAL, 4).sync_start(64, &logp),
             None
         );
-        assert_eq!(Variant::ack_tree(TreeKind::BINOMIAL).sync_start(64, &logp), None);
+        assert_eq!(
+            Variant::ack_tree(TreeKind::BINOMIAL).sync_start(64, &logp),
+            None
+        );
     }
 
     #[test]
@@ -139,7 +148,11 @@ mod tests {
 
     #[test]
     fn factory_dispatch_builds() {
-        let ctx = BuildCtx { p: 16, logp: LogP::PAPER, seed: 0 };
+        let ctx = BuildCtx {
+            p: 16,
+            logp: LogP::PAPER,
+            seed: 0,
+        };
         for v in [
             Variant::tree_checked_sync(TreeKind::LAME2),
             Variant::tree_opportunistic(TreeKind::FOUR_ARY, 2),

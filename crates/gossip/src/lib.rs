@@ -75,12 +75,18 @@ pub struct GossipSpec {
 impl GossipSpec {
     /// Time-limited gossip followed by the given correction.
     pub fn time_limited(gossip_time: u64, correction: CorrectionKind) -> GossipSpec {
-        GossipSpec { mode: GossipMode::TimeLimited(gossip_time), correction }
+        GossipSpec {
+            mode: GossipMode::TimeLimited(gossip_time),
+            correction,
+        }
     }
 
     /// Round-limited gossip (the cluster formulation).
     pub fn round_limited(rounds: u32, correction: CorrectionKind) -> GossipSpec {
-        GossipSpec { mode: GossipMode::RoundLimited(rounds), correction }
+        GossipSpec {
+            mode: GossipMode::RoundLimited(rounds),
+            correction,
+        }
     }
 }
 
@@ -287,7 +293,10 @@ impl Process for GossipProcess {
             self.ensure_machine(now);
             let poll = self.machine.as_mut().expect("just ensured").poll(now);
             return match poll {
-                CorrPoll::Send(to) => SendPoll::Now { to, payload: Payload::Correction },
+                CorrPoll::Send(to) => SendPoll::Now {
+                    to,
+                    payload: Payload::Correction,
+                },
                 CorrPoll::WaitUntil(t) => SendPoll::WaitUntil(t),
                 CorrPoll::Idle => SendPoll::Idle,
                 CorrPoll::Done => {
@@ -326,7 +335,11 @@ mod tests {
                 .build()
                 .run(&spec)
                 .unwrap();
-            assert!(out.all_live_colored(), "seed {seed}: {:?}", out.uncolored_live());
+            assert!(
+                out.all_live_colored(),
+                "seed {seed}: {:?}",
+                out.uncolored_live()
+            );
             assert!(out.messages.gossip > 0);
             assert!(out.messages.correction > 0);
         }
@@ -401,7 +414,11 @@ mod tests {
 
     #[test]
     fn rejects_zero_budgets() {
-        let ctx = BuildCtx { p: 8, logp: LogP::PAPER, seed: 0 };
+        let ctx = BuildCtx {
+            p: 8,
+            logp: LogP::PAPER,
+            seed: 0,
+        };
         assert!(GossipSpec::time_limited(0, CorrectionKind::Checked)
             .build(&ctx)
             .is_err());

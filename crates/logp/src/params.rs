@@ -8,8 +8,6 @@
 use core::fmt;
 use std::str::FromStr;
 
-use serde::{Deserialize, Serialize};
-
 use crate::time::Time;
 
 /// The LogP parameters `(L, o, g)` used by analysis, simulation and the
@@ -19,7 +17,7 @@ use crate::time::Time;
 /// Invariants enforced by [`LogP::new`]:
 /// * `L ≥ 1`, `o ≥ 1` (the paper assumes `{o, L} ∈ ℤ⁺`),
 /// * `1 ≤ g ≤ o` (small-message assumption, §2.2).
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub struct LogP {
     l: u64,
     o: u64,
@@ -51,7 +49,10 @@ impl fmt::Display for LogPError {
             LogPError::ZeroLatency => write!(f, "LogP latency L must be ≥ 1"),
             LogPError::ZeroOverhead => write!(f, "LogP overhead o must be ≥ 1"),
             LogPError::GapOutOfRange { g, o } => {
-                write!(f, "LogP gap g={g} violates small-message assumption 1 ≤ g ≤ o={o}")
+                write!(
+                    f,
+                    "LogP gap g={g} violates small-message assumption 1 ≤ g ≤ o={o}"
+                )
             }
             LogPError::Parse(s) => write!(f, "cannot parse LogP parameters from {s:?}"),
         }

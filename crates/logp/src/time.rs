@@ -8,8 +8,6 @@
 use core::fmt;
 use core::ops::{Add, AddAssign, Mul, Sub, SubAssign};
 
-use serde::{Deserialize, Serialize};
-
 /// A point in (or duration of) discrete simulated time, in LogP steps.
 ///
 /// `Time` is totally ordered and supports saturating `+`, `-` and `*`
@@ -17,7 +15,7 @@ use serde::{Deserialize, Serialize};
 /// zero, addition at [`Time::NEVER`]; `NEVER` is absorbing for addition,
 /// which makes "schedule at `deadline + o`" safe even for unscheduled
 /// deadlines.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Time(u64);
 
 impl Time {

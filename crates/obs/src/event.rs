@@ -1,0 +1,259 @@
+//! The shared event schema.
+//!
+//! Both producers — the discrete-event simulator and the threaded
+//! cluster runtime — emit exactly these events, so a simulated run and
+//! a cluster run of the same protocol can be diffed line by line. Each
+//! event carries the producer's logical [`Time`] (LogP steps in the
+//! simulator, microseconds since the run epoch on the cluster) and,
+//! when a wall clock exists, wall-clock microseconds.
+
+use core::fmt;
+
+use ct_core::protocol::{ColoredVia, Payload};
+use ct_logp::{Rank, Time};
+
+use crate::json::JsonObject;
+
+/// Span names used by the built-in producers (free-form strings are
+/// also accepted; these are the ones emitted in-tree).
+pub mod phases {
+    /// One whole broadcast, root send to quiescence.
+    pub const BROADCAST: &str = "broadcast";
+    /// One campaign repetition.
+    pub const REP: &str = "rep";
+    /// A whole campaign (all repetitions of one configuration).
+    pub const CAMPAIGN: &str = "campaign";
+}
+
+/// What happened.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EventKind {
+    /// `from` started transmitting to `to` (sender port busy `o`).
+    SendStart {
+        /// Sending rank.
+        from: Rank,
+        /// Receiving rank.
+        to: Rank,
+        /// Message kind.
+        payload: Payload,
+    },
+    /// The message reached `to`'s receive port (after `o + L`).
+    Arrive {
+        /// Sending rank.
+        from: Rank,
+        /// Receiving rank.
+        to: Rank,
+        /// Message kind.
+        payload: Payload,
+    },
+    /// `to` finished processing the message (`on_message` ran).
+    Deliver {
+        /// Sending rank.
+        from: Rank,
+        /// Receiving rank.
+        to: Rank,
+        /// Message kind.
+        payload: Payload,
+    },
+    /// The message was dropped because `to` is dead.
+    DropDead {
+        /// Sending rank.
+        from: Rank,
+        /// Receiving rank.
+        to: Rank,
+        /// Message kind.
+        payload: Payload,
+    },
+    /// `rank` became colored (received the broadcast value).
+    Colored {
+        /// The newly colored rank.
+        rank: Rank,
+        /// How it was colored.
+        via: ColoredVia,
+    },
+    /// A named span opened (e.g. [`phases::BROADCAST`]).
+    PhaseBegin {
+        /// Span name.
+        name: String,
+    },
+    /// The matching span closed.
+    PhaseEnd {
+        /// Span name.
+        name: String,
+    },
+}
+
+impl EventKind {
+    /// The schema's stable kind tag (the `"kind"` JSONL field).
+    pub fn tag(&self) -> &'static str {
+        match self {
+            EventKind::SendStart { .. } => "send",
+            EventKind::Arrive { .. } => "arrive",
+            EventKind::Deliver { .. } => "deliver",
+            EventKind::DropDead { .. } => "drop",
+            EventKind::Colored { .. } => "colored",
+            EventKind::PhaseBegin { .. } => "phase_begin",
+            EventKind::PhaseEnd { .. } => "phase_end",
+        }
+    }
+}
+
+/// One observability event.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Event {
+    /// Logical time: LogP steps in the simulator, microseconds since
+    /// the run epoch on the cluster runtime.
+    pub time: Time,
+    /// Wall-clock microseconds since the run epoch, where a wall clock
+    /// exists (cluster runtime). `None` for simulated runs.
+    pub wall_us: Option<u64>,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+impl Event {
+    /// A simulator event (no wall clock).
+    pub fn sim(time: Time, kind: EventKind) -> Event {
+        Event {
+            time,
+            wall_us: None,
+            kind,
+        }
+    }
+
+    /// A cluster-runtime event stamped with both clocks.
+    pub fn wall(time: Time, wall_us: u64, kind: EventKind) -> Event {
+        Event {
+            time,
+            wall_us: Some(wall_us),
+            kind,
+        }
+    }
+
+    /// The stable payload tag used by the JSONL schema.
+    pub fn payload_tag(payload: Payload) -> &'static str {
+        match payload {
+            Payload::Tree => "tree",
+            Payload::Gossip { .. } => "gossip",
+            Payload::Correction => "correction",
+            Payload::Ack => "ack",
+        }
+    }
+
+    /// Render as one JSONL line (no trailing newline).
+    ///
+    /// Field order is fixed — `t`, `w?`, `kind`, then kind-specific
+    /// fields — so identical event streams are byte-for-byte identical,
+    /// which the golden-trace regression tests rely on.
+    pub fn to_json(&self) -> String {
+        let mut obj = JsonObject::new();
+        obj.field_u64("t", self.time.steps());
+        if let Some(w) = self.wall_us {
+            obj.field_u64("w", w);
+        }
+        obj.field_str("kind", self.kind.tag());
+        match &self.kind {
+            EventKind::SendStart { from, to, payload }
+            | EventKind::Arrive { from, to, payload }
+            | EventKind::Deliver { from, to, payload }
+            | EventKind::DropDead { from, to, payload } => {
+                obj.field_u64("from", u64::from(*from));
+                obj.field_u64("to", u64::from(*to));
+                obj.field_str("payload", Event::payload_tag(*payload));
+                if let Payload::Gossip { round } = payload {
+                    obj.field_u64("round", u64::from(*round));
+                }
+            }
+            EventKind::Colored { rank, via } => {
+                obj.field_u64("rank", u64::from(*rank));
+                obj.field_str(
+                    "via",
+                    match via {
+                        ColoredVia::Root => "root",
+                        ColoredVia::Dissemination => "dissemination",
+                        ColoredVia::Correction => "correction",
+                    },
+                );
+            }
+            EventKind::PhaseBegin { name } | EventKind::PhaseEnd { name } => {
+                obj.field_str("name", name);
+            }
+        }
+        obj.finish()
+    }
+}
+
+impl fmt::Display for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_json())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jsonl_field_order_is_stable() {
+        let e = Event::sim(
+            Time::new(7),
+            EventKind::SendStart {
+                from: 0,
+                to: 3,
+                payload: Payload::Tree,
+            },
+        );
+        assert_eq!(
+            e.to_json(),
+            r#"{"t":7,"kind":"send","from":0,"to":3,"payload":"tree"}"#
+        );
+    }
+
+    #[test]
+    fn gossip_round_and_wall_clock_are_included() {
+        let e = Event::wall(
+            Time::new(12),
+            345,
+            EventKind::Deliver {
+                from: 1,
+                to: 2,
+                payload: Payload::Gossip { round: 4 },
+            },
+        );
+        assert_eq!(
+            e.to_json(),
+            r#"{"t":12,"w":345,"kind":"deliver","from":1,"to":2,"payload":"gossip","round":4}"#
+        );
+    }
+
+    #[test]
+    fn colored_and_phase_events_serialize() {
+        let c = Event::sim(
+            Time::new(24),
+            EventKind::Colored {
+                rank: 63,
+                via: ColoredVia::Correction,
+            },
+        );
+        assert_eq!(
+            c.to_json(),
+            r#"{"t":24,"kind":"colored","rank":63,"via":"correction"}"#
+        );
+        let p = Event::sim(
+            Time::ZERO,
+            EventKind::PhaseBegin {
+                name: phases::BROADCAST.into(),
+            },
+        );
+        assert_eq!(
+            p.to_json(),
+            r#"{"t":0,"kind":"phase_begin","name":"broadcast"}"#
+        );
+    }
+
+    #[test]
+    fn display_matches_json() {
+        let e = Event::sim(Time::new(1), EventKind::PhaseEnd { name: "rep".into() });
+        assert_eq!(e.to_string(), e.to_json());
+    }
+}

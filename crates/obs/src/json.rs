@@ -1,0 +1,176 @@
+//! A tiny hand-rolled JSON writer.
+//!
+//! The workspace is built fully offline (no serde), and everything this
+//! crate serializes is flat and append-only, so a push-style object
+//! builder with explicit field order is all that is needed. Output is
+//! deterministic: fields appear exactly in insertion order, floats are
+//! rendered through [`fmt_f64`] with a fixed shortest-roundtrip-free
+//! format, and strings are escaped per RFC 8259.
+
+use core::fmt::Write as _;
+
+/// Append `s` to `out` as a JSON string literal (with quotes).
+pub fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Render a finite `f64` deterministically (JSON has no NaN/∞; those
+/// are rendered as `null`). Integral values keep one decimal place so
+/// the type is unambiguous to readers.
+pub fn fmt_f64(v: f64) -> String {
+    if !v.is_finite() {
+        return "null".to_owned();
+    }
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{v:.1}")
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Push-style builder for one flat JSON object.
+#[derive(Debug)]
+pub struct JsonObject {
+    buf: String,
+    first: bool,
+}
+
+impl JsonObject {
+    /// Start an object (`{`).
+    pub fn new() -> JsonObject {
+        JsonObject {
+            buf: String::from("{"),
+            first: true,
+        }
+    }
+
+    fn key(&mut self, name: &str) {
+        if !self.first {
+            self.buf.push(',');
+        }
+        self.first = false;
+        write_escaped(&mut self.buf, name);
+        self.buf.push(':');
+    }
+
+    /// Add an unsigned integer field.
+    pub fn field_u64(&mut self, name: &str, v: u64) -> &mut Self {
+        self.key(name);
+        let _ = write!(self.buf, "{v}");
+        self
+    }
+
+    /// Add a float field (finite values only; non-finite become `null`).
+    pub fn field_f64(&mut self, name: &str, v: f64) -> &mut Self {
+        self.key(name);
+        self.buf.push_str(&fmt_f64(v));
+        self
+    }
+
+    /// Add a string field.
+    pub fn field_str(&mut self, name: &str, v: &str) -> &mut Self {
+        self.key(name);
+        write_escaped(&mut self.buf, v);
+        self
+    }
+
+    /// Add a boolean field.
+    pub fn field_bool(&mut self, name: &str, v: bool) -> &mut Self {
+        self.key(name);
+        self.buf.push_str(if v { "true" } else { "false" });
+        self
+    }
+
+    /// Add a `null` field.
+    pub fn field_null(&mut self, name: &str) -> &mut Self {
+        self.key(name);
+        self.buf.push_str("null");
+        self
+    }
+
+    /// Add a pre-rendered JSON value verbatim (array or nested object).
+    pub fn field_raw(&mut self, name: &str, json: &str) -> &mut Self {
+        self.key(name);
+        self.buf.push_str(json);
+        self
+    }
+
+    /// Add an array of unsigned integers.
+    pub fn field_u64_array(&mut self, name: &str, vs: &[u64]) -> &mut Self {
+        self.key(name);
+        self.buf.push('[');
+        for (i, v) in vs.iter().enumerate() {
+            if i > 0 {
+                self.buf.push(',');
+            }
+            let _ = write!(self.buf, "{v}");
+        }
+        self.buf.push(']');
+        self
+    }
+
+    /// Close the object (`}`) and return the rendered string.
+    pub fn finish(mut self) -> String {
+        self.buf.push('}');
+        self.buf
+    }
+}
+
+impl Default for JsonObject {
+    fn default() -> Self {
+        JsonObject::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escaping_covers_quotes_backslashes_and_controls() {
+        let mut s = String::new();
+        write_escaped(&mut s, "a\"b\\c\nd\te\u{1}");
+        assert_eq!(s, "\"a\\\"b\\\\c\\nd\\te\\u0001\"");
+    }
+
+    #[test]
+    fn object_fields_keep_insertion_order() {
+        let mut o = JsonObject::new();
+        o.field_u64("b", 2);
+        o.field_str("a", "x");
+        o.field_bool("ok", true);
+        o.field_null("gone");
+        o.field_u64_array("xs", &[1, 2, 3]);
+        assert_eq!(
+            o.finish(),
+            r#"{"b":2,"a":"x","ok":true,"gone":null,"xs":[1,2,3]}"#
+        );
+    }
+
+    #[test]
+    fn floats_are_deterministic() {
+        assert_eq!(fmt_f64(2.0), "2.0");
+        assert_eq!(fmt_f64(2.5), "2.5");
+        assert_eq!(fmt_f64(f64::NAN), "null");
+        assert_eq!(fmt_f64(f64::INFINITY), "null");
+    }
+
+    #[test]
+    fn empty_object() {
+        assert_eq!(JsonObject::new().finish(), "{}");
+    }
+}

@@ -1,0 +1,42 @@
+//! # ct-obs — unified observability layer
+//!
+//! One event schema, one metrics registry and one run-manifest format
+//! shared by the LogP simulator (`ct-sim`) and the threaded cluster
+//! runtime (`ct-runtime`), so that a simulated broadcast and a real one
+//! can be compared event-by-event and every campaign CSV carries its
+//! full provenance.
+//!
+//! The layer is opt-in and zero-overhead when disabled: producers hoist
+//! a single [`EventSink::enabled`] check out of their hot loops and the
+//! default [`NullSink`] makes every run behave exactly like the
+//! pre-instrumentation code path.
+//!
+//! * [`event`] — the [`Event`] schema (protocol events, coloring,
+//!   phase spans) stamped with logical [`ct_logp::Time`] and, on the
+//!   cluster runtime, wall-clock microseconds.
+//! * [`sink`] — the [`EventSink`] trait plus [`NullSink`], [`VecSink`]
+//!   and the streaming [`JsonlSink`].
+//! * [`metrics`] — [`MetricsRegistry`]: named counters and fixed-bucket
+//!   histograms with cross-run merge. No external dependencies.
+//! * [`manifest`] — [`RunManifest`], written as
+//!   `results/<name>.meta.json` next to every campaign CSV.
+//! * [`chrome`] — export a recorded event stream as a
+//!   `chrome://tracing` / Perfetto JSON document.
+//! * [`json`] — the tiny hand-rolled JSON writer backing all of the
+//!   above (deterministic field order, no serde).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chrome;
+pub mod event;
+pub mod json;
+pub mod manifest;
+pub mod metrics;
+pub mod sink;
+
+pub use chrome::chrome_trace;
+pub use event::{Event, EventKind};
+pub use manifest::RunManifest;
+pub use metrics::{Histogram, MetricsRegistry};
+pub use sink::{EventSink, JsonlSink, MetricsSink, NullSink, VecSink};

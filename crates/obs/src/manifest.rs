@@ -1,0 +1,290 @@
+//! Run manifests: the provenance record written next to every campaign
+//! CSV as `results/<name>.meta.json`.
+//!
+//! A result file without its seed, parameters and code revision cannot
+//! be reproduced ("all our simulations are fully reproducible as we
+//! keep the random generator seed of every experiment", §4) — the
+//! manifest keeps that metadata attached to the data it describes.
+
+use std::collections::BTreeMap;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+use crate::json::JsonObject;
+
+/// Provenance of one experiment output file.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct RunManifest {
+    /// Experiment name (the CSV stem, e.g. `fig6_quick`).
+    pub name: String,
+    /// Protocol label(s) the experiment ran (factory labels).
+    pub protocol: Option<String>,
+    /// Process count, when the experiment has a single `P`.
+    pub p: Option<u32>,
+    /// LogP parameters, rendered as `L=..,o=..,g=..`.
+    pub logp: Option<String>,
+    /// Base seed driving the run(s).
+    pub seed: Option<u64>,
+    /// Repetitions per configuration.
+    pub reps: Option<u32>,
+    /// Fault-injection summary (e.g. `count=3` or `ranks=[1,2,40]`).
+    pub faults: Option<String>,
+    /// `git rev-parse HEAD` of the producing tree, when available.
+    pub git_rev: Option<String>,
+    /// Wall-clock duration of the experiment, in seconds.
+    pub wall_secs: Option<f64>,
+    /// Unix timestamp (seconds) the manifest was written.
+    pub created_unix: Option<u64>,
+    /// Free-form extra fields, name-sorted in the output.
+    pub extra: BTreeMap<String, String>,
+}
+
+impl RunManifest {
+    /// Start a manifest for the experiment `name`.
+    pub fn new(name: impl Into<String>) -> RunManifest {
+        RunManifest {
+            name: name.into(),
+            ..RunManifest::default()
+        }
+    }
+
+    /// Set the protocol label(s).
+    pub fn protocol(mut self, label: impl Into<String>) -> Self {
+        self.protocol = Some(label.into());
+        self
+    }
+
+    /// Set the process count.
+    pub fn p(mut self, p: u32) -> Self {
+        self.p = Some(p);
+        self
+    }
+
+    /// Set the LogP parameters (anything `Display`able; `ct_logp::LogP`
+    /// renders as `L=..,o=..,g=..`).
+    pub fn logp(mut self, logp: impl ToString) -> Self {
+        self.logp = Some(logp.to_string());
+        self
+    }
+
+    /// Set the base seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = Some(seed);
+        self
+    }
+
+    /// Set the repetition count.
+    pub fn reps(mut self, reps: u32) -> Self {
+        self.reps = Some(reps);
+        self
+    }
+
+    /// Set the fault-injection summary.
+    pub fn faults(mut self, summary: impl Into<String>) -> Self {
+        self.faults = Some(summary.into());
+        self
+    }
+
+    /// Set the experiment wall-clock duration.
+    pub fn wall_secs(mut self, secs: f64) -> Self {
+        self.wall_secs = Some(secs);
+        self
+    }
+
+    /// Add one free-form field.
+    pub fn with_extra(mut self, key: impl Into<String>, value: impl Into<String>) -> Self {
+        self.extra.insert(key.into(), value.into());
+        self
+    }
+
+    /// Fill `git_rev` and `created_unix` from the environment (both
+    /// best-effort; missing git stays `None`).
+    pub fn stamped(mut self) -> Self {
+        self.git_rev = current_git_rev();
+        self.created_unix = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .ok()
+            .map(|d| d.as_secs());
+        self
+    }
+
+    /// Render as a JSON object (fixed field order; absent fields are
+    /// `null` so the schema is self-describing).
+    pub fn to_json(&self) -> String {
+        let mut obj = JsonObject::new();
+        obj.field_str("name", &self.name);
+        match &self.protocol {
+            Some(v) => obj.field_str("protocol", v),
+            None => obj.field_null("protocol"),
+        };
+        match self.p {
+            Some(v) => obj.field_u64("p", u64::from(v)),
+            None => obj.field_null("p"),
+        };
+        match &self.logp {
+            Some(v) => obj.field_str("logp", v),
+            None => obj.field_null("logp"),
+        };
+        match self.seed {
+            Some(v) => obj.field_u64("seed", v),
+            None => obj.field_null("seed"),
+        };
+        match self.reps {
+            Some(v) => obj.field_u64("reps", u64::from(v)),
+            None => obj.field_null("reps"),
+        };
+        match &self.faults {
+            Some(v) => obj.field_str("faults", v),
+            None => obj.field_null("faults"),
+        };
+        match &self.git_rev {
+            Some(v) => obj.field_str("git_rev", v),
+            None => obj.field_null("git_rev"),
+        };
+        match self.wall_secs {
+            Some(v) => obj.field_f64("wall_secs", v),
+            None => obj.field_null("wall_secs"),
+        };
+        match self.created_unix {
+            Some(v) => obj.field_u64("created_unix", v),
+            None => obj.field_null("created_unix"),
+        };
+        let mut extra = JsonObject::new();
+        for (k, v) in &self.extra {
+            extra.field_str(k, v);
+        }
+        obj.field_raw("extra", &extra.finish());
+        obj.finish()
+    }
+
+    /// The manifest path for a given output file: same directory and
+    /// stem, `.meta.json` extension (`results/fig6.csv` →
+    /// `results/fig6.meta.json`).
+    pub fn path_for(output: &Path) -> PathBuf {
+        output.with_extension("meta.json")
+    }
+
+    /// Write the manifest next to `output` (see [`RunManifest::path_for`])
+    /// and return the path written.
+    pub fn write_next_to(&self, output: &Path) -> io::Result<PathBuf> {
+        let path = Self::path_for(output);
+        std::fs::write(&path, self.to_json() + "\n")?;
+        Ok(path)
+    }
+}
+
+/// Summarize a fault mask: `"none"`, or `"k/p failed: [r0,r1,…]"` with
+/// at most eight ranks listed.
+pub fn summarize_fault_mask(mask: &[bool]) -> String {
+    let failed: Vec<usize> = mask
+        .iter()
+        .enumerate()
+        .filter_map(|(r, &f)| f.then_some(r))
+        .collect();
+    if failed.is_empty() {
+        return "none".to_owned();
+    }
+    let shown: Vec<String> = failed.iter().take(8).map(|r| r.to_string()).collect();
+    let ellipsis = if failed.len() > 8 { ",…" } else { "" };
+    format!(
+        "{}/{} failed: [{}{}]",
+        failed.len(),
+        mask.len(),
+        shown.join(","),
+        ellipsis
+    )
+}
+
+/// `git rev-parse HEAD` of the current directory's repository, if any.
+pub fn current_git_rev() -> Option<String> {
+    let out = Command::new("git")
+        .args(["rev-parse", "HEAD"])
+        .output()
+        .ok()?;
+    if !out.status.success() {
+        return None;
+    }
+    let rev = String::from_utf8(out.stdout).ok()?;
+    let rev = rev.trim();
+    (!rev.is_empty()).then(|| rev.to_owned())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_has_fixed_field_order_and_nulls() {
+        let m = RunManifest::new("fig6_quick")
+            .protocol("lame2+opportunistic(4)")
+            .p(512)
+            .logp("L=2,o=1,g=1")
+            .seed(42)
+            .reps(10)
+            .faults("count=3");
+        let json = m.to_json();
+        assert!(
+            json.starts_with(r#"{"name":"fig6_quick","protocol":"#),
+            "{json}"
+        );
+        assert!(json.contains(r#""p":512"#), "{json}");
+        assert!(json.contains(r#""seed":42"#), "{json}");
+        assert!(json.contains(r#""git_rev":null"#), "{json}");
+        assert!(json.contains(r#""wall_secs":null"#), "{json}");
+        assert!(json.ends_with(r#""extra":{}}"#), "{json}");
+    }
+
+    #[test]
+    fn extra_fields_are_sorted() {
+        let m = RunManifest::new("x")
+            .with_extra("zz", "1")
+            .with_extra("aa", "2");
+        let json = m.to_json();
+        let a = json.find("\"aa\"").unwrap();
+        let z = json.find("\"zz\"").unwrap();
+        assert!(a < z, "{json}");
+    }
+
+    #[test]
+    fn manifest_path_swaps_extension() {
+        assert_eq!(
+            RunManifest::path_for(Path::new("results/fig6.csv")),
+            PathBuf::from("results/fig6.meta.json")
+        );
+    }
+
+    #[test]
+    fn fault_mask_summaries() {
+        assert_eq!(summarize_fault_mask(&[false, false]), "none");
+        assert_eq!(
+            summarize_fault_mask(&[false, true, true, false]),
+            "2/4 failed: [1,2]"
+        );
+        let mask: Vec<bool> = (0..16).map(|r| r < 10).collect();
+        let s = summarize_fault_mask(&mask);
+        assert!(s.starts_with("10/16 failed: [0,1,2,3,4,5,6,7,…]"), "{s}");
+    }
+
+    #[test]
+    fn stamped_fills_timestamp() {
+        let m = RunManifest::new("x").stamped();
+        assert!(m.created_unix.is_some());
+        // git_rev is best-effort; either way to_json must not panic.
+        let _ = m.to_json();
+    }
+
+    #[test]
+    fn write_next_to_creates_sibling() {
+        let dir = std::env::temp_dir().join("ct-obs-manifest-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let csv = dir.join("demo.csv");
+        let path = RunManifest::new("demo").write_next_to(&csv).unwrap();
+        assert_eq!(path, dir.join("demo.meta.json"));
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert!(body.starts_with(r#"{"name":"demo""#), "{body}");
+        assert!(body.ends_with('\n'));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,388 @@
+//! A lightweight metrics registry: named counters and fixed-bucket
+//! histograms, mergeable across runs. No external dependencies, no
+//! interior mutability — producers own a registry (or a
+//! [`crate::MetricsSink`]) and merge at join points.
+
+use std::collections::BTreeMap;
+
+use crate::event::{Event, EventKind};
+use crate::json::JsonObject;
+
+/// A fixed-bucket histogram over `u64` observations.
+///
+/// Bucket `i` counts observations `v ≤ bounds[i]` (and `> bounds[i-1]`);
+/// one implicit overflow bucket catches everything above the last
+/// bound. Exact `count`, `sum`, `min` and `max` are kept alongside.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Histogram {
+    bounds: Vec<u64>,
+    counts: Vec<u64>,
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Histogram {
+    /// A histogram with the given strictly increasing upper bounds.
+    ///
+    /// # Panics
+    /// If `bounds` is empty or not strictly increasing.
+    pub fn with_bounds(bounds: &[u64]) -> Histogram {
+        assert!(
+            !bounds.is_empty(),
+            "histogram needs at least one bucket bound"
+        );
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly increasing"
+        );
+        Histogram {
+            bounds: bounds.to_vec(),
+            counts: vec![0; bounds.len() + 1],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// The default latency buckets: powers of two from 1 to 2²⁰ —
+    /// covers both LogP steps (tens to thousands) and microseconds
+    /// (up to ~1 s) with relative resolution ≤ 2×.
+    pub fn latency_default() -> Histogram {
+        let bounds: Vec<u64> = (0..=20).map(|i| 1u64 << i).collect();
+        Histogram::with_bounds(&bounds)
+    }
+
+    /// Record one observation.
+    pub fn record(&mut self, v: u64) {
+        let idx = self.bucket_index(v);
+        self.counts[idx] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// The bucket index `v` falls into (`bounds.len()` = overflow).
+    pub fn bucket_index(&self, v: u64) -> usize {
+        self.bounds.partition_point(|&b| b < v)
+    }
+
+    /// The configured upper bounds (overflow bucket excluded).
+    pub fn bounds(&self) -> &[u64] {
+        &self.bounds
+    }
+
+    /// Per-bucket counts; the last entry is the overflow bucket.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all observations (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest observation (`None` when empty).
+    pub fn min(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest observation (`None` when empty).
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Mean observation (`None` when empty).
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum as f64 / self.count as f64)
+    }
+
+    /// Merge another histogram with identical bounds into this one.
+    ///
+    /// # Panics
+    /// If the bucket bounds differ.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(
+            self.bounds, other.bounds,
+            "cannot merge histograms with different buckets"
+        );
+        for (c, o) in self.counts.iter_mut().zip(&other.counts) {
+            *c += o;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Render as a JSON object.
+    pub fn to_json(&self) -> String {
+        let mut obj = JsonObject::new();
+        obj.field_u64_array("bounds", &self.bounds);
+        obj.field_u64_array("counts", &self.counts);
+        obj.field_u64("count", self.count);
+        obj.field_u64("sum", self.sum);
+        match (self.min(), self.max()) {
+            (Some(min), Some(max)) => {
+                obj.field_u64("min", min);
+                obj.field_u64("max", max);
+            }
+            _ => {
+                obj.field_null("min");
+                obj.field_null("max");
+            }
+        }
+        obj.finish()
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::latency_default()
+    }
+}
+
+/// Counter and histogram names used by [`MetricsRegistry::record_event`].
+pub mod names {
+    /// Tree dissemination sends.
+    pub const MSGS_TREE: &str = "msgs.tree";
+    /// Gossip dissemination sends.
+    pub const MSGS_GOSSIP: &str = "msgs.gossip";
+    /// Ring-correction sends.
+    pub const MSGS_CORRECTION: &str = "msgs.correction";
+    /// Acknowledgment sends.
+    pub const MSGS_ACK: &str = "msgs.ack";
+    /// Messages dropped at dead receivers.
+    pub const MSGS_DROPPED: &str = "msgs.dropped";
+    /// Deliveries processed.
+    pub const DELIVERIES: &str = "deliveries";
+    /// Processes colored.
+    pub const COLORED: &str = "colored";
+    /// Histogram of per-rank coloring times.
+    pub const COLORING_TIME: &str = "coloring_time";
+}
+
+/// Named counters plus named fixed-bucket histograms.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<String, u64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// Add `delta` to a counter (creating it at zero).
+    pub fn add(&mut self, name: &str, delta: u64) {
+        *self.counters.entry(name.to_owned()).or_insert(0) += delta;
+    }
+
+    /// Increment a counter by one.
+    pub fn inc(&mut self, name: &str) {
+        self.add(name, 1);
+    }
+
+    /// Current value of a counter (zero when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// All counters, name-sorted.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// Record `v` into a histogram, creating it with
+    /// [`Histogram::latency_default`] buckets when absent.
+    pub fn observe(&mut self, name: &str, v: u64) {
+        self.histograms
+            .entry(name.to_owned())
+            .or_insert_with(Histogram::latency_default)
+            .record(v);
+    }
+
+    /// Pre-register a histogram with custom bounds (replacing any
+    /// existing data under that name).
+    pub fn register_histogram(&mut self, name: &str, bounds: &[u64]) {
+        self.histograms
+            .insert(name.to_owned(), Histogram::with_bounds(bounds));
+    }
+
+    /// Look up a histogram.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// All histograms, name-sorted.
+    pub fn histograms(&self) -> impl Iterator<Item = (&str, &Histogram)> {
+        self.histograms.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Fold another registry into this one (counters add; histograms
+    /// merge bucket-wise and must agree on bounds).
+    pub fn merge(&mut self, other: &MetricsRegistry) {
+        for (name, &v) in &other.counters {
+            *self.counters.entry(name.clone()).or_insert(0) += v;
+        }
+        for (name, h) in &other.histograms {
+            match self.histograms.get_mut(name) {
+                Some(mine) => mine.merge(h),
+                None => {
+                    self.histograms.insert(name.clone(), h.clone());
+                }
+            }
+        }
+    }
+
+    /// Update from one observability event — the standard accounting
+    /// used by [`crate::MetricsSink`]: sends counted per payload kind
+    /// (matching the simulator's per-run message totals), drops and
+    /// deliveries counted, coloring times recorded into the
+    /// [`names::COLORING_TIME`] histogram.
+    pub fn record_event(&mut self, event: &Event) {
+        use ct_core::protocol::Payload;
+        match &event.kind {
+            EventKind::SendStart { payload, .. } => self.inc(match payload {
+                Payload::Tree => names::MSGS_TREE,
+                Payload::Gossip { .. } => names::MSGS_GOSSIP,
+                Payload::Correction => names::MSGS_CORRECTION,
+                Payload::Ack => names::MSGS_ACK,
+            }),
+            EventKind::DropDead { .. } => self.inc(names::MSGS_DROPPED),
+            EventKind::Deliver { .. } => self.inc(names::DELIVERIES),
+            EventKind::Colored { .. } => {
+                self.inc(names::COLORED);
+                self.observe(names::COLORING_TIME, event.time.steps());
+            }
+            EventKind::Arrive { .. }
+            | EventKind::PhaseBegin { .. }
+            | EventKind::PhaseEnd { .. } => {}
+        }
+    }
+
+    /// Total messages sent, i.e. the sum of the four `msgs.*` send
+    /// counters (the simulator's `MessageCounts::total`).
+    pub fn messages_total(&self) -> u64 {
+        self.counter(names::MSGS_TREE)
+            + self.counter(names::MSGS_GOSSIP)
+            + self.counter(names::MSGS_CORRECTION)
+            + self.counter(names::MSGS_ACK)
+    }
+
+    /// Render as a JSON object `{"counters":{...},"histograms":{...}}`.
+    pub fn to_json(&self) -> String {
+        let mut counters = JsonObject::new();
+        for (name, v) in &self.counters {
+            counters.field_u64(name, *v);
+        }
+        let mut histograms = JsonObject::new();
+        for (name, h) in &self.histograms {
+            histograms.field_raw(name, &h.to_json());
+        }
+        let mut obj = JsonObject::new();
+        obj.field_raw("counters", &counters.finish());
+        obj.field_raw("histograms", &histograms.finish());
+        obj.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_are_inclusive_upper() {
+        let h = Histogram::with_bounds(&[10, 20, 40]);
+        assert_eq!(h.bucket_index(0), 0);
+        assert_eq!(h.bucket_index(10), 0); // v ≤ 10 → first bucket
+        assert_eq!(h.bucket_index(11), 1);
+        assert_eq!(h.bucket_index(20), 1);
+        assert_eq!(h.bucket_index(40), 2);
+        assert_eq!(h.bucket_index(41), 3); // overflow
+    }
+
+    #[test]
+    fn record_updates_aggregates() {
+        let mut h = Histogram::with_bounds(&[10, 20]);
+        for v in [5, 10, 15, 100] {
+            h.record(v);
+        }
+        assert_eq!(h.counts(), &[2, 1, 1]);
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.sum(), 130);
+        assert_eq!(h.min(), Some(5));
+        assert_eq!(h.max(), Some(100));
+        assert!((h.mean().unwrap() - 32.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_is_bucketwise_addition() {
+        let mut a = Histogram::with_bounds(&[10, 20]);
+        let mut b = Histogram::with_bounds(&[10, 20]);
+        a.record(5);
+        b.record(15);
+        b.record(25);
+        a.merge(&b);
+        assert_eq!(a.counts(), &[1, 1, 1]);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.min(), Some(5));
+        assert_eq!(a.max(), Some(25));
+    }
+
+    #[test]
+    #[should_panic(expected = "different buckets")]
+    fn merge_rejects_mismatched_buckets() {
+        let mut a = Histogram::with_bounds(&[10]);
+        a.merge(&Histogram::with_bounds(&[20]));
+    }
+
+    #[test]
+    fn counters_add_and_merge() {
+        let mut a = MetricsRegistry::new();
+        a.inc("x");
+        a.add("x", 2);
+        let mut b = MetricsRegistry::new();
+        b.add("x", 4);
+        b.inc("y");
+        b.observe("h", 3);
+        a.merge(&b);
+        assert_eq!(a.counter("x"), 7);
+        assert_eq!(a.counter("y"), 1);
+        assert_eq!(a.counter("absent"), 0);
+        assert_eq!(a.histogram("h").unwrap().count(), 1);
+    }
+
+    #[test]
+    fn empty_histogram_has_no_extrema() {
+        let h = Histogram::latency_default();
+        assert_eq!(h.min(), None);
+        assert_eq!(h.max(), None);
+        assert_eq!(h.mean(), None);
+        let json = h.to_json();
+        assert!(json.contains("\"min\":null"), "{json}");
+    }
+
+    #[test]
+    fn registry_json_is_sorted_and_complete() {
+        let mut r = MetricsRegistry::new();
+        r.inc("b");
+        r.inc("a");
+        r.observe("lat", 2);
+        let json = r.to_json();
+        let a = json.find("\"a\"").unwrap();
+        let b = json.find("\"b\"").unwrap();
+        assert!(a < b, "{json}");
+        assert!(json.contains("\"histograms\""), "{json}");
+    }
+}

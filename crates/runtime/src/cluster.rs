@@ -15,19 +15,28 @@ use std::time::{Duration, Instant};
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use ct_core::protocol::{BuildCtx, Payload, Process, ProtocolError, ProtocolFactory, SendPoll};
 use ct_logp::{LogP, Rank, Time};
+use ct_obs::event::phases;
+use ct_obs::{Event as ObsEvent, EventKind as ObsEventKind, EventSink, NullSink};
 
 /// Wire traffic between the coordinator and workers.
 enum WorkerMsg {
     /// Begin broadcast `id` with this protocol instance; `dead` workers
-    /// emulate a crashed process for the whole iteration.
+    /// emulate a crashed process for the whole iteration. With `record`
+    /// set, the worker buffers an observability event per protocol
+    /// action and ships the buffer back in its `StopAck`.
     Start {
         id: u64,
         process: Box<dyn Process>,
         dead: bool,
         epoch: Instant,
+        record: bool,
     },
     /// Rank-to-rank payload of broadcast `id`.
-    Data { id: u64, from: Rank, payload: Payload },
+    Data {
+        id: u64,
+        from: Rank,
+        payload: Payload,
+    },
     /// End broadcast `id`; the worker acknowledges and discards state.
     Stop { id: u64 },
     /// Tear the worker down.
@@ -39,8 +48,14 @@ enum CoordMsg {
     /// `rank` became colored in broadcast `id`.
     Colored { id: u64, rank: Rank },
     /// `rank` finished cleaning up broadcast `id`; carries the number of
-    /// messages this rank sent during the iteration.
-    StopAck { id: u64, rank: Rank, sent: u64 },
+    /// messages this rank sent during the iteration and, when recording
+    /// was requested, the rank's buffered observability events.
+    StopAck {
+        id: u64,
+        rank: Rank,
+        sent: u64,
+        events: Vec<ObsEvent>,
+    },
 }
 
 /// Errors from cluster operation.
@@ -130,7 +145,11 @@ impl Cluster {
             from_workers,
             handles,
             next_id: 1,
-            timeout: Duration::from_secs(5),
+            // Generous: a completed iteration never waits on it, and a
+            // tight default turns CPU contention into spurious
+            // incompleteness on oversubscribed machines (CI, 1-core
+            // containers running the full test suite).
+            timeout: Duration::from_secs(30),
         }
     }
 
@@ -139,7 +158,7 @@ impl Cluster {
         self.p
     }
 
-    /// Change the per-iteration completion deadline (default 5 s).
+    /// Change the per-iteration completion deadline (default 30 s).
     pub fn set_timeout(&mut self, timeout: Duration) {
         self.timeout = timeout;
     }
@@ -154,10 +173,37 @@ impl Cluster {
         dead: &[bool],
         seed: u64,
     ) -> Result<RunReport, ClusterError> {
+        self.run_broadcast_observed(factory, dead, seed, &mut NullSink)
+    }
+
+    /// Like [`Cluster::run_broadcast`], additionally streaming the
+    /// iteration's observability events into `sink` — the same schema
+    /// the simulator emits, each event stamped with both logical time
+    /// (microseconds since the iteration epoch; the clock the protocol
+    /// state machines see) and wall-clock microseconds.
+    ///
+    /// Recording is decided once per iteration from
+    /// [`EventSink::enabled`]: with a disabled sink (the default
+    /// [`NullSink`]) workers buffer nothing and the iteration behaves
+    /// exactly like an unobserved one. Events are buffered per worker
+    /// and merged time-sorted after the iteration, so observation adds
+    /// no cross-thread traffic on the hot path.
+    pub fn run_broadcast_observed(
+        &mut self,
+        factory: &dyn ProtocolFactory,
+        dead: &[bool],
+        seed: u64,
+        sink: &mut dyn EventSink,
+    ) -> Result<RunReport, ClusterError> {
         assert_eq!(dead.len(), self.p as usize);
+        let record = sink.enabled();
         let id = self.next_id;
         self.next_id += 1;
-        let ctx = BuildCtx { p: self.p, logp: self.logp, seed };
+        let ctx = BuildCtx {
+            p: self.p,
+            logp: self.logp,
+            seed,
+        };
         let mut processes = factory.build(&ctx)?;
         assert_eq!(processes.len(), self.p as usize);
 
@@ -168,7 +214,13 @@ impl Cluster {
         for rank in (0..self.p).rev() {
             let process = processes.pop().expect("one per rank");
             self.to_workers[rank as usize]
-                .send(WorkerMsg::Start { id, process, dead: dead[rank as usize], epoch })
+                .send(WorkerMsg::Start {
+                    id,
+                    process,
+                    dead: dead[rank as usize],
+                    epoch,
+                    record,
+                })
                 .expect("worker alive");
         }
 
@@ -189,9 +241,7 @@ impl Cluster {
                 }
                 Ok(_) => {} // stale notification from a previous iteration
                 Err(RecvTimeoutError::Timeout) => break,
-                Err(RecvTimeoutError::Disconnected) => {
-                    return Err(ClusterError::WorkerPanicked)
-                }
+                Err(RecvTimeoutError::Disconnected) => return Err(ClusterError::WorkerPanicked),
             }
         }
         if colored_count == live {
@@ -206,17 +256,48 @@ impl Cluster {
         let mut acked = vec![false; self.p as usize];
         let mut acks = 0u32;
         let mut messages = 0u64;
+        let mut recorded: Vec<ObsEvent> = Vec::new();
         while acks < self.p {
             match self.from_workers.recv_timeout(Duration::from_secs(10)) {
-                Ok(CoordMsg::StopAck { id: mid, rank, sent }) if mid == id => {
+                Ok(CoordMsg::StopAck {
+                    id: mid,
+                    rank,
+                    sent,
+                    events,
+                }) if mid == id => {
                     assert!(!acked[rank as usize], "duplicate StopAck from {rank}");
                     acked[rank as usize] = true;
                     acks += 1;
                     messages += sent;
+                    recorded.extend(events);
                 }
                 Ok(_) => {}
                 Err(_) => return Err(ClusterError::WorkerPanicked),
             }
+        }
+
+        if record {
+            // Stable sort keeps each worker's own event order at equal
+            // timestamps.
+            recorded.sort_by_key(|e| e.time);
+            let end = recorded.last().map_or(Time::ZERO, |e| e.time);
+            sink.emit(&ObsEvent::wall(
+                Time::ZERO,
+                0,
+                ObsEventKind::PhaseBegin {
+                    name: phases::BROADCAST.into(),
+                },
+            ));
+            for e in &recorded {
+                sink.emit(e);
+            }
+            sink.emit(&ObsEvent::wall(
+                end,
+                end.steps(),
+                ObsEventKind::PhaseEnd {
+                    name: phases::BROADCAST.into(),
+                },
+            ));
         }
 
         let uncolored = colored
@@ -225,7 +306,12 @@ impl Cluster {
             .enumerate()
             .filter_map(|(r, (&c, &d))| (!c && !d).then_some(r as Rank))
             .collect();
-        Ok(RunReport { latency, uncolored, messages, completed })
+        Ok(RunReport {
+            latency,
+            uncolored,
+            messages,
+            completed,
+        })
     }
 }
 
@@ -245,6 +331,9 @@ fn now_since(epoch: Instant) -> Time {
     Time::new(epoch.elapsed().as_micros() as u64)
 }
 
+/// One in-flight iteration on a worker: `(id, process, dead, epoch, record)`.
+type IterState = (u64, Box<dyn Process>, bool, Instant, bool);
+
 fn worker_main(
     rank: Rank,
     rx: Receiver<WorkerMsg>,
@@ -252,21 +341,35 @@ fn worker_main(
     coord: Sender<CoordMsg>,
 ) {
     // State of the current iteration, if any.
-    let mut cur: Option<(u64, Box<dyn Process>, bool, Instant)> = None;
+    let mut cur: Option<IterState> = None;
     let mut sent: u64 = 0;
     let mut notified = false;
+    // Observability buffer of the current iteration (when recording);
+    // shipped to the coordinator in the StopAck.
+    let mut events: Vec<ObsEvent> = Vec::new();
     // Pending protocol-requested wake-up.
     let mut wake_at: Option<Time> = None;
 
     loop {
         // Drive the protocol as far as it goes right now.
-        if let Some((id, process, dead, epoch)) = cur.as_mut() {
+        if let Some((id, process, dead, epoch, record)) = cur.as_mut() {
             if !*dead {
                 loop {
                     let now = now_since(*epoch);
                     match process.poll_send(now) {
                         SendPoll::Now { to, payload } => {
                             sent += 1;
+                            if *record {
+                                events.push(ObsEvent::wall(
+                                    now,
+                                    now.steps(),
+                                    ObsEventKind::SendStart {
+                                        from: rank,
+                                        to,
+                                        payload,
+                                    },
+                                ));
+                            }
                             // The interconnect is reliable: a send only
                             // fails if the whole cluster is shutting down.
                             let _ = peers[to as usize].send(WorkerMsg::Data {
@@ -287,6 +390,16 @@ fn worker_main(
                 }
                 if !notified && process.colored_at().is_some() {
                     notified = true;
+                    if *record {
+                        if let (Some(at), Some(via)) = (process.colored_at(), process.colored_via())
+                        {
+                            events.push(ObsEvent::wall(
+                                at,
+                                now_since(*epoch).steps(),
+                                ObsEventKind::Colored { rank, via },
+                            ));
+                        }
+                    }
                     let _ = coord.send(CoordMsg::Colored { id: *id, rank });
                 }
             }
@@ -294,7 +407,7 @@ fn worker_main(
 
         // Block for the next message, honoring a pending wake-up.
         let msg = match (&cur, wake_at) {
-            (Some((_, _, dead, epoch)), Some(at)) if !*dead => {
+            (Some((_, _, dead, epoch, _)), Some(at)) if !*dead => {
                 let now = now_since(*epoch);
                 let sleep = Duration::from_micros(at.steps().saturating_sub(now.steps()));
                 match rx.recv_timeout(sleep) {
@@ -313,19 +426,65 @@ fn worker_main(
         };
 
         match msg {
-            WorkerMsg::Start { id, process, dead, epoch } => {
-                cur = Some((id, process, dead, epoch));
+            WorkerMsg::Start {
+                id,
+                process,
+                dead,
+                epoch,
+                record,
+            } => {
+                cur = Some((id, process, dead, epoch, record));
                 sent = 0;
                 notified = false;
+                events.clear();
                 wake_at = None;
             }
             WorkerMsg::Data { id, from, payload } => {
-                if let Some((cid, process, dead, epoch)) = cur.as_mut() {
-                    if id == *cid && !*dead {
-                        let now = now_since(*epoch);
-                        process.on_message(from, payload, now);
+                if let Some((cid, process, dead, epoch, record)) = cur.as_mut() {
+                    if id == *cid {
+                        if *dead {
+                            // Crash emulation: drop, but observably so.
+                            if *record {
+                                let now = now_since(*epoch);
+                                events.push(ObsEvent::wall(
+                                    now,
+                                    now.steps(),
+                                    ObsEventKind::DropDead {
+                                        from,
+                                        to: rank,
+                                        payload,
+                                    },
+                                ));
+                            }
+                        } else {
+                            let now = now_since(*epoch);
+                            if *record {
+                                events.push(ObsEvent::wall(
+                                    now,
+                                    now.steps(),
+                                    ObsEventKind::Arrive {
+                                        from,
+                                        to: rank,
+                                        payload,
+                                    },
+                                ));
+                            }
+                            process.on_message(from, payload, now);
+                            if *record {
+                                let done = now_since(*epoch);
+                                events.push(ObsEvent::wall(
+                                    done,
+                                    done.steps(),
+                                    ObsEventKind::Deliver {
+                                        from,
+                                        to: rank,
+                                        payload,
+                                    },
+                                ));
+                            }
+                        }
                     }
-                    // Stale or dead: drop silently (crash emulation).
+                    // Stale id: drop silently.
                 }
             }
             WorkerMsg::Stop { id } => {
@@ -333,7 +492,12 @@ fn worker_main(
                 if matches_current {
                     cur = None;
                 }
-                let _ = coord.send(CoordMsg::StopAck { id, rank, sent });
+                let _ = coord.send(CoordMsg::StopAck {
+                    id,
+                    rank,
+                    sent,
+                    events: std::mem::take(&mut events),
+                });
                 sent = 0;
                 wake_at = None;
             }

@@ -17,10 +17,12 @@ use std::collections::{BinaryHeap, VecDeque};
 
 use ct_core::protocol::{BuildCtx, Payload, Process, ProtocolError, ProtocolFactory, SendPoll};
 use ct_logp::{LogP, Rank, Time};
+use ct_obs::event::phases;
+use ct_obs::{Event as ObsEvent, EventKind as ObsEventKind, EventSink, NullSink, VecSink};
 
 use crate::faults::FaultPlan;
 use crate::metrics::{MessageCounts, Outcome};
-use crate::trace::{Trace, TraceEvent, TraceKind};
+use crate::trace::Trace;
 
 /// Default cap on processed events — a runaway-protocol backstop far
 /// above any legitimate run (`≈ 100` events per process at `P = 2¹⁹`).
@@ -71,11 +73,7 @@ impl PartialOrd for Event {
 }
 impl Ord for Event {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.time, self.kind.class(), self.seq).cmp(&(
-            other.time,
-            other.kind.class(),
-            other.seq,
-        ))
+        (self.time, self.kind.class(), self.seq).cmp(&(other.time, other.kind.class(), other.seq))
     }
 }
 
@@ -189,29 +187,64 @@ impl Simulation {
 
     /// Run one broadcast and return its metrics.
     pub fn run(&self, factory: &dyn ProtocolFactory) -> Result<Outcome, SimError> {
-        self.run_impl(factory, false).map(|(o, _)| o)
+        if self.record_trace {
+            self.run_traced(factory).map(|(o, _)| o)
+        } else {
+            self.run_with_sink(factory, &mut NullSink)
+        }
     }
 
     /// Run one broadcast, additionally recording a full event trace.
     pub fn run_traced(&self, factory: &dyn ProtocolFactory) -> Result<(Outcome, Trace), SimError> {
-        self.run_impl(factory, true)
-            .map(|(o, t)| (o, t.expect("trace requested")))
+        let mut sink = VecSink::new();
+        let outcome = self.run_with_sink(factory, &mut sink)?;
+        Ok((outcome, Trace::from_events(&sink.events)))
     }
 
-    fn run_impl(
+    /// Run one broadcast, streaming every event into `sink`.
+    ///
+    /// The sink's [`EventSink::enabled`] flag is checked once, before
+    /// the event loop: with a disabled sink (the default [`NullSink`])
+    /// no events are constructed at all and the run costs the same as
+    /// an unobserved one.
+    pub fn run_with_sink(
         &self,
         factory: &dyn ProtocolFactory,
-        force_trace: bool,
-    ) -> Result<(Outcome, Option<Trace>), SimError> {
+        sink: &mut dyn EventSink,
+    ) -> Result<Outcome, SimError> {
         let p = self.p;
-        let ctx = BuildCtx { p, logp: self.logp, seed: self.seed };
+        let ctx = BuildCtx {
+            p,
+            logp: self.logp,
+            seed: self.seed,
+        };
         let mut procs: Vec<Box<dyn Process>> = factory.build(&ctx)?;
         assert_eq!(procs.len(), p as usize, "factory must build P processes");
 
         let o = self.logp.o();
         let wire = self.logp.o() + self.logp.l(); // send start → arrival
-        let tracing = self.record_trace || force_trace;
-        let mut trace = tracing.then(Trace::default);
+        let observing = sink.enabled();
+        // Ranks whose Colored event has been emitted (observed runs only).
+        let mut colored_seen = vec![false; if observing { p as usize } else { 0 }];
+
+        if observing {
+            sink.emit(&ObsEvent::sim(
+                Time::ZERO,
+                ObsEventKind::PhaseBegin {
+                    name: phases::BROADCAST.into(),
+                },
+            ));
+            // The root (and any pre-colored rank) is colored at t = 0.
+            for r in 0..p {
+                if let Some(via) = procs[r as usize].colored_via() {
+                    colored_seen[r as usize] = true;
+                    sink.emit(&ObsEvent::sim(
+                        Time::ZERO,
+                        ObsEventKind::Colored { rank: r, via },
+                    ));
+                }
+            }
+        }
 
         let mut heap: BinaryHeap<Reverse<Event>> = BinaryHeap::new();
         let mut seq: u64 = 0;
@@ -221,7 +254,12 @@ impl Simulation {
                         rank: Rank,
                         kind: EventKind| {
             *seq += 1;
-            heap.push(Reverse(Event { time, seq: *seq, rank, kind }));
+            heap.push(Reverse(Event {
+                time,
+                seq: *seq,
+                rank,
+                kind,
+            }));
         };
 
         // Per-rank driver state.
@@ -245,32 +283,36 @@ impl Simulation {
         while let Some(Reverse(ev)) = heap.pop() {
             events += 1;
             if events > self.max_events {
-                return Err(SimError::EventLimitExceeded { limit: self.max_events });
+                return Err(SimError::EventLimitExceeded {
+                    limit: self.max_events,
+                });
             }
             let now = ev.time;
             let r = ev.rank;
             match ev.kind {
                 EventKind::Arrive { from, payload } => {
                     if self.faults.is_failed(r) {
-                        if let Some(t) = trace.as_mut() {
-                            t.events.push(TraceEvent {
-                                time: now,
-                                kind: TraceKind::DropDead,
-                                from,
-                                to: r,
-                                payload,
-                            });
+                        if observing {
+                            sink.emit(&ObsEvent::sim(
+                                now,
+                                ObsEventKind::DropDead {
+                                    from,
+                                    to: r,
+                                    payload,
+                                },
+                            ));
                         }
                         continue;
                     }
-                    if let Some(t) = trace.as_mut() {
-                        t.events.push(TraceEvent {
-                            time: now,
-                            kind: TraceKind::Arrive,
-                            from,
-                            to: r,
-                            payload,
-                        });
+                    if observing {
+                        sink.emit(&ObsEvent::sim(
+                            now,
+                            ObsEventKind::Arrive {
+                                from,
+                                to: r,
+                                payload,
+                            },
+                        ));
                     }
                     recv_queue[r as usize].push_back((from, payload));
                     if !recv_busy[r as usize] {
@@ -282,17 +324,24 @@ impl Simulation {
                     let (from, payload) = recv_queue[r as usize]
                         .pop_front()
                         .expect("RecvDone implies a queued message");
-                    if let Some(t) = trace.as_mut() {
-                        t.events.push(TraceEvent {
-                            time: now,
-                            kind: TraceKind::Deliver,
-                            from,
-                            to: r,
-                            payload,
-                        });
+                    if observing {
+                        sink.emit(&ObsEvent::sim(
+                            now,
+                            ObsEventKind::Deliver {
+                                from,
+                                to: r,
+                                payload,
+                            },
+                        ));
                     }
                     quiescence = quiescence.max(now);
                     procs[r as usize].on_message(from, payload, now);
+                    if observing && !colored_seen[r as usize] {
+                        if let Some(via) = procs[r as usize].colored_via() {
+                            colored_seen[r as usize] = true;
+                            sink.emit(&ObsEvent::sim(now, ObsEventKind::Colored { rank: r, via }));
+                        }
+                    }
                     // Delivery may have unblocked sends.
                     done[r as usize] = false;
                     if send_busy_until[r as usize] <= now {
@@ -307,7 +356,8 @@ impl Simulation {
                             &mut sent_per_rank,
                             &mut messages,
                             &mut quiescence,
-                            &mut trace,
+                            observing,
+                            sink,
                             wire,
                             o,
                             &mut push,
@@ -334,13 +384,23 @@ impl Simulation {
                         &mut sent_per_rank,
                         &mut messages,
                         &mut quiescence,
-                        &mut trace,
+                        observing,
+                        sink,
                         wire,
                         o,
                         &mut push,
                     )?;
                 }
             }
+        }
+
+        if observing {
+            sink.emit(&ObsEvent::sim(
+                quiescence,
+                ObsEventKind::PhaseEnd {
+                    name: phases::BROADCAST.into(),
+                },
+            ));
         }
 
         let colored_at: Vec<Option<Time>> = procs.iter().map(|p| p.colored_at()).collect();
@@ -365,7 +425,7 @@ impl Simulation {
             quiescence,
             events,
         };
-        Ok((outcome, trace))
+        Ok(outcome)
     }
 
     /// Poll `r`'s protocol while its sender port is free; schedules at
@@ -383,7 +443,8 @@ impl Simulation {
         sent_per_rank: &mut [u32],
         messages: &mut MessageCounts,
         quiescence: &mut Time,
-        trace: &mut Option<Trace>,
+        observing: bool,
+        sink: &mut dyn EventSink,
         wire: u64,
         o: u64,
         push: &mut impl FnMut(&mut BinaryHeap<Reverse<Event>>, &mut u64, Time, Rank, EventKind),
@@ -398,20 +459,27 @@ impl Simulation {
                     Payload::Correction => messages.correction += 1,
                     Payload::Ack => messages.ack += 1,
                 }
-                if let Some(t) = trace.as_mut() {
-                    t.events.push(TraceEvent {
-                        time: now,
-                        kind: TraceKind::SendStart,
-                        from: r,
-                        to,
-                        payload,
-                    });
+                if observing {
+                    sink.emit(&ObsEvent::sim(
+                        now,
+                        ObsEventKind::SendStart {
+                            from: r,
+                            to,
+                            payload,
+                        },
+                    ));
                 }
                 send_busy_until[r as usize] = now + o;
                 *quiescence = (*quiescence).max(now + o);
                 push(heap, seq, now + o, r, EventKind::SenderFree);
                 // The wire delivers even to dead processes; they drop it.
-                push(heap, seq, now + wire, to, EventKind::Arrive { from: r, payload });
+                push(
+                    heap,
+                    seq,
+                    now + wire,
+                    to,
+                    EventKind::Arrive { from: r, payload },
+                );
             }
             SendPoll::WaitUntil(at) => {
                 if at <= now {
@@ -469,6 +537,7 @@ impl SimulationBuilder {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::trace::TraceKind;
     use ct_core::correction::CorrectionKind;
     use ct_core::protocol::BroadcastSpec;
     use ct_core::tree::TreeKind;
@@ -492,8 +561,12 @@ mod tests {
     fn simulated_schedule_matches_analytic_schedule() {
         // The engine's fault-free dissemination must equal the closed
         // form in ct-core::tree::schedule for every rank.
-        for kind in [TreeKind::BINOMIAL, TreeKind::LAME2, TreeKind::OPTIMAL, TreeKind::FOUR_ARY]
-        {
+        for kind in [
+            TreeKind::BINOMIAL,
+            TreeKind::LAME2,
+            TreeKind::OPTIMAL,
+            TreeKind::FOUR_ARY,
+        ] {
             let p = 100;
             let logp = LogP::PAPER;
             let tree = kind.build(p, &logp).unwrap();
@@ -535,7 +608,11 @@ mod tests {
             .build()
             .run(&spec)
             .unwrap();
-        assert!(out.all_live_colored(), "uncolored: {:?}", out.uncolored_live());
+        assert!(
+            out.all_live_colored(),
+            "uncolored: {:?}",
+            out.uncolored_live()
+        );
         assert!(out.correction_colored() > 0);
     }
 
@@ -550,13 +627,16 @@ mod tests {
             .build()
             .run(&spec)
             .unwrap();
-        assert!(out.all_live_colored(), "uncolored: {:?}", out.uncolored_live());
+        assert!(
+            out.all_live_colored(),
+            "uncolored: {:?}",
+            out.uncolored_live()
+        );
     }
 
     #[test]
     fn quiescence_is_at_least_coloring_latency() {
-        let spec =
-            BroadcastSpec::corrected_tree_sync(TreeKind::LAME2, CorrectionKind::Checked);
+        let spec = BroadcastSpec::corrected_tree_sync(TreeKind::LAME2, CorrectionKind::Checked);
         let out = sim(128).run(&spec).unwrap();
         assert!(out.quiescence >= out.coloring_latency);
     }
@@ -595,9 +675,7 @@ mod tests {
             let deliver = trace
                 .events
                 .iter()
-                .find(|e| {
-                    e.kind == TraceKind::Deliver && e.from == s.from && e.to == s.to
-                })
+                .find(|e| e.kind == TraceKind::Deliver && e.from == s.from && e.to == s.to)
                 .expect("fault-free: every send is delivered");
             assert_eq!(deliver.time, s.time + LogP::PAPER.transit_steps());
         }
@@ -610,7 +688,10 @@ mod tests {
             .max_events(10)
             .build()
             .run(&spec);
-        assert!(matches!(err, Err(SimError::EventLimitExceeded { limit: 10 })));
+        assert!(matches!(
+            err,
+            Err(SimError::EventLimitExceeded { limit: 10 })
+        ));
     }
 
     #[test]

@@ -44,8 +44,14 @@ impl fmt::Display for FaultError {
         match self {
             FaultError::RootMustLive => write!(f, "rank 0 (the root) cannot fail"),
             FaultError::RankOutOfRange(r) => write!(f, "rank {r} out of range"),
-            FaultError::TooManyFaults { requested, available } => {
-                write!(f, "{requested} faults requested but only {available} non-root processes")
+            FaultError::TooManyFaults {
+                requested,
+                available,
+            } => {
+                write!(
+                    f,
+                    "{requested} faults requested but only {available} non-root processes"
+                )
             }
         }
     }
@@ -56,7 +62,10 @@ impl std::error::Error for FaultError {}
 impl FaultPlan {
     /// No failures.
     pub fn none(p: u32) -> FaultPlan {
-        FaultPlan { failed: vec![false; p as usize], count: 0 }
+        FaultPlan {
+            failed: vec![false; p as usize],
+            count: 0,
+        }
     }
 
     /// Fail exactly the listed ranks; the broadcast root (rank 0) is
@@ -108,13 +117,20 @@ impl FaultPlan {
         assert!(protected < p, "protected rank out of range");
         let available = p.saturating_sub(1);
         if n > available {
-            return Err(FaultError::TooManyFaults { requested: n, available });
+            return Err(FaultError::TooManyFaults {
+                requested: n,
+                available,
+            });
         }
         let mut rng = StdRng::seed_from_u64(seed);
         let mut failed = vec![false; p as usize];
         // Sample from 0..p-1, skipping over the protected rank.
         for idx in sample(&mut rng, available as usize, n as usize) {
-            let r = if (idx as u32) < protected { idx as u32 } else { idx as u32 + 1 };
+            let r = if (idx as u32) < protected {
+                idx as u32
+            } else {
+                idx as u32 + 1
+            };
             failed[r as usize] = true;
         }
         Ok(FaultPlan { failed, count: n })
@@ -136,7 +152,10 @@ impl FaultPlan {
         let protected_node = protected / node_size;
         let available = total_nodes.saturating_sub(1);
         if n_nodes > available {
-            return Err(FaultError::TooManyFaults { requested: n_nodes, available });
+            return Err(FaultError::TooManyFaults {
+                requested: n_nodes,
+                available,
+            });
         }
         let mut rng = StdRng::seed_from_u64(seed);
         let mut failed = vec![false; p as usize];
@@ -208,7 +227,10 @@ mod tests {
 
     #[test]
     fn from_ranks_rejects_root_and_out_of_range() {
-        assert_eq!(FaultPlan::from_ranks(8, &[0]), Err(FaultError::RootMustLive));
+        assert_eq!(
+            FaultPlan::from_ranks(8, &[0]),
+            Err(FaultError::RootMustLive)
+        );
         assert_eq!(
             FaultPlan::from_ranks(8, &[9]),
             Err(FaultError::RankOutOfRange(9))
@@ -245,7 +267,10 @@ mod tests {
     fn random_count_rejects_excess() {
         assert_eq!(
             FaultPlan::random_count(4, 4, 0),
-            Err(FaultError::TooManyFaults { requested: 4, available: 3 })
+            Err(FaultError::TooManyFaults {
+                requested: 4,
+                available: 3
+            })
         );
         assert!(FaultPlan::random_count(4, 3, 0).is_ok());
     }
@@ -288,7 +313,10 @@ mod tests {
     fn node_blocks_rejects_excess_nodes() {
         assert_eq!(
             FaultPlan::node_blocks(16, 4, 4, 0, 0),
-            Err(FaultError::TooManyFaults { requested: 4, available: 3 })
+            Err(FaultError::TooManyFaults {
+                requested: 4,
+                available: 3
+            })
         );
     }
 

@@ -118,7 +118,12 @@ mod tests {
             label: "test".into(),
             p: 4,
             seed: 0,
-            colored_at: vec![Some(Time::ZERO), Some(Time::new(4)), None, Some(Time::new(6))],
+            colored_at: vec![
+                Some(Time::ZERO),
+                Some(Time::new(4)),
+                None,
+                Some(Time::new(6)),
+            ],
             colored_via: vec![
                 Some(ColoredVia::Root),
                 Some(ColoredVia::Dissemination),
@@ -126,7 +131,12 @@ mod tests {
                 Some(ColoredVia::Correction),
             ],
             failed: vec![false, false, true, false],
-            messages: MessageCounts { tree: 3, gossip: 0, correction: 2, ack: 0 },
+            messages: MessageCounts {
+                tree: 3,
+                gossip: 0,
+                correction: 2,
+                ack: 0,
+            },
             sent_per_rank: vec![3, 2, 0, 0],
             coloring_latency: Time::new(6),
             quiescence: Time::new(9),

@@ -61,6 +61,31 @@ pub struct Trace {
 }
 
 impl Trace {
+    /// Project an observability event stream down to the classic
+    /// message-level trace: `send`/`arrive`/`deliver`/`drop` events are
+    /// kept; coloring and phase-span events are dropped.
+    pub fn from_events(events: &[ct_obs::Event]) -> Trace {
+        use ct_obs::EventKind as Ek;
+        let mut trace = Trace::default();
+        for e in events {
+            let (kind, from, to, payload) = match e.kind {
+                Ek::SendStart { from, to, payload } => (TraceKind::SendStart, from, to, payload),
+                Ek::Arrive { from, to, payload } => (TraceKind::Arrive, from, to, payload),
+                Ek::Deliver { from, to, payload } => (TraceKind::Deliver, from, to, payload),
+                Ek::DropDead { from, to, payload } => (TraceKind::DropDead, from, to, payload),
+                Ek::Colored { .. } | Ek::PhaseBegin { .. } | Ek::PhaseEnd { .. } => continue,
+            };
+            trace.events.push(TraceEvent {
+                time: e.time,
+                kind,
+                from,
+                to,
+                payload,
+            });
+        }
+        trace
+    }
+
     /// Events involving `rank` (as sender or receiver).
     pub fn for_rank(&self, rank: Rank) -> Vec<&TraceEvent> {
         self.events
@@ -97,9 +122,17 @@ impl Trace {
                     }
                 }
                 TraceKind::Deliver => {
+                    // Delivery time marks the *end* of processing: the
+                    // receive slot occupies [t − o, t). Slots that would
+                    // precede t = 0 are skipped, not clamped — clamping
+                    // would pile every early mark onto column 0 and
+                    // overwrite same-rank S cells there.
                     for dt in 0..o as usize {
-                        // Delivery time marks the *end* of processing.
-                        let t = (e.time.steps() as usize).saturating_sub(dt + 1);
+                        let steps = e.time.steps() as usize;
+                        if steps < dt + 1 {
+                            continue;
+                        }
+                        let t = steps - (dt + 1);
                         if t < horizon {
                             rows[e.to as usize][t] = b'R';
                         }
@@ -123,7 +156,13 @@ mod tests {
     use super::*;
 
     fn ev(time: u64, kind: TraceKind, from: Rank, to: Rank) -> TraceEvent {
-        TraceEvent { time: Time::new(time), kind, from, to, payload: Payload::Tree }
+        TraceEvent {
+            time: Time::new(time),
+            kind,
+            from,
+            to,
+            payload: Payload::Tree,
+        }
     }
 
     #[test]
@@ -154,6 +193,75 @@ mod tests {
         let lines: Vec<&str> = art.lines().collect();
         assert!(lines[0].contains('S'));
         assert!(lines[1].contains('R'));
+    }
+
+    #[test]
+    fn ascii_timeline_golden_string() {
+        // A delivery whose receive slot would precede t = 0 must be
+        // skipped, not clamped onto column 0 — clamping used to
+        // overwrite the S of a send happening there.
+        let trace = Trace {
+            events: vec![
+                ev(0, TraceKind::SendStart, 0, 1),
+                ev(0, TraceKind::Deliver, 1, 0), // slot [−1, 0): off-canvas
+                ev(3, TraceKind::Deliver, 0, 1), // slot [2, 3)
+            ],
+        };
+        assert_eq!(trace.ascii_timeline(2, 1), "    0 |S...\n    1 |..R.\n");
+    }
+
+    #[test]
+    fn ascii_timeline_wide_overhead_skips_precanvas_slots() {
+        // o = 2: a delivery at t = 1 occupies [−1, 1); only the slot at
+        // column 0 exists. The old clamp marked column 0 twice (harmless)
+        // but also invented marks for deliveries at t = 0.
+        let trace = Trace {
+            events: vec![
+                ev(1, TraceKind::Deliver, 1, 0),
+                ev(0, TraceKind::Deliver, 1, 1),
+            ],
+        };
+        assert_eq!(trace.ascii_timeline(2, 2), "    0 |R..\n    1 |...\n");
+    }
+
+    #[test]
+    fn from_events_keeps_message_events_only() {
+        use ct_obs::{Event, EventKind};
+        let events = vec![
+            Event::sim(
+                Time::ZERO,
+                EventKind::PhaseBegin {
+                    name: "broadcast".into(),
+                },
+            ),
+            Event::sim(
+                Time::ZERO,
+                EventKind::SendStart {
+                    from: 0,
+                    to: 1,
+                    payload: Payload::Tree,
+                },
+            ),
+            Event::sim(
+                Time::new(4),
+                EventKind::Colored {
+                    rank: 1,
+                    via: ct_core::protocol::ColoredVia::Dissemination,
+                },
+            ),
+            Event::sim(
+                Time::new(4),
+                EventKind::Deliver {
+                    from: 0,
+                    to: 1,
+                    payload: Payload::Tree,
+                },
+            ),
+        ];
+        let trace = Trace::from_events(&events);
+        assert_eq!(trace.events.len(), 2);
+        assert_eq!(trace.events[0].kind, TraceKind::SendStart);
+        assert_eq!(trace.events[1].kind, TraceKind::Deliver);
     }
 
     #[test]

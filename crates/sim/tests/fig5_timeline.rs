@@ -16,7 +16,10 @@ fn figure5_lame3_simulated_coloring_matches_growth_times() {
     // iteration counter then *is* simulated time.
     let logp = LogP::FIG5;
     let p = 9u32;
-    let spec = BroadcastSpec::plain_tree(TreeKind::Lame { k: 3, order: Ordering::Interleaved });
+    let spec = BroadcastSpec::plain_tree(TreeKind::Lame {
+        k: 3,
+        order: Ordering::Interleaved,
+    });
     let out = Simulation::builder(p, logp).build().run(&spec).unwrap();
     let expected = creation_times(p, Growth::lame(3));
     for (r, &t) in expected.iter().enumerate() {

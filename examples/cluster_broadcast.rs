@@ -26,11 +26,16 @@ fn main() {
     );
 
     println!("running OSU-style broadcast benchmarks on {p} worker threads…\n");
-    println!("{:<34} {:>11} {:>11} {:>11}", "variant", "median(µs)", "p25(µs)", "p75(µs)");
+    println!(
+        "{:<34} {:>11} {:>11} {:>11}",
+        "variant", "median(µs)", "p25(µs)", "p75(µs)"
+    );
 
     let fault_free = BenchConfig::new(p).with_iterations(5, 20);
-    for (name, spec) in [("binomial (no correction)", &native), ("corrected binomial d=2", &corrected)]
-    {
+    for (name, spec) in [
+        ("binomial (no correction)", &native),
+        ("corrected binomial d=2", &corrected),
+    ] {
         let r = harness::run_bench(spec, logp, &fault_free).expect("bench");
         assert_eq!(r.incomplete, 0);
         println!(

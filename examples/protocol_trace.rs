@@ -16,7 +16,10 @@ use corrected_trees::sim::{FaultPlan, Simulation};
 fn main() {
     let p = 9;
     let logp = LogP::FIG5; // L = o = 1 ⇒ Lamé k=3 is optimal (Figure 5)
-    let lame3 = TreeKind::Lame { k: 3, order: Ordering::Interleaved };
+    let lame3 = TreeKind::Lame {
+        k: 3,
+        order: Ordering::Interleaved,
+    };
 
     println!("=== Figure 5: fault-free Lamé k=3 dissemination, P=9 ===\n");
     let spec = BroadcastSpec::plain_tree(lame3);

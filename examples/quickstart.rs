@@ -7,9 +7,9 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use corrected_trees::prelude::*;
 use corrected_trees::core::correction::CorrectionKind as Correction;
 use corrected_trees::core::tree::Ordering;
+use corrected_trees::prelude::*;
 
 fn main() {
     let p = 1024;
@@ -18,7 +18,9 @@ fn main() {
     // 1. Pick a broadcast variant: interleaved binomial dissemination
     //    followed by optimized opportunistic correction.
     let spec = BroadcastSpec::corrected_tree(
-        TreeKind::Binomial { order: Ordering::Interleaved },
+        TreeKind::Binomial {
+            order: Ordering::Interleaved,
+        },
         Correction::OpportunisticOptimized { distance: 4 },
     );
 

@@ -38,9 +38,11 @@ fn main() {
 
     // The interleaving is what makes replication effective: on an
     // in-order tree the orphaned block's replicas land on other orphans.
-    let in_order = TreeKind::Binomial { order: Ordering::InOrder }
-        .build(p, &logp)
-        .expect("valid tree");
+    let in_order = TreeKind::Binomial {
+        order: Ordering::InOrder,
+    }
+    .build(p, &logp)
+    .expect("valid tree");
     let mut one_fault = vec![false; p as usize];
     one_fault[1] = true; // a root child: orphans a big subtree
     let io = reduce::simulate(&in_order, 2, &one_fault, &logp);

@@ -7,9 +7,7 @@
 //!
 //! Run with: `cargo run --release --example tree_explorer`
 
-use corrected_trees::core::tree::{
-    interleaving, ring, stats, Ordering, Topology, TreeKind,
-};
+use corrected_trees::core::tree::{interleaving, ring, stats, Ordering, Topology, TreeKind};
 use corrected_trees::logp::LogP;
 
 fn draw(kind: TreeKind, p: u32, logp: &LogP) {
@@ -51,11 +49,23 @@ fn main() {
     let logp = LogP::PAPER;
 
     for kind in [
-        TreeKind::Binomial { order: Ordering::Interleaved },
-        TreeKind::Binomial { order: Ordering::InOrder },
-        TreeKind::Kary { k: 2, order: Ordering::Interleaved },
-        TreeKind::Lame { k: 3, order: Ordering::Interleaved },
-        TreeKind::Optimal { order: Ordering::Interleaved },
+        TreeKind::Binomial {
+            order: Ordering::Interleaved,
+        },
+        TreeKind::Binomial {
+            order: Ordering::InOrder,
+        },
+        TreeKind::Kary {
+            k: 2,
+            order: Ordering::Interleaved,
+        },
+        TreeKind::Lame {
+            k: 3,
+            order: Ordering::Interleaved,
+        },
+        TreeKind::Optimal {
+            order: Ordering::Interleaved,
+        },
     ] {
         draw(kind, 16, &logp);
     }
@@ -63,13 +73,17 @@ fn main() {
     println!("\n=== Figure 1: one failure, two numbering schemes (P=64) ===");
     // Fail an inner node near the root: rank 1 heads a big subtree.
     gaps_after_failure(
-        TreeKind::Binomial { order: Ordering::InOrder },
+        TreeKind::Binomial {
+            order: Ordering::InOrder,
+        },
         64,
         1,
         &logp,
     );
     gaps_after_failure(
-        TreeKind::Binomial { order: Ordering::Interleaved },
+        TreeKind::Binomial {
+            order: Ordering::Interleaved,
+        },
         64,
         1,
         &logp,

@@ -1,0 +1,238 @@
+//! Vendored stand-in for `criterion` (API-compatible subset).
+//!
+//! The build environment has no network access, so this crate keeps the
+//! workspace's `cargo bench` targets compiling and running: it measures
+//! each benchmark with plain wall-clock timing (median of per-iteration
+//! means over a few samples) and prints one line per benchmark. No
+//! statistical analysis, plots or HTML reports.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier — prevents the optimizer from deleting a
+/// benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Benchmark identifier: a function name plus an optional parameter.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            name: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// Parameter-only id (the group name is the prefix).
+    pub fn from_parameter(parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+/// Things accepted as a benchmark id by [`BenchmarkGroup::bench_function`].
+pub trait IntoBenchmarkId {
+    /// Render to the printed id.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.name
+    }
+}
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_owned()
+    }
+}
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// Throughput annotation (accepted, currently not printed).
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Bytes per second, decimal multiples.
+    BytesDecimal(u64),
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    /// Mean per-iteration time of the best sample, filled by `iter`.
+    best: Duration,
+    samples: usize,
+    measurement_time: Duration,
+}
+
+impl Bencher {
+    /// Run `f` repeatedly and record its mean per-iteration time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // One calibration call (also serves as warm-up).
+        let t0 = Instant::now();
+        black_box(f());
+        let once = t0.elapsed().max(Duration::from_nanos(1));
+        // Aim each sample at ~1/samples of the measurement budget.
+        let per_sample = self.measurement_time / self.samples as u32;
+        let iters = (per_sample.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u32;
+        let mut best = Duration::MAX;
+        for _ in 0..self.samples {
+            let t = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            let mean = t.elapsed() / iters;
+            best = best.min(mean);
+        }
+        self.best = best;
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    _criterion: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timing samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Total measurement budget per benchmark.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Warm-up budget (accepted; warm-up here is the calibration call).
+    pub fn warm_up_time(&mut self, _t: Duration) -> &mut Self {
+        self
+    }
+
+    /// Record throughput for subsequent benchmarks (accepted, unused).
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            best: Duration::ZERO,
+            samples: self.sample_size.min(10),
+            measurement_time: self.measurement_time,
+        };
+        f(&mut b);
+        println!(
+            "{}/{:<40} {:>12.3} µs/iter",
+            self.name,
+            id.into_id(),
+            b.best.as_secs_f64() * 1e6
+        );
+        self
+    }
+
+    /// Run one benchmark parameterized by `input`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// End the group (no-op; exists for API parity).
+    pub fn finish(self) {}
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Start a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+            measurement_time: Duration::from_secs(2),
+            _criterion: self,
+        }
+    }
+
+    /// Run a standalone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.benchmark_group("bench").bench_function(id, f);
+        self
+    }
+}
+
+/// Collect benchmark functions into one runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Generate `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groups_and_benches_run() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(2);
+        group.measurement_time(Duration::from_millis(10));
+        let mut runs = 0u64;
+        group.bench_function("count", |b| {
+            b.iter(|| {
+                runs += 1;
+                black_box(runs)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("with_input", 7), &7u64, |b, &x| {
+            b.iter(|| black_box(x * 2))
+        });
+        group.finish();
+        assert!(runs > 0);
+    }
+}

@@ -1,0 +1,241 @@
+//! Vendored stand-in for the `crossbeam` crate (API-compatible subset).
+//!
+//! Only [`channel`] is provided — an unbounded MPMC channel built on
+//! `std::sync::{Mutex, Condvar}`. Unlike `std::sync::mpsc`, senders are
+//! `Sync` (the cluster runtime shares `Arc<Vec<Sender<_>>>` across
+//! worker threads) and disconnect tracking works from both ends.
+
+#![forbid(unsafe_code)]
+
+/// Unbounded MPMC channels (subset of `crossbeam::channel`).
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::{Arc, Condvar, Mutex};
+    use std::time::{Duration, Instant};
+
+    struct Shared<T> {
+        queue: Mutex<VecDeque<T>>,
+        ready: Condvar,
+        senders: AtomicUsize,
+        receivers: AtomicUsize,
+    }
+
+    /// The sending half; clonable and shareable across threads.
+    pub struct Sender<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// The receiving half; clonable (MPMC) and movable across threads.
+    pub struct Receiver<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// Error returned by [`Sender::send`] when all receivers are gone.
+    #[derive(PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> std::fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            // As upstream: the payload may not be Debug; elide it.
+            f.write_str("SendError(..)")
+        }
+    }
+
+    /// Error returned by [`Receiver::recv`].
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Error returned by [`Receiver::recv_timeout`].
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// The deadline passed with no message.
+        Timeout,
+        /// All senders disconnected and the queue is drained.
+        Disconnected,
+    }
+
+    /// Create an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(VecDeque::new()),
+            ready: Condvar::new(),
+            senders: AtomicUsize::new(1),
+            receivers: AtomicUsize::new(1),
+        });
+        (
+            Sender {
+                shared: Arc::clone(&shared),
+            },
+            Receiver { shared },
+        )
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.shared.senders.fetch_add(1, Ordering::Relaxed);
+            Sender {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            if self.shared.senders.fetch_sub(1, Ordering::AcqRel) == 1 {
+                // Last sender: wake blocked receivers so they observe
+                // the disconnect.
+                let _guard = self.shared.queue.lock().expect("channel poisoned");
+                self.shared.ready.notify_all();
+            }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.shared.receivers.fetch_add(1, Ordering::Relaxed);
+            Receiver {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            self.shared.receivers.fetch_sub(1, Ordering::AcqRel);
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Enqueue `msg`; fails only when every receiver is gone.
+        pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+            if self.shared.receivers.load(Ordering::Acquire) == 0 {
+                return Err(SendError(msg));
+            }
+            let mut queue = self.shared.queue.lock().expect("channel poisoned");
+            queue.push_back(msg);
+            drop(queue);
+            self.shared.ready.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Receiver<T> {
+        fn disconnected(&self) -> bool {
+            self.shared.senders.load(Ordering::Acquire) == 0
+        }
+
+        /// Block until a message arrives or all senders disconnect.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut queue = self.shared.queue.lock().expect("channel poisoned");
+            loop {
+                if let Some(msg) = queue.pop_front() {
+                    return Ok(msg);
+                }
+                if self.disconnected() {
+                    return Err(RecvError);
+                }
+                queue = self.shared.ready.wait(queue).expect("channel poisoned");
+            }
+        }
+
+        /// Block up to `timeout` for a message.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = Instant::now() + timeout;
+            let mut queue = self.shared.queue.lock().expect("channel poisoned");
+            loop {
+                if let Some(msg) = queue.pop_front() {
+                    return Ok(msg);
+                }
+                if self.disconnected() {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let remaining = deadline.saturating_duration_since(Instant::now());
+                if remaining.is_zero() {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+                let (guard, result) = self
+                    .shared
+                    .ready
+                    .wait_timeout(queue, remaining)
+                    .expect("channel poisoned");
+                queue = guard;
+                if result.timed_out() && queue.is_empty() {
+                    return if self.disconnected() {
+                        Err(RecvTimeoutError::Disconnected)
+                    } else {
+                        Err(RecvTimeoutError::Timeout)
+                    };
+                }
+            }
+        }
+
+        /// Non-blocking drain of one message, if present.
+        pub fn try_recv(&self) -> Option<T> {
+            self.shared
+                .queue
+                .lock()
+                .expect("channel poisoned")
+                .pop_front()
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+        use std::time::Duration;
+
+        #[test]
+        fn send_recv_roundtrip_across_threads() {
+            let (tx, rx) = unbounded::<u32>();
+            let tx2 = tx.clone();
+            let h = std::thread::spawn(move || {
+                for i in 0..100 {
+                    tx2.send(i).unwrap();
+                }
+            });
+            let mut got = Vec::new();
+            for _ in 0..100 {
+                got.push(rx.recv().unwrap());
+            }
+            h.join().unwrap();
+            assert_eq!(got, (0..100).collect::<Vec<_>>());
+        }
+
+        #[test]
+        fn timeout_fires_and_disconnect_is_detected() {
+            let (tx, rx) = unbounded::<u32>();
+            assert_eq!(
+                rx.recv_timeout(Duration::from_millis(10)),
+                Err(RecvTimeoutError::Timeout)
+            );
+            drop(tx);
+            assert_eq!(
+                rx.recv_timeout(Duration::from_millis(10)),
+                Err(RecvTimeoutError::Disconnected)
+            );
+        }
+
+        #[test]
+        fn senders_are_shareable_by_reference() {
+            let (tx, rx) = unbounded::<u32>();
+            let txs = std::sync::Arc::new(vec![tx]);
+            std::thread::scope(|s| {
+                for i in 0..8u32 {
+                    let txs = std::sync::Arc::clone(&txs);
+                    s.spawn(move || txs[0].send(i).unwrap());
+                }
+            });
+            let mut got: Vec<u32> = (0..8).map(|_| rx.recv().unwrap()).collect();
+            got.sort_unstable();
+            assert_eq!(got, (0..8).collect::<Vec<_>>());
+        }
+
+        #[test]
+        fn send_fails_after_all_receivers_drop() {
+            let (tx, rx) = unbounded::<u32>();
+            drop(rx);
+            assert_eq!(tx.send(5), Err(SendError(5)));
+        }
+    }
+}

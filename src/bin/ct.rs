@@ -5,6 +5,8 @@
 //!            --p 1024 --faults 5 --seed 7 [--trace] [--logp L=2,o=1]
 //! $ ct tree  --tree lame2 --p 16            # print topology + stats
 //! $ ct sweep --tree optimal --correction opp4 --p 4096 --rate 0.02 --reps 50
+//! $ ct trace --tree binomial --correction opp2 --p 16 --faults 1 \
+//!            --format ascii|jsonl|chrome    # event-stream visualisation
 //! ```
 //!
 //! Everything the subcommands do is also available as library API; the
@@ -16,11 +18,12 @@ use corrected_trees::core::correction::CorrectionKind;
 use corrected_trees::core::protocol::BroadcastSpec;
 use corrected_trees::core::tree::{interleaving, stats, Ordering, Topology, TreeKind};
 use corrected_trees::logp::LogP;
-use corrected_trees::sim::{FaultPlan, Simulation};
+use corrected_trees::obs::{chrome_trace, VecSink};
+use corrected_trees::sim::{FaultPlan, Simulation, Trace};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: ct <run|tree|sweep> [options]\n\
+        "usage: ct <run|tree|sweep|trace> [options]\n\
          \n\
          common options:\n\
            --tree <binomial|binomial-inorder|kary<K>|lame<K>|optimal>  (default binomial)\n\
@@ -36,7 +39,12 @@ fn usage() -> ! {
            --seed <S>              run seed (default 1)\n\
            --trace                 print the full event trace\n\
          sweep options:\n\
-           --reps <N>              repetitions (default 50)"
+           --reps <N>              repetitions (default 50)\n\
+         trace options (plus all run options):\n\
+           --format <ascii|jsonl|chrome>   (default ascii)\n\
+                   ascii:  Figure-5-style sender/delivery timeline\n\
+                   jsonl:  one ct-obs event per line (stable schema)\n\
+                   chrome: chrome://tracing / Perfetto JSON document"
     );
     std::process::exit(2);
 }
@@ -79,9 +87,15 @@ fn parse_tree(s: &str) -> TreeKind {
     } else if name == "optimal" {
         TreeKind::Optimal { order }
     } else if let Some(k) = name.strip_prefix("kary") {
-        TreeKind::Kary { k: k.parse().unwrap_or_else(|_| usage()), order }
+        TreeKind::Kary {
+            k: k.parse().unwrap_or_else(|_| usage()),
+            order,
+        }
     } else if let Some(k) = name.strip_prefix("lame") {
-        TreeKind::Lame { k: k.parse().unwrap_or_else(|_| usage()), order }
+        TreeKind::Lame {
+            k: k.parse().unwrap_or_else(|_| usage()),
+            order,
+        }
     } else {
         eprintln!("unknown tree {s:?}");
         usage()
@@ -96,11 +110,17 @@ fn parse_correction(s: &str) -> CorrectionKind {
     } else if s == "failure-proof" {
         CorrectionKind::FailureProof
     } else if let Some(d) = s.strip_prefix("opp-plain") {
-        CorrectionKind::Opportunistic { distance: d.parse().unwrap_or_else(|_| usage()) }
+        CorrectionKind::Opportunistic {
+            distance: d.parse().unwrap_or_else(|_| usage()),
+        }
     } else if let Some(d) = s.strip_prefix("opp") {
-        CorrectionKind::OpportunisticOptimized { distance: d.parse().unwrap_or_else(|_| usage()) }
+        CorrectionKind::OpportunisticOptimized {
+            distance: d.parse().unwrap_or_else(|_| usage()),
+        }
     } else if let Some(t) = s.strip_prefix("delayed") {
-        CorrectionKind::Delayed { delay: t.parse().unwrap_or_else(|_| usage()) }
+        CorrectionKind::Delayed {
+            delay: t.parse().unwrap_or_else(|_| usage()),
+        }
     } else {
         eprintln!("unknown correction {s:?}");
         usage()
@@ -190,6 +210,45 @@ fn report(out: &corrected_trees::sim::Outcome, failed: &[u32]) {
     println!("max ring gap        {}", out.max_gap());
 }
 
+fn cmd_trace(cli: &Cli) {
+    let p: u32 = cli.parsed("--p", 16);
+    let logp: LogP = cli
+        .value("--logp")
+        .map(|s| s.parse().expect("valid LogP string"))
+        .unwrap_or(LogP::PAPER);
+    let seed: u64 = cli.parsed("--seed", 1);
+    let spec = build_spec(cli);
+    let plan = faults(cli, p, seed, spec.root);
+    let failed: Vec<u32> = plan.failed_ranks().collect();
+
+    let mut sink = VecSink::new();
+    let out = Simulation::builder(p, logp)
+        .faults(plan)
+        .seed(seed)
+        .build()
+        .run_with_sink(&spec, &mut sink)
+        .expect("valid configuration");
+
+    match cli.value("--format").unwrap_or("ascii") {
+        "ascii" => {
+            let trace = Trace::from_events(&sink.events);
+            print!("{}", trace.ascii_timeline(p, logp.o()));
+            println!();
+            report(&out, &failed);
+        }
+        "jsonl" => {
+            for e in &sink.events {
+                println!("{e}");
+            }
+        }
+        "chrome" => println!("{}", chrome_trace(&sink.events, logp.o())),
+        other => {
+            eprintln!("unknown trace format {other:?}");
+            usage()
+        }
+    }
+}
+
 fn cmd_tree(cli: &Cli) {
     let p: u32 = cli.parsed("--p", 16);
     let logp: LogP = cli
@@ -270,6 +329,7 @@ fn main() {
         "run" => cmd_run(&cli),
         "tree" => cmd_tree(&cli),
         "sweep" => cmd_sweep(&cli),
+        "trace" => cmd_trace(&cli),
         _ => usage(),
     }
 }

@@ -15,7 +15,9 @@
 //! * [`gossip`] — the Corrected Gossip baseline,
 //! * [`analysis`] — Lemma 2/3 bounds and statistics,
 //! * [`exp`] — the experiment campaigns behind every paper figure,
-//! * [`runtime`] — the thread-based cluster runtime (MPI stand-in).
+//! * [`runtime`] — the thread-based cluster runtime (MPI stand-in),
+//! * [`obs`] — the shared observability layer: event sinks, metrics
+//!   registry and run manifests.
 //!
 //! ## Quickstart
 //!
@@ -44,6 +46,7 @@ pub use ct_core as core;
 pub use ct_exp as exp;
 pub use ct_gossip as gossip;
 pub use ct_logp as logp;
+pub use ct_obs as obs;
 pub use ct_runtime as runtime;
 pub use ct_sim as sim;
 

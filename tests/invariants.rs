@@ -30,7 +30,9 @@ fn check_trace_laws(
                 let pos = sends
                     .iter()
                     .position(|s| {
-                        s.from == e.from && s.to == e.to && s.payload == e.payload
+                        s.from == e.from
+                            && s.to == e.to
+                            && s.payload == e.payload
                             && s.time == expect
                     })
                     .ok_or_else(|| format!("arrival without matching send: {e}"))?;
@@ -72,8 +74,7 @@ fn check_trace_laws(
     }
     for e in &trace.events {
         if e.kind == TraceKind::SendStart && e.payload.colors() {
-            let sender_colored = out.colored_at[e.from as usize]
-                .is_some_and(|t| t <= e.time);
+            let sender_colored = out.colored_at[e.from as usize].is_some_and(|t| t <= e.time);
             if !sender_colored {
                 return Err(format!("uncolored process sent a payload: {e}"));
             }

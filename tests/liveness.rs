@@ -142,7 +142,10 @@ fn opportunistic_coverage_boundary_is_exactly_2d() {
     // colored processes silent, so nothing re-seeds the gap.
     let p = 64u32;
     let d = 3u32;
-    let kind = TreeKind::Kary { k: 1, order: Ordering::Interleaved };
+    let kind = TreeKind::Kary {
+        k: 1,
+        order: Ordering::Interleaved,
+    };
     let spec =
         BroadcastSpec::corrected_tree_sync(kind, CorrectionKind::Opportunistic { distance: d });
 

@@ -44,9 +44,13 @@ fn corrected_trees_send_several_times_fewer_messages_than_gossip() {
     // corrected trees against checked gossip at a gossip time long
     // enough to be competitive on coloring.
     let p = 1 << 12;
-    let tree = Campaign::new(Variant::tree_checked_sync(TreeKind::BINOMIAL), p, LogP::PAPER)
-        .run()
-        .unwrap()[0]
+    let tree = Campaign::new(
+        Variant::tree_checked_sync(TreeKind::BINOMIAL),
+        p,
+        LogP::PAPER,
+    )
+    .run()
+    .unwrap()[0]
         .messages_per_process;
     let gossip = Campaign::new(
         Variant::gossip(12 + 30, CorrectionKind::Checked),
@@ -72,20 +76,31 @@ fn fault_free_correction_costs_exactly_the_closed_forms() {
     // independent of tree type and process count.
     let logp = LogP::PAPER;
     for p in [64u32, 512, 4096] {
-        for kind in [TreeKind::BINOMIAL, TreeKind::FOUR_ARY, TreeKind::LAME2, TreeKind::OPTIMAL]
-        {
+        for kind in [
+            TreeKind::BINOMIAL,
+            TreeKind::FOUR_ARY,
+            TreeKind::LAME2,
+            TreeKind::OPTIMAL,
+        ] {
             let tree = kind.build(p, &logp).unwrap();
             let start = tree.dissemination_deadline(&logp);
             let out = Simulation::builder(p, logp)
                 .build()
-                .run(&BroadcastSpec::corrected_tree_sync(kind, CorrectionKind::Checked))
+                .run(&BroadcastSpec::corrected_tree_sync(
+                    kind,
+                    CorrectionKind::Checked,
+                ))
                 .unwrap();
             assert_eq!(
                 out.quiescence.since(start).steps(),
                 lff_scc(&logp).steps(),
                 "{kind} P={p}"
             );
-            assert_eq!(out.messages.correction, m_scc(&logp) * p as u64, "{kind} P={p}");
+            assert_eq!(
+                out.messages.correction,
+                m_scc(&logp) * p as u64,
+                "{kind} P={p}"
+            );
         }
     }
 }

@@ -30,7 +30,10 @@ fn identical_seeds_reproduce_faulty_gossip_bit_for_bit() {
     assert_eq!(a_out.colored_at, b_out.colored_at);
     assert_eq!(a_out.messages, b_out.messages);
     assert_eq!(a_out.events, b_out.events);
-    assert_eq!(a_trace.events, b_trace.events, "full traces must be identical");
+    assert_eq!(
+        a_trace.events, b_trace.events,
+        "full traces must be identical"
+    );
 }
 
 #[test]

@@ -13,7 +13,10 @@ use proptest::prelude::*;
 fn rotated_broadcast_starts_at_the_new_root() {
     let p = 64u32;
     let spec = BroadcastSpec::plain_tree(TreeKind::BINOMIAL).with_root(17);
-    let out = Simulation::builder(p, LogP::PAPER).build().run(&spec).unwrap();
+    let out = Simulation::builder(p, LogP::PAPER)
+        .build()
+        .run(&spec)
+        .unwrap();
     assert!(out.all_live_colored());
     assert_eq!(out.colored_at[17], Some(corrected_trees::logp::Time::ZERO));
     assert!(out.colored_at[0].unwrap() > corrected_trees::logp::Time::ZERO);
@@ -44,7 +47,11 @@ fn rotation_preserves_latency_and_messages() {
 fn out_of_range_root_is_rejected() {
     use ct_core::protocol::{BuildCtx, ProtocolFactory};
     let spec = BroadcastSpec::plain_tree(TreeKind::BINOMIAL).with_root(8);
-    let ctx = BuildCtx { p: 8, logp: LogP::PAPER, seed: 0 };
+    let ctx = BuildCtx {
+        p: 8,
+        logp: LogP::PAPER,
+        seed: 0,
+    };
     assert!(spec.build(&ctx).is_err());
 }
 

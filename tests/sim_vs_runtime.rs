@@ -1,12 +1,15 @@
 //! The two drivers — LogP simulator and thread cluster — run the same
 //! protocol state machines. These tests pin down that shared-semantics
-//! contract: identical coloring outcomes and tree message counts, and
-//! correction healing the same fault patterns on both.
+//! contract at two levels: aggregate (identical coloring outcomes and
+//! tree message counts, correction healing the same fault patterns) and
+//! event-level (both drivers emit the same `ct-obs` event schema, and
+//! for deterministic protocols the same multiset of protocol events).
 
 use corrected_trees::core::correction::CorrectionKind;
-use corrected_trees::core::protocol::BroadcastSpec;
+use corrected_trees::core::protocol::{BroadcastSpec, Payload};
 use corrected_trees::core::tree::TreeKind;
 use corrected_trees::logp::LogP;
+use corrected_trees::obs::{Event, EventKind, VecSink};
 use corrected_trees::runtime::Cluster;
 use corrected_trees::sim::{FaultPlan, Simulation};
 
@@ -51,7 +54,11 @@ fn both_drivers_heal_the_same_fault_pattern() {
     }
     let mut cluster = Cluster::new(p, LogP::PAPER);
     let report = cluster.run_broadcast(&spec, &dead, 0).unwrap();
-    assert!(report.completed, "cluster uncolored: {:?}", report.uncolored);
+    assert!(
+        report.completed,
+        "cluster uncolored: {:?}",
+        report.uncolored
+    );
     assert!(report.uncolored.is_empty());
 }
 
@@ -73,6 +80,137 @@ fn plain_tree_leaves_identical_orphans_on_both_drivers() {
     let report = cluster.run_broadcast(&spec, &dead, 0).unwrap();
     assert!(!report.completed);
     assert_eq!(sim_out.uncolored_live(), report.uncolored);
+}
+
+/// The timing-independent core of an event: kind tag + endpoints +
+/// payload. Two correct drivers of a deterministic protocol must agree
+/// on the multiset of these.
+fn event_key(e: &Event) -> Option<(&'static str, u32, u32, Payload)> {
+    match e.kind {
+        EventKind::SendStart { from, to, payload } => Some(("send", from, to, payload)),
+        EventKind::Arrive { from, to, payload } => Some(("arrive", from, to, payload)),
+        EventKind::Deliver { from, to, payload } => Some(("deliver", from, to, payload)),
+        _ => None,
+    }
+}
+
+fn message_multiset(events: &[Event]) -> Vec<(&'static str, u32, u32, Payload)> {
+    let mut keys: Vec<_> = events.iter().filter_map(event_key).collect();
+    keys.sort_by_key(|&(tag, from, to, p)| (tag, from, to, format!("{p:?}")));
+    keys
+}
+
+#[test]
+fn event_streams_agree_for_deterministic_dissemination() {
+    let p = 8u32;
+    let spec = BroadcastSpec::plain_tree(TreeKind::BINOMIAL);
+
+    let mut sim_sink = VecSink::new();
+    Simulation::builder(p, LogP::PAPER)
+        .build()
+        .run_with_sink(&spec, &mut sim_sink)
+        .unwrap();
+
+    let mut cluster_sink = VecSink::new();
+    let mut cluster = Cluster::new(p, LogP::PAPER);
+    let report = cluster
+        .run_broadcast_observed(&spec, &vec![false; p as usize], 0, &mut cluster_sink)
+        .unwrap();
+    assert!(report.completed);
+
+    // Same protocol, same fault-free world: identical multisets of
+    // send/arrive/deliver events (timing and interleaving differ).
+    assert_eq!(
+        message_multiset(&sim_sink.events),
+        message_multiset(&cluster_sink.events)
+    );
+
+    // Both streams color the same ranks.
+    let colored = |events: &[Event]| {
+        let mut ranks: Vec<u32> = events
+            .iter()
+            .filter_map(|e| match e.kind {
+                EventKind::Colored { rank, .. } => Some(rank),
+                _ => None,
+            })
+            .collect();
+        ranks.sort_unstable();
+        ranks
+    };
+    assert_eq!(colored(&sim_sink.events), (0..p).collect::<Vec<_>>());
+    assert_eq!(colored(&sim_sink.events), colored(&cluster_sink.events));
+}
+
+#[test]
+fn event_schemas_are_identical_across_drivers() {
+    let p = 4u32;
+    let spec = BroadcastSpec::plain_tree(TreeKind::BINOMIAL);
+
+    let mut sim_sink = VecSink::new();
+    Simulation::builder(p, LogP::PAPER)
+        .build()
+        .run_with_sink(&spec, &mut sim_sink)
+        .unwrap();
+    let mut cluster_sink = VecSink::new();
+    let mut cluster = Cluster::new(p, LogP::PAPER);
+    cluster
+        .run_broadcast_observed(&spec, &vec![false; p as usize], 0, &mut cluster_sink)
+        .unwrap();
+
+    // JSONL field shape: strip the timestamps and the two streams use
+    // exactly the same fields and values per event kind. (The cluster
+    // stream additionally carries a `"w"` wall-clock field.)
+    let shape = |events: &[Event]| {
+        let mut lines: Vec<String> = events
+            .iter()
+            .filter(|e| event_key(e).is_some() || matches!(e.kind, EventKind::Colored { .. }))
+            .map(|e| {
+                let stripped = Event {
+                    time: corrected_trees::logp::Time::ZERO,
+                    wall_us: None,
+                    kind: e.kind.clone(),
+                };
+                stripped.to_json()
+            })
+            .collect();
+        lines.sort();
+        lines
+    };
+    assert_eq!(shape(&sim_sink.events), shape(&cluster_sink.events));
+
+    // Wall-clock stamping: never on simulator events, always on cluster
+    // protocol events.
+    assert!(sim_sink.events.iter().all(|e| e.wall_us.is_none()));
+    assert!(cluster_sink.events.iter().all(|e| e.wall_us.is_some()));
+}
+
+#[test]
+fn cluster_records_drops_at_dead_ranks() {
+    let p = 8u32;
+    let spec = BroadcastSpec::corrected_tree(
+        TreeKind::BINOMIAL,
+        CorrectionKind::OpportunisticOptimized { distance: 2 },
+    );
+    let mut dead = vec![false; p as usize];
+    dead[3] = true;
+    let mut sink = VecSink::new();
+    let mut cluster = Cluster::new(p, LogP::PAPER);
+    let report = cluster
+        .run_broadcast_observed(&spec, &dead, 0, &mut sink)
+        .unwrap();
+    assert!(report.completed, "uncolored: {:?}", report.uncolored);
+    // Dead rank 3 records drops (its parent still sends to it), and
+    // every drop names rank 3 as the receiver.
+    let drops: Vec<_> = sink
+        .events
+        .iter()
+        .filter_map(|e| match e.kind {
+            EventKind::DropDead { to, .. } => Some(to),
+            _ => None,
+        })
+        .collect();
+    assert!(!drops.is_empty());
+    assert!(drops.iter().all(|&to| to == 3));
 }
 
 #[test]
