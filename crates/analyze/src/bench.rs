@@ -1,0 +1,296 @@
+//! Perf-regression snapshots and diffing.
+//!
+//! A [`BenchSnapshot`] is a flat, named bag of numeric metrics plus
+//! string provenance, written by campaigns as `BENCH_<name>.json` and
+//! compared by `ct perf diff`. Metrics are *lower-is-better* by
+//! convention (completion times, message counts, critical-path
+//! lengths); [`PerfDiff`] flags any metric that grew by more than the
+//! configured relative threshold as a regression.
+
+use std::collections::BTreeMap;
+
+use ct_obs::json::JsonObject;
+
+use crate::value::Value;
+
+/// One named performance snapshot.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct BenchSnapshot {
+    /// Snapshot name (usually the campaign or figure it came from).
+    pub name: String,
+    /// String provenance: config, seed, git revision, …
+    pub provenance: BTreeMap<String, String>,
+    /// Flat metric bag; all values lower-is-better.
+    pub metrics: BTreeMap<String, f64>,
+}
+
+impl BenchSnapshot {
+    /// Start an empty snapshot.
+    pub fn new(name: &str) -> BenchSnapshot {
+        BenchSnapshot {
+            name: name.to_owned(),
+            ..BenchSnapshot::default()
+        }
+    }
+
+    /// Record one provenance string.
+    pub fn with_provenance(mut self, key: &str, value: &str) -> Self {
+        self.provenance.insert(key.to_owned(), value.to_owned());
+        self
+    }
+
+    /// Record one metric.
+    pub fn with_metric(mut self, key: &str, value: f64) -> Self {
+        self.metrics.insert(key.to_owned(), value);
+        self
+    }
+
+    /// Render as a stable JSON document (keys sorted).
+    pub fn to_json(&self) -> String {
+        let mut obj = JsonObject::new();
+        obj.field_str("name", &self.name);
+        let mut prov = JsonObject::new();
+        for (k, v) in &self.provenance {
+            prov.field_str(k, v);
+        }
+        obj.field_raw("provenance", &prov.finish());
+        let mut metrics = JsonObject::new();
+        for (k, v) in &self.metrics {
+            metrics.field_f64(k, *v);
+        }
+        obj.field_raw("metrics", &metrics.finish());
+        obj.finish()
+    }
+
+    /// Parse a snapshot document.
+    pub fn parse(text: &str) -> Result<BenchSnapshot, String> {
+        let v = Value::parse(text)?;
+        let name = v
+            .get("name")
+            .and_then(Value::as_str)
+            .ok_or("snapshot missing \"name\"")?
+            .to_owned();
+        let provenance = v
+            .get("provenance")
+            .map(Value::to_str_map)
+            .unwrap_or_default();
+        let metrics = v
+            .get("metrics")
+            .ok_or("snapshot missing \"metrics\"")?
+            .to_f64_map();
+        Ok(BenchSnapshot {
+            name,
+            provenance,
+            metrics,
+        })
+    }
+
+    /// Read and parse a snapshot file.
+    pub fn read(path: &std::path::Path) -> Result<BenchSnapshot, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+        BenchSnapshot::parse(&text).map_err(|e| format!("{}: {e}", path.display()))
+    }
+
+    /// Write the snapshot as pretty-stable JSON (single line + newline).
+    pub fn write(&self, path: &std::path::Path) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json() + "\n")
+    }
+}
+
+/// One metric's old→new movement.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MetricDelta {
+    /// Metric name.
+    pub key: String,
+    /// Old value (`None` when the metric is new).
+    pub old: Option<f64>,
+    /// New value (`None` when the metric disappeared).
+    pub new: Option<f64>,
+}
+
+impl MetricDelta {
+    /// Relative change `(new − old) / |old|`; `None` unless both sides
+    /// exist (an old value of exactly 0 compares by absolute change).
+    pub fn rel_change(&self) -> Option<f64> {
+        match (self.old, self.new) {
+            (Some(o), Some(n)) if o.abs() > 1e-9 => Some((n - o) / o.abs()),
+            (Some(o), Some(n)) => Some(n - o),
+            _ => None,
+        }
+    }
+
+    /// Did this metric regress (grow) beyond `threshold`?
+    pub fn regressed(&self, threshold: f64) -> bool {
+        self.rel_change().is_some_and(|c| c > threshold + 1e-9)
+    }
+
+    /// Did this metric improve (shrink) beyond `threshold`?
+    pub fn improved(&self, threshold: f64) -> bool {
+        self.rel_change().is_some_and(|c| c < -(threshold + 1e-9))
+    }
+}
+
+/// The comparison of two snapshots.
+#[derive(Clone, Debug)]
+pub struct PerfDiff {
+    /// Relative regression threshold (e.g. `0.05` = 5 %).
+    pub threshold: f64,
+    /// Every metric present on either side, name-sorted.
+    pub deltas: Vec<MetricDelta>,
+}
+
+impl PerfDiff {
+    /// Compare `old` → `new` under a relative `threshold`.
+    pub fn diff(old: &BenchSnapshot, new: &BenchSnapshot, threshold: f64) -> PerfDiff {
+        let mut keys: Vec<&String> = old.metrics.keys().chain(new.metrics.keys()).collect();
+        keys.sort();
+        keys.dedup();
+        let deltas = keys
+            .into_iter()
+            .map(|k| MetricDelta {
+                key: k.clone(),
+                old: old.metrics.get(k).copied(),
+                new: new.metrics.get(k).copied(),
+            })
+            .collect();
+        PerfDiff { threshold, deltas }
+    }
+
+    /// Metrics that regressed beyond the threshold.
+    pub fn regressions(&self) -> Vec<&MetricDelta> {
+        self.deltas
+            .iter()
+            .filter(|d| d.regressed(self.threshold))
+            .collect()
+    }
+
+    /// Metrics that improved beyond the threshold.
+    pub fn improvements(&self) -> Vec<&MetricDelta> {
+        self.deltas
+            .iter()
+            .filter(|d| d.improved(self.threshold))
+            .collect()
+    }
+
+    /// Human-readable report (the `ct perf diff` output).
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for d in &self.deltas {
+            let marker = if d.regressed(self.threshold) {
+                "REGRESSED"
+            } else if d.improved(self.threshold) {
+                "improved"
+            } else {
+                "ok"
+            };
+            let line = match (d.old, d.new) {
+                (Some(o), Some(n)) => {
+                    let pct = d.rel_change().unwrap_or(0.0) * 100.0;
+                    format!(
+                        "{:<28} {:>12.3} -> {:>12.3}  {:+7.2}%  {}",
+                        d.key, o, n, pct, marker
+                    )
+                }
+                (None, Some(n)) => {
+                    format!("{:<28} {:>12} -> {:>12.3}  {:>8}  new", d.key, "-", n, "")
+                }
+                (Some(o), None) => {
+                    format!(
+                        "{:<28} {:>12.3} -> {:>12}  {:>8}  removed",
+                        d.key, o, "-", ""
+                    )
+                }
+                (None, None) => continue,
+            };
+            out.push_str(&line);
+            out.push('\n');
+        }
+        let regs = self.regressions().len();
+        let imps = self.improvements().len();
+        out.push_str(&format!(
+            "{} metrics, {} regressions, {} improvements (threshold {:.1}%)\n",
+            self.deltas.len(),
+            regs,
+            imps,
+            self.threshold * 100.0
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snapshot(pairs: &[(&str, f64)]) -> BenchSnapshot {
+        let mut s = BenchSnapshot::new("t");
+        for (k, v) in pairs {
+            s = s.with_metric(k, *v);
+        }
+        s
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_json() {
+        let s = BenchSnapshot::new("fig6")
+            .with_provenance("variant", "binomial")
+            .with_provenance("seed0", "1")
+            .with_metric("completion_p50", 42.0)
+            .with_metric("messages_mean", 31.5);
+        let parsed = BenchSnapshot::parse(&s.to_json()).unwrap();
+        assert_eq!(parsed, s);
+        assert!(s.to_json().starts_with(r#"{"name":"fig6","provenance":{"#));
+    }
+
+    #[test]
+    fn self_diff_has_zero_regressions() {
+        let s = snapshot(&[("a", 10.0), ("b", 0.0)]);
+        let d = PerfDiff::diff(&s, &s, 0.05);
+        assert!(d.regressions().is_empty());
+        assert!(d.improvements().is_empty());
+        assert_eq!(d.deltas.len(), 2);
+    }
+
+    #[test]
+    fn growth_beyond_threshold_is_a_regression() {
+        let old = snapshot(&[("lat", 100.0), ("msgs", 50.0)]);
+        let new = snapshot(&[("lat", 109.0), ("msgs", 44.0)]);
+        let d = PerfDiff::diff(&old, &new, 0.05);
+        let regs = d.regressions();
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].key, "lat");
+        let imps = d.improvements();
+        assert_eq!(imps.len(), 1);
+        assert_eq!(imps[0].key, "msgs");
+        let text = d.render_text();
+        assert!(text.contains("REGRESSED"), "{text}");
+        assert!(text.contains("1 regressions"), "{text}");
+    }
+
+    #[test]
+    fn growth_within_threshold_is_ok() {
+        let old = snapshot(&[("lat", 100.0)]);
+        let new = snapshot(&[("lat", 104.0)]);
+        let d = PerfDiff::diff(&old, &new, 0.05);
+        assert!(d.regressions().is_empty());
+    }
+
+    #[test]
+    fn added_and_removed_metrics_are_reported_not_flagged() {
+        let old = snapshot(&[("gone", 1.0)]);
+        let new = snapshot(&[("fresh", 2.0)]);
+        let d = PerfDiff::diff(&old, &new, 0.05);
+        assert!(d.regressions().is_empty());
+        let text = d.render_text();
+        assert!(text.contains("new"), "{text}");
+        assert!(text.contains("removed"), "{text}");
+    }
+
+    #[test]
+    fn zero_baseline_compares_absolutely() {
+        let old = snapshot(&[("drops", 0.0)]);
+        let new = snapshot(&[("drops", 0.5)]);
+        let d = PerfDiff::diff(&old, &new, 0.05);
+        assert_eq!(d.regressions().len(), 1);
+    }
+}

@@ -1,0 +1,394 @@
+//! Critical-path extraction with per-segment LogP cost attribution.
+//!
+//! Starting from the completion event, repeatedly follow the
+//! latest-binding predecessor ([`crate::dag::CausalDag::binding_pred`])
+//! back to the start of the run. Each hop contributes segments
+//! classified as sender/receiver **overhead** (`o`), **wire** time
+//! (`L`), or **idle** (waits: a synchronized correction start, a
+//! `WaitUntil` repoll, sender-port slack). Segment lengths telescope,
+//! so the path length equals the completion time exactly — that
+//! identity is the analyzer's core invariant, property-tested against
+//! the simulator in `tests/`.
+//!
+//! Each segment also carries the payload of the message chain it
+//! belongs to, which yields the dissemination-phase vs
+//! correction-phase attribution of the paper's §4 latency questions:
+//! tree/gossip payloads disseminate, correction/ack payloads correct.
+
+use ct_core::protocol::Payload;
+use ct_logp::Rank;
+
+use crate::dag::{CausalDag, EdgeKind, NodeKind};
+
+/// What a critical-path segment's time was spent on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CostClass {
+    /// Sender or receiver CPU overhead (`o`).
+    Overhead,
+    /// Wire latency (`L`).
+    Wire,
+    /// Waiting: synchronized starts, protocol delays, port slack.
+    Idle,
+}
+
+impl CostClass {
+    /// Short stable label (`o` / `L` / `idle`).
+    pub fn label(self) -> &'static str {
+        match self {
+            CostClass::Overhead => "o",
+            CostClass::Wire => "L",
+            CostClass::Idle => "idle",
+        }
+    }
+}
+
+/// One contiguous span of the critical path.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Segment {
+    /// Segment start time.
+    pub start: u64,
+    /// Segment end time (`end ≥ start`).
+    pub end: u64,
+    /// What the time was spent on.
+    pub class: CostClass,
+    /// The rank where the time was spent.
+    pub rank: Rank,
+    /// The payload of the message chain this segment advances.
+    pub payload: Payload,
+}
+
+impl Segment {
+    /// Segment length.
+    pub fn len(&self) -> u64 {
+        self.end - self.start
+    }
+
+    /// Is the segment zero-length? (Zero-length segments are dropped
+    /// during extraction; this exists for the usual is_empty pairing.)
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+}
+
+/// The extracted critical path of one repetition.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CriticalPath {
+    /// Total path length — equals the run's completion time.
+    pub len: u64,
+    /// Steps attributed to send/receive overhead (`o`).
+    pub o_steps: u64,
+    /// Steps attributed to wire latency (`L`).
+    pub l_steps: u64,
+    /// Steps attributed to waiting.
+    pub idle_steps: u64,
+    /// Steps on dissemination-payload segments (tree/gossip).
+    pub diss_steps: u64,
+    /// Steps on correction-payload segments (correction/ack).
+    pub corr_steps: u64,
+    /// Message hops (wire edges) on the path.
+    pub hops: u32,
+    /// The path's segments in chronological order.
+    pub segments: Vec<Segment>,
+}
+
+impl CriticalPath {
+    /// Extract the critical path from a causal DAG.
+    pub fn extract(dag: &CausalDag) -> CriticalPath {
+        let mut segments: Vec<Segment> = Vec::new();
+        let Some(terminal) = dag.terminal else {
+            return CriticalPath::default();
+        };
+        let o = dag.o;
+        let push = |segments: &mut Vec<Segment>, seg: Segment| {
+            debug_assert!(seg.end >= seg.start, "segments must not be negative");
+            if !seg.is_empty() {
+                segments.push(seg);
+            }
+        };
+
+        // A send's completion (its trailing `o`) can be what defines
+        // quiescence; account for it before walking backward.
+        let term = dag.nodes[terminal];
+        if term.kind == NodeKind::Send {
+            push(
+                &mut segments,
+                Segment {
+                    start: term.t,
+                    end: term.t + o,
+                    class: CostClass::Overhead,
+                    rank: term.rank(),
+                    payload: term.payload,
+                },
+            );
+        }
+
+        let mut hops = 0u32;
+        let mut cur = terminal;
+        loop {
+            let node = dag.nodes[cur];
+            let Some((pred_idx, kind)) = dag.binding_pred(cur) else {
+                // Chain start. Any remaining time back to t = 0 is an
+                // origin wait (e.g. a synchronized correction start).
+                push(
+                    &mut segments,
+                    Segment {
+                        start: 0,
+                        end: node.t,
+                        class: CostClass::Idle,
+                        rank: node.rank(),
+                        payload: node.payload,
+                    },
+                );
+                break;
+            };
+            let pred = dag.nodes[pred_idx];
+            let (lo, hi) = (pred.t, node.t);
+            debug_assert!(lo <= hi, "predecessors precede their successors");
+            let dur = hi - lo;
+            match kind {
+                EdgeKind::Wire => {
+                    // [send, send+o] is sender overhead, the rest wire
+                    // time. Wall-clock traces may measure a transit
+                    // shorter than o; credit what is there.
+                    hops += 1;
+                    let o_part = o.min(dur);
+                    push(
+                        &mut segments,
+                        Segment {
+                            start: lo + o_part,
+                            end: hi,
+                            class: CostClass::Wire,
+                            rank: node.rank(),
+                            payload: node.payload,
+                        },
+                    );
+                    push(
+                        &mut segments,
+                        Segment {
+                            start: lo,
+                            end: lo + o_part,
+                            class: CostClass::Overhead,
+                            rank: pred.rank(),
+                            payload: node.payload,
+                        },
+                    );
+                }
+                EdgeKind::RecvPort | EdgeKind::RecvQueue => {
+                    // The trailing o is receive processing; any excess
+                    // (only possible in noisy wall-clock traces) is a
+                    // port wait.
+                    let o_part = o.min(dur);
+                    push(
+                        &mut segments,
+                        Segment {
+                            start: hi - o_part,
+                            end: hi,
+                            class: CostClass::Overhead,
+                            rank: node.rank(),
+                            payload: node.payload,
+                        },
+                    );
+                    push(
+                        &mut segments,
+                        Segment {
+                            start: lo,
+                            end: hi - o_part,
+                            class: CostClass::Idle,
+                            rank: node.rank(),
+                            payload: node.payload,
+                        },
+                    );
+                }
+                EdgeKind::SendPort => {
+                    // The port was busy o after the previous send; any
+                    // further gap is protocol slack (WaitUntil).
+                    let o_part = o.min(dur);
+                    push(
+                        &mut segments,
+                        Segment {
+                            start: lo + o_part,
+                            end: hi,
+                            class: CostClass::Idle,
+                            rank: node.rank(),
+                            payload: node.payload,
+                        },
+                    );
+                    push(
+                        &mut segments,
+                        Segment {
+                            start: lo,
+                            end: lo + o_part,
+                            class: CostClass::Overhead,
+                            rank: pred.rank(),
+                            payload: node.payload,
+                        },
+                    );
+                }
+                EdgeKind::Trigger | EdgeKind::Origin => {
+                    // Pure wait between cause and reaction (usually 0).
+                    push(
+                        &mut segments,
+                        Segment {
+                            start: lo,
+                            end: hi,
+                            class: CostClass::Idle,
+                            rank: node.rank(),
+                            payload: node.payload,
+                        },
+                    );
+                }
+            }
+            cur = pred_idx;
+        }
+
+        segments.reverse();
+        let mut path = CriticalPath {
+            len: dag.completion,
+            hops,
+            segments,
+            ..CriticalPath::default()
+        };
+        for seg in &path.segments {
+            let steps = seg.len();
+            match seg.class {
+                CostClass::Overhead => path.o_steps += steps,
+                CostClass::Wire => path.l_steps += steps,
+                CostClass::Idle => path.idle_steps += steps,
+            }
+            match seg.payload {
+                Payload::Tree | Payload::Gossip { .. } => path.diss_steps += steps,
+                Payload::Correction | Payload::Ack => path.corr_steps += steps,
+            }
+        }
+        path
+    }
+
+    /// Does the cost attribution telescope to the path length? (True
+    /// by construction; the property tests assert it per run.)
+    pub fn attribution_is_exact(&self) -> bool {
+        self.o_steps + self.l_steps + self.idle_steps == self.len
+            && self.diss_steps + self.corr_steps == self.len
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ct_logp::Time;
+    use ct_obs::{Event, EventKind};
+
+    fn ev(t: u64, kind: EventKind) -> Event {
+        Event::sim(Time::new(t), kind)
+    }
+
+    fn msg(t: u64, kind: &str, from: Rank, to: Rank, payload: Payload) -> Event {
+        let k = match kind {
+            "send" => EventKind::SendStart { from, to, payload },
+            "arrive" => EventKind::Arrive { from, to, payload },
+            "deliver" => EventKind::Deliver { from, to, payload },
+            _ => panic!("unknown kind"),
+        };
+        ev(t, k)
+    }
+
+    /// One hop, paper parameters: send 0→1 at t=0, arrive 3, deliver 4.
+    #[test]
+    fn single_hop_splits_into_o_l_o() {
+        let pl = Payload::Tree;
+        let events = vec![
+            msg(0, "send", 0, 1, pl),
+            msg(3, "arrive", 0, 1, pl),
+            msg(4, "deliver", 0, 1, pl),
+        ];
+        let dag = CausalDag::build(&events, 1);
+        let path = CriticalPath::extract(&dag);
+        assert_eq!(path.len, 4);
+        assert_eq!(path.o_steps, 2); // send o + recv o
+        assert_eq!(path.l_steps, 2);
+        assert_eq!(path.idle_steps, 0);
+        assert_eq!(path.hops, 1);
+        assert!(path.attribution_is_exact());
+        // Chronological order, contiguous coverage of [0, 4].
+        assert_eq!(path.segments.first().unwrap().start, 0);
+        assert_eq!(path.segments.last().unwrap().end, 4);
+        for w in path.segments.windows(2) {
+            assert_eq!(w[0].end, w[1].start);
+        }
+    }
+
+    #[test]
+    fn delayed_send_shows_idle_origin() {
+        // A synchronized-start send at t=6 with nothing before it.
+        let pl = Payload::Correction;
+        let events = vec![
+            msg(6, "send", 0, 1, pl),
+            msg(9, "arrive", 0, 1, pl),
+            msg(10, "deliver", 0, 1, pl),
+        ];
+        let dag = CausalDag::build(&events, 1);
+        let path = CriticalPath::extract(&dag);
+        assert_eq!(path.len, 10);
+        assert_eq!(path.idle_steps, 6);
+        assert_eq!(path.o_steps, 2);
+        assert_eq!(path.l_steps, 2);
+        assert_eq!(path.corr_steps, 10);
+        assert_eq!(path.diss_steps, 0);
+        assert!(path.attribution_is_exact());
+    }
+
+    #[test]
+    fn terminal_send_counts_its_overhead() {
+        // Quiescence defined by a send whose receiver is dead.
+        let pl = Payload::Tree;
+        let events = vec![
+            msg(0, "send", 0, 1, pl),
+            msg(3, "arrive", 0, 1, pl),
+            msg(4, "deliver", 0, 1, pl),
+            msg(4, "send", 1, 2, pl),
+            ev(
+                7,
+                EventKind::DropDead {
+                    from: 1,
+                    to: 2,
+                    payload: pl,
+                },
+            ),
+        ];
+        let dag = CausalDag::build(&events, 1);
+        assert_eq!(dag.completion, 5); // send at 4 + o
+        let path = CriticalPath::extract(&dag);
+        assert_eq!(path.len, 5);
+        assert_eq!(path.o_steps, 3);
+        assert_eq!(path.l_steps, 2);
+        assert!(path.attribution_is_exact());
+    }
+
+    #[test]
+    fn empty_trace_yields_empty_path() {
+        let dag = CausalDag::build(&[], 1);
+        let path = CriticalPath::extract(&dag);
+        assert_eq!(path.len, 0);
+        assert!(path.segments.is_empty());
+        assert!(path.attribution_is_exact());
+    }
+
+    #[test]
+    fn mixed_payload_chain_splits_phases() {
+        // Tree hop, then the receiver sends a correction that defines
+        // quiescence.
+        let events = vec![
+            msg(0, "send", 0, 1, Payload::Tree),
+            msg(3, "arrive", 0, 1, Payload::Tree),
+            msg(4, "deliver", 0, 1, Payload::Tree),
+            msg(4, "send", 1, 2, Payload::Correction),
+            msg(7, "arrive", 1, 2, Payload::Correction),
+            msg(8, "deliver", 1, 2, Payload::Correction),
+        ];
+        let dag = CausalDag::build(&events, 1);
+        let path = CriticalPath::extract(&dag);
+        assert_eq!(path.len, 8);
+        assert_eq!(path.diss_steps, 4);
+        assert_eq!(path.corr_steps, 4);
+        assert!(path.attribution_is_exact());
+    }
+}

@@ -1,0 +1,390 @@
+//! A minimal JSON reader — the counterpart of `ct_obs::json`'s writer.
+//!
+//! The workspace is built fully offline (no serde); everything the
+//! analyzer reads back (JSONL traces, `BENCH_*.json` snapshots, run
+//! manifests) was written by our own deterministic writer, so a small
+//! recursive-descent parser over the full JSON grammar is sufficient.
+//! Numbers are held as `f64` — every value we serialize (step counts,
+//! microseconds, metric means) is exactly representable below `2⁵³`.
+
+use std::collections::BTreeMap;
+
+/// A parsed JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Value>),
+    /// An object; insertion order preserved.
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Parse one JSON document (must consume the whole input).
+    pub fn parse(input: &str) -> Result<Value, String> {
+        let mut p = Parser {
+            bytes: input.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing garbage at byte {}", p.pos));
+        }
+        Ok(v)
+    }
+
+    /// Object field lookup (`None` for non-objects or missing keys).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as a float, if numeric.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The value as an unsigned integer, if numeric and integral.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Num(n) if *n >= 0.0 && n.trunc() == *n && *n < 9.0e15 => Some(*n as u64),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice.
+    pub fn as_arr(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(vs) => Some(vs),
+            _ => None,
+        }
+    }
+
+    /// Object fields as a name-sorted string map (non-string values are
+    /// skipped) — convenient for provenance blocks.
+    pub fn to_str_map(&self) -> BTreeMap<String, String> {
+        let mut map = BTreeMap::new();
+        if let Value::Obj(fields) = self {
+            for (k, v) in fields {
+                if let Value::Str(s) = v {
+                    map.insert(k.clone(), s.clone());
+                }
+            }
+        }
+        map
+    }
+
+    /// Object fields as a name-sorted numeric map (non-numeric values
+    /// are skipped) — the shape of a snapshot's `metrics` block.
+    pub fn to_f64_map(&self) -> BTreeMap<String, f64> {
+        let mut map = BTreeMap::new();
+        if let Value::Obj(fields) = self {
+            for (k, v) in fields {
+                if let Value::Num(n) = v {
+                    map.insert(k.clone(), *n);
+                }
+            }
+        }
+        map
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!(
+                "expected {:?} at byte {}, found {:?}",
+                b as char,
+                self.pos,
+                self.peek().map(|c| c as char)
+            ))
+        }
+    }
+
+    fn literal(&mut self, lit: &str, v: Value) -> Result<Value, String> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(v)
+        } else {
+            Err(format!("invalid literal at byte {}", self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, String> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Value::Str(self.string()?)),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            other => Err(format!(
+                "unexpected {:?} at byte {}",
+                other.map(|c| c as char),
+                self.pos
+            )),
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let v = self.value()?;
+            fields.push((key, v));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Obj(fields));
+                }
+                other => {
+                    return Err(format!(
+                        "expected ',' or '}}' at byte {}, found {:?}",
+                        self.pos,
+                        other.map(|c| c as char)
+                    ))
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Arr(items));
+                }
+                other => {
+                    return Err(format!(
+                        "expected ',' or ']' at byte {}, found {:?}",
+                        self.pos,
+                        other.map(|c| c as char)
+                    ))
+                }
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".to_owned()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or("unterminated escape")?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let code = self.hex4()?;
+                            // Surrogate pairs: our writer never emits
+                            // them, but accept well-formed ones.
+                            let c = if (0xd800..0xdc00).contains(&code) {
+                                if self.peek() == Some(b'\\') {
+                                    self.pos += 1;
+                                    self.expect(b'u')?;
+                                    let low = self.hex4()?;
+                                    let combined = 0x10000
+                                        + ((code - 0xd800) << 10)
+                                        + (low.wrapping_sub(0xdc00) & 0x3ff);
+                                    char::from_u32(combined)
+                                } else {
+                                    None
+                                }
+                            } else {
+                                char::from_u32(code)
+                            };
+                            out.push(c.ok_or("invalid \\u escape")?);
+                        }
+                        other => return Err(format!("invalid escape \\{}", other as char)),
+                    }
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (input is a &str, so the
+                    // byte stream is valid UTF-8 by construction).
+                    let rest = &self.bytes[self.pos..];
+                    let s = core::str::from_utf8(rest).map_err(|e| e.to_string())?;
+                    let c = s.chars().next().expect("peek saw a byte");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, String> {
+        let end = self.pos + 4;
+        if end > self.bytes.len() {
+            return Err("truncated \\u escape".to_owned());
+        }
+        let hex = core::str::from_utf8(&self.bytes[self.pos..end]).map_err(|e| e.to_string())?;
+        let code = u32::from_str_radix(hex, 16).map_err(|e| e.to_string())?;
+        self.pos = end;
+        Ok(code)
+    }
+
+    fn number(&mut self) -> Result<Value, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while let Some(b) = self.peek() {
+            if b.is_ascii_digit() || b == b'.' || b == b'e' || b == b'E' || b == b'+' || b == b'-' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let text = core::str::from_utf8(&self.bytes[start..self.pos]).map_err(|e| e.to_string())?;
+        text.parse::<f64>()
+            .map(Value::Num)
+            .map_err(|_| format!("invalid number {text:?} at byte {start}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_an_event_line() {
+        let line =
+            r#"{"t":12,"w":345,"kind":"deliver","from":1,"to":2,"payload":"gossip","round":4}"#;
+        let v = Value::parse(line).unwrap();
+        assert_eq!(v.get("t").unwrap().as_u64(), Some(12));
+        assert_eq!(v.get("kind").unwrap().as_str(), Some("deliver"));
+        assert_eq!(v.get("round").unwrap().as_u64(), Some(4));
+        assert!(v.get("missing").is_none());
+    }
+
+    #[test]
+    fn nested_structures_parse() {
+        let v = Value::parse(r#"{"a":[1,2.5,null,true],"b":{"c":"x"}}"#).unwrap();
+        let arr = v.get("a").unwrap().as_arr().unwrap();
+        assert_eq!(arr.len(), 4);
+        assert_eq!(arr[1].as_f64(), Some(2.5));
+        assert_eq!(arr[2], Value::Null);
+        assert_eq!(arr[3], Value::Bool(true));
+        assert_eq!(v.get("b").unwrap().get("c").unwrap().as_str(), Some("x"));
+    }
+
+    #[test]
+    fn string_escapes_decode() {
+        let v = Value::parse(r#""a\"b\\c\ndA""#).unwrap();
+        assert_eq!(v.as_str(), Some("a\"b\\c\ndA"));
+    }
+
+    #[test]
+    fn negative_and_exponent_numbers() {
+        assert_eq!(Value::parse("-3.5e2").unwrap().as_f64(), Some(-350.0));
+        assert_eq!(Value::parse("-1").unwrap().as_u64(), None);
+        assert_eq!(Value::parse("2.5").unwrap().as_u64(), None);
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(Value::parse("{").is_err());
+        assert!(Value::parse("[1,]").is_err());
+        assert!(Value::parse(r#"{"a":1} extra"#).is_err());
+        assert!(Value::parse("tru").is_err());
+    }
+
+    #[test]
+    fn maps_extract_typed_fields() {
+        let v = Value::parse(r#"{"a":"x","b":2.0,"c":"y","d":3.5}"#).unwrap();
+        let strs = v.to_str_map();
+        assert_eq!(strs.len(), 2);
+        assert_eq!(strs["a"], "x");
+        let nums = v.to_f64_map();
+        assert_eq!(nums.len(), 2);
+        assert_eq!(nums["d"], 3.5);
+    }
+
+    #[test]
+    fn whitespace_tolerated_everywhere() {
+        let v = Value::parse(" { \"a\" : [ 1 , 2 ] } ").unwrap();
+        assert_eq!(v.get("a").unwrap().as_arr().unwrap().len(), 2);
+    }
+}

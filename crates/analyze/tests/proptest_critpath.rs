@@ -1,0 +1,86 @@
+//! The analyzer's load-bearing property: for *any* simulated
+//! configuration, the critical path extracted from the event trace has
+//! exactly the run's completion time as its length, and its cost
+//! attribution (`o` + `L` + idle, dissemination + correction)
+//! telescopes to that length without gaps or overlaps. The path is
+//! built backward through latest-binding predecessors, so any slack
+//! mis-accounting — a wrong ready time, a missed FIFO match, a
+//! dropped edge — breaks the equality.
+
+use ct_analyze::{analyze_rep, AnalyzeConfig};
+use ct_core::correction::CorrectionKind;
+use ct_core::protocol::BroadcastSpec;
+use ct_core::tree::{Ordering, TreeKind};
+use ct_logp::LogP;
+use ct_sim::{FaultPlan, Simulation};
+use proptest::prelude::*;
+
+fn arb_kind() -> impl Strategy<Value = TreeKind> {
+    prop_oneof![
+        Just(TreeKind::Binomial {
+            order: Ordering::Interleaved
+        }),
+        Just(TreeKind::Binomial {
+            order: Ordering::InOrder
+        }),
+        (1u32..5).prop_map(|k| TreeKind::Kary {
+            k,
+            order: Ordering::Interleaved
+        }),
+        (1u32..4).prop_map(|k| TreeKind::Lame {
+            k,
+            order: Ordering::Interleaved
+        }),
+        Just(TreeKind::Optimal {
+            order: Ordering::Interleaved
+        }),
+    ]
+}
+
+fn arb_correction() -> impl Strategy<Value = CorrectionKind> {
+    prop_oneof![
+        Just(CorrectionKind::Checked),
+        (1u32..5).prop_map(|distance| CorrectionKind::Opportunistic { distance }),
+        (1u32..5).prop_map(|distance| CorrectionKind::OpportunisticOptimized { distance }),
+    ]
+}
+
+fn arb_logp() -> impl Strategy<Value = LogP> {
+    (1u64..5, 1u64..4).prop_map(|(l, o)| LogP::new(l, o, 1).expect("valid"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn critical_path_length_equals_completion_time(
+        kind in arb_kind(),
+        correction in arb_correction(),
+        sync in any::<bool>(),
+        p in 2u32..96,
+        faults in 0u32..5,
+        seed in 0u64..10_000,
+        logp in arb_logp(),
+    ) {
+        let spec = if sync {
+            BroadcastSpec::corrected_tree_sync(kind, correction)
+        } else {
+            BroadcastSpec::corrected_tree(kind, correction)
+        };
+        let plan = FaultPlan::random_count_protecting(p, faults.min(p - 1), seed, 0)
+            .expect("valid fault plan");
+        let sim = Simulation::builder(p, logp).faults(plan).seed(seed).build();
+        let (out, events) = sim.run_with_events(&spec).expect("valid configuration");
+
+        let rep = analyze_rep(&events, &AnalyzeConfig::new(logp).with_p(p));
+
+        // The analyzer recomputes the run's completion time purely from
+        // the trace, and the critical path spans it exactly.
+        prop_assert_eq!(rep.completion, out.quiescence.steps());
+        prop_assert_eq!(rep.critpath.len, out.quiescence.steps());
+        // o + L + idle == len, dissemination + correction == len.
+        prop_assert!(rep.critpath.attribution_is_exact());
+        // Send counting agrees with the simulator's outcome metrics.
+        prop_assert_eq!(rep.messages.total(), out.messages.total());
+    }
+}

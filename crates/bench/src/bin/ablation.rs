@@ -6,8 +6,9 @@
 
 use std::time::Instant;
 
-use ct_bench::{emit_with_manifest, Args, RunManifest};
+use ct_bench::{analysis_campaign, emit_with_manifest, with_analysis, Args, RunManifest};
 use ct_exp::ablation::{run, to_csv, AblationConfig};
+use ct_exp::{FaultSpec, Variant};
 use ct_logp::LogP;
 
 fn main() {
@@ -34,5 +35,12 @@ fn main() {
         .wall_secs(t0.elapsed().as_secs_f64())
         .with_extra("delays", format!("{:?}", cfg.delays))
         .with_extra("distances", format!("{:?}", cfg.distances));
+    let probe = analysis_campaign(
+        Variant::tree_opportunistic(cfg.tree, 2),
+        cfg.p,
+        cfg.seed0,
+        FaultSpec::Count(1),
+    );
+    let manifest = with_analysis(manifest, &probe);
     emit_with_manifest("ablation", &to_csv(&rows), &args, manifest);
 }

@@ -6,8 +6,10 @@
 
 use std::time::Instant;
 
-use ct_bench::{emit_with_manifest, Args, RunManifest};
+use ct_bench::{analysis_campaign, emit_with_manifest, with_analysis, Args, RunManifest};
+use ct_core::tree::TreeKind;
 use ct_exp::correlated::{run, to_csv, CorrelatedConfig};
+use ct_exp::{FaultSpec, Variant};
 use ct_logp::LogP;
 
 fn main() {
@@ -35,5 +37,12 @@ fn main() {
             cfg.node_size, cfg.node_counts
         ))
         .wall_secs(t0.elapsed().as_secs_f64());
+    let probe = analysis_campaign(
+        Variant::tree_opportunistic(TreeKind::BINOMIAL, 2),
+        cfg.p,
+        cfg.seed0,
+        FaultSpec::Count(cfg.node_size),
+    );
+    let manifest = with_analysis(manifest, &probe);
     emit_with_manifest("correlated", &to_csv(&rows), &args, manifest);
 }

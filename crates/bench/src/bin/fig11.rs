@@ -5,8 +5,10 @@
 
 use std::time::Instant;
 
-use ct_bench::{emit_with_manifest, Args, RunManifest};
+use ct_bench::{analysis_campaign, emit_with_manifest, with_analysis, Args, RunManifest};
+use ct_core::tree::TreeKind;
 use ct_exp::fig11::{run, to_csv, Fig11Config};
+use ct_exp::{FaultSpec, Variant};
 use ct_logp::LogP;
 
 fn main() {
@@ -38,5 +40,12 @@ fn main() {
         .wall_secs(t0.elapsed().as_secs_f64())
         .with_extra("process_counts", format!("{:?}", cfg.process_counts))
         .with_extra("gossip_rounds", cfg.gossip_rounds.to_string());
+    let probe = analysis_campaign(
+        Variant::tree_opportunistic(TreeKind::BINOMIAL, 2),
+        cfg.process_counts.first().copied().unwrap_or(8),
+        cfg.seed,
+        FaultSpec::None,
+    );
+    let manifest = with_analysis(manifest, &probe);
     emit_with_manifest("fig11", &to_csv(&rows), &args, manifest);
 }

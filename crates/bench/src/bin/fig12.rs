@@ -6,8 +6,10 @@
 
 use std::time::Instant;
 
-use ct_bench::{emit_with_manifest, Args, RunManifest};
+use ct_bench::{analysis_campaign, emit_with_manifest, with_analysis, Args, RunManifest};
+use ct_core::tree::TreeKind;
 use ct_exp::fig12::{run, to_csv, Fig12Config};
+use ct_exp::{FaultSpec, Variant};
 use ct_logp::LogP;
 
 fn main() {
@@ -38,5 +40,12 @@ fn main() {
         .faults("emulated rank failures (faulty series only)")
         .wall_secs(t0.elapsed().as_secs_f64())
         .with_extra("process_counts", format!("{:?}", cfg.process_counts));
+    let probe = analysis_campaign(
+        Variant::tree_opportunistic(TreeKind::BINOMIAL, 2),
+        cfg.process_counts.first().copied().unwrap_or(8),
+        cfg.seed,
+        FaultSpec::Count(1),
+    );
+    let manifest = with_analysis(manifest, &probe);
     emit_with_manifest("fig12", &to_csv(&rows), &args, manifest);
 }

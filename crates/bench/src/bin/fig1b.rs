@@ -5,8 +5,10 @@
 
 use std::time::Instant;
 
-use ct_bench::{emit_with_manifest, Args, RunManifest};
+use ct_bench::{analysis_campaign, emit_with_manifest, with_analysis, Args, RunManifest};
+use ct_core::tree::TreeKind;
 use ct_exp::fig1b::{run, to_csv, Fig1bConfig};
+use ct_exp::{FaultSpec, Variant};
 use ct_logp::LogP;
 
 fn main() {
@@ -35,5 +37,12 @@ fn main() {
         .reps(cfg.reps)
         .faults(format!("count in {:?}", cfg.fault_counts))
         .wall_secs(t0.elapsed().as_secs_f64());
+    let probe = analysis_campaign(
+        Variant::tree_checked_sync(TreeKind::BINOMIAL),
+        cfg.p,
+        cfg.seed0,
+        FaultSpec::Count(1),
+    );
+    let manifest = with_analysis(manifest, &probe);
     emit_with_manifest("fig1b", &to_csv(&rows), &args, manifest);
 }

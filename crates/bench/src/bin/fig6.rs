@@ -5,8 +5,12 @@
 
 use std::time::Instant;
 
-use ct_bench::{emit_with_manifest, Args, RunManifest};
+use ct_bench::{
+    analysis_campaign, emit_with_manifest, with_analysis, write_bench_snapshot, Args, RunManifest,
+};
+use ct_core::tree::TreeKind;
 use ct_exp::fig6::{run, to_csv, Fig6Config};
+use ct_exp::{FaultSpec, Variant};
 use ct_logp::LogP;
 
 fn main() {
@@ -32,5 +36,13 @@ fn main() {
         .faults("none")
         .wall_secs(t0.elapsed().as_secs_f64())
         .with_extra("distances", format!("{:?}", cfg.distances));
+    let probe = analysis_campaign(
+        Variant::tree_opportunistic(TreeKind::BINOMIAL, 2),
+        cfg.p,
+        cfg.seed0,
+        FaultSpec::None,
+    );
+    let manifest = with_analysis(manifest, &probe);
     emit_with_manifest("fig6", &to_csv(&rows), &args, manifest);
+    write_bench_snapshot("fig6", &probe, &args);
 }

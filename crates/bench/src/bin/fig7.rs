@@ -5,8 +5,10 @@
 
 use std::time::Instant;
 
-use ct_bench::{emit_with_manifest, Args, RunManifest};
+use ct_bench::{analysis_campaign, emit_with_manifest, with_analysis, Args, RunManifest};
+use ct_core::tree::TreeKind;
 use ct_exp::fig7::{run, to_csv, Fig7Config};
+use ct_exp::{FaultSpec, Variant};
 use ct_logp::LogP;
 
 fn main() {
@@ -34,5 +36,12 @@ fn main() {
         .faults("none")
         .wall_secs(t0.elapsed().as_secs_f64())
         .with_extra("process_counts", format!("{:?}", cfg.process_counts));
+    let probe = analysis_campaign(
+        Variant::tree_opportunistic(TreeKind::BINOMIAL, 2),
+        cfg.process_counts.first().copied().unwrap_or(16),
+        cfg.seed0,
+        FaultSpec::None,
+    );
+    let manifest = with_analysis(manifest, &probe);
     emit_with_manifest("fig7", &to_csv(&rows), &args, manifest);
 }

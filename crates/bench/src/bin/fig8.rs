@@ -5,9 +5,11 @@
 
 use std::time::Instant;
 
-use ct_bench::{emit_with_manifest, Args, RunManifest};
+use ct_bench::{analysis_campaign, emit_with_manifest, with_analysis, Args, RunManifest};
+use ct_core::tree::TreeKind;
 use ct_exp::resilience::{run_grid, ResilienceConfig};
 use ct_exp::{fig8, tuning};
+use ct_exp::{FaultSpec, Variant};
 
 fn main() {
     let args = Args::from_env();
@@ -42,6 +44,13 @@ fn main() {
         .faults(format!("rate in {:?}", cfg.rates))
         .wall_secs(t0.elapsed().as_secs_f64())
         .with_extra("gossip_time", cfg.gossip_time.to_string());
+    let probe = analysis_campaign(
+        Variant::tree_checked_sync(TreeKind::BINOMIAL),
+        cfg.p,
+        cfg.seed0,
+        FaultSpec::Rate(cfg.rates.first().copied().unwrap_or(0.01)),
+    );
+    let manifest = with_analysis(manifest, &probe);
     emit_with_manifest(
         "fig8",
         &fig8::to_csv(&fig8::from_cells(&cells)),

@@ -5,9 +5,11 @@
 
 use std::time::Instant;
 
-use ct_bench::{emit_with_manifest, Args, RunManifest};
+use ct_bench::{analysis_campaign, emit_with_manifest, with_analysis, Args, RunManifest};
+use ct_core::tree::TreeKind;
 use ct_exp::resilience::{run_grid, ResilienceConfig};
 use ct_exp::table1;
+use ct_exp::{FaultSpec, Variant};
 
 fn main() {
     let args = Args::from_env();
@@ -36,6 +38,13 @@ fn main() {
         .reps(cfg.reps)
         .faults(format!("rate in {:?}", cfg.rates))
         .wall_secs(t0.elapsed().as_secs_f64());
+    let probe = analysis_campaign(
+        Variant::tree_checked_sync(TreeKind::BINOMIAL),
+        cfg.p,
+        cfg.seed0,
+        FaultSpec::Rate(cfg.rates.first().copied().unwrap_or(0.01)),
+    );
+    let manifest = with_analysis(manifest, &probe);
     emit_with_manifest(
         "table1",
         &table1::to_csv(&table1::from_cells(&cells)),

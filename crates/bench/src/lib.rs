@@ -21,6 +21,8 @@
 use std::path::PathBuf;
 
 use ct_exp::csv::CsvTable;
+use ct_exp::{analyze_campaign, Campaign, FaultSpec, Variant};
+use ct_logp::LogP;
 pub use ct_obs::RunManifest;
 
 /// Tiny argv parser shared by all figure binaries: `--key value` pairs
@@ -69,6 +71,55 @@ impl Args {
     /// The output directory for CSVs (default `results/`).
     pub fn out_dir(&self) -> PathBuf {
         PathBuf::from(self.get("--out", "results".to_owned()))
+    }
+}
+
+/// The small fixed-seed campaign a figure binary analyzes for its
+/// manifest's analysis block: the figure's representative variant and
+/// fault regime, capped at 64 processes and 5 repetitions so the
+/// causal-DAG pass stays negligible next to the campaign itself.
+pub fn analysis_campaign(variant: Variant, p: u32, seed0: u64, faults: FaultSpec) -> Campaign {
+    Campaign::new(variant, p.clamp(2, 64), LogP::PAPER)
+        .with_faults(faults)
+        .with_reps(5)
+        .with_seed(seed0)
+}
+
+/// Attach the causal-analysis block for `campaign` to `manifest` under
+/// the `analysis` key (critical-path attribution, phase split,
+/// completion percentiles — see `ct-analyze`). Analysis failures are
+/// reported but never fail the figure run.
+pub fn with_analysis(manifest: RunManifest, campaign: &Campaign) -> RunManifest {
+    match analyze_campaign(campaign) {
+        Ok(ca) => manifest.with_extra_json("analysis", ca.analysis_json()),
+        Err(e) => {
+            eprintln!("[analysis block skipped: {e:?}]");
+            manifest
+        }
+    }
+}
+
+/// Run `campaign` under analysis and write its perf snapshot to
+/// `<out>/BENCH_<name>.json` — the baseline/candidate input of
+/// `ct perf diff`.
+pub fn write_bench_snapshot(name: &str, campaign: &Campaign, args: &Args) -> Option<PathBuf> {
+    let ca = match analyze_campaign(campaign) {
+        Ok(ca) => ca,
+        Err(e) => {
+            eprintln!("[bench snapshot skipped: {e:?}]");
+            return None;
+        }
+    };
+    let path = args.out_dir().join(format!("BENCH_{name}.json"));
+    match ca.bench_snapshot(name, campaign).write(&path) {
+        Ok(()) => {
+            println!("[bench snapshot {}]", path.display());
+            Some(path)
+        }
+        Err(e) => {
+            eprintln!("[could not write {}: {e}]", path.display());
+            None
+        }
     }
 }
 

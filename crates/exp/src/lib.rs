@@ -39,10 +39,12 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod perf;
 pub mod resilience;
 pub mod table1;
 pub mod tuning;
 pub mod variants;
 
 pub use campaign::{Campaign, FaultSpec, RunRecord};
+pub use perf::{analyze_campaign, CampaignAnalysis};
 pub use variants::Variant;

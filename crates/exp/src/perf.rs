@@ -1,0 +1,189 @@
+//! Campaign-level trace analysis and perf-regression snapshots.
+//!
+//! Bridges [`Campaign`] to `ct-analyze`: every repetition is run with
+//! an event sink, its causal DAG analyzed, and the per-repetition
+//! results aggregated into (a) an *analysis block* that figure
+//! binaries attach to their run manifests and (b) a [`BenchSnapshot`]
+//! (`BENCH_<name>.json`) that `ct perf diff` compares across commits
+//! to catch performance regressions of the protocols themselves.
+
+use ct_analyze::{
+    analyze_rep, AnalysisSummary, AnalyzeConfig, BenchSnapshot, RepAnalysis, TraceAnalysis,
+};
+use ct_core::protocol::ProtocolFactory;
+use ct_obs::json::JsonObject;
+use ct_obs::metrics::Histogram;
+use ct_obs::VecSink;
+
+use crate::campaign::{Campaign, CampaignError, RunRecord};
+
+/// A campaign's records plus the per-repetition causal analyses.
+#[derive(Clone, Debug)]
+pub struct CampaignAnalysis {
+    /// The usual campaign measurements, one per repetition.
+    pub records: Vec<RunRecord>,
+    /// The causal-DAG analysis of each repetition's trace.
+    pub reps: Vec<RepAnalysis>,
+}
+
+/// Run every repetition of `campaign` under an event sink and analyze
+/// each trace. Costs one traced (allocating) simulation per
+/// repetition — meant for analysis passes and snapshot generation,
+/// not for the hot path of large campaigns.
+pub fn analyze_campaign(campaign: &Campaign) -> Result<CampaignAnalysis, CampaignError> {
+    let mut cfg = AnalyzeConfig::new(campaign.logp).with_p(campaign.p);
+    if let Some(start) = campaign.variant.sync_start(campaign.p, &campaign.logp) {
+        cfg = cfg.with_sync_start(start.steps());
+    }
+    let mut records = Vec::with_capacity(campaign.reps as usize);
+    let mut reps = Vec::with_capacity(campaign.reps as usize);
+    for i in 0..campaign.reps {
+        let mut sink = VecSink::new();
+        let record = campaign.run_one_observed(i, &mut sink)?;
+        reps.push(analyze_rep(&sink.events, &cfg));
+        records.push(record);
+    }
+    Ok(CampaignAnalysis { records, reps })
+}
+
+impl CampaignAnalysis {
+    /// Aggregate the per-repetition analyses.
+    pub fn summary(&self) -> AnalysisSummary {
+        AnalysisSummary::from_trace(&TraceAnalysis {
+            reps: self.reps.clone(),
+            spans: Vec::new(),
+        })
+    }
+
+    /// Completion times folded into the default latency histogram
+    /// (power-of-two buckets) for percentile estimation.
+    pub fn completion_histogram(&self) -> Histogram {
+        let mut h = Histogram::latency_default();
+        for r in &self.reps {
+            h.record(r.completion);
+        }
+        h
+    }
+
+    /// The JSON analysis block figure binaries embed in their run
+    /// manifests: the aggregate summary plus interpolated completion
+    /// percentiles.
+    pub fn analysis_json(&self) -> String {
+        let h = self.completion_histogram();
+        let mut obj = JsonObject::new();
+        obj.field_raw("summary", &self.summary().to_json());
+        let mut pct = JsonObject::new();
+        pct.field_f64("p50", h.p50().unwrap_or(0.0));
+        pct.field_f64("p95", h.p95().unwrap_or(0.0));
+        pct.field_f64("p99", h.p99().unwrap_or(0.0));
+        obj.field_raw("completion_percentiles", &pct.finish());
+        obj.finish()
+    }
+
+    /// Distill into a named perf snapshot. All metrics are
+    /// lower-is-better so `ct perf diff` can flag growth generically.
+    pub fn bench_snapshot(&self, name: &str, campaign: &Campaign) -> BenchSnapshot {
+        let s = self.summary();
+        let h = self.completion_histogram();
+        let n = self.records.len().max(1) as f64;
+        let messages_mean = self.records.iter().map(|r| r.messages as f64).sum::<f64>() / n;
+        let mpp_mean = self
+            .records
+            .iter()
+            .map(|r| r.messages_per_process)
+            .sum::<f64>()
+            / n;
+        let uncolored_mean = self
+            .records
+            .iter()
+            .map(|r| f64::from(r.uncolored))
+            .sum::<f64>()
+            / n;
+        BenchSnapshot::new(name)
+            .with_provenance("variant", &campaign.variant.label())
+            .with_provenance("p", &campaign.p.to_string())
+            .with_provenance("logp", &campaign.logp.to_string())
+            .with_provenance("faults", &format!("{:?}", campaign.faults))
+            .with_provenance("reps", &campaign.reps.to_string())
+            .with_provenance("seed0", &campaign.seed0.to_string())
+            .with_metric("completion_mean", s.completion.1)
+            .with_metric("completion_max", s.completion.2 as f64)
+            .with_metric("completion_p50", h.p50().unwrap_or(0.0))
+            .with_metric("completion_p95", h.p95().unwrap_or(0.0))
+            .with_metric("completion_p99", h.p99().unwrap_or(0.0))
+            .with_metric("critpath_len_mean", s.critpath_len_mean)
+            .with_metric("critpath_hops_mean", s.hops_mean)
+            .with_metric("messages_mean", messages_mean)
+            .with_metric("messages_per_process_mean", mpp_mean)
+            .with_metric("uncolored_mean", uncolored_mean)
+            .with_metric("bounds_violations", f64::from(s.bounds.1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::FaultSpec;
+    use crate::variants::Variant;
+    use ct_core::tree::TreeKind;
+    use ct_logp::LogP;
+
+    fn small_campaign() -> Campaign {
+        Campaign::new(
+            Variant::tree_opportunistic(TreeKind::BINOMIAL, 2),
+            16,
+            LogP::PAPER,
+        )
+        .with_reps(3)
+        .with_seed(7)
+    }
+
+    #[test]
+    fn fault_free_critical_path_matches_quiescence() {
+        let ca = analyze_campaign(&small_campaign()).unwrap();
+        for (record, rep) in ca.records.iter().zip(&ca.reps) {
+            assert_eq!(rep.completion, record.quiescence);
+            assert_eq!(rep.critpath.len, record.quiescence);
+            assert!(rep.critpath.attribution_is_exact());
+        }
+    }
+
+    #[test]
+    fn faulty_runs_still_attribute_exactly() {
+        let c = small_campaign().with_faults(FaultSpec::Count(3));
+        let ca = analyze_campaign(&c).unwrap();
+        for (record, rep) in ca.records.iter().zip(&ca.reps) {
+            assert_eq!(rep.critpath.len, record.quiescence);
+            assert!(rep.critpath.attribution_is_exact());
+        }
+        let json = ca.analysis_json();
+        assert!(json.starts_with(r#"{"summary":{"#), "{json}");
+    }
+
+    #[test]
+    fn synchronized_variant_gets_bounds_checked() {
+        let c = Campaign::new(
+            Variant::tree_checked_sync(TreeKind::BINOMIAL),
+            16,
+            LogP::PAPER,
+        )
+        .with_reps(2);
+        let ca = analyze_campaign(&c).unwrap();
+        for rep in &ca.reps {
+            let b = rep.bounds.expect("sync variant has bounds");
+            assert_eq!(b.g_max, 0);
+            assert!(!b.violated(), "fault-free run violated Lemma 3: {b:?}");
+        }
+    }
+
+    #[test]
+    fn snapshot_self_diff_is_clean() {
+        let c = small_campaign();
+        let ca = analyze_campaign(&c).unwrap();
+        let snap = ca.bench_snapshot("unit", &c);
+        assert_eq!(snap.provenance["p"], "16");
+        assert!(snap.metrics["completion_mean"] > 0.0);
+        let diff = ct_analyze::PerfDiff::diff(&snap, &snap, 0.05);
+        assert!(diff.regressions().is_empty());
+    }
+}

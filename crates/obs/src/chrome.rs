@@ -3,9 +3,13 @@
 //! The output loads in Chrome's tracing UI and in Perfetto: one track
 //! (`tid`) per rank, sends and deliveries as `o`-long complete events,
 //! arrivals/drops/colorings as instants, phase spans as begin/end pairs
-//! on a dedicated track. Timestamps use the wall clock when the stream
-//! has one (cluster runs) and logical steps otherwise, both mapped to
-//! the format's microsecond unit.
+//! on a dedicated track. Each send is additionally linked to its
+//! arrival (or drop) with a flow-event pair (`ph:"s"` → `ph:"f"`), so
+//! message causality renders as arrows in Perfetto. Timestamps use the
+//! wall clock when the stream has one (cluster runs) and logical steps
+//! otherwise, both mapped to the format's microsecond unit.
+
+use std::collections::{BTreeMap, VecDeque};
 
 use crate::event::{Event, EventKind};
 use crate::json::JsonObject;
@@ -91,6 +95,25 @@ fn trace_event(e: &Event, o: u64) -> Option<String> {
     Some(obj.finish())
 }
 
+/// One half of a flow-event pair: `ph:"s"` at the send, `ph:"f"` at the
+/// matching arrive/drop. Perfetto pairs the halves by `(cat, name, id)`
+/// and draws an arrow between the enclosing slices.
+fn flow_event(payload_name: &str, ph: &str, id: u64, ts: u64, tid: u64) -> String {
+    let mut obj = JsonObject::new();
+    obj.field_str("name", payload_name);
+    obj.field_str("cat", "msg");
+    obj.field_str("ph", ph);
+    if ph == "f" {
+        // Bind the finish to the enclosing slice, not the next one.
+        obj.field_str("bp", "e");
+    }
+    obj.field_u64("id", id);
+    obj.field_u64("ts", ts);
+    obj.field_u64("pid", 0);
+    obj.field_u64("tid", tid);
+    obj.finish()
+}
+
 /// Render an event stream as a `chrome://tracing` JSON document.
 ///
 /// `o` is the LogP overhead (the duration of send/receive slots); for
@@ -99,14 +122,46 @@ fn trace_event(e: &Event, o: u64) -> Option<String> {
 pub fn chrome_trace(events: &[Event], o: u64) -> String {
     let mut out = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
     let mut first = true;
+    let mut push = |json: &str, first: &mut bool| {
+        if !*first {
+            out.push(',');
+        }
+        *first = false;
+        out.push('\n');
+        out.push_str(json);
+    };
+    // Sends matched to arrivals/drops FIFO per (from, to, payload): the
+    // simulator delivers each link in order, so the oldest outstanding
+    // send on a link is the one arriving.
+    let mut next_flow_id: u64 = 1;
+    let mut in_flight: BTreeMap<(u32, u32, &'static str), VecDeque<u64>> = BTreeMap::new();
     for e in events {
         if let Some(json) = trace_event(e, o) {
-            if !first {
-                out.push(',');
+            push(&json, &mut first);
+        }
+        match &e.kind {
+            EventKind::SendStart { from, to, payload } => {
+                let tag = Event::payload_tag(*payload);
+                let id = next_flow_id;
+                next_flow_id += 1;
+                in_flight
+                    .entry((*from, *to, tag))
+                    .or_default()
+                    .push_back(id);
+                let json = flow_event(&format!("msg {tag}"), "s", id, ts(e), u64::from(*from));
+                push(&json, &mut first);
             }
-            first = false;
-            out.push('\n');
-            out.push_str(&json);
+            EventKind::Arrive { from, to, payload } | EventKind::DropDead { from, to, payload } => {
+                let tag = Event::payload_tag(*payload);
+                if let Some(id) = in_flight
+                    .get_mut(&(*from, *to, tag))
+                    .and_then(VecDeque::pop_front)
+                {
+                    let json = flow_event(&format!("msg {tag}"), "f", id, ts(e), u64::from(*to));
+                    push(&json, &mut first);
+                }
+            }
+            _ => {}
         }
     }
     out.push_str("\n]}\n");
@@ -180,6 +235,76 @@ mod tests {
         )];
         let json = chrome_trace(&events, 1);
         assert!(json.contains(r#""ts":777"#), "{json}");
+    }
+
+    #[test]
+    fn sends_link_to_arrivals_with_flow_pairs() {
+        let events = vec![
+            Event::sim(
+                Time::ZERO,
+                EventKind::SendStart {
+                    from: 0,
+                    to: 1,
+                    payload: Payload::Tree,
+                },
+            ),
+            Event::sim(
+                Time::new(1),
+                EventKind::SendStart {
+                    from: 0,
+                    to: 2,
+                    payload: Payload::Tree,
+                },
+            ),
+            Event::sim(
+                Time::new(3),
+                EventKind::Arrive {
+                    from: 0,
+                    to: 1,
+                    payload: Payload::Tree,
+                },
+            ),
+            Event::sim(
+                Time::new(4),
+                EventKind::DropDead {
+                    from: 0,
+                    to: 2,
+                    payload: Payload::Tree,
+                },
+            ),
+        ];
+        let json = chrome_trace(&events, 1);
+        // Two starts, two finishes, ids pair up FIFO per link.
+        assert!(
+            json.contains(r#""ph":"s","id":1,"ts":0,"pid":0,"tid":0"#),
+            "{json}"
+        );
+        assert!(
+            json.contains(r#""ph":"s","id":2,"ts":1,"pid":0,"tid":0"#),
+            "{json}"
+        );
+        assert!(
+            json.contains(r#""ph":"f","bp":"e","id":1,"ts":3,"pid":0,"tid":1"#),
+            "{json}"
+        );
+        assert!(
+            json.contains(r#""ph":"f","bp":"e","id":2,"ts":4,"pid":0,"tid":2"#),
+            "{json}"
+        );
+    }
+
+    #[test]
+    fn unmatched_arrival_emits_no_flow_finish() {
+        let events = vec![Event::sim(
+            Time::new(3),
+            EventKind::Arrive {
+                from: 0,
+                to: 1,
+                payload: Payload::Tree,
+            },
+        )];
+        let json = chrome_trace(&events, 1);
+        assert!(!json.contains(r#""ph":"f""#), "{json}");
     }
 
     #[test]

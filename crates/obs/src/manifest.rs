@@ -39,6 +39,10 @@ pub struct RunManifest {
     pub created_unix: Option<u64>,
     /// Free-form extra fields, name-sorted in the output.
     pub extra: BTreeMap<String, String>,
+    /// Extra fields whose values are pre-rendered JSON (objects/arrays),
+    /// embedded verbatim — e.g. the `analysis` block campaigns attach.
+    /// Name-sorted in the output, after [`RunManifest::extra`].
+    pub extra_json: BTreeMap<String, String>,
 }
 
 impl RunManifest {
@@ -99,6 +103,14 @@ impl RunManifest {
         self
     }
 
+    /// Add one extra field whose value is already-rendered JSON; it is
+    /// embedded verbatim (not escaped as a string), so structured
+    /// blocks like per-rep analysis stats stay machine-readable.
+    pub fn with_extra_json(mut self, key: impl Into<String>, json: impl Into<String>) -> Self {
+        self.extra_json.insert(key.into(), json.into());
+        self
+    }
+
     /// Fill `git_rev` and `created_unix` from the environment (both
     /// best-effort; missing git stays `None`).
     pub fn stamped(mut self) -> Self {
@@ -154,6 +166,9 @@ impl RunManifest {
         let mut extra = JsonObject::new();
         for (k, v) in &self.extra {
             extra.field_str(k, v);
+        }
+        for (k, v) in &self.extra_json {
+            extra.field_raw(k, v);
         }
         obj.field_raw("extra", &extra.finish());
         obj.finish()
@@ -245,6 +260,19 @@ mod tests {
         let a = json.find("\"aa\"").unwrap();
         let z = json.find("\"zz\"").unwrap();
         assert!(a < z, "{json}");
+    }
+
+    #[test]
+    fn extra_json_embeds_verbatim() {
+        let m = RunManifest::new("x")
+            .with_extra("note", "hi")
+            .with_extra_json("analysis", r#"{"critpath":{"len":24}}"#);
+        let json = m.to_json();
+        assert!(
+            json.contains(r#""analysis":{"critpath":{"len":24}}"#),
+            "{json}"
+        );
+        assert!(json.contains(r#""note":"hi""#), "{json}");
     }
 
     #[test]

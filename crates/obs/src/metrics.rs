@@ -105,6 +105,66 @@ impl Histogram {
         (self.count > 0).then(|| self.sum as f64 / self.count as f64)
     }
 
+    /// Bucket-interpolated `q`-quantile estimate (`0 ≤ q ≤ 1`), `None`
+    /// when empty.
+    ///
+    /// The target rank `q · count` is located in the cumulative bucket
+    /// counts, then interpolated linearly between the bucket's bounds.
+    /// The estimate is clamped to the exact observed `[min, max]`, so
+    /// `quantile(0.0)` is the minimum and `quantile(1.0)` the maximum;
+    /// the overflow bucket (which has no upper bound) interpolates
+    /// between the last bound and the observed `max`.
+    ///
+    /// # Panics
+    /// If `q` is outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
+        if self.count == 0 {
+            return None;
+        }
+        let target = q * self.count as f64;
+        let mut cum = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let next = cum + c;
+            if (next as f64) >= target {
+                // Bucket `i` spans (lo, hi]: lo is the previous bound
+                // (or 0), hi the own bound (overflow has none → max).
+                let lo = if i == 0 {
+                    0.0
+                } else {
+                    self.bounds[i - 1] as f64
+                };
+                let hi = match self.bounds.get(i) {
+                    Some(&b) => b as f64,
+                    None => self.max as f64,
+                };
+                let within = ((target - cum as f64) / c as f64).clamp(0.0, 1.0);
+                let est = lo + (hi - lo) * within;
+                return Some(est.clamp(self.min as f64, self.max as f64));
+            }
+            cum = next;
+        }
+        Some(self.max as f64)
+    }
+
+    /// Median estimate (bucket-interpolated).
+    pub fn p50(&self) -> Option<f64> {
+        self.quantile(0.50)
+    }
+
+    /// 95th-percentile estimate (bucket-interpolated).
+    pub fn p95(&self) -> Option<f64> {
+        self.quantile(0.95)
+    }
+
+    /// 99th-percentile estimate (bucket-interpolated).
+    pub fn p99(&self) -> Option<f64> {
+        self.quantile(0.99)
+    }
+
     /// Merge another histogram with identical bounds into this one.
     ///
     /// # Panics
@@ -361,6 +421,76 @@ mod tests {
         assert_eq!(a.counter("y"), 1);
         assert_eq!(a.counter("absent"), 0);
         assert_eq!(a.histogram("h").unwrap().count(), 1);
+    }
+
+    #[test]
+    fn quantiles_interpolate_within_buckets() {
+        let mut h = Histogram::with_bounds(&[10, 20, 40]);
+        // 10 observations spread evenly through the (0, 10] bucket.
+        for v in 1..=10 {
+            h.record(v);
+        }
+        // quantile(0.5) → rank 5 of 10 in a bucket spanning (0, 10].
+        assert!((h.quantile(0.5).unwrap() - 5.0).abs() < 1e-9);
+        // Edges clamp to the exact extrema.
+        assert_eq!(h.quantile(0.0), Some(1.0));
+        assert_eq!(h.quantile(1.0), Some(10.0));
+    }
+
+    #[test]
+    fn quantiles_cross_buckets_and_overflow() {
+        let mut h = Histogram::with_bounds(&[10, 20]);
+        for v in [5, 15, 18, 100] {
+            h.record(v);
+        }
+        // p50 target rank 2 falls at the end of the second bucket's
+        // first observation region: between 10 and 20.
+        let p50 = h.p50().unwrap();
+        assert!((10.0..=20.0).contains(&p50), "{p50}");
+        // p99 lands in the overflow bucket: between the last bound and
+        // the observed maximum.
+        let p99 = h.p99().unwrap();
+        assert!((20.0..=100.0).contains(&p99), "{p99}");
+        assert_eq!(h.quantile(1.0), Some(100.0));
+    }
+
+    #[test]
+    fn quantile_of_single_observation_is_that_value() {
+        let mut h = Histogram::latency_default();
+        h.record(37);
+        for q in [0.0, 0.5, 0.95, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), Some(37.0), "q={q}");
+        }
+    }
+
+    #[test]
+    fn quantile_of_empty_is_none() {
+        let h = Histogram::latency_default();
+        assert_eq!(h.quantile(0.5), None);
+        assert_eq!(h.p50(), None);
+        assert_eq!(h.p95(), None);
+        assert_eq!(h.p99(), None);
+    }
+
+    #[test]
+    fn quantiles_are_monotone_in_q() {
+        let mut h = Histogram::latency_default();
+        for v in [1, 3, 3, 7, 12, 18, 40, 41, 100, 5000] {
+            h.record(v);
+        }
+        let qs = [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1.0];
+        let est: Vec<f64> = qs.iter().map(|&q| h.quantile(q).unwrap()).collect();
+        for w in est.windows(2) {
+            assert!(w[0] <= w[1], "{est:?}");
+        }
+        assert_eq!(est[0], 1.0);
+        assert_eq!(est[est.len() - 1], 5000.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile must be in [0, 1]")]
+    fn quantile_rejects_out_of_range() {
+        let _ = Histogram::latency_default().quantile(1.5);
     }
 
     #[test]

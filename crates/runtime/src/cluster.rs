@@ -176,6 +176,20 @@ impl Cluster {
         self.run_broadcast_observed(factory, dead, seed, &mut NullSink)
     }
 
+    /// Like [`Cluster::run_broadcast`], additionally returning the
+    /// iteration's raw observability events — the input `ct-analyze`
+    /// consumes for causal-path analysis of real (wall-clock) runs.
+    pub fn run_broadcast_traced(
+        &mut self,
+        factory: &dyn ProtocolFactory,
+        dead: &[bool],
+        seed: u64,
+    ) -> Result<(RunReport, Vec<ObsEvent>), ClusterError> {
+        let mut sink = ct_obs::VecSink::new();
+        let report = self.run_broadcast_observed(factory, dead, seed, &mut sink)?;
+        Ok((report, sink.events))
+    }
+
     /// Like [`Cluster::run_broadcast`], additionally streaming the
     /// iteration's observability events into `sink` — the same schema
     /// the simulator emits, each event stamped with both logical time

@@ -201,6 +201,17 @@ impl Simulation {
         Ok((outcome, Trace::from_events(&sink.events)))
     }
 
+    /// Run one broadcast, returning the raw observability events
+    /// alongside the outcome — the input `ct-analyze` consumes.
+    pub fn run_with_events(
+        &self,
+        factory: &dyn ProtocolFactory,
+    ) -> Result<(Outcome, Vec<ObsEvent>), SimError> {
+        let mut sink = VecSink::new();
+        let outcome = self.run_with_sink(factory, &mut sink)?;
+        Ok((outcome, sink.events))
+    }
+
     /// Run one broadcast, streaming every event into `sink`.
     ///
     /// The sink's [`EventSink::enabled`] flag is checked once, before

@@ -14,16 +14,20 @@
 //! writing a program.
 
 use corrected_trees::analysis::Summary;
+use corrected_trees::analyze::{
+    analyze_trace, parse_jsonl, AnalysisSummary, AnalyzeConfig, BenchSnapshot, PerfDiff,
+};
 use corrected_trees::core::correction::CorrectionKind;
-use corrected_trees::core::protocol::BroadcastSpec;
+use corrected_trees::core::protocol::{BroadcastSpec, Payload};
 use corrected_trees::core::tree::{interleaving, stats, Ordering, Topology, TreeKind};
+use corrected_trees::exp::{analyze_campaign, Campaign, FaultSpec, Variant};
 use corrected_trees::logp::LogP;
 use corrected_trees::obs::{chrome_trace, VecSink};
 use corrected_trees::sim::{FaultPlan, Simulation, Trace};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: ct <run|tree|sweep|trace> [options]\n\
+        "usage: ct <run|tree|sweep|trace|analyze|perf> [options]\n\
          \n\
          common options:\n\
            --tree <binomial|binomial-inorder|kary<K>|lame<K>|optimal>  (default binomial)\n\
@@ -44,7 +48,20 @@ fn usage() -> ! {
            --format <ascii|jsonl|chrome>   (default ascii)\n\
                    ascii:  Figure-5-style sender/delivery timeline\n\
                    jsonl:  one ct-obs event per line (stable schema)\n\
-                   chrome: chrome://tracing / Perfetto JSON document"
+                   chrome: chrome://tracing / Perfetto JSON document\n\
+         analyze options (all run options, or --input to read a trace):\n\
+           --input <trace.jsonl>   analyze a recorded JSONL trace instead\n\
+                                   of running the simulator\n\
+           --view <summary|critical-path|utilization>   (default summary)\n\
+           --json                  machine-readable summary output\n\
+           --sync-start <T>        enable the Lemma-3 bounds check at\n\
+                                   synchronized correction start T\n\
+         perf subcommands:\n\
+           perf snapshot --name <N> [run options] [--reps R]\n\
+                                   run a small campaign, write BENCH_<N>.json\n\
+                                   (--out FILE overrides the path)\n\
+           perf diff <old.json> <new.json> [--threshold 0.05]\n\
+                                   compare snapshots; exit 1 on regressions"
     );
     std::process::exit(2);
 }
@@ -318,6 +335,180 @@ fn cmd_sweep(cli: &Cli) {
     );
 }
 
+fn payload_tag(p: Payload) -> &'static str {
+    match p {
+        Payload::Tree => "tree",
+        Payload::Gossip { .. } => "gossip",
+        Payload::Correction => "correction",
+        Payload::Ack => "ack",
+    }
+}
+
+fn cmd_analyze(cli: &Cli) {
+    let logp: LogP = cli
+        .value("--logp")
+        .map(|s| s.parse().expect("valid LogP string"))
+        .unwrap_or(LogP::PAPER);
+    let mut cfg = AnalyzeConfig::new(logp);
+    let events = if let Some(path) = cli.value("--input") {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("{path}: {e}");
+            std::process::exit(2);
+        });
+        parse_jsonl(&text).unwrap_or_else(|e| {
+            eprintln!("{path}: {e}");
+            std::process::exit(2);
+        })
+    } else {
+        // No input file: run the configuration live, exactly like
+        // `ct run`, and analyze the events it produces.
+        let p: u32 = cli.parsed("--p", 1024);
+        let seed: u64 = cli.parsed("--seed", 1);
+        let spec = build_spec(cli);
+        let plan = faults(cli, p, seed, spec.root);
+        cfg = cfg.with_p(p);
+        if let Some(start) = Variant::Tree(spec).sync_start(p, &logp) {
+            cfg = cfg.with_sync_start(start.steps());
+        }
+        let (_, events) = Simulation::builder(p, logp)
+            .faults(plan)
+            .seed(seed)
+            .build()
+            .run_with_events(&spec)
+            .expect("valid configuration");
+        events
+    };
+    if let Some(t) = cli.value("--sync-start") {
+        cfg = cfg.with_sync_start(t.parse().unwrap_or_else(|_| usage()));
+    }
+    let ta = analyze_trace(&events, &cfg);
+    match cli.value("--view").unwrap_or("summary") {
+        "summary" => {
+            let s = AnalysisSummary::from_trace(&ta);
+            if cli.flag("--json") {
+                println!("{}", s.to_json());
+            } else {
+                print!("{}", s.render_text());
+                for (i, rep) in ta.reps.iter().enumerate() {
+                    if let Some(b) = &rep.bounds {
+                        println!(
+                            "rep {i}: L_SCC observed {} vs bounds [{}, {}] (g_max {}) — {}",
+                            b.observed,
+                            b.lower,
+                            b.upper,
+                            b.g_max,
+                            if b.violated() { "VIOLATED" } else { "ok" }
+                        );
+                    }
+                }
+            }
+        }
+        "critical-path" => {
+            for (i, rep) in ta.reps.iter().enumerate() {
+                let cp = &rep.critpath;
+                println!(
+                    "rep {i}: completion {} = o {} + L {} + idle {} over {} hops \
+                     (dissemination {}, correction {})",
+                    cp.len,
+                    cp.o_steps,
+                    cp.l_steps,
+                    cp.idle_steps,
+                    cp.hops,
+                    cp.diss_steps,
+                    cp.corr_steps
+                );
+                for s in &cp.segments {
+                    println!(
+                        "  [{:>6}..{:>6}]  {:<4}  rank {:<6}  {}",
+                        s.start,
+                        s.end,
+                        s.class.label(),
+                        s.rank,
+                        payload_tag(s.payload)
+                    );
+                }
+            }
+        }
+        "utilization" => {
+            for (i, rep) in ta.reps.iter().enumerate() {
+                println!("rep {i}: completion {}", rep.completion);
+                for r in 0..rep.utilization.busy.len() {
+                    let frac = rep.utilization.busy_frac(r);
+                    let bar = "#".repeat((frac * 40.0).round() as usize);
+                    println!("  rank {r:>5}  busy {:>5.1}%  {bar}", frac * 100.0);
+                }
+            }
+        }
+        other => {
+            eprintln!("unknown analyze view {other:?}");
+            usage()
+        }
+    }
+}
+
+fn cmd_perf(cli: &Cli) {
+    match cli.args.first().map(String::as_str) {
+        Some("diff") => {
+            let (old_path, new_path) = match (cli.args.get(1), cli.args.get(2)) {
+                (Some(o), Some(n)) => (o, n),
+                _ => usage(),
+            };
+            let threshold: f64 = cli.parsed("--threshold", 0.05);
+            let load = |path: &str| {
+                BenchSnapshot::read(std::path::Path::new(path)).unwrap_or_else(|e| {
+                    eprintln!("{e}");
+                    std::process::exit(2);
+                })
+            };
+            let old = load(old_path);
+            let new = load(new_path);
+            let diff = PerfDiff::diff(&old, &new, threshold);
+            print!("{}", diff.render_text());
+            if !diff.regressions().is_empty() {
+                std::process::exit(1);
+            }
+        }
+        Some("snapshot") => {
+            let name = cli.value("--name").unwrap_or_else(|| usage());
+            let p: u32 = cli.parsed("--p", 64);
+            let logp: LogP = cli
+                .value("--logp")
+                .map(|s| s.parse().expect("valid LogP string"))
+                .unwrap_or(LogP::PAPER);
+            let reps: u32 = cli.parsed("--reps", 5);
+            let seed0: u64 = cli.parsed("--seed", 1);
+            let fault_spec = if let Some(n) = cli.value("--faults") {
+                FaultSpec::Count(n.parse().unwrap_or_else(|_| usage()))
+            } else if let Some(r) = cli.value("--rate") {
+                FaultSpec::Rate(r.parse().unwrap_or_else(|_| usage()))
+            } else {
+                FaultSpec::None
+            };
+            let campaign = Campaign::new(Variant::Tree(build_spec(cli)), p, logp)
+                .with_faults(fault_spec)
+                .with_reps(reps)
+                .with_seed(seed0);
+            let ca = analyze_campaign(&campaign).unwrap_or_else(|e| {
+                eprintln!("campaign failed: {e:?}");
+                std::process::exit(2);
+            });
+            let path = std::path::PathBuf::from(
+                cli.value("--out")
+                    .map(str::to_owned)
+                    .unwrap_or_else(|| format!("BENCH_{name}.json")),
+            );
+            match ca.bench_snapshot(name, &campaign).write(&path) {
+                Ok(()) => println!("[bench snapshot {}]", path.display()),
+                Err(e) => {
+                    eprintln!("could not write {}: {e}", path.display());
+                    std::process::exit(2);
+                }
+            }
+        }
+        _ => usage(),
+    }
+}
+
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
@@ -330,6 +521,8 @@ fn main() {
         "tree" => cmd_tree(&cli),
         "sweep" => cmd_sweep(&cli),
         "trace" => cmd_trace(&cli),
+        "analyze" => cmd_analyze(&cli),
+        "perf" => cmd_perf(&cli),
         _ => usage(),
     }
 }

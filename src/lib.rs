@@ -17,7 +17,9 @@
 //! * [`exp`] — the experiment campaigns behind every paper figure,
 //! * [`runtime`] — the thread-based cluster runtime (MPI stand-in),
 //! * [`obs`] — the shared observability layer: event sinks, metrics
-//!   registry and run manifests.
+//!   registry and run manifests,
+//! * [`analyze`] — trace analysis: causal DAGs, critical paths with
+//!   LogP cost attribution, and perf-regression snapshots.
 //!
 //! ## Quickstart
 //!
@@ -42,6 +44,7 @@
 #![warn(missing_docs)]
 
 pub use ct_analysis as analysis;
+pub use ct_analyze as analyze;
 pub use ct_core as core;
 pub use ct_exp as exp;
 pub use ct_gossip as gossip;
