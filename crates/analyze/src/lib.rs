@@ -15,6 +15,9 @@
 //! - [`summary`] aggregates per-repetition analyses — phase split,
 //!   per-rank utilization, message breakdown — and checks observed
 //!   correction times against the Lemma 3 bounds from `ct-analysis`;
+//! - [`forensics`] joins a trace with the tree topology and fault mask
+//!   into per-failure impact reports (orphaned subtrees, rescue
+//!   provenance, added latency) and a run-level [`WasteReport`];
 //! - [`bench`] persists campaign metrics as `BENCH_<name>.json`
 //!   snapshots and diffs them for perf-regression tracking
 //!   (`ct perf diff`).
@@ -29,6 +32,7 @@
 pub mod bench;
 pub mod critical;
 pub mod dag;
+pub mod forensics;
 pub mod summary;
 pub mod trace;
 pub mod value;
@@ -36,6 +40,7 @@ pub mod value;
 pub use bench::{BenchSnapshot, MetricDelta, PerfDiff};
 pub use critical::{CostClass, CriticalPath, Segment};
 pub use dag::{CausalDag, EdgeKind, Node, NodeKind};
+pub use forensics::{analyze_forensics, FailureImpact, ForensicsReport, OrphanRescue, WasteReport};
 pub use summary::{
     analyze_rep, analyze_trace, AnalysisSummary, AnalyzeConfig, BoundsCheck, MessageBreakdown,
     PhaseSplit, RepAnalysis, SpanStat, TraceAnalysis, Utilization,

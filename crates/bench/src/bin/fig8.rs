@@ -7,7 +7,7 @@ use std::time::Instant;
 
 use ct_bench::{analysis_campaign, emit_with_manifest, with_analysis, Args, RunManifest};
 use ct_core::tree::TreeKind;
-use ct_exp::resilience::{run_grid, ResilienceConfig};
+use ct_exp::resilience::{run_grid, waste_probe, ResilienceConfig};
 use ct_exp::{fig8, tuning};
 use ct_exp::{FaultSpec, Variant};
 
@@ -50,7 +50,12 @@ fn main() {
         cfg.seed0,
         FaultSpec::Rate(cfg.rates.first().copied().unwrap_or(0.01)),
     );
-    let manifest = with_analysis(manifest, &probe);
+    let mut manifest = with_analysis(manifest, &probe);
+    let top_rate = cfg.rates.last().copied().unwrap_or(0.04);
+    match waste_probe(&cfg, top_rate) {
+        Ok(w) => manifest = manifest.with_extra_json("waste_probe", w.to_json()),
+        Err(e) => eprintln!("fig8: waste probe failed: {e}"),
+    }
     emit_with_manifest(
         "fig8",
         &fig8::to_csv(&fig8::from_cells(&cells)),

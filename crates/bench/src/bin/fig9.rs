@@ -6,7 +6,7 @@ use std::time::Instant;
 
 use ct_bench::{analysis_campaign, emit_with_manifest, with_analysis, Args, RunManifest};
 use ct_core::tree::TreeKind;
-use ct_exp::resilience::{run_grid, ResilienceConfig};
+use ct_exp::resilience::{run_grid, waste_probe, ResilienceConfig};
 use ct_exp::{fig9, tuning};
 use ct_exp::{FaultSpec, Variant};
 
@@ -48,7 +48,12 @@ fn main() {
         cfg.seed0,
         FaultSpec::Rate(cfg.rates.first().copied().unwrap_or(0.01)),
     );
-    let manifest = with_analysis(manifest, &probe);
+    let mut manifest = with_analysis(manifest, &probe);
+    let top_rate = cfg.rates.last().copied().unwrap_or(0.04);
+    match waste_probe(&cfg, top_rate) {
+        Ok(w) => manifest = manifest.with_extra_json("waste_probe", w.to_json()),
+        Err(e) => eprintln!("fig9: waste probe failed: {e}"),
+    }
     emit_with_manifest(
         "fig9",
         &fig9::to_csv(&fig9::from_cells(&cells)),

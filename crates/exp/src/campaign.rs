@@ -12,7 +12,10 @@ use ct_core::tree::ring;
 use ct_logp::{LogP, Rank, Time};
 use ct_obs::event::phases;
 use ct_obs::json::JsonObject;
-use ct_obs::{Event, EventKind, EventSink, MetricsRegistry, MetricsSink, NullSink};
+use ct_obs::{
+    Event, EventKind, EventSink, MetricsRegistry, MetricsSink, MonitorConfig, MonitorReport,
+    MonitorSink, NullSink,
+};
 use ct_sim::{FaultPlan, SimError, Simulation};
 
 use crate::variants::Variant;
@@ -150,6 +153,16 @@ impl Campaign {
         self
     }
 
+    /// The fault plan repetition `rep` runs under (derived from
+    /// `seed0 + rep`, exactly as the run itself draws it). Exposed so
+    /// the invariant monitor and the waste accounting can be configured
+    /// with the per-repetition fault mask.
+    pub fn fault_plan(&self, rep: u32) -> Result<FaultPlan, CampaignError> {
+        self.faults
+            .plan(self.p, self.seed0 + rep as u64)
+            .map_err(CampaignError::Faults)
+    }
+
     /// Execute one repetition.
     pub fn run_one(&self, rep: u32) -> Result<RunRecord, CampaignError> {
         self.run_one_observed(rep, &mut NullSink)
@@ -164,10 +177,7 @@ impl Campaign {
         sink: &mut dyn EventSink,
     ) -> Result<RunRecord, CampaignError> {
         let seed = self.seed0 + rep as u64;
-        let plan = self
-            .faults
-            .plan(self.p, seed)
-            .map_err(CampaignError::Faults)?;
+        let plan = self.fault_plan(rep)?;
         let faults = plan.count();
         let sim = Simulation::builder(self.p, self.logp)
             .faults(plan)
@@ -274,6 +284,27 @@ impl Campaign {
         let mut sink = MetricsSink::new();
         let records = self.run_observed(&mut sink)?;
         Ok((records, sink.registry))
+    }
+
+    /// Execute all repetitions under the streaming invariant monitor,
+    /// one monitor per repetition configured with that repetition's
+    /// exact fault mask (random fault regimes draw a different mask per
+    /// seed). Returns the records alongside the merged
+    /// [`MonitorReport`]; callers decide whether violations are fatal.
+    pub fn run_checked(&self) -> Result<(Vec<RunRecord>, MonitorReport), CampaignError> {
+        let mut records = Vec::with_capacity(self.reps as usize);
+        let mut report = MonitorReport::default();
+        for i in 0..self.reps {
+            let plan = self.fault_plan(i)?;
+            let cfg = MonitorConfig::new()
+                .with_p(self.p)
+                .with_logp(self.logp)
+                .with_failed(plan.mask().to_vec());
+            let mut monitor = MonitorSink::new(cfg);
+            records.push(self.run_one_observed(i, &mut monitor)?);
+            report.absorb(monitor.finish(), i);
+        }
+        Ok((records, report))
     }
 
     /// Execute all repetitions across `threads` OS threads. Results are
@@ -517,6 +548,41 @@ mod tests {
         assert_eq!(registry.counter(names::COLORED), colored_expected);
         let hist = registry.histogram(names::COLORING_TIME).unwrap();
         assert_eq!(hist.count(), colored_expected);
+    }
+
+    /// Every repetition of a faulty corrected campaign must pass the
+    /// streaming invariant monitor — this is the `run_observed`-path
+    /// integration the monitor exists for.
+    #[test]
+    fn checked_campaign_has_no_violations() {
+        let c = Campaign::new(
+            Variant::tree_opportunistic(TreeKind::BINOMIAL, 2),
+            128,
+            LogP::PAPER,
+        )
+        .with_faults(FaultSpec::Count(3))
+        .with_reps(4);
+        let (records, report) = c.run_checked().unwrap();
+        assert_eq!(records.len(), 4);
+        assert_eq!(report.reps, 4);
+        assert!(report.is_ok(), "{}", report.render_text());
+        // Checking never perturbs results.
+        assert_eq!(records, c.run().unwrap());
+    }
+
+    #[test]
+    fn fault_plan_accessor_matches_run_draw() {
+        let c = Campaign::new(
+            Variant::tree_checked_sync(TreeKind::BINOMIAL),
+            64,
+            LogP::PAPER,
+        )
+        .with_faults(FaultSpec::Count(4))
+        .with_reps(2);
+        for i in 0..2 {
+            let plan = c.fault_plan(i).unwrap();
+            assert_eq!(plan.count(), c.run_one(i).unwrap().faults);
+        }
     }
 
     #[test]

@@ -9,11 +9,12 @@
 
 use ct_analyze::{
     analyze_rep, AnalysisSummary, AnalyzeConfig, BenchSnapshot, RepAnalysis, TraceAnalysis,
+    WasteReport,
 };
 use ct_core::protocol::ProtocolFactory;
 use ct_obs::json::JsonObject;
 use ct_obs::metrics::Histogram;
-use ct_obs::VecSink;
+use ct_obs::{MonitorConfig, MonitorReport, MonitorSink, VecSink};
 
 use crate::campaign::{Campaign, CampaignError, RunRecord};
 
@@ -24,10 +25,16 @@ pub struct CampaignAnalysis {
     pub records: Vec<RunRecord>,
     /// The causal-DAG analysis of each repetition's trace.
     pub reps: Vec<RepAnalysis>,
+    /// Streaming invariant-monitor verdict over every repetition (the
+    /// `violations: 0` attestation figure manifests carry).
+    pub monitor: MonitorReport,
+    /// Aggregate waste accounting over every repetition.
+    pub waste: WasteReport,
 }
 
 /// Run every repetition of `campaign` under an event sink and analyze
-/// each trace. Costs one traced (allocating) simulation per
+/// each trace — causal DAG, invariant monitor and waste accounting in
+/// one pass. Costs one traced (allocating) simulation per
 /// repetition — meant for analysis passes and snapshot generation,
 /// not for the hot path of large campaigns.
 pub fn analyze_campaign(campaign: &Campaign) -> Result<CampaignAnalysis, CampaignError> {
@@ -37,13 +44,27 @@ pub fn analyze_campaign(campaign: &Campaign) -> Result<CampaignAnalysis, Campaig
     }
     let mut records = Vec::with_capacity(campaign.reps as usize);
     let mut reps = Vec::with_capacity(campaign.reps as usize);
+    let mut monitor = MonitorReport::default();
+    let mut waste = WasteReport::default();
     for i in 0..campaign.reps {
+        let plan = campaign.fault_plan(i)?;
         let mut sink = VecSink::new();
         let record = campaign.run_one_observed(i, &mut sink)?;
         reps.push(analyze_rep(&sink.events, &cfg));
+        let mcfg = MonitorConfig::new()
+            .with_p(campaign.p)
+            .with_logp(campaign.logp)
+            .with_failed(plan.mask().to_vec());
+        monitor.absorb(MonitorSink::check(&sink.events, &mcfg), i);
+        waste.add(&WasteReport::from_events(&sink.events, plan.mask()));
         records.push(record);
     }
-    Ok(CampaignAnalysis { records, reps })
+    Ok(CampaignAnalysis {
+        records,
+        reps,
+        monitor,
+        waste,
+    })
 }
 
 impl CampaignAnalysis {
@@ -66,8 +87,9 @@ impl CampaignAnalysis {
     }
 
     /// The JSON analysis block figure binaries embed in their run
-    /// manifests: the aggregate summary plus interpolated completion
-    /// percentiles.
+    /// manifests: the aggregate summary, interpolated completion
+    /// percentiles, the invariant-monitor attestation and the waste
+    /// accounting.
     pub fn analysis_json(&self) -> String {
         let h = self.completion_histogram();
         let mut obj = JsonObject::new();
@@ -77,6 +99,12 @@ impl CampaignAnalysis {
         pct.field_f64("p95", h.p95().unwrap_or(0.0));
         pct.field_f64("p99", h.p99().unwrap_or(0.0));
         obj.field_raw("completion_percentiles", &pct.finish());
+        let mut mon = JsonObject::new();
+        mon.field_u64("violations", self.monitor.violations.len() as u64);
+        mon.field_u64("events", self.monitor.events);
+        mon.field_u64("reps", u64::from(self.monitor.reps));
+        obj.field_raw("monitor", &mon.finish());
+        obj.field_raw("waste", &self.waste.to_json());
         obj.finish()
     }
 
@@ -117,6 +145,8 @@ impl CampaignAnalysis {
             .with_metric("messages_per_process_mean", mpp_mean)
             .with_metric("uncolored_mean", uncolored_mean)
             .with_metric("bounds_violations", f64::from(s.bounds.1))
+            .with_metric("monitor_violations", self.monitor.violations.len() as f64)
+            .with_metric("wasted_sends_mean", self.waste.wasted_total() as f64 / n)
     }
 }
 
@@ -158,6 +188,27 @@ mod tests {
         }
         let json = ca.analysis_json();
         assert!(json.starts_with(r#"{"summary":{"#), "{json}");
+    }
+
+    /// The analysis block must attest zero monitor violations and carry
+    /// non-trivial waste accounting on a faulty corrected campaign.
+    #[test]
+    fn analysis_block_carries_attestation_and_waste() {
+        let c = small_campaign().with_faults(FaultSpec::Count(2));
+        let ca = analyze_campaign(&c).unwrap();
+        assert!(ca.monitor.is_ok(), "{}", ca.monitor.render_text());
+        assert_eq!(ca.monitor.reps, 3);
+        assert!(ca.waste.sends > 0);
+        assert!(
+            ca.waste.dead_sends_dissemination + ca.waste.dead_sends_correction > 0,
+            "2 dead ranks per rep must attract some sends: {:?}",
+            ca.waste
+        );
+        let json = ca.analysis_json();
+        assert!(json.contains(r#""monitor":{"violations":0,"#), "{json}");
+        assert!(json.contains(r#""waste":{"sends":"#), "{json}");
+        let snap = ca.bench_snapshot("unit", &c);
+        assert_eq!(snap.metrics["monitor_violations"], 0.0);
     }
 
     #[test]

@@ -8,9 +8,12 @@
 //! quiescence latency, message counts, the post-dissemination maximum
 //! gap and the correction time `L_SCC`.
 
+use ct_analyze::WasteReport;
 use ct_core::correction::CorrectionKind;
 use ct_core::tree::TreeKind;
 use ct_logp::LogP;
+use ct_obs::json::JsonObject;
+use ct_obs::{MonitorConfig, MonitorReport, MonitorSink, VecSink};
 
 use crate::campaign::{Campaign, CampaignError, FaultSpec, RunRecord};
 use crate::variants::Variant;
@@ -110,6 +113,71 @@ pub fn run_grid(cfg: &ResilienceConfig) -> Result<Vec<ResilienceCell>, CampaignE
     Ok(cells)
 }
 
+/// Waste accounting and monitor attestation for one representative
+/// resilience cell, attached verbatim to figure manifests.
+#[derive(Clone, Debug)]
+pub struct WasteProbe {
+    /// Process count the probe ran at (clamped — see [`waste_probe`]).
+    pub p: u32,
+    /// Repetitions the probe ran.
+    pub reps: u32,
+    /// Fault rate of the probed cell.
+    pub rate: f64,
+    /// Aggregate waste over all probe repetitions.
+    pub waste: WasteReport,
+    /// Invariant-monitor verdict over all probe repetitions.
+    pub monitor: MonitorReport,
+}
+
+impl WasteProbe {
+    /// Render the manifest block:
+    /// `{"p":…,"reps":…,"rate":…,"violations":…,"waste":{…}}`.
+    pub fn to_json(&self) -> String {
+        let mut obj = JsonObject::new();
+        obj.field_u64("p", u64::from(self.p));
+        obj.field_u64("reps", u64::from(self.reps));
+        obj.field_f64("rate", self.rate);
+        obj.field_u64("violations", self.monitor.violations.len() as u64);
+        obj.field_raw("waste", &self.waste.to_json());
+        obj.finish()
+    }
+}
+
+/// Probe one cell of the resilience grid (binomial tree, checked sync
+/// correction, the given fault rate) under the invariant monitor and
+/// the waste accounting. Event capture allocates per repetition, so the
+/// probe clamps to a tractable size (`P ≤ 4096`, 5 repetitions) — the
+/// same spirit as `ct-bench`'s analysis probe — rather than replaying
+/// the full grid.
+pub fn waste_probe(cfg: &ResilienceConfig, rate: f64) -> Result<WasteProbe, CampaignError> {
+    let p = cfg.p.clamp(2, 4096);
+    let reps = cfg.reps.clamp(1, 5);
+    let campaign = Campaign::new(Variant::tree_checked_sync(TreeKind::BINOMIAL), p, cfg.logp)
+        .with_faults(FaultSpec::Rate(rate))
+        .with_reps(reps)
+        .with_seed(cfg.seed0);
+    let mut waste = WasteReport::default();
+    let mut monitor = MonitorReport::default();
+    for i in 0..reps {
+        let plan = campaign.fault_plan(i)?;
+        let mut sink = VecSink::new();
+        campaign.run_one_observed(i, &mut sink)?;
+        waste.add(&WasteReport::from_events(&sink.events, plan.mask()));
+        let mcfg = MonitorConfig::new()
+            .with_p(p)
+            .with_logp(cfg.logp)
+            .with_failed(plan.mask().to_vec());
+        monitor.absorb(MonitorSink::check(&sink.events, &mcfg), i);
+    }
+    Ok(WasteProbe {
+        p,
+        reps,
+        rate,
+        waste,
+        monitor,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -141,6 +209,16 @@ mod tests {
                 cell.rate
             );
         }
+    }
+
+    #[test]
+    fn waste_probe_attests_and_accounts() {
+        let probe = waste_probe(&tiny(), 0.04).unwrap();
+        assert!(probe.monitor.is_ok(), "{}", probe.monitor.render_text());
+        assert!(probe.waste.sends > 0);
+        let json = probe.to_json();
+        assert!(json.contains(r#""violations":0"#), "{json}");
+        assert!(json.contains(r#""waste":{"sends":"#), "{json}");
     }
 
     #[test]

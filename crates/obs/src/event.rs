@@ -96,6 +96,28 @@ impl EventKind {
             EventKind::PhaseEnd { .. } => "phase_end",
         }
     }
+
+    /// Causal ordering class for events carrying the same timestamp.
+    ///
+    /// Cluster workers buffer events independently and the coordinator
+    /// merges them by logical time only, so two causally ordered events
+    /// stamped in the same microsecond (a send and its arrival, an
+    /// arrival and its delivery) can surface in either order. Sorting by
+    /// `(time, order_class, original index)` restores an order in which
+    /// causes precede effects: span begins first, then sends, then wire
+    /// arrivals (including drops at dead ranks), then deliveries, then
+    /// coloring, then span ends. [`crate::monitor::MonitorSink`] sorts
+    /// with exactly this key before checking cross-rank invariants.
+    pub fn order_class(&self) -> u8 {
+        match self {
+            EventKind::PhaseBegin { .. } => 0,
+            EventKind::SendStart { .. } => 1,
+            EventKind::Arrive { .. } | EventKind::DropDead { .. } => 2,
+            EventKind::Deliver { .. } => 3,
+            EventKind::Colored { .. } => 4,
+            EventKind::PhaseEnd { .. } => 5,
+        }
+    }
 }
 
 /// One observability event.

@@ -16,6 +16,10 @@
 //!   cluster runtime, wall-clock microseconds.
 //! * [`sink`] — the [`EventSink`] trait plus [`NullSink`], [`VecSink`]
 //!   and the streaming [`JsonlSink`].
+//! * [`monitor`] — [`MonitorSink`], a streaming protocol checker that
+//!   validates the event stream online against the paper's invariants
+//!   (§2.1 reliability/no-duplicates, §4.3 fail-stop, LogP wire timing)
+//!   and reports structured [`monitor::Violation`] records.
 //! * [`metrics`] — [`MetricsRegistry`]: named counters and fixed-bucket
 //!   histograms with cross-run merge. No external dependencies.
 //! * [`manifest`] — [`RunManifest`], written as
@@ -33,10 +37,12 @@ pub mod event;
 pub mod json;
 pub mod manifest;
 pub mod metrics;
+pub mod monitor;
 pub mod sink;
 
 pub use chrome::chrome_trace;
 pub use event::{Event, EventKind};
 pub use manifest::RunManifest;
 pub use metrics::{Histogram, MetricsRegistry};
+pub use monitor::{Invariant, MonitorConfig, MonitorReport, MonitorSink, Violation};
 pub use sink::{EventSink, JsonlSink, MetricsSink, NullSink, VecSink};

@@ -1,0 +1,1103 @@
+//! Streaming protocol monitor.
+//!
+//! [`MonitorSink`] is an [`EventSink`] that validates the event stream
+//! *online* — no trace file needed — and works identically under the
+//! discrete-event simulator and the threaded cluster runtime. It checks
+//! the protocol invariants the paper asserts (§2.1 reliability and
+//! no-duplicates, §4.3 fail-stop faults) plus the schema guarantees the
+//! producers promise (per-channel FIFO wire order, LogP wire timing,
+//! well-nested phase spans, nondecreasing timestamps). Violations are
+//! structured [`Violation`] records carrying the invariant id, the
+//! offending event and — where one exists — the witness event that
+//! establishes the expectation.
+//!
+//! ## Checked invariants
+//!
+//! | id | invariant |
+//! |----|-----------|
+//! | `time-monotone` | timestamps are nondecreasing in emission order within a repetition |
+//! | `phase-nesting` | `PhaseBegin`/`PhaseEnd` form a well-nested span stack, all closed at end of stream |
+//! | `fifo-order` | the k-th wire arrival on a `(from, to)` channel carries the payload of the k-th send |
+//! | `wire-latency` | simulator streams: `arrive = send + (o + L)` and `deliver ≥ arrive + o` |
+//! | `wire-complete` | simulator streams: every send is matched by an `Arrive`/`DropDead` by end of run |
+//! | `deliver-unmatched` | every `Deliver` is preceded by a matching `Arrive` on its channel |
+//! | `deliver-once` | at most one `Tree` payload is delivered per rank (§2.1 no-duplicates) |
+//! | `colored-once` | each rank is `Colored` at most once (§2.1 no-duplicates) |
+//! | `dead-silent` | no `SendStart`/`Deliver`/`Colored`/`Arrive` involves a dead rank as actor (§4.3 fail-stop) |
+//! | `drop-dead-target` | `DropDead` only targets dead ranks |
+//! | `reliability` | every live rank is `Colored` by end of run (§2.1) |
+//!
+//! ## Ordering under the cluster runtime
+//!
+//! Cluster workers buffer events independently; the coordinator merges
+//! the buffers by logical time only, so causally ordered events stamped
+//! in the same microsecond can surface in either order (a `Deliver`
+//! before the `Arrive` it consumes, an `Arrive` before its `SendStart`).
+//! Before checking cross-rank invariants the monitor therefore sorts
+//! each repetition by `(time, `[`EventKind::order_class`]`, original
+//! index)` — a stable tiebreak that restores cause-before-effect order
+//! without disturbing genuinely ordered events — so wall-clock
+//! interleaving cannot cause false positives. Raw-order checks
+//! (`time-monotone`, `phase-nesting`) still run on emission order.
+//!
+//! Wall-clock streams (any event with `wall_us` set) additionally relax
+//! the two simulator-only checks: `wire-latency` (microsecond stamps do
+//! not follow LogP arithmetic) and `wire-complete` (the coordinator's
+//! `Stop` legitimately truncates in-flight correction messages).
+
+use std::collections::{BTreeMap, VecDeque};
+
+use ct_core::protocol::Payload;
+use ct_logp::{LogP, Rank};
+
+use crate::event::{Event, EventKind};
+use crate::json::JsonObject;
+use crate::sink::EventSink;
+
+/// Identifier of a checked invariant. Display/JSON ids are stable
+/// strings (`fifo-order`, `reliability`, …) that tests and CI match on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Invariant {
+    /// Timestamps nondecreasing in emission order (per repetition).
+    TimeMonotone,
+    /// Phase spans well-nested and all closed at end of stream.
+    PhaseNesting,
+    /// Per-channel FIFO: k-th arrival matches k-th send.
+    FifoOrder,
+    /// Simulator wire timing: `arrive = send + (o + L)`, `deliver ≥ arrive + o`.
+    WireLatency,
+    /// Simulator completeness: no send left unmatched at end of run.
+    WireComplete,
+    /// `Deliver` without a matching prior `Arrive`.
+    DeliverUnmatched,
+    /// More than one `Tree` delivery at one rank (§2.1 no-duplicates).
+    DeliverOnce,
+    /// A rank `Colored` more than once (§2.1 no-duplicates).
+    ColoredOnce,
+    /// A dead rank acted (sent, delivered, colored) or received an
+    /// `Arrive` instead of a `DropDead` (§4.3 fail-stop).
+    DeadSilent,
+    /// `DropDead` targeting a live rank.
+    DropDeadTarget,
+    /// A live rank left uncolored at end of run (§2.1 reliability).
+    Reliability,
+}
+
+impl Invariant {
+    /// The stable string id used in reports and JSON.
+    pub fn id(&self) -> &'static str {
+        match self {
+            Invariant::TimeMonotone => "time-monotone",
+            Invariant::PhaseNesting => "phase-nesting",
+            Invariant::FifoOrder => "fifo-order",
+            Invariant::WireLatency => "wire-latency",
+            Invariant::WireComplete => "wire-complete",
+            Invariant::DeliverUnmatched => "deliver-unmatched",
+            Invariant::DeliverOnce => "deliver-once",
+            Invariant::ColoredOnce => "colored-once",
+            Invariant::DeadSilent => "dead-silent",
+            Invariant::DropDeadTarget => "drop-dead-target",
+            Invariant::Reliability => "reliability",
+        }
+    }
+}
+
+impl core::fmt::Display for Invariant {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.id())
+    }
+}
+
+/// One invariant violation: which invariant, where, and why.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Violation {
+    /// The violated invariant.
+    pub invariant: Invariant,
+    /// Repetition index (0 for a single-run trace).
+    pub rep: u32,
+    /// Human-readable description of the violation.
+    pub message: String,
+    /// The offending event, where one exists (`reliability` and
+    /// `wire-complete` violations describe an *absence*).
+    pub event: Option<Event>,
+    /// The prior event that establishes the violated expectation (the
+    /// mismatched send, the first delivery, the unclosed span begin, …).
+    pub witness: Option<Event>,
+}
+
+impl Violation {
+    /// Render as one JSON object with fixed field order
+    /// (`invariant`, `rep`, `message`, `event`, `witness`).
+    pub fn to_json(&self) -> String {
+        let mut obj = JsonObject::new();
+        obj.field_str("invariant", self.invariant.id());
+        obj.field_u64("rep", u64::from(self.rep));
+        obj.field_str("message", &self.message);
+        match &self.event {
+            Some(e) => obj.field_raw("event", &e.to_json()),
+            None => obj.field_null("event"),
+        };
+        match &self.witness {
+            Some(e) => obj.field_raw("witness", &e.to_json()),
+            None => obj.field_null("witness"),
+        };
+        obj.finish()
+    }
+}
+
+impl core::fmt::Display for Violation {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "[{}] rep {}: {}",
+            self.invariant.id(),
+            self.rep,
+            self.message
+        )
+    }
+}
+
+/// Monitor configuration. The defaults check everything that can be
+/// checked from the stream alone; supplying `p`, the fault mask and the
+/// LogP parameters tightens the checks (exact reliability, wire timing).
+#[derive(Clone, Debug)]
+pub struct MonitorConfig {
+    /// Process count. `None` infers it per repetition from the highest
+    /// rank mentioned, which cannot see ranks that stay silent — supply
+    /// it whenever known so `reliability` is exact.
+    pub p: Option<u32>,
+    /// Fault mask (`mask[r]` true ⇒ rank `r` is dead), applied to every
+    /// repetition. `None` infers the dead set per repetition from
+    /// `DropDead` targets — sufficient for `drop-dead-target` but blind
+    /// to dead ranks that no message ever reached.
+    pub failed: Option<Vec<bool>>,
+    /// LogP parameters for the simulator wire-timing checks. `None`
+    /// disables `wire-latency` (timing is always skipped on wall-clock
+    /// streams regardless).
+    pub logp: Option<LogP>,
+    /// Stop at the first violation instead of collecting all of them.
+    pub fail_fast: bool,
+    /// Check end-of-run reliability (on by default). Disable when
+    /// monitoring protocols that do not promise §2.1 reliability, e.g. a
+    /// plain tree under faults with no correction phase.
+    pub check_reliability: bool,
+}
+
+impl Default for MonitorConfig {
+    fn default() -> Self {
+        MonitorConfig::new()
+    }
+}
+
+impl MonitorConfig {
+    /// Everything on, reliability checked, nothing known a priori.
+    pub fn new() -> MonitorConfig {
+        MonitorConfig {
+            p: None,
+            failed: None,
+            logp: None,
+            fail_fast: false,
+            check_reliability: true,
+        }
+    }
+
+    /// Set the process count.
+    pub fn with_p(mut self, p: u32) -> Self {
+        self.p = Some(p);
+        self
+    }
+
+    /// Set the fault mask.
+    pub fn with_failed(mut self, mask: Vec<bool>) -> Self {
+        self.failed = Some(mask);
+        self
+    }
+
+    /// Enable simulator wire-timing checks against these parameters.
+    pub fn with_logp(mut self, logp: LogP) -> Self {
+        self.logp = Some(logp);
+        self
+    }
+
+    /// Stop at the first violation.
+    pub fn with_fail_fast(mut self) -> Self {
+        self.fail_fast = true;
+        self
+    }
+
+    /// Skip the end-of-run reliability check.
+    pub fn without_reliability(mut self) -> Self {
+        self.check_reliability = false;
+        self
+    }
+}
+
+/// The monitor's verdict over a whole stream.
+#[derive(Clone, Debug, Default)]
+pub struct MonitorReport {
+    /// All violations found (at most one in fail-fast mode).
+    pub violations: Vec<Violation>,
+    /// Number of events inspected.
+    pub events: u64,
+    /// Number of repetitions validated (repetitions containing at least
+    /// one protocol event).
+    pub reps: u32,
+}
+
+impl MonitorReport {
+    /// True when no invariant was violated.
+    pub fn is_ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Fold another report in, re-stamping its violations with the
+    /// given repetition index (used when driving one monitor per
+    /// campaign repetition).
+    pub fn absorb(&mut self, mut other: MonitorReport, rep: u32) {
+        for v in &mut other.violations {
+            v.rep = rep;
+        }
+        self.violations.append(&mut other.violations);
+        self.events += other.events;
+        self.reps += other.reps;
+    }
+
+    /// Render as one stable JSON object:
+    /// `{"violations": N, "events": N, "reps": N, "records": [...]}`.
+    pub fn to_json(&self) -> String {
+        let mut obj = JsonObject::new();
+        obj.field_u64("violations", self.violations.len() as u64);
+        obj.field_u64("events", self.events);
+        obj.field_u64("reps", u64::from(self.reps));
+        let records: Vec<String> = self.violations.iter().map(Violation::to_json).collect();
+        obj.field_raw("records", &format!("[{}]", records.join(",")));
+        obj.finish()
+    }
+
+    /// Render a human-readable summary, one violation per line.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        if self.is_ok() {
+            out.push_str(&format!(
+                "ok: 0 violations across {} events, {} rep(s)\n",
+                self.events, self.reps
+            ));
+            return out;
+        }
+        out.push_str(&format!(
+            "FAIL: {} violation(s) across {} events, {} rep(s)\n",
+            self.violations.len(),
+            self.events,
+            self.reps
+        ));
+        for v in &self.violations {
+            out.push_str(&format!("  {v}\n"));
+            if let Some(e) = &v.event {
+                out.push_str(&format!("    event:   {e}\n"));
+            }
+            if let Some(w) = &v.witness {
+                out.push_str(&format!("    witness: {w}\n"));
+            }
+        }
+        out
+    }
+}
+
+/// Streaming invariant monitor. See the module docs for the invariant
+/// catalogue and the ordering model.
+///
+/// Validation is streaming at repetition granularity: protocol events
+/// are buffered per repetition (delimited by `rep*` phase spans; a raw
+/// single-run stream is one repetition) and checked when the repetition
+/// closes, so memory is bounded by the largest repetition, not the
+/// whole campaign. Phase nesting is checked fully online.
+#[derive(Debug)]
+pub struct MonitorSink {
+    cfg: MonitorConfig,
+    violations: Vec<Violation>,
+    events_seen: u64,
+    reps_validated: u32,
+    /// Buffered events of the current repetition.
+    buf: Vec<Event>,
+    /// Open phase spans (name + begin event), whole-stream.
+    phase_stack: Vec<(String, Event)>,
+    tripped: bool,
+}
+
+fn is_rep_span(name: &str) -> bool {
+    name == "rep" || name.starts_with("rep ")
+}
+
+fn is_protocol_event(kind: &EventKind) -> bool {
+    !matches!(
+        kind,
+        EventKind::PhaseBegin { .. } | EventKind::PhaseEnd { .. }
+    )
+}
+
+/// The phase a payload belongs to: dissemination (`tree`/`gossip`) or
+/// correction (`correction`/`ack`).
+pub fn is_correction_payload(p: Payload) -> bool {
+    matches!(p, Payload::Correction | Payload::Ack)
+}
+
+impl MonitorSink {
+    /// A monitor with the given configuration.
+    pub fn new(cfg: MonitorConfig) -> MonitorSink {
+        MonitorSink {
+            cfg,
+            violations: Vec::new(),
+            events_seen: 0,
+            reps_validated: 0,
+            buf: Vec::new(),
+            phase_stack: Vec::new(),
+            tripped: false,
+        }
+    }
+
+    /// Check a recorded stream offline. Convenience wrapper used by
+    /// `ct check --input`, the campaign integration and the tests.
+    pub fn check(events: &[Event], cfg: &MonitorConfig) -> MonitorReport {
+        let mut sink = MonitorSink::new(cfg.clone());
+        for e in events {
+            sink.emit(e);
+        }
+        sink.finish()
+    }
+
+    /// Consume the monitor, validating any open repetition and
+    /// unclosed phase spans, and return the report.
+    pub fn finish(mut self) -> MonitorReport {
+        self.finalize_rep();
+        if !self.tripped {
+            // Drain in stack order so the report is deterministic.
+            while let Some((name, begin)) = self.phase_stack.pop() {
+                self.push_violation(Violation {
+                    invariant: Invariant::PhaseNesting,
+                    rep: self.reps_validated,
+                    message: format!("span {name:?} never closed"),
+                    event: None,
+                    witness: Some(begin),
+                });
+                if self.tripped {
+                    break;
+                }
+            }
+        }
+        MonitorReport {
+            violations: self.violations,
+            events: self.events_seen,
+            reps: self.reps_validated,
+        }
+    }
+
+    /// Violations found so far (checked repetitions only).
+    pub fn violations(&self) -> &[Violation] {
+        &self.violations
+    }
+
+    fn push_violation(&mut self, v: Violation) {
+        self.violations.push(v);
+        if self.cfg.fail_fast {
+            self.tripped = true;
+        }
+    }
+
+    /// Validate and clear the current repetition buffer. No-op for
+    /// buffers holding no protocol events (the campaign envelope).
+    fn finalize_rep(&mut self) {
+        if self.tripped || !self.buf.iter().any(|e| is_protocol_event(&e.kind)) {
+            self.buf.clear();
+            return;
+        }
+        let buf = core::mem::take(&mut self.buf);
+        let rep = self.reps_validated;
+        self.reps_validated += 1;
+        let mut checker = RepChecker::new(&self.cfg, rep);
+        checker.run(&buf);
+        for v in checker.violations {
+            self.push_violation(v);
+            if self.tripped {
+                break;
+            }
+        }
+    }
+
+    fn on_phase_begin(&mut self, e: &Event, name: &str) {
+        self.phase_stack.push((name.to_owned(), e.clone()));
+        if is_rep_span(name) {
+            self.finalize_rep();
+        } else {
+            self.buf.push(e.clone());
+        }
+    }
+
+    fn on_phase_end(&mut self, e: &Event, name: &str) {
+        match self.phase_stack.last() {
+            Some((top, _)) if top == name => {
+                self.phase_stack.pop();
+            }
+            Some((top, begin)) => {
+                let message = format!("span end {name:?} while {top:?} is open");
+                let witness = begin.clone();
+                self.push_violation(Violation {
+                    invariant: Invariant::PhaseNesting,
+                    rep: self.reps_validated,
+                    message,
+                    event: Some(e.clone()),
+                    witness: Some(witness),
+                });
+                // Recover: close the matching open span if one exists,
+                // so a single mismatch does not cascade.
+                if let Some(pos) = self.phase_stack.iter().rposition(|(n, _)| n == name) {
+                    self.phase_stack.truncate(pos);
+                }
+            }
+            None => {
+                self.push_violation(Violation {
+                    invariant: Invariant::PhaseNesting,
+                    rep: self.reps_validated,
+                    message: format!("span end {name:?} with no open span"),
+                    event: Some(e.clone()),
+                    witness: None,
+                });
+            }
+        }
+        if is_rep_span(name) {
+            self.finalize_rep();
+        } else {
+            self.buf.push(e.clone());
+        }
+    }
+}
+
+impl EventSink for MonitorSink {
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn emit(&mut self, event: &Event) {
+        self.events_seen += 1;
+        if self.tripped {
+            return;
+        }
+        match &event.kind {
+            EventKind::PhaseBegin { name } => {
+                let name = name.clone();
+                self.on_phase_begin(event, &name);
+            }
+            EventKind::PhaseEnd { name } => {
+                let name = name.clone();
+                self.on_phase_end(event, &name);
+            }
+            _ => self.buf.push(event.clone()),
+        }
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+/// Per-repetition checking pass (raw-order checks, then sorted
+/// cross-rank matching).
+struct RepChecker<'a> {
+    cfg: &'a MonitorConfig,
+    rep: u32,
+    violations: Vec<Violation>,
+}
+
+impl<'a> RepChecker<'a> {
+    fn new(cfg: &'a MonitorConfig, rep: u32) -> Self {
+        RepChecker {
+            cfg,
+            rep,
+            violations: Vec::new(),
+        }
+    }
+
+    fn violation(
+        &mut self,
+        invariant: Invariant,
+        message: String,
+        event: Option<&Event>,
+        witness: Option<&Event>,
+    ) {
+        self.violations.push(Violation {
+            invariant,
+            rep: self.rep,
+            message,
+            event: event.cloned(),
+            witness: witness.cloned(),
+        });
+    }
+
+    fn run(&mut self, buf: &[Event]) {
+        let wall = buf.iter().any(|e| e.wall_us.is_some());
+
+        // Raw emission order: nondecreasing timestamps.
+        let mut max_seen: Option<usize> = None;
+        for (i, e) in buf.iter().enumerate() {
+            if let Some(m) = max_seen {
+                if e.time < buf[m].time {
+                    self.violation(
+                        Invariant::TimeMonotone,
+                        format!(
+                            "timestamp {} after {} in emission order",
+                            e.time.steps(),
+                            buf[m].time.steps()
+                        ),
+                        Some(e),
+                        Some(&buf[m]),
+                    );
+                }
+            }
+            if max_seen.is_none_or(|m| e.time > buf[m].time) {
+                max_seen = Some(i);
+            }
+        }
+
+        // Effective dead mask and process count.
+        let inferred_dead: Vec<Rank> = buf
+            .iter()
+            .filter_map(|e| match &e.kind {
+                EventKind::DropDead { to, .. } => Some(*to),
+                _ => None,
+            })
+            .collect();
+        let p = self.cfg.p.unwrap_or_else(|| {
+            buf.iter().fold(0, |acc, e| match &e.kind {
+                EventKind::SendStart { from, to, .. }
+                | EventKind::Arrive { from, to, .. }
+                | EventKind::Deliver { from, to, .. }
+                | EventKind::DropDead { from, to, .. } => acc.max(from + 1).max(to + 1),
+                EventKind::Colored { rank, .. } => acc.max(rank + 1),
+                _ => acc,
+            })
+        });
+        let dead = |r: Rank| -> bool {
+            match &self.cfg.failed {
+                Some(mask) => mask.get(r as usize).copied().unwrap_or(false),
+                None => inferred_dead.contains(&r),
+            }
+        };
+
+        // Stable causal sort; see EventKind::order_class.
+        let mut order: Vec<usize> = (0..buf.len()).collect();
+        order.sort_by_key(|&i| (buf[i].time, buf[i].kind.order_class(), i));
+
+        let timing = if wall { None } else { self.cfg.logp };
+        // Outstanding sends / undelivered arrivals per channel.
+        let mut on_wire: BTreeMap<(Rank, Rank), VecDeque<usize>> = BTreeMap::new();
+        let mut arrived: BTreeMap<(Rank, Rank), VecDeque<usize>> = BTreeMap::new();
+        let mut colored_at: BTreeMap<Rank, usize> = BTreeMap::new();
+        let mut tree_delivered: BTreeMap<Rank, usize> = BTreeMap::new();
+
+        for &i in &order {
+            let e = &buf[i];
+            match &e.kind {
+                EventKind::SendStart { from, to, .. } => {
+                    if dead(*from) {
+                        self.violation(
+                            Invariant::DeadSilent,
+                            format!("dead rank {from} sent to {to}"),
+                            Some(e),
+                            None,
+                        );
+                    }
+                    on_wire.entry((*from, *to)).or_default().push_back(i);
+                }
+                EventKind::Arrive { from, to, payload } => {
+                    if dead(*to) {
+                        self.violation(
+                            Invariant::DeadSilent,
+                            format!("arrival at dead rank {to} (expected drop)"),
+                            Some(e),
+                            None,
+                        );
+                    }
+                    self.match_wire(buf, &mut on_wire, i, (*from, *to), *payload, timing);
+                    arrived.entry((*from, *to)).or_default().push_back(i);
+                }
+                EventKind::DropDead { from, to, payload } => {
+                    if !dead(*to) {
+                        self.violation(
+                            Invariant::DropDeadTarget,
+                            format!("drop at live rank {to}"),
+                            Some(e),
+                            None,
+                        );
+                    }
+                    self.match_wire(buf, &mut on_wire, i, (*from, *to), *payload, timing);
+                }
+                EventKind::Deliver { from, to, payload } => {
+                    if dead(*to) {
+                        self.violation(
+                            Invariant::DeadSilent,
+                            format!("delivery at dead rank {to}"),
+                            Some(e),
+                            None,
+                        );
+                    }
+                    match arrived.get_mut(&(*from, *to)).and_then(VecDeque::pop_front) {
+                        None => self.violation(
+                            Invariant::DeliverUnmatched,
+                            format!("delivery on channel {from}->{to} with no pending arrival"),
+                            Some(e),
+                            None,
+                        ),
+                        Some(a) => {
+                            let arr = &buf[a];
+                            if payload_of(&arr.kind) != Some(*payload) {
+                                self.violation(
+                                    Invariant::DeliverUnmatched,
+                                    format!(
+                                        "delivery payload mismatches pending arrival on {from}->{to}"
+                                    ),
+                                    Some(e),
+                                    Some(arr),
+                                );
+                            }
+                            if let Some(logp) = timing {
+                                if e.time.steps() < arr.time.steps() + logp.o() {
+                                    self.violation(
+                                        Invariant::WireLatency,
+                                        format!(
+                                            "deliver at {} before arrive {} + o {}",
+                                            e.time.steps(),
+                                            arr.time.steps(),
+                                            logp.o()
+                                        ),
+                                        Some(e),
+                                        Some(arr),
+                                    );
+                                }
+                            }
+                        }
+                    }
+                    if *payload == Payload::Tree {
+                        if let Some(&first) = tree_delivered.get(to) {
+                            self.violation(
+                                Invariant::DeliverOnce,
+                                format!("rank {to} delivered the tree payload twice"),
+                                Some(e),
+                                Some(&buf[first]),
+                            );
+                        } else {
+                            tree_delivered.insert(*to, i);
+                        }
+                    }
+                }
+                EventKind::Colored { rank, .. } => {
+                    if dead(*rank) {
+                        self.violation(
+                            Invariant::DeadSilent,
+                            format!("dead rank {rank} colored"),
+                            Some(e),
+                            None,
+                        );
+                    }
+                    if let Some(&first) = colored_at.get(rank) {
+                        self.violation(
+                            Invariant::ColoredOnce,
+                            format!("rank {rank} colored twice"),
+                            Some(e),
+                            Some(&buf[first]),
+                        );
+                    } else {
+                        colored_at.insert(*rank, i);
+                    }
+                }
+                EventKind::PhaseBegin { .. } | EventKind::PhaseEnd { .. } => {}
+            }
+        }
+
+        // End of repetition: nothing still on the wire (simulator only —
+        // the cluster's Stop legitimately truncates in-flight messages).
+        if !wall {
+            for ((from, to), pending) in &on_wire {
+                if let Some(&first) = pending.front() {
+                    self.violation(
+                        Invariant::WireComplete,
+                        format!(
+                            "{} send(s) on {from}->{to} never arrived or dropped",
+                            pending.len()
+                        ),
+                        None,
+                        Some(&buf[first]),
+                    );
+                }
+            }
+        }
+
+        // End of repetition: every live rank colored (§2.1).
+        if self.cfg.check_reliability {
+            for r in 0..p {
+                if !dead(r) && !colored_at.contains_key(&r) {
+                    self.violation(
+                        Invariant::Reliability,
+                        format!("live rank {r} never colored"),
+                        None,
+                        None,
+                    );
+                }
+            }
+        }
+    }
+
+    /// Pop the channel's oldest outstanding send for this wire event
+    /// (`Arrive` or `DropDead`), checking FIFO payload order and — on
+    /// simulator streams — the exact `send + (o + L)` wire latency.
+    fn match_wire(
+        &mut self,
+        buf: &[Event],
+        on_wire: &mut BTreeMap<(Rank, Rank), VecDeque<usize>>,
+        i: usize,
+        (from, to): (Rank, Rank),
+        payload: Payload,
+        timing: Option<LogP>,
+    ) {
+        let e = &buf[i];
+        match on_wire.get_mut(&(from, to)).and_then(VecDeque::pop_front) {
+            None => self.violation(
+                Invariant::FifoOrder,
+                format!("wire event on {from}->{to} with no outstanding send"),
+                Some(e),
+                None,
+            ),
+            Some(s) => {
+                let send = &buf[s];
+                if payload_of(&send.kind) != Some(payload) {
+                    self.violation(
+                        Invariant::FifoOrder,
+                        format!("payload mismatches oldest outstanding send on {from}->{to}"),
+                        Some(e),
+                        Some(send),
+                    );
+                }
+                if let Some(logp) = timing {
+                    let wire = logp.o() + logp.l();
+                    if e.time.steps() != send.time.steps() + wire {
+                        self.violation(
+                            Invariant::WireLatency,
+                            format!(
+                                "wire event at {} but send {} + (o + L) {}",
+                                e.time.steps(),
+                                send.time.steps(),
+                                wire
+                            ),
+                            Some(e),
+                            Some(send),
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn payload_of(kind: &EventKind) -> Option<Payload> {
+    match kind {
+        EventKind::SendStart { payload, .. }
+        | EventKind::Arrive { payload, .. }
+        | EventKind::Deliver { payload, .. }
+        | EventKind::DropDead { payload, .. } => Some(*payload),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ct_core::protocol::ColoredVia;
+    use ct_logp::Time;
+
+    fn send(t: u64, from: Rank, to: Rank) -> Event {
+        Event::sim(
+            Time::new(t),
+            EventKind::SendStart {
+                from,
+                to,
+                payload: Payload::Tree,
+            },
+        )
+    }
+
+    fn arrive(t: u64, from: Rank, to: Rank) -> Event {
+        Event::sim(
+            Time::new(t),
+            EventKind::Arrive {
+                from,
+                to,
+                payload: Payload::Tree,
+            },
+        )
+    }
+
+    fn deliver(t: u64, from: Rank, to: Rank) -> Event {
+        Event::sim(
+            Time::new(t),
+            EventKind::Deliver {
+                from,
+                to,
+                payload: Payload::Tree,
+            },
+        )
+    }
+
+    fn colored(t: u64, rank: Rank, via: ColoredVia) -> Event {
+        Event::sim(Time::new(t), EventKind::Colored { rank, via })
+    }
+
+    fn phase(t: u64, name: &str, begin: bool) -> Event {
+        Event::sim(
+            Time::new(t),
+            if begin {
+                EventKind::PhaseBegin { name: name.into() }
+            } else {
+                EventKind::PhaseEnd { name: name.into() }
+            },
+        )
+    }
+
+    /// A minimal clean 2-rank broadcast under LogP::PAPER (o=1, L=2).
+    fn clean_run() -> Vec<Event> {
+        vec![
+            phase(0, "broadcast", true),
+            colored(0, 0, ColoredVia::Root),
+            send(0, 0, 1),
+            arrive(3, 0, 1),
+            deliver(4, 0, 1),
+            colored(4, 1, ColoredVia::Dissemination),
+            phase(4, "broadcast", false),
+        ]
+    }
+
+    fn cfg() -> MonitorConfig {
+        MonitorConfig::new().with_p(2).with_logp(LogP::PAPER)
+    }
+
+    fn ids(report: &MonitorReport) -> Vec<&'static str> {
+        report.violations.iter().map(|v| v.invariant.id()).collect()
+    }
+
+    #[test]
+    fn clean_run_is_ok() {
+        let report = MonitorSink::check(&clean_run(), &cfg());
+        assert!(report.is_ok(), "{}", report.render_text());
+        assert_eq!(report.reps, 1);
+    }
+
+    #[test]
+    fn missing_arrive_is_wire_incomplete() {
+        let mut events = clean_run();
+        events.retain(|e| !matches!(e.kind, EventKind::Arrive { .. }));
+        let report = MonitorSink::check(&events, &cfg());
+        assert!(
+            ids(&report).contains(&"wire-complete"),
+            "{ids:?}",
+            ids = ids(&report)
+        );
+        assert!(ids(&report).contains(&"deliver-unmatched"));
+    }
+
+    #[test]
+    fn wrong_wire_latency_is_flagged() {
+        let mut events = clean_run();
+        for e in &mut events {
+            if matches!(e.kind, EventKind::Arrive { .. }) {
+                e.time = Time::new(2); // should be send + (o + L) = 3
+            }
+        }
+        let report = MonitorSink::check(&events, &cfg());
+        assert!(ids(&report).contains(&"wire-latency"));
+    }
+
+    #[test]
+    fn double_color_and_double_deliver_are_flagged() {
+        let mut events = clean_run();
+        events.insert(6, colored(4, 1, ColoredVia::Correction));
+        events.insert(6, deliver(5, 0, 1));
+        let report = MonitorSink::check(&events, &cfg());
+        let got = ids(&report);
+        assert!(got.contains(&"colored-once"), "{got:?}");
+        assert!(got.contains(&"deliver-once"), "{got:?}");
+        assert!(got.contains(&"deliver-unmatched"), "{got:?}");
+    }
+
+    #[test]
+    fn dead_rank_activity_is_flagged() {
+        let mut events = clean_run();
+        events.insert(3, send(1, 1, 0));
+        let c = MonitorConfig::new()
+            .with_p(2)
+            .with_logp(LogP::PAPER)
+            .with_failed(vec![false, true]);
+        let report = MonitorSink::check(&events, &c);
+        let got = ids(&report);
+        assert!(got.contains(&"dead-silent"), "{got:?}");
+    }
+
+    #[test]
+    fn drop_at_live_rank_is_flagged() {
+        let events = vec![
+            colored(0, 0, ColoredVia::Root),
+            send(0, 0, 1),
+            Event::sim(
+                Time::new(3),
+                EventKind::DropDead {
+                    from: 0,
+                    to: 1,
+                    payload: Payload::Tree,
+                },
+            ),
+        ];
+        let c = MonitorConfig::new()
+            .with_p(2)
+            .with_failed(vec![false, false])
+            .without_reliability();
+        let report = MonitorSink::check(&events, &c);
+        assert_eq!(ids(&report), vec!["drop-dead-target"]);
+    }
+
+    #[test]
+    fn uncolored_live_rank_is_unreliable() {
+        let events = vec![
+            colored(0, 0, ColoredVia::Root),
+            send(0, 0, 1),
+            arrive(3, 0, 1),
+        ];
+        let report = MonitorSink::check(&events, &MonitorConfig::new().with_p(2));
+        assert!(ids(&report).contains(&"reliability"));
+    }
+
+    #[test]
+    fn non_monotone_and_bad_nesting_are_flagged() {
+        let events = vec![
+            phase(0, "a", true),
+            send(5, 0, 1),
+            arrive(3, 0, 1),
+            phase(8, "b", false),
+        ];
+        let report = MonitorSink::check(
+            &events,
+            &MonitorConfig::new().with_p(2).without_reliability(),
+        );
+        let got = ids(&report);
+        assert!(got.contains(&"time-monotone"), "{got:?}");
+        assert!(got.contains(&"phase-nesting"), "{got:?}");
+    }
+
+    #[test]
+    fn fail_fast_stops_at_first_violation() {
+        let mut events = clean_run();
+        events.retain(|e| !matches!(e.kind, EventKind::Arrive { .. }));
+        let report = MonitorSink::check(&events, &cfg().with_fail_fast());
+        assert_eq!(report.violations.len(), 1);
+    }
+
+    /// Satellite: wall-clock interleaving must not cause false
+    /// positives. Cluster workers stamp causally ordered events with
+    /// equal microseconds and the coordinator merges per-worker buffers
+    /// by time only, so the raw order may show the arrival before its
+    /// send; the monitor's stable `(time, order_class, index)` sort must
+    /// repair it.
+    #[test]
+    fn equal_timestamp_interleaving_is_repaired_by_stable_sort() {
+        let w = |t: u64, kind: EventKind| Event::wall(Time::new(t), t, kind);
+        let events = vec![
+            w(
+                0,
+                EventKind::PhaseBegin {
+                    name: "broadcast".into(),
+                },
+            ),
+            w(
+                0,
+                EventKind::Colored {
+                    rank: 0,
+                    via: ColoredVia::Root,
+                },
+            ),
+            // Arrival and delivery surface *before* the send they
+            // consume, all stamped in the same microsecond.
+            w(
+                7,
+                EventKind::Deliver {
+                    from: 0,
+                    to: 1,
+                    payload: Payload::Tree,
+                },
+            ),
+            w(
+                7,
+                EventKind::Arrive {
+                    from: 0,
+                    to: 1,
+                    payload: Payload::Tree,
+                },
+            ),
+            w(
+                7,
+                EventKind::SendStart {
+                    from: 0,
+                    to: 1,
+                    payload: Payload::Tree,
+                },
+            ),
+            w(
+                7,
+                EventKind::Colored {
+                    rank: 1,
+                    via: ColoredVia::Dissemination,
+                },
+            ),
+            w(
+                9,
+                EventKind::PhaseEnd {
+                    name: "broadcast".into(),
+                },
+            ),
+        ];
+        let report = MonitorSink::check(&events, &MonitorConfig::new().with_p(2));
+        assert!(report.is_ok(), "{}", report.render_text());
+    }
+
+    #[test]
+    fn rep_spans_reset_state() {
+        let mut events = vec![phase(0, "campaign", true), phase(0, "rep 0", true)];
+        events.extend(clean_run());
+        events.push(phase(9, "rep 0", false));
+        events.push(phase(0, "rep 1", true));
+        events.extend(clean_run());
+        events.push(phase(9, "rep 1", false));
+        events.push(phase(9, "campaign", false));
+        let report = MonitorSink::check(&events, &cfg());
+        assert!(report.is_ok(), "{}", report.render_text());
+        assert_eq!(report.reps, 2);
+    }
+
+    #[test]
+    fn unclosed_span_is_flagged_at_finish() {
+        let mut events = clean_run();
+        events.pop(); // drop the broadcast PhaseEnd
+        let report = MonitorSink::check(&events, &cfg());
+        assert!(ids(&report).contains(&"phase-nesting"));
+    }
+
+    #[test]
+    fn report_json_is_stable() {
+        let events = vec![
+            colored(0, 0, ColoredVia::Root),
+            colored(1, 0, ColoredVia::Correction),
+        ];
+        let report = MonitorSink::check(&events, &MonitorConfig::new().with_p(1));
+        assert_eq!(
+            report.to_json(),
+            "{\"violations\":1,\"events\":2,\"reps\":1,\"records\":[\
+             {\"invariant\":\"colored-once\",\"rep\":0,\"message\":\"rank 0 colored twice\",\
+             \"event\":{\"t\":1,\"kind\":\"colored\",\"rank\":0,\"via\":\"correction\"},\
+             \"witness\":{\"t\":0,\"kind\":\"colored\",\"rank\":0,\"via\":\"root\"}}]}"
+        );
+    }
+}

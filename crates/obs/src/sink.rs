@@ -42,6 +42,17 @@ impl EventSink for NullSink {
 
 /// Buffers every event in memory; the backing store for traces and
 /// golden tests.
+///
+/// Ordering caveat: a sink records *emission* order. The simulator
+/// emits in global causal order, but the cluster runtime buffers
+/// events per worker and merges by logical time with
+/// [`EventKind::order_class`](crate::EventKind::order_class) as the
+/// equal-time tiebreak — two causally ordered events stamped in the
+/// same microsecond on *different* workers have no further ordering
+/// guarantee. Consumers checking cross-rank invariants must therefore
+/// sort by `(time, order_class, index)` first, as
+/// [`MonitorSink`](crate::MonitorSink) does, rather than trust raw
+/// buffer order.
 #[derive(Clone, Debug, Default)]
 pub struct VecSink {
     /// The recorded events, in emission order.
@@ -145,6 +156,10 @@ impl EventSink for MetricsSink {
 }
 
 /// Fan one stream out to two sinks (either side may be a further tee).
+///
+/// Both sides see the same emission order; the [`VecSink`] ordering
+/// caveat about cluster per-worker buffering applies to each side
+/// unchanged.
 #[derive(Debug, Default)]
 pub struct TeeSink<A, B> {
     /// First receiver.

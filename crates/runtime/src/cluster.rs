@@ -291,9 +291,18 @@ impl Cluster {
         }
 
         if record {
-            // Stable sort keeps each worker's own event order at equal
-            // timestamps.
-            recorded.sort_by_key(|e| e.time);
+            // Per-worker buffers arrive in nondeterministic StopAck
+            // order, so cross-worker events stamped in the same
+            // microsecond would otherwise interleave arbitrarily — an
+            // `Arrive` could surface before its `SendStart`. Sorting by
+            // `(time, order_class)` restores cause-before-effect at
+            // equal timestamps (send < arrive < deliver < colored) and
+            // the stable sort keeps each worker's own in-order stream
+            // intact. `MonitorSink` applies the same key before
+            // checking cross-rank invariants, so either layer alone
+            // suffices; doing it here also makes recorded cluster
+            // traces deterministic for diffing.
+            recorded.sort_by_key(|e| (e.time, e.kind.order_class()));
             let end = recorded.last().map_or(Time::ZERO, |e| e.time);
             sink.emit(&ObsEvent::wall(
                 Time::ZERO,

@@ -104,6 +104,14 @@ impl Trace {
     /// Render an ASCII timeline of sender activity, one row per rank —
     /// the shape of Figure 5a. `S` marks a send slot, `R` a delivery.
     pub fn ascii_timeline(&self, p: u32, o: u64) -> String {
+        self.ascii_timeline_ranks(p, o, None)
+    }
+
+    /// [`Trace::ascii_timeline`] restricted to the given rows. The
+    /// horizon and all marks are computed from the full trace — the
+    /// filter hides rows, it does not re-time them — so the visible
+    /// rows line up column-for-column with the unfiltered rendering.
+    pub fn ascii_timeline_ranks(&self, p: u32, o: u64, ranks: Option<&[Rank]>) -> String {
         let horizon = self
             .events
             .iter()
@@ -143,6 +151,11 @@ impl Trace {
         }
         let mut out = String::new();
         for (r, row) in rows.iter().enumerate() {
+            if let Some(keep) = ranks {
+                if !keep.contains(&(r as Rank)) {
+                    continue;
+                }
+            }
             out.push_str(&format!("{r:>5} |"));
             out.push_str(std::str::from_utf8(row).expect("ascii"));
             out.push('\n');
@@ -222,6 +235,21 @@ mod tests {
             ],
         };
         assert_eq!(trace.ascii_timeline(2, 2), "    0 |R..\n    1 |...\n");
+    }
+
+    #[test]
+    fn ascii_timeline_ranks_hides_rows_without_retiming() {
+        let trace = Trace {
+            events: vec![
+                ev(0, TraceKind::SendStart, 0, 1),
+                ev(3, TraceKind::Deliver, 0, 1),
+            ],
+        };
+        let full = trace.ascii_timeline(3, 1);
+        let only1 = trace.ascii_timeline_ranks(3, 1, Some(&[1]));
+        // The filtered view is exactly the matching row of the full view.
+        let row1 = full.lines().nth(1).unwrap();
+        assert_eq!(only1, format!("{row1}\n"));
     }
 
     #[test]

@@ -7,6 +7,9 @@
 //! $ ct sweep --tree optimal --correction opp4 --p 4096 --rate 0.02 --reps 50
 //! $ ct trace --tree binomial --correction opp2 --p 16 --faults 1 \
 //!            --format ascii|jsonl|chrome    # event-stream visualisation
+//! $ ct check --p 256 --rate 0.02 [--runtime] [--input trace.jsonl]
+//!                                            # invariant monitor (exit 1 on violation)
+//! $ ct forensics --p 64 --faults 3           # per-failure rescue provenance + waste
 //! ```
 //!
 //! Everything the subcommands do is also available as library API; the
@@ -15,19 +18,21 @@
 
 use corrected_trees::analysis::Summary;
 use corrected_trees::analyze::{
-    analyze_trace, parse_jsonl, AnalysisSummary, AnalyzeConfig, BenchSnapshot, PerfDiff,
+    analyze_forensics, analyze_trace, infer_p, parse_jsonl, split_reps, AnalysisSummary,
+    AnalyzeConfig, BenchSnapshot, PerfDiff,
 };
 use corrected_trees::core::correction::CorrectionKind;
 use corrected_trees::core::protocol::{BroadcastSpec, Payload};
 use corrected_trees::core::tree::{interleaving, stats, Ordering, Topology, TreeKind};
 use corrected_trees::exp::{analyze_campaign, Campaign, FaultSpec, Variant};
 use corrected_trees::logp::LogP;
-use corrected_trees::obs::{chrome_trace, VecSink};
+use corrected_trees::obs::{chrome_trace, Event, EventKind, MonitorConfig, MonitorSink, VecSink};
+use corrected_trees::runtime::Cluster;
 use corrected_trees::sim::{FaultPlan, Simulation, Trace};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: ct <run|tree|sweep|trace|analyze|perf> [options]\n\
+        "usage: ct <run|tree|sweep|trace|analyze|check|forensics|perf> [options]\n\
          \n\
          common options:\n\
            --tree <binomial|binomial-inorder|kary<K>|lame<K>|optimal>  (default binomial)\n\
@@ -49,13 +54,33 @@ fn usage() -> ! {
                    ascii:  Figure-5-style sender/delivery timeline\n\
                    jsonl:  one ct-obs event per line (stable schema)\n\
                    chrome: chrome://tracing / Perfetto JSON document\n\
+           --ranks <a,b,c>         restrict ascii rows / jsonl events to\n\
+                                   the given ranks (phase spans kept)\n\
          analyze options (all run options, or --input to read a trace):\n\
            --input <trace.jsonl>   analyze a recorded JSONL trace instead\n\
                                    of running the simulator\n\
            --view <summary|critical-path|utilization>   (default summary)\n\
+           --ranks <a,b,c>         restrict the utilization view to ranks\n\
            --json                  machine-readable summary output\n\
            --sync-start <T>        enable the Lemma-3 bounds check at\n\
                                    synchronized correction start T\n\
+         check options (all run options, or --input to read a trace):\n\
+           --input <trace.jsonl>   validate a recorded JSONL trace instead\n\
+                                   of running live (with --failed <a,b,c>\n\
+                                   naming the known-dead ranks, if any)\n\
+           --runtime               run live on the cluster runtime instead\n\
+                                   of the simulator (default --p 16)\n\
+           --fail-fast             stop at the first violation\n\
+           --json                  machine-readable violation report\n\
+           exit status: 0 clean, 1 violations found, 2 usage/I-O error\n\
+         forensics options (all run options, or --input + --failed):\n\
+           --input <trace.jsonl>   analyze a recorded JSONL trace (first\n\
+                                   rep of a multi-rep trace)\n\
+           --failed <a,b,c>        dead ranks of the recorded trace\n\
+                                   (default: inferred from drop events)\n\
+           --json                  machine-readable forensics report\n\
+           note: assumes the identity rank mapping — rejects\n\
+           --root/--shuffle\n\
          perf subcommands:\n\
            perf snapshot --name <N> [run options] [--reps R]\n\
                                    run a small campaign, write BENCH_<N>.json\n\
@@ -180,6 +205,34 @@ fn faults(cli: &Cli, p: u32, seed: u64, root: u32) -> FaultPlan {
     }
 }
 
+/// Parse a comma-separated rank list (`--ranks 0,3,7`).
+fn parse_rank_list(cli: &Cli, key: &str) -> Option<Vec<u32>> {
+    cli.value(key).map(|s| {
+        s.split(',')
+            .map(str::trim)
+            .filter(|t| !t.is_empty())
+            .map(|t| {
+                t.parse().unwrap_or_else(|_| {
+                    eprintln!("cannot parse {key} entry {t:?}");
+                    usage()
+                })
+            })
+            .collect()
+    })
+}
+
+/// Does this event mention any of `ranks` (phase spans always pass)?
+fn event_involves(event: &Event, ranks: &[u32]) -> bool {
+    match event.kind {
+        EventKind::SendStart { from, to, .. }
+        | EventKind::Arrive { from, to, .. }
+        | EventKind::Deliver { from, to, .. }
+        | EventKind::DropDead { from, to, .. } => ranks.contains(&from) || ranks.contains(&to),
+        EventKind::Colored { rank, .. } => ranks.contains(&rank),
+        EventKind::PhaseBegin { .. } | EventKind::PhaseEnd { .. } => true,
+    }
+}
+
 fn cmd_run(cli: &Cli) {
     let p: u32 = cli.parsed("--p", 1024);
     let logp: LogP = cli
@@ -246,16 +299,22 @@ fn cmd_trace(cli: &Cli) {
         .run_with_sink(&spec, &mut sink)
         .expect("valid configuration");
 
+    let ranks = parse_rank_list(cli, "--ranks");
     match cli.value("--format").unwrap_or("ascii") {
         "ascii" => {
             let trace = Trace::from_events(&sink.events);
-            print!("{}", trace.ascii_timeline(p, logp.o()));
+            print!(
+                "{}",
+                trace.ascii_timeline_ranks(p, logp.o(), ranks.as_deref())
+            );
             println!();
             report(&out, &failed);
         }
         "jsonl" => {
             for e in &sink.events {
-                println!("{e}");
+                if ranks.as_deref().is_none_or(|r| event_involves(e, r)) {
+                    println!("{e}");
+                }
             }
         }
         "chrome" => println!("{}", chrome_trace(&sink.events, logp.o())),
@@ -430,9 +489,15 @@ fn cmd_analyze(cli: &Cli) {
             }
         }
         "utilization" => {
+            let ranks = parse_rank_list(cli, "--ranks");
             for (i, rep) in ta.reps.iter().enumerate() {
                 println!("rep {i}: completion {}", rep.completion);
                 for r in 0..rep.utilization.busy.len() {
+                    if let Some(keep) = &ranks {
+                        if !keep.contains(&(r as u32)) {
+                            continue;
+                        }
+                    }
                     let frac = rep.utilization.busy_frac(r);
                     let bar = "#".repeat((frac * 40.0).round() as usize);
                     println!("  rank {r:>5}  busy {:>5.1}%  {bar}", frac * 100.0);
@@ -443,6 +508,157 @@ fn cmd_analyze(cli: &Cli) {
             eprintln!("unknown analyze view {other:?}");
             usage()
         }
+    }
+}
+
+fn read_trace(path: &str) -> Vec<Event> {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("{path}: {e}");
+        std::process::exit(2);
+    });
+    parse_jsonl(&text).unwrap_or_else(|e| {
+        eprintln!("{path}: {e}");
+        std::process::exit(2);
+    })
+}
+
+/// `ct check` — run the streaming invariant monitor over a recorded
+/// trace (`--input`), a live simulator run (default) or a live cluster
+/// run (`--runtime`). Exit 1 when any invariant is violated.
+fn cmd_check(cli: &Cli) {
+    let logp: LogP = cli
+        .value("--logp")
+        .map(|s| s.parse().expect("valid LogP string"))
+        .unwrap_or(LogP::PAPER);
+    let fail_fast = cli.flag("--fail-fast");
+    let report = if let Some(path) = cli.value("--input") {
+        let events = read_trace(path);
+        let mut cfg = MonitorConfig::new().with_logp(logp);
+        if let Some(p) = cli.value("--p") {
+            cfg = cfg.with_p(p.parse().unwrap_or_else(|_| usage()));
+        }
+        if let Some(failed) = parse_rank_list(cli, "--failed") {
+            let p: u32 = cli.parsed("--p", failed.iter().max().map_or(1, |&m| m + 1));
+            let mut mask = vec![false; p as usize];
+            for r in failed {
+                if (r as usize) < mask.len() {
+                    mask[r as usize] = true;
+                }
+            }
+            cfg = cfg.with_failed(mask);
+        }
+        if fail_fast {
+            cfg = cfg.with_fail_fast();
+        }
+        MonitorSink::check(&events, &cfg)
+    } else {
+        let runtime = cli.flag("--runtime");
+        // The cluster spawns one OS thread per rank — default far
+        // smaller than the simulator's.
+        let p: u32 = cli.parsed("--p", if runtime { 16 } else { 1024 });
+        let seed: u64 = cli.parsed("--seed", 1);
+        let spec = build_spec(cli);
+        let plan = faults(cli, p, seed, spec.root);
+        let mut cfg = MonitorConfig::new()
+            .with_p(p)
+            .with_logp(logp)
+            .with_failed(plan.mask().to_vec());
+        if fail_fast {
+            cfg = cfg.with_fail_fast();
+        }
+        let mut monitor = MonitorSink::new(cfg);
+        if runtime {
+            let mask = plan.mask().to_vec();
+            let mut cluster = Cluster::new(p, logp);
+            if let Err(e) = cluster.run_broadcast_observed(&spec, &mask, seed, &mut monitor) {
+                eprintln!("cluster run failed: {e}");
+                std::process::exit(2);
+            }
+        } else {
+            Simulation::builder(p, logp)
+                .faults(plan)
+                .seed(seed)
+                .build()
+                .run_with_sink(&spec, &mut monitor)
+                .expect("valid configuration");
+        }
+        monitor.finish()
+    };
+    if cli.flag("--json") {
+        println!("{}", report.to_json());
+    } else {
+        print!("{}", report.render_text());
+    }
+    if !report.is_ok() {
+        std::process::exit(1);
+    }
+}
+
+/// `ct forensics` — join an event trace with the dissemination tree and
+/// fault mask: per-failure orphaned subtrees, rescue provenance and the
+/// run-level waste accounting.
+fn cmd_forensics(cli: &Cli) {
+    if cli.value("--root").is_some() || cli.value("--shuffle").is_some() {
+        eprintln!(
+            "ct forensics assumes the identity rank mapping (tree rank = process rank); \
+             --root and --shuffle are not supported"
+        );
+        std::process::exit(2);
+    }
+    let logp: LogP = cli
+        .value("--logp")
+        .map(|s| s.parse().expect("valid LogP string"))
+        .unwrap_or(LogP::PAPER);
+    let kind = parse_tree(cli.value("--tree").unwrap_or("binomial"));
+    let (events, p, mask) = if let Some(path) = cli.value("--input") {
+        let all = read_trace(path);
+        // Forensics reconstructs one broadcast; of a multi-rep campaign
+        // trace, take the first repetition.
+        let events = split_reps(&all).into_iter().next().unwrap_or_default();
+        let p: u32 = cli.parsed("--p", infer_p(&events));
+        let mut mask = vec![false; p as usize];
+        match parse_rank_list(cli, "--failed") {
+            Some(failed) => {
+                for r in failed {
+                    if (r as usize) < mask.len() {
+                        mask[r as usize] = true;
+                    }
+                }
+            }
+            None => {
+                // No explicit mask: a fail-stop trace names its dead
+                // ranks as drop targets.
+                for e in &events {
+                    if let EventKind::DropDead { to, .. } = e.kind {
+                        if (to as usize) < mask.len() {
+                            mask[to as usize] = true;
+                        }
+                    }
+                }
+            }
+        }
+        (events, p, mask)
+    } else {
+        let p: u32 = cli.parsed("--p", 64);
+        let seed: u64 = cli.parsed("--seed", 1);
+        let spec = build_spec(cli);
+        let plan = faults(cli, p, seed, spec.root);
+        let mask = plan.mask().to_vec();
+        let mut sink = VecSink::new();
+        Simulation::builder(p, logp)
+            .faults(plan)
+            .seed(seed)
+            .build()
+            .run_with_sink(&spec, &mut sink)
+            .expect("valid configuration");
+        (sink.events, p, mask)
+    };
+    let tree = kind.build(p, &logp).expect("valid tree");
+    let report = analyze_forensics(&events, &tree, &mask, &logp);
+    if cli.flag("--json") {
+        println!("{}", report.to_json());
+    } else {
+        print!("{}", report.render_text());
     }
 }
 
@@ -522,6 +738,8 @@ fn main() {
         "sweep" => cmd_sweep(&cli),
         "trace" => cmd_trace(&cli),
         "analyze" => cmd_analyze(&cli),
+        "check" => cmd_check(&cli),
+        "forensics" => cmd_forensics(&cli),
         "perf" => cmd_perf(&cli),
         _ => usage(),
     }

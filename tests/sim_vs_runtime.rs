@@ -9,7 +9,7 @@ use corrected_trees::core::correction::CorrectionKind;
 use corrected_trees::core::protocol::{BroadcastSpec, Payload};
 use corrected_trees::core::tree::TreeKind;
 use corrected_trees::logp::LogP;
-use corrected_trees::obs::{Event, EventKind, VecSink};
+use corrected_trees::obs::{Event, EventKind, MonitorConfig, MonitorSink, VecSink};
 use corrected_trees::runtime::Cluster;
 use corrected_trees::sim::{FaultPlan, Simulation};
 
@@ -211,6 +211,60 @@ fn cluster_records_drops_at_dead_ranks() {
         .collect();
     assert!(!drops.is_empty());
     assert!(drops.iter().all(|&to| to == 3));
+}
+
+#[test]
+fn invariant_monitor_accepts_both_drivers() {
+    // The same monitor validates both event streams: the simulator's
+    // stream with full LogP timing checks, the cluster's wall-stamped
+    // stream with the timing checks automatically relaxed. Zero
+    // violations on either is the "identical semantics" contract in
+    // executable form.
+    let p = 32u32;
+    let spec = BroadcastSpec::corrected_tree(
+        TreeKind::LAME2,
+        CorrectionKind::OpportunisticOptimized { distance: 4 },
+    );
+    let dead_ranks = [5u32, 17];
+    let mut dead = vec![false; p as usize];
+    for &r in &dead_ranks {
+        dead[r as usize] = true;
+    }
+
+    let mut sim_monitor = MonitorSink::new(
+        MonitorConfig::new()
+            .with_p(p)
+            .with_logp(LogP::PAPER)
+            .with_failed(dead.clone()),
+    );
+    let plan = FaultPlan::from_ranks(p, &dead_ranks).unwrap();
+    Simulation::builder(p, LogP::PAPER)
+        .faults(plan)
+        .build()
+        .run_with_sink(&spec, &mut sim_monitor)
+        .unwrap();
+    let sim_report = sim_monitor.finish();
+    assert!(sim_report.is_ok(), "sim: {}", sim_report.render_text());
+    assert!(sim_report.events > 0);
+
+    let mut cluster_monitor = MonitorSink::new(
+        MonitorConfig::new()
+            .with_p(p)
+            .with_logp(LogP::PAPER)
+            .with_failed(dead.clone()),
+    );
+    let mut cluster = Cluster::new(p, LogP::PAPER);
+    let report = cluster
+        .run_broadcast_observed(&spec, &dead, 0, &mut cluster_monitor)
+        .unwrap();
+    assert!(report.completed, "uncolored: {:?}", report.uncolored);
+    let cluster_report = cluster_monitor.finish();
+    assert!(
+        cluster_report.is_ok(),
+        "cluster: {}",
+        cluster_report.render_text()
+    );
+    assert!(cluster_report.events > 0);
 }
 
 #[test]
