@@ -1,0 +1,55 @@
+//! Campaign throughput benchmark: the tracked reference workload
+//! behind `ct perf bench` (checked-sync binomial broadcast, P = 4096,
+//! 1% random failures, seeded repetitions). Guards the simulator
+//! hot path — topology cache, run-arena reuse and the calendar event
+//! queue — rather than any paper figure.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ct_core::correction::CorrectionKind;
+use ct_core::protocol::BroadcastSpec;
+use ct_core::tree::TreeKind;
+use ct_exp::{Campaign, FaultSpec, Variant};
+use ct_logp::LogP;
+use ct_sim::{RunArena, Simulation};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_throughput");
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.sample_size(10);
+
+    // The reference campaign `ct perf bench` times: throughput is
+    // repetitions per second.
+    let reps = 10u32;
+    let campaign = Campaign::new(
+        Variant::tree_checked_sync(TreeKind::BINOMIAL),
+        4096,
+        LogP::PAPER,
+    )
+    .with_faults(FaultSpec::Rate(0.01))
+    .with_reps(reps)
+    .with_seed(1);
+    group.throughput(Throughput::Elements(u64::from(reps)));
+    group.bench_function("campaign_reps", |b| {
+        b.iter(|| campaign.run().unwrap().len())
+    });
+
+    // Arena reuse in isolation: the same single run with fresh
+    // allocations each time versus a warm arena.
+    let p = 4096u32;
+    let sim = Simulation::builder(p, LogP::PAPER).seed(1).build();
+    let spec = BroadcastSpec::corrected_tree_sync(TreeKind::BINOMIAL, CorrectionKind::Checked);
+    let events = sim.run(&spec).unwrap().events;
+    group.throughput(Throughput::Elements(events));
+    group.bench_with_input(BenchmarkId::new("run_fresh", p), &(), |b, _| {
+        b.iter(|| sim.run(&spec).unwrap().events)
+    });
+    let mut arena = RunArena::new();
+    group.bench_with_input(BenchmarkId::new("run_reused_arena", p), &(), |b, _| {
+        b.iter(|| sim.run_reusable(&spec, &mut arena).unwrap().events)
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

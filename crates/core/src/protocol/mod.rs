@@ -124,6 +124,27 @@ pub trait ProtocolFactory {
 
     /// Build the `P` state machines for one broadcast.
     fn build(&self, ctx: &BuildCtx) -> Result<Vec<Box<dyn Process>>, ProtocolError>;
+
+    /// Build into an existing vector, reusing its backing storage.
+    ///
+    /// The default delegates to [`ProtocolFactory::build`] and moves the
+    /// boxes over; factories whose per-rank machines are expensive to
+    /// allocate may override this to rebuild in place. On error `out`
+    /// is left empty.
+    fn build_into(
+        &self,
+        ctx: &BuildCtx,
+        out: &mut Vec<Box<dyn Process>>,
+    ) -> Result<(), ProtocolError> {
+        out.clear();
+        match self.build(ctx) {
+            Ok(procs) => {
+                out.extend(procs);
+                Ok(())
+            }
+            Err(e) => Err(e),
+        }
+    }
 }
 
 /// Errors from protocol construction.
@@ -274,9 +295,11 @@ impl BroadcastSpec {
         self
     }
 
-    /// Build the shared topology for this spec.
+    /// Build the shared topology for this spec. Served from the
+    /// process-wide [`cache`](crate::tree::cache) — all repetitions of a
+    /// campaign (and all campaigns sharing a shape) get one `Arc<Tree>`.
     pub fn build_tree(&self, p: u32, logp: &LogP) -> Result<Arc<Tree>, ProtocolError> {
-        Ok(Arc::new(self.tree.build(p, logp)?))
+        Ok(crate::tree::cache::cached(self.tree, p, logp)?)
     }
 }
 
@@ -323,7 +346,9 @@ impl ProtocolFactory for BroadcastSpec {
             let sync_start = match self.mode {
                 StartMode::Synchronized => match self.sync_start_override {
                     Some(t) => Some(Time::new(t)),
-                    None => Some(tree.dissemination_deadline(&ctx.logp)),
+                    None => Some(crate::tree::cache::cached_deadline(
+                        self.tree, ctx.p, &ctx.logp,
+                    )?),
                 },
                 StartMode::Overlapped => None,
             };

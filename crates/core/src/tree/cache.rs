@@ -1,0 +1,128 @@
+//! Process-wide memoization of built topologies.
+//!
+//! A campaign cell runs many repetitions of the same `(TreeKind, P,
+//! LogP)` configuration, and a figure sweep runs many cells sharing a
+//! tree; rebuilding the topology per repetition is pure waste because
+//! [`TreeKind::build`] is a deterministic function of exactly that key.
+//! This module caches the built [`Tree`] behind an [`Arc`] so every
+//! consumer shares one allocation, and caches the corresponding
+//! dissemination deadline (the synchronized-correction start time)
+//! alongside it.
+//!
+//! Correctness: the cache is *only* keyed by inputs that fully
+//! determine the build — `TreeKind` (including its [`super::Ordering`]),
+//! `p`, and the LogP parameters (which only [`TreeKind::Optimal`]
+//! consults, but keying on them unconditionally is always sound). The
+//! returned tree is immutable, so sharing across threads and
+//! repetitions cannot change results.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+use ct_logp::{LogP, Time};
+
+use super::{Tree, TreeError, TreeKind};
+
+/// Cache key: everything [`TreeKind::build`] reads.
+type Key = (TreeKind, u32, LogP);
+
+/// One cached topology plus its dissemination deadline.
+#[derive(Clone)]
+struct Entry {
+    tree: Arc<Tree>,
+    deadline: Time,
+}
+
+/// Keep at most this many distinct topologies resident. A figure sweep
+/// touches ~4 shapes × a handful of `P` values; 64 covers every current
+/// workload while bounding memory if someone sweeps hundreds of sizes.
+const CAPACITY: usize = 64;
+
+fn store() -> &'static Mutex<HashMap<Key, Entry>> {
+    static STORE: OnceLock<Mutex<HashMap<Key, Entry>>> = OnceLock::new();
+    STORE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+fn entry(kind: TreeKind, p: u32, logp: &LogP) -> Result<Entry, TreeError> {
+    let key = (kind, p, *logp);
+    if let Some(hit) = store().lock().expect("tree cache poisoned").get(&key) {
+        return Ok(hit.clone());
+    }
+    // Build outside the lock: builds can be slow and must not serialize
+    // unrelated lookups. Two racing builders produce identical trees;
+    // the second insert wins harmlessly.
+    let tree = Arc::new(kind.build(p, logp)?);
+    let deadline = tree.dissemination_deadline(logp);
+    let fresh = Entry {
+        tree: Arc::clone(&tree),
+        deadline,
+    };
+    let mut map = store().lock().expect("tree cache poisoned");
+    if map.len() >= CAPACITY {
+        map.clear();
+    }
+    map.insert(key, fresh.clone());
+    Ok(fresh)
+}
+
+/// Build-or-fetch the topology for `(kind, p, logp)`. Repeated calls
+/// with the same key return the same shared `Arc<Tree>`.
+pub fn cached(kind: TreeKind, p: u32, logp: &LogP) -> Result<Arc<Tree>, TreeError> {
+    Ok(entry(kind, p, logp)?.tree)
+}
+
+/// The dissemination deadline of the cached topology — the default
+/// synchronized-correction start time — without cloning the tree.
+pub fn cached_deadline(kind: TreeKind, p: u32, logp: &LogP) -> Result<Time, TreeError> {
+    Ok(entry(kind, p, logp)?.deadline)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::Topology;
+
+    #[test]
+    fn repeated_lookups_share_one_tree() {
+        let a = cached(TreeKind::BINOMIAL, 512, &LogP::PAPER).unwrap();
+        let b = cached(TreeKind::BINOMIAL, 512, &LogP::PAPER).unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn cached_tree_matches_fresh_build() {
+        for kind in [
+            TreeKind::BINOMIAL,
+            TreeKind::FOUR_ARY,
+            TreeKind::LAME2,
+            TreeKind::OPTIMAL,
+        ] {
+            let cachedt = cached(kind, 96, &LogP::PAPER).unwrap();
+            let fresh = kind.build(96, &LogP::PAPER).unwrap();
+            for r in 0..96 {
+                assert_eq!(cachedt.children(r), fresh.children(r), "{kind:?} rank {r}");
+                assert_eq!(cachedt.parent(r), fresh.parent(r), "{kind:?} rank {r}");
+            }
+            assert_eq!(
+                cached_deadline(kind, 96, &LogP::PAPER).unwrap(),
+                fresh.dissemination_deadline(&LogP::PAPER),
+            );
+        }
+    }
+
+    #[test]
+    fn distinct_keys_get_distinct_trees() {
+        let a = cached(TreeKind::BINOMIAL, 64, &LogP::PAPER).unwrap();
+        let b = cached(TreeKind::BINOMIAL, 128, &LogP::PAPER).unwrap();
+        assert!(!Arc::ptr_eq(&a, &b));
+        let logp2 = LogP::new(4, 2, 1).unwrap();
+        let c = cached(TreeKind::OPTIMAL, 64, &LogP::PAPER).unwrap();
+        let d = cached(TreeKind::OPTIMAL, 64, &logp2).unwrap();
+        assert!(!Arc::ptr_eq(&c, &d));
+    }
+
+    #[test]
+    fn build_errors_pass_through() {
+        assert!(cached(TreeKind::BINOMIAL, 0, &LogP::PAPER).is_err());
+    }
+}

@@ -18,6 +18,7 @@
 //! *growth* process ([`grow`]) parameterized by how often a process can
 //! send and how long a new process needs before it can start sending.
 
+pub mod cache;
 pub mod grow;
 pub mod interleaving;
 pub mod kary;

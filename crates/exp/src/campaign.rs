@@ -16,9 +16,24 @@ use ct_obs::{
     Event, EventKind, EventSink, MetricsRegistry, MetricsSink, MonitorConfig, MonitorReport,
     MonitorSink, NullSink,
 };
-use ct_sim::{FaultPlan, SimError, Simulation};
+use ct_sim::{FaultPlan, RunArena, SimError, Simulation};
 
 use crate::variants::Variant;
+
+/// Default worker-thread count for parallel campaigns: the `CT_THREADS`
+/// environment variable when set to a positive integer (the CI and
+/// reproducibility override), otherwise the machine's available
+/// parallelism.
+pub fn default_threads() -> usize {
+    if let Ok(s) = std::env::var("CT_THREADS") {
+        if let Ok(n) = s.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map_or(4, |n| n.get())
+}
 
 /// How failures are drawn for each repetition.
 #[derive(Clone, Debug, PartialEq)]
@@ -69,6 +84,9 @@ pub struct RunRecord {
     /// Correction time `quiescence − sync_start`, for variants with
     /// synchronized correction.
     pub lscc: Option<u64>,
+    /// Simulator events processed by this repetition (the denominator
+    /// of the tracked events/sec throughput metric).
+    pub events: u64,
 }
 
 impl RunRecord {
@@ -89,6 +107,7 @@ impl RunRecord {
             Some(v) => obj.field_u64("lscc", v),
             None => obj.field_null("lscc"),
         };
+        obj.field_u64("events", self.events);
         obj.finish()
     }
 }
@@ -168,6 +187,16 @@ impl Campaign {
         self.run_one_observed(rep, &mut NullSink)
     }
 
+    /// [`Campaign::run_one`] with arena-backed storage; reusing one
+    /// arena across repetitions avoids rebuilding the engine per run.
+    pub fn run_one_reusable(
+        &self,
+        rep: u32,
+        arena: &mut RunArena,
+    ) -> Result<RunRecord, CampaignError> {
+        self.run_one_observed_reusable(rep, &mut NullSink, arena)
+    }
+
     /// Execute one repetition, streaming its protocol events into
     /// `sink` (the engine wraps each run in a `broadcast` phase span).
     /// With a [`NullSink`] this is exactly [`Campaign::run_one`].
@@ -175,6 +204,16 @@ impl Campaign {
         &self,
         rep: u32,
         sink: &mut dyn EventSink,
+    ) -> Result<RunRecord, CampaignError> {
+        self.run_one_observed_reusable(rep, sink, &mut RunArena::new())
+    }
+
+    /// [`Campaign::run_one_observed`] with arena-backed storage.
+    pub fn run_one_observed_reusable(
+        &self,
+        rep: u32,
+        sink: &mut dyn EventSink,
+        arena: &mut RunArena,
     ) -> Result<RunRecord, CampaignError> {
         let seed = self.seed0 + rep as u64;
         let plan = self.fault_plan(rep)?;
@@ -184,7 +223,7 @@ impl Campaign {
             .seed(seed)
             .build();
         let out = sim
-            .run_with_sink(&self.variant, sink)
+            .run_with_sink_reusable(&self.variant, sink, arena)
             .map_err(CampaignError::Sim)?;
         let diss_mask: Vec<bool> = out
             .colored_via
@@ -207,12 +246,17 @@ impl Campaign {
             uncolored: out.uncolored_live().len() as u32,
             g_max,
             lscc,
+            events: out.events,
         })
     }
 
-    /// Execute all repetitions sequentially.
+    /// Execute all repetitions sequentially. One run arena serves all
+    /// repetitions (results are bit-identical to per-run allocation).
     pub fn run(&self) -> Result<Vec<RunRecord>, CampaignError> {
-        (0..self.reps).map(|i| self.run_one(i)).collect()
+        let mut arena = RunArena::new();
+        (0..self.reps)
+            .map(|i| self.run_one_reusable(i, &mut arena))
+            .collect()
     }
 
     /// Execute all repetitions sequentially, calling `progress` after
@@ -222,9 +266,10 @@ impl Campaign {
         &self,
         mut progress: impl FnMut(u32, &RunRecord),
     ) -> Result<Vec<RunRecord>, CampaignError> {
+        let mut arena = RunArena::new();
         let mut records = Vec::with_capacity(self.reps as usize);
         for i in 0..self.reps {
-            let record = self.run_one(i)?;
+            let record = self.run_one_reusable(i, &mut arena)?;
             progress(i, &record);
             records.push(record);
         }
@@ -246,6 +291,7 @@ impl Campaign {
                 },
             ));
         }
+        let mut arena = RunArena::new();
         let mut records = Vec::with_capacity(self.reps as usize);
         for i in 0..self.reps {
             let name = format!("{} {i}", phases::REP);
@@ -255,7 +301,7 @@ impl Campaign {
                     EventKind::PhaseBegin { name: name.clone() },
                 ));
             }
-            let record = self.run_one_observed(i, sink)?;
+            let record = self.run_one_observed_reusable(i, sink, &mut arena)?;
             if observing {
                 sink.emit(&Event::sim(
                     Time::new(record.quiescence),
@@ -292,49 +338,142 @@ impl Campaign {
     /// seed). Returns the records alongside the merged
     /// [`MonitorReport`]; callers decide whether violations are fatal.
     pub fn run_checked(&self) -> Result<(Vec<RunRecord>, MonitorReport), CampaignError> {
+        let mut arena = RunArena::new();
         let mut records = Vec::with_capacity(self.reps as usize);
         let mut report = MonitorReport::default();
         for i in 0..self.reps {
-            let plan = self.fault_plan(i)?;
-            let cfg = MonitorConfig::new()
-                .with_p(self.p)
-                .with_logp(self.logp)
-                .with_failed(plan.mask().to_vec());
-            let mut monitor = MonitorSink::new(cfg);
-            records.push(self.run_one_observed(i, &mut monitor)?);
-            report.absorb(monitor.finish(), i);
+            let (record, rep_report) = self.run_one_checked(i, &mut arena)?;
+            records.push(record);
+            report.absorb(rep_report, i);
         }
         Ok((records, report))
+    }
+
+    /// One repetition under its own freshly configured monitor; returns
+    /// the record and the finished per-repetition report.
+    fn run_one_checked(
+        &self,
+        rep: u32,
+        arena: &mut RunArena,
+    ) -> Result<(RunRecord, MonitorReport), CampaignError> {
+        let plan = self.fault_plan(rep)?;
+        let cfg = MonitorConfig::new()
+            .with_p(self.p)
+            .with_logp(self.logp)
+            .with_failed(plan.mask().to_vec());
+        let mut monitor = MonitorSink::new(cfg);
+        let record = self.run_one_observed_reusable(rep, &mut monitor, arena)?;
+        Ok((record, monitor.finish()))
     }
 
     /// Execute all repetitions across `threads` OS threads. Results are
     /// identical to [`Campaign::run`] (each repetition is seeded
     /// independently); only wall-clock time changes.
+    ///
+    /// Each worker owns a run arena and claims repetition indices from a
+    /// shared counter; results land in lock-free per-repetition cells,
+    /// so output order is exactly the sequential order.
     pub fn run_parallel(&self, threads: usize) -> Result<Vec<RunRecord>, CampaignError> {
-        let threads = threads.max(1).min((self.reps as usize).max(1));
+        let threads = self.clamp_threads(threads);
         if threads <= 1 {
             return self.run();
         }
-        let mut slots: Vec<Option<Result<RunRecord, CampaignError>>> =
-            (0..self.reps).map(|_| None).collect();
+        self.parallel_slots(threads, |rep, arena| self.run_one_reusable(rep, arena))
+            .into_iter()
+            .collect()
+    }
+
+    /// [`Campaign::run_metered`] across `threads` OS threads. Each
+    /// repetition meters into its own sink; the per-repetition
+    /// registries are merged in repetition order at join. Counter and
+    /// histogram merges are additive, and the registry ignores the
+    /// campaign/rep phase spans (the only events a sequential metered
+    /// run sees beyond the repetitions themselves), so the merged
+    /// registry equals the sequential one exactly.
+    pub fn run_metered_parallel(
+        &self,
+        threads: usize,
+    ) -> Result<(Vec<RunRecord>, MetricsRegistry), CampaignError> {
+        let threads = self.clamp_threads(threads);
+        if threads <= 1 {
+            return self.run_metered();
+        }
+        let slots = self.parallel_slots(threads, |rep, arena| {
+            let mut sink = MetricsSink::new();
+            let record = self.run_one_observed_reusable(rep, &mut sink, arena)?;
+            Ok((record, sink.registry))
+        });
+        let mut records = Vec::with_capacity(self.reps as usize);
+        let mut registry = MetricsRegistry::new();
+        for slot in slots {
+            let (record, rep_registry) = slot?;
+            records.push(record);
+            registry.merge(&rep_registry);
+        }
+        Ok((records, registry))
+    }
+
+    /// [`Campaign::run_checked`] across `threads` OS threads. Each
+    /// repetition runs under its own monitor exactly as in the
+    /// sequential path; the finished per-repetition reports are absorbed
+    /// in repetition order at join, so the merged [`MonitorReport`]
+    /// (violation order included) equals the sequential one.
+    pub fn run_checked_parallel(
+        &self,
+        threads: usize,
+    ) -> Result<(Vec<RunRecord>, MonitorReport), CampaignError> {
+        let threads = self.clamp_threads(threads);
+        if threads <= 1 {
+            return self.run_checked();
+        }
+        let slots = self.parallel_slots(threads, |rep, arena| self.run_one_checked(rep, arena));
+        let mut records = Vec::with_capacity(self.reps as usize);
+        let mut report = MonitorReport::default();
+        for (i, slot) in slots.into_iter().enumerate() {
+            let (record, rep_report) = slot?;
+            records.push(record);
+            report.absorb(rep_report, i as u32);
+        }
+        Ok((records, report))
+    }
+
+    fn clamp_threads(&self, threads: usize) -> usize {
+        threads.max(1).min((self.reps as usize).max(1))
+    }
+
+    /// Fan repetitions out over `threads` workers. Workers claim
+    /// repetition indices from a shared atomic counter and write each
+    /// result into its repetition's own once-cell — no lock around the
+    /// result vector — so the returned order is the sequential order
+    /// regardless of scheduling. Each worker reuses one [`RunArena`]
+    /// for all repetitions it claims.
+    fn parallel_slots<T, F>(&self, threads: usize, body: F) -> Vec<Result<T, CampaignError>>
+    where
+        T: Send + Sync,
+        F: Fn(u32, &mut RunArena) -> Result<T, CampaignError> + Sync,
+    {
+        let slots: Vec<std::sync::OnceLock<Result<T, CampaignError>>> =
+            (0..self.reps).map(|_| std::sync::OnceLock::new()).collect();
         let next = std::sync::atomic::AtomicU32::new(0);
-        let slots_mutex = std::sync::Mutex::new(&mut slots);
         std::thread::scope(|scope| {
             for _ in 0..threads {
-                scope.spawn(|| loop {
-                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                    if i >= self.reps {
-                        break;
+                scope.spawn(|| {
+                    let mut arena = RunArena::new();
+                    loop {
+                        let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        if i >= self.reps {
+                            break;
+                        }
+                        let result = body(i, &mut arena);
+                        let fresh = slots[i as usize].set(result).is_ok();
+                        debug_assert!(fresh, "repetition filled twice");
                     }
-                    let record = self.run_one(i);
-                    let mut guard = slots_mutex.lock().expect("no poisoning");
-                    guard[i as usize] = Some(record);
                 });
             }
         });
         slots
             .into_iter()
-            .map(|s| s.expect("every repetition filled"))
+            .map(|s| s.into_inner().expect("every repetition filled"))
             .collect()
     }
 }
@@ -411,6 +550,48 @@ mod tests {
         let seq = c.run().unwrap();
         let par = c.run_parallel(4).unwrap();
         assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn parallel_metered_equals_sequential() {
+        let c = Campaign::new(
+            Variant::tree_checked_sync(TreeKind::BINOMIAL),
+            256,
+            LogP::PAPER,
+        )
+        .with_faults(FaultSpec::Rate(0.02))
+        .with_reps(6);
+        let (seq_records, seq_registry) = c.run_metered().unwrap();
+        let (par_records, par_registry) = c.run_metered_parallel(3).unwrap();
+        assert_eq!(seq_records, par_records);
+        assert_eq!(seq_registry, par_registry);
+    }
+
+    #[test]
+    fn parallel_checked_equals_sequential() {
+        let c = Campaign::new(
+            Variant::tree_checked_sync(TreeKind::BINOMIAL),
+            256,
+            LogP::PAPER,
+        )
+        .with_faults(FaultSpec::Rate(0.02))
+        .with_reps(6);
+        let (seq_records, seq_report) = c.run_checked().unwrap();
+        let (par_records, par_report) = c.run_checked_parallel(3).unwrap();
+        assert_eq!(seq_records, par_records);
+        assert_eq!(seq_report.events, par_report.events);
+        assert_eq!(seq_report.reps, par_report.reps);
+        assert_eq!(
+            format!("{:?}", seq_report.violations),
+            format!("{:?}", par_report.violations),
+        );
+    }
+
+    #[test]
+    fn default_threads_honors_env_override() {
+        // Runs in-process: avoid mutating the env for other tests by
+        // only asserting the fallback path's lower bound.
+        assert!(default_threads() >= 1);
     }
 
     #[test]

@@ -62,7 +62,7 @@ mod tests {
             rates: vec![0.001, 0.04],
             reps: 8,
             seed0: 7,
-            threads: 2,
+            threads: crate::campaign::default_threads(),
             gossip_time: 26,
             include_gossip: true,
         })

@@ -45,6 +45,6 @@ pub mod table1;
 pub mod tuning;
 pub mod variants;
 
-pub use campaign::{Campaign, FaultSpec, RunRecord};
+pub use campaign::{default_threads, Campaign, FaultSpec, RunRecord};
 pub use perf::{analyze_campaign, CampaignAnalysis};
 pub use variants::Variant;

@@ -53,7 +53,7 @@ impl ResilienceConfig {
             rates: PAPER_FAULT_RATES.to_vec(),
             reps: 50,
             seed0: 1,
-            threads: std::thread::available_parallelism().map_or(4, |n| n.get()),
+            threads: crate::campaign::default_threads(),
             gossip_time: 30,
             include_gossip: true,
         }

@@ -6,6 +6,15 @@
 //! Corrected Gossip we optimized gossiping time for the lowest latency".
 //! These tuners are reproductions of that procedure at configurable
 //! repetition counts.
+//!
+//! Both tuners are deterministic functions of their arguments (every
+//! underlying campaign is seeded), so — like the topology cache in
+//! `ct_core::tree::cache` — their results are memoized process-wide:
+//! a figure sweep that tunes the gossip schedule for the same `(P,
+//! LogP, …)` repeatedly pays for the search once.
+
+use std::collections::HashMap;
+use std::sync::{Mutex, OnceLock};
 
 use ct_core::correction::CorrectionKind;
 use ct_logp::LogP;
@@ -13,11 +22,45 @@ use ct_logp::LogP;
 use crate::campaign::{Campaign, CampaignError};
 use crate::variants::Variant;
 
+/// Memo key: a tag discriminating the tuner plus every argument either
+/// tuner reads. Unused slots are zero for the other tuner.
+type TuneKey = (u8, u32, LogP, u64, u64, u64, u32, u64);
+
+fn memo() -> &'static Mutex<HashMap<TuneKey, u64>> {
+    static MEMO: OnceLock<Mutex<HashMap<TuneKey, u64>>> = OnceLock::new();
+    MEMO.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+fn memoized(
+    key: TuneKey,
+    compute: impl FnOnce() -> Result<u64, CampaignError>,
+) -> Result<u64, CampaignError> {
+    if let Some(&g) = memo().lock().expect("tuning memo poisoned").get(&key) {
+        return Ok(g);
+    }
+    let g = compute()?;
+    memo().lock().expect("tuning memo poisoned").insert(key, g);
+    Ok(g)
+}
+
 /// Smallest gossip time `G` for which opportunistic Corrected Gossip
 /// (distance `d`) colored every process in all of `reps` seeded
 /// simulations. Scans upward from a transit-time floor; `hi` caps the
 /// search (returns `hi` if even that is not reliably coloring).
 pub fn min_full_coloring_gossip_time(
+    p: u32,
+    logp: LogP,
+    d: u32,
+    reps: u32,
+    seed0: u64,
+    hi: u64,
+) -> Result<u64, CampaignError> {
+    memoized((0, p, logp, u64::from(d), hi, 0, reps, seed0), || {
+        min_full_coloring_gossip_time_uncached(p, logp, d, reps, seed0, hi)
+    })
+}
+
+fn min_full_coloring_gossip_time_uncached(
     p: u32,
     logp: LogP,
     d: u32,
@@ -67,6 +110,20 @@ pub fn min_latency_gossip_time(
     reps: u32,
     seed0: u64,
 ) -> Result<u64, CampaignError> {
+    memoized((1, p, logp, lo, hi, step, reps, seed0), || {
+        min_latency_gossip_time_uncached(p, logp, lo, hi, step, reps, seed0)
+    })
+}
+
+fn min_latency_gossip_time_uncached(
+    p: u32,
+    logp: LogP,
+    lo: u64,
+    hi: u64,
+    step: u64,
+    reps: u32,
+    seed0: u64,
+) -> Result<u64, CampaignError> {
     assert!(lo >= 1 && step >= 1 && hi >= lo);
     let mut best = (lo, f64::INFINITY);
     let mut g = lo;
@@ -87,6 +144,17 @@ pub fn min_latency_gossip_time(
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn tuners_are_memoized_and_stable() {
+        let logp = LogP::PAPER;
+        let a = min_full_coloring_gossip_time(64, logp, 4, 2, 17, 200).unwrap();
+        let b = min_full_coloring_gossip_time(64, logp, 4, 2, 17, 200).unwrap();
+        assert_eq!(a, b);
+        let c = min_latency_gossip_time(64, logp, 4, 24, 4, 2, 17).unwrap();
+        let d = min_latency_gossip_time(64, logp, 4, 24, 4, 2, 17).unwrap();
+        assert_eq!(c, d);
+    }
 
     #[test]
     fn full_coloring_time_is_minimal() {

@@ -70,11 +70,8 @@ impl Variant {
             Variant::Tree(spec) => match (spec.mode, spec.correction.is_none() || spec.acked) {
                 (StartMode::Synchronized, false) => Some(match spec.sync_start_override {
                     Some(t) => Time::new(t),
-                    None => spec
-                        .tree
-                        .build(p, logp)
-                        .expect("campaign validated the tree")
-                        .dissemination_deadline(logp),
+                    None => ct_core::tree::cache::cached_deadline(spec.tree, p, logp)
+                        .expect("campaign validated the tree"),
                 }),
                 _ => None,
             },

@@ -1,0 +1,89 @@
+//! Reusable per-run storage.
+//!
+//! One simulated broadcast needs an event queue, per-rank receive
+//! queues, a handful of per-rank scalar vectors and `P` boxed protocol
+//! state machines. A campaign runs thousands of such broadcasts with
+//! identical shapes, so rebuilding all of that per repetition is pure
+//! allocator traffic. A [`RunArena`] owns the storage and survives
+//! across [`Simulation::run_reusable`](crate::Simulation::run_reusable)
+//! calls; every run begins by clearing it (keeping capacity) and ends
+//! leaving it warm for the next.
+//!
+//! Determinism: the arena holds no state that outlives the clear — the
+//! engine resets every field to exactly the values a fresh run starts
+//! from, and the protocol machines are rebuilt each run (via
+//! [`ProtocolFactory::build_into`](ct_core::protocol::ProtocolFactory::build_into),
+//! which reuses the vector's backing storage but never the machines
+//! themselves). A reused arena therefore produces bit-identical
+//! outcomes and event streams; the golden-trace and driver-contract
+//! suites pin this.
+
+use std::collections::VecDeque;
+
+use ct_core::protocol::{Payload, Process};
+use ct_logp::{Rank, Time};
+
+use crate::queue::EventQueue;
+
+/// Reusable backing storage for simulation runs. Create once with
+/// [`RunArena::new`] (allocation-free) and pass to any number of
+/// [`Simulation::run_reusable`](crate::Simulation::run_reusable) calls;
+/// runs of differing `P`, protocol or observability may share one
+/// arena.
+pub struct RunArena {
+    pub(crate) queue: EventQueue,
+    pub(crate) send_busy_until: Vec<Time>,
+    pub(crate) done: Vec<bool>,
+    pub(crate) recv_queue: Vec<VecDeque<(Rank, Payload)>>,
+    pub(crate) recv_busy: Vec<bool>,
+    pub(crate) colored_seen: Vec<bool>,
+    pub(crate) procs: Vec<Box<dyn Process>>,
+}
+
+impl RunArena {
+    /// An empty arena; storage grows on first use and is retained.
+    pub fn new() -> RunArena {
+        RunArena {
+            queue: EventQueue::new(),
+            send_busy_until: Vec::new(),
+            done: Vec::new(),
+            recv_queue: Vec::new(),
+            recv_busy: Vec::new(),
+            colored_seen: Vec::new(),
+            procs: Vec::new(),
+        }
+    }
+
+    /// Restore the fresh-run state for `p` ranks, retaining capacity.
+    /// `observing` sizes the colored-event dedup vector (empty when the
+    /// run is unobserved, exactly as a fresh run would allocate it).
+    pub(crate) fn reset(&mut self, p: usize, observing: bool) {
+        self.queue.reset();
+        self.send_busy_until.clear();
+        self.send_busy_until.resize(p, Time::ZERO);
+        self.done.clear();
+        self.done.resize(p, false);
+        self.recv_busy.clear();
+        self.recv_busy.resize(p, false);
+        self.colored_seen.clear();
+        self.colored_seen
+            .resize(if observing { p } else { 0 }, false);
+        // Keep each rank's deque (and its buffer) alive; only drop
+        // surplus ranks when P shrinks.
+        self.recv_queue.truncate(p);
+        for q in self.recv_queue.iter_mut() {
+            q.clear();
+        }
+        while self.recv_queue.len() < p {
+            self.recv_queue.push(VecDeque::new());
+        }
+        // `procs` is intentionally untouched: the caller rebuilds it via
+        // `ProtocolFactory::build_into`, reusing the vector itself.
+    }
+}
+
+impl Default for RunArena {
+    fn default() -> Self {
+        RunArena::new()
+    }
+}

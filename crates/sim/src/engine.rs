@@ -9,73 +9,27 @@
 //!   sender is polled (sends overlap receives, §2.2).
 //! * `Repoll(r)` — a protocol-requested `WaitUntil` expired.
 //!
-//! Ties are broken by insertion order (a monotone sequence number), so a
-//! run is a pure function of `(P, LogP, faults, seed, protocol)`.
-
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, VecDeque};
+//! Ties are broken first by an event-class order (deliveries before
+//! sender polls — see `EventKind::class` in the queue module), then by
+//! insertion order, so a run is a pure function of `(P, LogP, faults,
+//! seed, protocol)`. Events live in a calendar queue
+//! ([`crate::queue`]); all per-run storage can be reused across runs
+//! through a [`RunArena`].
 
 use ct_core::protocol::{BuildCtx, Payload, Process, ProtocolError, ProtocolFactory, SendPoll};
 use ct_logp::{LogP, Rank, Time};
 use ct_obs::event::phases;
 use ct_obs::{Event as ObsEvent, EventKind as ObsEventKind, EventSink, NullSink, VecSink};
 
+use crate::arena::RunArena;
 use crate::faults::FaultPlan;
 use crate::metrics::{MessageCounts, Outcome};
+use crate::queue::{EventKind, EventQueue};
 use crate::trace::Trace;
 
 /// Default cap on processed events — a runaway-protocol backstop far
 /// above any legitimate run (`≈ 100` events per process at `P = 2¹⁹`).
 pub const DEFAULT_MAX_EVENTS: u64 = 2_000_000_000;
-
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-enum EventKind {
-    SenderFree,
-    Arrive { from: Rank, payload: Payload },
-    RecvDone,
-    Repoll,
-}
-
-impl EventKind {
-    /// Same-time ordering class. Deliveries must precede sender polls at
-    /// equal timestamps: a message whose processing completes at `t` is
-    /// available to the send decision made at `t` — this is what makes
-    /// the simulated checked correction match Lemma 2 exactly (a process
-    /// that hears from both sides at `t` sends nothing more at `t`).
-    fn class(self) -> u8 {
-        match self {
-            EventKind::Arrive { .. } => 0,
-            EventKind::RecvDone => 1,
-            EventKind::SenderFree => 2,
-            EventKind::Repoll => 3,
-        }
-    }
-}
-
-#[derive(Clone, Copy, Debug)]
-struct Event {
-    time: Time,
-    seq: u64,
-    rank: Rank,
-    kind: EventKind,
-}
-
-impl PartialEq for Event {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
-    }
-}
-impl Eq for Event {}
-impl PartialOrd for Event {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for Event {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.time, self.kind.class(), self.seq).cmp(&(other.time, other.kind.class(), other.seq))
-    }
-}
 
 /// Errors from a simulation run.
 #[derive(Debug)]
@@ -187,10 +141,23 @@ impl Simulation {
 
     /// Run one broadcast and return its metrics.
     pub fn run(&self, factory: &dyn ProtocolFactory) -> Result<Outcome, SimError> {
+        self.run_reusable(factory, &mut RunArena::new())
+    }
+
+    /// Like [`Simulation::run`], but drawing all per-run storage from
+    /// `arena`. Results are bit-identical to a fresh run; the arena
+    /// only saves the allocations. Reuse one arena across the
+    /// repetitions of a campaign for the intended effect.
+    pub fn run_reusable(
+        &self,
+        factory: &dyn ProtocolFactory,
+        arena: &mut RunArena,
+    ) -> Result<Outcome, SimError> {
         if self.record_trace {
-            self.run_traced(factory).map(|(o, _)| o)
+            let mut sink = VecSink::new();
+            self.run_with_sink_reusable(factory, &mut sink, arena)
         } else {
-            self.run_with_sink(factory, &mut NullSink)
+            self.run_with_sink_reusable(factory, &mut NullSink, arena)
         }
     }
 
@@ -223,20 +190,39 @@ impl Simulation {
         factory: &dyn ProtocolFactory,
         sink: &mut dyn EventSink,
     ) -> Result<Outcome, SimError> {
+        self.run_with_sink_reusable(factory, sink, &mut RunArena::new())
+    }
+
+    /// [`Simulation::run_with_sink`] with arena-backed storage; see
+    /// [`Simulation::run_reusable`].
+    pub fn run_with_sink_reusable(
+        &self,
+        factory: &dyn ProtocolFactory,
+        sink: &mut dyn EventSink,
+        arena: &mut RunArena,
+    ) -> Result<Outcome, SimError> {
         let p = self.p;
         let ctx = BuildCtx {
             p,
             logp: self.logp,
             seed: self.seed,
         };
-        let mut procs: Vec<Box<dyn Process>> = factory.build(&ctx)?;
+        let observing = sink.enabled();
+        arena.reset(p as usize, observing);
+        factory.build_into(&ctx, &mut arena.procs)?;
+        let RunArena {
+            queue,
+            send_busy_until,
+            done,
+            recv_queue,
+            recv_busy,
+            colored_seen,
+            procs,
+        } = arena;
         assert_eq!(procs.len(), p as usize, "factory must build P processes");
 
         let o = self.logp.o();
         let wire = self.logp.o() + self.logp.l(); // send start → arrival
-        let observing = sink.enabled();
-        // Ranks whose Colored event has been emitted (observed runs only).
-        let mut colored_seen = vec![false; if observing { p as usize } else { 0 }];
 
         if observing {
             sink.emit(&ObsEvent::sim(
@@ -257,28 +243,8 @@ impl Simulation {
             }
         }
 
-        let mut heap: BinaryHeap<Reverse<Event>> = BinaryHeap::new();
-        let mut seq: u64 = 0;
-        let mut push = |heap: &mut BinaryHeap<Reverse<Event>>,
-                        seq: &mut u64,
-                        time: Time,
-                        rank: Rank,
-                        kind: EventKind| {
-            *seq += 1;
-            heap.push(Reverse(Event {
-                time,
-                seq: *seq,
-                rank,
-                kind,
-            }));
-        };
-
-        // Per-rank driver state.
-        let mut send_busy_until = vec![Time::ZERO; p as usize];
-        let mut done = vec![false; p as usize];
-        let mut recv_queue: Vec<VecDeque<(Rank, Payload)>> =
-            (0..p).map(|_| VecDeque::new()).collect();
-        let mut recv_busy = vec![false; p as usize];
+        // Per-rank tallies handed to the outcome (allocated per run; the
+        // outcome takes ownership).
         let mut sent_per_rank = vec![0u32; p as usize];
         let mut messages = MessageCounts::default();
         let mut quiescence = Time::ZERO;
@@ -287,20 +253,18 @@ impl Simulation {
         // Initial poll of every live rank at t = 0.
         for r in 0..p {
             if !self.faults.is_failed(r) {
-                push(&mut heap, &mut seq, Time::ZERO, r, EventKind::SenderFree);
+                queue.push(Time::ZERO, r, EventKind::SenderFree);
             }
         }
 
-        while let Some(Reverse(ev)) = heap.pop() {
+        while let Some((now, r, kind)) = queue.pop() {
             events += 1;
             if events > self.max_events {
                 return Err(SimError::EventLimitExceeded {
                     limit: self.max_events,
                 });
             }
-            let now = ev.time;
-            let r = ev.rank;
-            match ev.kind {
+            match kind {
                 EventKind::Arrive { from, payload } => {
                     if self.faults.is_failed(r) {
                         if observing {
@@ -328,7 +292,7 @@ impl Simulation {
                     recv_queue[r as usize].push_back((from, payload));
                     if !recv_busy[r as usize] {
                         recv_busy[r as usize] = true;
-                        push(&mut heap, &mut seq, now + o, r, EventKind::RecvDone);
+                        queue.push(now + o, r, EventKind::RecvDone);
                     }
                 }
                 EventKind::RecvDone => {
@@ -359,11 +323,10 @@ impl Simulation {
                         self.poll(
                             r,
                             now,
-                            &mut procs,
-                            &mut heap,
-                            &mut seq,
-                            &mut send_busy_until,
-                            &mut done,
+                            procs,
+                            queue,
+                            send_busy_until,
+                            done,
                             &mut sent_per_rank,
                             &mut messages,
                             &mut quiescence,
@@ -371,11 +334,10 @@ impl Simulation {
                             sink,
                             wire,
                             o,
-                            &mut push,
                         )?;
                     }
                     if !recv_queue[r as usize].is_empty() {
-                        push(&mut heap, &mut seq, now + o, r, EventKind::RecvDone);
+                        queue.push(now + o, r, EventKind::RecvDone);
                     } else {
                         recv_busy[r as usize] = false;
                     }
@@ -387,11 +349,10 @@ impl Simulation {
                     self.poll(
                         r,
                         now,
-                        &mut procs,
-                        &mut heap,
-                        &mut seq,
-                        &mut send_busy_until,
-                        &mut done,
+                        procs,
+                        queue,
+                        send_busy_until,
+                        done,
                         &mut sent_per_rank,
                         &mut messages,
                         &mut quiescence,
@@ -399,7 +360,6 @@ impl Simulation {
                         sink,
                         wire,
                         o,
-                        &mut push,
                     )?;
                 }
             }
@@ -447,8 +407,7 @@ impl Simulation {
         r: Rank,
         now: Time,
         procs: &mut [Box<dyn Process>],
-        heap: &mut BinaryHeap<Reverse<Event>>,
-        seq: &mut u64,
+        queue: &mut EventQueue,
         send_busy_until: &mut [Time],
         done: &mut [bool],
         sent_per_rank: &mut [u32],
@@ -458,7 +417,6 @@ impl Simulation {
         sink: &mut dyn EventSink,
         wire: u64,
         o: u64,
-        push: &mut impl FnMut(&mut BinaryHeap<Reverse<Event>>, &mut u64, Time, Rank, EventKind),
     ) -> Result<(), SimError> {
         match procs[r as usize].poll_send(now) {
             SendPoll::Now { to, payload } => {
@@ -482,21 +440,15 @@ impl Simulation {
                 }
                 send_busy_until[r as usize] = now + o;
                 *quiescence = (*quiescence).max(now + o);
-                push(heap, seq, now + o, r, EventKind::SenderFree);
+                queue.push(now + o, r, EventKind::SenderFree);
                 // The wire delivers even to dead processes; they drop it.
-                push(
-                    heap,
-                    seq,
-                    now + wire,
-                    to,
-                    EventKind::Arrive { from: r, payload },
-                );
+                queue.push(now + wire, to, EventKind::Arrive { from: r, payload });
             }
             SendPoll::WaitUntil(at) => {
                 if at <= now {
                     return Err(SimError::NonAdvancingWait { rank: r, now, at });
                 }
-                push(heap, seq, at, r, EventKind::Repoll);
+                queue.push(at, r, EventKind::Repoll);
             }
             SendPoll::Idle => {}
             SendPoll::Done => done[r as usize] = true,

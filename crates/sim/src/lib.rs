@@ -20,11 +20,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod arena;
 pub mod engine;
 pub mod faults;
 pub mod metrics;
+pub(crate) mod queue;
 pub mod trace;
 
+pub use arena::RunArena;
 pub use engine::{SimError, Simulation, SimulationBuilder};
 pub use faults::FaultPlan;
 pub use metrics::{MessageCounts, Outcome};

@@ -1,0 +1,425 @@
+//! The calendar (bucket) event queue behind the engine.
+//!
+//! The engine originally kept its pending events in a binary heap
+//! ordered by `(time, class, seq)`. The LogP invariants (`L ≥ 1`,
+//! `o ≥ 1`, validated in `ct-logp`) guarantee that every event pushed
+//! while draining time `t` lies strictly in the future: `SenderFree`
+//! and `RecvDone` land at `t + o`, `Arrive` at `t + o + L`, and a
+//! `Repoll` at `t' ≤ t` is rejected as [`SimError::NonAdvancingWait`]
+//! (`crate::SimError`). That makes a calendar queue *exactly*
+//! order-equivalent to the heap — no event can join a bucket that is
+//! already being drained — while turning the hot push/pop pair from
+//! `O(log n)` comparisons into array appends and cursor walks.
+//!
+//! Layout: a window of [`WINDOW`] consecutive absolute time steps, one
+//! bucket per step, four FIFO lanes per bucket (one per same-time
+//! ordering class). Within a lane, append order *is* sequence order —
+//! the global sequence counter is monotone — so FIFO drain reproduces
+//! the heap's `seq` tie-break. Events beyond the window (distant
+//! `WaitUntil`s, `Time::NEVER`) overflow into a small binary heap with
+//! the original `(time, class, seq)` ordering; when the window empties
+//! the queue re-bases onto the earliest overflow time and drains the
+//! now-in-window prefix back into buckets, preserving that order.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use ct_core::protocol::Payload;
+use ct_logp::{Rank, Time};
+
+/// The four event kinds driving a run (see the engine module docs).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum EventKind {
+    /// A rank's sender port became free; poll the protocol.
+    SenderFree,
+    /// A message reached a rank's receive port.
+    Arrive {
+        /// Sending rank.
+        from: Rank,
+        /// Message content.
+        payload: Payload,
+    },
+    /// A rank finished the `o`-long processing of its queue head.
+    RecvDone,
+    /// A protocol-requested `WaitUntil` expired.
+    Repoll,
+}
+
+impl EventKind {
+    /// Same-time ordering class. Deliveries must precede sender polls at
+    /// equal timestamps: a message whose processing completes at `t` is
+    /// available to the send decision made at `t` — this is what makes
+    /// the simulated checked correction match Lemma 2 exactly (a process
+    /// that hears from both sides at `t` sends nothing more at `t`).
+    pub(crate) fn class(self) -> u8 {
+        match self {
+            EventKind::Arrive { .. } => 0,
+            EventKind::RecvDone => 1,
+            EventKind::SenderFree => 2,
+            EventKind::Repoll => 3,
+        }
+    }
+}
+
+/// Bucket window size in time steps. Quiescence of the paper workloads
+/// is tens of steps, so one window normally covers a whole run; the
+/// overflow heap handles anything longer (or `Time::NEVER`).
+const WINDOW: usize = 1024;
+const LANES: usize = 4;
+
+/// An event parked beyond the current window.
+#[derive(Clone, Copy, Debug)]
+struct Overflow {
+    time: Time,
+    seq: u64,
+    rank: Rank,
+    kind: EventKind,
+}
+
+impl PartialEq for Overflow {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for Overflow {}
+impl PartialOrd for Overflow {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Overflow {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.kind.class(), self.seq).cmp(&(other.time, other.kind.class(), other.seq))
+    }
+}
+
+/// The queue. [`EventQueue::reset`] retains every allocation, so a
+/// reused queue runs allocation-free once warm.
+pub(crate) struct EventQueue {
+    /// Absolute time of `buckets[0]`.
+    base: u64,
+    /// Bucket currently being drained.
+    cursor: usize,
+    /// Class lane currently being drained within the cursor bucket.
+    lane: usize,
+    /// Next position within that lane.
+    pos: usize,
+    /// Pending (pushed, not yet popped) events resident in buckets.
+    len: usize,
+    buckets: Vec<[Vec<(Rank, EventKind)>; LANES]>,
+    overflow: BinaryHeap<Reverse<Overflow>>,
+    /// Monotone push counter, reproducing the heap's tie-break.
+    seq: u64,
+}
+
+impl EventQueue {
+    pub(crate) fn new() -> EventQueue {
+        EventQueue {
+            base: 0,
+            cursor: 0,
+            lane: 0,
+            pos: 0,
+            len: 0,
+            buckets: (0..WINDOW)
+                .map(|_| std::array::from_fn(|_| Vec::new()))
+                .collect(),
+            overflow: BinaryHeap::new(),
+            seq: 0,
+        }
+    }
+
+    /// Empty the queue for a fresh run, keeping all backing storage.
+    pub(crate) fn reset(&mut self) {
+        for bucket in self.buckets.iter_mut() {
+            for lane in bucket.iter_mut() {
+                lane.clear();
+            }
+        }
+        self.overflow.clear();
+        self.base = 0;
+        self.cursor = 0;
+        self.lane = 0;
+        self.pos = 0;
+        self.len = 0;
+        self.seq = 0;
+    }
+
+    /// Schedule an event. Must not be earlier than the bucket being
+    /// drained — guaranteed by the LogP invariants (see module docs).
+    pub(crate) fn push(&mut self, time: Time, rank: Rank, kind: EventKind) {
+        self.seq += 1;
+        let idx = time
+            .steps()
+            .checked_sub(self.base)
+            .expect("event scheduled before the window base");
+        if idx < WINDOW as u64 {
+            let b = idx as usize;
+            // Strictly-future pushes can never land behind the drain
+            // point; only saturated `Time::NEVER` arithmetic could, and
+            // that must fail loudly rather than lose the event.
+            assert!(
+                b > self.cursor || (b == self.cursor && kind.class() as usize >= self.lane),
+                "event scheduled into an already-drained lane (time did not advance)"
+            );
+            self.buckets[b][kind.class() as usize].push((rank, kind));
+            self.len += 1;
+        } else {
+            self.overflow.push(Reverse(Overflow {
+                time,
+                seq: self.seq,
+                rank,
+                kind,
+            }));
+        }
+    }
+
+    /// Next event in `(time, class, seq)` order, or `None` when drained.
+    pub(crate) fn pop(&mut self) -> Option<(Time, Rank, EventKind)> {
+        loop {
+            if self.len == 0 {
+                // Window exhausted; jump straight to the overflow.
+                if self.overflow.is_empty() {
+                    return None;
+                }
+                self.rebase();
+            }
+            while self.lane < LANES {
+                let lane_vec = &self.buckets[self.cursor][self.lane];
+                if self.pos < lane_vec.len() {
+                    let (rank, kind) = lane_vec[self.pos];
+                    self.pos += 1;
+                    self.len -= 1;
+                    return Some((Time::new(self.base + self.cursor as u64), rank, kind));
+                }
+                self.lane += 1;
+                self.pos = 0;
+            }
+            // Bucket fully drained: release its storage for this window
+            // and move on. (Consumed events stay in the lane vectors
+            // until this point.)
+            for lane in self.buckets[self.cursor].iter_mut() {
+                lane.clear();
+            }
+            self.lane = 0;
+            self.pos = 0;
+            self.cursor += 1;
+            if self.cursor == WINDOW {
+                debug_assert_eq!(self.len, 0, "events counted but never reachable");
+                if self.overflow.is_empty() {
+                    return None;
+                }
+                self.rebase();
+            }
+        }
+    }
+
+    /// Move the window to the earliest overflow time and pull every
+    /// overflow event that now fits back into buckets. Heap pop order is
+    /// `(time, class, seq)`, so lane append order stays sequence order.
+    fn rebase(&mut self) {
+        debug_assert_eq!(self.len, 0);
+        if self.cursor < WINDOW {
+            for lane in self.buckets[self.cursor].iter_mut() {
+                lane.clear();
+            }
+        }
+        self.base = self
+            .overflow
+            .peek()
+            .expect("rebase requires overflow events")
+            .0
+            .time
+            .steps();
+        self.cursor = 0;
+        self.lane = 0;
+        self.pos = 0;
+        while let Some(Reverse(ev)) = self.overflow.peek() {
+            let idx = ev.time.steps() - self.base;
+            if idx >= WINDOW as u64 {
+                break;
+            }
+            let Reverse(ev) = self.overflow.pop().expect("just peeked");
+            self.buckets[idx as usize][ev.kind.class() as usize].push((ev.rank, ev.kind));
+            self.len += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Reference model: the original binary heap with explicit
+    /// `(time, class, seq)` ordering.
+    #[derive(Clone, Copy, Debug)]
+    struct ModelEvent {
+        time: Time,
+        seq: u64,
+        rank: Rank,
+        kind: EventKind,
+    }
+    impl PartialEq for ModelEvent {
+        fn eq(&self, other: &Self) -> bool {
+            self.seq == other.seq
+        }
+    }
+    impl Eq for ModelEvent {}
+    impl PartialOrd for ModelEvent {
+        fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+    impl Ord for ModelEvent {
+        fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+            (self.time, self.kind.class(), self.seq).cmp(&(
+                other.time,
+                other.kind.class(),
+                other.seq,
+            ))
+        }
+    }
+
+    struct Model {
+        heap: BinaryHeap<Reverse<ModelEvent>>,
+        seq: u64,
+    }
+    impl Model {
+        fn new() -> Model {
+            Model {
+                heap: BinaryHeap::new(),
+                seq: 0,
+            }
+        }
+        fn push(&mut self, time: Time, rank: Rank, kind: EventKind) {
+            self.seq += 1;
+            self.heap.push(Reverse(ModelEvent {
+                time,
+                seq: self.seq,
+                rank,
+                kind,
+            }));
+        }
+        fn pop(&mut self) -> Option<(Time, Rank, EventKind)> {
+            self.heap.pop().map(|Reverse(e)| (e.time, e.rank, e.kind))
+        }
+    }
+
+    /// A deterministic pseudo-random stream (no external RNG needed).
+    fn mix(x: u64) -> u64 {
+        let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn kind_for(i: u64) -> EventKind {
+        match i % 4 {
+            0 => EventKind::SenderFree,
+            1 => EventKind::Arrive {
+                from: (i % 7) as Rank,
+                payload: Payload::Tree,
+            },
+            2 => EventKind::RecvDone,
+            _ => EventKind::Repoll,
+        }
+    }
+
+    /// Drive queue and model through an identical interleaved
+    /// push/pop schedule where every push is strictly in the future —
+    /// the engine's invariant — and require identical pop streams.
+    fn lockstep(time_spread: u64, label: &str) {
+        let mut q = EventQueue::new();
+        let mut m = Model::new();
+        for r in 0..16u32 {
+            q.push(Time::ZERO, r, EventKind::SenderFree);
+            m.push(Time::ZERO, r, EventKind::SenderFree);
+        }
+        let mut i = 0u64;
+        loop {
+            let a = q.pop();
+            let b = m.pop();
+            match (a, b) {
+                (None, None) => break,
+                (Some((ta, ra, ka)), Some((tb, rb, kb))) => {
+                    assert_eq!((ta, ra, ka), (tb, rb, kb), "{label}: divergence at pop {i}");
+                    // Push 1–2 strictly-future events per pop (so the
+                    // schedule cannot die out early), capped so it
+                    // terminates.
+                    if i < 4000 {
+                        let n = 1 + mix(i) % 2;
+                        for j in 0..n {
+                            let h = mix(i * 3 + j);
+                            let dt = 1 + h % time_spread;
+                            let rank = (h >> 8) as u32 % 16;
+                            let kind = kind_for(h >> 16);
+                            q.push(ta + dt, rank, kind);
+                            m.push(tb + dt, rank, kind);
+                        }
+                    }
+                    i += 1;
+                }
+                (a, b) => panic!("{label}: one queue drained early: {a:?} vs {b:?}"),
+            }
+        }
+        assert!(i > 4000, "{label}: schedule must actually exercise pops");
+    }
+
+    #[test]
+    fn matches_heap_order_within_window() {
+        lockstep(8, "dense");
+    }
+
+    #[test]
+    fn matches_heap_order_across_window_overflow() {
+        // Deltas far beyond WINDOW force constant overflow + rebase.
+        lockstep(5000, "sparse");
+    }
+
+    #[test]
+    fn never_scheduled_events_surface_last() {
+        let mut q = EventQueue::new();
+        q.push(Time::NEVER, 3, EventKind::Repoll);
+        q.push(Time::ZERO, 1, EventKind::SenderFree);
+        q.push(Time::new(2000), 2, EventKind::RecvDone);
+        assert_eq!(q.pop(), Some((Time::ZERO, 1, EventKind::SenderFree)));
+        assert_eq!(q.pop(), Some((Time::new(2000), 2, EventKind::RecvDone)));
+        assert_eq!(q.pop(), Some((Time::NEVER, 3, EventKind::Repoll)));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn same_time_orders_by_class_then_fifo() {
+        let mut q = EventQueue::new();
+        let t = Time::new(5);
+        q.push(t, 9, EventKind::Repoll);
+        q.push(t, 8, EventKind::SenderFree);
+        q.push(t, 7, EventKind::RecvDone);
+        q.push(
+            t,
+            6,
+            EventKind::Arrive {
+                from: 0,
+                payload: Payload::Tree,
+            },
+        );
+        q.push(t, 5, EventKind::RecvDone);
+        let order: Vec<Rank> = std::iter::from_fn(|| q.pop()).map(|(_, r, _)| r).collect();
+        assert_eq!(order, vec![6, 7, 5, 8, 9]);
+    }
+
+    #[test]
+    fn reset_restores_a_pristine_queue() {
+        let mut q = EventQueue::new();
+        q.push(Time::new(1), 1, EventKind::SenderFree);
+        q.push(Time::new(90_000), 2, EventKind::Repoll);
+        let _ = q.pop();
+        q.reset();
+        assert_eq!(q.pop(), None);
+        // And it still orders correctly after reuse.
+        q.push(Time::new(3), 4, EventKind::RecvDone);
+        q.push(Time::new(2), 5, EventKind::SenderFree);
+        assert_eq!(q.pop(), Some((Time::new(2), 5, EventKind::SenderFree)));
+        assert_eq!(q.pop(), Some((Time::new(3), 4, EventKind::RecvDone)));
+        assert_eq!(q.pop(), None);
+    }
+}

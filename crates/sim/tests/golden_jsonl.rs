@@ -48,6 +48,42 @@ fn golden_trace_is_byte_for_byte_stable() {
 }
 
 #[test]
+fn golden_trace_survives_arena_reuse_byte_for_byte() {
+    let spec = BroadcastSpec::corrected_tree(
+        TreeKind::BINOMIAL,
+        CorrectionKind::OpportunisticOptimized { distance: 2 },
+    );
+    let golden_sim = || {
+        Simulation::builder(4, LogP::PAPER)
+            .faults(FaultPlan::from_ranks(4, &[2]).expect("valid fault plan"))
+            .seed(1)
+            .build()
+    };
+    let mut arena = ct_sim::RunArena::new();
+    // Dirty the arena with runs of a different shape (larger P, other
+    // protocol, faults elsewhere) before and between golden runs: the
+    // reset must erase every trace of them.
+    let other_spec = BroadcastSpec::corrected_tree_sync(TreeKind::LAME2, CorrectionKind::Checked);
+    let other = Simulation::builder(64, LogP::PAPER)
+        .faults(FaultPlan::from_ranks(64, &[3, 17]).unwrap())
+        .seed(9)
+        .build();
+    other.run_reusable(&other_spec, &mut arena).unwrap();
+    for _ in 0..2 {
+        let mut sink = VecSink::new();
+        golden_sim()
+            .run_with_sink_reusable(&spec, &mut sink, &mut arena)
+            .expect("run succeeds");
+        assert_eq!(
+            sink.to_jsonl(),
+            GOLDEN,
+            "a reused arena must replay the golden trace byte-for-byte"
+        );
+        other.run_reusable(&other_spec, &mut arena).unwrap();
+    }
+}
+
+#[test]
 fn golden_stream_is_schema_complete() {
     let sink = golden_stream();
     let has = |pred: &dyn Fn(&EventKind) -> bool| sink.events.iter().any(|e| pred(&e.kind));

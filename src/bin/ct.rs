@@ -22,7 +22,7 @@ use corrected_trees::analyze::{
     AnalyzeConfig, BenchSnapshot, PerfDiff,
 };
 use corrected_trees::core::correction::CorrectionKind;
-use corrected_trees::core::protocol::{BroadcastSpec, Payload};
+use corrected_trees::core::protocol::{BroadcastSpec, Payload, ProtocolFactory};
 use corrected_trees::core::tree::{interleaving, stats, Ordering, Topology, TreeKind};
 use corrected_trees::exp::{analyze_campaign, Campaign, FaultSpec, Variant};
 use corrected_trees::logp::LogP;
@@ -86,7 +86,14 @@ fn usage() -> ! {
                                    run a small campaign, write BENCH_<N>.json\n\
                                    (--out FILE overrides the path)\n\
            perf diff <old.json> <new.json> [--threshold 0.05]\n\
-                                   compare snapshots; exit 1 on regressions"
+                                   compare snapshots; exit 1 on regressions\n\
+           perf bench [--quick] [--p N] [--reps R] [--rate F] [--seed S]\n\
+                                   time the reference simulator campaign\n\
+                                   (checked-sync binomial, rate faults) and\n\
+                                   write results/BENCH_sim_throughput.json\n\
+                                   (--out FILE overrides; metrics are\n\
+                                   ns_per_rep / ns_per_event, lower is\n\
+                                   better; --quick = P 1024, 10 reps)"
     );
     std::process::exit(2);
 }
@@ -682,6 +689,75 @@ fn cmd_perf(cli: &Cli) {
             print!("{}", diff.render_text());
             if !diff.regressions().is_empty() {
                 std::process::exit(1);
+            }
+        }
+        Some("bench") => {
+            let quick = cli.flag("--quick");
+            let p: u32 = cli.parsed("--p", if quick { 1024 } else { 4096 });
+            let reps: u32 = cli.parsed("--reps", if quick { 10 } else { 40 });
+            let seed0: u64 = cli.parsed("--seed", 1);
+            let rate: f64 = cli.parsed("--rate", 0.01);
+            let logp: LogP = cli
+                .value("--logp")
+                .map(|s| s.parse().expect("valid LogP string"))
+                .unwrap_or(LogP::PAPER);
+            let tree = parse_tree(cli.value("--tree").unwrap_or("binomial"));
+            let campaign = Campaign::new(Variant::tree_checked_sync(tree), p, logp)
+                .with_faults(FaultSpec::Rate(rate))
+                .with_reps(reps)
+                .with_seed(seed0);
+            let run = || {
+                campaign.run().unwrap_or_else(|e| {
+                    eprintln!("campaign failed: {e:?}");
+                    std::process::exit(2);
+                })
+            };
+            // Warm-up pass: primes the topology cache and the allocator
+            // the way any long campaign would, so the timed pass
+            // measures the steady state the campaigns actually run in.
+            run();
+            let start = std::time::Instant::now();
+            let records = run();
+            let wall = start.elapsed();
+            let events: u64 = records.iter().map(|r| r.events).sum();
+            let messages: u64 = records.iter().map(|r| r.messages).sum();
+            let wall_ns = wall.as_nanos() as f64;
+            let secs = wall.as_secs_f64();
+            let reps_per_sec = f64::from(reps) / secs;
+            let events_per_sec = events as f64 / secs;
+            let snapshot = BenchSnapshot::new("sim_throughput")
+                .with_provenance("variant", &campaign.variant.label())
+                .with_provenance("p", &p.to_string())
+                .with_provenance("logp", &logp.to_string())
+                .with_provenance("faults", &format!("{:?}", campaign.faults))
+                .with_provenance("reps", &reps.to_string())
+                .with_provenance("seed0", &seed0.to_string())
+                .with_provenance("total_events", &events.to_string())
+                .with_provenance("total_messages", &messages.to_string())
+                .with_provenance("reps_per_sec", &format!("{reps_per_sec:.2}"))
+                .with_provenance("events_per_sec", &format!("{events_per_sec:.0}"))
+                .with_metric("ns_per_rep", wall_ns / f64::from(reps.max(1)))
+                .with_metric("ns_per_event", wall_ns / events.max(1) as f64);
+            let path = std::path::PathBuf::from(
+                cli.value("--out")
+                    .map(str::to_owned)
+                    .unwrap_or_else(|| "results/BENCH_sim_throughput.json".to_owned()),
+            );
+            if let Some(dir) = path.parent() {
+                if !dir.as_os_str().is_empty() {
+                    let _ = std::fs::create_dir_all(dir);
+                }
+            }
+            match snapshot.write(&path) {
+                Ok(()) => println!(
+                    "[bench sim_throughput] reps/sec={reps_per_sec:.2} \
+                     events/sec={events_per_sec:.0} wall={wall:.2?} -> {}",
+                    path.display()
+                ),
+                Err(e) => {
+                    eprintln!("could not write {}: {e}", path.display());
+                    std::process::exit(2);
+                }
             }
         }
         Some("snapshot") => {

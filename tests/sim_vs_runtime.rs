@@ -287,3 +287,97 @@ fn gossip_round_limited_completes_on_both_drivers() {
         .unwrap();
     assert!(report.completed, "{:?}", report.uncolored);
 }
+
+/// The arena-reuse fast path is an optimization of the fresh-build
+/// path, not a semantic change: for every variant and fault regime, a
+/// single dirty arena threaded through back-to-back runs must replay
+/// the exact event stream and outcome a fresh simulation produces.
+#[test]
+fn reused_arena_matches_fresh_build_across_variants_and_faults() {
+    use corrected_trees::sim::RunArena;
+    let p = 96u32;
+    let specs: Vec<BroadcastSpec> = vec![
+        BroadcastSpec::corrected_tree_sync(TreeKind::BINOMIAL, CorrectionKind::Checked),
+        BroadcastSpec::corrected_tree(
+            TreeKind::LAME2,
+            CorrectionKind::OpportunisticOptimized { distance: 4 },
+        ),
+        BroadcastSpec::corrected_tree(
+            TreeKind::FOUR_ARY,
+            CorrectionKind::Opportunistic { distance: 2 },
+        ),
+        BroadcastSpec::ack_tree(TreeKind::BINOMIAL),
+    ];
+    let plans = [
+        FaultPlan::none(p),
+        FaultPlan::random_count(p, 5, 11).unwrap(),
+        FaultPlan::random_rate(p, 0.05, 7).unwrap(),
+        FaultPlan::from_ranks(p, &[1, 2, 3, 50]).unwrap(),
+    ];
+    let mut arena = RunArena::new();
+    for spec in &specs {
+        for plan in &plans {
+            let sim = || {
+                Simulation::builder(p, LogP::PAPER)
+                    .faults(plan.clone())
+                    .seed(5)
+                    .build()
+            };
+            let mut fresh_sink = VecSink::new();
+            let fresh_out = sim().run_with_sink(spec, &mut fresh_sink).unwrap();
+            let mut reused_sink = VecSink::new();
+            let reused_out = sim()
+                .run_with_sink_reusable(spec, &mut reused_sink, &mut arena)
+                .unwrap();
+            assert_eq!(
+                fresh_sink.to_jsonl(),
+                reused_sink.to_jsonl(),
+                "event streams diverged for {spec:?}"
+            );
+            assert_eq!(fresh_out.quiescence, reused_out.quiescence);
+            assert_eq!(fresh_out.events, reused_out.events);
+            assert_eq!(fresh_out.messages.total(), reused_out.messages.total());
+            assert_eq!(fresh_out.colored_at, reused_out.colored_at);
+        }
+    }
+}
+
+/// A multi-repetition campaign reuses one arena and the topology cache;
+/// running each repetition as its own single-rep campaign rebuilds
+/// everything from scratch. The records must be identical.
+#[test]
+fn campaign_records_identical_between_reused_and_fresh_paths() {
+    use corrected_trees::exp::{Campaign, FaultSpec, Variant};
+    let p = 128u32;
+    let cases = [
+        (
+            Variant::tree_checked_sync(TreeKind::BINOMIAL),
+            FaultSpec::Rate(0.03),
+        ),
+        (
+            Variant::tree_opportunistic(TreeKind::LAME2, 4),
+            FaultSpec::Count(3),
+        ),
+        (Variant::ack_tree(TreeKind::BINOMIAL), FaultSpec::None),
+    ];
+    for (variant, faults) in cases {
+        let reps = 4u32;
+        let seed0 = 21u64;
+        let campaign = Campaign::new(variant, p, LogP::PAPER)
+            .with_faults(faults.clone())
+            .with_reps(reps)
+            .with_seed(seed0);
+        let reused = campaign.run().unwrap();
+        let fresh: Vec<_> = (0..reps)
+            .flat_map(|i| {
+                Campaign::new(variant, p, LogP::PAPER)
+                    .with_faults(faults.clone())
+                    .with_reps(1)
+                    .with_seed(seed0 + u64::from(i))
+                    .run()
+                    .unwrap()
+            })
+            .collect();
+        assert_eq!(reused, fresh, "records diverged for {variant:?}");
+    }
+}
