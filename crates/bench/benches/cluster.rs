@@ -1,0 +1,69 @@
+//! Cluster-runtime throughput benchmark: broadcasts/sec under the M:N
+//! rank scheduler at scales the thread-per-rank design could not reach.
+//! The tracked numbers live in `results/BENCH_cluster_throughput.json`
+//! (regenerate with `ct perf bench --runtime`); this bench gives the
+//! same sweep Criterion-style statistics for interactive tuning.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ct_core::correction::CorrectionKind;
+use ct_core::protocol::BroadcastSpec;
+use ct_core::tree::TreeKind;
+use ct_logp::LogP;
+use ct_runtime::{Cluster, ClusterConfig};
+use ct_sim::FaultPlan;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cluster_throughput");
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.sample_size(10);
+    let plain = BroadcastSpec::plain_tree(TreeKind::BINOMIAL);
+    let corrected = BroadcastSpec::corrected_tree(
+        TreeKind::BINOMIAL,
+        CorrectionKind::OpportunisticOptimized { distance: 4 },
+    );
+    for p in [256u32, 1024, 4096] {
+        let mut cluster = Cluster::new(p, LogP::PAPER);
+        let live = vec![false; p as usize];
+        group.bench_function(format!("p{p}_faultfree"), |b| {
+            let mut seed = 0;
+            b.iter(|| {
+                seed += 1;
+                let report = cluster.run_broadcast(&plain, &live, seed).unwrap();
+                assert!(report.completed);
+                report.messages
+            })
+        });
+        let faults = (p / 100).max(1);
+        let plan = FaultPlan::random_count_protecting(p, faults, 1, 0).unwrap();
+        group.bench_function(format!("p{p}_faulty"), |b| {
+            let mut seed = 0;
+            b.iter(|| {
+                seed += 1;
+                let report = cluster
+                    .run_broadcast(&corrected, plan.mask(), seed)
+                    .unwrap();
+                assert!(report.completed);
+                report.messages
+            })
+        });
+    }
+    // Backpressure worst case: capacity-1 mailboxes force every fan-in
+    // collision through the heap spill path.
+    let cfg = ClusterConfig::new().mailbox_capacity(1);
+    let mut tiny = Cluster::with_config(256, LogP::PAPER, cfg);
+    let live = vec![false; 256];
+    group.bench_function("p256_faultfree_mailbox_cap1", |b| {
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            let report = tiny.run_broadcast(&plain, &live, seed).unwrap();
+            assert!(report.completed);
+            report.messages
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

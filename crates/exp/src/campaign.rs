@@ -23,16 +23,10 @@ use crate::variants::Variant;
 /// Default worker-thread count for parallel campaigns: the `CT_THREADS`
 /// environment variable when set to a positive integer (the CI and
 /// reproducibility override), otherwise the machine's available
-/// parallelism.
+/// parallelism. One knob for the whole stack: this is the same function
+/// that sizes the cluster runtime's M:N worker pool.
 pub fn default_threads() -> usize {
-    if let Ok(s) = std::env::var("CT_THREADS") {
-        if let Ok(n) = s.trim().parse::<usize>() {
-            if n >= 1 {
-                return n;
-            }
-        }
-    }
-    std::thread::available_parallelism().map_or(4, |n| n.get())
+    ct_runtime::default_threads()
 }
 
 /// How failures are drawn for each repetition.

@@ -1,61 +1,134 @@
-//! Worker threads, wire format and the per-broadcast drive loop.
+//! M:N rank scheduler, bounded mailboxes and the per-broadcast drive loop.
 //!
-//! A [`Cluster`] owns `P` long-lived worker threads. Each broadcast
-//! iteration ships one freshly built protocol state machine to every
-//! worker; workers then exchange rank-addressed messages until the
-//! coordinator has seen a "colored" notification from every live rank
-//! (or times out), sends `Stop`, and collects acknowledgments. Stale
-//! messages are discarded by broadcast id, so iterations cannot bleed
-//! into one another even with messages still in flight.
+//! A [`Cluster`] emulates `P` single-process nodes on a fixed pool of
+//! worker threads ([`default_threads`]-sized, `CT_THREADS` override) —
+//! M:N scheduling instead of the thread-per-rank design this module
+//! started with. Each rank is a passive state machine: a protocol
+//! [`Process`] plus a bounded SPSC-style mailbox (fixed-capacity ring,
+//! no per-message heap allocation in the steady state). Workers pull
+//! batches of *runnable* ranks off a shared run queue and drive each
+//! one for a quantum: drain the mailbox, deliver messages, poll the
+//! protocol for sends, and hand outgoing messages straight to the
+//! destination mailbox. Protocol-requested wake-ups
+//! (`SendPoll::WaitUntil`) go into a shared hashed timer wheel the pool
+//! services between quanta, so idle ranks cost nothing — no P blocked
+//! `recv_timeout` calls.
+//!
+//! Coordinator traffic is batched: a worker accumulates colored
+//! notifications, wake-ups and timer arms over a scheduling quantum and
+//! flushes them once (one channel send per iteration id, one run-queue
+//! lock). Iteration start reuses per-rank `Process` slots via
+//! [`ProtocolFactory::build_into`] rather than shipping fresh boxes
+//! through channels, and iteration teardown harvests per-rank message
+//! counts and event buffers directly from the shared state — there is
+//! no per-rank stop/ack round-trip.
+//!
+//! Stale messages are discarded by broadcast id, so iterations cannot
+//! bleed into one another even with messages still queued.
 
-use std::sync::Arc;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
-use ct_core::protocol::{BuildCtx, Payload, Process, ProtocolError, ProtocolFactory, SendPoll};
+use ct_core::protocol::{BuildCtx, Process, ProtocolError, ProtocolFactory, SendPoll};
 use ct_logp::{LogP, Rank, Time};
 use ct_obs::event::phases;
 use ct_obs::{Event as ObsEvent, EventKind as ObsEventKind, EventSink, NullSink};
 
-/// Wire traffic between the coordinator and workers.
-enum WorkerMsg {
-    /// Begin broadcast `id` with this protocol instance; `dead` workers
-    /// emulate a crashed process for the whole iteration. With `record`
-    /// set, the worker buffers an observability event per protocol
-    /// action and ships the buffer back in its `StopAck`.
-    Start {
-        id: u64,
-        process: Box<dyn Process>,
-        dead: bool,
-        epoch: Instant,
-        record: bool,
-    },
-    /// Rank-to-rank payload of broadcast `id`.
-    Data {
-        id: u64,
-        from: Rank,
-        payload: Payload,
-    },
-    /// End broadcast `id`; the worker acknowledges and discards state.
-    Stop { id: u64 },
-    /// Tear the worker down.
-    Shutdown,
+use crate::mailbox::{Mailbox, Msg};
+use crate::timer::TimerWheel;
+
+/// Upper bound on ranks a worker claims per run-queue lock.
+const MAX_BATCH: usize = 32;
+
+/// Worker-pool size: the `CT_THREADS` environment variable when set to
+/// a positive integer, else [`std::thread::available_parallelism`],
+/// else 4. The same knob (and the same default) the experiment
+/// campaigns use for their simulator worker pools.
+pub fn default_threads() -> usize {
+    match std::env::var("CT_THREADS")
+        .ok()
+        .and_then(|s| s.trim().parse::<usize>().ok())
+    {
+        Some(n) if n >= 1 => n,
+        _ => std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4),
+    }
 }
 
-/// Worker → coordinator notifications.
+/// Mailbox ring capacity: `CT_MAILBOX_CAP` when set to a positive
+/// integer, else 64 slots per rank.
+fn default_mailbox_capacity() -> usize {
+    match std::env::var("CT_MAILBOX_CAP")
+        .ok()
+        .and_then(|s| s.trim().parse::<usize>().ok())
+    {
+        Some(n) if n >= 1 => n,
+        _ => 64,
+    }
+}
+
+/// Tunables for a [`Cluster`]; [`ClusterConfig::new`] reads the
+/// environment (`CT_THREADS`, `CT_MAILBOX_CAP`) so tests can pin exact
+/// values without mutating process state.
+#[derive(Clone, Debug)]
+pub struct ClusterConfig {
+    /// Worker-pool size (clamped to `1..=p` at cluster construction).
+    pub threads: usize,
+    /// Per-rank mailbox ring capacity (≥ 1; overflow spills to the
+    /// heap, so this bounds steady-state allocation, not correctness).
+    pub mailbox_capacity: usize,
+    /// Per-iteration completion deadline.
+    pub timeout: Duration,
+}
+
+impl ClusterConfig {
+    /// Environment-driven defaults: [`default_threads`] workers, 64-slot
+    /// mailboxes (`CT_MAILBOX_CAP` override) and a generous 30 s
+    /// timeout — a completed iteration never waits on it, and a tight
+    /// default turns CPU contention into spurious incompleteness on
+    /// oversubscribed machines.
+    pub fn new() -> ClusterConfig {
+        ClusterConfig {
+            threads: default_threads(),
+            mailbox_capacity: default_mailbox_capacity(),
+            timeout: Duration::from_secs(30),
+        }
+    }
+
+    /// Replace the worker-pool size.
+    pub fn threads(mut self, threads: usize) -> ClusterConfig {
+        self.threads = threads;
+        self
+    }
+
+    /// Replace the per-rank mailbox ring capacity.
+    pub fn mailbox_capacity(mut self, capacity: usize) -> ClusterConfig {
+        self.mailbox_capacity = capacity;
+        self
+    }
+
+    /// Replace the per-iteration completion deadline.
+    pub fn timeout(mut self, timeout: Duration) -> ClusterConfig {
+        self.timeout = timeout;
+        self
+    }
+}
+
+impl Default for ClusterConfig {
+    fn default() -> ClusterConfig {
+        ClusterConfig::new()
+    }
+}
+
+/// Worker → coordinator notifications (batched per scheduling quantum).
 enum CoordMsg {
-    /// `rank` became colored in broadcast `id`.
-    Colored { id: u64, rank: Rank },
-    /// `rank` finished cleaning up broadcast `id`; carries the number of
-    /// messages this rank sent during the iteration and, when recording
-    /// was requested, the rank's buffered observability events.
-    StopAck {
-        id: u64,
-        rank: Rank,
-        sent: u64,
-        events: Vec<ObsEvent>,
-    },
+    /// `ranks` became colored in broadcast `id`.
+    Colored { id: u64, ranks: Vec<Rank> },
 }
 
 /// Errors from cluster operation.
@@ -63,8 +136,9 @@ enum CoordMsg {
 pub enum ClusterError {
     /// The protocol factory failed.
     Protocol(ProtocolError),
-    /// A protocol asked for a synchronized wait the cluster cannot hono
-    /// r precisely; reported for diagnosis (the drive loop still sleeps).
+    /// A worker thread panicked (observed as a poisoned rank lock or as
+    /// every worker having exited), so the iteration's state cannot be
+    /// trusted or collected.
     WorkerPanicked,
 }
 
@@ -88,8 +162,9 @@ impl From<ProtocolError> for ClusterError {
 /// Result of one broadcast iteration on the cluster.
 #[derive(Clone, Debug)]
 pub struct RunReport {
-    /// Wall-clock time from `Start` until the last live rank reported
-    /// the payload (coloring latency).
+    /// Wall-clock time from the iteration epoch (the zero point of
+    /// every recorded event timestamp) until the last live rank
+    /// reported the payload (coloring latency).
     pub latency: Duration,
     /// Live ranks that never got colored before the timeout (empty on
     /// success).
@@ -100,56 +175,160 @@ pub struct RunReport {
     pub completed: bool,
 }
 
+/// One in-flight broadcast iteration on a rank.
+struct IterState {
+    id: u64,
+    process: Box<dyn Process>,
+    dead: bool,
+    epoch: Instant,
+    /// `epoch` on the cluster-wide µs timeline (for timer deadlines).
+    epoch_us: u64,
+    record: bool,
+}
+
+/// Mutable per-rank state a worker locks for the span of one quantum.
+struct RankState {
+    iter: Option<IterState>,
+    /// Messages this rank sent during the current iteration.
+    sent: u64,
+    /// Whether the coordinator has been told this rank is colored.
+    notified: bool,
+    /// Buffered observability events (when recording); the buffer's
+    /// capacity survives iterations.
+    events: Vec<ObsEvent>,
+}
+
+/// One rank: a schedule flag, a mailbox and the protocol state.
+///
+/// Lock order: `state` before `mailbox`; `mailbox` and the scheduler
+/// lock are leaves (never held while taking another lock); no two
+/// `state` locks are ever held at once.
+struct RankCell {
+    /// True while the rank sits in the run queue or a worker's batch.
+    /// Senders that win the `false → true` CAS take responsibility for
+    /// enqueueing; the end-of-quantum mailbox recheck closes the
+    /// clear-flag/new-message race.
+    scheduled: AtomicBool,
+    mailbox: Mutex<Mailbox>,
+    state: Mutex<RankState>,
+}
+
+/// Scheduler state shared by the pool.
+struct Sched {
+    runq: VecDeque<Rank>,
+    timers: TimerWheel,
+    shutdown: bool,
+}
+
+struct Shared {
+    ranks: Vec<RankCell>,
+    sched: Mutex<Sched>,
+    sched_cv: Condvar,
+    /// Zero point of the cluster-wide µs timeline timers live on.
+    base: Instant,
+    workers: usize,
+}
+
+impl Shared {
+    fn now_us(&self) -> u64 {
+        self.base.elapsed().as_micros() as u64
+    }
+}
+
+/// Per-worker scratch buffers, reused across quanta.
+#[derive(Default)]
+struct Scratch {
+    /// Mailbox drain target.
+    msgs: Vec<Msg>,
+    /// Ranks made runnable by this batch's sends (CAS already won).
+    wakes: Vec<Rank>,
+    /// Timer arms `(deadline_us, rank)` to flush into the wheel.
+    timers: Vec<(u64, Rank)>,
+    /// Colored notifications `(id, rank)` to flush to the coordinator.
+    colored: Vec<(u64, Rank)>,
+    /// Timer-expiry drain target.
+    due: Vec<Rank>,
+}
+
+/// Worker-side poisoned-lock marker: the holder panicked, so the
+/// observing worker exits and lets the coordinator surface
+/// [`ClusterError::WorkerPanicked`].
+struct Poisoned;
+
 /// A pool of worker threads emulating a cluster of `P` single-process
 /// nodes over a reliable in-memory interconnect.
 pub struct Cluster {
     p: u32,
     logp: LogP,
-    to_workers: Vec<Sender<WorkerMsg>>,
+    shared: Arc<Shared>,
     from_workers: Receiver<CoordMsg>,
     handles: Vec<JoinHandle<()>>,
     next_id: u64,
-    /// Per-iteration completion deadline.
     timeout: Duration,
+    /// Reusable per-rank protocol slots (`ProtocolFactory::build_into`).
+    procs: Vec<Box<dyn Process>>,
 }
 
 impl Cluster {
-    /// Spin up `p` worker threads. `logp` is only forwarded to protocol
+    /// A cluster of `p` ranks with environment-driven defaults
+    /// ([`ClusterConfig::new`]). `logp` is only forwarded to protocol
     /// factories (tree construction); transport timing is real.
     pub fn new(p: u32, logp: LogP) -> Cluster {
+        Cluster::with_config(p, logp, ClusterConfig::new())
+    }
+
+    /// A cluster of `p` ranks with explicit tunables.
+    pub fn with_config(p: u32, logp: LogP, cfg: ClusterConfig) -> Cluster {
         assert!(p >= 1);
-        let mut to_workers = Vec::with_capacity(p as usize);
-        let mut worker_rx = Vec::with_capacity(p as usize);
-        for _ in 0..p {
-            let (tx, rx) = unbounded::<WorkerMsg>();
-            to_workers.push(tx);
-            worker_rx.push(rx);
-        }
+        let workers = cfg.threads.clamp(1, p as usize);
+        let capacity = cfg.mailbox_capacity.max(1);
+        let ranks = (0..p)
+            .map(|_| RankCell {
+                scheduled: AtomicBool::new(false),
+                mailbox: Mutex::new(Mailbox::new(capacity)),
+                state: Mutex::new(RankState {
+                    iter: None,
+                    sent: 0,
+                    notified: false,
+                    events: Vec::new(),
+                }),
+            })
+            .collect();
+        let shared = Arc::new(Shared {
+            ranks,
+            sched: Mutex::new(Sched {
+                runq: VecDeque::with_capacity(p as usize),
+                timers: TimerWheel::new(),
+                shutdown: false,
+            }),
+            sched_cv: Condvar::new(),
+            base: Instant::now(),
+            workers,
+        });
         let (coord_tx, from_workers) = unbounded::<CoordMsg>();
-        let peers: Arc<Vec<Sender<WorkerMsg>>> = Arc::new(to_workers.clone());
-        let mut handles = Vec::with_capacity(p as usize);
-        for (rank, rx) in worker_rx.into_iter().enumerate() {
-            let peers = Arc::clone(&peers);
+        let mut handles = Vec::with_capacity(workers);
+        for i in 0..workers {
+            let shared = Arc::clone(&shared);
             let coord = coord_tx.clone();
             handles.push(
                 std::thread::Builder::new()
-                    .name(format!("ct-rank-{rank}"))
-                    .spawn(move || worker_main(rank as Rank, rx, peers, coord))
+                    .name(format!("ct-worker-{i}"))
+                    .spawn(move || worker_main(shared, coord))
                     .expect("spawn worker thread"),
             );
         }
+        // Workers own the only senders: when every worker has exited,
+        // the coordinator's receiver disconnects.
+        drop(coord_tx);
         Cluster {
             p,
             logp,
-            to_workers,
+            shared,
             from_workers,
             handles,
             next_id: 1,
-            // Generous: a completed iteration never waits on it, and a
-            // tight default turns CPU contention into spurious
-            // incompleteness on oversubscribed machines (CI, 1-core
-            // containers running the full test suite).
-            timeout: Duration::from_secs(30),
+            timeout: cfg.timeout,
+            procs: Vec::with_capacity(p as usize),
         }
     }
 
@@ -199,9 +378,9 @@ impl Cluster {
     /// Recording is decided once per iteration from
     /// [`EventSink::enabled`]: with a disabled sink (the default
     /// [`NullSink`]) workers buffer nothing and the iteration behaves
-    /// exactly like an unobserved one. Events are buffered per worker
-    /// and merged time-sorted after the iteration, so observation adds
-    /// no cross-thread traffic on the hot path.
+    /// exactly like an unobserved one. Events are buffered per rank and
+    /// merged time-sorted after the iteration, so observation adds no
+    /// cross-thread traffic on the hot path.
     pub fn run_broadcast_observed(
         &mut self,
         factory: &dyn ProtocolFactory,
@@ -218,28 +397,57 @@ impl Cluster {
             logp: self.logp,
             seed,
         };
-        let mut processes = factory.build(&ctx)?;
-        assert_eq!(processes.len(), self.p as usize);
+        factory.build_into(&ctx, &mut self.procs)?;
+        assert_eq!(self.procs.len(), self.p as usize);
 
         let live: u32 = dead.iter().filter(|&&d| !d).count() as u32;
+        // The iteration epoch: zero point of event timestamps AND of
+        // the latency measurement, taken before any rank is installed
+        // so the two clocks agree.
         let epoch = Instant::now();
-        // Reverse order so the root receives its Start last: by the time
-        // it begins disseminating, everyone else is already listening.
+        let epoch_us = epoch.duration_since(self.shared.base).as_micros() as u64;
         for rank in (0..self.p).rev() {
-            let process = processes.pop().expect("one per rank");
-            self.to_workers[rank as usize]
-                .send(WorkerMsg::Start {
-                    id,
-                    process,
-                    dead: dead[rank as usize],
-                    epoch,
-                    record,
-                })
-                .expect("worker alive");
+            let process = self.procs.pop().expect("one per rank");
+            let mut st = self.shared.ranks[rank as usize]
+                .state
+                .lock()
+                .map_err(|_| ClusterError::WorkerPanicked)?;
+            st.iter = Some(IterState {
+                id,
+                process,
+                dead: dead[rank as usize],
+                epoch,
+                epoch_us,
+                record,
+            });
+            st.sent = 0;
+            st.notified = false;
+            st.events.clear();
+            // The mailbox is NOT cleared here: the previous harvest
+            // already emptied it, and a rank installed earlier in this
+            // loop may legitimately have started sending to this one.
         }
+        // Make every rank runnable for its initial protocol poll only
+        // once all of them are installed, so no quantum can outrun a
+        // peer's installation.
+        {
+            let mut sched = self
+                .shared
+                .sched
+                .lock()
+                .map_err(|_| ClusterError::WorkerPanicked)?;
+            for rank in 0..self.p {
+                if !self.shared.ranks[rank as usize]
+                    .scheduled
+                    .swap(true, Ordering::SeqCst)
+                {
+                    sched.runq.push_back(rank);
+                }
+            }
+        }
+        self.shared.sched_cv.notify_all();
 
-        let start = Instant::now();
-        let deadline = start + self.timeout;
+        let deadline = epoch + self.timeout;
         let mut colored = vec![false; self.p as usize];
         let mut colored_count = 0u32;
         let mut completed = false;
@@ -247,10 +455,12 @@ impl Cluster {
         while colored_count < live {
             let remaining = deadline.saturating_duration_since(Instant::now());
             match self.from_workers.recv_timeout(remaining) {
-                Ok(CoordMsg::Colored { id: mid, rank, .. }) if mid == id => {
-                    if !colored[rank as usize] {
-                        colored[rank as usize] = true;
-                        colored_count += 1;
+                Ok(CoordMsg::Colored { id: mid, ranks }) if mid == id => {
+                    for rank in ranks {
+                        if !colored[rank as usize] {
+                            colored[rank as usize] = true;
+                            colored_count += 1;
+                        }
                     }
                 }
                 Ok(_) => {} // stale notification from a previous iteration
@@ -260,44 +470,49 @@ impl Cluster {
         }
         if colored_count == live {
             completed = true;
-            latency = start.elapsed();
+            latency = epoch.elapsed();
         }
 
-        // Tear down the iteration and collect per-rank message counts.
-        for tx in &self.to_workers {
-            tx.send(WorkerMsg::Stop { id }).expect("worker alive");
-        }
-        let mut acked = vec![false; self.p as usize];
-        let mut acks = 0u32;
+        // Tear down: reclaim each rank's protocol slot and harvest its
+        // message count and event buffer directly. Locking the state
+        // waits out any in-flight quantum on that rank; once `iter` is
+        // taken, later quanta see a stale rank and do nothing.
         let mut messages = 0u64;
         let mut recorded: Vec<ObsEvent> = Vec::new();
-        while acks < self.p {
-            match self.from_workers.recv_timeout(Duration::from_secs(10)) {
-                Ok(CoordMsg::StopAck {
-                    id: mid,
-                    rank,
-                    sent,
-                    events,
-                }) if mid == id => {
-                    assert!(!acked[rank as usize], "duplicate StopAck from {rank}");
-                    acked[rank as usize] = true;
-                    acks += 1;
-                    messages += sent;
-                    recorded.extend(events);
-                }
-                Ok(_) => {}
-                Err(_) => return Err(ClusterError::WorkerPanicked),
-            }
+        for rank in 0..self.p {
+            let cell = &self.shared.ranks[rank as usize];
+            let mut st = cell
+                .state
+                .lock()
+                .map_err(|_| ClusterError::WorkerPanicked)?;
+            let iter = st.iter.take().expect("iteration installed");
+            messages += st.sent;
+            recorded.append(&mut st.events);
+            drop(st);
+            self.procs.push(iter.process);
+            cell.mailbox
+                .lock()
+                .map_err(|_| ClusterError::WorkerPanicked)?
+                .clear();
         }
+        // Drop wake-ups the dead iteration left behind; a straggler
+        // flushed after this point only triggers a harmless no-op
+        // quantum.
+        self.shared
+            .sched
+            .lock()
+            .map_err(|_| ClusterError::WorkerPanicked)?
+            .timers
+            .clear();
 
         if record {
-            // Per-worker buffers arrive in nondeterministic StopAck
-            // order, so cross-worker events stamped in the same
-            // microsecond would otherwise interleave arbitrarily — an
-            // `Arrive` could surface before its `SendStart`. Sorting by
+            // Per-rank buffers are harvested in rank order, so
+            // cross-rank events stamped in the same microsecond would
+            // otherwise interleave arbitrarily — an `Arrive` could
+            // surface before its `SendStart`. Sorting by
             // `(time, order_class)` restores cause-before-effect at
             // equal timestamps (send < arrive < deliver < colored) and
-            // the stable sort keeps each worker's own in-order stream
+            // the stable sort keeps each rank's own in-order stream
             // intact. `MonitorSink` applies the same key before
             // checking cross-rank invariants, so either layer alone
             // suffices; doing it here also makes recorded cluster
@@ -340,9 +555,10 @@ impl Cluster {
 
 impl Drop for Cluster {
     fn drop(&mut self) {
-        for tx in &self.to_workers {
-            let _ = tx.send(WorkerMsg::Shutdown);
+        if let Ok(mut sched) = self.shared.sched.lock() {
+            sched.shutdown = true;
         }
+        self.shared.sched_cv.notify_all();
         for h in self.handles.drain(..) {
             let _ = h.join();
         }
@@ -354,179 +570,252 @@ fn now_since(epoch: Instant) -> Time {
     Time::new(epoch.elapsed().as_micros() as u64)
 }
 
-/// One in-flight iteration on a worker: `(id, process, dead, epoch, record)`.
-type IterState = (u64, Box<dyn Process>, bool, Instant, bool);
-
-fn worker_main(
-    rank: Rank,
-    rx: Receiver<WorkerMsg>,
-    peers: Arc<Vec<Sender<WorkerMsg>>>,
-    coord: Sender<CoordMsg>,
-) {
-    // State of the current iteration, if any.
-    let mut cur: Option<IterState> = None;
-    let mut sent: u64 = 0;
-    let mut notified = false;
-    // Observability buffer of the current iteration (when recording);
-    // shipped to the coordinator in the StopAck.
-    let mut events: Vec<ObsEvent> = Vec::new();
-    // Pending protocol-requested wake-up.
-    let mut wake_at: Option<Time> = None;
-
+/// Scheduler loop: claim a batch of runnable ranks (servicing the timer
+/// wheel while idle), drive a quantum per rank, flush batched effects.
+fn worker_main(shared: Arc<Shared>, coord: Sender<CoordMsg>) {
+    let mut scratch = Scratch::default();
+    let mut batch: Vec<Rank> = Vec::with_capacity(MAX_BATCH);
     loop {
-        // Drive the protocol as far as it goes right now.
-        if let Some((id, process, dead, epoch, record)) = cur.as_mut() {
-            if !*dead {
-                loop {
-                    let now = now_since(*epoch);
-                    match process.poll_send(now) {
-                        SendPoll::Now { to, payload } => {
-                            sent += 1;
-                            if *record {
-                                events.push(ObsEvent::wall(
-                                    now,
-                                    now.steps(),
-                                    ObsEventKind::SendStart {
-                                        from: rank,
-                                        to,
-                                        payload,
-                                    },
-                                ));
-                            }
-                            // The interconnect is reliable: a send only
-                            // fails if the whole cluster is shutting down.
-                            let _ = peers[to as usize].send(WorkerMsg::Data {
-                                id: *id,
-                                from: rank,
-                                payload,
-                            });
-                        }
-                        SendPoll::WaitUntil(t) => {
-                            wake_at = Some(t);
-                            break;
-                        }
-                        SendPoll::Idle | SendPoll::Done => {
-                            wake_at = None;
-                            break;
-                        }
+        batch.clear();
+        {
+            let mut sched = match shared.sched.lock() {
+                Ok(g) => g,
+                Err(_) => return,
+            };
+            loop {
+                if sched.shutdown {
+                    return;
+                }
+                let now = shared.now_us();
+                scratch.due.clear();
+                sched.timers.expire(now, &mut scratch.due);
+                for &rank in &scratch.due {
+                    if !shared.ranks[rank as usize]
+                        .scheduled
+                        .swap(true, Ordering::SeqCst)
+                    {
+                        sched.runq.push_back(rank);
                     }
                 }
-                if !notified && process.colored_at().is_some() {
-                    notified = true;
-                    if *record {
-                        if let (Some(at), Some(via)) = (process.colored_at(), process.colored_via())
+                if !sched.runq.is_empty() {
+                    break;
+                }
+                match sched.timers.next_deadline() {
+                    Some(d) => {
+                        // Cap the sleep so a far-future deadline still
+                        // re-checks shutdown/wake state periodically.
+                        let wait_us = d.saturating_sub(now).clamp(1, 1_000_000);
+                        match shared
+                            .sched_cv
+                            .wait_timeout(sched, Duration::from_micros(wait_us))
                         {
-                            events.push(ObsEvent::wall(
-                                at,
-                                now_since(*epoch).steps(),
-                                ObsEventKind::Colored { rank, via },
-                            ));
+                            Ok((g, _)) => sched = g,
+                            Err(_) => return,
                         }
                     }
-                    let _ = coord.send(CoordMsg::Colored { id: *id, rank });
+                    None => match shared.sched_cv.wait(sched) {
+                        Ok(g) => sched = g,
+                        Err(_) => return,
+                    },
+                }
+            }
+            // Claim a fair share of the queue in one lock acquisition.
+            let share = sched
+                .runq
+                .len()
+                .div_ceil(shared.workers)
+                .clamp(1, MAX_BATCH);
+            for _ in 0..share {
+                match sched.runq.pop_front() {
+                    Some(rank) => batch.push(rank),
+                    None => break,
                 }
             }
         }
-
-        // Block for the next message, honoring a pending wake-up.
-        let msg = match (&cur, wake_at) {
-            (Some((_, _, dead, epoch, _)), Some(at)) if !*dead => {
-                let now = now_since(*epoch);
-                let sleep = Duration::from_micros(at.steps().saturating_sub(now.steps()));
-                match rx.recv_timeout(sleep) {
-                    Ok(m) => m,
-                    Err(RecvTimeoutError::Timeout) => {
-                        wake_at = None;
-                        continue; // re-poll at the requested time
-                    }
-                    Err(RecvTimeoutError::Disconnected) => return,
-                }
+        for &rank in &batch {
+            if run_quantum(&shared, rank, &mut scratch).is_err() {
+                return;
             }
-            _ => match rx.recv() {
-                Ok(m) => m,
-                Err(_) => return,
-            },
-        };
-
-        match msg {
-            WorkerMsg::Start {
-                id,
-                process,
-                dead,
-                epoch,
-                record,
-            } => {
-                cur = Some((id, process, dead, epoch, record));
-                sent = 0;
-                notified = false;
-                events.clear();
-                wake_at = None;
-            }
-            WorkerMsg::Data { id, from, payload } => {
-                if let Some((cid, process, dead, epoch, record)) = cur.as_mut() {
-                    if id == *cid {
-                        if *dead {
-                            // Crash emulation: drop, but observably so.
-                            if *record {
-                                let now = now_since(*epoch);
-                                events.push(ObsEvent::wall(
-                                    now,
-                                    now.steps(),
-                                    ObsEventKind::DropDead {
-                                        from,
-                                        to: rank,
-                                        payload,
-                                    },
-                                ));
-                            }
-                        } else {
-                            let now = now_since(*epoch);
-                            if *record {
-                                events.push(ObsEvent::wall(
-                                    now,
-                                    now.steps(),
-                                    ObsEventKind::Arrive {
-                                        from,
-                                        to: rank,
-                                        payload,
-                                    },
-                                ));
-                            }
-                            process.on_message(from, payload, now);
-                            if *record {
-                                let done = now_since(*epoch);
-                                events.push(ObsEvent::wall(
-                                    done,
-                                    done.steps(),
-                                    ObsEventKind::Deliver {
-                                        from,
-                                        to: rank,
-                                        payload,
-                                    },
-                                ));
-                            }
-                        }
-                    }
-                    // Stale id: drop silently.
-                }
-            }
-            WorkerMsg::Stop { id } => {
-                let matches_current = cur.as_ref().is_some_and(|(cid, ..)| *cid == id);
-                if matches_current {
-                    cur = None;
-                }
-                let _ = coord.send(CoordMsg::StopAck {
-                    id,
-                    rank,
-                    sent,
-                    events: std::mem::take(&mut events),
-                });
-                sent = 0;
-                wake_at = None;
-            }
-            WorkerMsg::Shutdown => return,
+        }
+        if flush(&shared, &coord, &mut scratch).is_err() {
+            return;
         }
     }
+}
+
+/// Drive one rank for a quantum: drain its mailbox, deliver current-id
+/// messages, poll the protocol for sends, report coloring. Effects that
+/// need shared locks (wake-ups, timers, coordinator traffic) accumulate
+/// in `scratch` and are flushed once per batch.
+fn run_quantum(shared: &Shared, rank: Rank, scratch: &mut Scratch) -> Result<(), Poisoned> {
+    let cell = &shared.ranks[rank as usize];
+    let mut guard = cell.state.lock().map_err(|_| Poisoned)?;
+    let st = &mut *guard;
+    let Some(iter) = st.iter.as_mut() else {
+        // Stale wake-up between iterations: the mailbox is left alone
+        // (it may hold early traffic of an iteration being installed;
+        // the coordinator schedules every rank once installation is
+        // done) and the quantum must not requeue itself.
+        drop(guard);
+        cell.scheduled.store(false, Ordering::SeqCst);
+        return Ok(());
+    };
+
+    scratch.msgs.clear();
+    cell.mailbox
+        .lock()
+        .map_err(|_| Poisoned)?
+        .drain_into(&mut scratch.msgs, usize::MAX);
+
+    if iter.dead {
+        // Crash emulation: drop every current-iteration message, but
+        // observably so.
+        if iter.record {
+            for m in scratch.msgs.iter().filter(|m| m.id == iter.id) {
+                let now = now_since(iter.epoch);
+                st.events.push(ObsEvent::wall(
+                    now,
+                    now.steps(),
+                    ObsEventKind::DropDead {
+                        from: m.from,
+                        to: rank,
+                        payload: m.payload,
+                    },
+                ));
+            }
+        }
+    } else {
+        for m in scratch.msgs.iter().filter(|m| m.id == iter.id) {
+            let now = now_since(iter.epoch);
+            if iter.record {
+                st.events.push(ObsEvent::wall(
+                    now,
+                    now.steps(),
+                    ObsEventKind::Arrive {
+                        from: m.from,
+                        to: rank,
+                        payload: m.payload,
+                    },
+                ));
+            }
+            iter.process.on_message(m.from, m.payload, now);
+            if iter.record {
+                let done = now_since(iter.epoch);
+                st.events.push(ObsEvent::wall(
+                    done,
+                    done.steps(),
+                    ObsEventKind::Deliver {
+                        from: m.from,
+                        to: rank,
+                        payload: m.payload,
+                    },
+                ));
+            }
+        }
+        // Drive the protocol as far as it goes right now.
+        loop {
+            let now = now_since(iter.epoch);
+            match iter.process.poll_send(now) {
+                SendPoll::Now { to, payload } => {
+                    st.sent += 1;
+                    if iter.record {
+                        st.events.push(ObsEvent::wall(
+                            now,
+                            now.steps(),
+                            ObsEventKind::SendStart {
+                                from: rank,
+                                to,
+                                payload,
+                            },
+                        ));
+                    }
+                    let peer = &shared.ranks[to as usize];
+                    peer.mailbox.lock().map_err(|_| Poisoned)?.push(Msg {
+                        id: iter.id,
+                        from: rank,
+                        payload,
+                    });
+                    if !peer.scheduled.swap(true, Ordering::SeqCst) {
+                        scratch.wakes.push(to);
+                    }
+                }
+                SendPoll::WaitUntil(t) => {
+                    if !t.is_never() {
+                        // Always arm, no dedup: a timer consumed by a
+                        // coinciding message wake must be replaceable,
+                        // and a stale duplicate only costs a harmless
+                        // extra poll.
+                        scratch
+                            .timers
+                            .push((iter.epoch_us.saturating_add(t.steps()), rank));
+                    }
+                    break;
+                }
+                SendPoll::Idle | SendPoll::Done => break,
+            }
+        }
+        if !st.notified && iter.process.colored_at().is_some() {
+            st.notified = true;
+            if iter.record {
+                if let (Some(at), Some(via)) =
+                    (iter.process.colored_at(), iter.process.colored_via())
+                {
+                    st.events.push(ObsEvent::wall(
+                        at,
+                        now_since(iter.epoch).steps(),
+                        ObsEventKind::Colored { rank, via },
+                    ));
+                }
+            }
+            scratch.colored.push((iter.id, rank));
+        }
+    }
+    drop(guard);
+
+    // Clear the flag, then recheck: a sender that saw `scheduled` still
+    // true during the quantum skipped the enqueue, so any message that
+    // raced in must be picked up here or it would sleep forever.
+    cell.scheduled.store(false, Ordering::SeqCst);
+    if !cell.mailbox.lock().map_err(|_| Poisoned)?.is_empty()
+        && !cell.scheduled.swap(true, Ordering::SeqCst)
+    {
+        scratch.wakes.push(rank);
+    }
+    Ok(())
+}
+
+/// Flush a batch's accumulated effects: one coordinator send per
+/// iteration id and one scheduler-lock acquisition for wake-ups and
+/// timer arms.
+fn flush(shared: &Shared, coord: &Sender<CoordMsg>, scratch: &mut Scratch) -> Result<(), Poisoned> {
+    if !scratch.colored.is_empty() {
+        scratch.colored.sort_unstable_by_key(|&(id, _)| id);
+        let mut i = 0;
+        while i < scratch.colored.len() {
+            let id = scratch.colored[i].0;
+            let mut ranks = Vec::new();
+            while i < scratch.colored.len() && scratch.colored[i].0 == id {
+                ranks.push(scratch.colored[i].1);
+                i += 1;
+            }
+            // The interconnect is reliable: a send only fails if the
+            // whole cluster is shutting down.
+            let _ = coord.send(CoordMsg::Colored { id, ranks });
+        }
+        scratch.colored.clear();
+    }
+    if !scratch.wakes.is_empty() || !scratch.timers.is_empty() {
+        {
+            let mut sched = shared.sched.lock().map_err(|_| Poisoned)?;
+            for &(deadline_us, rank) in &scratch.timers {
+                sched.timers.insert(deadline_us, rank);
+            }
+            sched.runq.extend(scratch.wakes.drain(..));
+        }
+        scratch.timers.clear();
+        shared.sched_cv.notify_all();
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -591,10 +880,11 @@ mod tests {
             let report = cluster.run_broadcast(&spec, &no_faults(p), i).unwrap();
             assert!(report.completed, "iteration {i}");
             // All 15 tree messages must flow each iteration; correction
-            // sends may be truncated by Stop (latency is the metric
-            // here, as in the paper's cluster experiments) but can never
-            // exceed the protocol's deterministic total of 16·2d. Any
-            // cross-iteration leakage would break these bounds.
+            // sends may be truncated by the teardown (latency is the
+            // metric here, as in the paper's cluster experiments) but
+            // can never exceed the protocol's deterministic total of
+            // 16·2d. Any cross-iteration leakage would break these
+            // bounds.
             assert!(
                 (15..=15 + 16 * 4).contains(&report.messages),
                 "iteration {i}: {} messages",
@@ -642,5 +932,81 @@ mod tests {
         let report = cluster.run_broadcast(&spec, &no_faults(1), 0).unwrap();
         assert!(report.completed);
         assert_eq!(report.messages, 0);
+    }
+
+    #[test]
+    fn latency_and_event_timestamps_share_the_epoch_clock() {
+        let mut cluster = Cluster::new(16, LogP::PAPER);
+        let spec = BroadcastSpec::plain_tree(TreeKind::BINOMIAL);
+        let (report, events) = cluster
+            .run_broadcast_traced(&spec, &no_faults(16), 0)
+            .unwrap();
+        assert!(report.completed);
+        assert!(!events.is_empty());
+        // Latency is measured from the same epoch event timestamps are
+        // relative to, so no event — in particular no Colored event —
+        // can postdate the reported coloring latency.
+        let latency_us = report.latency.as_micros() as u64;
+        for e in &events {
+            assert!(
+                e.time.steps() <= latency_us,
+                "event at {} µs after reported latency {} µs: {:?}",
+                e.time.steps(),
+                latency_us,
+                e.kind
+            );
+            if let Some(w) = e.wall_us {
+                assert!(w <= latency_us, "wall stamp after latency");
+            }
+        }
+    }
+
+    #[test]
+    fn tiny_mailboxes_backpressure_without_deadlock_or_loss() {
+        // Capacity 1 forces every fan-in collision through the spill
+        // path; message totals must be exactly those of an uncontended
+        // run — nothing dropped, nothing stuck.
+        let cfg = ClusterConfig::new().mailbox_capacity(1);
+        let mut cluster = Cluster::with_config(64, LogP::PAPER, cfg);
+        let spec = BroadcastSpec::plain_tree(TreeKind::BINOMIAL);
+        for seed in 0..3 {
+            let report = cluster.run_broadcast(&spec, &no_faults(64), seed).unwrap();
+            assert!(report.completed, "seed {seed}: {:?}", report.uncolored);
+            assert_eq!(report.messages, 63, "seed {seed}");
+        }
+        // And with faults + correction traffic on top.
+        let spec = BroadcastSpec::corrected_tree(
+            TreeKind::BINOMIAL,
+            CorrectionKind::OpportunisticOptimized { distance: 4 },
+        );
+        let mut dead = no_faults(64);
+        dead[5] = true;
+        dead[6] = true;
+        let report = cluster.run_broadcast(&spec, &dead, 7).unwrap();
+        assert!(report.completed, "uncolored: {:?}", report.uncolored);
+    }
+
+    #[test]
+    fn single_worker_drives_many_ranks() {
+        let cfg = ClusterConfig::new().threads(1);
+        let mut cluster = Cluster::with_config(64, LogP::PAPER, cfg);
+        let spec = BroadcastSpec::corrected_tree(
+            TreeKind::BINOMIAL,
+            CorrectionKind::Opportunistic { distance: 2 },
+        );
+        let mut dead = no_faults(64);
+        dead[9] = true;
+        let report = cluster.run_broadcast(&spec, &dead, 0).unwrap();
+        assert!(report.completed, "uncolored: {:?}", report.uncolored);
+    }
+
+    #[test]
+    fn p4096_broadcast_completes_without_thread_per_rank() {
+        let p = 4096;
+        let mut cluster = Cluster::new(p, LogP::PAPER);
+        let spec = BroadcastSpec::plain_tree(TreeKind::BINOMIAL);
+        let report = cluster.run_broadcast(&spec, &no_faults(p), 0).unwrap();
+        assert!(report.completed, "uncolored: {:?}", report.uncolored);
+        assert_eq!(report.messages, u64::from(p) - 1);
     }
 }

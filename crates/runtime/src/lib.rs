@@ -1,11 +1,14 @@
 //! # ct-runtime — in-process message-passing cluster
 //!
 //! The stand-in for the paper's MPI prototype on Piz Daint (§4.4, their
-//! `dying-tree`). One OS thread per rank, crossbeam channels as the
-//! reliable, non-reordering interconnect, and emulated crash failures
-//! ("faults were emulated as crash failures and deadlocks without
-//! noticeable differences", §4.4 — a dead rank here simply discards all
-//! traffic and sends nothing).
+//! `dying-tree`). A fixed pool of worker threads M:N-schedules all P
+//! rank state machines ([`cluster::default_threads`]-sized, `CT_THREADS`
+//! override); each rank owns a bounded mailbox (fixed-capacity ring,
+//! heap spill only under overload) and ranks become runnable on message
+//! arrival or via a shared timer wheel, so P=4096 needs no 4096 OS
+//! threads. Crash failures are emulated ("faults were emulated as crash
+//! failures and deadlocks without noticeable differences", §4.4 — a dead
+//! rank here simply discards all traffic and sends nothing).
 //!
 //! The same protocol state machines that run under the LogP simulator
 //! run here unmodified, driven by wall-clock time (microseconds since
@@ -24,6 +27,8 @@
 
 pub mod cluster;
 pub mod harness;
+mod mailbox;
+mod timer;
 
-pub use cluster::{Cluster, ClusterError, RunReport};
+pub use cluster::{default_threads, Cluster, ClusterConfig, ClusterError, RunReport};
 pub use harness::{BenchConfig, BenchResult};

@@ -1,0 +1,207 @@
+//! Bounded per-rank mailboxes.
+//!
+//! Every rank owns one [`Mailbox`]: a fixed-capacity ring buffer of
+//! in-flight [`Msg`]s with a heap-allocated overflow queue behind it.
+//! The ring is allocated once when the cluster is built, so in the
+//! steady state a message travels sender → ring slot → receiver without
+//! any per-message heap allocation. The spill queue exists purely for
+//! safety: a rank that is scheduled behind a burst larger than the ring
+//! (or a deliberately tiny `CT_MAILBOX_CAP` override) must neither
+//! deadlock the sending worker nor drop an in-iteration message, so
+//! excess messages degrade to heap queueing instead.
+//!
+//! FIFO order is global across the ring/spill boundary: once a message
+//! has spilled, later pushes keep spilling until the spill queue has
+//! drained back to empty, so a receiver always observes sender order —
+//! the per-channel FIFO invariant `MonitorSink` checks.
+
+use std::collections::VecDeque;
+
+use ct_core::protocol::Payload;
+use ct_logp::Rank;
+
+/// One rank-to-rank message of a broadcast iteration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) struct Msg {
+    /// Broadcast iteration id (stale messages are discarded by id).
+    pub id: u64,
+    /// Sending rank.
+    pub from: Rank,
+    /// Message kind.
+    pub payload: Payload,
+}
+
+/// Fixed-capacity ring with an overflow spill queue (see module docs).
+pub(crate) struct Mailbox {
+    ring: Box<[Option<Msg>]>,
+    /// Index of the oldest ring entry.
+    head: usize,
+    /// Occupied ring entries.
+    len: usize,
+    /// Overflow beyond the ring capacity; empty in the steady state.
+    spill: VecDeque<Msg>,
+    /// Lifetime count of messages that had to spill.
+    spilled: u64,
+}
+
+impl Mailbox {
+    /// A mailbox whose ring holds `capacity` messages (≥ 1).
+    pub fn new(capacity: usize) -> Mailbox {
+        assert!(capacity >= 1, "mailbox capacity must be at least 1");
+        Mailbox {
+            ring: vec![None; capacity].into_boxed_slice(),
+            head: 0,
+            len: 0,
+            spill: VecDeque::new(),
+            spilled: 0,
+        }
+    }
+
+    /// Number of queued messages (ring + spill).
+    #[cfg(test)]
+    pub fn len(&self) -> usize {
+        self.len + self.spill.len()
+    }
+
+    /// Is the mailbox empty?
+    pub fn is_empty(&self) -> bool {
+        self.len == 0 && self.spill.is_empty()
+    }
+
+    /// Lifetime count of messages that overflowed into the spill queue.
+    #[cfg(test)]
+    pub fn spilled(&self) -> u64 {
+        self.spilled
+    }
+
+    /// Append a message. Never blocks, never drops: a full ring spills
+    /// to the heap. Pushes go to the spill queue whenever it is
+    /// non-empty so FIFO order survives the overflow path.
+    pub fn push(&mut self, msg: Msg) {
+        if self.spill.is_empty() && self.len < self.ring.len() {
+            let tail = (self.head + self.len) % self.ring.len();
+            self.ring[tail] = Some(msg);
+            self.len += 1;
+        } else {
+            self.spill.push_back(msg);
+            self.spilled += 1;
+        }
+    }
+
+    /// Remove the oldest message, if any.
+    pub fn pop(&mut self) -> Option<Msg> {
+        if self.len > 0 {
+            let msg = self.ring[self.head].take();
+            self.head = (self.head + 1) % self.ring.len();
+            self.len -= 1;
+            msg
+        } else {
+            self.spill.pop_front()
+        }
+    }
+
+    /// Move up to `max` oldest messages into `out`; returns how many.
+    pub fn drain_into(&mut self, out: &mut Vec<Msg>, max: usize) -> usize {
+        let mut moved = 0;
+        while moved < max {
+            match self.pop() {
+                Some(m) => {
+                    out.push(m);
+                    moved += 1;
+                }
+                None => break,
+            }
+        }
+        moved
+    }
+
+    /// Discard everything (iteration teardown).
+    pub fn clear(&mut self) {
+        for slot in self.ring.iter_mut() {
+            *slot = None;
+        }
+        self.head = 0;
+        self.len = 0;
+        self.spill.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn msg(id: u64, from: Rank) -> Msg {
+        Msg {
+            id,
+            from,
+            payload: Payload::Tree,
+        }
+    }
+
+    #[test]
+    fn fifo_within_ring() {
+        let mut mb = Mailbox::new(4);
+        for i in 0..4 {
+            mb.push(msg(1, i));
+        }
+        assert_eq!(mb.len(), 4);
+        for i in 0..4 {
+            assert_eq!(mb.pop().unwrap().from, i);
+        }
+        assert!(mb.is_empty());
+        assert_eq!(mb.spilled(), 0);
+    }
+
+    #[test]
+    fn overflow_spills_and_preserves_global_fifo() {
+        let mut mb = Mailbox::new(2);
+        for i in 0..7 {
+            mb.push(msg(1, i));
+        }
+        assert_eq!(mb.len(), 7);
+        assert_eq!(mb.spilled(), 5);
+        // Interleave pops and pushes: order must stay strict-FIFO even
+        // while the spill queue drains.
+        assert_eq!(mb.pop().unwrap().from, 0);
+        mb.push(msg(1, 7));
+        for i in 1..8 {
+            assert_eq!(mb.pop().unwrap().from, i);
+        }
+        assert!(mb.is_empty());
+    }
+
+    #[test]
+    fn ring_wraps_around() {
+        let mut mb = Mailbox::new(3);
+        for round in 0..10u32 {
+            mb.push(msg(1, round));
+            assert_eq!(mb.pop().unwrap().from, round);
+        }
+        assert_eq!(mb.spilled(), 0);
+    }
+
+    #[test]
+    fn drain_into_respects_max() {
+        let mut mb = Mailbox::new(2);
+        for i in 0..5 {
+            mb.push(msg(1, i));
+        }
+        let mut out = Vec::new();
+        assert_eq!(mb.drain_into(&mut out, 3), 3);
+        assert_eq!(mb.drain_into(&mut out, 10), 2);
+        let from: Vec<Rank> = out.iter().map(|m| m.from).collect();
+        assert_eq!(from, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn clear_resets_ring_and_spill() {
+        let mut mb = Mailbox::new(1);
+        mb.push(msg(1, 0));
+        mb.push(msg(1, 1));
+        mb.clear();
+        assert!(mb.is_empty());
+        assert_eq!(mb.pop(), None);
+        mb.push(msg(2, 9));
+        assert_eq!(mb.pop().unwrap().from, 9);
+    }
+}

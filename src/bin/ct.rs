@@ -69,7 +69,7 @@ fn usage() -> ! {
                                    of running live (with --failed <a,b,c>\n\
                                    naming the known-dead ranks, if any)\n\
            --runtime               run live on the cluster runtime instead\n\
-                                   of the simulator (default --p 16)\n\
+                                   of the simulator (default --p 64)\n\
            --fail-fast             stop at the first violation\n\
            --json                  machine-readable violation report\n\
            exit status: 0 clean, 1 violations found, 2 usage/I-O error\n\
@@ -93,7 +93,15 @@ fn usage() -> ! {
                                    write results/BENCH_sim_throughput.json\n\
                                    (--out FILE overrides; metrics are\n\
                                    ns_per_rep / ns_per_event, lower is\n\
-                                   better; --quick = P 1024, 10 reps)"
+                                   better; --quick = P 1024, 10 reps)\n\
+           perf bench --runtime [--quick] [--seed S]\n\
+                                   time cluster-runtime broadcasts (fault-free\n\
+                                   plain binomial + 1%-fault corrected opp4) at\n\
+                                   P 256/1024/4096 and write\n\
+                                   results/BENCH_cluster_throughput.json\n\
+                                   (--out FILE overrides; metrics are\n\
+                                   ns_per_broadcast_p<P>_<config>, lower is\n\
+                                   better; --quick = P 256/1024, 5 iters)"
     );
     std::process::exit(2);
 }
@@ -560,9 +568,9 @@ fn cmd_check(cli: &Cli) {
         MonitorSink::check(&events, &cfg)
     } else {
         let runtime = cli.flag("--runtime");
-        // The cluster spawns one OS thread per rank — default far
-        // smaller than the simulator's.
-        let p: u32 = cli.parsed("--p", if runtime { 16 } else { 1024 });
+        // Cluster broadcasts run in real time (wall-clock waits, one
+        // monitored iteration) — default smaller than the simulator's.
+        let p: u32 = cli.parsed("--p", if runtime { 64 } else { 1024 });
         let seed: u64 = cli.parsed("--seed", 1);
         let spec = build_spec(cli);
         let plan = faults(cli, p, seed, spec.root);
@@ -669,6 +677,135 @@ fn cmd_forensics(cli: &Cli) {
     }
 }
 
+/// Thread-per-rank baseline for `ct perf bench --runtime`, measured on
+/// this workload (fault-free plain binomial broadcasts, P=256) at the
+/// pre-M:N-scheduler revision of `ct-runtime`: mean of repeated runs at
+/// 443.9 and 424.5 broadcasts/sec, 255 messages per broadcast. Kept so
+/// the checked-in snapshot records the speedup the scheduler rewrite
+/// bought, against identical message totals.
+const THREAD_PER_RANK_P256_BPS: f64 = 434.2;
+const THREAD_PER_RANK_P256_MSGS: u64 = 255;
+
+/// `ct perf bench --runtime` — time cluster-runtime broadcast sweeps
+/// (fault-free plain binomial and 1%-fault corrected opp4 binomial) at
+/// P ∈ {256, 1024, 4096} (`--quick`: {256, 1024}) and write a
+/// `BenchSnapshot` with ns-per-broadcast metrics (lower is better).
+fn cmd_perf_bench_runtime(cli: &Cli) {
+    let quick = cli.flag("--quick");
+    let seed0: u64 = cli.parsed("--seed", 1);
+    let logp: LogP = cli
+        .value("--logp")
+        .map(|s| s.parse().expect("valid LogP string"))
+        .unwrap_or(LogP::PAPER);
+    // (p, warmup, timed iterations): fewer iterations at larger P keep
+    // the full sweep in seconds even on a single-core machine.
+    let sweep: &[(u32, u32, u32)] = if quick {
+        &[(256, 1, 5), (1024, 1, 5)]
+    } else {
+        &[(256, 3, 30), (1024, 2, 10), (4096, 1, 5)]
+    };
+    let cfg = corrected_trees::runtime::ClusterConfig::new();
+    let mut snapshot = BenchSnapshot::new("cluster_throughput")
+        .with_provenance("logp", &logp.to_string())
+        .with_provenance("seed0", &seed0.to_string())
+        .with_provenance("threads", &cfg.threads.to_string())
+        .with_provenance("mailbox_capacity", &cfg.mailbox_capacity.to_string())
+        .with_provenance("quick", &quick.to_string())
+        .with_provenance(
+            "baseline_thread_per_rank_p256_bps",
+            &format!("{THREAD_PER_RANK_P256_BPS:.1}"),
+        )
+        .with_provenance(
+            "baseline_thread_per_rank_p256_msgs_per_broadcast",
+            &THREAD_PER_RANK_P256_MSGS.to_string(),
+        );
+    for &(p, warmup, iters) in sweep {
+        let mut cluster = Cluster::with_config(p, logp, cfg.clone());
+        let faults = (p / 100).max(1);
+        let plan = FaultPlan::random_count_protecting(p, faults, seed0, 0).unwrap_or_else(|e| {
+            eprintln!("{e}");
+            std::process::exit(2);
+        });
+        let configs: [(&str, BroadcastSpec, Vec<bool>); 2] = [
+            (
+                "faultfree",
+                BroadcastSpec::plain_tree(TreeKind::BINOMIAL),
+                vec![false; p as usize],
+            ),
+            (
+                "faulty",
+                BroadcastSpec::corrected_tree(
+                    TreeKind::BINOMIAL,
+                    CorrectionKind::OpportunisticOptimized { distance: 4 },
+                ),
+                plan.mask().to_vec(),
+            ),
+        ];
+        for (label, spec, dead) in &configs {
+            let mut run = |i: u32| {
+                let report = cluster
+                    .run_broadcast(spec, dead, seed0 + u64::from(i))
+                    .unwrap_or_else(|e| {
+                        eprintln!("cluster run failed: {e}");
+                        std::process::exit(2);
+                    });
+                if !report.completed {
+                    eprintln!(
+                        "bench broadcast did not complete (p={p} {label}, \
+                         uncolored {:?})",
+                        report.uncolored
+                    );
+                    std::process::exit(2);
+                }
+                report.messages
+            };
+            for i in 0..warmup {
+                run(i);
+            }
+            let start = std::time::Instant::now();
+            let mut messages = 0u64;
+            for i in 0..iters {
+                messages += run(warmup + i);
+            }
+            let wall = start.elapsed();
+            let bps = f64::from(iters) / wall.as_secs_f64();
+            let key = format!("p{p}_{label}");
+            snapshot = snapshot
+                .with_metric(
+                    &format!("ns_per_broadcast_{key}"),
+                    wall.as_nanos() as f64 / f64::from(iters.max(1)),
+                )
+                .with_provenance(&format!("broadcasts_per_sec_{key}"), &format!("{bps:.2}"))
+                .with_provenance(&format!("total_messages_{key}"), &messages.to_string())
+                .with_provenance(&format!("iterations_{key}"), &iters.to_string());
+            println!("[bench cluster_throughput] p={p} {label}: {bps:.2} broadcasts/sec");
+            if p == 256 && *label == "faultfree" {
+                snapshot = snapshot.with_provenance(
+                    "speedup_vs_thread_per_rank_p256",
+                    &format!("{:.2}", bps / THREAD_PER_RANK_P256_BPS),
+                );
+            }
+        }
+    }
+    let path = std::path::PathBuf::from(
+        cli.value("--out")
+            .map(str::to_owned)
+            .unwrap_or_else(|| "results/BENCH_cluster_throughput.json".to_owned()),
+    );
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+    }
+    match snapshot.write(&path) {
+        Ok(()) => println!("[bench cluster_throughput] -> {}", path.display()),
+        Err(e) => {
+            eprintln!("could not write {}: {e}", path.display());
+            std::process::exit(2);
+        }
+    }
+}
+
 fn cmd_perf(cli: &Cli) {
     match cli.args.first().map(String::as_str) {
         Some("diff") => {
@@ -691,6 +828,7 @@ fn cmd_perf(cli: &Cli) {
                 std::process::exit(1);
             }
         }
+        Some("bench") if cli.flag("--runtime") => cmd_perf_bench_runtime(cli),
         Some("bench") => {
             let quick = cli.flag("--quick");
             let p: u32 = cli.parsed("--p", if quick { 1024 } else { 4096 });

@@ -288,6 +288,75 @@ fn gossip_round_limited_completes_on_both_drivers() {
     assert!(report.completed, "{:?}", report.uncolored);
 }
 
+/// Previously infeasible on the thread-per-rank cluster (P=512 meant
+/// 512 OS threads): the M:N scheduler runs the same cross-driver
+/// equality contract at paper-relevant scale.
+#[test]
+fn sim_and_cluster_agree_at_p512() {
+    let p = 512u32;
+    let spec = BroadcastSpec::plain_tree(TreeKind::BINOMIAL);
+    let sim_out = Simulation::builder(p, LogP::PAPER)
+        .build()
+        .run(&spec)
+        .unwrap();
+    assert!(sim_out.all_live_colored());
+    assert_eq!(sim_out.messages.total(), u64::from(p) - 1);
+
+    let mut cluster = Cluster::new(p, LogP::PAPER);
+    let report = cluster
+        .run_broadcast(&spec, &vec![false; p as usize], 0)
+        .unwrap();
+    assert!(report.completed, "uncolored: {:?}", report.uncolored);
+    assert_eq!(report.messages, u64::from(p) - 1);
+
+    // And with faults + correction: both drivers heal the same plan.
+    let spec = BroadcastSpec::corrected_tree(
+        TreeKind::BINOMIAL,
+        CorrectionKind::OpportunisticOptimized { distance: 4 },
+    );
+    let plan = FaultPlan::random_count_protecting(p, 5, 9, 0).unwrap();
+    let sim_out = Simulation::builder(p, LogP::PAPER)
+        .faults(plan.clone())
+        .build()
+        .run(&spec)
+        .unwrap();
+    assert!(sim_out.all_live_colored(), "{:?}", sim_out.uncolored_live());
+    let report = cluster.run_broadcast(&spec, plan.mask(), 0).unwrap();
+    assert!(report.completed, "uncolored: {:?}", report.uncolored);
+}
+
+/// Regression stress for the retired ~1-in-10 cluster watchdog flake:
+/// under the old thread-per-rank design, P OS threads on an
+/// oversubscribed machine could starve an iteration past its 30 s
+/// watchdog roughly once per ten CI runs. The M:N pool removes the
+/// oversubscription; 200 back-to-back iterations on two workers must
+/// complete without a single timeout. `#[ignore]`d locally for being
+/// slow-ish; CI's check-smoke job runs it explicitly with
+/// `CT_THREADS=2`.
+#[test]
+#[ignore = "stress test; run explicitly (CI check-smoke does)"]
+fn cluster_stress_200_iterations_two_workers() {
+    use corrected_trees::runtime::ClusterConfig;
+    let p = 64u32;
+    let cfg = ClusterConfig::new().threads(2);
+    let mut cluster = Cluster::with_config(p, LogP::PAPER, cfg);
+    let spec = BroadcastSpec::corrected_tree(
+        TreeKind::BINOMIAL,
+        CorrectionKind::OpportunisticOptimized { distance: 4 },
+    );
+    let mut dead = vec![false; p as usize];
+    dead[7] = true;
+    dead[40] = true;
+    for i in 0..200u64 {
+        let report = cluster.run_broadcast(&spec, &dead, i).unwrap();
+        assert!(
+            report.completed,
+            "iteration {i} timed out, uncolored: {:?}",
+            report.uncolored
+        );
+    }
+}
+
 /// The arena-reuse fast path is an optimization of the fresh-build
 /// path, not a semantic change: for every variant and fault regime, a
 /// single dirty arena threaded through back-to-back runs must replay
