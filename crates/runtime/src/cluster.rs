@@ -164,7 +164,12 @@ impl From<ProtocolError> for ClusterError {
 pub struct RunReport {
     /// Wall-clock time from the iteration epoch (the zero point of
     /// every recorded event timestamp) until the last live rank
-    /// reported the payload (coloring latency).
+    /// reported the payload (coloring latency). The epoch is taken
+    /// before the per-rank install loop so events can never predate
+    /// it, which means latency includes O(P) uncontended lock
+    /// acquisitions of setup — low microseconds even at P=4096, but a
+    /// systematic inclusion to keep in mind for cross-P comparisons
+    /// (see DESIGN.md "Cluster runtime", *One clock*).
     pub latency: Duration,
     /// Live ranks that never got colored before the timeout (empty on
     /// success).
@@ -204,10 +209,14 @@ struct RankState {
 /// lock are leaves (never held while taking another lock); no two
 /// `state` locks are ever held at once.
 struct RankCell {
-    /// True while the rank sits in the run queue or a worker's batch.
-    /// Senders that win the `false → true` CAS take responsibility for
-    /// enqueueing; the end-of-quantum mailbox recheck closes the
-    /// clear-flag/new-message race.
+    /// Set while the rank sits in the run queue or a worker's batch.
+    /// Senders and timer expiry that win the `false → true` CAS take
+    /// responsibility for enqueueing; iteration start enqueues
+    /// *unconditionally* (a stale quantum may clear the flag without
+    /// looking at the fresh state, so start must not rely on it); the
+    /// end-of-quantum recheck — on the stale path too — closes the
+    /// clear-flag/new-work race. Duplicate run-queue entries are
+    /// possible and harmless (extra no-op quanta).
     scheduled: AtomicBool,
     mailbox: Mutex<Mailbox>,
     state: Mutex<RankState>,
@@ -429,7 +438,14 @@ impl Cluster {
         }
         // Make every rank runnable for its initial protocol poll only
         // once all of them are installed, so no quantum can outrun a
-        // peer's installation.
+        // peer's installation. The enqueue is deliberately
+        // *unconditional*: eliding it when `scheduled` is already true
+        // would race with a stale quantum that observed `iter == None`
+        // before the install and is about to clear the flag and return
+        // without doing any work — the initial poll would be lost and
+        // the iteration would stall. A duplicate run-queue entry (the
+        // rank was already queued by a straggler wake-up) only costs a
+        // harmless extra quantum.
         {
             let mut sched = self
                 .shared
@@ -437,12 +453,10 @@ impl Cluster {
                 .lock()
                 .map_err(|_| ClusterError::WorkerPanicked)?;
             for rank in 0..self.p {
-                if !self.shared.ranks[rank as usize]
+                self.shared.ranks[rank as usize]
                     .scheduled
-                    .swap(true, Ordering::SeqCst)
-                {
-                    sched.runq.push_back(rank);
-                }
+                    .store(true, Ordering::SeqCst);
+                sched.runq.push_back(rank);
             }
         }
         self.shared.sched_cv.notify_all();
@@ -634,6 +648,13 @@ fn worker_main(shared: Arc<Shared>, coord: Sender<CoordMsg>) {
         }
         for &rank in &batch {
             if run_quantum(&shared, rank, &mut scratch).is_err() {
+                // Another worker panicked; the coordinator will surface
+                // WorkerPanicked and the cluster is unrecoverable.
+                // Still flush best-effort so ranks whose wake-up CAS
+                // was already won are not abandoned scheduled=true with
+                // no run-queue entry, should poisoning ever be made
+                // survivable.
+                let _ = flush(&shared, &coord, &mut scratch);
                 return;
             }
         }
@@ -655,9 +676,20 @@ fn run_quantum(shared: &Shared, rank: Rank, scratch: &mut Scratch) -> Result<(),
         // Stale wake-up between iterations: the mailbox is left alone
         // (it may hold early traffic of an iteration being installed;
         // the coordinator schedules every rank once installation is
-        // done) and the quantum must not requeue itself.
+        // done) and the quantum does no work. Clearing the flag gets
+        // the same recheck as the normal end-of-quantum path: an
+        // install or a message that raced in while this quantum held
+        // the flag may have elided its enqueue on the strength of it,
+        // so if state or mailbox turn out non-empty now, this quantum
+        // must take the wake-up back or the rank sleeps forever.
         drop(guard);
         cell.scheduled.store(false, Ordering::SeqCst);
+        let installed = cell.state.lock().map_err(|_| Poisoned)?.iter.is_some();
+        if (installed || !cell.mailbox.lock().map_err(|_| Poisoned)?.is_empty())
+            && !cell.scheduled.swap(true, Ordering::SeqCst)
+        {
+            scratch.wakes.push(rank);
+        }
         return Ok(());
     };
 
@@ -922,6 +954,29 @@ mod tests {
         for seed in 0..3 {
             let report = cluster.run_broadcast(&spec, &dead, seed).unwrap();
             assert!(report.completed, "seed {seed}: {:?}", report.uncolored);
+        }
+    }
+
+    #[test]
+    fn rapid_reiteration_never_strands_a_rank() {
+        // Regression for a lost-wakeup race at iteration start: a stale
+        // quantum that observed `iter == None` before the install could
+        // clear `scheduled` *after* the start path had already elided
+        // its enqueue on the strength of the flag, leaving an installed
+        // rank outside the run queue with its initial poll lost — the
+        // iteration then stalled to the watchdog. Back-to-back
+        // iterations with correction traffic (truncated by teardown, so
+        // straggler wake-ups land inside the next install window)
+        // maximize the window.
+        let cfg = ClusterConfig::new().threads(2);
+        let mut cluster = Cluster::with_config(16, LogP::PAPER, cfg);
+        let spec = BroadcastSpec::corrected_tree(
+            TreeKind::BINOMIAL,
+            CorrectionKind::Opportunistic { distance: 2 },
+        );
+        for i in 0..200 {
+            let report = cluster.run_broadcast(&spec, &no_faults(16), i).unwrap();
+            assert!(report.completed, "iteration {i}: {:?}", report.uncolored);
         }
     }
 
