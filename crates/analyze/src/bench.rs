@@ -45,6 +45,18 @@ impl BenchSnapshot {
         self
     }
 
+    /// Stamp host provenance (`host.*` keys: worker-thread resolution,
+    /// `CT_THREADS`/`CT_MAILBOX_CAP` overrides, available parallelism)
+    /// so a snapshot records the machine shape it was taken on.
+    /// Provenance never participates in [`PerfDiff`] — metrics from
+    /// differently-shaped hosts still compare.
+    pub fn with_host_provenance(mut self) -> Self {
+        for (k, v) in ct_obs::manifest::host_provenance() {
+            self.provenance.insert(k, v);
+        }
+        self
+    }
+
     /// Render as a stable JSON document (keys sorted).
     pub fn to_json(&self) -> String {
         let mut obj = JsonObject::new();
@@ -240,6 +252,23 @@ mod tests {
         let parsed = BenchSnapshot::parse(&s.to_json()).unwrap();
         assert_eq!(parsed, s);
         assert!(s.to_json().starts_with(r#"{"name":"fig6","provenance":{"#));
+    }
+
+    #[test]
+    fn host_provenance_is_stamped_and_ignored_by_diff() {
+        let plain = snapshot(&[("lat", 10.0)]);
+        let stamped = snapshot(&[("lat", 10.0)]).with_host_provenance();
+        for key in [
+            "host.available_parallelism",
+            "host.ct_mailbox_cap",
+            "host.ct_threads",
+            "host.worker_threads",
+        ] {
+            assert!(stamped.provenance.contains_key(key), "missing {key}");
+        }
+        let d = PerfDiff::diff(&plain, &stamped, 0.05);
+        assert!(d.regressions().is_empty());
+        assert!(d.improvements().is_empty());
     }
 
     #[test]

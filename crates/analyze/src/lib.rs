@@ -20,7 +20,10 @@
 //!   provenance, added latency) and a run-level [`WasteReport`];
 //! - [`bench`] persists campaign metrics as `BENCH_<name>.json`
 //!   snapshots and diffs them for perf-regression tracking
-//!   (`ct perf diff`).
+//!   (`ct perf diff`);
+//! - [`scheduler`] parses `ct-telemetry-v1` runtime snapshots (from
+//!   `ct stats` or bench manifests) and renders scheduler health
+//!   summaries (`ct analyze --view scheduler`).
 //!
 //! The crate is pure consumer-side: it never runs protocols itself,
 //! so it depends only on the model/schema crates and stays reusable
@@ -33,6 +36,7 @@ pub mod bench;
 pub mod critical;
 pub mod dag;
 pub mod forensics;
+pub mod scheduler;
 pub mod summary;
 pub mod trace;
 pub mod value;
@@ -41,6 +45,7 @@ pub use bench::{BenchSnapshot, MetricDelta, PerfDiff};
 pub use critical::{CostClass, CriticalPath, Segment};
 pub use dag::{CausalDag, EdgeKind, Node, NodeKind};
 pub use forensics::{analyze_forensics, FailureImpact, ForensicsReport, OrphanRescue, WasteReport};
+pub use scheduler::SchedulerSummary;
 pub use summary::{
     analyze_rep, analyze_trace, AnalysisSummary, AnalyzeConfig, BoundsCheck, MessageBreakdown,
     PhaseSplit, RepAnalysis, SpanStat, TraceAnalysis, Utilization,

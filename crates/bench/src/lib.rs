@@ -87,11 +87,15 @@ pub fn analysis_campaign(variant: Variant, p: u32, seed0: u64, faults: FaultSpec
 
 /// Attach the causal-analysis block for `campaign` to `manifest` under
 /// the `analysis` key (critical-path attribution, phase split,
-/// completion percentiles — see `ct-analyze`). Analysis failures are
-/// reported but never fail the figure run.
+/// completion percentiles — see `ct-analyze`), plus the campaign's
+/// runtime-telemetry snapshot under `telemetry` (per-rep event/send
+/// distributions, `ct-telemetry-v1`). Analysis failures are reported
+/// but never fail the figure run.
 pub fn with_analysis(manifest: RunManifest, campaign: &Campaign) -> RunManifest {
     match analyze_campaign(campaign) {
-        Ok(ca) => manifest.with_extra_json("analysis", ca.analysis_json()),
+        Ok(ca) => manifest
+            .with_extra_json("analysis", ca.analysis_json())
+            .with_extra_json("telemetry", ca.telemetry.to_json()),
         Err(e) => {
             eprintln!("[analysis block skipped: {e:?}]");
             manifest

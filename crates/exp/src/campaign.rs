@@ -7,11 +7,14 @@
 //! experiment", §4). Repetitions are embarrassingly parallel and can be
 //! spread over OS threads.
 
+use std::sync::Arc;
+
 use ct_core::protocol::ColoredVia;
 use ct_core::tree::ring;
 use ct_logp::{LogP, Rank, Time};
 use ct_obs::event::phases;
 use ct_obs::json::JsonObject;
+use ct_obs::telemetry::TelemetryHub;
 use ct_obs::{
     Event, EventKind, EventSink, MetricsRegistry, MetricsSink, MonitorConfig, MonitorReport,
     MonitorSink, NullSink,
@@ -132,6 +135,9 @@ pub struct Campaign {
     pub reps: u32,
     /// First seed; repetition `i` uses `seed0 + i`.
     pub seed0: u64,
+    /// Per-repetition telemetry hub, attached to every simulation this
+    /// campaign builds (default off — results are identical either way).
+    telemetry: Option<Arc<TelemetryHub>>,
 }
 
 impl Campaign {
@@ -144,6 +150,7 @@ impl Campaign {
             faults: FaultSpec::None,
             reps: 1,
             seed0: 1,
+            telemetry: None,
         }
     }
 
@@ -163,6 +170,15 @@ impl Campaign {
     /// Set the base seed.
     pub fn with_seed(mut self, seed0: u64) -> Campaign {
         self.seed0 = seed0;
+        self
+    }
+
+    /// Record per-repetition counters (events, sends, quiescence,
+    /// completion) into `hub`. Recording happens once per finished
+    /// repetition — the hot path and every [`RunRecord`] are
+    /// bit-identical with telemetry on or off.
+    pub fn with_telemetry(mut self, hub: Arc<TelemetryHub>) -> Campaign {
+        self.telemetry = Some(hub);
         self
     }
 
@@ -212,10 +228,13 @@ impl Campaign {
         let seed = self.seed0 + rep as u64;
         let plan = self.fault_plan(rep)?;
         let faults = plan.count();
-        let sim = Simulation::builder(self.p, self.logp)
+        let mut builder = Simulation::builder(self.p, self.logp)
             .faults(plan)
-            .seed(seed)
-            .build();
+            .seed(seed);
+        if let Some(hub) = &self.telemetry {
+            builder = builder.telemetry(Arc::clone(hub));
+        }
+        let sim = builder.build();
         let out = sim
             .run_with_sink_reusable(&self.variant, sink, arena)
             .map_err(CampaignError::Sim)?;

@@ -11,9 +11,12 @@ use ct_analyze::{
     analyze_rep, AnalysisSummary, AnalyzeConfig, BenchSnapshot, RepAnalysis, TraceAnalysis,
     WasteReport,
 };
+use std::sync::Arc;
+
 use ct_core::protocol::ProtocolFactory;
 use ct_obs::json::JsonObject;
 use ct_obs::metrics::Histogram;
+use ct_obs::telemetry::{TelemetryHub, TelemetrySnapshot};
 use ct_obs::{MonitorConfig, MonitorReport, MonitorSink, VecSink};
 
 use crate::campaign::{Campaign, CampaignError, RunRecord};
@@ -30,6 +33,9 @@ pub struct CampaignAnalysis {
     pub monitor: MonitorReport,
     /// Aggregate waste accounting over every repetition.
     pub waste: WasteReport,
+    /// Runtime-telemetry snapshot over every repetition (source
+    /// `"sim"`): rep counts, event/send totals, per-rep distributions.
+    pub telemetry: TelemetrySnapshot,
 }
 
 /// Run every repetition of `campaign` under an event sink and analyze
@@ -42,6 +48,9 @@ pub fn analyze_campaign(campaign: &Campaign) -> Result<CampaignAnalysis, Campaig
     if let Some(start) = campaign.variant.sync_start(campaign.p, &campaign.logp) {
         cfg = cfg.with_sync_start(start.steps());
     }
+    let hub = Arc::new(TelemetryHub::new(1, campaign.p as usize));
+    let campaign = campaign.clone().with_telemetry(Arc::clone(&hub));
+    let campaign = &campaign;
     let mut records = Vec::with_capacity(campaign.reps as usize);
     let mut reps = Vec::with_capacity(campaign.reps as usize);
     let mut monitor = MonitorReport::default();
@@ -64,6 +73,7 @@ pub fn analyze_campaign(campaign: &Campaign) -> Result<CampaignAnalysis, Campaig
         reps,
         monitor,
         waste,
+        telemetry: hub.snapshot().with_source("sim"),
     })
 }
 
@@ -128,6 +138,7 @@ impl CampaignAnalysis {
             .sum::<f64>()
             / n;
         BenchSnapshot::new(name)
+            .with_host_provenance()
             .with_provenance("variant", &campaign.variant.label())
             .with_provenance("p", &campaign.p.to_string())
             .with_provenance("logp", &campaign.logp.to_string())
@@ -233,8 +244,29 @@ mod tests {
         let ca = analyze_campaign(&c).unwrap();
         let snap = ca.bench_snapshot("unit", &c);
         assert_eq!(snap.provenance["p"], "16");
+        assert!(snap.provenance.contains_key("host.worker_threads"));
         assert!(snap.metrics["completion_mean"] > 0.0);
         let diff = ct_analyze::PerfDiff::diff(&snap, &snap, 0.05);
         assert!(diff.regressions().is_empty());
+    }
+
+    /// The analysis pass records one telemetry repetition per campaign
+    /// repetition, and its totals agree with the records themselves.
+    #[test]
+    fn analysis_telemetry_matches_records() {
+        let c = small_campaign().with_faults(FaultSpec::Count(2));
+        let ca = analyze_campaign(&c).unwrap();
+        assert_eq!(ca.telemetry.source, "sim");
+        assert_eq!(ca.telemetry.counter("sim.reps"), 3);
+        assert_eq!(
+            ca.telemetry.counter("sim.events"),
+            ca.records.iter().map(|r| r.events).sum::<u64>()
+        );
+        assert_eq!(
+            ca.telemetry.counter("sim.sends"),
+            ca.records.iter().map(|r| r.messages).sum::<u64>()
+        );
+        let h = ca.telemetry.histograms.get("sim.rep_quiescence").unwrap();
+        assert_eq!(h.count(), 3);
     }
 }

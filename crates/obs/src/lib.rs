@@ -26,6 +26,9 @@
 //!   `results/<name>.meta.json` next to every campaign CSV.
 //! * [`chrome`] — export a recorded event stream as a
 //!   `chrome://tracing` / Perfetto JSON document.
+//! * [`telemetry`] — [`TelemetryHub`], the lock-free sharded store of
+//!   live scheduler/runtime counters behind `ct top`, `ct stats` and
+//!   the `telemetry` manifest block.
 //! * [`json`] — the tiny hand-rolled JSON writer backing all of the
 //!   above (deterministic field order, no serde).
 
@@ -39,6 +42,7 @@ pub mod manifest;
 pub mod metrics;
 pub mod monitor;
 pub mod sink;
+pub mod telemetry;
 
 pub use chrome::chrome_trace;
 pub use event::{Event, EventKind};
@@ -46,3 +50,4 @@ pub use manifest::RunManifest;
 pub use metrics::{Histogram, MetricsRegistry};
 pub use monitor::{Invariant, MonitorConfig, MonitorReport, MonitorSink, Violation};
 pub use sink::{EventSink, JsonlSink, MetricsSink, NullSink, VecSink};
+pub use telemetry::{TelemetryHub, TelemetrySnapshot};

@@ -112,13 +112,18 @@ impl RunManifest {
     }
 
     /// Fill `git_rev` and `created_unix` from the environment (both
-    /// best-effort; missing git stays `None`).
+    /// best-effort; missing git stays `None`) and attach the
+    /// [`host_provenance`] fields, so every stamped manifest records
+    /// which machine shape produced it.
     pub fn stamped(mut self) -> Self {
         self.git_rev = current_git_rev();
         self.created_unix = SystemTime::now()
             .duration_since(UNIX_EPOCH)
             .ok()
             .map(|d| d.as_secs());
+        for (k, v) in host_provenance() {
+            self.extra.entry(k).or_insert(v);
+        }
         self
     }
 
@@ -212,6 +217,43 @@ pub fn summarize_fault_mask(mask: &[bool]) -> String {
     )
 }
 
+/// Host-shape provenance: the fields that make perf baselines from
+/// different machines distinguishable. Returns sorted key/value pairs:
+///
+/// * `host.available_parallelism` — what the OS reports (or `unknown`);
+/// * `host.ct_threads` / `host.ct_mailbox_cap` — the raw environment
+///   overrides, or `unset`;
+/// * `host.worker_threads` — the worker-pool size those defaults
+///   resolve to (`CT_THREADS` if set and positive, else available
+///   parallelism, else 4 — mirroring `ct_runtime::default_threads`,
+///   which cannot be called from here without a dependency cycle).
+pub fn host_provenance() -> Vec<(String, String)> {
+    let avail = std::thread::available_parallelism().ok().map(|n| n.get());
+    let ct_threads = std::env::var("CT_THREADS").ok();
+    let ct_mailbox = std::env::var("CT_MAILBOX_CAP").ok();
+    let workers = ct_threads
+        .as_deref()
+        .and_then(|s| s.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .or(avail)
+        .unwrap_or(4);
+    vec![
+        (
+            "host.available_parallelism".to_owned(),
+            avail.map_or_else(|| "unknown".to_owned(), |n| n.to_string()),
+        ),
+        (
+            "host.ct_mailbox_cap".to_owned(),
+            ct_mailbox.unwrap_or_else(|| "unset".to_owned()),
+        ),
+        (
+            "host.ct_threads".to_owned(),
+            ct_threads.unwrap_or_else(|| "unset".to_owned()),
+        ),
+        ("host.worker_threads".to_owned(), workers.to_string()),
+    ]
+}
+
 /// `git rev-parse HEAD` of the current directory's repository, if any.
 pub fn current_git_rev() -> Option<String> {
     let out = Command::new("git")
@@ -301,6 +343,24 @@ mod tests {
         assert!(m.created_unix.is_some());
         // git_rev is best-effort; either way to_json must not panic.
         let _ = m.to_json();
+    }
+
+    #[test]
+    fn stamped_attaches_host_provenance() {
+        let m = RunManifest::new("x").stamped();
+        for key in [
+            "host.available_parallelism",
+            "host.ct_mailbox_cap",
+            "host.ct_threads",
+            "host.worker_threads",
+        ] {
+            assert!(m.extra.contains_key(key), "missing {key}");
+        }
+        // An explicit value wins over the environment-derived one.
+        let m = RunManifest::new("x")
+            .with_extra("host.worker_threads", "99")
+            .stamped();
+        assert_eq!(m.extra["host.worker_threads"], "99");
     }
 
     #[test]

@@ -47,6 +47,58 @@ impl Histogram {
         }
     }
 
+    /// Reassemble a histogram from raw parts — the counterpart of the
+    /// accessors, used to snapshot atomic histograms
+    /// ([`crate::telemetry::TelemetryHub`]) and to parse a rendered
+    /// [`Histogram::to_json`] back into a value. An empty histogram
+    /// (`count == 0`) normalizes `min`/`max` to the empty sentinels
+    /// regardless of what was passed.
+    ///
+    /// # Panics
+    /// If `bounds` is invalid (empty or not strictly increasing),
+    /// `counts` is not one longer than `bounds`, or the per-bucket
+    /// counts do not sum to `count`.
+    pub fn from_parts(
+        bounds: Vec<u64>,
+        counts: Vec<u64>,
+        count: u64,
+        sum: u64,
+        min: u64,
+        max: u64,
+    ) -> Histogram {
+        assert!(
+            !bounds.is_empty(),
+            "histogram needs at least one bucket bound"
+        );
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly increasing"
+        );
+        assert_eq!(
+            counts.len(),
+            bounds.len() + 1,
+            "counts must cover every bound plus overflow"
+        );
+        assert_eq!(
+            counts.iter().sum::<u64>(),
+            count,
+            "bucket counts must sum to the total count"
+        );
+        let (min, max) = if count == 0 {
+            (u64::MAX, 0)
+        } else {
+            (min, max)
+        };
+        Histogram {
+            bounds,
+            counts,
+            count,
+            sum,
+            min,
+            max,
+        }
+    }
+
     /// The default latency buckets: powers of two from 1 to 2²⁰ —
     /// covers both LogP steps (tens to thousands) and microseconds
     /// (up to ~1 s) with relative resolution ≤ 2×.

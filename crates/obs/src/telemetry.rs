@@ -1,0 +1,689 @@
+//! Live runtime telemetry: a lock-free, sharded hub of scheduler and
+//! protocol counters the cluster runtime and the simulator feed while
+//! they run.
+//!
+//! Event traces ([`crate::EventSink`]) answer *what the protocol did*;
+//! the [`TelemetryHub`] answers *what the machinery underneath did* —
+//! how many scheduling quanta ran, how large the claimed batches were,
+//! how deep mailboxes got, how often the timer wheel cascaded, how many
+//! lost-wakeup rechecks actually fired. It is the backing store of
+//! `ct top`, `ct stats` and the `telemetry` manifest block.
+//!
+//! Design:
+//!
+//! * **Sharded and lock-free.** The hub holds one [`Counter`]/[`Dist`]
+//!   shard per worker thread; every update is a single relaxed atomic
+//!   RMW on the caller's own shard, so instrumentation never introduces
+//!   cross-worker contention or a lock that could perturb the scheduler
+//!   it is measuring. Per-rank state is a plain `fetch_max` high-water
+//!   slot. Relaxed ordering is sufficient everywhere: the values are
+//!   statistics, and [`TelemetryHub::snapshot`] merges whatever has
+//!   landed by the time it runs.
+//! * **Zero-cost when disabled.** Producers carry an
+//!   `Option<Arc<TelemetryHub>>` and hoist the `is-some` check exactly
+//!   like the [`crate::EventSink::enabled`] pattern: with no hub
+//!   attached, the instrumented paths compile down to a branch on a
+//!   register and the event stream and message totals are bit-for-bit
+//!   those of an uninstrumented run.
+//! * **One schema for sim and cluster.** [`TelemetrySnapshot`] always
+//!   carries the full counter catalogue (cluster counters are zero on a
+//!   sim snapshot and vice versa), rendered byte-stably (schema tag
+//!   [`SCHEMA`], sorted maps, deterministic float format) so snapshots
+//!   can be diffed, golden-tested and parsed by `ct-analyze`.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::json::JsonObject;
+use crate::metrics::Histogram;
+
+/// Schema tag stamped into every rendered snapshot; bump on any
+/// incompatible change to the JSON layout.
+pub const SCHEMA: &str = "ct-telemetry-v1";
+
+/// Monotonic counters the hub tracks, one slot per counter per worker
+/// shard. `sched.*`, `mailbox.*`, `msgs.*`, `timer.*` and `coord.*`
+/// are fed by the cluster runtime; `sim.*` by the LogP simulator.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(usize)]
+pub enum Counter {
+    /// Scheduling quanta executed (one runnable rank driven once).
+    SchedQuanta,
+    /// Quanta that found no installed iteration (stale wake-ups).
+    SchedStaleQuanta,
+    /// Run-queue batches claimed by workers.
+    SchedBatches,
+    /// End-of-quantum rechecks that re-armed the rank (lost-wakeup
+    /// window closed by taking the wake-up back).
+    SchedRechecks,
+    /// Ranks made runnable by sends, timer fires and rechecks.
+    SchedWakes,
+    /// Wall-clock microseconds workers spent inside quanta (busy time;
+    /// the basis of `ct top` utilization bars).
+    SchedBusyUs,
+    /// Protocol messages sent rank-to-rank.
+    MsgsSent,
+    /// Current-iteration messages delivered to live ranks.
+    MsgsDelivered,
+    /// Stale messages discarded by broadcast id.
+    MsgsStaleDropped,
+    /// Mailbox pushes (ring or spill).
+    MailboxPushes,
+    /// Pushes that overflowed the ring into the heap spill queue.
+    MailboxSpills,
+    /// Timer-wheel insertions (protocol `WaitUntil` arms).
+    TimerArms,
+    /// Timers that fired (rank appended to the due list).
+    TimerFires,
+    /// Overflow-heap entries migrated down into wheel slots.
+    TimerCascades,
+    /// Batched coordinator notifications sent.
+    CoordBatches,
+    /// Colored-rank notifications carried by those batches.
+    CoordColored,
+    /// Simulator repetitions completed.
+    SimReps,
+    /// Simulator events processed (all repetitions).
+    SimEvents,
+    /// Simulator messages sent (all repetitions).
+    SimSends,
+    /// Repetitions that ended with a live rank uncolored.
+    SimIncomplete,
+}
+
+impl Counter {
+    /// Every counter, in rendering order.
+    pub const ALL: [Counter; 20] = [
+        Counter::SchedQuanta,
+        Counter::SchedStaleQuanta,
+        Counter::SchedBatches,
+        Counter::SchedRechecks,
+        Counter::SchedWakes,
+        Counter::SchedBusyUs,
+        Counter::MsgsSent,
+        Counter::MsgsDelivered,
+        Counter::MsgsStaleDropped,
+        Counter::MailboxPushes,
+        Counter::MailboxSpills,
+        Counter::TimerArms,
+        Counter::TimerFires,
+        Counter::TimerCascades,
+        Counter::CoordBatches,
+        Counter::CoordColored,
+        Counter::SimReps,
+        Counter::SimEvents,
+        Counter::SimSends,
+        Counter::SimIncomplete,
+    ];
+
+    /// Stable dotted snapshot name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Counter::SchedQuanta => "sched.quanta",
+            Counter::SchedStaleQuanta => "sched.stale_quanta",
+            Counter::SchedBatches => "sched.batches",
+            Counter::SchedRechecks => "sched.lost_wakeup_rechecks",
+            Counter::SchedWakes => "sched.wakes",
+            Counter::SchedBusyUs => "sched.busy_us",
+            Counter::MsgsSent => "msgs.sent",
+            Counter::MsgsDelivered => "msgs.delivered",
+            Counter::MsgsStaleDropped => "msgs.stale_dropped",
+            Counter::MailboxPushes => "mailbox.pushes",
+            Counter::MailboxSpills => "mailbox.spills",
+            Counter::TimerArms => "timer.arms",
+            Counter::TimerFires => "timer.fires",
+            Counter::TimerCascades => "timer.cascades",
+            Counter::CoordBatches => "coord.batches",
+            Counter::CoordColored => "coord.colored",
+            Counter::SimReps => "sim.reps",
+            Counter::SimEvents => "sim.events",
+            Counter::SimSends => "sim.sends",
+            Counter::SimIncomplete => "sim.incomplete",
+        }
+    }
+}
+
+/// Mergeable distributions the hub tracks, one atomic histogram per
+/// distribution per worker shard. All use the power-of-two
+/// [`Histogram::latency_default`] buckets.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(usize)]
+pub enum Dist {
+    /// Wall-clock duration of one scheduling quantum, µs.
+    QuantumUs,
+    /// Runnable ranks claimed per run-queue batch.
+    BatchSize,
+    /// Run-queue depth sampled at each batch claim.
+    RunqDepth,
+    /// Messages drained from a mailbox per quantum.
+    MailboxDrained,
+    /// Colored ranks per batched coordinator notification.
+    CoordBatchSize,
+    /// Simulator events per repetition.
+    SimRepEvents,
+    /// Simulator sends per repetition.
+    SimRepSends,
+    /// Simulator quiescence time per repetition, LogP steps.
+    SimRepQuiescence,
+}
+
+impl Dist {
+    /// Every distribution, in rendering order.
+    pub const ALL: [Dist; 8] = [
+        Dist::QuantumUs,
+        Dist::BatchSize,
+        Dist::RunqDepth,
+        Dist::MailboxDrained,
+        Dist::CoordBatchSize,
+        Dist::SimRepEvents,
+        Dist::SimRepSends,
+        Dist::SimRepQuiescence,
+    ];
+
+    /// Stable dotted snapshot name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Dist::QuantumUs => "sched.quantum_us",
+            Dist::BatchSize => "sched.batch_size",
+            Dist::RunqDepth => "sched.runq_depth",
+            Dist::MailboxDrained => "mailbox.drained",
+            Dist::CoordBatchSize => "coord.batch_size",
+            Dist::SimRepEvents => "sim.rep_events",
+            Dist::SimRepSends => "sim.rep_sends",
+            Dist::SimRepQuiescence => "sim.rep_quiescence",
+        }
+    }
+}
+
+/// A fixed-bucket histogram updated with relaxed atomic RMWs; the
+/// atomic twin of [`Histogram`] (same bounds, snapshots via
+/// [`Histogram::from_parts`]).
+struct AtomicHistogram {
+    /// Per-bucket counts; last entry is the overflow bucket.
+    counts: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl AtomicHistogram {
+    fn new(buckets: usize) -> AtomicHistogram {
+        AtomicHistogram {
+            counts: (0..buckets).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    fn record(&self, bounds: &[u64], v: u64) {
+        let idx = bounds.partition_point(|&b| b < v);
+        self.counts[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.min.fetch_min(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self, bounds: &[u64]) -> Histogram {
+        let counts: Vec<u64> = self
+            .counts
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect();
+        Histogram::from_parts(
+            bounds.to_vec(),
+            counts,
+            self.count.load(Ordering::Relaxed),
+            self.sum.load(Ordering::Relaxed),
+            self.min.load(Ordering::Relaxed),
+            self.max.load(Ordering::Relaxed),
+        )
+    }
+}
+
+/// One worker's private slice of the hub.
+struct Shard {
+    counters: [AtomicU64; Counter::ALL.len()],
+    dists: Vec<AtomicHistogram>,
+}
+
+impl Shard {
+    fn new(buckets: usize) -> Shard {
+        Shard {
+            counters: std::array::from_fn(|_| AtomicU64::new(0)),
+            dists: (0..Dist::ALL.len())
+                .map(|_| AtomicHistogram::new(buckets))
+                .collect(),
+        }
+    }
+}
+
+/// Lock-free, sharded store of live runtime counters (see module docs).
+///
+/// Construct one per run (or campaign), hand `Arc` clones to the
+/// producers (`ClusterConfig::telemetry`, `SimulationBuilder::telemetry`)
+/// and call [`TelemetryHub::snapshot`] at any time — including while the
+/// run is still executing, which is exactly what `ct top` does.
+pub struct TelemetryHub {
+    shards: Vec<Shard>,
+    /// Shared histogram bounds ([`Histogram::latency_default`]).
+    bounds: Vec<u64>,
+    /// Per-rank mailbox occupancy high-water marks.
+    rank_hwm: Vec<AtomicU64>,
+    /// Last sampled run-queue depth.
+    runq_depth: AtomicU64,
+    /// Last sampled pending-timer count.
+    timers_pending: AtomicU64,
+}
+
+impl TelemetryHub {
+    /// A hub with one shard per expected worker (at least one) and
+    /// `ranks` mailbox high-water slots. Callers with more workers than
+    /// shards still work — shard selection wraps — at the cost of some
+    /// shard sharing.
+    pub fn new(workers: usize, ranks: usize) -> TelemetryHub {
+        let bounds = Histogram::latency_default().bounds().to_vec();
+        let buckets = bounds.len() + 1;
+        TelemetryHub {
+            shards: (0..workers.max(1)).map(|_| Shard::new(buckets)).collect(),
+            bounds,
+            rank_hwm: (0..ranks).map(|_| AtomicU64::new(0)).collect(),
+            runq_depth: AtomicU64::new(0),
+            timers_pending: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of worker shards.
+    pub fn workers(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Number of per-rank high-water slots.
+    pub fn ranks(&self) -> usize {
+        self.rank_hwm.len()
+    }
+
+    fn shard(&self, worker: usize) -> &Shard {
+        &self.shards[worker % self.shards.len()]
+    }
+
+    /// Add `delta` to `counter` on `worker`'s shard.
+    pub fn add(&self, worker: usize, counter: Counter, delta: u64) {
+        self.shard(worker).counters[counter as usize].fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Increment `counter` by one on `worker`'s shard.
+    pub fn inc(&self, worker: usize, counter: Counter) {
+        self.add(worker, counter, 1);
+    }
+
+    /// Record `v` into `dist` on `worker`'s shard.
+    pub fn observe(&self, worker: usize, dist: Dist, v: u64) {
+        self.shard(worker).dists[dist as usize].record(&self.bounds, v);
+    }
+
+    /// Raise `rank`'s mailbox-occupancy high-water mark to `depth`.
+    pub fn mailbox_depth(&self, rank: usize, depth: u64) {
+        if let Some(slot) = self.rank_hwm.get(rank) {
+            slot.fetch_max(depth, Ordering::Relaxed);
+        }
+    }
+
+    /// `rank`'s mailbox-occupancy high-water mark so far.
+    pub fn rank_hwm(&self, rank: usize) -> u64 {
+        self.rank_hwm
+            .get(rank)
+            .map_or(0, |s| s.load(Ordering::Relaxed))
+    }
+
+    /// Publish the most recently sampled run-queue depth.
+    pub fn set_runq_depth(&self, depth: u64) {
+        self.runq_depth.store(depth, Ordering::Relaxed);
+    }
+
+    /// Publish the most recently sampled pending-timer count.
+    pub fn set_timers_pending(&self, pending: u64) {
+        self.timers_pending.store(pending, Ordering::Relaxed);
+    }
+
+    /// Current value of `counter` summed across all shards.
+    pub fn counter_total(&self, counter: Counter) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.counters[counter as usize].load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Record one finished simulator repetition: rep/event/send totals
+    /// plus the per-rep distributions, in one call so the simulator's
+    /// hot loop stays untouched (the update runs once per repetition,
+    /// after the outcome is already assembled).
+    pub fn record_sim_rep(&self, events: u64, sends: u64, quiescence: u64, complete: bool) {
+        self.inc(0, Counter::SimReps);
+        self.add(0, Counter::SimEvents, events);
+        self.add(0, Counter::SimSends, sends);
+        if !complete {
+            self.inc(0, Counter::SimIncomplete);
+        }
+        self.observe(0, Dist::SimRepEvents, events);
+        self.observe(0, Dist::SimRepSends, sends);
+        self.observe(0, Dist::SimRepQuiescence, quiescence);
+    }
+
+    /// Merge every shard into a point-in-time [`TelemetrySnapshot`]
+    /// with source `"unknown"` (callers tag it via
+    /// [`TelemetrySnapshot::with_source`]).
+    pub fn snapshot(&self) -> TelemetrySnapshot {
+        let mut counters = BTreeMap::new();
+        for c in Counter::ALL {
+            counters.insert(c.name().to_owned(), self.counter_total(c));
+        }
+        let mut histograms = BTreeMap::new();
+        for d in Dist::ALL {
+            let mut merged = Histogram::with_bounds(&self.bounds);
+            for s in &self.shards {
+                merged.merge(&s.dists[d as usize].snapshot(&self.bounds));
+            }
+            histograms.insert(d.name().to_owned(), merged);
+        }
+        let mut gauges = BTreeMap::new();
+        gauges.insert(
+            "runq.depth".to_owned(),
+            self.runq_depth.load(Ordering::Relaxed),
+        );
+        gauges.insert(
+            "timers.pending".to_owned(),
+            self.timers_pending.load(Ordering::Relaxed),
+        );
+        gauges.insert(
+            "mailbox.hwm".to_owned(),
+            self.rank_hwm
+                .iter()
+                .map(|s| s.load(Ordering::Relaxed))
+                .max()
+                .unwrap_or(0),
+        );
+        let per_worker = self
+            .shards
+            .iter()
+            .map(|s| {
+                Counter::ALL
+                    .iter()
+                    .filter_map(|&c| {
+                        let v = s.counters[c as usize].load(Ordering::Relaxed);
+                        (v != 0).then(|| (c.name().to_owned(), v))
+                    })
+                    .collect()
+            })
+            .collect();
+        TelemetrySnapshot {
+            source: "unknown".to_owned(),
+            workers: self.shards.len() as u64,
+            ranks: self.rank_hwm.len() as u64,
+            counters,
+            gauges,
+            histograms,
+            per_worker,
+        }
+    }
+}
+
+impl fmt::Debug for TelemetryHub {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TelemetryHub")
+            .field("workers", &self.shards.len())
+            .field("ranks", &self.rank_hwm.len())
+            .finish_non_exhaustive()
+    }
+}
+
+/// A point-in-time merge of a [`TelemetryHub`]: the full counter
+/// catalogue (zeros included), gauges, merged histograms and per-worker
+/// counter breakdowns. Rendered byte-stably by
+/// [`TelemetrySnapshot::to_json`] and as Prometheus text exposition by
+/// [`TelemetrySnapshot::render_prometheus`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct TelemetrySnapshot {
+    /// What produced the snapshot: `"sim"`, `"cluster"` or `"unknown"`.
+    pub source: String,
+    /// Worker shards merged into the snapshot.
+    pub workers: u64,
+    /// Ranks the hub tracked.
+    pub ranks: u64,
+    /// Every [`Counter`], by dotted name, summed across shards.
+    pub counters: BTreeMap<String, u64>,
+    /// Point-in-time gauges: `runq.depth`, `timers.pending`,
+    /// `mailbox.hwm` (max over ranks).
+    pub gauges: BTreeMap<String, u64>,
+    /// Every [`Dist`], by dotted name, merged across shards.
+    pub histograms: BTreeMap<String, Histogram>,
+    /// Per-worker counter values (zero entries omitted), shard order.
+    pub per_worker: Vec<BTreeMap<String, u64>>,
+}
+
+impl TelemetrySnapshot {
+    /// Tag the snapshot with its producer (`"sim"` or `"cluster"`).
+    pub fn with_source(mut self, source: &str) -> TelemetrySnapshot {
+        source.clone_into(&mut self.source);
+        self
+    }
+
+    /// Value of a counter by dotted name (zero when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Render as one deterministic JSON object (schema [`SCHEMA`]).
+    pub fn to_json(&self) -> String {
+        let mut counters = JsonObject::new();
+        for (name, v) in &self.counters {
+            counters.field_u64(name, *v);
+        }
+        let mut gauges = JsonObject::new();
+        for (name, v) in &self.gauges {
+            gauges.field_u64(name, *v);
+        }
+        let mut histograms = JsonObject::new();
+        for (name, h) in &self.histograms {
+            histograms.field_raw(name, &h.to_json());
+        }
+        let mut per_worker = String::from("[");
+        for (i, w) in self.per_worker.iter().enumerate() {
+            if i > 0 {
+                per_worker.push(',');
+            }
+            let mut obj = JsonObject::new();
+            for (name, v) in w {
+                obj.field_u64(name, *v);
+            }
+            per_worker.push_str(&obj.finish());
+        }
+        per_worker.push(']');
+        let mut obj = JsonObject::new();
+        obj.field_str("schema", SCHEMA);
+        obj.field_str("source", &self.source);
+        obj.field_u64("workers", self.workers);
+        obj.field_u64("ranks", self.ranks);
+        obj.field_raw("counters", &counters.finish());
+        obj.field_raw("gauges", &gauges.finish());
+        obj.field_raw("histograms", &histograms.finish());
+        obj.field_raw("per_worker", &per_worker);
+        obj.finish()
+    }
+
+    /// Render as Prometheus text exposition: every counter as
+    /// `ct_<name>` (dots become underscores) with per-worker series
+    /// labelled `{worker="i"}`, gauges as gauges, histograms as
+    /// cumulative `_bucket{le=...}`/`_sum`/`_count` families.
+    pub fn render_prometheus(&self) -> String {
+        use core::fmt::Write as _;
+        let mut out = String::new();
+        for (name, v) in &self.counters {
+            let metric = prom_name(name);
+            let _ = writeln!(out, "# TYPE {metric} counter");
+            let _ = writeln!(out, "{metric}{{source=\"{}\"}} {v}", self.source);
+            for (i, w) in self.per_worker.iter().enumerate() {
+                if let Some(wv) = w.get(name) {
+                    let _ = writeln!(
+                        out,
+                        "{metric}{{source=\"{}\",worker=\"{i}\"}} {wv}",
+                        self.source
+                    );
+                }
+            }
+        }
+        for (name, v) in &self.gauges {
+            let metric = prom_name(name);
+            let _ = writeln!(out, "# TYPE {metric} gauge");
+            let _ = writeln!(out, "{metric}{{source=\"{}\"}} {v}", self.source);
+        }
+        for (name, h) in &self.histograms {
+            let metric = prom_name(name);
+            let _ = writeln!(out, "# TYPE {metric} histogram");
+            let mut cum = 0u64;
+            for (bound, count) in h.bounds().iter().zip(h.counts()) {
+                cum += count;
+                let _ = writeln!(
+                    out,
+                    "{metric}_bucket{{source=\"{}\",le=\"{bound}\"}} {cum}",
+                    self.source
+                );
+            }
+            let _ = writeln!(
+                out,
+                "{metric}_bucket{{source=\"{}\",le=\"+Inf\"}} {}",
+                self.source,
+                h.count()
+            );
+            let _ = writeln!(
+                out,
+                "{metric}_sum{{source=\"{}\"}} {}",
+                self.source,
+                h.sum()
+            );
+            let _ = writeln!(
+                out,
+                "{metric}_count{{source=\"{}\"}} {}",
+                self.source,
+                h.count()
+            );
+        }
+        out
+    }
+}
+
+/// `sched.quantum_us` → `ct_sched_quantum_us`.
+fn prom_name(dotted: &str) -> String {
+    let mut s = String::with_capacity(dotted.len() + 3);
+    s.push_str("ct_");
+    for c in dotted.chars() {
+        s.push(if c == '.' { '_' } else { c });
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_sum_across_shards() {
+        let hub = TelemetryHub::new(3, 4);
+        hub.inc(0, Counter::SchedQuanta);
+        hub.add(1, Counter::SchedQuanta, 2);
+        hub.add(2, Counter::SchedQuanta, 3);
+        // Shard selection wraps for workers beyond the shard count.
+        hub.inc(4, Counter::SchedQuanta);
+        assert_eq!(hub.counter_total(Counter::SchedQuanta), 7);
+        let snap = hub.snapshot();
+        assert_eq!(snap.counter("sched.quanta"), 7);
+        assert_eq!(snap.per_worker.len(), 3);
+        assert_eq!(snap.per_worker[1]["sched.quanta"], 3);
+    }
+
+    #[test]
+    fn histograms_merge_across_shards() {
+        let hub = TelemetryHub::new(2, 1);
+        hub.observe(0, Dist::BatchSize, 4);
+        hub.observe(1, Dist::BatchSize, 32);
+        let snap = hub.snapshot();
+        let h = &snap.histograms["sched.batch_size"];
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.min(), Some(4));
+        assert_eq!(h.max(), Some(32));
+        assert_eq!(h.sum(), 36);
+    }
+
+    #[test]
+    fn rank_hwm_is_monotone_and_bounded() {
+        let hub = TelemetryHub::new(1, 2);
+        hub.mailbox_depth(0, 3);
+        hub.mailbox_depth(0, 1);
+        hub.mailbox_depth(1, 9);
+        hub.mailbox_depth(99, 1000); // out of range: ignored
+        assert_eq!(hub.rank_hwm(0), 3);
+        assert_eq!(hub.rank_hwm(1), 9);
+        assert_eq!(hub.snapshot().gauges["mailbox.hwm"], 9);
+    }
+
+    #[test]
+    fn snapshot_json_is_byte_stable_and_schema_tagged() {
+        let hub = TelemetryHub::new(2, 4);
+        hub.inc(0, Counter::MsgsSent);
+        hub.observe(1, Dist::QuantumUs, 12);
+        hub.set_runq_depth(5);
+        let a = hub.snapshot().with_source("cluster").to_json();
+        let b = hub.snapshot().with_source("cluster").to_json();
+        assert_eq!(a, b);
+        assert!(a.starts_with("{\"schema\":\"ct-telemetry-v1\",\"source\":\"cluster\""));
+        assert!(a.contains("\"msgs.sent\":1"), "{a}");
+        assert!(a.contains("\"runq.depth\":5"), "{a}");
+        assert!(a.contains("\"per_worker\":[{"), "{a}");
+        // The full catalogue is present even at zero.
+        for c in Counter::ALL {
+            assert!(a.contains(&format!("\"{}\":", c.name())), "{}", c.name());
+        }
+        for d in Dist::ALL {
+            assert!(a.contains(&format!("\"{}\":", d.name())), "{}", d.name());
+        }
+    }
+
+    #[test]
+    fn prometheus_buckets_are_cumulative() {
+        let hub = TelemetryHub::new(1, 1);
+        hub.observe(0, Dist::BatchSize, 1);
+        hub.observe(0, Dist::BatchSize, 2);
+        hub.observe(0, Dist::BatchSize, 3);
+        hub.inc(0, Counter::SchedQuanta);
+        let text = hub.snapshot().with_source("cluster").render_prometheus();
+        assert!(text.contains("# TYPE ct_sched_quanta counter"), "{text}");
+        assert!(text.contains("ct_sched_quanta{source=\"cluster\"} 1"));
+        assert!(
+            text.contains("ct_sched_quanta{source=\"cluster\",worker=\"0\"} 1"),
+            "{text}"
+        );
+        assert!(text.contains("ct_sched_batch_size_bucket{source=\"cluster\",le=\"1\"} 1"));
+        assert!(text.contains("ct_sched_batch_size_bucket{source=\"cluster\",le=\"2\"} 2"));
+        assert!(text.contains("ct_sched_batch_size_bucket{source=\"cluster\",le=\"4\"} 3"));
+        assert!(text.contains("ct_sched_batch_size_bucket{source=\"cluster\",le=\"+Inf\"} 3"));
+        assert!(text.contains("ct_sched_batch_size_sum{source=\"cluster\"} 6"));
+        assert!(text.contains("ct_sched_batch_size_count{source=\"cluster\"} 3"));
+    }
+
+    #[test]
+    fn record_sim_rep_updates_counters_and_dists() {
+        let hub = TelemetryHub::new(1, 8);
+        hub.record_sim_rep(100, 31, 2000, true);
+        hub.record_sim_rep(80, 20, 1500, false);
+        let snap = hub.snapshot().with_source("sim");
+        assert_eq!(snap.counter("sim.reps"), 2);
+        assert_eq!(snap.counter("sim.events"), 180);
+        assert_eq!(snap.counter("sim.sends"), 51);
+        assert_eq!(snap.counter("sim.incomplete"), 1);
+        assert_eq!(snap.histograms["sim.rep_events"].count(), 2);
+    }
+}

@@ -36,9 +36,11 @@ use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use ct_core::protocol::{BuildCtx, Process, ProtocolError, ProtocolFactory, SendPoll};
 use ct_logp::{LogP, Rank, Time};
 use ct_obs::event::phases;
+use ct_obs::telemetry::{Counter as Tc, Dist as Td, TelemetryHub};
 use ct_obs::{Event as ObsEvent, EventKind as ObsEventKind, EventSink, NullSink};
 
 use crate::mailbox::{Mailbox, Msg};
+use crate::stall::{RankStall, StallReport};
 use crate::timer::TimerWheel;
 
 /// Upper bound on ranks a worker claims per run-queue lock.
@@ -72,9 +74,28 @@ fn default_mailbox_capacity() -> usize {
     }
 }
 
+/// Watchdog (per-iteration completion) timeout in milliseconds:
+/// `CT_WATCHDOG_MS` when set to a positive integer, else 30 000. The
+/// generous default means a completed iteration never waits on it and
+/// CPU contention on oversubscribed machines does not turn into
+/// spurious incompleteness; stress tests and CI set the variable to
+/// fail fast instead.
+fn default_watchdog_ms() -> u64 {
+    parse_watchdog_ms(std::env::var("CT_WATCHDOG_MS").ok().as_deref())
+}
+
+/// `CT_WATCHDOG_MS` parsing, factored out for deterministic testing:
+/// positive integers win, anything else falls back to 30 000.
+fn parse_watchdog_ms(raw: Option<&str>) -> u64 {
+    match raw.and_then(|s| s.trim().parse::<u64>().ok()) {
+        Some(ms) if ms >= 1 => ms,
+        _ => 30_000,
+    }
+}
+
 /// Tunables for a [`Cluster`]; [`ClusterConfig::new`] reads the
-/// environment (`CT_THREADS`, `CT_MAILBOX_CAP`) so tests can pin exact
-/// values without mutating process state.
+/// environment (`CT_THREADS`, `CT_MAILBOX_CAP`, `CT_WATCHDOG_MS`) so
+/// tests can pin exact values without mutating process state.
 #[derive(Clone, Debug)]
 pub struct ClusterConfig {
     /// Worker-pool size (clamped to `1..=p` at cluster construction).
@@ -82,21 +103,24 @@ pub struct ClusterConfig {
     /// Per-rank mailbox ring capacity (≥ 1; overflow spills to the
     /// heap, so this bounds steady-state allocation, not correctness).
     pub mailbox_capacity: usize,
-    /// Per-iteration completion deadline.
+    /// Per-iteration completion deadline (the watchdog).
     pub timeout: Duration,
+    /// Live-telemetry hub the workers feed; `None` (the default) keeps
+    /// every instrumented path on its zero-cost branch, exactly like a
+    /// disabled [`EventSink`].
+    pub telemetry: Option<Arc<TelemetryHub>>,
 }
 
 impl ClusterConfig {
     /// Environment-driven defaults: [`default_threads`] workers, 64-slot
     /// mailboxes (`CT_MAILBOX_CAP` override) and a generous 30 s
-    /// timeout — a completed iteration never waits on it, and a tight
-    /// default turns CPU contention into spurious incompleteness on
-    /// oversubscribed machines.
+    /// watchdog timeout (`CT_WATCHDOG_MS` override).
     pub fn new() -> ClusterConfig {
         ClusterConfig {
             threads: default_threads(),
             mailbox_capacity: default_mailbox_capacity(),
-            timeout: Duration::from_secs(30),
+            timeout: Duration::from_millis(default_watchdog_ms()),
+            telemetry: None,
         }
     }
 
@@ -115,6 +139,12 @@ impl ClusterConfig {
     /// Replace the per-iteration completion deadline.
     pub fn timeout(mut self, timeout: Duration) -> ClusterConfig {
         self.timeout = timeout;
+        self
+    }
+
+    /// Attach a live-telemetry hub for the workers to feed.
+    pub fn telemetry(mut self, hub: Arc<TelemetryHub>) -> ClusterConfig {
+        self.telemetry = Some(hub);
         self
     }
 }
@@ -178,6 +208,9 @@ pub struct RunReport {
     pub messages: u64,
     /// Whether the iteration completed before the deadline.
     pub completed: bool,
+    /// Watchdog diagnostics, captured at the moment of timeout and
+    /// before teardown; `None` on completed iterations.
+    pub stall: Option<StallReport>,
 }
 
 /// One in-flight broadcast iteration on a rank.
@@ -201,6 +234,12 @@ struct RankState {
     /// Buffered observability events (when recording); the buffer's
     /// capacity survives iterations.
     events: Vec<ObsEvent>,
+    /// Cluster-timeline µs stamp of this rank's last installed-state
+    /// quantum in the current iteration (`None` until first polled).
+    /// Always maintained — one `Instant` read per quantum — so the
+    /// watchdog's [`StallReport`] can tell "never polled" from "polled
+    /// long ago" even on runs without telemetry.
+    last_poll_us: Option<u64>,
 }
 
 /// One rank: a schedule flag, a mailbox and the protocol state.
@@ -236,6 +275,8 @@ struct Shared {
     /// Zero point of the cluster-wide µs timeline timers live on.
     base: Instant,
     workers: usize,
+    /// Live-telemetry hub; `None` keeps instrumentation zero-cost.
+    telemetry: Option<Arc<TelemetryHub>>,
 }
 
 impl Shared {
@@ -300,6 +341,7 @@ impl Cluster {
                     sent: 0,
                     notified: false,
                     events: Vec::new(),
+                    last_poll_us: None,
                 }),
             })
             .collect();
@@ -313,6 +355,7 @@ impl Cluster {
             sched_cv: Condvar::new(),
             base: Instant::now(),
             workers,
+            telemetry: cfg.telemetry,
         });
         let (coord_tx, from_workers) = unbounded::<CoordMsg>();
         let mut handles = Vec::with_capacity(workers);
@@ -322,7 +365,7 @@ impl Cluster {
             handles.push(
                 std::thread::Builder::new()
                     .name(format!("ct-worker-{i}"))
-                    .spawn(move || worker_main(shared, coord))
+                    .spawn(move || worker_main(shared, coord, i))
                     .expect("spawn worker thread"),
             );
         }
@@ -432,6 +475,7 @@ impl Cluster {
             st.sent = 0;
             st.notified = false;
             st.events.clear();
+            st.last_poll_us = None;
             // The mailbox is NOT cleared here: the previous harvest
             // already emptied it, and a rank installed earlier in this
             // loop may legitimately have started sending to this one.
@@ -486,6 +530,14 @@ impl Cluster {
             completed = true;
             latency = epoch.elapsed();
         }
+        // Diagnose a stall *before* teardown wipes the evidence: the
+        // stranded ranks' scheduled flags, mailboxes and last-poll
+        // stamps still describe the stuck state at this point.
+        let stall = if completed {
+            None
+        } else {
+            Some(self.stall_report(id, dead, &colored, colored_count, live, epoch, epoch_us)?)
+        };
 
         // Tear down: reclaim each rank's protocol slot and harvest its
         // message count and event buffer directly. Locking the state
@@ -563,6 +615,72 @@ impl Cluster {
             uncolored,
             messages,
             completed,
+            stall,
+        })
+    }
+
+    /// Assemble the watchdog's [`StallReport`] for iteration `id`: one
+    /// [`RankStall`] per live-but-uncolored rank plus global scheduler
+    /// state. Called with the stalled iteration still installed, so the
+    /// evidence (flags, mailboxes, last-poll stamps) is intact; the
+    /// system is stuck, so the brief per-rank lock holds cannot perturb
+    /// a healthy run.
+    #[allow(clippy::too_many_arguments)]
+    fn stall_report(
+        &self,
+        id: u64,
+        dead: &[bool],
+        colored: &[bool],
+        colored_count: u32,
+        live: u32,
+        epoch: Instant,
+        epoch_us: u64,
+    ) -> Result<StallReport, ClusterError> {
+        let (runq_depth, pending_timers) = {
+            let sched = self
+                .shared
+                .sched
+                .lock()
+                .map_err(|_| ClusterError::WorkerPanicked)?;
+            (sched.runq.len(), sched.timers.len())
+        };
+        let mut ranks = Vec::new();
+        for rank in 0..self.p {
+            let r = rank as usize;
+            if dead[r] || colored[r] {
+                continue;
+            }
+            let cell = &self.shared.ranks[r];
+            let last_poll_us = cell
+                .state
+                .lock()
+                .map_err(|_| ClusterError::WorkerPanicked)?
+                .last_poll_us;
+            let scheduled = cell.scheduled.load(Ordering::SeqCst);
+            let mb = cell
+                .mailbox
+                .lock()
+                .map_err(|_| ClusterError::WorkerPanicked)?;
+            ranks.push(RankStall {
+                rank,
+                scheduled,
+                mailbox_len: mb.len(),
+                mailbox_spilled: mb.spilled(),
+                last_poll_us,
+            });
+        }
+        Ok(StallReport {
+            id,
+            timeout_ms: self.timeout.as_millis() as u64,
+            p: self.p,
+            live,
+            colored: colored_count,
+            runq_depth,
+            pending_timers,
+            coord_in_flight: self.from_workers.len(),
+            now_us: epoch.elapsed().as_micros() as u64,
+            epoch_us,
+            ranks,
         })
     }
 }
@@ -586,7 +704,12 @@ fn now_since(epoch: Instant) -> Time {
 
 /// Scheduler loop: claim a batch of runnable ranks (servicing the timer
 /// wheel while idle), drive a quantum per rank, flush batched effects.
-fn worker_main(shared: Arc<Shared>, coord: Sender<CoordMsg>) {
+///
+/// `widx` names this worker's telemetry shard; with no hub attached
+/// every instrumented path reduces to one `Option` branch.
+fn worker_main(shared: Arc<Shared>, coord: Sender<CoordMsg>, widx: usize) {
+    let tel = shared.telemetry.clone();
+    let tel = tel.as_deref();
     let mut scratch = Scratch::default();
     let mut batch: Vec<Rank> = Vec::with_capacity(MAX_BATCH);
     loop {
@@ -602,7 +725,15 @@ fn worker_main(shared: Arc<Shared>, coord: Sender<CoordMsg>) {
                 }
                 let now = shared.now_us();
                 scratch.due.clear();
-                sched.timers.expire(now, &mut scratch.due);
+                let cascaded = sched.timers.expire(now, &mut scratch.due);
+                if let Some(t) = tel {
+                    if cascaded > 0 {
+                        t.add(widx, Tc::TimerCascades, cascaded);
+                    }
+                    if !scratch.due.is_empty() {
+                        t.add(widx, Tc::TimerFires, scratch.due.len() as u64);
+                    }
+                }
                 for &rank in &scratch.due {
                     if !shared.ranks[rank as usize]
                         .scheduled
@@ -634,6 +765,11 @@ fn worker_main(shared: Arc<Shared>, coord: Sender<CoordMsg>) {
                 }
             }
             // Claim a fair share of the queue in one lock acquisition.
+            if let Some(t) = tel {
+                t.observe(widx, Td::RunqDepth, sched.runq.len() as u64);
+                t.set_runq_depth(sched.runq.len() as u64);
+                t.set_timers_pending(sched.timers.len() as u64);
+            }
             let share = sched
                 .runq
                 .len()
@@ -646,19 +782,30 @@ fn worker_main(shared: Arc<Shared>, coord: Sender<CoordMsg>) {
                 }
             }
         }
+        if let Some(t) = tel {
+            t.inc(widx, Tc::SchedBatches);
+            t.observe(widx, Td::BatchSize, batch.len() as u64);
+        }
         for &rank in &batch {
-            if run_quantum(&shared, rank, &mut scratch).is_err() {
+            let quantum_start = tel.map(|_| Instant::now());
+            if run_quantum(&shared, rank, &mut scratch, tel, widx).is_err() {
                 // Another worker panicked; the coordinator will surface
                 // WorkerPanicked and the cluster is unrecoverable.
                 // Still flush best-effort so ranks whose wake-up CAS
                 // was already won are not abandoned scheduled=true with
                 // no run-queue entry, should poisoning ever be made
                 // survivable.
-                let _ = flush(&shared, &coord, &mut scratch);
+                let _ = flush(&shared, &coord, &mut scratch, tel, widx);
                 return;
             }
+            if let (Some(t), Some(start)) = (tel, quantum_start) {
+                let us = start.elapsed().as_micros() as u64;
+                t.inc(widx, Tc::SchedQuanta);
+                t.add(widx, Tc::SchedBusyUs, us);
+                t.observe(widx, Td::QuantumUs, us);
+            }
         }
-        if flush(&shared, &coord, &mut scratch).is_err() {
+        if flush(&shared, &coord, &mut scratch, tel, widx).is_err() {
             return;
         }
     }
@@ -668,7 +815,13 @@ fn worker_main(shared: Arc<Shared>, coord: Sender<CoordMsg>) {
 /// messages, poll the protocol for sends, report coloring. Effects that
 /// need shared locks (wake-ups, timers, coordinator traffic) accumulate
 /// in `scratch` and are flushed once per batch.
-fn run_quantum(shared: &Shared, rank: Rank, scratch: &mut Scratch) -> Result<(), Poisoned> {
+fn run_quantum(
+    shared: &Shared,
+    rank: Rank,
+    scratch: &mut Scratch,
+    tel: Option<&TelemetryHub>,
+    widx: usize,
+) -> Result<(), Poisoned> {
     let cell = &shared.ranks[rank as usize];
     let mut guard = cell.state.lock().map_err(|_| Poisoned)?;
     let st = &mut *guard;
@@ -683,21 +836,40 @@ fn run_quantum(shared: &Shared, rank: Rank, scratch: &mut Scratch) -> Result<(),
         // so if state or mailbox turn out non-empty now, this quantum
         // must take the wake-up back or the rank sleeps forever.
         drop(guard);
+        if let Some(t) = tel {
+            t.inc(widx, Tc::SchedStaleQuanta);
+        }
         cell.scheduled.store(false, Ordering::SeqCst);
         let installed = cell.state.lock().map_err(|_| Poisoned)?.iter.is_some();
         if (installed || !cell.mailbox.lock().map_err(|_| Poisoned)?.is_empty())
             && !cell.scheduled.swap(true, Ordering::SeqCst)
         {
             scratch.wakes.push(rank);
+            if let Some(t) = tel {
+                t.inc(widx, Tc::SchedRechecks);
+                t.inc(widx, Tc::SchedWakes);
+            }
         }
         return Ok(());
     };
+    // Always-on and cheap (one Instant read per quantum): the stamp the
+    // watchdog's StallReport ages stranded ranks by.
+    st.last_poll_us = Some(shared.now_us());
 
     scratch.msgs.clear();
-    cell.mailbox
+    let drained = cell
+        .mailbox
         .lock()
         .map_err(|_| Poisoned)?
         .drain_into(&mut scratch.msgs, usize::MAX);
+    if let Some(t) = tel {
+        t.observe(widx, Td::MailboxDrained, drained as u64);
+        let matching = scratch.msgs.iter().filter(|m| m.id == iter.id).count() as u64;
+        t.add(widx, Tc::MsgsStaleDropped, drained as u64 - matching);
+        if !iter.dead {
+            t.add(widx, Tc::MsgsDelivered, matching);
+        }
+    }
 
     if iter.dead {
         // Crash emulation: drop every current-iteration message, but
@@ -762,13 +934,27 @@ fn run_quantum(shared: &Shared, rank: Rank, scratch: &mut Scratch) -> Result<(),
                         ));
                     }
                     let peer = &shared.ranks[to as usize];
-                    peer.mailbox.lock().map_err(|_| Poisoned)?.push(Msg {
-                        id: iter.id,
-                        from: rank,
-                        payload,
-                    });
+                    {
+                        let mut mb = peer.mailbox.lock().map_err(|_| Poisoned)?;
+                        let spilled = mb.push(Msg {
+                            id: iter.id,
+                            from: rank,
+                            payload,
+                        });
+                        if let Some(t) = tel {
+                            t.inc(widx, Tc::MsgsSent);
+                            t.inc(widx, Tc::MailboxPushes);
+                            if spilled {
+                                t.inc(widx, Tc::MailboxSpills);
+                            }
+                            t.mailbox_depth(to as usize, mb.len() as u64);
+                        }
+                    }
                     if !peer.scheduled.swap(true, Ordering::SeqCst) {
                         scratch.wakes.push(to);
+                        if let Some(t) = tel {
+                            t.inc(widx, Tc::SchedWakes);
+                        }
                     }
                 }
                 SendPoll::WaitUntil(t) => {
@@ -780,6 +966,9 @@ fn run_quantum(shared: &Shared, rank: Rank, scratch: &mut Scratch) -> Result<(),
                         scratch
                             .timers
                             .push((iter.epoch_us.saturating_add(t.steps()), rank));
+                        if let Some(hub) = tel {
+                            hub.inc(widx, Tc::TimerArms);
+                        }
                     }
                     break;
                 }
@@ -812,6 +1001,10 @@ fn run_quantum(shared: &Shared, rank: Rank, scratch: &mut Scratch) -> Result<(),
         && !cell.scheduled.swap(true, Ordering::SeqCst)
     {
         scratch.wakes.push(rank);
+        if let Some(t) = tel {
+            t.inc(widx, Tc::SchedRechecks);
+            t.inc(widx, Tc::SchedWakes);
+        }
     }
     Ok(())
 }
@@ -819,7 +1012,13 @@ fn run_quantum(shared: &Shared, rank: Rank, scratch: &mut Scratch) -> Result<(),
 /// Flush a batch's accumulated effects: one coordinator send per
 /// iteration id and one scheduler-lock acquisition for wake-ups and
 /// timer arms.
-fn flush(shared: &Shared, coord: &Sender<CoordMsg>, scratch: &mut Scratch) -> Result<(), Poisoned> {
+fn flush(
+    shared: &Shared,
+    coord: &Sender<CoordMsg>,
+    scratch: &mut Scratch,
+    tel: Option<&TelemetryHub>,
+    widx: usize,
+) -> Result<(), Poisoned> {
     if !scratch.colored.is_empty() {
         scratch.colored.sort_unstable_by_key(|&(id, _)| id);
         let mut i = 0;
@@ -829,6 +1028,11 @@ fn flush(shared: &Shared, coord: &Sender<CoordMsg>, scratch: &mut Scratch) -> Re
             while i < scratch.colored.len() && scratch.colored[i].0 == id {
                 ranks.push(scratch.colored[i].1);
                 i += 1;
+            }
+            if let Some(t) = tel {
+                t.inc(widx, Tc::CoordBatches);
+                t.add(widx, Tc::CoordColored, ranks.len() as u64);
+                t.observe(widx, Td::CoordBatchSize, ranks.len() as u64);
             }
             // The interconnect is reliable: a send only fails if the
             // whole cluster is shutting down.
@@ -898,6 +1102,40 @@ mod tests {
         let report = cluster.run_broadcast(&spec, &dead, 0).unwrap();
         assert!(!report.completed);
         assert_eq!(report.uncolored, vec![3, 5, 7, 9, 11, 13, 15]);
+        // The watchdog names exactly the stranded ranks, with evidence.
+        let stall = report.stall.expect("incomplete run carries a stall report");
+        assert_eq!(stall.stranded(), report.uncolored);
+        assert_eq!(stall.p, p);
+        assert_eq!(stall.live, 15);
+        assert_eq!(stall.colored, 8);
+        assert_eq!(stall.timeout_ms, 200);
+        for r in &stall.ranks {
+            // Orphans under a dead parent legitimately have nothing to
+            // do: polled once, empty mailbox, descheduled.
+            assert!(!r.scheduled, "rank {}", r.rank);
+            assert_eq!(r.mailbox_len, 0, "rank {}", r.rank);
+            assert!(r.last_poll_us.is_some(), "rank {}", r.rank);
+        }
+        let text = stall.render_text();
+        assert!(text.contains("rank     3"), "{text}");
+    }
+
+    #[test]
+    fn completed_run_has_no_stall_report() {
+        let mut cluster = Cluster::new(8, LogP::PAPER);
+        let spec = BroadcastSpec::plain_tree(TreeKind::BINOMIAL);
+        let report = cluster.run_broadcast(&spec, &no_faults(8), 0).unwrap();
+        assert!(report.completed);
+        assert!(report.stall.is_none());
+    }
+
+    #[test]
+    fn watchdog_ms_parsing() {
+        assert_eq!(parse_watchdog_ms(None), 30_000);
+        assert_eq!(parse_watchdog_ms(Some("250")), 250);
+        assert_eq!(parse_watchdog_ms(Some(" 1000 ")), 1000);
+        assert_eq!(parse_watchdog_ms(Some("0")), 30_000);
+        assert_eq!(parse_watchdog_ms(Some("lots")), 30_000);
     }
 
     #[test]

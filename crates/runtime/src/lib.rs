@@ -28,7 +28,9 @@
 pub mod cluster;
 pub mod harness;
 mod mailbox;
+pub mod stall;
 mod timer;
 
 pub use cluster::{default_threads, Cluster, ClusterConfig, ClusterError, RunReport};
 pub use harness::{BenchConfig, BenchResult};
+pub use stall::{RankStall, StallReport};

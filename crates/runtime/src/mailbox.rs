@@ -58,7 +58,6 @@ impl Mailbox {
     }
 
     /// Number of queued messages (ring + spill).
-    #[cfg(test)]
     pub fn len(&self) -> usize {
         self.len + self.spill.len()
     }
@@ -69,22 +68,24 @@ impl Mailbox {
     }
 
     /// Lifetime count of messages that overflowed into the spill queue.
-    #[cfg(test)]
     pub fn spilled(&self) -> u64 {
         self.spilled
     }
 
     /// Append a message. Never blocks, never drops: a full ring spills
     /// to the heap. Pushes go to the spill queue whenever it is
-    /// non-empty so FIFO order survives the overflow path.
-    pub fn push(&mut self, msg: Msg) {
+    /// non-empty so FIFO order survives the overflow path. Returns
+    /// whether this push spilled.
+    pub fn push(&mut self, msg: Msg) -> bool {
         if self.spill.is_empty() && self.len < self.ring.len() {
             let tail = (self.head + self.len) % self.ring.len();
             self.ring[tail] = Some(msg);
             self.len += 1;
+            false
         } else {
             self.spill.push_back(msg);
             self.spilled += 1;
+            true
         }
     }
 

@@ -49,7 +49,6 @@ impl TimerWheel {
     }
 
     /// Number of pending timers.
-    #[cfg(test)]
     pub fn len(&self) -> usize {
         self.pending
     }
@@ -85,13 +84,15 @@ impl TimerWheel {
 
     /// Advance the cursor to `now_us`, appending every expired rank to
     /// `due`. Entries whose deadline is still in the future stay put.
-    pub fn expire(&mut self, now_us: u64, due: &mut Vec<Rank>) {
+    /// Returns the number of overflow-heap entries cascaded down into
+    /// wheel slots (telemetry; zero when nothing crossed the horizon).
+    pub fn expire(&mut self, now_us: u64, due: &mut Vec<Rank>) -> u64 {
         if now_us < self.cursor_us {
-            return;
+            return 0;
         }
         if self.pending == 0 {
             self.cursor_us = now_us;
-            return;
+            return 0;
         }
         // Walk at most one full revolution of buckets; each bucket is
         // visited once per revolution regardless of how far the clock
@@ -118,6 +119,7 @@ impl TimerWheel {
         self.cursor_us = now_us;
         // Pull overflow entries that are now due or have come within
         // the horizon.
+        let mut cascaded = 0u64;
         while let Some(Reverse((d, rank))) = self.overflow.peek().copied() {
             if d <= now_us {
                 self.overflow.pop();
@@ -127,10 +129,12 @@ impl TimerWheel {
                 self.overflow.pop();
                 let slot = (d / GRANULARITY_US) as usize % SLOTS;
                 self.slots[slot].push((d, rank));
+                cascaded += 1;
             } else {
                 break;
             }
         }
+        cascaded
     }
 
     /// Drop every pending timer (iteration teardown).

@@ -16,9 +16,12 @@
 //! ([`crate::queue`]); all per-run storage can be reused across runs
 //! through a [`RunArena`].
 
+use std::sync::Arc;
+
 use ct_core::protocol::{BuildCtx, Payload, Process, ProtocolError, ProtocolFactory, SendPoll};
 use ct_logp::{LogP, Rank, Time};
 use ct_obs::event::phases;
+use ct_obs::telemetry::TelemetryHub;
 use ct_obs::{Event as ObsEvent, EventKind as ObsEventKind, EventSink, NullSink, VecSink};
 
 use crate::arena::RunArena;
@@ -103,6 +106,7 @@ pub struct Simulation {
     seed: u64,
     record_trace: bool,
     max_events: u64,
+    telemetry: Option<Arc<TelemetryHub>>,
 }
 
 /// Builder for [`Simulation`].
@@ -114,6 +118,7 @@ pub struct SimulationBuilder {
     seed: u64,
     record_trace: bool,
     max_events: u64,
+    telemetry: Option<Arc<TelemetryHub>>,
 }
 
 impl Simulation {
@@ -126,6 +131,7 @@ impl Simulation {
             seed: 0,
             record_trace: false,
             max_events: DEFAULT_MAX_EVENTS,
+            telemetry: None,
         }
     }
 
@@ -396,6 +402,14 @@ impl Simulation {
             quiescence,
             events,
         };
+        if let Some(hub) = &self.telemetry {
+            hub.record_sim_rep(
+                outcome.events,
+                outcome.messages.total(),
+                outcome.quiescence.steps(),
+                outcome.all_live_colored(),
+            );
+        }
         Ok(outcome)
     }
 
@@ -483,6 +497,15 @@ impl SimulationBuilder {
         self
     }
 
+    /// Record per-repetition counters into `hub` (default off). The
+    /// hot path is untouched — one [`TelemetryHub::record_sim_rep`]
+    /// call per completed run, so outcomes and traces are bit-identical
+    /// with telemetry on or off.
+    pub fn telemetry(mut self, hub: Arc<TelemetryHub>) -> Self {
+        self.telemetry = Some(hub);
+        self
+    }
+
     /// Finalize.
     pub fn build(self) -> Simulation {
         let faults = self.faults.unwrap_or_else(|| FaultPlan::none(self.p));
@@ -493,6 +516,7 @@ impl SimulationBuilder {
             seed: self.seed,
             record_trace: self.record_trace,
             max_events: self.max_events,
+            telemetry: self.telemetry,
         }
     }
 }

@@ -178,6 +178,17 @@ pub mod channel {
                 .expect("channel poisoned")
                 .pop_front()
         }
+
+        /// Number of messages currently queued (as upstream: a
+        /// point-in-time snapshot, immediately stale under concurrency).
+        pub fn len(&self) -> usize {
+            self.shared.queue.lock().expect("channel poisoned").len()
+        }
+
+        /// Whether the queue is currently empty (see [`Receiver::len`]).
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
     }
 
     #[cfg(test)]

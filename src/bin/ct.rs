@@ -16,23 +16,28 @@
 //! CLI exists so a cluster operator can poke at a configuration without
 //! writing a program.
 
+use std::sync::Arc;
+
 use corrected_trees::analysis::Summary;
 use corrected_trees::analyze::{
     analyze_forensics, analyze_trace, infer_p, parse_jsonl, split_reps, AnalysisSummary,
-    AnalyzeConfig, BenchSnapshot, PerfDiff,
+    AnalyzeConfig, BenchSnapshot, PerfDiff, SchedulerSummary,
 };
 use corrected_trees::core::correction::CorrectionKind;
 use corrected_trees::core::protocol::{BroadcastSpec, Payload, ProtocolFactory};
 use corrected_trees::core::tree::{interleaving, stats, Ordering, Topology, TreeKind};
 use corrected_trees::exp::{analyze_campaign, Campaign, FaultSpec, Variant};
 use corrected_trees::logp::LogP;
-use corrected_trees::obs::{chrome_trace, Event, EventKind, MonitorConfig, MonitorSink, VecSink};
-use corrected_trees::runtime::Cluster;
+use corrected_trees::obs::telemetry::{TelemetryHub, TelemetrySnapshot};
+use corrected_trees::obs::{
+    chrome_trace, Event, EventKind, MonitorConfig, MonitorSink, RunManifest, VecSink,
+};
+use corrected_trees::runtime::{Cluster, ClusterConfig};
 use corrected_trees::sim::{FaultPlan, Simulation, Trace};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: ct <run|tree|sweep|trace|analyze|check|forensics|perf> [options]\n\
+        "usage: ct <run|tree|sweep|trace|analyze|check|forensics|perf|stats|top> [options]\n\
          \n\
          common options:\n\
            --tree <binomial|binomial-inorder|kary<K>|lame<K>|optimal>  (default binomial)\n\
@@ -59,7 +64,10 @@ fn usage() -> ! {
          analyze options (all run options, or --input to read a trace):\n\
            --input <trace.jsonl>   analyze a recorded JSONL trace instead\n\
                                    of running the simulator\n\
-           --view <summary|critical-path|utilization>   (default summary)\n\
+           --view <summary|critical-path|utilization|scheduler>\n\
+                                   (default summary; scheduler reads a\n\
+                                   ct-telemetry-v1 snapshot from --input,\n\
+                                   e.g. one written by ct stats)\n\
            --ranks <a,b,c>         restrict the utilization view to ranks\n\
            --json                  machine-readable summary output\n\
            --sync-start <T>        enable the Lemma-3 bounds check at\n\
@@ -101,7 +109,22 @@ fn usage() -> ! {
                                    results/BENCH_cluster_throughput.json\n\
                                    (--out FILE overrides; metrics are\n\
                                    ns_per_broadcast_p<P>_<config>, lower is\n\
-                                   better; --quick = P 256/1024, 5 iters)"
+                                   better; --quick = P 256/1024, 5 iters)\n\
+         stats options (one-shot runtime-telemetry snapshot):\n\
+           ct stats [run options] [--reps R]           simulator campaign\n\
+           ct stats --runtime [run options] [--iters I]  cluster broadcasts\n\
+           --dead <a,b,c>          exact dead ranks (instead of --faults/\n\
+                                   --rate random placement)\n\
+           --format <json|prom>    snapshot (default json) or Prometheus\n\
+                                   text exposition\n\
+           --output <FILE>         write to FILE instead of stdout\n\
+           stalled cluster iterations print their stall report to stderr\n\
+         top options (live cluster dashboard during a broadcast campaign):\n\
+           ct top [run options] [--iters I] [--interval-ms MS]\n\
+           --iters <I>             broadcasts to run (default 50)\n\
+           --interval-ms <MS>      hub polling interval (default 500)\n\
+           env: CT_THREADS, CT_MAILBOX_CAP, CT_WATCHDOG_MS (watchdog\n\
+           timeout in ms, default 30000) size the cluster runtime"
     );
     std::process::exit(2);
 }
@@ -419,6 +442,31 @@ fn payload_tag(p: Payload) -> &'static str {
 }
 
 fn cmd_analyze(cli: &Cli) {
+    // The scheduler view reads a telemetry snapshot, not an event
+    // trace — handle it before any trace parsing.
+    if cli.value("--view") == Some("scheduler") {
+        let Some(path) = cli.value("--input") else {
+            eprintln!(
+                "--view scheduler requires --input <snapshot.json> (write one with ct stats)"
+            );
+            std::process::exit(2);
+        };
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("{path}: {e}");
+            std::process::exit(2);
+        });
+        let summary = SchedulerSummary::from_snapshot_json(text.trim_end()).unwrap_or_else(|e| {
+            eprintln!("{path}: {e}");
+            std::process::exit(2);
+        });
+        if cli.flag("--json") {
+            // Schema-validated round trip of the snapshot itself.
+            println!("{}", text.trim_end());
+        } else {
+            print!("{}", summary.render_text());
+        }
+        return;
+    }
     let logp: LogP = cli
         .value("--logp")
         .map(|s| s.parse().expect("valid LogP string"))
@@ -704,8 +752,11 @@ fn cmd_perf_bench_runtime(cli: &Cli) {
     } else {
         &[(256, 3, 30), (1024, 2, 10), (4096, 1, 5)]
     };
-    let cfg = corrected_trees::runtime::ClusterConfig::new();
+    let cfg = ClusterConfig::new();
+    let max_p = sweep.iter().map(|&(p, _, _)| p).max().unwrap_or(256);
+    let hub = Arc::new(TelemetryHub::new(cfg.threads, max_p as usize));
     let mut snapshot = BenchSnapshot::new("cluster_throughput")
+        .with_host_provenance()
         .with_provenance("logp", &logp.to_string())
         .with_provenance("seed0", &seed0.to_string())
         .with_provenance("threads", &cfg.threads.to_string())
@@ -720,7 +771,7 @@ fn cmd_perf_bench_runtime(cli: &Cli) {
             &THREAD_PER_RANK_P256_MSGS.to_string(),
         );
     for &(p, warmup, iters) in sweep {
-        let mut cluster = Cluster::with_config(p, logp, cfg.clone());
+        let mut cluster = Cluster::with_config(p, logp, cfg.clone().telemetry(Arc::clone(&hub)));
         let faults = (p / 100).max(1);
         let plan = FaultPlan::random_count_protecting(p, faults, seed0, 0).unwrap_or_else(|e| {
             eprintln!("{e}");
@@ -804,6 +855,241 @@ fn cmd_perf_bench_runtime(cli: &Cli) {
             std::process::exit(2);
         }
     }
+    let manifest = RunManifest::new("cluster_throughput")
+        .logp(logp)
+        .seed(seed0)
+        .with_extra("quick", quick.to_string())
+        .with_extra_json("telemetry", hub.snapshot().with_source("cluster").to_json())
+        .stamped();
+    match manifest.write_next_to(&path) {
+        Ok(mpath) => println!("[telemetry manifest {}]", mpath.display()),
+        Err(e) => eprintln!("could not write manifest for {}: {e}", path.display()),
+    }
+}
+
+/// Dead-rank mask for telemetry commands: exact ranks via `--dead`,
+/// otherwise the usual random `--faults`/`--rate` placement.
+fn dead_mask(cli: &Cli, p: u32, seed: u64, root: u32) -> Vec<bool> {
+    match parse_rank_list(cli, "--dead") {
+        Some(dead) => {
+            let mut mask = vec![false; p as usize];
+            for r in dead {
+                if r >= p {
+                    eprintln!("--dead rank {r} out of range (p={p})");
+                    std::process::exit(2);
+                }
+                mask[r as usize] = true;
+            }
+            mask
+        }
+        None => faults(cli, p, seed, root).mask().to_vec(),
+    }
+}
+
+/// Render a telemetry snapshot in the requested `--format` and write it
+/// to `--output` (or stdout).
+fn emit_snapshot(cli: &Cli, snapshot: &TelemetrySnapshot) {
+    let text = match cli.value("--format").unwrap_or("json") {
+        "json" => snapshot.to_json() + "\n",
+        "prom" => snapshot.render_prometheus(),
+        other => {
+            eprintln!("unknown stats format {other:?} (want json or prom)");
+            usage()
+        }
+    };
+    match cli.value("--output") {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, &text) {
+                eprintln!("could not write {path}: {e}");
+                std::process::exit(2);
+            }
+            println!("[stats {path}]");
+        }
+        None => print!("{text}"),
+    }
+}
+
+/// `ct stats` — run a short campaign with telemetry enabled and emit
+/// one snapshot: a simulator campaign by default, cluster-runtime
+/// broadcasts with `--runtime`. Stalled cluster iterations print their
+/// structured stall report to stderr (the command still emits the
+/// snapshot — the counters of a stalled run are the diagnosis).
+fn cmd_stats(cli: &Cli) {
+    let logp: LogP = cli
+        .value("--logp")
+        .map(|s| s.parse().expect("valid LogP string"))
+        .unwrap_or(LogP::PAPER);
+    let seed: u64 = cli.parsed("--seed", 1);
+    let snapshot = if cli.flag("--runtime") {
+        let p: u32 = cli.parsed("--p", 64);
+        let iters: u32 = cli.parsed("--iters", 3);
+        let spec = build_spec(cli);
+        let mask = dead_mask(cli, p, seed, spec.root);
+        let base = ClusterConfig::new();
+        let hub = Arc::new(TelemetryHub::new(base.threads, p as usize));
+        let mut cluster = Cluster::with_config(p, logp, base.telemetry(Arc::clone(&hub)));
+        for i in 0..iters {
+            let report = cluster
+                .run_broadcast(&spec, &mask, seed + u64::from(i))
+                .unwrap_or_else(|e| {
+                    eprintln!("cluster run failed: {e}");
+                    std::process::exit(2);
+                });
+            if let Some(stall) = &report.stall {
+                eprint!("{}", stall.render_text());
+            }
+        }
+        hub.snapshot().with_source("cluster")
+    } else {
+        let p: u32 = cli.parsed("--p", 256);
+        let reps: u32 = cli.parsed("--reps", 5);
+        let fault_spec = if let Some(dead) = parse_rank_list(cli, "--dead") {
+            FaultSpec::Ranks(dead)
+        } else if let Some(n) = cli.value("--faults") {
+            FaultSpec::Count(n.parse().unwrap_or_else(|_| usage()))
+        } else if let Some(r) = cli.value("--rate") {
+            FaultSpec::Rate(r.parse().unwrap_or_else(|_| usage()))
+        } else {
+            FaultSpec::None
+        };
+        let hub = Arc::new(TelemetryHub::new(1, p as usize));
+        let campaign = Campaign::new(Variant::Tree(build_spec(cli)), p, logp)
+            .with_faults(fault_spec)
+            .with_reps(reps)
+            .with_seed(seed)
+            .with_telemetry(Arc::clone(&hub));
+        if let Err(e) = campaign.run() {
+            eprintln!("campaign failed: {e}");
+            std::process::exit(2);
+        }
+        hub.snapshot().with_source("sim")
+    };
+    emit_snapshot(cli, &snapshot);
+}
+
+/// One frame of the `ct top` dashboard: event rates from counter
+/// deltas, gauges as-is, per-worker utilization from busy-µs deltas.
+fn render_top_frame(
+    snap: &TelemetrySnapshot,
+    prev: &TelemetrySnapshot,
+    dt_secs: f64,
+    clear: bool,
+) -> String {
+    use core::fmt::Write as _;
+    let mut out = String::new();
+    if clear {
+        out.push_str("\x1b[2J\x1b[H");
+    }
+    let rate = |name: &str| {
+        let d = snap.counter(name).saturating_sub(prev.counter(name));
+        d as f64 / dt_secs.max(1e-9)
+    };
+    let gauge = |name: &str| snap.gauges.get(name).copied().unwrap_or(0);
+    let _ = writeln!(
+        out,
+        "ct top — source={} workers={} ranks={}",
+        snap.source, snap.workers, snap.ranks
+    );
+    let _ = writeln!(
+        out,
+        "  rates/s: quanta {:.0} | batches {:.0} | delivered {:.0} | colored {:.0} | timer fires {:.0}",
+        rate("sched.quanta"),
+        rate("sched.batches"),
+        rate("msgs.delivered"),
+        rate("coord.colored"),
+        rate("timer.fires"),
+    );
+    let _ = writeln!(
+        out,
+        "  queues: runq {} | pending timers {} | mailbox hwm {} | spills {} | stale quanta {} | rechecks {}",
+        gauge("runq.depth"),
+        gauge("timers.pending"),
+        gauge("mailbox.hwm"),
+        snap.counter("mailbox.spills"),
+        snap.counter("sched.stale_quanta"),
+        snap.counter("sched.lost_wakeup_rechecks"),
+    );
+    for (w, counters) in snap.per_worker.iter().enumerate() {
+        let busy = counters.get("sched.busy_us").copied().unwrap_or(0);
+        let prev_busy = prev
+            .per_worker
+            .get(w)
+            .and_then(|c| c.get("sched.busy_us"))
+            .copied()
+            .unwrap_or(0);
+        let frac = (busy.saturating_sub(prev_busy) as f64 / (dt_secs.max(1e-9) * 1e6)).min(1.0);
+        let bar = "#".repeat((frac * 40.0).round() as usize);
+        let _ = writeln!(out, "  worker {w:>3}  busy {:>5.1}%  {bar}", frac * 100.0);
+    }
+    out
+}
+
+/// `ct top` — run a cluster broadcast campaign on a background thread
+/// and poll the telemetry hub live at `--interval-ms`, then print the
+/// final scheduler summary.
+fn cmd_top(cli: &Cli) {
+    use std::io::IsTerminal as _;
+
+    let logp: LogP = cli
+        .value("--logp")
+        .map(|s| s.parse().expect("valid LogP string"))
+        .unwrap_or(LogP::PAPER);
+    let p: u32 = cli.parsed("--p", 256);
+    let iters: u32 = cli.parsed("--iters", 50);
+    let interval_ms: u64 = cli.parsed("--interval-ms", 500);
+    let seed: u64 = cli.parsed("--seed", 1);
+    let spec = build_spec(cli);
+    let mask = dead_mask(cli, p, seed, spec.root);
+    let base = ClusterConfig::new();
+    let hub = Arc::new(TelemetryHub::new(base.threads, p as usize));
+    let cfg = base.telemetry(Arc::clone(&hub));
+    let campaign = std::thread::spawn(move || {
+        let mut cluster = Cluster::with_config(p, logp, cfg);
+        let mut incomplete = 0u32;
+        for i in 0..iters {
+            let report = cluster
+                .run_broadcast(&spec, &mask, seed + u64::from(i))
+                .unwrap_or_else(|e| {
+                    eprintln!("cluster run failed: {e}");
+                    std::process::exit(2);
+                });
+            if !report.completed {
+                incomplete += 1;
+                if let Some(stall) = &report.stall {
+                    eprint!("{}", stall.render_text());
+                }
+            }
+        }
+        incomplete
+    });
+    let clear = std::io::stdout().is_terminal();
+    let mut prev = hub.snapshot().with_source("cluster");
+    let mut prev_at = std::time::Instant::now();
+    while !campaign.is_finished() {
+        std::thread::sleep(std::time::Duration::from_millis(interval_ms.max(10)));
+        let snap = hub.snapshot().with_source("cluster");
+        let now = std::time::Instant::now();
+        print!(
+            "{}",
+            render_top_frame(
+                &snap,
+                &prev,
+                now.duration_since(prev_at).as_secs_f64(),
+                clear
+            )
+        );
+        prev = snap;
+        prev_at = now;
+    }
+    let incomplete = campaign.join().unwrap_or_else(|_| {
+        eprintln!("campaign thread panicked");
+        std::process::exit(2);
+    });
+    let snap = hub.snapshot().with_source("cluster");
+    let summary = SchedulerSummary::from_snapshot_json(&snap.to_json())
+        .expect("own snapshot is schema-valid");
+    println!("campaign done: {iters} broadcasts, {incomplete} incomplete");
+    print!("{}", summary.render_text());
 }
 
 fn cmd_perf(cli: &Cli) {
@@ -844,8 +1130,8 @@ fn cmd_perf(cli: &Cli) {
                 .with_faults(FaultSpec::Rate(rate))
                 .with_reps(reps)
                 .with_seed(seed0);
-            let run = || {
-                campaign.run().unwrap_or_else(|e| {
+            let run = |c: &Campaign| {
+                c.run().unwrap_or_else(|e| {
                     eprintln!("campaign failed: {e:?}");
                     std::process::exit(2);
                 })
@@ -853,9 +1139,13 @@ fn cmd_perf(cli: &Cli) {
             // Warm-up pass: primes the topology cache and the allocator
             // the way any long campaign would, so the timed pass
             // measures the steady state the campaigns actually run in.
-            run();
+            // Telemetry is attached to the timed pass only, so the
+            // snapshot counts exactly the measured repetitions.
+            run(&campaign);
+            let hub = Arc::new(TelemetryHub::new(1, p as usize));
+            let timed = campaign.clone().with_telemetry(Arc::clone(&hub));
             let start = std::time::Instant::now();
-            let records = run();
+            let records = run(&timed);
             let wall = start.elapsed();
             let events: u64 = records.iter().map(|r| r.events).sum();
             let messages: u64 = records.iter().map(|r| r.messages).sum();
@@ -864,6 +1154,7 @@ fn cmd_perf(cli: &Cli) {
             let reps_per_sec = f64::from(reps) / secs;
             let events_per_sec = events as f64 / secs;
             let snapshot = BenchSnapshot::new("sim_throughput")
+                .with_host_provenance()
                 .with_provenance("variant", &campaign.variant.label())
                 .with_provenance("p", &p.to_string())
                 .with_provenance("logp", &logp.to_string())
@@ -896,6 +1187,19 @@ fn cmd_perf(cli: &Cli) {
                     eprintln!("could not write {}: {e}", path.display());
                     std::process::exit(2);
                 }
+            }
+            let manifest = RunManifest::new("sim_throughput")
+                .protocol(campaign.variant.label())
+                .p(p)
+                .logp(logp)
+                .seed(seed0)
+                .reps(reps)
+                .wall_secs(secs)
+                .with_extra_json("telemetry", hub.snapshot().with_source("sim").to_json())
+                .stamped();
+            match manifest.write_next_to(&path) {
+                Ok(mpath) => println!("[telemetry manifest {}]", mpath.display()),
+                Err(e) => eprintln!("could not write manifest for {}: {e}", path.display()),
             }
         }
         Some("snapshot") => {
@@ -955,6 +1259,8 @@ fn main() {
         "check" => cmd_check(&cli),
         "forensics" => cmd_forensics(&cli),
         "perf" => cmd_perf(&cli),
+        "stats" => cmd_stats(&cli),
+        "top" => cmd_top(&cli),
         _ => usage(),
     }
 }
