@@ -23,7 +23,10 @@
 //!   (`ct perf diff`);
 //! - [`scheduler`] parses `ct-telemetry-v1` runtime snapshots (from
 //!   `ct stats` or bench manifests) and renders scheduler health
-//!   summaries (`ct analyze --view scheduler`).
+//!   summaries (`ct analyze --view scheduler`);
+//! - [`postmortem`] parses `ct-postmortem-v1` flight-recorder dumps
+//!   and renders per-stranded-rank causal reconstructions
+//!   (`ct postmortem`, `ct analyze --view postmortem`).
 //!
 //! The crate is pure consumer-side: it never runs protocols itself,
 //! so it depends only on the model/schema crates and stays reusable
@@ -36,6 +39,7 @@ pub mod bench;
 pub mod critical;
 pub mod dag;
 pub mod forensics;
+pub mod postmortem;
 pub mod scheduler;
 pub mod summary;
 pub mod trace;
@@ -45,6 +49,7 @@ pub use bench::{BenchSnapshot, MetricDelta, PerfDiff};
 pub use critical::{CostClass, CriticalPath, Segment};
 pub use dag::{CausalDag, EdgeKind, Node, NodeKind};
 pub use forensics::{analyze_forensics, FailureImpact, ForensicsReport, OrphanRescue, WasteReport};
+pub use postmortem::PostmortemReport;
 pub use scheduler::SchedulerSummary;
 pub use summary::{
     analyze_rep, analyze_trace, AnalysisSummary, AnalyzeConfig, BoundsCheck, MessageBreakdown,

@@ -1,0 +1,518 @@
+//! Consumer side of `ct-postmortem-v1` dumps (`ct postmortem`,
+//! `ct analyze --view postmortem`).
+//!
+//! The runtime's flight recorder answers *what happened last*; this
+//! module turns its frozen dump into a causal story a human can act
+//! on. For every rank the dump focuses on (the stranded ranks, when
+//! the failure was a watchdog stall) it reconstructs:
+//!
+//! * the **last poll** — when the scheduler last ran the rank, on the
+//!   iteration clock;
+//! * the **last mailbox push** and *who sent it* — or the explicit
+//!   absence of one, which is itself the diagnosis for an orphaned
+//!   subtree (a dead parent never sends, so nothing ever reaches the
+//!   subtree);
+//! * **pending timers** — arms with no later fire;
+//! * the rank's **last actions**, straight from the rings.
+//!
+//! Rendering is deterministic for a fixed dump and golden-pinned like
+//! the scheduler view.
+
+use core::fmt::Write as _;
+
+use crate::value::Value;
+
+/// The dump schema this module understands.
+pub const POSTMORTEM_SCHEMA: &str = "ct-postmortem-v1";
+
+/// One flight record as it appears in a dump's `tail` / `ranks[].last`
+/// sections.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PmRecord {
+    /// Writer shard the record came from (worker index; the highest
+    /// shard is the coordinator).
+    pub shard: u64,
+    /// Per-shard sequence number.
+    pub seq: u64,
+    /// Record kind (wire name, e.g. `mailbox_push`).
+    pub kind: String,
+    /// The rank concerned, when the record names one.
+    pub rank: Option<u64>,
+    /// Kind-specific payload (pusher rank, drain count, deadline, …).
+    pub aux: u64,
+    /// Logical step (µs into the iteration / LogP steps).
+    pub step: u64,
+    /// Wall-clock µs since the cluster base (0 for simulator records).
+    pub wall_us: u64,
+}
+
+/// Per-stranded-rank diagnostics copied out of the embedded stall
+/// report.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PmStallRank {
+    /// The stranded rank.
+    pub rank: u64,
+    /// Its `scheduled` flag at timeout.
+    pub scheduled: bool,
+    /// Mailbox occupancy at timeout.
+    pub mailbox_len: u64,
+    /// Lifetime mailbox spill count.
+    pub mailbox_spilled: u64,
+    /// Cluster-timeline stamp of its last quantum, if any.
+    pub last_poll_us: Option<u64>,
+}
+
+/// The embedded `StallReport`, when the dump reason was a stall.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PmStall {
+    /// Broadcast iteration id that stalled.
+    pub id: u64,
+    /// The expired deadline, ms.
+    pub timeout_ms: u64,
+    /// Live ranks.
+    pub live: u64,
+    /// Live ranks colored before the deadline.
+    pub colored: u64,
+    /// Run-queue depth at timeout.
+    pub runq_depth: u64,
+    /// Pending timer-wheel entries at timeout.
+    pub pending_timers: u64,
+    /// Coordinator in-flight backlog at timeout.
+    pub coord_in_flight: u64,
+    /// µs since the iteration epoch at report time.
+    pub now_us: u64,
+    /// Iteration epoch on the cluster timeline, µs.
+    pub epoch_us: u64,
+    /// Per-stranded-rank diagnostics, ascending.
+    pub ranks: Vec<PmStallRank>,
+}
+
+/// One focused rank and its recent history.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PmRankTail {
+    /// The rank.
+    pub rank: u64,
+    /// Its last-K records, oldest first.
+    pub last: Vec<PmRecord>,
+}
+
+/// A parsed `ct-postmortem-v1` dump.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PostmortemReport {
+    /// Why the dump was taken (`watchdog_stall`, `worker_panic`,
+    /// `monitor_violation`).
+    pub reason: String,
+    /// Total ranks.
+    pub p: u64,
+    /// The embedded stall report, when present.
+    pub stall: Option<PmStall>,
+    /// Counter totals from the embedded telemetry snapshot, when
+    /// present.
+    pub counters: Option<std::collections::BTreeMap<String, f64>>,
+    /// Flight-ring capacity per shard.
+    pub flight_cap: u64,
+    /// Number of writer shards.
+    pub flight_shards: u64,
+    /// Records retained across all rings.
+    pub retained: u64,
+    /// Records lost to ring wrap across all rings.
+    pub lost: u64,
+    /// The merged time-ordered tail.
+    pub tail: Vec<PmRecord>,
+    /// Per-focused-rank recent history.
+    pub ranks: Vec<PmRankTail>,
+}
+
+fn get_u64(obj: &Value, key: &str, ctx: &str) -> Result<u64, String> {
+    obj.get(key)
+        .and_then(Value::as_u64)
+        .ok_or_else(|| format!("{ctx}: missing or non-integer `{key}`"))
+}
+
+fn get_bool(obj: &Value, key: &str, ctx: &str) -> Result<bool, String> {
+    match obj.get(key) {
+        Some(Value::Bool(b)) => Ok(*b),
+        _ => Err(format!("{ctx}: missing or non-boolean `{key}`")),
+    }
+}
+
+fn parse_record(v: &Value, ctx: &str) -> Result<PmRecord, String> {
+    let rank = match v.get("rank") {
+        Some(Value::Null) => None,
+        Some(other) => Some(
+            other
+                .as_u64()
+                .ok_or_else(|| format!("{ctx}: non-integer `rank`"))?,
+        ),
+        None => return Err(format!("{ctx}: missing `rank`")),
+    };
+    Ok(PmRecord {
+        shard: get_u64(v, "shard", ctx)?,
+        seq: get_u64(v, "seq", ctx)?,
+        kind: v
+            .get("kind")
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("{ctx}: missing `kind`"))?
+            .to_owned(),
+        rank,
+        aux: get_u64(v, "aux", ctx)?,
+        step: get_u64(v, "step", ctx)?,
+        wall_us: get_u64(v, "wall_us", ctx)?,
+    })
+}
+
+fn parse_stall(v: &Value) -> Result<PmStall, String> {
+    let ctx = "stall";
+    let mut ranks = Vec::new();
+    for (i, rv) in v
+        .get("ranks")
+        .and_then(Value::as_arr)
+        .ok_or("stall: missing `ranks` array")?
+        .iter()
+        .enumerate()
+    {
+        let rctx = format!("stall.ranks[{i}]");
+        let last_poll_us = match rv.get("last_poll_us") {
+            Some(Value::Null) | None => None,
+            Some(other) => Some(
+                other
+                    .as_u64()
+                    .ok_or_else(|| format!("{rctx}: non-integer `last_poll_us`"))?,
+            ),
+        };
+        ranks.push(PmStallRank {
+            rank: get_u64(rv, "rank", &rctx)?,
+            scheduled: get_bool(rv, "scheduled", &rctx)?,
+            mailbox_len: get_u64(rv, "mailbox_len", &rctx)?,
+            mailbox_spilled: get_u64(rv, "mailbox_spilled", &rctx)?,
+            last_poll_us,
+        });
+    }
+    Ok(PmStall {
+        id: get_u64(v, "id", ctx)?,
+        timeout_ms: get_u64(v, "timeout_ms", ctx)?,
+        live: get_u64(v, "live", ctx)?,
+        colored: get_u64(v, "colored", ctx)?,
+        runq_depth: get_u64(v, "runq_depth", ctx)?,
+        pending_timers: get_u64(v, "pending_timers", ctx)?,
+        coord_in_flight: get_u64(v, "coord_in_flight", ctx)?,
+        now_us: get_u64(v, "now_us", ctx)?,
+        epoch_us: get_u64(v, "epoch_us", ctx)?,
+        ranks,
+    })
+}
+
+impl PostmortemReport {
+    /// Parse and validate a `ct-postmortem-v1` dump.
+    pub fn from_json(text: &str) -> Result<PostmortemReport, String> {
+        let root = Value::parse(text)?;
+        match root.get("schema").and_then(Value::as_str) {
+            Some(POSTMORTEM_SCHEMA) => {}
+            Some(other) => return Err(format!("unsupported schema `{other}`")),
+            None => return Err("missing `schema` tag".to_owned()),
+        }
+        let reason = root
+            .get("reason")
+            .and_then(Value::as_str)
+            .ok_or("missing `reason`")?
+            .to_owned();
+        let p = get_u64(&root, "p", "dump")?;
+        let stall = match root.get("stall") {
+            Some(Value::Null) | None => None,
+            Some(v) => Some(parse_stall(v)?),
+        };
+        let counters = match root.get("telemetry") {
+            Some(Value::Null) | None => None,
+            Some(t) => Some(
+                t.get("counters")
+                    .ok_or("telemetry: missing `counters`")?
+                    .to_f64_map(),
+            ),
+        };
+        let flight = root.get("flight").ok_or("missing `flight`")?;
+        let flight_cap = get_u64(flight, "cap", "flight")?;
+        let shards = flight
+            .get("shards")
+            .and_then(Value::as_arr)
+            .ok_or("flight: missing `shards` array")?;
+        let mut retained = 0u64;
+        let mut lost = 0u64;
+        for (i, s) in shards.iter().enumerate() {
+            let ctx = format!("flight.shards[{i}]");
+            lost += get_u64(s, "lost", &ctx)?;
+            retained += s
+                .get("records")
+                .and_then(Value::as_arr)
+                .ok_or_else(|| format!("{ctx}: missing `records`"))?
+                .len() as u64;
+        }
+        let mut tail = Vec::new();
+        for (i, v) in root
+            .get("tail")
+            .and_then(Value::as_arr)
+            .ok_or("missing `tail` array")?
+            .iter()
+            .enumerate()
+        {
+            tail.push(parse_record(v, &format!("tail[{i}]"))?);
+        }
+        let mut ranks = Vec::new();
+        for (i, v) in root
+            .get("ranks")
+            .and_then(Value::as_arr)
+            .ok_or("missing `ranks` array")?
+            .iter()
+            .enumerate()
+        {
+            let ctx = format!("ranks[{i}]");
+            let rank = get_u64(v, "rank", &ctx)?;
+            let mut last = Vec::new();
+            for (j, rv) in v
+                .get("last")
+                .and_then(Value::as_arr)
+                .ok_or_else(|| format!("{ctx}: missing `last`"))?
+                .iter()
+                .enumerate()
+            {
+                last.push(parse_record(rv, &format!("{ctx}.last[{j}]"))?);
+            }
+            ranks.push(PmRankTail { rank, last });
+        }
+        Ok(PostmortemReport {
+            reason,
+            p,
+            stall,
+            counters,
+            flight_cap,
+            flight_shards: shards.len() as u64,
+            retained,
+            lost,
+            tail,
+            ranks,
+        })
+    }
+
+    fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .as_ref()
+            .and_then(|c| c.get(name))
+            .map_or(0, |v| *v as u64)
+    }
+
+    /// Render the per-stranded-rank causal reconstruction (see the
+    /// module docs). Deterministic for a fixed dump.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "postmortem: {} (p={})", self.reason, self.p);
+        let _ = writeln!(
+            out,
+            "flight recorder: {} shards x cap {}, {} records retained, {} lost to wrap",
+            self.flight_shards, self.flight_cap, self.retained, self.lost
+        );
+        if let Some(stall) = &self.stall {
+            let _ = writeln!(
+                out,
+                "stall: broadcast {} timed out after {} ms ({}/{} live ranks colored)",
+                stall.id, stall.timeout_ms, stall.colored, stall.live
+            );
+            let _ = writeln!(
+                out,
+                "  run queue: {} | pending timers: {} | coordinator in-flight: {}",
+                stall.runq_depth, stall.pending_timers, stall.coord_in_flight
+            );
+        }
+        if self.counters.is_some() {
+            let _ = writeln!(
+                out,
+                "telemetry: {} quanta | {} delivered | {} stale quanta | {} rechecks | {} spills",
+                self.counter("sched.quanta"),
+                self.counter("msgs.delivered"),
+                self.counter("sched.stale_quanta"),
+                self.counter("sched.lost_wakeup_rechecks"),
+                self.counter("mailbox.spills")
+            );
+        }
+        for section in &self.ranks {
+            self.render_rank(&mut out, section);
+        }
+        let show = self.tail.len().min(10);
+        if show > 0 {
+            let _ = writeln!(
+                out,
+                "tail (last {} of {} merged records):",
+                show,
+                self.tail.len()
+            );
+            for r in &self.tail[self.tail.len() - show..] {
+                let _ = writeln!(out, "    {}", rec_line(r));
+            }
+        }
+        out
+    }
+
+    fn render_rank(&self, out: &mut String, section: &PmRankTail) {
+        let r = section.rank;
+        match self
+            .stall
+            .as_ref()
+            .and_then(|s| s.ranks.iter().find(|sr| sr.rank == r))
+        {
+            Some(sr) => {
+                let _ = writeln!(
+                    out,
+                    "rank {:>5}: scheduled={} mailbox={} (spilled {})",
+                    r, sr.scheduled, sr.mailbox_len, sr.mailbox_spilled
+                );
+            }
+            None => {
+                let _ = writeln!(out, "rank {:>5}:", r);
+            }
+        }
+        // Last poll: the newest quantum_start naming this rank.
+        match section
+            .last
+            .iter()
+            .rev()
+            .find(|rec| rec.kind == "quantum_start" && rec.rank == Some(r))
+        {
+            Some(q) => {
+                let _ = writeln!(
+                    out,
+                    "  last poll:         {} \u{b5}s into iteration {} (wall {} \u{b5}s)",
+                    q.step, q.aux, q.wall_us
+                );
+            }
+            None => {
+                let _ = writeln!(out, "  last poll:         none recorded");
+            }
+        }
+        // Last mailbox push TO this rank, with pusher identity; its
+        // absence is the orphaned-subtree signature.
+        match section
+            .last
+            .iter()
+            .rev()
+            .find(|rec| rec.kind == "mailbox_push" && rec.rank == Some(r))
+        {
+            Some(push) => {
+                let _ = writeln!(
+                    out,
+                    "  last mailbox push: from rank {} at step {} (wall {} \u{b5}s)",
+                    push.aux, push.step, push.wall_us
+                );
+            }
+            None => {
+                let _ = writeln!(
+                    out,
+                    "  last mailbox push: none recorded - no message ever reached this rank"
+                );
+            }
+        }
+        // Pending timers: arms with no later fire for this rank.
+        let last_fire = section
+            .last
+            .iter()
+            .rev()
+            .position(|rec| rec.kind == "timer_fire" && rec.rank == Some(r))
+            .map(|back| section.last.len() - 1 - back);
+        let pending: Vec<&PmRecord> = section
+            .last
+            .iter()
+            .enumerate()
+            .filter(|(i, rec)| {
+                rec.kind == "timer_arm" && rec.rank == Some(r) && last_fire.is_none_or(|f| *i > f)
+            })
+            .map(|(_, rec)| rec)
+            .collect();
+        if pending.is_empty() {
+            let _ = writeln!(out, "  pending timers:    none");
+        } else {
+            for arm in pending {
+                let _ = writeln!(
+                    out,
+                    "  pending timers:    armed for {} \u{b5}s (at step {})",
+                    arm.aux, arm.step
+                );
+            }
+        }
+        if !section.last.is_empty() {
+            let _ = writeln!(out, "  last actions:");
+            for rec in &section.last {
+                let _ = writeln!(out, "    {}", rec_line(rec));
+            }
+        }
+    }
+}
+
+/// One record as a fixed-width text line.
+fn rec_line(r: &PmRecord) -> String {
+    let rank = r.rank.map_or_else(|| "-".to_owned(), |v| v.to_string());
+    format!(
+        "[s{} #{:<4}] wall {:>8} \u{b5}s  {:<13} rank {:>5}  aux={} step={}",
+        r.shard, r.seq, r.wall_us, r.kind, rank, r.aux, r.step
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MINIMAL: &str = concat!(
+        "{\"schema\":\"ct-postmortem-v1\",\"reason\":\"watchdog_stall\",\"p\":8,",
+        "\"stall\":{\"id\":1,\"timeout_ms\":200,\"p\":8,\"live\":7,\"colored\":4,",
+        "\"runq_depth\":0,\"pending_timers\":0,\"coord_in_flight\":0,",
+        "\"now_us\":201000,\"epoch_us\":1000,",
+        "\"ranks\":[{\"rank\":3,\"scheduled\":false,\"mailbox_len\":0,",
+        "\"mailbox_spilled\":0,\"last_poll_us\":1010}]},",
+        "\"telemetry\":null,",
+        "\"flight\":{\"cap\":8,\"shards\":[{\"shard\":0,\"written\":2,\"lost\":0,",
+        "\"records\":[",
+        "{\"seq\":0,\"kind\":\"quantum_start\",\"rank\":3,\"aux\":1,\"step\":10,\"wall_us\":1010},",
+        "{\"seq\":1,\"kind\":\"mailbox_push\",\"rank\":5,\"aux\":3,\"step\":12,\"wall_us\":1012}",
+        "]}]},",
+        "\"tail\":[",
+        "{\"shard\":0,\"seq\":0,\"kind\":\"quantum_start\",\"rank\":3,\"aux\":1,\"step\":10,\"wall_us\":1010},",
+        "{\"shard\":0,\"seq\":1,\"kind\":\"mailbox_push\",\"rank\":5,\"aux\":3,\"step\":12,\"wall_us\":1012}",
+        "],",
+        "\"ranks\":[{\"rank\":3,\"last\":[",
+        "{\"shard\":0,\"seq\":0,\"kind\":\"quantum_start\",\"rank\":3,\"aux\":1,\"step\":10,\"wall_us\":1010},",
+        "{\"shard\":0,\"seq\":1,\"kind\":\"mailbox_push\",\"rank\":5,\"aux\":3,\"step\":12,\"wall_us\":1012}",
+        "]}]}"
+    );
+
+    #[test]
+    fn parses_and_reconstructs_the_stranded_rank() {
+        let report = PostmortemReport::from_json(MINIMAL).unwrap();
+        assert_eq!(report.reason, "watchdog_stall");
+        assert_eq!(report.p, 8);
+        assert_eq!(report.retained, 2);
+        assert_eq!(report.ranks.len(), 1);
+        let text = report.render_text();
+        assert!(text.contains("postmortem: watchdog_stall (p=8)"), "{text}");
+        assert!(text.contains("rank     3: scheduled=false"), "{text}");
+        assert!(
+            text.contains("last poll:         10 \u{b5}s into iteration 1"),
+            "{text}"
+        );
+        // No push ever reached rank 3 - the orphaned-subtree signature.
+        assert!(text.contains("last mailbox push: none recorded"), "{text}");
+        assert!(text.contains("pending timers:    none"), "{text}");
+        assert_eq!(
+            text,
+            PostmortemReport::from_json(MINIMAL).unwrap().render_text()
+        );
+    }
+
+    #[test]
+    fn rejects_wrong_schema() {
+        let err = PostmortemReport::from_json("{\"schema\":\"nope\"}").unwrap_err();
+        assert!(err.contains("unsupported schema"), "{err}");
+    }
+
+    #[test]
+    fn rejects_malformed_records() {
+        let bad = MINIMAL.replace("\"kind\":\"quantum_start\",", "");
+        let err = PostmortemReport::from_json(&bad).unwrap_err();
+        assert!(err.contains("kind"), "{err}");
+    }
+}

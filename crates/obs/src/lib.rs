@@ -29,6 +29,9 @@
 //! * [`telemetry`] — [`TelemetryHub`], the lock-free sharded store of
 //!   live scheduler/runtime counters behind `ct top`, `ct stats` and
 //!   the `telemetry` manifest block.
+//! * [`flight`] — [`FlightRecorder`], the always-on black box: bounded
+//!   per-worker rings of recent scheduler/mailbox/timer events, frozen
+//!   and dumped into `ct-postmortem-v1` bundles on stall or panic.
 //! * [`json`] — the tiny hand-rolled JSON writer backing all of the
 //!   above (deterministic field order, no serde).
 
@@ -37,6 +40,7 @@
 
 pub mod chrome;
 pub mod event;
+pub mod flight;
 pub mod json;
 pub mod manifest;
 pub mod metrics;
@@ -46,6 +50,7 @@ pub mod telemetry;
 
 pub use chrome::chrome_trace;
 pub use event::{Event, EventKind};
+pub use flight::{FlightDump, FlightKind, FlightRecord, FlightRecorder};
 pub use manifest::RunManifest;
 pub use metrics::{Histogram, MetricsRegistry};
 pub use monitor::{Invariant, MonitorConfig, MonitorReport, MonitorSink, Violation};

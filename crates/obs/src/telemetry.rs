@@ -142,6 +142,34 @@ impl Counter {
             Counter::SimIncomplete => "sim.incomplete",
         }
     }
+
+    /// One-line description for the Prometheus `# HELP` line.
+    pub fn help(self) -> &'static str {
+        match self {
+            Counter::SchedQuanta => "Scheduling quanta executed (one runnable rank driven once).",
+            Counter::SchedStaleQuanta => {
+                "Quanta that found no installed iteration (stale wake-ups)."
+            }
+            Counter::SchedBatches => "Run-queue batches claimed by workers.",
+            Counter::SchedRechecks => "End-of-quantum rechecks that re-armed the rank.",
+            Counter::SchedWakes => "Ranks made runnable by sends, timer fires and rechecks.",
+            Counter::SchedBusyUs => "Wall-clock microseconds workers spent inside quanta.",
+            Counter::MsgsSent => "Protocol messages sent rank-to-rank.",
+            Counter::MsgsDelivered => "Current-iteration messages delivered to live ranks.",
+            Counter::MsgsStaleDropped => "Stale messages discarded by broadcast id.",
+            Counter::MailboxPushes => "Mailbox pushes (ring or spill).",
+            Counter::MailboxSpills => "Pushes that overflowed the ring into the heap spill queue.",
+            Counter::TimerArms => "Timer-wheel insertions (protocol WaitUntil arms).",
+            Counter::TimerFires => "Timers that fired (rank appended to the due list).",
+            Counter::TimerCascades => "Overflow-heap entries migrated down into wheel slots.",
+            Counter::CoordBatches => "Batched coordinator notifications sent.",
+            Counter::CoordColored => "Colored-rank notifications carried by coordinator batches.",
+            Counter::SimReps => "Simulator repetitions completed.",
+            Counter::SimEvents => "Simulator events processed (all repetitions).",
+            Counter::SimSends => "Simulator messages sent (all repetitions).",
+            Counter::SimIncomplete => "Repetitions that ended with a live rank uncolored.",
+        }
+    }
 }
 
 /// Mergeable distributions the hub tracks, one atomic histogram per
@@ -192,6 +220,20 @@ impl Dist {
             Dist::SimRepEvents => "sim.rep_events",
             Dist::SimRepSends => "sim.rep_sends",
             Dist::SimRepQuiescence => "sim.rep_quiescence",
+        }
+    }
+
+    /// One-line description for the Prometheus `# HELP` line.
+    pub fn help(self) -> &'static str {
+        match self {
+            Dist::QuantumUs => "Wall-clock duration of one scheduling quantum, microseconds.",
+            Dist::BatchSize => "Runnable ranks claimed per run-queue batch.",
+            Dist::RunqDepth => "Run-queue depth sampled at each batch claim.",
+            Dist::MailboxDrained => "Messages drained from a mailbox per quantum.",
+            Dist::CoordBatchSize => "Colored ranks per batched coordinator notification.",
+            Dist::SimRepEvents => "Simulator events per repetition.",
+            Dist::SimRepSends => "Simulator sends per repetition.",
+            Dist::SimRepQuiescence => "Simulator quiescence time per repetition, LogP steps.",
         }
     }
 }
@@ -518,59 +560,55 @@ impl TelemetrySnapshot {
     /// Render as Prometheus text exposition: every counter as
     /// `ct_<name>` (dots become underscores) with per-worker series
     /// labelled `{worker="i"}`, gauges as gauges, histograms as
-    /// cumulative `_bucket{le=...}`/`_sum`/`_count` families.
+    /// cumulative `_bucket{le=...}`/`_sum`/`_count` families. Each
+    /// family leads with its `# HELP`/`# TYPE` lines and label values
+    /// are escaped per the text exposition format.
     pub fn render_prometheus(&self) -> String {
         use core::fmt::Write as _;
         let mut out = String::new();
+        let source = prom_label_value(&self.source);
         for (name, v) in &self.counters {
             let metric = prom_name(name);
+            if let Some(help) = counter_help(name) {
+                let _ = writeln!(out, "# HELP {metric} {help}");
+            }
             let _ = writeln!(out, "# TYPE {metric} counter");
-            let _ = writeln!(out, "{metric}{{source=\"{}\"}} {v}", self.source);
+            let _ = writeln!(out, "{metric}{{source=\"{source}\"}} {v}");
             for (i, w) in self.per_worker.iter().enumerate() {
                 if let Some(wv) = w.get(name) {
-                    let _ = writeln!(
-                        out,
-                        "{metric}{{source=\"{}\",worker=\"{i}\"}} {wv}",
-                        self.source
-                    );
+                    let _ = writeln!(out, "{metric}{{source=\"{source}\",worker=\"{i}\"}} {wv}");
                 }
             }
         }
         for (name, v) in &self.gauges {
             let metric = prom_name(name);
+            if let Some(help) = gauge_help(name) {
+                let _ = writeln!(out, "# HELP {metric} {help}");
+            }
             let _ = writeln!(out, "# TYPE {metric} gauge");
-            let _ = writeln!(out, "{metric}{{source=\"{}\"}} {v}", self.source);
+            let _ = writeln!(out, "{metric}{{source=\"{source}\"}} {v}");
         }
         for (name, h) in &self.histograms {
             let metric = prom_name(name);
+            if let Some(help) = dist_help(name) {
+                let _ = writeln!(out, "# HELP {metric} {help}");
+            }
             let _ = writeln!(out, "# TYPE {metric} histogram");
             let mut cum = 0u64;
             for (bound, count) in h.bounds().iter().zip(h.counts()) {
                 cum += count;
                 let _ = writeln!(
                     out,
-                    "{metric}_bucket{{source=\"{}\",le=\"{bound}\"}} {cum}",
-                    self.source
+                    "{metric}_bucket{{source=\"{source}\",le=\"{bound}\"}} {cum}"
                 );
             }
             let _ = writeln!(
                 out,
-                "{metric}_bucket{{source=\"{}\",le=\"+Inf\"}} {}",
-                self.source,
+                "{metric}_bucket{{source=\"{source}\",le=\"+Inf\"}} {}",
                 h.count()
             );
-            let _ = writeln!(
-                out,
-                "{metric}_sum{{source=\"{}\"}} {}",
-                self.source,
-                h.sum()
-            );
-            let _ = writeln!(
-                out,
-                "{metric}_count{{source=\"{}\"}} {}",
-                self.source,
-                h.count()
-            );
+            let _ = writeln!(out, "{metric}_sum{{source=\"{source}\"}} {}", h.sum());
+            let _ = writeln!(out, "{metric}_count{{source=\"{source}\"}} {}", h.count());
         }
         out
     }
@@ -584,6 +622,47 @@ fn prom_name(dotted: &str) -> String {
         s.push(if c == '.' { '_' } else { c });
     }
     s
+}
+
+/// Escape a label value per the Prometheus text exposition format:
+/// backslash, double-quote and newline must be backslash-escaped.
+fn prom_label_value(raw: &str) -> String {
+    let mut s = String::with_capacity(raw.len());
+    for c in raw.chars() {
+        match c {
+            '\\' => s.push_str("\\\\"),
+            '"' => s.push_str("\\\""),
+            '\n' => s.push_str("\\n"),
+            _ => s.push(c),
+        }
+    }
+    s
+}
+
+/// `# HELP` text for a dotted counter name.
+fn counter_help(name: &str) -> Option<&'static str> {
+    Counter::ALL
+        .iter()
+        .find(|c| c.name() == name)
+        .map(|c| c.help())
+}
+
+/// `# HELP` text for a dotted distribution name.
+fn dist_help(name: &str) -> Option<&'static str> {
+    Dist::ALL
+        .iter()
+        .find(|d| d.name() == name)
+        .map(|d| d.help())
+}
+
+/// `# HELP` text for a gauge name.
+fn gauge_help(name: &str) -> Option<&'static str> {
+    match name {
+        "runq.depth" => Some("Run-queue depth at snapshot time."),
+        "timers.pending" => Some("Pending timer-wheel entries at snapshot time."),
+        "mailbox.hwm" => Some("Highest mailbox occupancy seen on any rank."),
+        _ => None,
+    }
 }
 
 #[cfg(test)]
@@ -661,6 +740,18 @@ mod tests {
         hub.inc(0, Counter::SchedQuanta);
         let text = hub.snapshot().with_source("cluster").render_prometheus();
         assert!(text.contains("# TYPE ct_sched_quanta counter"), "{text}");
+        assert!(
+            text.contains("# HELP ct_sched_quanta Scheduling quanta executed"),
+            "{text}"
+        );
+        assert!(
+            text.contains("# HELP ct_sched_batch_size Runnable ranks claimed per run-queue batch."),
+            "{text}"
+        );
+        assert!(
+            text.contains("# HELP ct_runq_depth Run-queue depth at snapshot time."),
+            "{text}"
+        );
         assert!(text.contains("ct_sched_quanta{source=\"cluster\"} 1"));
         assert!(
             text.contains("ct_sched_quanta{source=\"cluster\",worker=\"0\"} 1"),
@@ -672,6 +763,20 @@ mod tests {
         assert!(text.contains("ct_sched_batch_size_bucket{source=\"cluster\",le=\"+Inf\"} 3"));
         assert!(text.contains("ct_sched_batch_size_sum{source=\"cluster\"} 6"));
         assert!(text.contains("ct_sched_batch_size_count{source=\"cluster\"} 3"));
+    }
+
+    #[test]
+    fn prometheus_escapes_label_values() {
+        let hub = TelemetryHub::new(1, 1);
+        hub.inc(0, Counter::SchedQuanta);
+        let text = hub
+            .snapshot()
+            .with_source("clu\"st\\er\nx")
+            .render_prometheus();
+        assert!(
+            text.contains("ct_sched_quanta{source=\"clu\\\"st\\\\er\\nx\"} 1"),
+            "{text}"
+        );
     }
 
     #[test]

@@ -27,6 +27,7 @@
 //! bleed into one another even with messages still queued.
 
 use std::collections::VecDeque;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
@@ -36,10 +37,12 @@ use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use ct_core::protocol::{BuildCtx, Process, ProtocolError, ProtocolFactory, SendPoll};
 use ct_logp::{LogP, Rank, Time};
 use ct_obs::event::phases;
+use ct_obs::flight::{FlightKind as Fk, FlightRecorder, NO_RANK};
 use ct_obs::telemetry::{Counter as Tc, Dist as Td, TelemetryHub};
 use ct_obs::{Event as ObsEvent, EventKind as ObsEventKind, EventSink, NullSink};
 
 use crate::mailbox::{Mailbox, Msg};
+use crate::postmortem::Postmortem;
 use crate::stall::{RankStall, StallReport};
 use crate::timer::TimerWheel;
 
@@ -93,6 +96,20 @@ fn parse_watchdog_ms(raw: Option<&str>) -> u64 {
     }
 }
 
+/// Flight-recorder ring capacity (records per worker shard) used when
+/// [`ClusterConfig::flight`] is enabled without an explicit size:
+/// `CT_FLIGHT_CAP` when set to a positive integer, else 4096. At 40
+/// bytes per record the default costs ~160 KiB per worker.
+pub fn default_flight_cap() -> usize {
+    match std::env::var("CT_FLIGHT_CAP")
+        .ok()
+        .and_then(|s| s.trim().parse::<usize>().ok())
+    {
+        Some(n) if n >= 1 => n,
+        _ => 4096,
+    }
+}
+
 /// Tunables for a [`Cluster`]; [`ClusterConfig::new`] reads the
 /// environment (`CT_THREADS`, `CT_MAILBOX_CAP`, `CT_WATCHDOG_MS`) so
 /// tests can pin exact values without mutating process state.
@@ -109,6 +126,15 @@ pub struct ClusterConfig {
     /// every instrumented path on its zero-cost branch, exactly like a
     /// disabled [`EventSink`].
     pub telemetry: Option<Arc<TelemetryHub>>,
+    /// Flight-recorder ring capacity (records per worker shard);
+    /// `None` (the default) attaches no recorder and keeps the
+    /// instrumented paths on their zero-cost branch.
+    pub flight: Option<usize>,
+    /// Where to write the `ct-postmortem-v1` dump when the run dies
+    /// (watchdog stall or worker panic) with a flight recorder
+    /// attached; `None` keeps the dump in-memory only
+    /// ([`RunReport::postmortem`]).
+    pub postmortem: Option<PathBuf>,
 }
 
 impl ClusterConfig {
@@ -121,6 +147,8 @@ impl ClusterConfig {
             mailbox_capacity: default_mailbox_capacity(),
             timeout: Duration::from_millis(default_watchdog_ms()),
             telemetry: None,
+            flight: None,
+            postmortem: None,
         }
     }
 
@@ -145,6 +173,21 @@ impl ClusterConfig {
     /// Attach a live-telemetry hub for the workers to feed.
     pub fn telemetry(mut self, hub: Arc<TelemetryHub>) -> ClusterConfig {
         self.telemetry = Some(hub);
+        self
+    }
+
+    /// Attach a flight recorder with `cap`-record rings (one ring per
+    /// worker plus one for the coordinator). See [`default_flight_cap`]
+    /// for the `CT_FLIGHT_CAP`-driven default size.
+    pub fn flight(mut self, cap: usize) -> ClusterConfig {
+        self.flight = Some(cap);
+        self
+    }
+
+    /// Write the `ct-postmortem-v1` dump to `path` when a run dies with
+    /// a flight recorder attached.
+    pub fn postmortem(mut self, path: PathBuf) -> ClusterConfig {
+        self.postmortem = Some(path);
         self
     }
 }
@@ -211,6 +254,11 @@ pub struct RunReport {
     /// Watchdog diagnostics, captured at the moment of timeout and
     /// before teardown; `None` on completed iterations.
     pub stall: Option<StallReport>,
+    /// The `ct-postmortem-v1` bundle captured on a stall when a flight
+    /// recorder is attached ([`ClusterConfig::flight`]); also written
+    /// to [`ClusterConfig::postmortem`] when a path is set. `None` on
+    /// completed iterations and on runs without a recorder.
+    pub postmortem: Option<Postmortem>,
 }
 
 /// One in-flight broadcast iteration on a rank.
@@ -277,6 +325,9 @@ struct Shared {
     workers: usize,
     /// Live-telemetry hub; `None` keeps instrumentation zero-cost.
     telemetry: Option<Arc<TelemetryHub>>,
+    /// Flight recorder (shard per worker + one coordinator shard);
+    /// `None` keeps instrumentation zero-cost.
+    flight: Option<Arc<FlightRecorder>>,
 }
 
 impl Shared {
@@ -317,6 +368,8 @@ pub struct Cluster {
     timeout: Duration,
     /// Reusable per-rank protocol slots (`ProtocolFactory::build_into`).
     procs: Vec<Box<dyn Process>>,
+    /// Where [`Cluster::capture_postmortem`] writes its dump.
+    postmortem_path: Option<PathBuf>,
 }
 
 impl Cluster {
@@ -356,6 +409,9 @@ impl Cluster {
             base: Instant::now(),
             workers,
             telemetry: cfg.telemetry,
+            flight: cfg
+                .flight
+                .map(|cap| Arc::new(FlightRecorder::new(workers + 1, cap))),
         });
         let (coord_tx, from_workers) = unbounded::<CoordMsg>();
         let mut handles = Vec::with_capacity(workers);
@@ -381,6 +437,7 @@ impl Cluster {
             next_id: 1,
             timeout: cfg.timeout,
             procs: Vec::with_capacity(p as usize),
+            postmortem_path: cfg.postmortem,
         }
     }
 
@@ -434,6 +491,22 @@ impl Cluster {
     /// merged time-sorted after the iteration, so observation adds no
     /// cross-thread traffic on the hot path.
     pub fn run_broadcast_observed(
+        &mut self,
+        factory: &dyn ProtocolFactory,
+        dead: &[bool],
+        seed: u64,
+        sink: &mut dyn EventSink,
+    ) -> Result<RunReport, ClusterError> {
+        let result = self.run_observed_inner(factory, dead, seed, sink);
+        if let Err(ClusterError::WorkerPanicked) = &result {
+            // The black box outlives the crash: freeze the rings and
+            // dump whatever the workers managed to record before dying.
+            let _ = self.capture_postmortem("worker_panic", None);
+        }
+        result
+    }
+
+    fn run_observed_inner(
         &mut self,
         factory: &dyn ProtocolFactory,
         dead: &[bool],
@@ -504,6 +577,10 @@ impl Cluster {
             }
         }
         self.shared.sched_cv.notify_all();
+        if let Some(f) = self.shared.flight.as_deref() {
+            // The coordinator owns the extra shard past the workers.
+            f.record(self.shared.workers, Fk::IterStart, NO_RANK, id, 0, epoch_us);
+        }
 
         let deadline = epoch + self.timeout;
         let mut colored = vec![false; self.p as usize];
@@ -538,6 +615,24 @@ impl Cluster {
         } else {
             Some(self.stall_report(id, dead, &colored, colored_count, live, epoch, epoch_us)?)
         };
+        // Freeze the flight recorder and bundle the dump while the
+        // evidence is fresh; on completed iterations, stamp the
+        // iteration end instead (a no-op once frozen by an earlier
+        // stall in the same cluster's lifetime).
+        let postmortem = match &stall {
+            Some(report) => self.capture_postmortem("watchdog_stall", Some(report)),
+            None => None,
+        };
+        if let Some(f) = self.shared.flight.as_deref() {
+            f.record(
+                self.shared.workers,
+                Fk::IterEnd,
+                NO_RANK,
+                u64::from(completed),
+                latency.as_micros() as u64,
+                self.shared.now_us(),
+            );
+        }
 
         // Tear down: reclaim each rank's protocol slot and harvest its
         // message count and event buffer directly. Locking the state
@@ -616,6 +711,7 @@ impl Cluster {
             messages,
             completed,
             stall,
+            postmortem,
         })
     }
 
@@ -683,6 +779,41 @@ impl Cluster {
             ranks,
         })
     }
+
+    /// Freeze the flight recorder and bundle a [`Postmortem`]: the
+    /// given `reason` (`watchdog_stall`, `worker_panic`,
+    /// `monitor_violation`), the stall report when the failure was a
+    /// stall, a telemetry snapshot when a hub is attached, and the
+    /// frozen rings. Written to [`ClusterConfig::postmortem`] when a
+    /// path is configured. Returns `None` without a flight recorder
+    /// ([`ClusterConfig::flight`]); recording never resumes afterwards
+    /// — the black box keeps the crash evidence for the process
+    /// lifetime of this cluster.
+    pub fn capture_postmortem(
+        &self,
+        reason: &str,
+        stall: Option<&StallReport>,
+    ) -> Option<Postmortem> {
+        let recorder = self.shared.flight.as_deref()?;
+        recorder.freeze();
+        let pm = Postmortem {
+            reason: reason.to_owned(),
+            p: self.p,
+            stall: stall.cloned(),
+            telemetry: self
+                .shared
+                .telemetry
+                .as_ref()
+                .map(|hub| hub.snapshot().with_source("cluster")),
+            flight: recorder.dump(),
+        };
+        if let Some(path) = &self.postmortem_path {
+            if let Err(e) = pm.write(path) {
+                eprintln!("ct: failed to write postmortem {}: {e}", path.display());
+            }
+        }
+        Some(pm)
+    }
 }
 
 impl Drop for Cluster {
@@ -710,6 +841,8 @@ fn now_since(epoch: Instant) -> Time {
 fn worker_main(shared: Arc<Shared>, coord: Sender<CoordMsg>, widx: usize) {
     let tel = shared.telemetry.clone();
     let tel = tel.as_deref();
+    let fl = shared.flight.clone();
+    let fl = fl.as_deref();
     let mut scratch = Scratch::default();
     let mut batch: Vec<Rank> = Vec::with_capacity(MAX_BATCH);
     loop {
@@ -735,6 +868,9 @@ fn worker_main(shared: Arc<Shared>, coord: Sender<CoordMsg>, widx: usize) {
                     }
                 }
                 for &rank in &scratch.due {
+                    if let Some(f) = fl {
+                        f.record(widx, Fk::TimerFire, rank, 0, 0, now);
+                    }
                     if !shared.ranks[rank as usize]
                         .scheduled
                         .swap(true, Ordering::SeqCst)
@@ -788,14 +924,14 @@ fn worker_main(shared: Arc<Shared>, coord: Sender<CoordMsg>, widx: usize) {
         }
         for &rank in &batch {
             let quantum_start = tel.map(|_| Instant::now());
-            if run_quantum(&shared, rank, &mut scratch, tel, widx).is_err() {
+            if run_quantum(&shared, rank, &mut scratch, tel, fl, widx).is_err() {
                 // Another worker panicked; the coordinator will surface
                 // WorkerPanicked and the cluster is unrecoverable.
                 // Still flush best-effort so ranks whose wake-up CAS
                 // was already won are not abandoned scheduled=true with
                 // no run-queue entry, should poisoning ever be made
                 // survivable.
-                let _ = flush(&shared, &coord, &mut scratch, tel, widx);
+                let _ = flush(&shared, &coord, &mut scratch, tel, fl, widx);
                 return;
             }
             if let (Some(t), Some(start)) = (tel, quantum_start) {
@@ -805,7 +941,7 @@ fn worker_main(shared: Arc<Shared>, coord: Sender<CoordMsg>, widx: usize) {
                 t.observe(widx, Td::QuantumUs, us);
             }
         }
-        if flush(&shared, &coord, &mut scratch, tel, widx).is_err() {
+        if flush(&shared, &coord, &mut scratch, tel, fl, widx).is_err() {
             return;
         }
     }
@@ -820,6 +956,7 @@ fn run_quantum(
     rank: Rank,
     scratch: &mut Scratch,
     tel: Option<&TelemetryHub>,
+    fl: Option<&FlightRecorder>,
     widx: usize,
 ) -> Result<(), Poisoned> {
     let cell = &shared.ranks[rank as usize];
@@ -839,6 +976,9 @@ fn run_quantum(
         if let Some(t) = tel {
             t.inc(widx, Tc::SchedStaleQuanta);
         }
+        if let Some(f) = fl {
+            f.record(widx, Fk::StaleQuantum, rank, 0, 0, shared.now_us());
+        }
         cell.scheduled.store(false, Ordering::SeqCst);
         let installed = cell.state.lock().map_err(|_| Poisoned)?.iter.is_some();
         if (installed || !cell.mailbox.lock().map_err(|_| Poisoned)?.is_empty())
@@ -849,12 +989,26 @@ fn run_quantum(
                 t.inc(widx, Tc::SchedRechecks);
                 t.inc(widx, Tc::SchedWakes);
             }
+            if let Some(f) = fl {
+                f.record(widx, Fk::Recheck, rank, 0, 0, shared.now_us());
+            }
         }
         return Ok(());
     };
     // Always-on and cheap (one Instant read per quantum): the stamp the
     // watchdog's StallReport ages stranded ranks by.
-    st.last_poll_us = Some(shared.now_us());
+    let poll_us = shared.now_us();
+    st.last_poll_us = Some(poll_us);
+    if let Some(f) = fl {
+        f.record(
+            widx,
+            Fk::QuantumStart,
+            rank,
+            iter.id,
+            poll_us.saturating_sub(iter.epoch_us),
+            poll_us,
+        );
+    }
 
     scratch.msgs.clear();
     let drained = cell
@@ -862,6 +1016,11 @@ fn run_quantum(
         .lock()
         .map_err(|_| Poisoned)?
         .drain_into(&mut scratch.msgs, usize::MAX);
+    if drained > 0 {
+        if let Some(f) = fl {
+            f.record(widx, Fk::MailboxDrain, rank, drained as u64, 0, poll_us);
+        }
+    }
     if let Some(t) = tel {
         t.observe(widx, Td::MailboxDrained, drained as u64);
         let matching = scratch.msgs.iter().filter(|m| m.id == iter.id).count() as u64;
@@ -949,11 +1108,33 @@ fn run_quantum(
                             }
                             t.mailbox_depth(to as usize, mb.len() as u64);
                         }
+                        if let Some(f) = fl {
+                            // aux carries the pusher: the black box can
+                            // answer "who last fed this mailbox".
+                            f.record(
+                                widx,
+                                Fk::MailboxPush,
+                                to,
+                                u64::from(rank),
+                                now.steps(),
+                                iter.epoch_us.saturating_add(now.steps()),
+                            );
+                        }
                     }
                     if !peer.scheduled.swap(true, Ordering::SeqCst) {
                         scratch.wakes.push(to);
                         if let Some(t) = tel {
                             t.inc(widx, Tc::SchedWakes);
+                        }
+                        if let Some(f) = fl {
+                            f.record(
+                                widx,
+                                Fk::Wake,
+                                to,
+                                u64::from(rank),
+                                now.steps(),
+                                iter.epoch_us.saturating_add(now.steps()),
+                            );
                         }
                     }
                 }
@@ -963,11 +1144,20 @@ fn run_quantum(
                         // coinciding message wake must be replaceable,
                         // and a stale duplicate only costs a harmless
                         // extra poll.
-                        scratch
-                            .timers
-                            .push((iter.epoch_us.saturating_add(t.steps()), rank));
+                        let deadline_us = iter.epoch_us.saturating_add(t.steps());
+                        scratch.timers.push((deadline_us, rank));
                         if let Some(hub) = tel {
                             hub.inc(widx, Tc::TimerArms);
+                        }
+                        if let Some(f) = fl {
+                            f.record(
+                                widx,
+                                Fk::TimerArm,
+                                rank,
+                                deadline_us,
+                                t.steps(),
+                                iter.epoch_us.saturating_add(now.steps()),
+                            );
                         }
                     }
                     break;
@@ -991,6 +1181,17 @@ fn run_quantum(
             scratch.colored.push((iter.id, rank));
         }
     }
+    if let Some(f) = fl {
+        let end_us = shared.now_us();
+        f.record(
+            widx,
+            Fk::QuantumEnd,
+            rank,
+            iter.id,
+            end_us.saturating_sub(iter.epoch_us),
+            end_us,
+        );
+    }
     drop(guard);
 
     // Clear the flag, then recheck: a sender that saw `scheduled` still
@@ -1005,6 +1206,9 @@ fn run_quantum(
             t.inc(widx, Tc::SchedRechecks);
             t.inc(widx, Tc::SchedWakes);
         }
+        if let Some(f) = fl {
+            f.record(widx, Fk::Recheck, rank, 0, 0, shared.now_us());
+        }
     }
     Ok(())
 }
@@ -1017,6 +1221,7 @@ fn flush(
     coord: &Sender<CoordMsg>,
     scratch: &mut Scratch,
     tel: Option<&TelemetryHub>,
+    fl: Option<&FlightRecorder>,
     widx: usize,
 ) -> Result<(), Poisoned> {
     if !scratch.colored.is_empty() {
@@ -1033,6 +1238,16 @@ fn flush(
                 t.inc(widx, Tc::CoordBatches);
                 t.add(widx, Tc::CoordColored, ranks.len() as u64);
                 t.observe(widx, Td::CoordBatchSize, ranks.len() as u64);
+            }
+            if let Some(f) = fl {
+                f.record(
+                    widx,
+                    Fk::CoordBatch,
+                    NO_RANK,
+                    ranks.len() as u64,
+                    id,
+                    shared.now_us(),
+                );
             }
             // The interconnect is reliable: a send only fails if the
             // whole cluster is shutting down.

@@ -28,9 +28,13 @@
 pub mod cluster;
 pub mod harness;
 mod mailbox;
+pub mod postmortem;
 pub mod stall;
 mod timer;
 
-pub use cluster::{default_threads, Cluster, ClusterConfig, ClusterError, RunReport};
+pub use cluster::{
+    default_flight_cap, default_threads, Cluster, ClusterConfig, ClusterError, RunReport,
+};
 pub use harness::{BenchConfig, BenchResult};
+pub use postmortem::Postmortem;
 pub use stall::{RankStall, StallReport};

@@ -1,0 +1,251 @@
+//! `ct-postmortem-v1`: the structured dump written when a run dies.
+//!
+//! A [`Postmortem`] bundles everything the runtime knows at the moment
+//! of failure — the watchdog's [`StallReport`] (when the failure *was*
+//! a stall), a [`TelemetrySnapshot`] of the counter hub, and the frozen
+//! flight-recorder rings ([`FlightDump`]) — plus two derived views
+//! computed at render time: the merged time-ordered event tail across
+//! all workers and the last-K actions of each rank of interest (the
+//! stranded ranks when a stall report is present). The dump is a single
+//! deterministic JSON object consumed by `ct postmortem` /
+//! `ct analyze --view postmortem`, which reconstruct a per-rank causal
+//! story: last poll, last mailbox push and who sent it, pending timers.
+
+use std::path::Path;
+
+use ct_obs::flight::{FlightDump, FlightRecord, NO_RANK};
+use ct_obs::json::JsonObject;
+use ct_obs::TelemetrySnapshot;
+
+use crate::stall::StallReport;
+
+/// Schema tag stamped into every dump; bump on incompatible layout
+/// changes.
+pub const SCHEMA: &str = "ct-postmortem-v1";
+
+/// Merged-tail length bound: the last this-many records across all
+/// shards land in the dump's `tail` section.
+pub const TAIL_MAX: usize = 256;
+
+/// Per-rank history bound: the last this-many records involving each
+/// rank of interest land in its `ranks[].last` section.
+pub const RANK_LAST_K: usize = 16;
+
+/// When no stall report narrows the focus, at most this many distinct
+/// ranks (those seen in the merged tail) get per-rank sections.
+const RANK_FALLBACK_MAX: usize = 32;
+
+/// Everything captured when a run died: see the module docs.
+#[derive(Clone, Debug)]
+pub struct Postmortem {
+    /// Why the dump was taken: `watchdog_stall`, `worker_panic` or
+    /// `monitor_violation`.
+    pub reason: String,
+    /// Total ranks in the run.
+    pub p: u32,
+    /// The watchdog's diagnosis, when the failure was a stall.
+    pub stall: Option<StallReport>,
+    /// Counter-hub snapshot at capture time, when a hub was attached.
+    pub telemetry: Option<TelemetrySnapshot>,
+    /// The frozen flight-recorder rings.
+    pub flight: FlightDump,
+}
+
+impl Postmortem {
+    /// The ranks that get per-rank `last` sections: the stall report's
+    /// stranded ranks when present, otherwise every rank seen in the
+    /// merged tail (ascending, capped).
+    pub fn focus_ranks(&self) -> Vec<u32> {
+        if let Some(stall) = &self.stall {
+            return stall.stranded();
+        }
+        let mut seen: Vec<u32> = self
+            .flight
+            .merged_tail(TAIL_MAX)
+            .iter()
+            .filter(|(_, r)| r.rank != NO_RANK)
+            .map(|(_, r)| r.rank)
+            .collect();
+        seen.sort_unstable();
+        seen.dedup();
+        seen.truncate(RANK_FALLBACK_MAX);
+        seen
+    }
+
+    /// Render the dump as one deterministic JSON object (schema
+    /// [`SCHEMA`]).
+    pub fn to_json(&self) -> String {
+        let mut obj = JsonObject::new();
+        obj.field_str("schema", SCHEMA);
+        obj.field_str("reason", &self.reason);
+        obj.field_u64("p", u64::from(self.p));
+        match &self.stall {
+            Some(s) => obj.field_raw("stall", &s.to_json()),
+            None => obj.field_null("stall"),
+        };
+        match &self.telemetry {
+            Some(t) => obj.field_raw("telemetry", &t.to_json()),
+            None => obj.field_null("telemetry"),
+        };
+        obj.field_raw("flight", &self.flight.to_json());
+        let mut tail = String::from("[");
+        for (i, (shard, r)) in self.flight.merged_tail(TAIL_MAX).iter().enumerate() {
+            if i > 0 {
+                tail.push(',');
+            }
+            tail.push_str(&record_json(*shard, r));
+        }
+        tail.push(']');
+        obj.field_raw("tail", &tail);
+        let mut ranks = String::from("[");
+        for (i, rank) in self.focus_ranks().iter().enumerate() {
+            if i > 0 {
+                ranks.push(',');
+            }
+            let mut robj = JsonObject::new();
+            robj.field_u64("rank", u64::from(*rank));
+            let mut last = String::from("[");
+            for (j, (shard, r)) in self.flight.rank_tail(*rank, RANK_LAST_K).iter().enumerate() {
+                if j > 0 {
+                    last.push(',');
+                }
+                last.push_str(&record_json(*shard, r));
+            }
+            last.push(']');
+            robj.field_raw("last", &last);
+            ranks.push_str(&robj.finish());
+        }
+        ranks.push(']');
+        obj.field_raw("ranks", &ranks);
+        obj.finish()
+    }
+
+    /// Write the dump (plus a trailing newline) to `path`.
+    pub fn write(&self, path: &Path) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json() + "\n")
+    }
+}
+
+/// One tail entry: a flight record prefixed with the shard it came
+/// from.
+fn record_json(shard: usize, r: &FlightRecord) -> String {
+    let mut obj = JsonObject::new();
+    obj.field_u64("shard", shard as u64);
+    obj.field_u64("seq", r.seq);
+    obj.field_str("kind", r.kind.name());
+    if r.rank == NO_RANK {
+        obj.field_null("rank");
+    } else {
+        obj.field_u64("rank", u64::from(r.rank));
+    }
+    obj.field_u64("aux", r.aux);
+    obj.field_u64("step", r.step);
+    obj.field_u64("wall_us", r.wall_us);
+    obj.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stall::RankStall;
+    use ct_obs::flight::{FlightKind, FlightRecorder};
+
+    fn dump() -> FlightDump {
+        let rec = FlightRecorder::new(2, 8);
+        rec.record(1, FlightKind::IterStart, NO_RANK, 1, 0, 1_000);
+        rec.record(0, FlightKind::QuantumStart, 3, 1, 10, 1_010);
+        rec.record(0, FlightKind::MailboxPush, 5, 3, 12, 1_012);
+        rec.freeze();
+        rec.dump()
+    }
+
+    fn stall() -> StallReport {
+        StallReport {
+            id: 1,
+            timeout_ms: 200,
+            p: 8,
+            live: 7,
+            colored: 4,
+            runq_depth: 0,
+            pending_timers: 0,
+            coord_in_flight: 0,
+            now_us: 201_000,
+            epoch_us: 1_000,
+            ranks: vec![RankStall {
+                rank: 3,
+                scheduled: false,
+                mailbox_len: 0,
+                mailbox_spilled: 0,
+                last_poll_us: Some(1_010),
+            }],
+        }
+    }
+
+    #[test]
+    fn json_is_schema_tagged_and_deterministic() {
+        let pm = Postmortem {
+            reason: "watchdog_stall".to_owned(),
+            p: 8,
+            stall: Some(stall()),
+            telemetry: None,
+            flight: dump(),
+        };
+        let json = pm.to_json();
+        assert!(
+            json.starts_with(
+                "{\"schema\":\"ct-postmortem-v1\",\"reason\":\"watchdog_stall\",\"p\":8"
+            ),
+            "{json}"
+        );
+        assert!(json.contains("\"telemetry\":null"), "{json}");
+        assert!(json.contains("\"stall\":{\"id\":1"), "{json}");
+        assert!(
+            json.contains("\"tail\":[{\"shard\":1,\"seq\":0,\"kind\":\"iter_start\""),
+            "{json}"
+        );
+        assert!(json.contains("\"ranks\":[{\"rank\":3,\"last\":["), "{json}");
+        assert_eq!(json, pm.to_json());
+    }
+
+    #[test]
+    fn focus_follows_the_stall_report_when_present() {
+        let pm = Postmortem {
+            reason: "watchdog_stall".to_owned(),
+            p: 8,
+            stall: Some(stall()),
+            telemetry: None,
+            flight: dump(),
+        };
+        assert_eq!(pm.focus_ranks(), vec![3]);
+    }
+
+    #[test]
+    fn focus_falls_back_to_tail_ranks_without_a_stall() {
+        let pm = Postmortem {
+            reason: "worker_panic".to_owned(),
+            p: 8,
+            stall: None,
+            telemetry: None,
+            flight: dump(),
+        };
+        assert_eq!(pm.focus_ranks(), vec![3, 5]);
+    }
+
+    #[test]
+    fn rank_sections_include_pushes_to_the_rank() {
+        let pm = Postmortem {
+            reason: "watchdog_stall".to_owned(),
+            p: 8,
+            stall: Some(stall()),
+            telemetry: None,
+            flight: dump(),
+        };
+        let json = pm.to_json();
+        // Rank 3's history includes the push it originated (aux names
+        // it as the pusher).
+        assert!(
+            json.contains("\"kind\":\"mailbox_push\",\"rank\":5,\"aux\":3"),
+            "{json}"
+        );
+    }
+}

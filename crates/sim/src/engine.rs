@@ -21,6 +21,7 @@ use std::sync::Arc;
 use ct_core::protocol::{BuildCtx, Payload, Process, ProtocolError, ProtocolFactory, SendPoll};
 use ct_logp::{LogP, Rank, Time};
 use ct_obs::event::phases;
+use ct_obs::flight::{FlightKind, FlightRecorder, NO_RANK};
 use ct_obs::telemetry::TelemetryHub;
 use ct_obs::{Event as ObsEvent, EventKind as ObsEventKind, EventSink, NullSink, VecSink};
 
@@ -107,6 +108,7 @@ pub struct Simulation {
     record_trace: bool,
     max_events: u64,
     telemetry: Option<Arc<TelemetryHub>>,
+    flight: Option<Arc<FlightRecorder>>,
 }
 
 /// Builder for [`Simulation`].
@@ -119,6 +121,7 @@ pub struct SimulationBuilder {
     record_trace: bool,
     max_events: u64,
     telemetry: Option<Arc<TelemetryHub>>,
+    flight: Option<Arc<FlightRecorder>>,
 }
 
 impl Simulation {
@@ -132,6 +135,7 @@ impl Simulation {
             record_trace: false,
             max_events: DEFAULT_MAX_EVENTS,
             telemetry: None,
+            flight: None,
         }
     }
 
@@ -256,6 +260,13 @@ impl Simulation {
         let mut quiescence = Time::ZERO;
         let mut events: u64 = 0;
 
+        if let Some(f) = self.flight.as_deref() {
+            // The single-threaded simulator owns shard 0; there is no
+            // wall clock, so wall_us stays 0 and `step` carries LogP
+            // time.
+            f.record(0, FlightKind::IterStart, NO_RANK, self.seed, 0, 0);
+        }
+
         // Initial poll of every live rank at t = 0.
         for r in 0..p {
             if !self.faults.is_failed(r) {
@@ -294,6 +305,16 @@ impl Simulation {
                                 payload,
                             },
                         ));
+                    }
+                    if let Some(f) = self.flight.as_deref() {
+                        f.record(
+                            0,
+                            FlightKind::MailboxPush,
+                            r,
+                            u64::from(from),
+                            now.steps(),
+                            0,
+                        );
                     }
                     recv_queue[r as usize].push_back((from, payload));
                     if !recv_busy[r as usize] {
@@ -410,6 +431,16 @@ impl Simulation {
                 outcome.all_live_colored(),
             );
         }
+        if let Some(f) = self.flight.as_deref() {
+            f.record(
+                0,
+                FlightKind::IterEnd,
+                NO_RANK,
+                u64::from(outcome.all_live_colored()),
+                outcome.quiescence.steps(),
+                0,
+            );
+        }
         Ok(outcome)
     }
 
@@ -462,6 +493,9 @@ impl Simulation {
                 if at <= now {
                     return Err(SimError::NonAdvancingWait { rank: r, now, at });
                 }
+                if let Some(f) = self.flight.as_deref() {
+                    f.record(0, FlightKind::TimerArm, r, at.steps(), now.steps(), 0);
+                }
                 queue.push(at, r, EventKind::Repoll);
             }
             SendPoll::Idle => {}
@@ -506,6 +540,16 @@ impl SimulationBuilder {
         self
     }
 
+    /// Record flight-recorder events into `recorder`'s shard 0 (default
+    /// off): iteration markers, message arrivals (with sender identity)
+    /// and protocol timer arms, in the same record schema the cluster
+    /// runtime writes. A pure observer — outcomes and traces are
+    /// bit-identical with the recorder on or off.
+    pub fn flight(mut self, recorder: Arc<FlightRecorder>) -> Self {
+        self.flight = Some(recorder);
+        self
+    }
+
     /// Finalize.
     pub fn build(self) -> Simulation {
         let faults = self.faults.unwrap_or_else(|| FaultPlan::none(self.p));
@@ -517,6 +561,7 @@ impl SimulationBuilder {
             record_trace: self.record_trace,
             max_events: self.max_events,
             telemetry: self.telemetry,
+            flight: self.flight,
         }
     }
 }

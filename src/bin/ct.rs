@@ -21,7 +21,7 @@ use std::sync::Arc;
 use corrected_trees::analysis::Summary;
 use corrected_trees::analyze::{
     analyze_forensics, analyze_trace, infer_p, parse_jsonl, split_reps, AnalysisSummary,
-    AnalyzeConfig, BenchSnapshot, PerfDiff, SchedulerSummary,
+    AnalyzeConfig, BenchSnapshot, PerfDiff, PostmortemReport, SchedulerSummary,
 };
 use corrected_trees::core::correction::CorrectionKind;
 use corrected_trees::core::protocol::{BroadcastSpec, Payload, ProtocolFactory};
@@ -32,12 +32,12 @@ use corrected_trees::obs::telemetry::{TelemetryHub, TelemetrySnapshot};
 use corrected_trees::obs::{
     chrome_trace, Event, EventKind, MonitorConfig, MonitorSink, RunManifest, VecSink,
 };
-use corrected_trees::runtime::{Cluster, ClusterConfig};
+use corrected_trees::runtime::{default_flight_cap, Cluster, ClusterConfig};
 use corrected_trees::sim::{FaultPlan, Simulation, Trace};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: ct <run|tree|sweep|trace|analyze|check|forensics|perf|stats|top> [options]\n\
+        "usage: ct <run|tree|sweep|trace|analyze|check|forensics|perf|stats|top|postmortem> [options]\n\
          \n\
          common options:\n\
            --tree <binomial|binomial-inorder|kary<K>|lame<K>|optimal>  (default binomial)\n\
@@ -64,10 +64,11 @@ fn usage() -> ! {
          analyze options (all run options, or --input to read a trace):\n\
            --input <trace.jsonl>   analyze a recorded JSONL trace instead\n\
                                    of running the simulator\n\
-           --view <summary|critical-path|utilization|scheduler>\n\
+           --view <summary|critical-path|utilization|scheduler|postmortem>\n\
                                    (default summary; scheduler reads a\n\
                                    ct-telemetry-v1 snapshot from --input,\n\
-                                   e.g. one written by ct stats)\n\
+                                   e.g. one written by ct stats; postmortem\n\
+                                   reads a ct-postmortem-v1 dump from --input)\n\
            --ranks <a,b,c>         restrict the utilization view to ranks\n\
            --json                  machine-readable summary output\n\
            --sync-start <T>        enable the Lemma-3 bounds check at\n\
@@ -118,13 +119,29 @@ fn usage() -> ! {
            --format <json|prom>    snapshot (default json) or Prometheus\n\
                                    text exposition\n\
            --output <FILE>         write to FILE instead of stdout\n\
+           --postmortem <FILE>     flight-recorder dump path for --runtime\n\
+                                   stalls (default ct-postmortem.json)\n\
            stalled cluster iterations print their stall report to stderr\n\
+           exit status: 0 clean, 1 any cluster iteration stalled,\n\
+           2 usage/I-O error (the snapshot is emitted either way)\n\
          top options (live cluster dashboard during a broadcast campaign):\n\
            ct top [run options] [--iters I] [--interval-ms MS]\n\
            --iters <I>             broadcasts to run (default 50)\n\
            --interval-ms <MS>      hub polling interval (default 500)\n\
-           env: CT_THREADS, CT_MAILBOX_CAP, CT_WATCHDOG_MS (watchdog\n\
-           timeout in ms, default 30000) size the cluster runtime"
+           --postmortem <FILE>     flight-recorder dump path for stalls\n\
+                                   (default ct-postmortem.json)\n\
+           exit status: 0 all broadcasts completed, 1 any incomplete,\n\
+           2 usage/I-O error (the final summary is printed either way)\n\
+         postmortem options (render a flight-recorder dump):\n\
+           ct postmortem <dump.json> [--json]\n\
+           renders the per-stranded-rank causal reconstruction (last\n\
+           poll, last mailbox push and its sender, pending timers) from\n\
+           a ct-postmortem-v1 dump written on watchdog stall, worker\n\
+           panic, or monitor violation; --json echoes the validated dump\n\
+         env: CT_THREADS, CT_MAILBOX_CAP, CT_WATCHDOG_MS (watchdog\n\
+         timeout in ms, default 30000), CT_FLIGHT_CAP (flight-recorder\n\
+         ring capacity per worker, default 4096 records) size the\n\
+         cluster runtime"
     );
     std::process::exit(2);
 }
@@ -467,6 +484,19 @@ fn cmd_analyze(cli: &Cli) {
         }
         return;
     }
+    // Likewise for the postmortem view: it reads a flight-recorder
+    // dump, not an event trace.
+    if cli.value("--view") == Some("postmortem") {
+        let Some(path) = cli.value("--input") else {
+            eprintln!(
+                "--view postmortem requires --input <dump.json> (written on a stall by \
+                 ct stats --runtime / ct top / ct check --runtime)"
+            );
+            std::process::exit(2);
+        };
+        render_postmortem(cli, path);
+        return;
+    }
     let logp: LogP = cli
         .value("--logp")
         .map(|s| s.parse().expect("valid LogP string"))
@@ -574,6 +604,36 @@ fn cmd_analyze(cli: &Cli) {
     }
 }
 
+/// Shared body of `ct postmortem` and `ct analyze --view postmortem`:
+/// parse a `ct-postmortem-v1` dump and render the causal
+/// reconstruction (or echo the validated JSON under `--json`).
+fn render_postmortem(cli: &Cli, path: &str) {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("{path}: {e}");
+        std::process::exit(2);
+    });
+    let report = PostmortemReport::from_json(text.trim_end()).unwrap_or_else(|e| {
+        eprintln!("{path}: {e}");
+        std::process::exit(2);
+    });
+    if cli.flag("--json") {
+        // Schema-validated round trip of the dump itself.
+        println!("{}", text.trim_end());
+    } else {
+        print!("{}", report.render_text());
+    }
+}
+
+/// `ct postmortem <dump.json>` — render a flight-recorder dump written
+/// on watchdog stall, worker panic, or monitor violation.
+fn cmd_postmortem(cli: &Cli) {
+    let Some(path) = cli.args.first().filter(|a| !a.starts_with("--")) else {
+        eprintln!("ct postmortem needs a dump path: ct postmortem <dump.json> [--json]");
+        std::process::exit(2);
+    };
+    render_postmortem(cli, path);
+}
+
 fn read_trace(path: &str) -> Vec<Event> {
     let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
         eprintln!("{path}: {e}");
@@ -632,11 +692,31 @@ fn cmd_check(cli: &Cli) {
         let mut monitor = MonitorSink::new(cfg);
         if runtime {
             let mask = plan.mask().to_vec();
-            let mut cluster = Cluster::new(p, logp);
+            let pm_path =
+                std::path::PathBuf::from(cli.value("--postmortem").unwrap_or("ct-postmortem.json"));
+            let mut cluster = Cluster::with_config(
+                p,
+                logp,
+                ClusterConfig::new()
+                    .flight(default_flight_cap())
+                    .postmortem(pm_path.clone()),
+            );
             if let Err(e) = cluster.run_broadcast_observed(&spec, &mask, seed, &mut monitor) {
                 eprintln!("cluster run failed: {e}");
                 std::process::exit(2);
             }
+            let report = monitor.finish();
+            // Invariant violations freeze the flight recorder too: the
+            // ring tail around the violation is exactly the evidence a
+            // post-mortem needs.
+            if !report.is_ok()
+                && cluster
+                    .capture_postmortem("monitor_violation", None)
+                    .is_some()
+            {
+                eprintln!("[postmortem {}]", pm_path.display());
+            }
+            report
         } else {
             Simulation::builder(p, logp)
                 .faults(plan)
@@ -644,8 +724,8 @@ fn cmd_check(cli: &Cli) {
                 .build()
                 .run_with_sink(&spec, &mut monitor)
                 .expect("valid configuration");
+            monitor.finish()
         }
-        monitor.finish()
     };
     if cli.flag("--json") {
         println!("{}", report.to_json());
@@ -912,22 +992,30 @@ fn emit_snapshot(cli: &Cli, snapshot: &TelemetrySnapshot) {
 /// `ct stats` — run a short campaign with telemetry enabled and emit
 /// one snapshot: a simulator campaign by default, cluster-runtime
 /// broadcasts with `--runtime`. Stalled cluster iterations print their
-/// structured stall report to stderr (the command still emits the
-/// snapshot — the counters of a stalled run are the diagnosis).
+/// structured stall report to stderr and write a flight-recorder
+/// postmortem dump; the command still emits the snapshot — the counters
+/// of a stalled run are the diagnosis — then exits 1.
 fn cmd_stats(cli: &Cli) {
     let logp: LogP = cli
         .value("--logp")
         .map(|s| s.parse().expect("valid LogP string"))
         .unwrap_or(LogP::PAPER);
     let seed: u64 = cli.parsed("--seed", 1);
+    let mut stalled = 0u32;
     let snapshot = if cli.flag("--runtime") {
         let p: u32 = cli.parsed("--p", 64);
         let iters: u32 = cli.parsed("--iters", 3);
         let spec = build_spec(cli);
         let mask = dead_mask(cli, p, seed, spec.root);
+        let pm_path =
+            std::path::PathBuf::from(cli.value("--postmortem").unwrap_or("ct-postmortem.json"));
         let base = ClusterConfig::new();
         let hub = Arc::new(TelemetryHub::new(base.threads, p as usize));
-        let mut cluster = Cluster::with_config(p, logp, base.telemetry(Arc::clone(&hub)));
+        let cfg = base
+            .telemetry(Arc::clone(&hub))
+            .flight(default_flight_cap())
+            .postmortem(pm_path.clone());
+        let mut cluster = Cluster::with_config(p, logp, cfg);
         for i in 0..iters {
             let report = cluster
                 .run_broadcast(&spec, &mask, seed + u64::from(i))
@@ -936,7 +1024,11 @@ fn cmd_stats(cli: &Cli) {
                     std::process::exit(2);
                 });
             if let Some(stall) = &report.stall {
+                stalled += 1;
                 eprint!("{}", stall.render_text());
+                if report.postmortem.is_some() {
+                    eprintln!("[postmortem {}]", pm_path.display());
+                }
             }
         }
         hub.snapshot().with_source("cluster")
@@ -965,6 +1057,11 @@ fn cmd_stats(cli: &Cli) {
         hub.snapshot().with_source("sim")
     };
     emit_snapshot(cli, &snapshot);
+    // Stalls still emit the snapshot first (the counters of a stalled
+    // run are the diagnosis) but flag the failure via exit status.
+    if stalled > 0 {
+        std::process::exit(1);
+    }
 }
 
 /// One frame of the `ct top` dashboard: event rates from counter
@@ -1040,9 +1137,14 @@ fn cmd_top(cli: &Cli) {
     let seed: u64 = cli.parsed("--seed", 1);
     let spec = build_spec(cli);
     let mask = dead_mask(cli, p, seed, spec.root);
+    let pm_path =
+        std::path::PathBuf::from(cli.value("--postmortem").unwrap_or("ct-postmortem.json"));
     let base = ClusterConfig::new();
     let hub = Arc::new(TelemetryHub::new(base.threads, p as usize));
-    let cfg = base.telemetry(Arc::clone(&hub));
+    let cfg = base
+        .telemetry(Arc::clone(&hub))
+        .flight(default_flight_cap())
+        .postmortem(pm_path.clone());
     let campaign = std::thread::spawn(move || {
         let mut cluster = Cluster::with_config(p, logp, cfg);
         let mut incomplete = 0u32;
@@ -1057,6 +1159,9 @@ fn cmd_top(cli: &Cli) {
                 incomplete += 1;
                 if let Some(stall) = &report.stall {
                     eprint!("{}", stall.render_text());
+                }
+                if report.postmortem.is_some() {
+                    eprintln!("[postmortem {}]", pm_path.display());
                 }
             }
         }
@@ -1090,6 +1195,11 @@ fn cmd_top(cli: &Cli) {
         .expect("own snapshot is schema-valid");
     println!("campaign done: {iters} broadcasts, {incomplete} incomplete");
     print!("{}", summary.render_text());
+    // The summary is always printed; incomplete broadcasts flag the
+    // failure via exit status for scripted health checks.
+    if incomplete > 0 {
+        std::process::exit(1);
+    }
 }
 
 fn cmd_perf(cli: &Cli) {
@@ -1261,6 +1371,7 @@ fn main() {
         "perf" => cmd_perf(&cli),
         "stats" => cmd_stats(&cli),
         "top" => cmd_top(&cli),
+        "postmortem" => cmd_postmortem(&cli),
         _ => usage(),
     }
 }
