@@ -26,7 +26,11 @@
 //!   summaries (`ct analyze --view scheduler`);
 //! - [`postmortem`] parses `ct-postmortem-v1` flight-recorder dumps
 //!   and renders per-stranded-rank causal reconstructions
-//!   (`ct postmortem`, `ct analyze --view postmortem`).
+//!   (`ct postmortem`, `ct analyze --view postmortem`);
+//! - [`series`] parses `ct-series-v1` time-series exports (from
+//!   `ct serve`, `ct stats --series` or the `/series.jsonl` endpoint)
+//!   and renders rate/health trend summaries
+//!   (`ct analyze --view series`).
 //!
 //! The crate is pure consumer-side: it never runs protocols itself,
 //! so it depends only on the model/schema crates and stays reusable
@@ -41,6 +45,7 @@ pub mod dag;
 pub mod forensics;
 pub mod postmortem;
 pub mod scheduler;
+pub mod series;
 pub mod summary;
 pub mod trace;
 pub mod value;
@@ -51,6 +56,7 @@ pub use dag::{CausalDag, EdgeKind, Node, NodeKind};
 pub use forensics::{analyze_forensics, FailureImpact, ForensicsReport, OrphanRescue, WasteReport};
 pub use postmortem::PostmortemReport;
 pub use scheduler::SchedulerSummary;
+pub use series::SeriesSummary;
 pub use summary::{
     analyze_rep, analyze_trace, AnalysisSummary, AnalyzeConfig, BoundsCheck, MessageBreakdown,
     PhaseSplit, RepAnalysis, SpanStat, TraceAnalysis, Utilization,

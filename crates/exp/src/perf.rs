@@ -14,8 +14,10 @@ use ct_analyze::{
 use std::sync::Arc;
 
 use ct_core::protocol::ProtocolFactory;
+use ct_obs::health::{HealthConfig, HealthEngine, HealthEvent};
 use ct_obs::json::JsonObject;
 use ct_obs::metrics::Histogram;
+use ct_obs::series::SeriesSample;
 use ct_obs::telemetry::{TelemetryHub, TelemetrySnapshot};
 use ct_obs::{MonitorConfig, MonitorReport, MonitorSink, VecSink};
 
@@ -36,6 +38,12 @@ pub struct CampaignAnalysis {
     /// Runtime-telemetry snapshot over every repetition (source
     /// `"sim"`): rep counts, event/send totals, per-rep distributions.
     pub telemetry: TelemetrySnapshot,
+    /// Health events from replaying each repetition's counter deltas
+    /// through the [`HealthEngine`] as one synthetic one-second window
+    /// per repetition (deterministic — no wall clock involved). Empty
+    /// for a healthy campaign; anomalies land in the manifest's
+    /// `health` block.
+    pub health: Vec<HealthEvent>,
 }
 
 /// Run every repetition of `campaign` under an event sink and analyze
@@ -55,6 +63,9 @@ pub fn analyze_campaign(campaign: &Campaign) -> Result<CampaignAnalysis, Campaig
     let mut reps = Vec::with_capacity(campaign.reps as usize);
     let mut monitor = MonitorReport::default();
     let mut waste = WasteReport::default();
+    let mut engine = HealthEngine::new(HealthConfig::default());
+    let mut health = Vec::new();
+    let mut prev_snap = hub.snapshot().with_source("sim");
     for i in 0..campaign.reps {
         let plan = campaign.fault_plan(i)?;
         let mut sink = VecSink::new();
@@ -67,6 +78,16 @@ pub fn analyze_campaign(campaign: &Campaign) -> Result<CampaignAnalysis, Campaig
         monitor.absorb(MonitorSink::check(&sink.events, &mcfg), i);
         waste.add(&WasteReport::from_events(&sink.events, plan.mask()));
         records.push(record);
+        let next_snap = hub.snapshot().with_source("sim");
+        let t_ms = (u64::from(i) + 1) * 1_000;
+        health.extend(engine.observe(&SeriesSample::between(
+            &prev_snap,
+            &next_snap,
+            u64::from(i),
+            t_ms,
+            1_000,
+        )));
+        prev_snap = next_snap;
     }
     Ok(CampaignAnalysis {
         records,
@@ -74,6 +95,7 @@ pub fn analyze_campaign(campaign: &Campaign) -> Result<CampaignAnalysis, Campaig
         monitor,
         waste,
         telemetry: hub.snapshot().with_source("sim"),
+        health,
     })
 }
 
@@ -98,8 +120,8 @@ impl CampaignAnalysis {
 
     /// The JSON analysis block figure binaries embed in their run
     /// manifests: the aggregate summary, interpolated completion
-    /// percentiles, the invariant-monitor attestation and the waste
-    /// accounting.
+    /// percentiles, the invariant-monitor attestation, the waste
+    /// accounting and the per-repetition health verdicts.
     pub fn analysis_json(&self) -> String {
         let h = self.completion_histogram();
         let mut obj = JsonObject::new();
@@ -115,6 +137,15 @@ impl CampaignAnalysis {
         mon.field_u64("reps", u64::from(self.monitor.reps));
         obj.field_raw("monitor", &mon.finish());
         obj.field_raw("waste", &self.waste.to_json());
+        let mut health = String::from("[");
+        for (i, e) in self.health.iter().enumerate() {
+            if i > 0 {
+                health.push(',');
+            }
+            health.push_str(&e.to_json());
+        }
+        health.push(']');
+        obj.field_raw("health", &health);
         obj.finish()
     }
 
@@ -218,6 +249,10 @@ mod tests {
         let json = ca.analysis_json();
         assert!(json.contains(r#""monitor":{"violations":0,"#), "{json}");
         assert!(json.contains(r#""waste":{"sends":"#), "{json}");
+        // A healthy sim campaign trips no health rules, but the block
+        // must still be stamped so manifests are self-describing.
+        assert!(ca.health.is_empty(), "{:?}", ca.health);
+        assert!(json.ends_with(r#""health":[]}"#), "{json}");
         let snap = ca.bench_snapshot("unit", &c);
         assert_eq!(snap.metrics["monitor_violations"], 0.0);
     }

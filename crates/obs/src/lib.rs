@@ -32,6 +32,15 @@
 //! * [`flight`] — [`FlightRecorder`], the always-on black box: bounded
 //!   per-worker rings of recent scheduler/mailbox/timer events, frozen
 //!   and dumped into `ct-postmortem-v1` bundles on stall or panic.
+//! * [`series`] — [`Sampler`] and the `ct-series-v1` time-series ring:
+//!   a background thread turning hub snapshots into per-window deltas
+//!   behind `ct serve`, `ct monitor` and `ct top`.
+//! * [`health`] — [`HealthEngine`], per-window anomaly rules (stall
+//!   precursor, spill spike, run-queue saturation, busy imbalance,
+//!   timer-cascade storm) producing structured [`HealthEvent`]s.
+//! * [`http`] — [`HttpServer`], a minimal hand-rolled HTTP/1.1 server
+//!   exposing `/metrics`, `/series.jsonl` and `/health` to a real
+//!   Prometheus scraper.
 //! * [`json`] — the tiny hand-rolled JSON writer backing all of the
 //!   above (deterministic field order, no serde).
 
@@ -41,18 +50,24 @@
 pub mod chrome;
 pub mod event;
 pub mod flight;
+pub mod health;
+pub mod http;
 pub mod json;
 pub mod manifest;
 pub mod metrics;
 pub mod monitor;
+pub mod series;
 pub mod sink;
 pub mod telemetry;
 
 pub use chrome::chrome_trace;
 pub use event::{Event, EventKind};
 pub use flight::{FlightDump, FlightKind, FlightRecord, FlightRecorder};
+pub use health::{HealthConfig, HealthEngine, HealthEvent, Severity};
+pub use http::{monitor_handler, HttpServer, Response};
 pub use manifest::RunManifest;
 pub use metrics::{Histogram, MetricsRegistry};
 pub use monitor::{Invariant, MonitorConfig, MonitorReport, MonitorSink, Violation};
+pub use series::{Sampler, SeriesRing, SeriesSample, SeriesStore};
 pub use sink::{EventSink, JsonlSink, MetricsSink, NullSink, VecSink};
 pub use telemetry::{TelemetryHub, TelemetrySnapshot};

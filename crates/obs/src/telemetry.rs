@@ -320,6 +320,13 @@ pub struct TelemetryHub {
     runq_depth: AtomicU64,
     /// Last sampled pending-timer count.
     timers_pending: AtomicU64,
+    /// 1 while a broadcast iteration is installed, 0 between
+    /// iterations.
+    iter_active: AtomicU64,
+    /// Live (non-dead) ranks of the current iteration.
+    iter_live: AtomicU64,
+    /// Live ranks colored so far in the current iteration.
+    iter_colored: AtomicU64,
 }
 
 impl TelemetryHub {
@@ -336,6 +343,9 @@ impl TelemetryHub {
             rank_hwm: (0..ranks).map(|_| AtomicU64::new(0)).collect(),
             runq_depth: AtomicU64::new(0),
             timers_pending: AtomicU64::new(0),
+            iter_active: AtomicU64::new(0),
+            iter_live: AtomicU64::new(0),
+            iter_colored: AtomicU64::new(0),
         }
     }
 
@@ -392,6 +402,21 @@ impl TelemetryHub {
         self.timers_pending.store(pending, Ordering::Relaxed);
     }
 
+    /// Publish whether a broadcast iteration is currently installed.
+    /// Together with [`TelemetryHub::set_iter_progress`] this lets a
+    /// background sampler see coloring progress (the `iter.*` gauges)
+    /// without touching any scheduler structure.
+    pub fn set_iter_active(&self, active: bool) {
+        self.iter_active.store(u64::from(active), Ordering::Relaxed);
+    }
+
+    /// Publish the current iteration's live-rank total and how many of
+    /// them are colored so far.
+    pub fn set_iter_progress(&self, live: u64, colored: u64) {
+        self.iter_live.store(live, Ordering::Relaxed);
+        self.iter_colored.store(colored, Ordering::Relaxed);
+    }
+
     /// Current value of `counter` summed across all shards.
     pub fn counter_total(&self, counter: Counter) -> u64 {
         self.shards
@@ -433,6 +458,18 @@ impl TelemetryHub {
             histograms.insert(d.name().to_owned(), merged);
         }
         let mut gauges = BTreeMap::new();
+        gauges.insert(
+            "iter.active".to_owned(),
+            self.iter_active.load(Ordering::Relaxed),
+        );
+        gauges.insert(
+            "iter.colored".to_owned(),
+            self.iter_colored.load(Ordering::Relaxed),
+        );
+        gauges.insert(
+            "iter.live".to_owned(),
+            self.iter_live.load(Ordering::Relaxed),
+        );
         gauges.insert(
             "runq.depth".to_owned(),
             self.runq_depth.load(Ordering::Relaxed),
@@ -498,8 +535,9 @@ pub struct TelemetrySnapshot {
     pub ranks: u64,
     /// Every [`Counter`], by dotted name, summed across shards.
     pub counters: BTreeMap<String, u64>,
-    /// Point-in-time gauges: `runq.depth`, `timers.pending`,
-    /// `mailbox.hwm` (max over ranks).
+    /// Point-in-time gauges: `iter.active`, `iter.colored`,
+    /// `iter.live`, `runq.depth`, `timers.pending`, `mailbox.hwm`
+    /// (max over ranks).
     pub gauges: BTreeMap<String, u64>,
     /// Every [`Dist`], by dotted name, merged across shards.
     pub histograms: BTreeMap<String, Histogram>,
@@ -658,6 +696,9 @@ fn dist_help(name: &str) -> Option<&'static str> {
 /// `# HELP` text for a gauge name.
 fn gauge_help(name: &str) -> Option<&'static str> {
     match name {
+        "iter.active" => Some("1 while a broadcast iteration is installed, 0 between."),
+        "iter.colored" => Some("Live ranks colored so far in the current iteration."),
+        "iter.live" => Some("Live (non-dead) ranks of the current iteration."),
         "runq.depth" => Some("Run-queue depth at snapshot time."),
         "timers.pending" => Some("Pending timer-wheel entries at snapshot time."),
         "mailbox.hwm" => Some("Highest mailbox occupancy seen on any rank."),

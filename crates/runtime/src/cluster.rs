@@ -38,6 +38,8 @@ use ct_core::protocol::{BuildCtx, Process, ProtocolError, ProtocolFactory, SendP
 use ct_logp::{LogP, Rank, Time};
 use ct_obs::event::phases;
 use ct_obs::flight::{FlightKind as Fk, FlightRecorder, NO_RANK};
+use ct_obs::health::{HealthConfig, HealthEvent};
+use ct_obs::series::{Sampler, SeriesStore, DEFAULT_SERIES_CAP};
 use ct_obs::telemetry::{Counter as Tc, Dist as Td, TelemetryHub};
 use ct_obs::{Event as ObsEvent, EventKind as ObsEventKind, EventSink, NullSink};
 
@@ -135,6 +137,14 @@ pub struct ClusterConfig {
     /// attached; `None` keeps the dump in-memory only
     /// ([`RunReport::postmortem`]).
     pub postmortem: Option<PathBuf>,
+    /// Continuous-sampling interval: with a telemetry hub attached, a
+    /// background [`Sampler`] polls it this often into a `ct-series-v1`
+    /// ring and evaluates the health rules per window
+    /// ([`Cluster::series`], [`RunReport::health`]). `None` (the
+    /// default) spawns no thread — same zero-cost discipline as the
+    /// hub and the recorder. `ct` enables it with the
+    /// `CT_SAMPLE_MS`-driven [`ct_obs::series::default_sample_ms`].
+    pub sample: Option<Duration>,
 }
 
 impl ClusterConfig {
@@ -149,6 +159,7 @@ impl ClusterConfig {
             telemetry: None,
             flight: None,
             postmortem: None,
+            sample: None,
         }
     }
 
@@ -188,6 +199,13 @@ impl ClusterConfig {
     /// a flight recorder attached.
     pub fn postmortem(mut self, path: PathBuf) -> ClusterConfig {
         self.postmortem = Some(path);
+        self
+    }
+
+    /// Enable continuous sampling at `interval` (requires
+    /// [`ClusterConfig::telemetry`] to have any effect).
+    pub fn sample(mut self, interval: Duration) -> ClusterConfig {
+        self.sample = Some(interval);
         self
     }
 }
@@ -259,6 +277,12 @@ pub struct RunReport {
     /// to [`ClusterConfig::postmortem`] when a path is set. `None` on
     /// completed iterations and on runs without a recorder.
     pub postmortem: Option<Postmortem>,
+    /// Health events the continuous sampler fired during this
+    /// iteration ([`ClusterConfig::sample`]); empty without a sampler.
+    /// On a stalled iteration the `stall_precursor` event lands here —
+    /// fired K sample windows into the wedge, well before the watchdog
+    /// gave up.
+    pub health: Vec<HealthEvent>,
 }
 
 /// One in-flight broadcast iteration on a rank.
@@ -370,6 +394,9 @@ pub struct Cluster {
     procs: Vec<Box<dyn Process>>,
     /// Where [`Cluster::capture_postmortem`] writes its dump.
     postmortem_path: Option<PathBuf>,
+    /// Continuous sampler ([`ClusterConfig::sample`]); owns the
+    /// background thread and the shared series store.
+    sampler: Option<Sampler>,
 }
 
 impl Cluster {
@@ -385,6 +412,18 @@ impl Cluster {
         assert!(p >= 1);
         let workers = cfg.threads.clamp(1, p as usize);
         let capacity = cfg.mailbox_capacity.max(1);
+        // The sampler only reads the hub, so it can start before the
+        // workers exist; its clock is the cluster's lifetime.
+        let sampler = match (&cfg.telemetry, cfg.sample) {
+            (Some(hub), Some(interval)) => Some(Sampler::spawn(
+                Arc::clone(hub),
+                "cluster",
+                interval,
+                DEFAULT_SERIES_CAP,
+                HealthConfig::default(),
+            )),
+            _ => None,
+        };
         let ranks = (0..p)
             .map(|_| RankCell {
                 scheduled: AtomicBool::new(false),
@@ -438,7 +477,16 @@ impl Cluster {
             timeout: cfg.timeout,
             procs: Vec::with_capacity(p as usize),
             postmortem_path: cfg.postmortem,
+            sampler,
         }
+    }
+
+    /// The continuous sampler's shared store — the live series ring
+    /// plus health log behind the `/series.jsonl` and `/health`
+    /// endpoints. `None` unless [`ClusterConfig::sample`] and
+    /// [`ClusterConfig::telemetry`] are both set.
+    pub fn series(&self) -> Option<Arc<SeriesStore>> {
+        self.sampler.as_ref().map(Sampler::store)
     }
 
     /// Number of ranks.
@@ -526,6 +574,15 @@ impl Cluster {
         assert_eq!(self.procs.len(), self.p as usize);
 
         let live: u32 = dead.iter().filter(|&&d| !d).count() as u32;
+        // Mark the health log so this iteration's report carries only
+        // events fired from here on; publish the iteration gauges the
+        // stall-precursor rule reads ("iteration installed, these many
+        // live ranks, none colored yet").
+        let health_mark = self.sampler.as_ref().map(|s| s.store().events_len());
+        if let Some(t) = &self.shared.telemetry {
+            t.set_iter_progress(u64::from(live), 0);
+            t.set_iter_active(true);
+        }
         // The iteration epoch: zero point of event timestamps AND of
         // the latency measurement, taken before any rank is installed
         // so the two clocks agree.
@@ -597,6 +654,11 @@ impl Cluster {
                             colored_count += 1;
                         }
                     }
+                    // One relaxed store per coordinator batch keeps the
+                    // progress gauge fresh for the sampler.
+                    if let Some(t) = &self.shared.telemetry {
+                        t.set_iter_progress(u64::from(live), u64::from(colored_count));
+                    }
                 }
                 Ok(_) => {} // stale notification from a previous iteration
                 Err(RecvTimeoutError::Timeout) => break,
@@ -633,6 +695,18 @@ impl Cluster {
                 self.shared.now_us(),
             );
         }
+        // The iteration is over (one way or the other): retire the
+        // gauges — after the postmortem capture, so a stalled run's
+        // final samples still describe the wedge — and harvest the
+        // events this iteration fired.
+        if let Some(t) = &self.shared.telemetry {
+            t.set_iter_progress(u64::from(live), u64::from(colored_count));
+            t.set_iter_active(false);
+        }
+        let health = match (&self.sampler, health_mark) {
+            (Some(s), Some(mark)) => s.store().events_from(mark),
+            _ => Vec::new(),
+        };
 
         // Tear down: reclaim each rank's protocol slot and harvest its
         // message count and event buffer directly. Locking the state
@@ -712,6 +786,7 @@ impl Cluster {
             completed,
             stall,
             postmortem,
+            health,
         })
     }
 
@@ -783,8 +858,9 @@ impl Cluster {
     /// Freeze the flight recorder and bundle a [`Postmortem`]: the
     /// given `reason` (`watchdog_stall`, `worker_panic`,
     /// `monitor_violation`), the stall report when the failure was a
-    /// stall, a telemetry snapshot when a hub is attached, and the
-    /// frozen rings. Written to [`ClusterConfig::postmortem`] when a
+    /// stall, a telemetry snapshot when a hub is attached, the health
+    /// precursor timeline when a sampler is attached, and the frozen
+    /// rings. Written to [`ClusterConfig::postmortem`] when a
     /// path is configured. Returns `None` without a flight recorder
     /// ([`ClusterConfig::flight`]); recording never resumes afterwards
     /// — the black box keeps the crash evidence for the process
@@ -805,6 +881,14 @@ impl Cluster {
                 .telemetry
                 .as_ref()
                 .map(|hub| hub.snapshot().with_source("cluster")),
+            // The precursor timeline: everything the health engine
+            // fired over this cluster's lifetime, stall precursors
+            // included — fired windows before the watchdog gave up.
+            health: self
+                .sampler
+                .as_ref()
+                .map(|s| s.store().events())
+                .unwrap_or_default(),
             flight: recorder.dump(),
         };
         if let Some(path) = &self.postmortem_path {

@@ -14,6 +14,7 @@
 use std::path::Path;
 
 use ct_obs::flight::{FlightDump, FlightRecord, NO_RANK};
+use ct_obs::health::HealthEvent;
 use ct_obs::json::JsonObject;
 use ct_obs::TelemetrySnapshot;
 
@@ -47,6 +48,11 @@ pub struct Postmortem {
     pub stall: Option<StallReport>,
     /// Counter-hub snapshot at capture time, when a hub was attached.
     pub telemetry: Option<TelemetrySnapshot>,
+    /// Precursor timeline: every health event the continuous sampler
+    /// fired before the capture (empty without a sampler). On a stall
+    /// this is where the `stall_precursor` event shows the wedge was
+    /// visible windows before the watchdog expired.
+    pub health: Vec<HealthEvent>,
     /// The frozen flight-recorder rings.
     pub flight: FlightDump,
 }
@@ -87,6 +93,15 @@ impl Postmortem {
             Some(t) => obj.field_raw("telemetry", &t.to_json()),
             None => obj.field_null("telemetry"),
         };
+        let mut health = String::from("[");
+        for (i, e) in self.health.iter().enumerate() {
+            if i > 0 {
+                health.push(',');
+            }
+            health.push_str(&e.to_json());
+        }
+        health.push(']');
+        obj.field_raw("health", &health);
         obj.field_raw("flight", &self.flight.to_json());
         let mut tail = String::from("[");
         for (i, (shard, r)) in self.flight.merged_tail(TAIL_MAX).iter().enumerate() {
@@ -188,6 +203,7 @@ mod tests {
             p: 8,
             stall: Some(stall()),
             telemetry: None,
+            health: Vec::new(),
             flight: dump(),
         };
         let json = pm.to_json();
@@ -214,6 +230,7 @@ mod tests {
             p: 8,
             stall: Some(stall()),
             telemetry: None,
+            health: Vec::new(),
             flight: dump(),
         };
         assert_eq!(pm.focus_ranks(), vec![3]);
@@ -226,6 +243,7 @@ mod tests {
             p: 8,
             stall: None,
             telemetry: None,
+            health: Vec::new(),
             flight: dump(),
         };
         assert_eq!(pm.focus_ranks(), vec![3, 5]);
@@ -238,6 +256,7 @@ mod tests {
             p: 8,
             stall: Some(stall()),
             telemetry: None,
+            health: Vec::new(),
             flight: dump(),
         };
         let json = pm.to_json();

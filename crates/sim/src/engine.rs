@@ -22,6 +22,8 @@ use ct_core::protocol::{BuildCtx, Payload, Process, ProtocolError, ProtocolFacto
 use ct_logp::{LogP, Rank, Time};
 use ct_obs::event::phases;
 use ct_obs::flight::{FlightKind, FlightRecorder, NO_RANK};
+use ct_obs::health::HealthConfig;
+use ct_obs::series::{Sampler, SeriesStore, DEFAULT_SERIES_CAP};
 use ct_obs::telemetry::TelemetryHub;
 use ct_obs::{Event as ObsEvent, EventKind as ObsEventKind, EventSink, NullSink, VecSink};
 
@@ -109,6 +111,10 @@ pub struct Simulation {
     max_events: u64,
     telemetry: Option<Arc<TelemetryHub>>,
     flight: Option<Arc<FlightRecorder>>,
+    /// Continuous sampler over the attached hub (`Arc` because
+    /// `Simulation` is `Clone`; the thread stops when the last clone
+    /// drops).
+    sampler: Option<Arc<Sampler>>,
 }
 
 /// Builder for [`Simulation`].
@@ -122,6 +128,7 @@ pub struct SimulationBuilder {
     max_events: u64,
     telemetry: Option<Arc<TelemetryHub>>,
     flight: Option<Arc<FlightRecorder>>,
+    sample: Option<std::time::Duration>,
 }
 
 impl Simulation {
@@ -136,7 +143,14 @@ impl Simulation {
             max_events: DEFAULT_MAX_EVENTS,
             telemetry: None,
             flight: None,
+            sample: None,
         }
+    }
+
+    /// The continuous sampler's shared store ([`SimulationBuilder::sample`]);
+    /// `None` unless both `telemetry` and `sample` were configured.
+    pub fn series(&self) -> Option<Arc<SeriesStore>> {
+        self.sampler.as_ref().map(|s| s.store())
     }
 
     /// The LogP parameters in use.
@@ -550,9 +564,31 @@ impl SimulationBuilder {
         self
     }
 
-    /// Finalize.
+    /// Continuously sample the attached telemetry hub every `interval`
+    /// into a `ct-series-v1` ring, evaluating the health rules per
+    /// window (default off; requires [`SimulationBuilder::telemetry`]
+    /// to have any effect). The sampler is a pure observer on its own
+    /// thread — outcomes and traces are bit-identical with sampling on
+    /// or off.
+    pub fn sample(mut self, interval: std::time::Duration) -> Self {
+        self.sample = Some(interval);
+        self
+    }
+
+    /// Finalize. When both a telemetry hub and a sampling interval are
+    /// configured, this spawns the background sampler thread.
     pub fn build(self) -> Simulation {
         let faults = self.faults.unwrap_or_else(|| FaultPlan::none(self.p));
+        let sampler = match (&self.telemetry, self.sample) {
+            (Some(hub), Some(interval)) => Some(Arc::new(Sampler::spawn(
+                Arc::clone(hub),
+                "sim",
+                interval,
+                DEFAULT_SERIES_CAP,
+                HealthConfig::default(),
+            ))),
+            _ => None,
+        };
         Simulation {
             p: self.p,
             logp: self.logp,
@@ -562,6 +598,7 @@ impl SimulationBuilder {
             max_events: self.max_events,
             telemetry: self.telemetry,
             flight: self.flight,
+            sampler,
         }
     }
 }

@@ -21,13 +21,15 @@ use std::sync::Arc;
 use corrected_trees::analysis::Summary;
 use corrected_trees::analyze::{
     analyze_forensics, analyze_trace, infer_p, parse_jsonl, split_reps, AnalysisSummary,
-    AnalyzeConfig, BenchSnapshot, PerfDiff, PostmortemReport, SchedulerSummary,
+    AnalyzeConfig, BenchSnapshot, PerfDiff, PostmortemReport, SchedulerSummary, SeriesSummary,
 };
 use corrected_trees::core::correction::CorrectionKind;
 use corrected_trees::core::protocol::{BroadcastSpec, Payload, ProtocolFactory};
 use corrected_trees::core::tree::{interleaving, stats, Ordering, Topology, TreeKind};
 use corrected_trees::exp::{analyze_campaign, Campaign, FaultSpec, Variant};
 use corrected_trees::logp::LogP;
+use corrected_trees::obs::http::{http_get, monitor_handler, HttpServer};
+use corrected_trees::obs::series::{default_sample_ms, SeriesSample, SeriesStore};
 use corrected_trees::obs::telemetry::{TelemetryHub, TelemetrySnapshot};
 use corrected_trees::obs::{
     chrome_trace, Event, EventKind, MonitorConfig, MonitorSink, RunManifest, VecSink,
@@ -37,7 +39,7 @@ use corrected_trees::sim::{FaultPlan, Simulation, Trace};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: ct <run|tree|sweep|trace|analyze|check|forensics|perf|stats|top|postmortem> [options]\n\
+        "usage: ct <run|tree|sweep|trace|analyze|check|forensics|perf|stats|top|serve|monitor|postmortem> [options]\n\
          \n\
          common options:\n\
            --tree <binomial|binomial-inorder|kary<K>|lame<K>|optimal>  (default binomial)\n\
@@ -64,11 +66,14 @@ fn usage() -> ! {
          analyze options (all run options, or --input to read a trace):\n\
            --input <trace.jsonl>   analyze a recorded JSONL trace instead\n\
                                    of running the simulator\n\
-           --view <summary|critical-path|utilization|scheduler|postmortem>\n\
+           --view <summary|critical-path|utilization|scheduler|postmortem|series>\n\
                                    (default summary; scheduler reads a\n\
                                    ct-telemetry-v1 snapshot from --input,\n\
                                    e.g. one written by ct stats; postmortem\n\
-                                   reads a ct-postmortem-v1 dump from --input)\n\
+                                   reads a ct-postmortem-v1 dump from --input;\n\
+                                   series reads a ct-series-v1 JSONL export\n\
+                                   from --input, e.g. one written by ct serve\n\
+                                   or ct stats --runtime --series)\n\
            --ranks <a,b,c>         restrict the utilization view to ranks\n\
            --json                  machine-readable summary output\n\
            --sync-start <T>        enable the Lemma-3 bounds check at\n\
@@ -121,6 +126,10 @@ fn usage() -> ! {
            --output <FILE>         write to FILE instead of stdout\n\
            --postmortem <FILE>     flight-recorder dump path for --runtime\n\
                                    stalls (default ct-postmortem.json)\n\
+           --series <FILE>         write the continuous sampler's\n\
+                                   ct-series-v1 JSONL export (--runtime\n\
+                                   only; sampling is always on there, at\n\
+                                   the CT_SAMPLE_MS interval)\n\
            stalled cluster iterations print their stall report to stderr\n\
            exit status: 0 clean, 1 any cluster iteration stalled,\n\
            2 usage/I-O error (the snapshot is emitted either way)\n\
@@ -128,20 +137,47 @@ fn usage() -> ! {
            ct top [run options] [--iters I] [--interval-ms MS]\n\
            --iters <I>             broadcasts to run (default 50)\n\
            --interval-ms <MS>      hub polling interval (default 500)\n\
+           --listen <ADDR>         also serve GET /metrics, /series.jsonl\n\
+                                   and /health while the campaign runs\n\
            --postmortem <FILE>     flight-recorder dump path for stalls\n\
                                    (default ct-postmortem.json)\n\
            exit status: 0 all broadcasts completed, 1 any incomplete,\n\
            2 usage/I-O error (the final summary is printed either way)\n\
+         serve options (cluster campaign + HTTP monitoring endpoint):\n\
+           ct serve [run options] [--iters I] [--listen ADDR]\n\
+           --listen <ADDR>         bind address (default 127.0.0.1:9184)\n\
+           --iters <I>             broadcasts to run (default 50)\n\
+           --linger-ms <MS>        keep serving that long after the\n\
+                                   campaign finishes (default 0)\n\
+           --series <FILE>         write the ct-series-v1 JSONL export\n\
+                                   on exit\n\
+           --postmortem <FILE>     flight-recorder dump path for stalls\n\
+                                   (default ct-postmortem.json)\n\
+           routes: GET /metrics (Prometheus text exposition),\n\
+                   /series.jsonl (sampler ring), /health (JSON; 503\n\
+                   while a critical health rule is active)\n\
+           exit status: 0 all broadcasts completed, 1 any incomplete,\n\
+           2 usage/I-O error\n\
+         monitor options (follow or replay a continuous series):\n\
+           ct monitor --input <series.jsonl>     replay a recorded export\n\
+           ct monitor --connect <ADDR> [--interval-ms MS]\n\
+                                   follow a ct serve / ct top --listen\n\
+                                   endpoint until it goes away (poll\n\
+                                   interval default 1000 ms)\n\
+           prints one line per sample window (delivery/coloring rates,\n\
+           queue gauges, delivery sparkline) and every health event\n\
          postmortem options (render a flight-recorder dump):\n\
            ct postmortem <dump.json> [--json]\n\
            renders the per-stranded-rank causal reconstruction (last\n\
            poll, last mailbox push and its sender, pending timers) from\n\
            a ct-postmortem-v1 dump written on watchdog stall, worker\n\
            panic, or monitor violation; --json echoes the validated dump\n\
-         env: CT_THREADS, CT_MAILBOX_CAP, CT_WATCHDOG_MS (watchdog\n\
-         timeout in ms, default 30000), CT_FLIGHT_CAP (flight-recorder\n\
-         ring capacity per worker, default 4096 records) size the\n\
-         cluster runtime"
+         env (cluster-runtime sizing and sampling):\n\
+           CT_THREADS       worker threads         (default: available cores)\n\
+           CT_MAILBOX_CAP   inline mailbox slots per rank    (default 64)\n\
+           CT_WATCHDOG_MS   stall watchdog timeout in ms     (default 30000)\n\
+           CT_FLIGHT_CAP    flight-recorder records per ring (default 4096)\n\
+           CT_SAMPLE_MS     series sampler interval in ms    (default 250)"
     );
     std::process::exit(2);
 }
@@ -479,6 +515,32 @@ fn cmd_analyze(cli: &Cli) {
         if cli.flag("--json") {
             // Schema-validated round trip of the snapshot itself.
             println!("{}", text.trim_end());
+        } else {
+            print!("{}", summary.render_text());
+        }
+        return;
+    }
+    // Likewise for the series view: it reads a sampler JSONL export,
+    // not an event trace.
+    if cli.value("--view") == Some("series") {
+        let Some(path) = cli.value("--input") else {
+            eprintln!(
+                "--view series requires --input <series.jsonl> (write one with \
+                 ct serve --series or ct stats --runtime --series)"
+            );
+            std::process::exit(2);
+        };
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("{path}: {e}");
+            std::process::exit(2);
+        });
+        let summary = SeriesSummary::from_jsonl(&text).unwrap_or_else(|e| {
+            eprintln!("{path}: {e}");
+            std::process::exit(2);
+        });
+        if cli.flag("--json") {
+            // Schema-validated round trip of the export itself.
+            print!("{text}");
         } else {
             print!("{}", summary.render_text());
         }
@@ -1011,8 +1073,12 @@ fn cmd_stats(cli: &Cli) {
             std::path::PathBuf::from(cli.value("--postmortem").unwrap_or("ct-postmortem.json"));
         let base = ClusterConfig::new();
         let hub = Arc::new(TelemetryHub::new(base.threads, p as usize));
+        // The continuous sampler is always on for runtime stats: its
+        // health rules are exactly the early warning a stalled
+        // iteration needs, and the export lands in --series.
         let cfg = base
             .telemetry(Arc::clone(&hub))
+            .sample(std::time::Duration::from_millis(default_sample_ms()))
             .flight(default_flight_cap())
             .postmortem(pm_path.clone());
         let mut cluster = Cluster::with_config(p, logp, cfg);
@@ -1023,6 +1089,15 @@ fn cmd_stats(cli: &Cli) {
                     eprintln!("cluster run failed: {e}");
                     std::process::exit(2);
                 });
+            for e in &report.health {
+                eprintln!(
+                    "[health {} {} t={}ms] {}",
+                    e.severity.name(),
+                    e.rule,
+                    e.t_ms,
+                    e.message
+                );
+            }
             if let Some(stall) = &report.stall {
                 stalled += 1;
                 eprint!("{}", stall.render_text());
@@ -1030,6 +1105,9 @@ fn cmd_stats(cli: &Cli) {
                     eprintln!("[postmortem {}]", pm_path.display());
                 }
             }
+        }
+        if let Some(path) = cli.value("--series") {
+            write_series(path, cluster.series().as_deref());
         }
         hub.snapshot().with_source("cluster")
     } else {
@@ -1064,66 +1142,87 @@ fn cmd_stats(cli: &Cli) {
     }
 }
 
-/// One frame of the `ct top` dashboard: event rates from counter
-/// deltas, gauges as-is, per-worker utilization from busy-µs deltas.
-fn render_top_frame(
-    snap: &TelemetrySnapshot,
-    prev: &TelemetrySnapshot,
-    dt_secs: f64,
-    clear: bool,
-) -> String {
+/// Write a sampler's `ct-series-v1` JSONL export to `path` (exit 2 on
+/// I/O failure or when sampling was not enabled on the run).
+fn write_series(path: &str, store: Option<&SeriesStore>) {
+    let Some(store) = store else {
+        eprintln!("--series: continuous sampling is not enabled on this run");
+        std::process::exit(2);
+    };
+    if let Err(e) = std::fs::write(path, store.export_jsonl()) {
+        eprintln!("could not write {path}: {e}");
+        std::process::exit(2);
+    }
+    println!("[series {path}]");
+}
+
+/// One frame of the `ct top` dashboard, rendered from one sample
+/// window (counter deltas over a monotonic interval — the same math
+/// the continuous sampler uses) plus the cumulative snapshot behind
+/// it.
+fn render_top_frame(sample: &SeriesSample, totals: &TelemetrySnapshot, clear: bool) -> String {
     use core::fmt::Write as _;
     let mut out = String::new();
     if clear {
         out.push_str("\x1b[2J\x1b[H");
     }
-    let rate = |name: &str| {
-        let d = snap.counter(name).saturating_sub(prev.counter(name));
-        d as f64 / dt_secs.max(1e-9)
-    };
-    let gauge = |name: &str| snap.gauges.get(name).copied().unwrap_or(0);
     let _ = writeln!(
         out,
         "ct top — source={} workers={} ranks={}",
-        snap.source, snap.workers, snap.ranks
+        sample.source, sample.workers, sample.ranks
     );
     let _ = writeln!(
         out,
         "  rates/s: quanta {:.0} | batches {:.0} | delivered {:.0} | colored {:.0} | timer fires {:.0}",
-        rate("sched.quanta"),
-        rate("sched.batches"),
-        rate("msgs.delivered"),
-        rate("coord.colored"),
-        rate("timer.fires"),
+        sample.rate("sched.quanta"),
+        sample.rate("sched.batches"),
+        sample.rate("msgs.delivered"),
+        sample.rate("coord.colored"),
+        sample.rate("timer.fires"),
     );
     let _ = writeln!(
         out,
         "  queues: runq {} | pending timers {} | mailbox hwm {} | spills {} | stale quanta {} | rechecks {}",
-        gauge("runq.depth"),
-        gauge("timers.pending"),
-        gauge("mailbox.hwm"),
-        snap.counter("mailbox.spills"),
-        snap.counter("sched.stale_quanta"),
-        snap.counter("sched.lost_wakeup_rechecks"),
+        sample.gauge("runq.depth"),
+        sample.gauge("timers.pending"),
+        sample.gauge("mailbox.hwm"),
+        totals.counter("mailbox.spills"),
+        totals.counter("sched.stale_quanta"),
+        totals.counter("sched.lost_wakeup_rechecks"),
     );
-    for (w, counters) in snap.per_worker.iter().enumerate() {
-        let busy = counters.get("sched.busy_us").copied().unwrap_or(0);
-        let prev_busy = prev
-            .per_worker
-            .get(w)
-            .and_then(|c| c.get("sched.busy_us"))
-            .copied()
-            .unwrap_or(0);
-        let frac = (busy.saturating_sub(prev_busy) as f64 / (dt_secs.max(1e-9) * 1e6)).min(1.0);
+    let dt_us = sample.dt_ms.max(1) as f64 * 1e3;
+    for (w, busy_us) in sample.worker_busy_us.iter().enumerate() {
+        let frac = (*busy_us as f64 / dt_us).min(1.0);
         let bar = "#".repeat((frac * 40.0).round() as usize);
         let _ = writeln!(out, "  worker {w:>3}  busy {:>5.1}%  {bar}", frac * 100.0);
     }
     out
 }
 
+/// Bind the monitoring endpoint over `hub` (and the sampler store,
+/// when sampling is on). Exits 2 when the address is unusable.
+fn spawn_monitor_server(
+    addr: &str,
+    hub: Arc<TelemetryHub>,
+    store: Option<Arc<SeriesStore>>,
+) -> HttpServer {
+    let server =
+        HttpServer::spawn(addr, monitor_handler(hub, "cluster", store)).unwrap_or_else(|e| {
+            eprintln!("could not bind {addr}: {e}");
+            std::process::exit(2);
+        });
+    println!(
+        "[serving http://{} — GET /metrics /series.jsonl /health]",
+        server.addr()
+    );
+    server
+}
+
 /// `ct top` — run a cluster broadcast campaign on a background thread
-/// and poll the telemetry hub live at `--interval-ms`, then print the
-/// final scheduler summary.
+/// and poll the telemetry hub live at `--interval-ms` (each frame is a
+/// [`SeriesSample`] window over a monotonic clock), then print the
+/// final scheduler summary. With `--listen` the hub is also exposed
+/// over HTTP while the campaign runs.
 fn cmd_top(cli: &Cli) {
     use std::io::IsTerminal as _;
 
@@ -1143,10 +1242,15 @@ fn cmd_top(cli: &Cli) {
     let hub = Arc::new(TelemetryHub::new(base.threads, p as usize));
     let cfg = base
         .telemetry(Arc::clone(&hub))
+        .sample(std::time::Duration::from_millis(default_sample_ms()))
         .flight(default_flight_cap())
         .postmortem(pm_path.clone());
+    let mut cluster = Cluster::with_config(p, logp, cfg);
+    let store = cluster.series();
+    let _server = cli
+        .value("--listen")
+        .map(|addr| spawn_monitor_server(addr, Arc::clone(&hub), store.clone()));
     let campaign = std::thread::spawn(move || {
-        let mut cluster = Cluster::with_config(p, logp, cfg);
         let mut incomplete = 0u32;
         for i in 0..iters {
             let report = cluster
@@ -1168,23 +1272,33 @@ fn cmd_top(cli: &Cli) {
         incomplete
     });
     let clear = std::io::stdout().is_terminal();
+    let started = std::time::Instant::now();
     let mut prev = hub.snapshot().with_source("cluster");
-    let mut prev_at = std::time::Instant::now();
+    let mut prev_ms = 0u64;
+    let mut seq = 0u64;
+    let mut health_mark = 0usize;
     while !campaign.is_finished() {
         std::thread::sleep(std::time::Duration::from_millis(interval_ms.max(10)));
         let snap = hub.snapshot().with_source("cluster");
-        let now = std::time::Instant::now();
-        print!(
-            "{}",
-            render_top_frame(
-                &snap,
-                &prev,
-                now.duration_since(prev_at).as_secs_f64(),
-                clear
-            )
-        );
+        let t_ms = started.elapsed().as_millis() as u64;
+        let sample = SeriesSample::between(&prev, &snap, seq, t_ms, t_ms.saturating_sub(prev_ms));
+        print!("{}", render_top_frame(&sample, &snap, clear));
+        if let Some(s) = &store {
+            let fired = s.events_from(health_mark);
+            health_mark += fired.len();
+            for e in &fired {
+                println!(
+                    "  [health {} {} t={}ms] {}",
+                    e.severity.name(),
+                    e.rule,
+                    e.t_ms,
+                    e.message
+                );
+            }
+        }
         prev = snap;
-        prev_at = now;
+        prev_ms = t_ms;
+        seq += 1;
     }
     let incomplete = campaign.join().unwrap_or_else(|_| {
         eprintln!("campaign thread panicked");
@@ -1200,6 +1314,228 @@ fn cmd_top(cli: &Cli) {
     if incomplete > 0 {
         std::process::exit(1);
     }
+}
+
+/// `ct serve` — run a cluster broadcast campaign with continuous
+/// sampling on, exposing `GET /metrics`, `/series.jsonl` and `/health`
+/// over a tiny built-in HTTP server while it runs (and `--linger-ms`
+/// longer, so scrapers can collect the final state).
+fn cmd_serve(cli: &Cli) {
+    let logp: LogP = cli
+        .value("--logp")
+        .map(|s| s.parse().expect("valid LogP string"))
+        .unwrap_or(LogP::PAPER);
+    let p: u32 = cli.parsed("--p", 64);
+    let iters: u32 = cli.parsed("--iters", 50);
+    let linger_ms: u64 = cli.parsed("--linger-ms", 0);
+    let seed: u64 = cli.parsed("--seed", 1);
+    let spec = build_spec(cli);
+    let mask = dead_mask(cli, p, seed, spec.root);
+    let pm_path =
+        std::path::PathBuf::from(cli.value("--postmortem").unwrap_or("ct-postmortem.json"));
+    let base = ClusterConfig::new();
+    let hub = Arc::new(TelemetryHub::new(base.threads, p as usize));
+    let cfg = base
+        .telemetry(Arc::clone(&hub))
+        .sample(std::time::Duration::from_millis(default_sample_ms()))
+        .flight(default_flight_cap())
+        .postmortem(pm_path.clone());
+    let mut cluster = Cluster::with_config(p, logp, cfg);
+    let store = cluster.series();
+    let _server = spawn_monitor_server(
+        cli.value("--listen").unwrap_or("127.0.0.1:9184"),
+        Arc::clone(&hub),
+        store.clone(),
+    );
+    let mut incomplete = 0u32;
+    let mut health_mark = 0usize;
+    for i in 0..iters {
+        let report = cluster
+            .run_broadcast(&spec, &mask, seed + u64::from(i))
+            .unwrap_or_else(|e| {
+                eprintln!("cluster run failed: {e}");
+                std::process::exit(2);
+            });
+        if let Some(s) = &store {
+            let fired = s.events_from(health_mark);
+            health_mark += fired.len();
+            for e in &fired {
+                eprintln!(
+                    "[health {} {} t={}ms] {}",
+                    e.severity.name(),
+                    e.rule,
+                    e.t_ms,
+                    e.message
+                );
+            }
+        }
+        if !report.completed {
+            incomplete += 1;
+            if let Some(stall) = &report.stall {
+                eprint!("{}", stall.render_text());
+            }
+            if report.postmortem.is_some() {
+                eprintln!("[postmortem {}]", pm_path.display());
+            }
+        }
+    }
+    if linger_ms > 0 {
+        std::thread::sleep(std::time::Duration::from_millis(linger_ms));
+    }
+    if let Some(path) = cli.value("--series") {
+        write_series(path, store.as_deref());
+    }
+    println!("campaign done: {iters} broadcasts, {incomplete} incomplete");
+    if incomplete > 0 {
+        std::process::exit(1);
+    }
+}
+
+/// Glyph ramp for the monitor sparkline (space = idle).
+const SPARK: [char; 9] = [' ', '▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+
+/// Sparkline over the trailing delivery rates, scaled to their max.
+fn sparkline(rates: &[f64]) -> String {
+    let max = rates.iter().fold(0.0f64, |a, &b| a.max(b));
+    rates
+        .iter()
+        .map(|&r| {
+            if max <= 0.0 {
+                SPARK[0]
+            } else {
+                let idx = ((r / max) * (SPARK.len() - 1) as f64).round() as usize;
+                SPARK[idx.min(SPARK.len() - 1)]
+            }
+        })
+        .collect()
+}
+
+/// One `ct monitor` line per sample window: delivery/coloring rates,
+/// queue gauges and a sparkline of the trailing delivery rates.
+fn monitor_line(sample: &SeriesSample, trail: &[f64]) -> String {
+    format!(
+        "[{:>8} ms] delivered {:>8.1}/s colored {:>7.1}/s | runq {} timers {} spills {} | {}",
+        sample.t_ms,
+        sample.rate("msgs.delivered"),
+        sample.rate("coord.colored"),
+        sample.gauge("runq.depth"),
+        sample.gauge("timers.pending"),
+        sample.delta("mailbox.spills"),
+        sparkline(trail),
+    )
+}
+
+/// How many trailing windows the monitor sparkline covers.
+const SPARK_WINDOWS: usize = 30;
+
+/// `ct monitor` — follow a live `ct serve` / `ct top --listen`
+/// endpoint (`--connect`) or replay a recorded `ct-series-v1` export
+/// (`--input`): one line per sample window plus every health event,
+/// then the series summary.
+fn cmd_monitor(cli: &Cli) {
+    let text = match (cli.value("--input"), cli.value("--connect")) {
+        (Some(path), None) => std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("{path}: {e}");
+            std::process::exit(2);
+        }),
+        (None, Some(addr)) => follow(cli, addr),
+        _ => {
+            eprintln!("ct monitor needs exactly one of --input <series.jsonl> / --connect <ADDR>");
+            std::process::exit(2);
+        }
+    };
+    let summary = SeriesSummary::from_jsonl(&text).unwrap_or_else(|e| {
+        eprintln!("series export: {e}");
+        std::process::exit(2);
+    });
+    // Replay: interleave sample lines and health events in time order,
+    // exactly as a live follow would have printed them.
+    if cli.value("--input").is_some() {
+        let mut trail: Vec<f64> = Vec::new();
+        let mut health = summary.health.iter().peekable();
+        for s in &summary.samples {
+            while health.peek().is_some_and(|e| e.t_ms < s.t_ms) {
+                let e = health.next().unwrap();
+                println!(
+                    "[{:>8} ms] {} {}: {}",
+                    e.t_ms,
+                    e.severity.name().to_uppercase(),
+                    e.rule,
+                    e.message
+                );
+            }
+            trail.push(s.rate("msgs.delivered"));
+            let from = trail.len().saturating_sub(SPARK_WINDOWS);
+            println!("{}", monitor_line(s, &trail[from..]));
+        }
+        for e in health {
+            println!(
+                "[{:>8} ms] {} {}: {}",
+                e.t_ms,
+                e.severity.name().to_uppercase(),
+                e.rule,
+                e.message
+            );
+        }
+    }
+    print!("{}", summary.render_text());
+}
+
+/// The `--connect` loop: poll `/series.jsonl` until the endpoint goes
+/// away, printing windows and health events as they appear; returns
+/// the last export for the final summary. Exits 2 when the very first
+/// request already fails (nothing is listening).
+fn follow(cli: &Cli, addr: &str) -> String {
+    let interval_ms: u64 = cli.parsed("--interval-ms", 1000);
+    let timeout = std::time::Duration::from_secs(2);
+    let mut last = match http_get(addr, "/series.jsonl", timeout) {
+        Ok((200, body)) => body,
+        Ok((status, _)) => {
+            eprintln!("{addr}/series.jsonl: HTTP {status} (is sampling enabled?)");
+            std::process::exit(2);
+        }
+        Err(e) => {
+            eprintln!("{addr}: {e}");
+            std::process::exit(2);
+        }
+    };
+    let mut printed_seq: Option<u64> = None;
+    let mut printed_health = 0usize;
+    let mut trail: Vec<f64> = Vec::new();
+    loop {
+        match SeriesSummary::from_jsonl(&last) {
+            Ok(summary) => {
+                for s in &summary.samples {
+                    if printed_seq.is_some_and(|last| s.seq <= last) {
+                        continue;
+                    }
+                    printed_seq = Some(s.seq);
+                    trail.push(s.rate("msgs.delivered"));
+                    let from = trail.len().saturating_sub(SPARK_WINDOWS);
+                    println!("{}", monitor_line(s, &trail[from..]));
+                }
+                for e in summary.health.iter().skip(printed_health) {
+                    println!(
+                        "[{:>8} ms] {} {}: {}",
+                        e.t_ms,
+                        e.severity.name().to_uppercase(),
+                        e.rule,
+                        e.message
+                    );
+                }
+                printed_health = summary.health.len();
+            }
+            Err(e) => eprintln!("series export: {e}"),
+        }
+        std::thread::sleep(std::time::Duration::from_millis(interval_ms.max(10)));
+        match http_get(addr, "/series.jsonl", timeout) {
+            Ok((200, body)) => last = body,
+            // The serve campaign finished and the endpoint went away:
+            // that's the normal end of a follow.
+            Ok(_) | Err(_) => break,
+        }
+    }
+    last
 }
 
 fn cmd_perf(cli: &Cli) {
@@ -1371,6 +1707,8 @@ fn main() {
         "perf" => cmd_perf(&cli),
         "stats" => cmd_stats(&cli),
         "top" => cmd_top(&cli),
+        "serve" => cmd_serve(&cli),
+        "monitor" => cmd_monitor(&cli),
         "postmortem" => cmd_postmortem(&cli),
         _ => usage(),
     }

@@ -252,6 +252,7 @@ fn golden_postmortem_json() -> String {
         p: 8,
         stall: Some(stall),
         telemetry: Some(hub.snapshot().with_source("cluster")),
+        health: Vec::new(),
         flight: rec.dump(),
     };
     pm.to_json() + "\n"
