@@ -1,9 +1,10 @@
 //! Topology-construction microbenchmarks: the renumbering machinery
-//! that Corrected Trees reduce the problem to (not a paper figure).
+//! that Corrected Trees reduce the problem to (not a paper figure),
+//! plus the CSR construction/traversal paths at simulator scale.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use ct_core::tree::{Ordering, TreeKind};
-use ct_logp::LogP;
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use ct_core::tree::{Ordering, Topology, Tree, TreeKind};
+use ct_logp::{LogP, Rank};
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("topology_construction");
@@ -30,5 +31,37 @@ fn bench(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench);
+/// CSR construction and traversal at the scaling-study sizes
+/// (`P ∈ {2¹², 2¹⁶, 2²⁰}`): full binomial build (shape + preorder
+/// renumber + CSR), `Tree::from_parents` validation/rebuild from a raw
+/// parent array, and a full-tree `subtree_into` DFS through the packed
+/// child array (allocation-free via the thread-local scratch stack).
+fn bench_scale(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tree_construction_scale");
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.sample_size(10);
+    let logp = LogP::PAPER;
+    for exp in [12u32, 16, 20] {
+        let p = 1u32 << exp;
+        let tree = TreeKind::BINOMIAL.build(p, &logp).unwrap();
+        let parent: Vec<Rank> = (0..p).map(|r| tree.parent(r).unwrap_or(0)).collect();
+        group.bench_with_input(BenchmarkId::new("binomial_build", p), &p, |b, &p| {
+            b.iter(|| TreeKind::BINOMIAL.build(p, &logp).unwrap().num_edges())
+        });
+        group.bench_with_input(BenchmarkId::new("from_parents", p), &parent, |b, parent| {
+            b.iter(|| Tree::from_parents(parent.clone()).unwrap().num_edges())
+        });
+        let mut out = Vec::with_capacity(p as usize);
+        group.bench_with_input(BenchmarkId::new("subtree_root", p), &tree, |b, tree| {
+            b.iter(|| {
+                tree.subtree_into(0, &mut out);
+                black_box(out.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench, bench_scale);
 criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Regenerate the scaling study (ROADMAP item 3, not a paper figure):
+//! latency and message counts vs `P` up to `2²⁰` per correction
+//! variant, with the synchronized-checked cells asserted against the
+//! Lemma 2/3 and Corollary 1 closed forms.
+//!
+//! Usage: `fig_scale [--quick] [--min-exp E] [--max-exp E] [--reps N]
+//! [--rate F] [--seed N] [--threads T] [--out DIR]`
+
+use std::time::Instant;
+
+use ct_bench::{emit_with_manifest, Args, RunManifest};
+use ct_exp::{run_scale, ScaleConfig};
+
+fn main() {
+    let args = Args::from_env();
+    let mut cfg = if args.flag("--quick") {
+        ScaleConfig::quick()
+    } else {
+        ScaleConfig::full()
+    };
+    cfg.min_exp = args.get("--min-exp", cfg.min_exp);
+    cfg.max_exp = args.get("--max-exp", cfg.max_exp);
+    cfg.step_exp = args.get("--step-exp", cfg.step_exp);
+    cfg.reps = args.get("--reps", cfg.reps);
+    cfg.rate = args.get("--rate", cfg.rate);
+    cfg.seed0 = args.get("--seed", cfg.seed0);
+    cfg.threads = args.get("--threads", cfg.threads);
+
+    eprintln!(
+        "fig_scale: P=2^{}..2^{}, reps={}, rate={}",
+        cfg.min_exp, cfg.max_exp, cfg.reps, cfg.rate
+    );
+    let t0 = Instant::now();
+    let report = run_scale(&cfg).expect("scale sweep");
+    let max_p = report.cells.iter().map(|c| c.p).max().unwrap_or(0);
+    let manifest = RunManifest::new("fig_scale")
+        .protocol("scc + opp4 (binomial)")
+        .p(max_p)
+        .logp(cfg.logp)
+        .seed(cfg.seed0)
+        .reps(cfg.reps)
+        .faults(format!("chunked rate {}", cfg.rate))
+        .wall_secs(t0.elapsed().as_secs_f64())
+        .with_extra("threads", cfg.threads.to_string())
+        .with_extra("violations", report.violations.len().to_string());
+    emit_with_manifest("fig_scale", &report.to_csv(), &args, manifest);
+    println!(
+        "ns/event at P={max_p}: {:.2}",
+        report.ns_per_event_at(max_p)
+    );
+    for v in &report.violations {
+        eprintln!("VIOLATION: {v}");
+    }
+    assert!(
+        report.violations.is_empty(),
+        "{} repetition(s) escaped the Lemma 2/3 + Corollary 1 closed forms",
+        report.violations.len()
+    );
+}

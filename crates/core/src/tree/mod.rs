@@ -224,8 +224,65 @@ pub trait Topology {
     fn depth(&self, r: Rank) -> u32;
 }
 
+/// Build the CSR child adjacency (offsets + packed child array) of a
+/// parent array via one stable counting sort.
+///
+/// Children are emitted in ascending child-rank order, which is send
+/// order for every builder ([`shape::Shape::attach`] hands out ranks
+/// sequentially) and the documented convention for custom parent arrays
+/// ([`Tree::from_parents`]). No per-rank `Vec` is ever allocated: two
+/// flat arrays, two passes.
+pub(crate) fn csr_children(parent: &[Rank]) -> (Vec<u32>, Vec<Rank>) {
+    let p = parent.len();
+    let mut offsets = vec![0u32; p + 1];
+    // Count children per rank into offsets[q + 1]…
+    for &q in &parent[1..] {
+        offsets[q as usize + 1] += 1;
+    }
+    // …prefix-sum so offsets[q + 1] = end of q's slice = start of q + 1.
+    for i in 0..p {
+        offsets[i + 1] += offsets[i];
+    }
+    // Fill, using offsets[q] (= start of q) as a running cursor. After
+    // the pass offsets[q] holds the *end* of q's slice, i.e. the array
+    // is the final CSR shifted left by one.
+    let mut targets = vec![0 as Rank; p.saturating_sub(1)];
+    for (child, &q) in parent.iter().enumerate().skip(1) {
+        let pos = offsets[q as usize];
+        targets[pos as usize] = child as Rank;
+        offsets[q as usize] = pos + 1;
+    }
+    for i in (1..=p).rev() {
+        offsets[i] = offsets[i - 1];
+    }
+    offsets[0] = 0;
+    (offsets, targets)
+}
+
+std::thread_local! {
+    /// Reusable DFS stack for [`Tree::subtree`], [`Tree::from_parents`]
+    /// and friends — traversals at `P = 2²⁰` must not pay a fresh
+    /// allocation per call.
+    static SCRATCH_STACK: std::cell::RefCell<Vec<Rank>> =
+        const { std::cell::RefCell::new(Vec::new()) };
+}
+
+/// Run `f` with the thread-local scratch stack (cleared on entry).
+/// Falls back to a fresh vector under reentrant use — e.g. a custom
+/// [`Topology`] whose `children` itself traverses a tree.
+pub(crate) fn with_scratch_stack<R>(f: impl FnOnce(&mut Vec<Rank>) -> R) -> R {
+    SCRATCH_STACK.with(|cell| match cell.try_borrow_mut() {
+        Ok(mut stack) => {
+            stack.clear();
+            f(&mut stack)
+        }
+        Err(_) => f(&mut Vec::new()),
+    })
+}
+
 /// A concrete, fully materialized topology in CSR (compressed sparse
-/// row) layout: cache-friendly and compact even at `P = 2¹⁹`.
+/// row) layout: cache-friendly and compact even at `P = 2²⁰` (three
+/// `u32` words per rank — parent, offset, packed child slot).
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Tree {
     p: u32,
@@ -240,47 +297,57 @@ pub struct Tree {
 }
 
 impl Tree {
-    /// Construct from a parent array and per-rank ordered child lists.
-    /// Used by the builders; validates structural sanity in debug builds.
-    pub(crate) fn from_links(
-        parent: Vec<Rank>,
-        children: &[Vec<Rank>],
-        kind: Option<TreeKind>,
-    ) -> Tree {
-        let p = parent.len() as u32;
-        debug_assert_eq!(children.len(), parent.len());
-        let mut child_offsets = Vec::with_capacity(parent.len() + 1);
-        let mut child_targets = Vec::with_capacity(parent.len().saturating_sub(1));
-        child_offsets.push(0u32);
-        for kids in children {
-            child_targets.extend_from_slice(kids);
-            child_offsets.push(child_targets.len() as u32);
-        }
-        debug_assert_eq!(child_targets.len() as u32, p.saturating_sub(1));
+    /// Construct from a flat parent array whose per-parent send order is
+    /// ascending child rank (the builder invariant). Used by the
+    /// builders; connectivity is the caller's responsibility and is
+    /// asserted in debug builds.
+    pub(crate) fn from_parent_links(parent: Vec<Rank>, kind: Option<TreeKind>) -> Tree {
+        let tree = Tree::from_parent_links_checked(parent, kind);
+        debug_assert!(tree.is_ok(), "builders produce connected trees");
+        tree.unwrap_or_else(|e| panic!("builder produced an invalid tree: {e}"))
+    }
 
-        // Depths via one pass: parents are created before children in all
-        // builders only for interleaved numbering, so do an explicit BFS.
+    /// CSR construction + connectivity/depth pass shared by the builder
+    /// path and [`Tree::from_parents`]. Range and root errors must be
+    /// screened by the caller beforehand (builders satisfy them by
+    /// construction).
+    fn from_parent_links_checked(
+        parent: Vec<Rank>,
+        kind: Option<TreeKind>,
+    ) -> Result<Tree, TreeError> {
+        let p = parent.len() as u32;
+        let (child_offsets, child_targets) = csr_children(&parent);
+
+        // One DFS from the root computes depths and proves the parent
+        // array is a tree: each rank occurs exactly once in the CSR (one
+        // parent each), so a rank left at the u32::MAX sentinel was
+        // never reached — a cycle or disconnected component.
         let mut depth = vec![u32::MAX; parent.len()];
         depth[0] = 0;
-        let mut queue = std::collections::VecDeque::with_capacity(64);
-        queue.push_back(0 as Rank);
-        while let Some(r) = queue.pop_front() {
-            let (lo, hi) = (child_offsets[r as usize], child_offsets[r as usize + 1]);
-            for &c in &child_targets[lo as usize..hi as usize] {
-                depth[c as usize] = depth[r as usize] + 1;
-                queue.push_back(c);
+        with_scratch_stack(|stack| {
+            stack.push(0);
+            while let Some(r) = stack.pop() {
+                let (lo, hi) = (child_offsets[r as usize], child_offsets[r as usize + 1]);
+                for &c in &child_targets[lo as usize..hi as usize] {
+                    depth[c as usize] = depth[r as usize] + 1;
+                    stack.push(c);
+                }
             }
+        });
+        if let Some(unreachable) = depth.iter().position(|&d| d == u32::MAX) {
+            return Err(TreeError::NotATree {
+                unreachable: unreachable as Rank,
+            });
         }
-        debug_assert!(depth.iter().all(|&d| d != u32::MAX), "tree is connected");
 
-        Tree {
+        Ok(Tree {
             p,
             parent,
             child_offsets,
             child_targets,
             depth,
             kind,
-        }
+        })
     }
 
     /// Build a custom topology from a parent array (`parent[0]` must be
@@ -299,33 +366,14 @@ impl Tree {
         if parent[0] != 0 {
             return Err(TreeError::BadRoot);
         }
-        let mut children: Vec<Vec<Rank>> = vec![Vec::new(); p as usize];
         for (child, &par) in parent.iter().enumerate().skip(1) {
             if par >= p {
                 return Err(TreeError::ParentOutOfRange {
                     child: child as Rank,
                 });
             }
-            children[par as usize].push(child as Rank);
         }
-        // Reachability from the root detects cycles and disconnection.
-        let mut reached = vec![false; p as usize];
-        reached[0] = true;
-        let mut stack: Vec<Rank> = vec![0];
-        while let Some(r) = stack.pop() {
-            for &c in &children[r as usize] {
-                if !reached[c as usize] {
-                    reached[c as usize] = true;
-                    stack.push(c);
-                }
-            }
-        }
-        if let Some(unreachable) = reached.iter().position(|&b| !b) {
-            return Err(TreeError::NotATree {
-                unreachable: unreachable as Rank,
-            });
-        }
-        Ok(Tree::from_links(parent, &children, None))
+        Tree::from_parent_links_checked(parent, None)
     }
 
     /// The [`TreeKind`] this topology was built as, or `None` for a
@@ -353,13 +401,22 @@ impl Tree {
     /// preorder.
     pub fn subtree(&self, r: Rank) -> Vec<Rank> {
         let mut out = Vec::new();
-        let mut stack = vec![r];
-        while let Some(x) = stack.pop() {
-            out.push(x);
-            // Reverse keeps preorder = send order.
-            stack.extend(self.children(x).iter().rev().copied());
-        }
+        self.subtree_into(r, &mut out);
         out
+    }
+
+    /// Append the subtree of `r` (preorder) to `out` without clearing
+    /// it. The traversal stack is a reused thread-local scratch buffer,
+    /// so repeated calls allocate nothing beyond `out`'s own growth.
+    pub fn subtree_into(&self, r: Rank, out: &mut Vec<Rank>) {
+        with_scratch_stack(|stack| {
+            stack.push(r);
+            while let Some(x) = stack.pop() {
+                out.push(x);
+                // Reverse keeps preorder = send order.
+                stack.extend(self.children(x).iter().rev().copied());
+            }
+        });
     }
 
     /// The fault-free dissemination schedule: for each rank, the time it

@@ -73,23 +73,39 @@ pub fn uncolored_count(colored: &[bool]) -> u32 {
 /// closed-form equivalent of running the dissemination phase in the
 /// simulator and is used by the fast Monte-Carlo campaigns (Figure 1b).
 pub fn color_after_dissemination<T: Topology + ?Sized>(tree: &T, failed: &[bool]) -> Vec<bool> {
+    let mut colored = Vec::new();
+    color_after_dissemination_into(tree, failed, &mut colored);
+    colored
+}
+
+/// In-place variant of [`color_after_dissemination`]: `colored` is
+/// resized and overwritten, and the tree traversal runs on a reused
+/// thread-local scratch stack — repeated Monte-Carlo draws at large `P`
+/// allocate nothing after the first call.
+pub fn color_after_dissemination_into<T: Topology + ?Sized>(
+    tree: &T,
+    failed: &[bool],
+    colored: &mut Vec<bool>,
+) {
     let p = tree.num_processes() as usize;
     assert_eq!(failed.len(), p);
     assert!(!failed[0], "the root is assumed alive (§2.1)");
-    let mut colored = vec![false; p];
+    colored.clear();
+    colored.resize(p, false);
     colored[0] = true;
-    let mut stack: Vec<Rank> = vec![0];
-    while let Some(r) = stack.pop() {
-        for &c in tree.children(r) {
-            // A message is always sent, but a dead recipient drops it
-            // (stays uncolored) and never forwards.
-            if !failed[c as usize] {
-                colored[c as usize] = true;
-                stack.push(c);
+    super::with_scratch_stack(|stack| {
+        stack.push(0);
+        while let Some(r) = stack.pop() {
+            for &c in tree.children(r) {
+                // A message is always sent, but a dead recipient drops it
+                // (stays uncolored) and never forwards.
+                if !failed[c as usize] {
+                    colored[c as usize] = true;
+                    stack.push(c);
+                }
             }
         }
-    }
-    colored
+    });
 }
 
 #[cfg(test)]

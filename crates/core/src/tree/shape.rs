@@ -5,17 +5,23 @@
 //! numbering by relabelling positions in depth-first (preorder) traversal
 //! — the paper's "numbering the processes in the order of depth-first
 //! traversal" (§3.2) — while keeping the communication shape identical.
+//!
+//! The shape is stored flat: just the parent array. [`Shape::attach`]
+//! assigns ranks sequentially in call order, so a rank's children *in
+//! send order* are exactly its children in ascending rank order — no
+//! per-rank child vectors are needed, and finalization into a [`Tree`]
+//! is a single counting sort into CSR form.
 
 use ct_logp::Rank;
 
-use super::{Tree, TreeKind};
+use super::{csr_children, Tree, TreeKind};
 
-/// A tree under construction: parent links plus ordered child lists.
+/// A tree under construction: flat parent links in attach order.
 pub(crate) struct Shape {
-    /// `parent[r]`, with `parent[0] == 0`.
-    pub parent: Vec<Rank>,
-    /// Children of each rank in send order.
-    pub children: Vec<Vec<Rank>>,
+    /// `parent[r]`, with `parent[0] == 0`. Children of any rank, in send
+    /// order, are its children in ascending rank order (ranks are handed
+    /// out sequentially by [`Shape::attach`]).
+    parent: Vec<Rank>,
 }
 
 impl Shape {
@@ -23,9 +29,7 @@ impl Shape {
     pub fn with_capacity(p: u32) -> Shape {
         let mut parent = Vec::with_capacity(p as usize);
         parent.push(0);
-        let mut children = Vec::with_capacity(p as usize);
-        children.push(Vec::new());
-        Shape { parent, children }
+        Shape { parent }
     }
 
     /// Number of processes attached so far.
@@ -38,45 +42,42 @@ impl Shape {
     pub fn attach(&mut self, parent: Rank) -> Rank {
         let child = self.len();
         self.parent.push(parent);
-        self.children.push(Vec::new());
-        self.children[parent as usize].push(child);
         child
     }
 
     /// Finalize into an immutable [`Tree`].
     pub fn into_tree(self, kind: TreeKind) -> Tree {
-        Tree::from_links(self.parent, &self.children, Some(kind))
+        Tree::from_parent_links(self.parent, Some(kind))
     }
 
     /// Relabel ranks by preorder depth-first traversal (children visited
     /// in send order). The root keeps rank 0 and every subtree becomes a
     /// contiguous rank range — the in-order numbering of Figures 3/4.
+    ///
+    /// Preorder labels increase along every child list, so the relabelled
+    /// shape preserves the "send order = ascending rank" invariant.
     pub fn renumber_dfs(self) -> Shape {
         let p = self.parent.len();
+        let (offsets, targets) = csr_children(&self.parent);
         // new_rank[old] — assigned in preorder.
         let mut new_rank = vec![0 as Rank; p];
         let mut next: Rank = 0;
         // Explicit stack; children pushed reversed so send order pops first.
-        let mut stack: Vec<Rank> = vec![0];
+        let mut stack: Vec<Rank> = Vec::with_capacity(64);
+        stack.push(0);
         while let Some(old) = stack.pop() {
             new_rank[old as usize] = next;
             next += 1;
-            stack.extend(self.children[old as usize].iter().rev().copied());
+            let (lo, hi) = (offsets[old as usize], offsets[old as usize + 1]);
+            stack.extend(targets[lo as usize..hi as usize].iter().rev().copied());
         }
         debug_assert_eq!(next as usize, p);
 
         let mut parent = vec![0 as Rank; p];
-        let mut children: Vec<Vec<Rank>> = vec![Vec::new(); p];
-        for old in 0..p {
-            let new = new_rank[old] as usize;
-            parent[new] = new_rank[self.parent[old] as usize];
-            children[new] = self.children[old]
-                .iter()
-                .map(|&c| new_rank[c as usize])
-                .collect();
+        for old in 1..p {
+            parent[new_rank[old] as usize] = new_rank[self.parent[old] as usize];
         }
-        parent[new_rank[0] as usize] = new_rank[0];
-        Shape { parent, children }
+        Shape { parent }
     }
 }
 
@@ -99,9 +100,10 @@ mod tests {
         assert_eq!(s.attach(0), 1);
         assert_eq!(s.attach(0), 2);
         assert_eq!(s.attach(1), 3);
-        assert_eq!(s.children[0], vec![1, 2]);
-        assert_eq!(s.children[1], vec![3]);
         assert_eq!(s.parent, vec![0, 0, 0, 1]);
+        let t = s.into_tree(TreeKind::BINOMIAL);
+        assert_eq!(t.children(0), &[1, 2]);
+        assert_eq!(t.children(1), &[3]);
     }
 
     #[test]

@@ -121,6 +121,71 @@ proptest! {
         );
     }
 
+    /// The CSR adjacency agrees with the reference array-of-vectors
+    /// representation (the layout the tree used before the flat
+    /// offsets + packed-child-array encoding) on every accessor:
+    /// `children` slices, `parent` links, `subtree` DFS order, depths,
+    /// the ring coloring walk, and a `from_parents` round trip.
+    #[test]
+    fn csr_matches_reference_adjacency(
+        kind in arb_kind(),
+        p in 1u32..400,
+        logp in arb_logp(),
+        fail_bits in proptest::collection::vec(any::<bool>(), 400),
+    ) {
+        let tree = kind.build(p, &logp).expect("valid parameters");
+        // Reference adjacency: one Vec per rank, children pushed in
+        // ascending rank order (the send order recurrence builders
+        // assign and the CSR counting sort preserves).
+        let mut reference = vec![Vec::<Rank>::new(); p as usize];
+        let mut parent = vec![0 as Rank; p as usize];
+        for child in 1..p {
+            let q = tree.parent(child).expect("non-root has a parent");
+            reference[q as usize].push(child);
+            parent[child as usize] = q;
+        }
+        for r in 0..p {
+            prop_assert_eq!(tree.children(r), reference[r as usize].as_slice());
+        }
+        // Subtree DFS through the packed child array equals the same
+        // preorder walk over the reference vectors.
+        for r in (0..p).step_by(1 + p as usize / 16) {
+            let mut expect = Vec::new();
+            let mut stack = vec![r];
+            while let Some(v) = stack.pop() {
+                expect.push(v);
+                stack.extend(reference[v as usize].iter().rev().copied());
+            }
+            prop_assert_eq!(tree.subtree(r), expect);
+        }
+        // The ring coloring walk (CSR DFS from the root, scratch-stack
+        // backed) equals live-ancestor-chain reachability computed over
+        // the reference adjacency.
+        let mut failed = fail_bits;
+        failed.truncate(p as usize);
+        failed.resize(p as usize, false);
+        failed[0] = false; // root broadcasts
+        let mut expect = vec![false; p as usize];
+        let mut stack = vec![0 as Rank];
+        while let Some(v) = stack.pop() {
+            expect[v as usize] = true;
+            stack.extend(
+                reference[v as usize]
+                    .iter()
+                    .filter(|&&c| !failed[c as usize]),
+            );
+        }
+        prop_assert_eq!(ring::color_after_dissemination(&tree, &failed), expect);
+        // Rebuilding from the raw parent array reproduces the CSR
+        // exactly: children, depths and edge order all survive.
+        let rebuilt = ct_core::tree::Tree::from_parents(parent).expect("valid links");
+        for r in 0..p {
+            prop_assert_eq!(rebuilt.children(r), tree.children(r));
+            prop_assert_eq!(rebuilt.depth(r), tree.depth(r));
+        }
+        prop_assert!(rebuilt.edges().eq(tree.edges()));
+    }
+
     /// In-order numbering makes every subtree a contiguous rank range.
     #[test]
     fn in_order_subtrees_are_contiguous(

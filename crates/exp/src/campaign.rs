@@ -39,6 +39,13 @@ pub enum FaultSpec {
     None,
     /// Exactly `n` uniformly random failures per run (Figure 1b).
     Count(u32),
+    /// Exactly `n` failures per run, drawn by the chunked parallel
+    /// generator ([`FaultPlan::random_count_chunked`]). Same exact-count
+    /// guarantee as [`FaultSpec::Count`] under a different (stratified)
+    /// distribution; plan construction scales to `P = 2²⁰` without
+    /// dominating a repetition. The draw depends only on `(p, n, seed)`,
+    /// never on thread count.
+    ChunkedCount(u32),
     /// A fraction of all processes fails per run (Figures 8–10, Table 1).
     Rate(f64),
     /// A fixed set of ranks fails in every run.
@@ -50,6 +57,9 @@ impl FaultSpec {
         match self {
             FaultSpec::None => Ok(FaultPlan::none(p)),
             FaultSpec::Count(n) => FaultPlan::random_count(p, *n, seed).map_err(|e| e.to_string()),
+            FaultSpec::ChunkedCount(n) => {
+                FaultPlan::random_count_chunked(p, *n, seed).map_err(|e| e.to_string())
+            }
             FaultSpec::Rate(r) => FaultPlan::random_rate(p, *r, seed).map_err(|e| e.to_string()),
             FaultSpec::Ranks(ranks) => FaultPlan::from_ranks(p, ranks).map_err(|e| e.to_string()),
         }
@@ -776,6 +786,23 @@ mod tests {
         for i in 0..2 {
             let plan = c.fault_plan(i).unwrap();
             assert_eq!(plan.count(), c.run_one(i).unwrap().faults);
+        }
+    }
+
+    #[test]
+    fn chunked_count_spec_is_exact_and_heals() {
+        let c = Campaign::new(
+            Variant::tree_checked_sync(TreeKind::BINOMIAL),
+            512,
+            LogP::PAPER,
+        )
+        .with_faults(FaultSpec::ChunkedCount(5))
+        .with_reps(3);
+        for (i, r) in c.run().unwrap().into_iter().enumerate() {
+            assert_eq!(r.faults, 5);
+            assert!(r.all_live_colored);
+            // The plan accessor and the run itself draw the same mask.
+            assert_eq!(c.fault_plan(i as u32).unwrap().count(), 5);
         }
     }
 

@@ -41,10 +41,12 @@ pub mod fig8;
 pub mod fig9;
 pub mod perf;
 pub mod resilience;
+pub mod scale;
 pub mod table1;
 pub mod tuning;
 pub mod variants;
 
 pub use campaign::{default_threads, Campaign, FaultSpec, RunRecord};
 pub use perf::{analyze_campaign, CampaignAnalysis};
+pub use scale::{run_scale, ScaleConfig, ScaleReport};
 pub use variants::Variant;

@@ -1,0 +1,509 @@
+//! The `P = 2²⁰` scaling study (ROADMAP item 3).
+//!
+//! The paper validates its §4.2 closed forms by simulation at
+//! `P = 2¹⁶`; the analytical bounds matter most exactly where
+//! simulation gets expensive. This module sweeps process counts up to
+//! `P = 2²⁰`, measuring latency and message counts per correction
+//! variant and *asserting* the synchronized-checked-correction cells
+//! against the closed forms:
+//!
+//! * fault-free quiescence equals Lemma 2 (discrete-model form,
+//!   [`lff_scc_discrete`]) exactly,
+//! * fault-free total messages equal `(P-1) + M_SCC·P` (tree edges plus
+//!   Corollary 1's per-process correction messages,
+//!   [`m_scc_discrete`]),
+//! * faulty correction time lands inside the Lemma 3 gap bounds
+//!   ([`lscc_bounds`]) for the observed `g_max`.
+//!
+//! Overlapped opportunistic cells have no closed form; they contribute
+//! the latency/message series (and their uncolored counts) without
+//! lemma assertions. Fault plans at scale are drawn by the chunked
+//! parallel generator ([`crate::FaultSpec::ChunkedCount`]) so plan
+//! construction never dominates a repetition.
+//!
+//! Consumed by `ct scale` and the `fig_scale` binary, which render the
+//! report as a table/CSV and distill it into the tracked
+//! `results/BENCH_sim_scale.json` snapshot (ns/event per `P` plus peak
+//! RSS, lower is better).
+
+use std::time::Instant;
+
+use ct_analysis::{lff_scc, lff_scc_discrete, lscc_bounds, m_scc_discrete};
+use ct_analyze::BenchSnapshot;
+use ct_core::protocol::ProtocolFactory;
+use ct_core::tree::TreeKind;
+use ct_logp::LogP;
+
+use crate::campaign::{default_threads, Campaign, CampaignError, FaultSpec, RunRecord};
+use crate::csv::CsvTable;
+use crate::variants::Variant;
+
+/// Sweep configuration. Process counts are `2^min_exp, 2^(min_exp +
+/// step_exp), …, 2^max_exp`; each `P` runs a fault-free and a
+/// chunked-fault cell per correction variant.
+#[derive(Clone, Debug)]
+pub struct ScaleConfig {
+    /// Smallest process-count exponent (`P = 2^min_exp`).
+    pub min_exp: u32,
+    /// Largest process-count exponent.
+    pub max_exp: u32,
+    /// Exponent stride between sweep points.
+    pub step_exp: u32,
+    /// Repetitions per cell.
+    pub reps: u32,
+    /// Fault fraction of the faulty cells (`max(1, ⌊rate·P⌋)` failures,
+    /// drawn via [`FaultSpec::ChunkedCount`]).
+    pub rate: f64,
+    /// Base seed (repetition `i` of every cell uses `seed0 + i`).
+    pub seed0: u64,
+    /// Machine model.
+    pub logp: LogP,
+    /// Tree shape under test.
+    pub tree: TreeKind,
+    /// Worker threads for the repetitions of one cell (results are
+    /// thread-count independent).
+    pub threads: usize,
+}
+
+impl ScaleConfig {
+    /// The full study: `P ∈ {2¹², 2¹⁴, 2¹⁶, 2¹⁸, 2²⁰}`, two
+    /// repetitions per cell.
+    pub fn full() -> ScaleConfig {
+        ScaleConfig {
+            min_exp: 12,
+            max_exp: 20,
+            step_exp: 2,
+            reps: 2,
+            rate: 0.01,
+            seed0: 1,
+            logp: LogP::PAPER,
+            tree: TreeKind::BINOMIAL,
+            threads: default_threads(),
+        }
+    }
+
+    /// CI-friendly run: capped at `P = 2¹⁶`, same assertions.
+    pub fn quick() -> ScaleConfig {
+        ScaleConfig {
+            max_exp: 16,
+            ..ScaleConfig::full()
+        }
+    }
+
+    /// The swept process counts, ascending (always includes
+    /// `2^max_exp`).
+    pub fn process_counts(&self) -> Vec<u32> {
+        assert!(self.min_exp <= self.max_exp && self.max_exp < 31);
+        let step = self.step_exp.max(1);
+        let mut ps: Vec<u32> = (self.min_exp..=self.max_exp)
+            .step_by(step as usize)
+            .map(|e| 1u32 << e)
+            .collect();
+        if *ps.last().expect("non-empty sweep") != 1u32 << self.max_exp {
+            ps.push(1u32 << self.max_exp);
+        }
+        ps
+    }
+
+    /// Failures per repetition of a faulty cell at process count `p`.
+    pub fn faults_at(&self, p: u32) -> u32 {
+        (((p as f64) * self.rate) as u32).clamp(1, p - 1)
+    }
+}
+
+/// One `(P, variant, fault regime)` cell: its records plus the wall
+/// clock and event total of the timed pass.
+#[derive(Clone, Debug)]
+pub struct ScaleCell {
+    /// Process count.
+    pub p: u32,
+    /// Variant label (as in run manifests).
+    pub variant: String,
+    /// Does synchronized checked correction's analysis apply?
+    pub checked_sync: bool,
+    /// Failures per repetition (0 for the fault-free cell).
+    pub faults: u32,
+    /// Per-repetition measurements.
+    pub records: Vec<RunRecord>,
+    /// Wall-clock nanoseconds over all repetitions of the cell.
+    pub wall_ns: u64,
+    /// Simulator events processed over all repetitions.
+    pub events: u64,
+}
+
+impl ScaleCell {
+    /// Wall nanoseconds per simulator event (the throughput metric the
+    /// tracked snapshot carries per `P`).
+    pub fn ns_per_event(&self) -> f64 {
+        self.wall_ns as f64 / self.events.max(1) as f64
+    }
+
+    /// Mean quiescence latency in steps.
+    pub fn quiescence_mean(&self) -> f64 {
+        let n = self.records.len().max(1) as f64;
+        self.records
+            .iter()
+            .map(|r| r.quiescence as f64)
+            .sum::<f64>()
+            / n
+    }
+
+    /// Mean correction time (synchronized variants only).
+    pub fn lscc_mean(&self) -> Option<f64> {
+        let times: Vec<u64> = self.records.iter().filter_map(|r| r.lscc).collect();
+        if times.is_empty() {
+            return None;
+        }
+        Some(times.iter().sum::<u64>() as f64 / times.len() as f64)
+    }
+
+    /// Mean messages per process.
+    pub fn messages_per_process_mean(&self) -> f64 {
+        let n = self.records.len().max(1) as f64;
+        self.records
+            .iter()
+            .map(|r| r.messages_per_process)
+            .sum::<f64>()
+            / n
+    }
+
+    /// Largest ring gap over all repetitions.
+    pub fn g_max(&self) -> u32 {
+        self.records.iter().map(|r| r.g_max).max().unwrap_or(0)
+    }
+
+    /// Mean live-but-uncolored count.
+    pub fn uncolored_mean(&self) -> f64 {
+        let n = self.records.len().max(1) as f64;
+        self.records
+            .iter()
+            .map(|r| f64::from(r.uncolored))
+            .sum::<f64>()
+            / n
+    }
+}
+
+/// The whole sweep plus every closed-form violation found. An empty
+/// [`ScaleReport::violations`] is the study's pass verdict.
+#[derive(Clone, Debug)]
+pub struct ScaleReport {
+    /// All cells, in sweep order (ascending `P`, fault-free before
+    /// faulty, checked-sync before opportunistic).
+    pub cells: Vec<ScaleCell>,
+    /// Human-readable descriptions of every repetition that escaped its
+    /// variant's closed forms.
+    pub violations: Vec<String>,
+}
+
+/// Run the sweep. Each cell is a seeded [`Campaign`]; repetitions fan
+/// out over `cfg.threads` with thread-count-independent results, and
+/// checked-sync cells are asserted against Lemmas 2–3 and Corollary 1
+/// as they complete.
+pub fn run_scale(cfg: &ScaleConfig) -> Result<ScaleReport, CampaignError> {
+    let mut cells = Vec::new();
+    let mut violations = Vec::new();
+    for p in cfg.process_counts() {
+        let faults = cfg.faults_at(p);
+        let variants: [(Variant, bool); 2] = [
+            (Variant::tree_checked_sync(cfg.tree), true),
+            (Variant::tree_opportunistic(cfg.tree, 4), false),
+        ];
+        for (variant, checked_sync) in variants {
+            for spec in [FaultSpec::None, FaultSpec::ChunkedCount(faults)] {
+                let cell_faults = match spec {
+                    FaultSpec::None => 0,
+                    _ => faults,
+                };
+                let campaign = Campaign::new(variant, p, cfg.logp)
+                    .with_faults(spec)
+                    .with_reps(cfg.reps)
+                    .with_seed(cfg.seed0);
+                let start = Instant::now();
+                let records = campaign.run_parallel(cfg.threads)?;
+                let wall_ns = start.elapsed().as_nanos() as u64;
+                let cell = ScaleCell {
+                    p,
+                    variant: campaign.variant.label(),
+                    checked_sync,
+                    faults: cell_faults,
+                    events: records.iter().map(|r| r.events).sum(),
+                    records,
+                    wall_ns,
+                };
+                check_cell(&cell, &cfg.logp, &mut violations);
+                cells.push(cell);
+            }
+        }
+    }
+    Ok(ScaleReport { cells, violations })
+}
+
+/// Assert one cell against its variant's closed forms, appending a
+/// description per escaping repetition.
+///
+/// Checked-sync cells carry the §4.2 analysis; the Lemma 3 bounds are
+/// anchored at the discrete-model fault-free latency, which exceeds
+/// Lemma 2's `4o + L + ⌊L/o⌋·o` by `(⌈L/o⌉ - ⌊L/o⌋)·o` (zero for every
+/// configuration the paper evaluates). Opportunistic cells have no
+/// closed form and only report.
+fn check_cell(cell: &ScaleCell, logp: &LogP, violations: &mut Vec<String>) {
+    if !cell.checked_sync {
+        return;
+    }
+    let tag = |rec: &RunRecord| {
+        format!(
+            "p={} variant={} faults={} seed={}",
+            cell.p, cell.variant, cell.faults, rec.seed
+        )
+    };
+    // The discrete receive-port model's Lemma 2 / Corollary 1 values.
+    let lff = lff_scc_discrete(logp).steps();
+    let m = m_scc_discrete(logp);
+    let discrete_shift = lff - lff_scc(logp).steps();
+    for rec in &cell.records {
+        if !rec.all_live_colored {
+            violations.push(format!(
+                "{}: {} live processes left uncolored under checked correction",
+                tag(rec),
+                rec.uncolored
+            ));
+        }
+        let Some(lscc) = rec.lscc else {
+            violations.push(format!("{}: synchronized cell without L_SCC", tag(rec)));
+            continue;
+        };
+        if cell.faults == 0 {
+            if rec.g_max != 0 {
+                violations.push(format!("{}: fault-free g_max = {}", tag(rec), rec.g_max));
+            }
+            if lscc != lff {
+                violations.push(format!(
+                    "{}: fault-free L_SCC = {lscc}, Lemma 2 says exactly {lff}",
+                    tag(rec)
+                ));
+            }
+            let expected = u64::from(cell.p - 1) + m * u64::from(cell.p);
+            if rec.messages != expected {
+                violations.push(format!(
+                    "{}: fault-free messages = {}, (P-1) + M_SCC·P = {expected}",
+                    tag(rec),
+                    rec.messages
+                ));
+            }
+        } else {
+            let (lo, hi) = lscc_bounds(rec.g_max, logp);
+            let (lo, hi) = (lo.steps() + discrete_shift, hi.steps() + discrete_shift);
+            if lscc < lo || lscc > hi {
+                violations.push(format!(
+                    "{}: L_SCC = {lscc} outside Lemma 3 bounds [{lo}, {hi}] at g_max = {}",
+                    tag(rec),
+                    rec.g_max
+                ));
+            }
+        }
+    }
+}
+
+impl ScaleReport {
+    /// The cells at the largest swept `P`.
+    fn max_p(&self) -> u32 {
+        self.cells.iter().map(|c| c.p).max().unwrap_or(0)
+    }
+
+    /// Aggregate ns/event over all cells at process count `p`.
+    pub fn ns_per_event_at(&self, p: u32) -> f64 {
+        let (wall, events) = self
+            .cells
+            .iter()
+            .filter(|c| c.p == p)
+            .fold((0u64, 0u64), |(w, e), c| (w + c.wall_ns, e + c.events));
+        wall as f64 / events.max(1) as f64
+    }
+
+    /// Distill into the tracked `BENCH_sim_scale` snapshot: one
+    /// ns/event metric per swept `P`, the process's peak RSS (probed
+    /// now — after the largest-`P` cells ran), and per-cell latency and
+    /// message series as provenance.
+    pub fn bench_snapshot(&self, cfg: &ScaleConfig) -> BenchSnapshot {
+        let mut snap = BenchSnapshot::new("sim_scale")
+            .with_host_provenance()
+            .with_provenance("tree", &cfg.tree.label())
+            .with_provenance("logp", &cfg.logp.to_string())
+            .with_provenance("reps", &cfg.reps.to_string())
+            .with_provenance("seed0", &cfg.seed0.to_string())
+            .with_provenance("rate", &format!("{}", cfg.rate))
+            .with_provenance("max_p", &self.max_p().to_string())
+            .with_provenance("violations", &self.violations.len().to_string())
+            .with_metric("peak_rss_kb", ct_obs::manifest::peak_rss_kb() as f64);
+        let mut seen = Vec::new();
+        for cell in &self.cells {
+            if !seen.contains(&cell.p) {
+                seen.push(cell.p);
+                snap = snap.with_metric(
+                    &format!("ns_per_event_p{}", cell.p),
+                    self.ns_per_event_at(cell.p),
+                );
+            }
+            let key = format!(
+                "p{}_{}_{}",
+                cell.p,
+                if cell.checked_sync { "scc" } else { "opp4" },
+                if cell.faults == 0 { "ff" } else { "faulty" }
+            );
+            snap = snap
+                .with_provenance(
+                    &format!("quiescence_mean_{key}"),
+                    &format!("{:.1}", cell.quiescence_mean()),
+                )
+                .with_provenance(
+                    &format!("messages_per_process_{key}"),
+                    &format!("{:.3}", cell.messages_per_process_mean()),
+                );
+            if cell.faults > 0 {
+                snap = snap
+                    .with_provenance(&format!("g_max_{key}"), &cell.g_max().to_string())
+                    .with_provenance(
+                        &format!("uncolored_mean_{key}"),
+                        &format!("{:.2}", cell.uncolored_mean()),
+                    );
+            }
+        }
+        snap
+    }
+
+    /// Render the sweep as CSV (the `fig_scale` series).
+    pub fn to_csv(&self) -> CsvTable {
+        let mut t = CsvTable::new([
+            "p",
+            "variant",
+            "faults",
+            "reps",
+            "quiescence_mean",
+            "lscc_mean",
+            "g_max",
+            "messages_per_process",
+            "uncolored_mean",
+            "ns_per_event",
+        ]);
+        for c in &self.cells {
+            t.row([
+                c.p.to_string(),
+                c.variant.clone(),
+                c.faults.to_string(),
+                c.records.len().to_string(),
+                format!("{:.1}", c.quiescence_mean()),
+                c.lscc_mean()
+                    .map(|v| format!("{v:.1}"))
+                    .unwrap_or_else(|| "-".to_owned()),
+                c.g_max().to_string(),
+                format!("{:.3}", c.messages_per_process_mean()),
+                format!("{:.2}", c.uncolored_mean()),
+                format!("{:.2}", c.ns_per_event()),
+            ]);
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> ScaleConfig {
+        ScaleConfig {
+            min_exp: 6,
+            max_exp: 8,
+            step_exp: 1,
+            reps: 2,
+            rate: 0.02,
+            seed0: 11,
+            logp: LogP::PAPER,
+            tree: TreeKind::BINOMIAL,
+            threads: 2,
+        }
+    }
+
+    #[test]
+    fn sweep_points_always_include_the_cap() {
+        assert_eq!(
+            ScaleConfig::full().process_counts(),
+            vec![1 << 12, 1 << 14, 1 << 16, 1 << 18, 1 << 20]
+        );
+        let odd = ScaleConfig {
+            min_exp: 6,
+            max_exp: 9,
+            step_exp: 2,
+            ..ScaleConfig::full()
+        };
+        assert_eq!(odd.process_counts(), vec![64, 256, 512]);
+        assert_eq!(ScaleConfig::quick().max_exp, 16);
+    }
+
+    #[test]
+    fn tiny_sweep_respects_every_closed_form() {
+        let report = run_scale(&tiny()).unwrap();
+        assert!(report.violations.is_empty(), "{:?}", report.violations);
+        // 3 process counts × 2 variants × {fault-free, faulty}.
+        assert_eq!(report.cells.len(), 12);
+        for cell in &report.cells {
+            assert_eq!(cell.records.len(), 2);
+            assert!(cell.events > 0);
+            assert!(cell.ns_per_event() > 0.0);
+        }
+        // Fault-free checked cells hit Lemma 2 / Corollary 1 exactly.
+        let ff = report
+            .cells
+            .iter()
+            .find(|c| c.checked_sync && c.faults == 0 && c.p == 256)
+            .unwrap();
+        assert_eq!(ff.lscc_mean(), Some(8.0));
+        let expected = 255.0 + 5.0 * 256.0;
+        for r in &ff.records {
+            assert_eq!(r.messages as f64, expected);
+        }
+    }
+
+    #[test]
+    fn violations_are_reported_not_panicked() {
+        // Forge a record that breaks Lemma 2 and check it is described.
+        let cfg = tiny();
+        let mut report = run_scale(&ScaleConfig {
+            max_exp: 6,
+            reps: 1,
+            ..cfg
+        })
+        .unwrap();
+        assert!(report.violations.is_empty());
+        let cell = report
+            .cells
+            .iter_mut()
+            .find(|c| c.checked_sync && c.faults == 0)
+            .unwrap();
+        cell.records[0].lscc = Some(999);
+        let mut violations = Vec::new();
+        check_cell(cell, &LogP::PAPER, &mut violations);
+        assert_eq!(violations.len(), 1, "{violations:?}");
+        assert!(violations[0].contains("Lemma 2"), "{}", violations[0]);
+    }
+
+    #[test]
+    fn snapshot_carries_per_p_metrics_and_peak_rss() {
+        let cfg = ScaleConfig {
+            max_exp: 7,
+            ..tiny()
+        };
+        let report = run_scale(&cfg).unwrap();
+        let snap = report.bench_snapshot(&cfg);
+        assert_eq!(snap.name, "sim_scale");
+        assert!(snap.metrics.contains_key("ns_per_event_p64"));
+        assert!(snap.metrics.contains_key("ns_per_event_p128"));
+        assert!(snap.metrics.contains_key("peak_rss_kb"));
+        assert_eq!(snap.provenance["violations"], "0");
+        assert_eq!(snap.provenance["max_p"], "128");
+        assert!(snap.provenance.contains_key("quiescence_mean_p64_scc_ff"));
+        assert!(snap.provenance.contains_key("g_max_p128_opp4_faulty"));
+        // The CSV mirrors the cells one row each.
+        let csv = report.to_csv().to_csv();
+        assert_eq!(csv.lines().count(), 1 + report.cells.len());
+    }
+}

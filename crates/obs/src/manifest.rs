@@ -226,7 +226,9 @@ pub fn summarize_fault_mask(mask: &[bool]) -> String {
 /// * `host.worker_threads` — the worker-pool size those defaults
 ///   resolve to (`CT_THREADS` if set and positive, else available
 ///   parallelism, else 4 — mirroring `ct_runtime::default_threads`,
-///   which cannot be called from here without a dependency cycle).
+///   which cannot be called from here without a dependency cycle);
+/// * `host.peak_rss_kb` — the process's high-water resident set at the
+///   time of stamping ([`peak_rss_kb`]; `0` off Linux).
 pub fn host_provenance() -> Vec<(String, String)> {
     let avail = std::thread::available_parallelism().ok().map(|n| n.get());
     let ct_threads = std::env::var("CT_THREADS").ok();
@@ -250,8 +252,36 @@ pub fn host_provenance() -> Vec<(String, String)> {
             "host.ct_threads".to_owned(),
             ct_threads.unwrap_or_else(|| "unset".to_owned()),
         ),
+        ("host.peak_rss_kb".to_owned(), peak_rss_kb().to_string()),
         ("host.worker_threads".to_owned(), workers.to_string()),
     ]
+}
+
+/// Peak resident-set size of this process in KiB: `VmHWM` from
+/// `/proc/self/status` on Linux, `0` elsewhere (a recognizable "not
+/// measured" sentinel rather than a platform-dependent guess). The
+/// kernel's high-water mark is monotone over the process lifetime, so
+/// sample it right after the workload whose footprint you want.
+pub fn peak_rss_kb() -> u64 {
+    #[cfg(target_os = "linux")]
+    {
+        if let Ok(status) = std::fs::read_to_string("/proc/self/status") {
+            return parse_vm_hwm_kb(&status).unwrap_or(0);
+        }
+    }
+    0
+}
+
+/// Extract `VmHWM:    123456 kB` from `/proc/self/status` contents.
+#[cfg_attr(not(target_os = "linux"), allow(dead_code))]
+fn parse_vm_hwm_kb(status: &str) -> Option<u64> {
+    status
+        .lines()
+        .find(|l| l.starts_with("VmHWM:"))?
+        .split_whitespace()
+        .nth(1)?
+        .parse()
+        .ok()
 }
 
 /// `git rev-parse HEAD` of the current directory's repository, if any.
@@ -352,6 +382,7 @@ mod tests {
             "host.available_parallelism",
             "host.ct_mailbox_cap",
             "host.ct_threads",
+            "host.peak_rss_kb",
             "host.worker_threads",
         ] {
             assert!(m.extra.contains_key(key), "missing {key}");
@@ -361,6 +392,19 @@ mod tests {
             .with_extra("host.worker_threads", "99")
             .stamped();
         assert_eq!(m.extra["host.worker_threads"], "99");
+    }
+
+    #[test]
+    fn vm_hwm_parses_from_proc_status_format() {
+        let status = "Name:\tct\nVmPeak:\t  999 kB\nVmHWM:\t  123456 kB\nVmRSS:\t 88 kB\n";
+        assert_eq!(parse_vm_hwm_kb(status), Some(123456));
+        assert_eq!(parse_vm_hwm_kb("Name:\tct\n"), None);
+    }
+
+    #[test]
+    #[cfg(target_os = "linux")]
+    fn peak_rss_probe_reports_nonzero_on_linux() {
+        assert!(peak_rss_kb() > 0, "a running process has a resident set");
     }
 
     #[test]

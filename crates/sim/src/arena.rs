@@ -18,25 +18,30 @@
 //! outcomes and event streams; the golden-trace and driver-contract
 //! suites pin this.
 
-use std::collections::VecDeque;
+use ct_core::protocol::Process;
+use ct_logp::Time;
 
-use ct_core::protocol::{Payload, Process};
-use ct_logp::{Rank, Time};
-
+use crate::bits::BitSet;
 use crate::queue::EventQueue;
+use crate::recvpool::RecvPool;
 
 /// Reusable backing storage for simulation runs. Create once with
 /// [`RunArena::new`] (allocation-free) and pass to any number of
 /// [`Simulation::run_reusable`](crate::Simulation::run_reusable) calls;
 /// runs of differing `P`, protocol or observability may share one
 /// arena.
+///
+/// Per-rank state is struct-of-arrays: the three boolean flags are
+/// packed [`BitSet`]s (one bit per rank) and the receive queues share
+/// one pooled [`RecvPool`] instead of a `VecDeque` per rank, so the
+/// whole arena stays cache-resident even at `P = 2²⁰`.
 pub struct RunArena {
     pub(crate) queue: EventQueue,
     pub(crate) send_busy_until: Vec<Time>,
-    pub(crate) done: Vec<bool>,
-    pub(crate) recv_queue: Vec<VecDeque<(Rank, Payload)>>,
-    pub(crate) recv_busy: Vec<bool>,
-    pub(crate) colored_seen: Vec<bool>,
+    pub(crate) done: BitSet,
+    pub(crate) recv_queue: RecvPool,
+    pub(crate) recv_busy: BitSet,
+    pub(crate) colored_seen: BitSet,
     pub(crate) procs: Vec<Box<dyn Process>>,
 }
 
@@ -46,39 +51,36 @@ impl RunArena {
         RunArena {
             queue: EventQueue::new(),
             send_busy_until: Vec::new(),
-            done: Vec::new(),
-            recv_queue: Vec::new(),
-            recv_busy: Vec::new(),
-            colored_seen: Vec::new(),
+            done: BitSet::new(),
+            recv_queue: RecvPool::new(),
+            recv_busy: BitSet::new(),
+            colored_seen: BitSet::new(),
             procs: Vec::new(),
         }
     }
 
     /// Restore the fresh-run state for `p` ranks, retaining capacity.
-    /// `observing` sizes the colored-event dedup vector (empty when the
+    /// `observing` sizes the colored-event dedup bitset (empty when the
     /// run is unobserved, exactly as a fresh run would allocate it).
     pub(crate) fn reset(&mut self, p: usize, observing: bool) {
         self.queue.reset();
         self.send_busy_until.clear();
         self.send_busy_until.resize(p, Time::ZERO);
-        self.done.clear();
-        self.done.resize(p, false);
-        self.recv_busy.clear();
-        self.recv_busy.resize(p, false);
-        self.colored_seen.clear();
+        self.done.clear_resize(p);
+        self.recv_busy.clear_resize(p);
         self.colored_seen
-            .resize(if observing { p } else { 0 }, false);
-        // Keep each rank's deque (and its buffer) alive; only drop
-        // surplus ranks when P shrinks.
-        self.recv_queue.truncate(p);
-        for q in self.recv_queue.iter_mut() {
-            q.clear();
-        }
-        while self.recv_queue.len() < p {
-            self.recv_queue.push(VecDeque::new());
-        }
+            .clear_resize(if observing { p } else { 0 });
+        self.recv_queue.reset(p);
         // `procs` is intentionally untouched: the caller rebuilds it via
         // `ProtocolFactory::build_into`, reusing the vector itself.
+    }
+
+    /// Bytes of reusable storage currently held (approximate; excludes
+    /// the protocol machines). Steady under arena reuse — growth across
+    /// repetitions is allocator churn the perf bench reports.
+    pub fn footprint_bytes(&self) -> usize {
+        self.send_busy_until.capacity() * std::mem::size_of::<Time>()
+            + self.recv_queue.capacity() * 16
     }
 }
 

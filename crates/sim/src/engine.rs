@@ -258,7 +258,7 @@ impl Simulation {
             // The root (and any pre-colored rank) is colored at t = 0.
             for r in 0..p {
                 if let Some(via) = procs[r as usize].colored_via() {
-                    colored_seen[r as usize] = true;
+                    colored_seen.set(r as usize);
                     sink.emit(&ObsEvent::sim(
                         Time::ZERO,
                         ObsEventKind::Colored { rank: r, via },
@@ -330,15 +330,15 @@ impl Simulation {
                             0,
                         );
                     }
-                    recv_queue[r as usize].push_back((from, payload));
-                    if !recv_busy[r as usize] {
-                        recv_busy[r as usize] = true;
+                    recv_queue.push_back(r, from, payload);
+                    if !recv_busy.get(r as usize) {
+                        recv_busy.set(r as usize);
                         queue.push(now + o, r, EventKind::RecvDone);
                     }
                 }
                 EventKind::RecvDone => {
-                    let (from, payload) = recv_queue[r as usize]
-                        .pop_front()
+                    let (from, payload) = recv_queue
+                        .pop_front(r)
                         .expect("RecvDone implies a queued message");
                     if observing {
                         sink.emit(&ObsEvent::sim(
@@ -352,14 +352,14 @@ impl Simulation {
                     }
                     quiescence = quiescence.max(now);
                     procs[r as usize].on_message(from, payload, now);
-                    if observing && !colored_seen[r as usize] {
+                    if observing && !colored_seen.get(r as usize) {
                         if let Some(via) = procs[r as usize].colored_via() {
-                            colored_seen[r as usize] = true;
+                            colored_seen.set(r as usize);
                             sink.emit(&ObsEvent::sim(now, ObsEventKind::Colored { rank: r, via }));
                         }
                     }
                     // Delivery may have unblocked sends.
-                    done[r as usize] = false;
+                    done.unset(r as usize);
                     if send_busy_until[r as usize] <= now {
                         self.poll(
                             r,
@@ -377,14 +377,14 @@ impl Simulation {
                             o,
                         )?;
                     }
-                    if !recv_queue[r as usize].is_empty() {
+                    if !recv_queue.is_empty(r) {
                         queue.push(now + o, r, EventKind::RecvDone);
                     } else {
-                        recv_busy[r as usize] = false;
+                        recv_busy.unset(r as usize);
                     }
                 }
                 EventKind::SenderFree | EventKind::Repoll => {
-                    if done[r as usize] || send_busy_until[r as usize] > now {
+                    if done.get(r as usize) || send_busy_until[r as usize] > now {
                         continue;
                     }
                     self.poll(
@@ -468,7 +468,7 @@ impl Simulation {
         procs: &mut [Box<dyn Process>],
         queue: &mut EventQueue,
         send_busy_until: &mut [Time],
-        done: &mut [bool],
+        done: &mut crate::bits::BitSet,
         sent_per_rank: &mut [u32],
         messages: &mut MessageCounts,
         quiescence: &mut Time,
@@ -513,7 +513,7 @@ impl Simulation {
                 queue.push(at, r, EventKind::Repoll);
             }
             SendPoll::Idle => {}
-            SendPoll::Done => done[r as usize] = true,
+            SendPoll::Done => done.set(r as usize),
         }
         Ok(())
     }

@@ -16,10 +16,92 @@ use rand::rngs::StdRng;
 use rand::seq::index::sample;
 use rand::SeedableRng;
 
+/// Fixed block size for [`FaultPlan::random_count_chunked`]. Part of
+/// the sampling definition (the stratification grid), not a tuning
+/// knob: changing it changes which plans a seed produces.
+pub const CHUNK_RANKS: u32 = 1 << 16;
+
+/// Apportion `n` faults to the fixed chunk grid by exact proportion of
+/// each chunk's available (non-protected) ranks, largest-remainder
+/// rounding, ties to lower chunk index. Pure integer arithmetic.
+fn chunk_quotas(p: u32, n: u32, available: u32) -> Vec<u32> {
+    let chunks = p.div_ceil(CHUNK_RANKS) as usize;
+    let avail_of = |idx: usize| -> u64 {
+        let lo = idx as u64 * u64::from(CHUNK_RANKS);
+        let hi = (lo + u64::from(CHUNK_RANKS)).min(u64::from(p));
+        // Chunk 0 holds the protected root.
+        hi - lo - u64::from(idx == 0)
+    };
+    let mut quotas = vec![0u32; chunks];
+    let mut remainders: Vec<(u64, usize)> = Vec::with_capacity(chunks);
+    let mut assigned = 0u32;
+    for (idx, q) in quotas.iter_mut().enumerate() {
+        let share = u64::from(n) * avail_of(idx);
+        *q = (share / u64::from(available)) as u32;
+        assigned += *q;
+        remainders.push((share % u64::from(available), idx));
+    }
+    remainders.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+    let mut leftover = n - assigned;
+    for (_, idx) in remainders {
+        if leftover == 0 {
+            break;
+        }
+        if u64::from(quotas[idx]) < avail_of(idx) {
+            quotas[idx] += 1;
+            leftover -= 1;
+        }
+    }
+    debug_assert_eq!(leftover, 0, "chunk capacity must absorb all faults");
+    quotas
+}
+
+/// Sample `quota` distinct failures into one chunk's slice of the mask.
+/// Chunk 0 protects rank 0. Seeded from `(seed, idx)` only.
+fn fill_chunk(idx: usize, chunk: &mut [bool], quota: u32, seed: u64) {
+    if quota == 0 {
+        return;
+    }
+    let derived = seed.wrapping_add((idx as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    let mut rng = StdRng::seed_from_u64(derived);
+    let skip_root = usize::from(idx == 0);
+    let avail = chunk.len() - skip_root;
+    for j in sample(&mut rng, avail, quota as usize) {
+        chunk[j + skip_root] = true;
+    }
+}
+
+/// How many threads to fill chunks with: 1 for small plans, else
+/// `CT_THREADS` / hardware parallelism capped by the chunk count. Only
+/// affects wall time, never the plan.
+fn fill_threads(chunks: usize) -> usize {
+    if chunks < 4 {
+        return 1;
+    }
+    let hw = std::env::var("CT_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&t| t >= 1)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        });
+    hw.clamp(1, chunks)
+}
+
 /// Which processes are dead for one broadcast execution.
+///
+/// Internally double-booked: the `Vec<bool>` mask serves the analysis
+/// APIs ([`FaultPlan::mask`]), while a packed bit vector (64 ranks per
+/// word, 128 KiB at `P = 2²⁰` against the mask's 1 MiB) serves the
+/// engine's per-arrival [`FaultPlan::is_failed`] checks without
+/// thrashing the caches the event loop needs.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct FaultPlan {
     failed: Vec<bool>,
+    /// `failed` packed one bit per rank; kept in sync by [`Self::seal`].
+    words: Vec<u64>,
     count: u32,
 }
 
@@ -60,12 +142,24 @@ impl fmt::Display for FaultError {
 impl std::error::Error for FaultError {}
 
 impl FaultPlan {
+    /// Finalize a mask into a plan, deriving the packed bit vector.
+    fn seal(failed: Vec<bool>, count: u32) -> FaultPlan {
+        let mut words = vec![0u64; failed.len().div_ceil(64)];
+        for (r, &f) in failed.iter().enumerate() {
+            if f {
+                words[r / 64] |= 1u64 << (r % 64);
+            }
+        }
+        FaultPlan {
+            failed,
+            words,
+            count,
+        }
+    }
+
     /// No failures.
     pub fn none(p: u32) -> FaultPlan {
-        FaultPlan {
-            failed: vec![false; p as usize],
-            count: 0,
-        }
+        FaultPlan::seal(vec![false; p as usize], 0)
     }
 
     /// Fail exactly the listed ranks; the broadcast root (rank 0) is
@@ -98,7 +192,7 @@ impl FaultPlan {
                 count += 1;
             }
         }
-        Ok(FaultPlan { failed, count })
+        Ok(FaultPlan::seal(failed, count))
     }
 
     /// Fail `n` distinct non-root processes chosen uniformly at random.
@@ -133,7 +227,7 @@ impl FaultPlan {
             };
             failed[r as usize] = true;
         }
-        Ok(FaultPlan { failed, count: n })
+        Ok(FaultPlan::seal(failed, n))
     }
 
     /// Correlated failures (§2.1): processes are grouped into aligned
@@ -172,7 +266,7 @@ impl FaultPlan {
                 count += 1;
             }
         }
-        Ok(FaultPlan { failed, count })
+        Ok(FaultPlan::seal(failed, count))
     }
 
     /// Fail a fraction `rate` (e.g. `0.01` = 1%) of all `p` processes,
@@ -181,6 +275,63 @@ impl FaultPlan {
         assert!((0.0..=1.0).contains(&rate), "rate must be in [0, 1]");
         let n = ((p as f64 * rate).round() as u32).min(p.saturating_sub(1));
         FaultPlan::random_count(p, n, seed)
+    }
+
+    /// Like [`FaultPlan::random_count`], but built chunk-parallel for
+    /// million-rank plans: ranks are split into fixed [`CHUNK_RANKS`]
+    /// blocks, the `n` faults are apportioned to blocks by exact
+    /// proportion (largest-remainder rounding — stratified uniform
+    /// sampling), and each block samples its quota without replacement
+    /// from an independent per-block RNG. Every step is pure integer
+    /// arithmetic over a *fixed* chunk grid, so the plan depends only on
+    /// `(p, n, seed)` — never on how many threads filled it.
+    ///
+    /// This is a different (stratified) draw than the sequential
+    /// [`FaultPlan::random_count`], which existing seeded experiments
+    /// pin; use this constructor for new large-`P` studies where plan
+    /// construction would otherwise dominate a repetition.
+    pub fn random_count_chunked(p: u32, n: u32, seed: u64) -> Result<FaultPlan, FaultError> {
+        let available = p.saturating_sub(1);
+        if n > available {
+            return Err(FaultError::TooManyFaults {
+                requested: n,
+                available,
+            });
+        }
+        let quotas = chunk_quotas(p, n, available);
+        let mut failed = vec![false; p as usize];
+        // Fill chunks in parallel over disjoint sub-slices. Each chunk's
+        // RNG is seeded from (seed, chunk index) alone, so the result is
+        // identical whether 1 or 16 threads do the filling.
+        let chunks: Vec<(usize, &mut [bool])> = failed
+            .chunks_mut(CHUNK_RANKS as usize)
+            .enumerate()
+            .collect();
+        let threads = fill_threads(chunks.len());
+        if threads <= 1 {
+            for (idx, chunk) in chunks {
+                fill_chunk(idx, chunk, quotas[idx], seed);
+            }
+        } else {
+            // Interleave chunk ownership round-robin; ownership affects
+            // only *who* fills a chunk, not its contents.
+            std::thread::scope(|scope| {
+                let mut lanes: Vec<Vec<(usize, &mut [bool])>> =
+                    (0..threads).map(|_| Vec::new()).collect();
+                for (i, item) in chunks.into_iter().enumerate() {
+                    lanes[i % threads].push(item);
+                }
+                for lane in lanes {
+                    let quotas = &quotas;
+                    scope.spawn(move || {
+                        for (idx, chunk) in lane {
+                            fill_chunk(idx, chunk, quotas[idx], seed);
+                        }
+                    });
+                }
+            });
+        }
+        Ok(FaultPlan::seal(failed, n))
     }
 
     /// Number of processes.
@@ -193,10 +344,12 @@ impl FaultPlan {
         self.count
     }
 
-    /// Is `r` dead?
+    /// Is `r` dead? Reads the packed bit vector — the engine calls this
+    /// once per arrival, and bits keep the lookup cache-resident where
+    /// the byte mask would not be at large `P`.
     #[inline]
     pub fn is_failed(&self, r: Rank) -> bool {
-        self.failed[r as usize]
+        self.words[r as usize / 64] & (1u64 << (r as usize % 64)) != 0
     }
 
     /// The full mask, indexable by rank.
@@ -333,5 +486,79 @@ mod tests {
         let plan = FaultPlan::random_rate(10, 1.0, 3).unwrap();
         assert_eq!(plan.count(), 9);
         assert!(!plan.is_failed(0));
+    }
+
+    #[test]
+    fn is_failed_matches_mask_exactly() {
+        let plan = FaultPlan::random_count(3000, 137, 11).unwrap();
+        for r in 0..3000u32 {
+            assert_eq!(plan.is_failed(r), plan.mask()[r as usize], "rank {r}");
+        }
+    }
+
+    #[test]
+    fn chunked_is_exact_rootless_and_reproducible() {
+        // Spans multiple chunks: P = 3 × CHUNK_RANKS + ragged tail.
+        let p = 3 * CHUNK_RANKS + 1234;
+        let n = p / 100;
+        let a = FaultPlan::random_count_chunked(p, n, 42).unwrap();
+        assert_eq!(a.count(), n);
+        assert_eq!(a.failed_ranks().count() as u32, n);
+        assert!(!a.is_failed(0));
+        let b = FaultPlan::random_count_chunked(p, n, 42).unwrap();
+        assert_eq!(a, b);
+        let c = FaultPlan::random_count_chunked(p, n, 43).unwrap();
+        assert_ne!(a, c, "different seeds should differ (overwhelmingly)");
+    }
+
+    #[test]
+    fn chunked_is_thread_count_independent() {
+        // The fixed chunk grid + per-chunk seeding make the plan a pure
+        // function of (p, n, seed); CT_THREADS only changes who fills.
+        let p = 4 * CHUNK_RANKS;
+        let single: Vec<FaultPlan> = (0..3)
+            .map(|s| FaultPlan::random_count_chunked(p, 999, s).unwrap())
+            .collect();
+        // Re-derive each chunk sequentially from the quotas and compare.
+        for (s, plan) in single.iter().enumerate() {
+            let quotas = chunk_quotas(p, 999, p - 1);
+            let mut failed = vec![false; p as usize];
+            for (idx, chunk) in failed.chunks_mut(CHUNK_RANKS as usize).enumerate() {
+                fill_chunk(idx, chunk, quotas[idx], s as u64);
+            }
+            assert_eq!(plan.mask(), failed.as_slice(), "seed {s}");
+        }
+    }
+
+    #[test]
+    fn chunked_spreads_faults_across_every_chunk() {
+        let p = 4 * CHUNK_RANKS;
+        let plan = FaultPlan::random_count_chunked(p, 4000, 7).unwrap();
+        for c in 0..4u32 {
+            let lo = c * CHUNK_RANKS;
+            let in_chunk = plan
+                .failed_ranks()
+                .filter(|&r| r >= lo && r < lo + CHUNK_RANKS)
+                .count();
+            assert!(
+                (999..=1001).contains(&in_chunk),
+                "chunk {c} got {in_chunk} faults; stratification must be proportional"
+            );
+        }
+    }
+
+    #[test]
+    fn chunked_handles_tiny_and_full_plans() {
+        assert_eq!(FaultPlan::random_count_chunked(8, 0, 1).unwrap().count(), 0);
+        let full = FaultPlan::random_count_chunked(8, 7, 1).unwrap();
+        assert_eq!(full.count(), 7);
+        assert!(!full.is_failed(0));
+        assert_eq!(
+            FaultPlan::random_count_chunked(8, 8, 1),
+            Err(FaultError::TooManyFaults {
+                requested: 8,
+                available: 7
+            })
+        );
     }
 }

@@ -21,10 +21,12 @@
 #![warn(missing_docs)]
 
 pub mod arena;
+pub(crate) mod bits;
 pub mod engine;
 pub mod faults;
 pub mod metrics;
 pub(crate) mod queue;
+pub(crate) mod recvpool;
 pub mod trace;
 
 pub use arena::RunArena;

@@ -13,7 +13,12 @@
 //!
 //! Layout: a window of [`WINDOW`] consecutive absolute time steps, one
 //! bucket per step, four FIFO lanes per bucket (one per same-time
-//! ordering class). Within a lane, append order *is* sequence order —
+//! ordering class). Lanes are typed for density ([`Bucket`]): since the
+//! lane itself encodes the class, the three poll-like lanes store bare
+//! 4-byte ranks and only arrivals carry sender + packed payload (12
+//! bytes) — a cache line holds 16 pending polls or 5 arrivals, against
+//! 4 of the old 16-byte `(Rank, EventKind)` tuples. Within a lane,
+//! append order *is* sequence order —
 //! the global sequence counter is monotone — so FIFO drain reproduces
 //! the heap's `seq` tie-break. Events beyond the window (distant
 //! `WaitUntil`s, `Time::NEVER`) overflow into a small binary heap with
@@ -67,6 +72,100 @@ impl EventKind {
 const WINDOW: usize = 1024;
 const LANES: usize = 4;
 
+/// An arrival packed to 12 bytes (vs 16 for `(Rank, EventKind)`): the
+/// lane already encodes the event class, so only `Arrive` needs more
+/// than the destination rank, and its payload fits a `u32` tag+round.
+#[derive(Clone, Copy, Debug)]
+struct PackedArrive {
+    to: Rank,
+    from: Rank,
+    payload: u32,
+}
+
+#[inline]
+fn pack_payload(p: Payload) -> u32 {
+    match p {
+        Payload::Tree => 0,
+        Payload::Correction => 1,
+        Payload::Ack => 2,
+        Payload::Gossip { round } => {
+            // 30 bits of round; a legitimate run is nowhere near (each
+            // hop increments by one), so fail loudly rather than wrap.
+            assert!(round < 1 << 30, "gossip round overflows packed event");
+            3 | (round << 2)
+        }
+    }
+}
+
+#[inline]
+fn unpack_payload(v: u32) -> Payload {
+    match v & 3 {
+        0 => Payload::Tree,
+        1 => Payload::Correction,
+        2 => Payload::Ack,
+        _ => Payload::Gossip { round: v >> 2 },
+    }
+}
+
+/// One time step's pending events, one FIFO lane per ordering class.
+/// Lanes are *typed*: the three poll-like classes store a bare 4-byte
+/// rank (16 events per cache line), arrivals store [`PackedArrive`].
+#[derive(Debug, Default)]
+struct Bucket {
+    /// Class 0: deliveries.
+    arrive: Vec<PackedArrive>,
+    /// Class 1: receive-port completions.
+    recv_done: Vec<Rank>,
+    /// Class 2: sender-port frees.
+    sender_free: Vec<Rank>,
+    /// Class 3: protocol wake-ups.
+    repoll: Vec<Rank>,
+}
+
+impl Bucket {
+    fn clear(&mut self) {
+        self.arrive.clear();
+        self.recv_done.clear();
+        self.sender_free.clear();
+        self.repoll.clear();
+    }
+
+    /// Append an event to its class lane.
+    fn push(&mut self, rank: Rank, kind: EventKind) {
+        match kind {
+            EventKind::Arrive { from, payload } => self.arrive.push(PackedArrive {
+                to: rank,
+                from,
+                payload: pack_payload(payload),
+            }),
+            EventKind::RecvDone => self.recv_done.push(rank),
+            EventKind::SenderFree => self.sender_free.push(rank),
+            EventKind::Repoll => self.repoll.push(rank),
+        }
+    }
+
+    /// Entry `pos` of lane `lane`, or `None` past the lane's end.
+    fn get(&self, lane: usize, pos: usize) -> Option<(Rank, EventKind)> {
+        match lane {
+            0 => self.arrive.get(pos).map(|a| {
+                (
+                    a.to,
+                    EventKind::Arrive {
+                        from: a.from,
+                        payload: unpack_payload(a.payload),
+                    },
+                )
+            }),
+            1 => self.recv_done.get(pos).map(|&r| (r, EventKind::RecvDone)),
+            2 => self
+                .sender_free
+                .get(pos)
+                .map(|&r| (r, EventKind::SenderFree)),
+            _ => self.repoll.get(pos).map(|&r| (r, EventKind::Repoll)),
+        }
+    }
+}
+
 /// An event parked beyond the current window.
 #[derive(Clone, Copy, Debug)]
 struct Overflow {
@@ -106,7 +205,7 @@ pub(crate) struct EventQueue {
     pos: usize,
     /// Pending (pushed, not yet popped) events resident in buckets.
     len: usize,
-    buckets: Vec<[Vec<(Rank, EventKind)>; LANES]>,
+    buckets: Vec<Bucket>,
     overflow: BinaryHeap<Reverse<Overflow>>,
     /// Monotone push counter, reproducing the heap's tie-break.
     seq: u64,
@@ -120,9 +219,7 @@ impl EventQueue {
             lane: 0,
             pos: 0,
             len: 0,
-            buckets: (0..WINDOW)
-                .map(|_| std::array::from_fn(|_| Vec::new()))
-                .collect(),
+            buckets: (0..WINDOW).map(|_| Bucket::default()).collect(),
             overflow: BinaryHeap::new(),
             seq: 0,
         }
@@ -131,9 +228,7 @@ impl EventQueue {
     /// Empty the queue for a fresh run, keeping all backing storage.
     pub(crate) fn reset(&mut self) {
         for bucket in self.buckets.iter_mut() {
-            for lane in bucket.iter_mut() {
-                lane.clear();
-            }
+            bucket.clear();
         }
         self.overflow.clear();
         self.base = 0;
@@ -161,7 +256,7 @@ impl EventQueue {
                 b > self.cursor || (b == self.cursor && kind.class() as usize >= self.lane),
                 "event scheduled into an already-drained lane (time did not advance)"
             );
-            self.buckets[b][kind.class() as usize].push((rank, kind));
+            self.buckets[b].push(rank, kind);
             self.len += 1;
         } else {
             self.overflow.push(Reverse(Overflow {
@@ -184,9 +279,7 @@ impl EventQueue {
                 self.rebase();
             }
             while self.lane < LANES {
-                let lane_vec = &self.buckets[self.cursor][self.lane];
-                if self.pos < lane_vec.len() {
-                    let (rank, kind) = lane_vec[self.pos];
+                if let Some((rank, kind)) = self.buckets[self.cursor].get(self.lane, self.pos) {
                     self.pos += 1;
                     self.len -= 1;
                     return Some((Time::new(self.base + self.cursor as u64), rank, kind));
@@ -197,9 +290,7 @@ impl EventQueue {
             // Bucket fully drained: release its storage for this window
             // and move on. (Consumed events stay in the lane vectors
             // until this point.)
-            for lane in self.buckets[self.cursor].iter_mut() {
-                lane.clear();
-            }
+            self.buckets[self.cursor].clear();
             self.lane = 0;
             self.pos = 0;
             self.cursor += 1;
@@ -219,9 +310,7 @@ impl EventQueue {
     fn rebase(&mut self) {
         debug_assert_eq!(self.len, 0);
         if self.cursor < WINDOW {
-            for lane in self.buckets[self.cursor].iter_mut() {
-                lane.clear();
-            }
+            self.buckets[self.cursor].clear();
         }
         self.base = self
             .overflow
@@ -239,7 +328,7 @@ impl EventQueue {
                 break;
             }
             let Reverse(ev) = self.overflow.pop().expect("just peeked");
-            self.buckets[idx as usize][ev.kind.class() as usize].push((ev.rank, ev.kind));
+            self.buckets[idx as usize].push(ev.rank, ev.kind);
             self.len += 1;
         }
     }

@@ -26,7 +26,9 @@ use corrected_trees::analyze::{
 use corrected_trees::core::correction::CorrectionKind;
 use corrected_trees::core::protocol::{BroadcastSpec, Payload, ProtocolFactory};
 use corrected_trees::core::tree::{interleaving, stats, Ordering, Topology, TreeKind};
-use corrected_trees::exp::{analyze_campaign, Campaign, FaultSpec, Variant};
+use corrected_trees::exp::{
+    analyze_campaign, run_scale, Campaign, FaultSpec, ScaleConfig, Variant,
+};
 use corrected_trees::logp::LogP;
 use corrected_trees::obs::http::{http_get, monitor_handler, HttpServer};
 use corrected_trees::obs::series::{default_sample_ms, SeriesSample, SeriesStore};
@@ -35,11 +37,11 @@ use corrected_trees::obs::{
     chrome_trace, Event, EventKind, MonitorConfig, MonitorSink, RunManifest, VecSink,
 };
 use corrected_trees::runtime::{default_flight_cap, Cluster, ClusterConfig};
-use corrected_trees::sim::{FaultPlan, Simulation, Trace};
+use corrected_trees::sim::{FaultPlan, RunArena, Simulation, Trace};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: ct <run|tree|sweep|trace|analyze|check|forensics|perf|stats|top|serve|monitor|postmortem> [options]\n\
+        "usage: ct <run|tree|sweep|trace|analyze|check|forensics|perf|scale|stats|top|serve|monitor|postmortem> [options]\n\
          \n\
          common options:\n\
            --tree <binomial|binomial-inorder|kary<K>|lame<K>|optimal>  (default binomial)\n\
@@ -106,8 +108,9 @@ fn usage() -> ! {
                                    (checked-sync binomial, rate faults) and\n\
                                    write results/BENCH_sim_throughput.json\n\
                                    (--out FILE overrides; metrics are\n\
-                                   ns_per_rep / ns_per_event, lower is\n\
-                                   better; --quick = P 1024, 10 reps)\n\
+                                   ns_per_rep / ns_per_event plus the\n\
+                                   allocator-churn gauge arena_steady_state_reps,\n\
+                                   lower is better; --quick = P 1024, 10 reps)\n\
            perf bench --runtime [--quick] [--seed S]\n\
                                    time cluster-runtime broadcasts (fault-free\n\
                                    plain binomial + 1%-fault corrected opp4) at\n\
@@ -116,6 +119,19 @@ fn usage() -> ! {
                                    (--out FILE overrides; metrics are\n\
                                    ns_per_broadcast_p<P>_<config>, lower is\n\
                                    better; --quick = P 256/1024, 5 iters)\n\
+         scale options (P=2^20 scaling study with Lemma 2-3 assertions):\n\
+           ct scale [--quick] [--min-exp E] [--max-exp E] [--step-exp E]\n\
+                    [--reps R] [--rate F] [--seed S] [--threads T]\n\
+                                   sweep P = 2^min-exp .. 2^max-exp (default\n\
+                                   2^12..2^20; --quick caps at 2^16), fault-free\n\
+                                   and chunked-fault cells per correction\n\
+                                   variant, assert checked-sync cells against\n\
+                                   the Lemma 2/3 + Corollary 1 closed forms and\n\
+                                   write results/BENCH_sim_scale.json (--out\n\
+                                   FILE overrides; metrics are ns_per_event_p<P>\n\
+                                   and peak_rss_kb, lower is better)\n\
+                                   exit status: 0 all bounds hold, 1 violations,\n\
+                                   2 usage/I-O error\n\
          stats options (one-shot runtime-telemetry snapshot):\n\
            ct stats [run options] [--reps R]           simulator campaign\n\
            ct stats --runtime [run options] [--iters I]  cluster broadcasts\n\
@@ -1590,8 +1606,27 @@ fn cmd_perf(cli: &Cli) {
             run(&campaign);
             let hub = Arc::new(TelemetryHub::new(1, p as usize));
             let timed = campaign.clone().with_telemetry(Arc::clone(&hub));
+            // The timed pass hand-rolls `Campaign::run` (same one-arena
+            // sequential loop) to watch the arena footprint: the number
+            // of repetitions that still grow it is the allocator-churn
+            // gauge — a steady-state layout stops growing after rep 1,
+            // anything later means per-rep allocation leaked back in.
+            let mut arena = RunArena::new();
+            let mut records = Vec::with_capacity(reps as usize);
+            let mut footprint = 0usize;
+            let mut growth_reps = 0u32;
             let start = std::time::Instant::now();
-            let records = run(&timed);
+            for i in 0..reps {
+                records.push(timed.run_one_reusable(i, &mut arena).unwrap_or_else(|e| {
+                    eprintln!("campaign failed: {e:?}");
+                    std::process::exit(2);
+                }));
+                let now = arena.footprint_bytes();
+                if now > footprint {
+                    footprint = now;
+                    growth_reps = i + 1;
+                }
+            }
             let wall = start.elapsed();
             let events: u64 = records.iter().map(|r| r.events).sum();
             let messages: u64 = records.iter().map(|r| r.messages).sum();
@@ -1611,8 +1646,10 @@ fn cmd_perf(cli: &Cli) {
                 .with_provenance("total_messages", &messages.to_string())
                 .with_provenance("reps_per_sec", &format!("{reps_per_sec:.2}"))
                 .with_provenance("events_per_sec", &format!("{events_per_sec:.0}"))
+                .with_provenance("arena_footprint_bytes", &footprint.to_string())
                 .with_metric("ns_per_rep", wall_ns / f64::from(reps.max(1)))
-                .with_metric("ns_per_event", wall_ns / events.max(1) as f64);
+                .with_metric("ns_per_event", wall_ns / events.max(1) as f64)
+                .with_metric("arena_steady_state_reps", f64::from(growth_reps));
             let path = std::path::PathBuf::from(
                 cli.value("--out")
                     .map(str::to_owned)
@@ -1689,6 +1726,110 @@ fn cmd_perf(cli: &Cli) {
     }
 }
 
+/// `ct scale` — the scaling study of ROADMAP item 3: sweep `P` up to
+/// `2²⁰` (fault-free and chunked-fault cells per correction variant),
+/// assert the synchronized-checked cells against the Lemma 2/3 and
+/// Corollary 1 closed forms, and write the tracked
+/// `results/BENCH_sim_scale.json` snapshot (ns/event per `P`, peak RSS).
+/// Exits 1 when any repetition escapes its bounds.
+fn cmd_scale(cli: &Cli) {
+    let mut cfg = if cli.flag("--quick") {
+        ScaleConfig::quick()
+    } else {
+        ScaleConfig::full()
+    };
+    cfg.min_exp = cli.parsed("--min-exp", cfg.min_exp);
+    cfg.max_exp = cli.parsed("--max-exp", cfg.max_exp);
+    cfg.step_exp = cli.parsed("--step-exp", cfg.step_exp);
+    cfg.reps = cli.parsed("--reps", cfg.reps);
+    cfg.rate = cli.parsed("--rate", cfg.rate);
+    cfg.seed0 = cli.parsed("--seed", cfg.seed0);
+    cfg.threads = cli.parsed("--threads", cfg.threads);
+    cfg.tree = parse_tree(cli.value("--tree").unwrap_or("binomial"));
+    if let Some(s) = cli.value("--logp") {
+        cfg.logp = s.parse().expect("valid LogP string");
+    }
+    if cfg.min_exp > cfg.max_exp || cfg.max_exp >= 31 {
+        eprintln!(
+            "bad sweep range 2^{}..2^{} (need min <= max < 31)",
+            cfg.min_exp, cfg.max_exp
+        );
+        std::process::exit(2);
+    }
+    println!(
+        "[scale] P = 2^{}..2^{} step 2^{}, {} reps/cell, rate {}, {} threads",
+        cfg.min_exp, cfg.max_exp, cfg.step_exp, cfg.reps, cfg.rate, cfg.threads
+    );
+    let t0 = std::time::Instant::now();
+    let report = run_scale(&cfg).unwrap_or_else(|e| {
+        eprintln!("scale sweep failed: {e}");
+        std::process::exit(2);
+    });
+    let wall = t0.elapsed();
+    for c in &report.cells {
+        println!(
+            "[scale] p={:<8} {:<42} faults={:<6} quiescence {:>7.1} \
+             msgs/proc {:>6.3} g_max {:>3} ns/event {:>7.2}",
+            c.p,
+            c.variant,
+            c.faults,
+            c.quiescence_mean(),
+            c.messages_per_process_mean(),
+            c.g_max(),
+            c.ns_per_event()
+        );
+    }
+    let max_p = report.cells.iter().map(|c| c.p).max().unwrap_or(0);
+    let snapshot = report.bench_snapshot(&cfg);
+    println!(
+        "[scale] ns/event at P={max_p}: {:.2}, peak RSS {} kB, wall {wall:.2?}",
+        report.ns_per_event_at(max_p),
+        snapshot.metrics.get("peak_rss_kb").copied().unwrap_or(0.0)
+    );
+    let path = std::path::PathBuf::from(
+        cli.value("--out")
+            .map(str::to_owned)
+            .unwrap_or_else(|| "results/BENCH_sim_scale.json".to_owned()),
+    );
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+    }
+    match snapshot.write(&path) {
+        Ok(()) => println!("[scale] -> {}", path.display()),
+        Err(e) => {
+            eprintln!("could not write {}: {e}", path.display());
+            std::process::exit(2);
+        }
+    }
+    let manifest = RunManifest::new("sim_scale")
+        .protocol("scc + opp4 (binomial unless --tree)")
+        .p(max_p)
+        .logp(cfg.logp)
+        .seed(cfg.seed0)
+        .reps(cfg.reps)
+        .wall_secs(wall.as_secs_f64())
+        .with_extra("threads", cfg.threads.to_string())
+        .with_extra("violations", report.violations.len().to_string())
+        .stamped();
+    match manifest.write_next_to(&path) {
+        Ok(mpath) => println!("[scale manifest {}]", mpath.display()),
+        Err(e) => eprintln!("could not write manifest for {}: {e}", path.display()),
+    }
+    if !report.violations.is_empty() {
+        for v in &report.violations {
+            eprintln!("[scale] VIOLATION: {v}");
+        }
+        eprintln!(
+            "[scale] {} repetition(s) escaped the closed-form bounds",
+            report.violations.len()
+        );
+        std::process::exit(1);
+    }
+    println!("[scale] all checked-sync cells respect Lemma 2, Corollary 1 and Lemma 3");
+}
+
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
@@ -1705,6 +1846,7 @@ fn main() {
         "check" => cmd_check(&cli),
         "forensics" => cmd_forensics(&cli),
         "perf" => cmd_perf(&cli),
+        "scale" => cmd_scale(&cli),
         "stats" => cmd_stats(&cli),
         "top" => cmd_top(&cli),
         "serve" => cmd_serve(&cli),
