@@ -395,11 +395,24 @@ impl PostmortemReport {
             .find(|rec| rec.kind == "mailbox_push" && rec.rank == Some(r))
         {
             Some(push) => {
-                let _ = writeln!(
-                    out,
-                    "  last mailbox push: from rank {} at step {} (wall {} \u{b5}s)",
-                    push.aux, push.step, push.wall_us
-                );
+                // aux packs `broadcast_id << 32 | pushing_rank`; a zero
+                // broadcast id means a single-broadcast (or simulator)
+                // run, where naming it adds nothing.
+                let pusher = push.aux & 0xffff_ffff;
+                let bcast = push.aux >> 32;
+                if bcast == 0 {
+                    let _ = writeln!(
+                        out,
+                        "  last mailbox push: from rank {} at step {} (wall {} \u{b5}s)",
+                        pusher, push.step, push.wall_us
+                    );
+                } else {
+                    let _ = writeln!(
+                        out,
+                        "  last mailbox push: from rank {} (broadcast {}) at step {} (wall {} \u{b5}s)",
+                        pusher, bcast, push.step, push.wall_us
+                    );
+                }
             }
             None => {
                 let _ = writeln!(

@@ -111,9 +111,13 @@ pub fn parse_event(line: &str) -> Result<Event, String> {
         },
         other => return Err(format!("unknown kind {other:?}")),
     };
-    Ok(match wall {
+    let event = match wall {
         Some(w) => Event::wall(t, w, kind),
         None => Event::sim(t, kind),
+    };
+    Ok(match v.get("b").and_then(Value::as_u64) {
+        Some(b) => event.with_bcast(b),
+        None => event,
     })
 }
 

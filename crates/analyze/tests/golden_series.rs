@@ -27,7 +27,7 @@ fn golden_export() -> String {
     let hub = TelemetryHub::new(2, 8);
     let store = SeriesStore::new(16);
     let mut engine = HealthEngine::new(HealthConfig::default());
-    hub.set_iter_active(true);
+    hub.set_iter_active(1);
     let mut prev = hub.snapshot().with_source("cluster");
     for seq in 0..6u64 {
         match seq {

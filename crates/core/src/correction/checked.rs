@@ -79,6 +79,13 @@ impl CheckedCorrection {
                 .iter()
                 .any(|&(gr, gl)| gl <= gr && self.sent_to((gr, gl)))
     }
+
+    /// Would [`Correction::poll`] report `Done` right now? Exposed for
+    /// the paced wrapper, which must test the stop rule without letting
+    /// `poll` commit another probe.
+    pub(crate) fn done_now(&self) -> bool {
+        self.p <= 1 || (self.right_done() && self.left_done())
+    }
 }
 
 impl Correction for CheckedCorrection {
@@ -99,7 +106,7 @@ impl Correction for CheckedCorrection {
         if now < self.start {
             return CorrPoll::WaitUntil(self.start);
         }
-        if self.p <= 1 || (self.right_done() && self.left_done()) {
+        if self.done_now() {
             return CorrPoll::Done;
         }
         let go_left = if self.left_done() {

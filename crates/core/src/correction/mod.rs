@@ -24,14 +24,16 @@ pub mod checked;
 pub mod delayed;
 pub mod failure_proof;
 pub mod opportunistic;
+pub mod paced;
 
 use core::fmt;
 
 pub use checked::CheckedCorrection;
-use ct_logp::{Rank, Time};
+use ct_logp::{LogP, Rank, Time};
 pub use delayed::DelayedCorrection;
 pub use failure_proof::FailureProofCorrection;
 pub use opportunistic::OpportunisticCorrection;
+pub use paced::PacedCheckedCorrection;
 
 /// A direction on the correction ring.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -74,6 +76,18 @@ pub enum CorrectionKind {
     /// increasing distance until a message arrives from each direction
     /// from a process already sent to.
     Checked,
+    /// Checked correction with the discrete-model probe schedule
+    /// enforced causally ([`PacedCheckedCorrection`]): fault-free
+    /// synchronized runs send exactly `3 + lag` messages per process
+    /// (Corollary 1 with `lag = ⌈L/o⌉`) on any driver, discrete-event
+    /// or wall-clock. Built by [`CorrectionKind::checked_paced`].
+    CheckedPaced {
+        /// `⌈L/o⌉` of the LogP model the count is provisioned for.
+        lag: u32,
+        /// Arrival-gate fallback in [`Time`] units (only consulted when
+        /// an expected handshake neighbor is dead or silent).
+        fallback: u64,
+    },
     /// Failure-proof correction: generalized checked correction in which
     /// correction-colored processes acknowledge, so senders converge
     /// even when processes fail *during* correction. (The paper defers
@@ -89,6 +103,16 @@ pub enum CorrectionKind {
 }
 
 impl CorrectionKind {
+    /// Paced checked correction provisioned for `logp`: the fault-free
+    /// synchronized count is `3 + ⌈L/o⌉` per process, exactly
+    /// [`ct_logp`]'s discrete model (Corollary 1).
+    pub fn checked_paced(logp: &LogP, fallback: u64) -> CorrectionKind {
+        CorrectionKind::CheckedPaced {
+            lag: logp.l().div_ceil(logp.o()) as u32,
+            fallback,
+        }
+    }
+
     /// Does this kind participate in the correction phase at all?
     pub fn is_none(&self) -> bool {
         matches!(self, CorrectionKind::None)
@@ -112,6 +136,9 @@ impl CorrectionKind {
                 OpportunisticCorrection::new(rank, p, distance, start, true),
             )),
             CorrectionKind::Checked => Some(Box::new(CheckedCorrection::new(rank, p, start))),
+            CorrectionKind::CheckedPaced { lag, fallback } => Some(Box::new(
+                PacedCheckedCorrection::new(rank, p, start, lag, fallback),
+            )),
             CorrectionKind::FailureProof => {
                 Some(Box::new(FailureProofCorrection::new(rank, p, start)))
             }
@@ -133,6 +160,7 @@ impl fmt::Display for CorrectionKind {
                 write!(f, "opportunistic-opt(d={distance})")
             }
             CorrectionKind::Checked => write!(f, "checked"),
+            CorrectionKind::CheckedPaced { lag, .. } => write!(f, "checked-paced(lag={lag})"),
             CorrectionKind::FailureProof => write!(f, "failure-proof"),
             CorrectionKind::Delayed { delay } => write!(f, "delayed({delay})"),
         }

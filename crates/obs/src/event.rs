@@ -129,6 +129,12 @@ pub struct Event {
     /// Wall-clock microseconds since the run epoch, where a wall clock
     /// exists (cluster runtime). `None` for simulated runs.
     pub wall_us: Option<u64>,
+    /// Broadcast id, for producers multiplexing several concurrent
+    /// broadcasts into one stream (the cluster pub/sub layer). `None`
+    /// for single-broadcast streams — the id is then implied by the
+    /// enclosing [`phases::BROADCAST`] span, and the serialized form is
+    /// unchanged.
+    pub bcast: Option<u64>,
     /// What happened.
     pub kind: EventKind,
 }
@@ -139,6 +145,7 @@ impl Event {
         Event {
             time,
             wall_us: None,
+            bcast: None,
             kind,
         }
     }
@@ -148,8 +155,15 @@ impl Event {
         Event {
             time,
             wall_us: Some(wall_us),
+            bcast: None,
             kind,
         }
+    }
+
+    /// The same event, labeled as belonging to broadcast `id`.
+    pub fn with_bcast(mut self, id: u64) -> Event {
+        self.bcast = Some(id);
+        self
     }
 
     /// The stable payload tag used by the JSONL schema.
@@ -164,14 +178,18 @@ impl Event {
 
     /// Render as one JSONL line (no trailing newline).
     ///
-    /// Field order is fixed — `t`, `w?`, `kind`, then kind-specific
-    /// fields — so identical event streams are byte-for-byte identical,
-    /// which the golden-trace regression tests rely on.
+    /// Field order is fixed — `t`, `w?`, `b?`, `kind`, then
+    /// kind-specific fields — so identical event streams are
+    /// byte-for-byte identical, which the golden-trace regression tests
+    /// rely on.
     pub fn to_json(&self) -> String {
         let mut obj = JsonObject::new();
         obj.field_u64("t", self.time.steps());
         if let Some(w) = self.wall_us {
             obj.field_u64("w", w);
+        }
+        if let Some(b) = self.bcast {
+            obj.field_u64("b", b);
         }
         obj.field_str("kind", self.kind.tag());
         match &self.kind {
@@ -270,6 +288,29 @@ mod tests {
         assert_eq!(
             p.to_json(),
             r#"{"t":0,"kind":"phase_begin","name":"broadcast"}"#
+        );
+    }
+
+    #[test]
+    fn bcast_label_serializes_between_clocks_and_kind() {
+        let e = Event::wall(
+            Time::new(9),
+            11,
+            EventKind::Colored {
+                rank: 4,
+                via: ColoredVia::Dissemination,
+            },
+        )
+        .with_bcast(37);
+        assert_eq!(
+            e.to_json(),
+            r#"{"t":9,"w":11,"b":37,"kind":"colored","rank":4,"via":"dissemination"}"#
+        );
+        // Unlabeled events keep the original schema byte-for-byte.
+        let plain = Event::sim(Time::new(9), EventKind::PhaseEnd { name: "rep".into() });
+        assert_eq!(
+            plain.to_json(),
+            r#"{"t":9,"kind":"phase_end","name":"rep"}"#
         );
     }
 

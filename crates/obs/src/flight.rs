@@ -44,15 +44,18 @@ pub enum FlightKind {
     /// colored, 0 otherwise; `step` = latency in µs / LogP steps).
     IterEnd,
     /// A worker began a scheduling quantum for `rank` (`aux` =
-    /// broadcast id, `step` = µs into the iteration).
+    /// broadcast id — or 0 when the quantum served several concurrent
+    /// broadcasts — `step` = µs into the iteration).
     QuantumStart,
     /// A worker finished a scheduling quantum for `rank`.
     QuantumEnd,
     /// A quantum found no installed iteration for `rank` and was
     /// discarded as stale.
     StaleQuantum,
-    /// A message was pushed into `rank`'s mailbox; `aux` names the
-    /// pushing rank.
+    /// A message was pushed into `rank`'s mailbox; `aux` packs
+    /// `broadcast_id << 32 | pushing_rank` so a stall can be attributed
+    /// to the topic that caused it (decode with
+    /// [`FlightRecord::push_peer`] / [`FlightRecord::push_bcast`]).
     MailboxPush,
     /// `rank` drained its mailbox (`aux` = messages taken).
     MailboxDrain,
@@ -137,14 +140,31 @@ pub struct FlightRecord {
 }
 
 impl FlightRecord {
+    /// The pushing rank of a [`FlightKind::MailboxPush`] record (the
+    /// low half of its packed `aux`).
+    pub fn push_peer(&self) -> u32 {
+        self.aux as u32
+    }
+
+    /// The broadcast id of a [`FlightKind::MailboxPush`] record (the
+    /// high half of its packed `aux`); 0 on records written before the
+    /// id was threaded through.
+    pub fn push_bcast(&self) -> u64 {
+        self.aux >> 32
+    }
+
     /// Whether this record concerns `rank` — as the subject, or as the
     /// named peer of a push/wake.
     pub fn involves(&self, rank: u32) -> bool {
         if self.rank == rank {
             return true;
         }
-        matches!(self.kind, FlightKind::MailboxPush | FlightKind::Wake)
-            && self.aux == u64::from(rank)
+        match self.kind {
+            // The push peer shares the aux word with the broadcast id.
+            FlightKind::MailboxPush => self.push_peer() == rank,
+            FlightKind::Wake => self.aux == u64::from(rank),
+            _ => false,
+        }
     }
 
     /// Render as one deterministic JSON object.

@@ -179,12 +179,14 @@ impl HealthEngine {
     pub fn observe(&mut self, s: &SeriesSample) -> Vec<HealthEvent> {
         let mut fired = Vec::new();
 
-        // stall_precursor — an installed iteration with uncolored live
+        // stall_precursor — installed iteration(s) with uncolored live
         // ranks making zero delivery and zero coloring progress for K
-        // consecutive windows.
+        // consecutive windows. `iter.active` is a count (several
+        // broadcasts may be in flight under pub/sub); any installed
+        // iteration arms the rule.
         let live = s.gauge("iter.live");
         let colored = s.gauge("iter.colored");
-        let wedged = s.gauge("iter.active") == 1
+        let wedged = s.gauge("iter.active") >= 1
             && colored < live
             && s.delta("msgs.delivered") == 0
             && s.delta("coord.colored") == 0;
@@ -389,6 +391,26 @@ mod tests {
         // Still wedged: active, but no re-fire.
         assert!(eng.observe(&wedged(3)).is_empty());
         assert_eq!(eng.active().len(), 1);
+    }
+
+    #[test]
+    fn stall_precursor_covers_concurrent_broadcasts() {
+        // Under pub/sub iter.active is a topic count; a wedge with
+        // several iterations installed must still fire.
+        let mut eng = HealthEngine::new(HealthConfig::default());
+        let multi = |seq| {
+            let mut s = window(seq);
+            s.gauges.insert("iter.active".to_owned(), 4);
+            s.gauges.insert("iter.live".to_owned(), 28);
+            s.gauges.insert("iter.colored".to_owned(), 13);
+            s
+        };
+        assert!(eng.observe(&multi(0)).is_empty());
+        assert!(eng.observe(&multi(1)).is_empty());
+        let fired = eng.observe(&multi(2));
+        assert_eq!(fired.len(), 1);
+        assert_eq!(fired[0].rule, "stall_precursor");
+        assert!(fired[0].message.contains("13/28"), "{}", fired[0].message);
     }
 
     #[test]

@@ -44,6 +44,19 @@
 //! the two simulator-only checks: `wire-latency` (microsecond stamps do
 //! not follow LogP arithmetic) and `wire-complete` (the coordinator's
 //! `Stop` legitimately truncates in-flight correction messages).
+//!
+//! ## Multiplexed streams
+//!
+//! Streams that interleave several concurrent broadcasts label each
+//! event with a broadcast id (the `b` field; see [`Event::bcast`]).
+//! Every cross-rank invariant — FIFO matching, delivery matching,
+//! at-most-once delivery and coloring, end-of-run reliability — is
+//! keyed by that id, so rank 5 being colored once in topic 1 and once
+//! in topic 2 is legal while two colorings within one topic are not,
+//! and a wire arrival can only consume a send of the same broadcast.
+//! Unlabeled events all fall into one implicit broadcast, which keeps
+//! single-broadcast streams checked exactly as before. Raw-order checks
+//! (`time-monotone`, `phase-nesting`) remain stream-level.
 
 use std::collections::{BTreeMap, VecDeque};
 
@@ -587,14 +600,36 @@ impl<'a> RepChecker<'a> {
         order.sort_by_key(|&i| (buf[i].time, buf[i].kind.order_class(), i));
 
         let timing = if wall { None } else { self.cfg.logp };
+        // Cross-rank state is keyed by broadcast id so multiplexed
+        // streams are checked per broadcast; unlabeled events share
+        // id 0.
+        let bid = |e: &Event| e.bcast.unwrap_or(0);
         // Outstanding sends / undelivered arrivals per channel.
-        let mut on_wire: BTreeMap<(Rank, Rank), VecDeque<usize>> = BTreeMap::new();
-        let mut arrived: BTreeMap<(Rank, Rank), VecDeque<usize>> = BTreeMap::new();
-        let mut colored_at: BTreeMap<Rank, usize> = BTreeMap::new();
-        let mut tree_delivered: BTreeMap<Rank, usize> = BTreeMap::new();
+        let mut on_wire: BTreeMap<(u64, Rank, Rank), VecDeque<usize>> = BTreeMap::new();
+        let mut arrived: BTreeMap<(u64, Rank, Rank), VecDeque<usize>> = BTreeMap::new();
+        let mut colored_at: BTreeMap<(u64, Rank), usize> = BTreeMap::new();
+        let mut tree_delivered: BTreeMap<(u64, Rank), usize> = BTreeMap::new();
+        // Every broadcast id with protocol events; reliability is
+        // judged per id.
+        let bcasts: std::collections::BTreeSet<u64> = buf
+            .iter()
+            .filter(|e| is_protocol_event(&e.kind))
+            .map(bid)
+            .collect();
+        // "in broadcast N" suffix for multiplexed streams; empty for
+        // the single implicit broadcast so existing reports are
+        // unchanged.
+        let tag = |b: u64| -> String {
+            if bcasts.len() > 1 || b != 0 {
+                format!(" in broadcast {b}")
+            } else {
+                String::new()
+            }
+        };
 
         for &i in &order {
             let e = &buf[i];
+            let b = bid(e);
             match &e.kind {
                 EventKind::SendStart { from, to, .. } => {
                     if dead(*from) {
@@ -605,7 +640,7 @@ impl<'a> RepChecker<'a> {
                             None,
                         );
                     }
-                    on_wire.entry((*from, *to)).or_default().push_back(i);
+                    on_wire.entry((b, *from, *to)).or_default().push_back(i);
                 }
                 EventKind::Arrive { from, to, payload } => {
                     if dead(*to) {
@@ -616,8 +651,8 @@ impl<'a> RepChecker<'a> {
                             None,
                         );
                     }
-                    self.match_wire(buf, &mut on_wire, i, (*from, *to), *payload, timing);
-                    arrived.entry((*from, *to)).or_default().push_back(i);
+                    self.match_wire(buf, &mut on_wire, i, (b, *from, *to), *payload, timing);
+                    arrived.entry((b, *from, *to)).or_default().push_back(i);
                 }
                 EventKind::DropDead { from, to, payload } => {
                     if !dead(*to) {
@@ -628,7 +663,7 @@ impl<'a> RepChecker<'a> {
                             None,
                         );
                     }
-                    self.match_wire(buf, &mut on_wire, i, (*from, *to), *payload, timing);
+                    self.match_wire(buf, &mut on_wire, i, (b, *from, *to), *payload, timing);
                 }
                 EventKind::Deliver { from, to, payload } => {
                     if dead(*to) {
@@ -639,10 +674,16 @@ impl<'a> RepChecker<'a> {
                             None,
                         );
                     }
-                    match arrived.get_mut(&(*from, *to)).and_then(VecDeque::pop_front) {
+                    match arrived
+                        .get_mut(&(b, *from, *to))
+                        .and_then(VecDeque::pop_front)
+                    {
                         None => self.violation(
                             Invariant::DeliverUnmatched,
-                            format!("delivery on channel {from}->{to} with no pending arrival"),
+                            format!(
+                                "delivery on channel {from}->{to} with no pending arrival{}",
+                                tag(b)
+                            ),
                             Some(e),
                             None,
                         ),
@@ -676,15 +717,15 @@ impl<'a> RepChecker<'a> {
                         }
                     }
                     if *payload == Payload::Tree {
-                        if let Some(&first) = tree_delivered.get(to) {
+                        if let Some(&first) = tree_delivered.get(&(b, *to)) {
                             self.violation(
                                 Invariant::DeliverOnce,
-                                format!("rank {to} delivered the tree payload twice"),
+                                format!("rank {to} delivered the tree payload twice{}", tag(b)),
                                 Some(e),
                                 Some(&buf[first]),
                             );
                         } else {
-                            tree_delivered.insert(*to, i);
+                            tree_delivered.insert((b, *to), i);
                         }
                     }
                 }
@@ -697,15 +738,15 @@ impl<'a> RepChecker<'a> {
                             None,
                         );
                     }
-                    if let Some(&first) = colored_at.get(rank) {
+                    if let Some(&first) = colored_at.get(&(b, *rank)) {
                         self.violation(
                             Invariant::ColoredOnce,
-                            format!("rank {rank} colored twice"),
+                            format!("rank {rank} colored twice{}", tag(b)),
                             Some(e),
                             Some(&buf[first]),
                         );
                     } else {
-                        colored_at.insert(*rank, i);
+                        colored_at.insert((b, *rank), i);
                     }
                 }
                 EventKind::PhaseBegin { .. } | EventKind::PhaseEnd { .. } => {}
@@ -715,13 +756,14 @@ impl<'a> RepChecker<'a> {
         // End of repetition: nothing still on the wire (simulator only —
         // the cluster's Stop legitimately truncates in-flight messages).
         if !wall {
-            for ((from, to), pending) in &on_wire {
+            for ((b, from, to), pending) in &on_wire {
                 if let Some(&first) = pending.front() {
                     self.violation(
                         Invariant::WireComplete,
                         format!(
-                            "{} send(s) on {from}->{to} never arrived or dropped",
-                            pending.len()
+                            "{} send(s) on {from}->{to} never arrived or dropped{}",
+                            pending.len(),
+                            tag(*b)
                         ),
                         None,
                         Some(&buf[first]),
@@ -730,16 +772,19 @@ impl<'a> RepChecker<'a> {
             }
         }
 
-        // End of repetition: every live rank colored (§2.1).
+        // End of repetition: every live rank colored (§2.1), judged
+        // once per broadcast id present in the stream.
         if self.cfg.check_reliability {
-            for r in 0..p {
-                if !dead(r) && !colored_at.contains_key(&r) {
-                    self.violation(
-                        Invariant::Reliability,
-                        format!("live rank {r} never colored"),
-                        None,
-                        None,
-                    );
+            for &b in &bcasts {
+                for r in 0..p {
+                    if !dead(r) && !colored_at.contains_key(&(b, r)) {
+                        self.violation(
+                            Invariant::Reliability,
+                            format!("live rank {r} never colored{}", tag(b)),
+                            None,
+                            None,
+                        );
+                    }
                 }
             }
         }
@@ -751,14 +796,17 @@ impl<'a> RepChecker<'a> {
     fn match_wire(
         &mut self,
         buf: &[Event],
-        on_wire: &mut BTreeMap<(Rank, Rank), VecDeque<usize>>,
+        on_wire: &mut BTreeMap<(u64, Rank, Rank), VecDeque<usize>>,
         i: usize,
-        (from, to): (Rank, Rank),
+        (b, from, to): (u64, Rank, Rank),
         payload: Payload,
         timing: Option<LogP>,
     ) {
         let e = &buf[i];
-        match on_wire.get_mut(&(from, to)).and_then(VecDeque::pop_front) {
+        match on_wire
+            .get_mut(&(b, from, to))
+            .and_then(VecDeque::pop_front)
+        {
             None => self.violation(
                 Invariant::FifoOrder,
                 format!("wire event on {from}->{to} with no outstanding send"),
@@ -1061,6 +1109,138 @@ mod tests {
         ];
         let report = MonitorSink::check(&events, &MonitorConfig::new().with_p(2));
         assert!(report.is_ok(), "{}", report.render_text());
+    }
+
+    /// A clean 2-rank wall-clock broadcast labeled with broadcast `b`.
+    fn labeled_run(b: u64) -> Vec<Event> {
+        let w = |t: u64, kind: EventKind| Event::wall(Time::new(t), t, kind).with_bcast(b);
+        vec![
+            w(
+                0,
+                EventKind::Colored {
+                    rank: 0,
+                    via: ColoredVia::Root,
+                },
+            ),
+            w(
+                0,
+                EventKind::SendStart {
+                    from: 0,
+                    to: 1,
+                    payload: Payload::Tree,
+                },
+            ),
+            w(
+                3,
+                EventKind::Arrive {
+                    from: 0,
+                    to: 1,
+                    payload: Payload::Tree,
+                },
+            ),
+            w(
+                4,
+                EventKind::Deliver {
+                    from: 0,
+                    to: 1,
+                    payload: Payload::Tree,
+                },
+            ),
+            w(
+                4,
+                EventKind::Colored {
+                    rank: 1,
+                    via: ColoredVia::Dissemination,
+                },
+            ),
+        ]
+    }
+
+    #[test]
+    fn concurrent_broadcasts_are_checked_independently() {
+        // Two interleaved topics: each rank colored once per topic, each
+        // delivery matching its own topic's arrival — clean.
+        let mut events: Vec<Event> = Vec::new();
+        for (a, b) in labeled_run(1).into_iter().zip(labeled_run(2)) {
+            events.push(a);
+            events.push(b);
+        }
+        let report = MonitorSink::check(&events, &MonitorConfig::new().with_p(2));
+        assert!(report.is_ok(), "{}", report.render_text());
+    }
+
+    #[test]
+    fn double_coloring_within_one_broadcast_is_still_flagged() {
+        let mut events = labeled_run(1);
+        events.extend(labeled_run(2));
+        events.sort_by_key(|e| e.time);
+        events.push(
+            Event::wall(
+                Time::new(5),
+                5,
+                EventKind::Colored {
+                    rank: 1,
+                    via: ColoredVia::Correction,
+                },
+            )
+            .with_bcast(2),
+        );
+        let report = MonitorSink::check(&events, &MonitorConfig::new().with_p(2));
+        let got = ids(&report);
+        assert_eq!(got, vec!["colored-once"], "{}", report.render_text());
+        assert!(
+            report.violations[0].message.contains("in broadcast 2"),
+            "{}",
+            report.violations[0].message
+        );
+    }
+
+    #[test]
+    fn cross_broadcast_delivery_is_unmatched() {
+        // Topic 2's delivery consumes topic 1's arrival: the sorted
+        // stream has a pending arrival on the channel, but for the
+        // wrong broadcast — must be flagged per topic.
+        let mut events = labeled_run(1);
+        // Remove topic 1's delivery so its arrival stays pending.
+        events.retain(|e| !matches!(e.kind, EventKind::Deliver { .. }));
+        events.push(
+            Event::wall(
+                Time::new(4),
+                4,
+                EventKind::Deliver {
+                    from: 0,
+                    to: 1,
+                    payload: Payload::Tree,
+                },
+            )
+            .with_bcast(2),
+        );
+        let report = MonitorSink::check(
+            &events,
+            &MonitorConfig::new().with_p(2).without_reliability(),
+        );
+        let got = ids(&report);
+        assert!(got.contains(&"deliver-unmatched"), "{got:?}");
+    }
+
+    #[test]
+    fn reliability_is_judged_per_broadcast() {
+        // Topic 1 completes; topic 2 never colors rank 1.
+        let mut events = labeled_run(1);
+        events.extend(
+            labeled_run(2)
+                .into_iter()
+                .filter(|e| !matches!(e.kind, EventKind::Colored { rank: 1, .. })),
+        );
+        events.sort_by_key(|e| e.time);
+        let report = MonitorSink::check(&events, &MonitorConfig::new().with_p(2));
+        let got = ids(&report);
+        assert_eq!(got, vec!["reliability"], "{}", report.render_text());
+        assert!(
+            report.violations[0].message.contains("in broadcast 2"),
+            "{}",
+            report.violations[0].message
+        );
     }
 
     #[test]

@@ -320,12 +320,13 @@ pub struct TelemetryHub {
     runq_depth: AtomicU64,
     /// Last sampled pending-timer count.
     timers_pending: AtomicU64,
-    /// 1 while a broadcast iteration is installed, 0 between
-    /// iterations.
+    /// Broadcast iterations currently installed: 0 between iterations,
+    /// 1 during a single-broadcast run, the in-flight topic count under
+    /// pub/sub multiplexing.
     iter_active: AtomicU64,
-    /// Live (non-dead) ranks of the current iteration.
+    /// Live (non-dead) ranks summed over installed iterations.
     iter_live: AtomicU64,
-    /// Live ranks colored so far in the current iteration.
+    /// Live ranks colored so far, summed over installed iterations.
     iter_colored: AtomicU64,
 }
 
@@ -402,16 +403,18 @@ impl TelemetryHub {
         self.timers_pending.store(pending, Ordering::Relaxed);
     }
 
-    /// Publish whether a broadcast iteration is currently installed.
-    /// Together with [`TelemetryHub::set_iter_progress`] this lets a
-    /// background sampler see coloring progress (the `iter.*` gauges)
-    /// without touching any scheduler structure.
-    pub fn set_iter_active(&self, active: bool) {
-        self.iter_active.store(u64::from(active), Ordering::Relaxed);
+    /// Publish how many broadcast iterations are currently installed
+    /// (0 or 1 for single-broadcast runs; the in-flight topic count
+    /// under pub/sub). Together with
+    /// [`TelemetryHub::set_iter_progress`] this lets a background
+    /// sampler see coloring progress (the `iter.*` gauges) without
+    /// touching any scheduler structure.
+    pub fn set_iter_active(&self, installed: u64) {
+        self.iter_active.store(installed, Ordering::Relaxed);
     }
 
-    /// Publish the current iteration's live-rank total and how many of
-    /// them are colored so far.
+    /// Publish the live-rank total across installed iterations and how
+    /// many of those ranks are colored so far.
     pub fn set_iter_progress(&self, live: u64, colored: u64) {
         self.iter_live.store(live, Ordering::Relaxed);
         self.iter_colored.store(colored, Ordering::Relaxed);
@@ -696,9 +699,9 @@ fn dist_help(name: &str) -> Option<&'static str> {
 /// `# HELP` text for a gauge name.
 fn gauge_help(name: &str) -> Option<&'static str> {
     match name {
-        "iter.active" => Some("1 while a broadcast iteration is installed, 0 between."),
-        "iter.colored" => Some("Live ranks colored so far in the current iteration."),
-        "iter.live" => Some("Live (non-dead) ranks of the current iteration."),
+        "iter.active" => Some("Broadcast iterations currently installed (0 between, 1 single, topic count under pub/sub)."),
+        "iter.colored" => Some("Live ranks colored so far, summed over installed iterations."),
+        "iter.live" => Some("Live (non-dead) ranks summed over installed iterations."),
         "runq.depth" => Some("Run-queue depth at snapshot time."),
         "timers.pending" => Some("Pending timer-wheel entries at snapshot time."),
         "mailbox.hwm" => Some("Highest mailbox occupancy seen on any rank."),

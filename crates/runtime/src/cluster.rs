@@ -217,9 +217,25 @@ impl Default for ClusterConfig {
 }
 
 /// Worker → coordinator notifications (batched per scheduling quantum).
-enum CoordMsg {
+pub(crate) enum CoordMsg {
     /// `ranks` became colored in broadcast `id`.
     Colored { id: u64, ranks: Vec<Rank> },
+    /// Quiescence-tracking deltas for broadcast `id`, accumulated over a
+    /// scheduling quantum: `sent` messages pushed, `consumed` messages
+    /// taken off mailboxes (delivered or dead-dropped), `done` live
+    /// ranks whose protocol reported [`SendPoll::Done`] for the first
+    /// time. The pub/sub coordinator retires a broadcast when
+    /// `colored == live && done == live && sent == consumed` — every
+    /// live rank colored, every protocol machine finished, no message
+    /// still in flight — which keeps per-broadcast message totals exact
+    /// instead of truncating machines mid-correction at teardown. The
+    /// single-broadcast coordinator ignores these.
+    Progress {
+        id: u64,
+        sent: u64,
+        consumed: u64,
+        done: u32,
+    },
 }
 
 /// Errors from cluster operation.
@@ -285,33 +301,51 @@ pub struct RunReport {
     pub health: Vec<HealthEvent>,
 }
 
-/// One in-flight broadcast iteration on a rank.
-struct IterState {
-    id: u64,
-    process: Box<dyn Process>,
-    dead: bool,
-    epoch: Instant,
+/// One in-flight broadcast iteration on a rank. A rank holds one of
+/// these per concurrently installed topic (exactly one in
+/// single-broadcast mode, up to `k` under pub/sub multiplexing), so all
+/// per-iteration progress lives here rather than on [`RankState`].
+pub(crate) struct IterState {
+    pub(crate) id: u64,
+    pub(crate) process: Box<dyn Process>,
+    pub(crate) dead: bool,
+    pub(crate) epoch: Instant,
     /// `epoch` on the cluster-wide µs timeline (for timer deadlines).
-    epoch_us: u64,
-    record: bool,
+    pub(crate) epoch_us: u64,
+    pub(crate) record: bool,
+    /// Messages this rank sent during this iteration.
+    pub(crate) sent: u64,
+    /// Whether the coordinator has been told this rank is colored.
+    pub(crate) notified: bool,
+    /// Whether the coordinator has been told this rank's protocol
+    /// machine reported [`SendPoll::Done`] (quiescence tracking).
+    pub(crate) done_notified: bool,
+    /// Buffered observability events (when recording).
+    pub(crate) events: Vec<ObsEvent>,
 }
 
 /// Mutable per-rank state a worker locks for the span of one quantum.
-struct RankState {
-    iter: Option<IterState>,
-    /// Messages this rank sent during the current iteration.
-    sent: u64,
-    /// Whether the coordinator has been told this rank is colored.
-    notified: bool,
-    /// Buffered observability events (when recording); the buffer's
-    /// capacity survives iterations.
-    events: Vec<ObsEvent>,
+pub(crate) struct RankState {
+    /// The broadcast iterations currently installed on this rank; one
+    /// quantum drains the rank's mailbox once and serves all of them.
+    pub(crate) iters: Vec<IterState>,
+    /// Messages drained ahead of their topic's installation on this
+    /// rank (possible only under concurrent pub/sub admission: a peer
+    /// already installed can send before this rank's install). They are
+    /// re-examined each quantum; the admitting coordinator's
+    /// unconditional enqueue-all guarantees a quantum after install.
+    pub(crate) pending: Vec<Msg>,
+    /// Highest broadcast id ever installed on this rank — installs
+    /// happen in increasing id order, so a drained message with
+    /// `id <= last_installed` that matches no installed iteration is
+    /// stale (its iteration was torn down) and is dropped.
+    pub(crate) last_installed: u64,
     /// Cluster-timeline µs stamp of this rank's last installed-state
     /// quantum in the current iteration (`None` until first polled).
     /// Always maintained — one `Instant` read per quantum — so the
     /// watchdog's [`StallReport`] can tell "never polled" from "polled
     /// long ago" even on runs without telemetry.
-    last_poll_us: Option<u64>,
+    pub(crate) last_poll_us: Option<u64>,
 }
 
 /// One rank: a schedule flag, a mailbox and the protocol state.
@@ -319,7 +353,7 @@ struct RankState {
 /// Lock order: `state` before `mailbox`; `mailbox` and the scheduler
 /// lock are leaves (never held while taking another lock); no two
 /// `state` locks are ever held at once.
-struct RankCell {
+pub(crate) struct RankCell {
     /// Set while the rank sits in the run queue or a worker's batch.
     /// Senders and timer expiry that win the `false → true` CAS take
     /// responsibility for enqueueing; iteration start enqueues
@@ -328,34 +362,34 @@ struct RankCell {
     /// end-of-quantum recheck — on the stale path too — closes the
     /// clear-flag/new-work race. Duplicate run-queue entries are
     /// possible and harmless (extra no-op quanta).
-    scheduled: AtomicBool,
-    mailbox: Mutex<Mailbox>,
-    state: Mutex<RankState>,
+    pub(crate) scheduled: AtomicBool,
+    pub(crate) mailbox: Mutex<Mailbox>,
+    pub(crate) state: Mutex<RankState>,
 }
 
 /// Scheduler state shared by the pool.
-struct Sched {
-    runq: VecDeque<Rank>,
-    timers: TimerWheel,
-    shutdown: bool,
+pub(crate) struct Sched {
+    pub(crate) runq: VecDeque<Rank>,
+    pub(crate) timers: TimerWheel,
+    pub(crate) shutdown: bool,
 }
 
-struct Shared {
-    ranks: Vec<RankCell>,
-    sched: Mutex<Sched>,
-    sched_cv: Condvar,
+pub(crate) struct Shared {
+    pub(crate) ranks: Vec<RankCell>,
+    pub(crate) sched: Mutex<Sched>,
+    pub(crate) sched_cv: Condvar,
     /// Zero point of the cluster-wide µs timeline timers live on.
-    base: Instant,
-    workers: usize,
+    pub(crate) base: Instant,
+    pub(crate) workers: usize,
     /// Live-telemetry hub; `None` keeps instrumentation zero-cost.
-    telemetry: Option<Arc<TelemetryHub>>,
+    pub(crate) telemetry: Option<Arc<TelemetryHub>>,
     /// Flight recorder (shard per worker + one coordinator shard);
     /// `None` keeps instrumentation zero-cost.
-    flight: Option<Arc<FlightRecorder>>,
+    pub(crate) flight: Option<Arc<FlightRecorder>>,
 }
 
 impl Shared {
-    fn now_us(&self) -> u64 {
+    pub(crate) fn now_us(&self) -> u64 {
         self.base.elapsed().as_micros() as u64
     }
 }
@@ -371,8 +405,34 @@ struct Scratch {
     timers: Vec<(u64, Rank)>,
     /// Colored notifications `(id, rank)` to flush to the coordinator.
     colored: Vec<(u64, Rank)>,
+    /// Quiescence deltas `(id, sent, consumed, done)` to flush to the
+    /// coordinator; merged by id at accumulation time (at most one
+    /// entry per in-flight broadcast per batch).
+    progress: Vec<(u64, u64, u64, u32)>,
     /// Timer-expiry drain target.
     due: Vec<Rank>,
+}
+
+/// Merge a quiescence delta for broadcast `id` into the batch's scratch
+/// list (linear scan: at most `k` in-flight broadcasts at a time).
+fn bump_progress(
+    progress: &mut Vec<(u64, u64, u64, u32)>,
+    id: u64,
+    sent: u64,
+    consumed: u64,
+    done: u32,
+) {
+    if sent == 0 && consumed == 0 && done == 0 {
+        return;
+    }
+    match progress.iter_mut().find(|e| e.0 == id) {
+        Some(e) => {
+            e.1 += sent;
+            e.2 += consumed;
+            e.3 += done;
+        }
+        None => progress.push((id, sent, consumed, done)),
+    }
 }
 
 /// Worker-side poisoned-lock marker: the holder panicked, so the
@@ -383,15 +443,15 @@ struct Poisoned;
 /// A pool of worker threads emulating a cluster of `P` single-process
 /// nodes over a reliable in-memory interconnect.
 pub struct Cluster {
-    p: u32,
-    logp: LogP,
-    shared: Arc<Shared>,
-    from_workers: Receiver<CoordMsg>,
+    pub(crate) p: u32,
+    pub(crate) logp: LogP,
+    pub(crate) shared: Arc<Shared>,
+    pub(crate) from_workers: Receiver<CoordMsg>,
     handles: Vec<JoinHandle<()>>,
-    next_id: u64,
-    timeout: Duration,
+    pub(crate) next_id: u64,
+    pub(crate) timeout: Duration,
     /// Reusable per-rank protocol slots (`ProtocolFactory::build_into`).
-    procs: Vec<Box<dyn Process>>,
+    pub(crate) procs: Vec<Box<dyn Process>>,
     /// Where [`Cluster::capture_postmortem`] writes its dump.
     postmortem_path: Option<PathBuf>,
     /// Continuous sampler ([`ClusterConfig::sample`]); owns the
@@ -429,10 +489,9 @@ impl Cluster {
                 scheduled: AtomicBool::new(false),
                 mailbox: Mutex::new(Mailbox::new(capacity)),
                 state: Mutex::new(RankState {
-                    iter: None,
-                    sent: 0,
-                    notified: false,
-                    events: Vec::new(),
+                    iters: Vec::new(),
+                    pending: Vec::new(),
+                    last_installed: 0,
                     last_poll_us: None,
                 }),
             })
@@ -581,7 +640,7 @@ impl Cluster {
         let health_mark = self.sampler.as_ref().map(|s| s.store().events_len());
         if let Some(t) = &self.shared.telemetry {
             t.set_iter_progress(u64::from(live), 0);
-            t.set_iter_active(true);
+            t.set_iter_active(1);
         }
         // The iteration epoch: zero point of event timestamps AND of
         // the latency measurement, taken before any rank is installed
@@ -594,17 +653,21 @@ impl Cluster {
                 .state
                 .lock()
                 .map_err(|_| ClusterError::WorkerPanicked)?;
-            st.iter = Some(IterState {
+            debug_assert!(st.iters.is_empty(), "single-broadcast mode is exclusive");
+            st.iters.push(IterState {
                 id,
                 process,
                 dead: dead[rank as usize],
                 epoch,
                 epoch_us,
                 record,
+                sent: 0,
+                notified: false,
+                done_notified: false,
+                events: Vec::new(),
             });
-            st.sent = 0;
-            st.notified = false;
-            st.events.clear();
+            st.pending.clear();
+            st.last_installed = id;
             st.last_poll_us = None;
             // The mailbox is NOT cleared here: the previous harvest
             // already emptied it, and a rank installed earlier in this
@@ -701,7 +764,7 @@ impl Cluster {
         // events this iteration fired.
         if let Some(t) = &self.shared.telemetry {
             t.set_iter_progress(u64::from(live), u64::from(colored_count));
-            t.set_iter_active(false);
+            t.set_iter_active(0);
         }
         let health = match (&self.sampler, health_mark) {
             (Some(s), Some(mark)) => s.store().events_from(mark),
@@ -720,9 +783,10 @@ impl Cluster {
                 .state
                 .lock()
                 .map_err(|_| ClusterError::WorkerPanicked)?;
-            let iter = st.iter.take().expect("iteration installed");
-            messages += st.sent;
-            recorded.append(&mut st.events);
+            let mut iter = st.iters.pop().expect("iteration installed");
+            debug_assert!(st.iters.is_empty(), "single-broadcast mode is exclusive");
+            messages += iter.sent;
+            recorded.append(&mut iter.events);
             drop(st);
             self.procs.push(iter.process);
             cell.mailbox
@@ -1046,7 +1110,7 @@ fn run_quantum(
     let cell = &shared.ranks[rank as usize];
     let mut guard = cell.state.lock().map_err(|_| Poisoned)?;
     let st = &mut *guard;
-    let Some(iter) = st.iter.as_mut() else {
+    if st.iters.is_empty() {
         // Stale wake-up between iterations: the mailbox is left alone
         // (it may hold early traffic of an iteration being installed;
         // the coordinator schedules every rank once installation is
@@ -1064,7 +1128,7 @@ fn run_quantum(
             f.record(widx, Fk::StaleQuantum, rank, 0, 0, shared.now_us());
         }
         cell.scheduled.store(false, Ordering::SeqCst);
-        let installed = cell.state.lock().map_err(|_| Poisoned)?.iter.is_some();
+        let installed = !cell.state.lock().map_err(|_| Poisoned)?.iters.is_empty();
         if (installed || !cell.mailbox.lock().map_err(|_| Poisoned)?.is_empty())
             && !cell.scheduled.swap(true, Ordering::SeqCst)
         {
@@ -1078,18 +1142,28 @@ fn run_quantum(
             }
         }
         return Ok(());
-    };
+    }
     // Always-on and cheap (one Instant read per quantum): the stamp the
     // watchdog's StallReport ages stranded ranks by.
     let poll_us = shared.now_us();
     st.last_poll_us = Some(poll_us);
+    // One quantum serves every iteration installed on this rank. The
+    // flight record names the broadcast when there is exactly one (the
+    // single-broadcast invariant) and 0 for a multiplexed quantum; its
+    // step is measured from the oldest installed epoch.
+    let quantum_aux = if st.iters.len() == 1 {
+        st.iters[0].id
+    } else {
+        0
+    };
+    let oldest_epoch_us = st.iters.iter().map(|i| i.epoch_us).min().unwrap_or(0);
     if let Some(f) = fl {
         f.record(
             widx,
             Fk::QuantumStart,
             rank,
-            iter.id,
-            poll_us.saturating_sub(iter.epoch_us),
+            quantum_aux,
+            poll_us.saturating_sub(oldest_epoch_us),
             poll_us,
         );
     }
@@ -1107,66 +1181,92 @@ fn run_quantum(
     }
     if let Some(t) = tel {
         t.observe(widx, Td::MailboxDrained, drained as u64);
-        let matching = scratch.msgs.iter().filter(|m| m.id == iter.id).count() as u64;
-        t.add(widx, Tc::MsgsStaleDropped, drained as u64 - matching);
-        if !iter.dead {
-            t.add(widx, Tc::MsgsDelivered, matching);
-        }
     }
 
-    if iter.dead {
-        // Crash emulation: drop every current-iteration message, but
-        // observably so.
-        if iter.record {
-            for m in scratch.msgs.iter().filter(|m| m.id == iter.id) {
+    // Route every queued message — earlier-quantum leftovers first so
+    // per-channel FIFO order survives a topic's late installation, then
+    // this drain, in arrival order. A message either matches an
+    // installed iteration (delivered, or observably dropped on a dead
+    // rank), outruns installation (a peer of a topic being admitted got
+    // ahead of this rank's install; parked in `pending` until the
+    // admitting coordinator's enqueue-all lands), or is stale (its
+    // iteration already retired) and is discarded.
+    let parked = std::mem::take(&mut st.pending);
+    let routed = std::mem::take(&mut scratch.msgs);
+    let mut delivered = 0u64;
+    let mut stale_dropped = 0u64;
+    for &m in parked.iter().chain(routed.iter()) {
+        match st.iters.iter_mut().find(|i| i.id == m.id) {
+            Some(iter) => {
+                bump_progress(&mut scratch.progress, m.id, 0, 1, 0);
                 let now = now_since(iter.epoch);
-                st.events.push(ObsEvent::wall(
-                    now,
-                    now.steps(),
-                    ObsEventKind::DropDead {
-                        from: m.from,
-                        to: rank,
-                        payload: m.payload,
-                    },
-                ));
+                if iter.dead {
+                    // Crash emulation: drop the message, but observably.
+                    if iter.record {
+                        iter.events.push(ObsEvent::wall(
+                            now,
+                            now.steps(),
+                            ObsEventKind::DropDead {
+                                from: m.from,
+                                to: rank,
+                                payload: m.payload,
+                            },
+                        ));
+                    }
+                } else {
+                    delivered += 1;
+                    if iter.record {
+                        iter.events.push(ObsEvent::wall(
+                            now,
+                            now.steps(),
+                            ObsEventKind::Arrive {
+                                from: m.from,
+                                to: rank,
+                                payload: m.payload,
+                            },
+                        ));
+                    }
+                    iter.process.on_message(m.from, m.payload, now);
+                    if iter.record {
+                        let done = now_since(iter.epoch);
+                        iter.events.push(ObsEvent::wall(
+                            done,
+                            done.steps(),
+                            ObsEventKind::Deliver {
+                                from: m.from,
+                                to: rank,
+                                payload: m.payload,
+                            },
+                        ));
+                    }
+                }
             }
+            None if m.id > st.last_installed => st.pending.push(m),
+            None => stale_dropped += 1,
         }
-    } else {
-        for m in scratch.msgs.iter().filter(|m| m.id == iter.id) {
-            let now = now_since(iter.epoch);
-            if iter.record {
-                st.events.push(ObsEvent::wall(
-                    now,
-                    now.steps(),
-                    ObsEventKind::Arrive {
-                        from: m.from,
-                        to: rank,
-                        payload: m.payload,
-                    },
-                ));
-            }
-            iter.process.on_message(m.from, m.payload, now);
-            if iter.record {
-                let done = now_since(iter.epoch);
-                st.events.push(ObsEvent::wall(
-                    done,
-                    done.steps(),
-                    ObsEventKind::Deliver {
-                        from: m.from,
-                        to: rank,
-                        payload: m.payload,
-                    },
-                ));
-            }
+    }
+    scratch.msgs = routed;
+    scratch.msgs.clear();
+    if let Some(t) = tel {
+        t.add(widx, Tc::MsgsStaleDropped, stale_dropped);
+        t.add(widx, Tc::MsgsDelivered, delivered);
+    }
+
+    // Drive each installed protocol as far as it goes right now.
+    for idx in 0..st.iters.len() {
+        let iter = &mut st.iters[idx];
+        if iter.dead {
+            continue;
         }
-        // Drive the protocol as far as it goes right now.
+        let sent_before = iter.sent;
+        let mut machine_done = false;
         loop {
             let now = now_since(iter.epoch);
             match iter.process.poll_send(now) {
                 SendPoll::Now { to, payload } => {
-                    st.sent += 1;
+                    iter.sent += 1;
                     if iter.record {
-                        st.events.push(ObsEvent::wall(
+                        iter.events.push(ObsEvent::wall(
                             now,
                             now.steps(),
                             ObsEventKind::SendStart {
@@ -1193,13 +1293,14 @@ fn run_quantum(
                             t.mailbox_depth(to as usize, mb.len() as u64);
                         }
                         if let Some(f) = fl {
-                            // aux carries the pusher: the black box can
-                            // answer "who last fed this mailbox".
+                            // aux packs broadcast id and pusher: the
+                            // black box can answer "who last fed this
+                            // mailbox, on behalf of which topic".
                             f.record(
                                 widx,
                                 Fk::MailboxPush,
                                 to,
-                                u64::from(rank),
+                                (iter.id << 32) | u64::from(rank),
                                 now.steps(),
                                 iter.epoch_us.saturating_add(now.steps()),
                             );
@@ -1246,16 +1347,20 @@ fn run_quantum(
                     }
                     break;
                 }
-                SendPoll::Idle | SendPoll::Done => break,
+                SendPoll::Done => {
+                    machine_done = true;
+                    break;
+                }
+                SendPoll::Idle => break,
             }
         }
-        if !st.notified && iter.process.colored_at().is_some() {
-            st.notified = true;
+        if !iter.notified && iter.process.colored_at().is_some() {
+            iter.notified = true;
             if iter.record {
                 if let (Some(at), Some(via)) =
                     (iter.process.colored_at(), iter.process.colored_via())
                 {
-                    st.events.push(ObsEvent::wall(
+                    iter.events.push(ObsEvent::wall(
                         at,
                         now_since(iter.epoch).steps(),
                         ObsEventKind::Colored { rank, via },
@@ -1264,6 +1369,19 @@ fn run_quantum(
             }
             scratch.colored.push((iter.id, rank));
         }
+        let done_delta = if machine_done && !iter.done_notified {
+            iter.done_notified = true;
+            1
+        } else {
+            0
+        };
+        bump_progress(
+            &mut scratch.progress,
+            iter.id,
+            iter.sent - sent_before,
+            0,
+            done_delta,
+        );
     }
     if let Some(f) = fl {
         let end_us = shared.now_us();
@@ -1271,8 +1389,8 @@ fn run_quantum(
             widx,
             Fk::QuantumEnd,
             rank,
-            iter.id,
-            end_us.saturating_sub(iter.epoch_us),
+            quantum_aux,
+            end_us.saturating_sub(oldest_epoch_us),
             end_us,
         );
     }
@@ -1339,6 +1457,19 @@ fn flush(
         }
         scratch.colored.clear();
     }
+    // Quiescence deltas, one send per in-flight broadcast (already
+    // merged by id at accumulation time). The single-broadcast
+    // coordinator discards these; the pub/sub coordinator retires a
+    // topic once its accumulated counts balance.
+    for &(id, sent, consumed, done) in &scratch.progress {
+        let _ = coord.send(CoordMsg::Progress {
+            id,
+            sent,
+            consumed,
+            done,
+        });
+    }
+    scratch.progress.clear();
     if !scratch.wakes.is_empty() || !scratch.timers.is_empty() {
         {
             let mut sched = shared.sched.lock().map_err(|_| Poisoned)?;

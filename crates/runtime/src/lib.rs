@@ -29,6 +29,7 @@ pub mod cluster;
 pub mod harness;
 mod mailbox;
 pub mod postmortem;
+pub mod pubsub;
 pub mod stall;
 mod timer;
 
@@ -37,4 +38,5 @@ pub use cluster::{
 };
 pub use harness::{BenchConfig, BenchResult};
 pub use postmortem::Postmortem;
+pub use pubsub::{BroadcastOutcome, PubsubOptions, PubsubReport, Topic, TopicTable};
 pub use stall::{RankStall, StallReport};

@@ -116,6 +116,28 @@ impl Mailbox {
         moved
     }
 
+    /// Discard every message belonging to broadcast `id`, keeping the
+    /// relative order of everything else (pub/sub retirement of one
+    /// topic must not disturb the FIFO streams of its neighbours).
+    /// Returns how many messages were purged.
+    pub fn purge_id(&mut self, id: u64) -> usize {
+        let before = self.len();
+        let spilled = self.spilled;
+        let mut keep: VecDeque<Msg> = VecDeque::with_capacity(before);
+        while let Some(m) = self.pop() {
+            if m.id != id {
+                keep.push_back(m);
+            }
+        }
+        for m in keep {
+            self.push(m);
+        }
+        // Re-queueing survivors is not new traffic; keep the lifetime
+        // spill counter unchanged.
+        self.spilled = spilled;
+        before - self.len()
+    }
+
     /// Discard everything (iteration teardown).
     pub fn clear(&mut self) {
         for slot in self.ring.iter_mut() {
@@ -192,6 +214,20 @@ mod tests {
         assert_eq!(mb.drain_into(&mut out, 10), 2);
         let from: Vec<Rank> = out.iter().map(|m| m.from).collect();
         assert_eq!(from, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn purge_id_keeps_other_topics_in_order() {
+        let mut mb = Mailbox::new(2);
+        for i in 0..6 {
+            mb.push(msg(u64::from(i % 2) + 1, i));
+        }
+        let spilled = mb.spilled();
+        assert_eq!(mb.purge_id(1), 3);
+        assert_eq!(mb.spilled(), spilled);
+        let from: Vec<Rank> = std::iter::from_fn(|| mb.pop()).map(|m| m.from).collect();
+        assert_eq!(from, vec![1, 3, 5]);
+        assert_eq!(mb.purge_id(2), 0);
     }
 
     #[test]

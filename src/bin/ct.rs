@@ -27,7 +27,8 @@ use corrected_trees::core::correction::CorrectionKind;
 use corrected_trees::core::protocol::{BroadcastSpec, Payload, ProtocolFactory};
 use corrected_trees::core::tree::{interleaving, stats, Ordering, Topology, TreeKind};
 use corrected_trees::exp::{
-    analyze_campaign, run_scale, Campaign, FaultSpec, ScaleConfig, Variant,
+    analyze_campaign, pubsub::sync_barrier_us, run_pubsub_bench, run_scale, Campaign, FaultSpec,
+    ScaleConfig, Variant,
 };
 use corrected_trees::logp::LogP;
 use corrected_trees::obs::http::{http_get, monitor_handler, HttpServer};
@@ -36,12 +37,14 @@ use corrected_trees::obs::telemetry::{TelemetryHub, TelemetrySnapshot};
 use corrected_trees::obs::{
     chrome_trace, Event, EventKind, MonitorConfig, MonitorSink, RunManifest, VecSink,
 };
-use corrected_trees::runtime::{default_flight_cap, Cluster, ClusterConfig};
+use corrected_trees::runtime::{
+    default_flight_cap, Cluster, ClusterConfig, PubsubOptions, Topic, TopicTable,
+};
 use corrected_trees::sim::{FaultPlan, RunArena, Simulation, Trace};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: ct <run|tree|sweep|trace|analyze|check|forensics|perf|scale|stats|top|serve|monitor|postmortem> [options]\n\
+        "usage: ct <run|tree|sweep|trace|analyze|check|forensics|perf|scale|pubsub|stats|top|serve|monitor|postmortem> [options]\n\
          \n\
          common options:\n\
            --tree <binomial|binomial-inorder|kary<K>|lame<K>|optimal>  (default binomial)\n\
@@ -119,6 +122,16 @@ fn usage() -> ! {
                                    (--out FILE overrides; metrics are\n\
                                    ns_per_broadcast_p<P>_<config>, lower is\n\
                                    better; --quick = P 256/1024, 5 iters)\n\
+           perf bench --pubsub [--quick] [--seed S]\n\
+                                   time topic-multiplexed broadcasts: k in\n\
+                                   {{1,4,16,64}} concurrent topics at\n\
+                                   P 256/1024/4096, fault-free checked-sync\n\
+                                   (Corollary 1 totals asserted per broadcast)\n\
+                                   and 1%-fault corrected opp4, writing\n\
+                                   results/BENCH_pubsub_throughput.json\n\
+                                   (--out FILE overrides; metrics are\n\
+                                   ns_per_broadcast_p<P>_k<K>_<ff|f1>, lower\n\
+                                   is better; --quick = P 256/1024, k 1/4/16)\n\
          scale options (P=2^20 scaling study with Lemma 2-3 assertions):\n\
            ct scale [--quick] [--min-exp E] [--max-exp E] [--step-exp E]\n\
                     [--reps R] [--rate F] [--seed S] [--threads T]\n\
@@ -132,6 +145,16 @@ fn usage() -> ! {
                                    and peak_rss_kb, lower is better)\n\
                                    exit status: 0 all bounds hold, 1 violations,\n\
                                    2 usage/I-O error\n\
+         pubsub options (topic-multiplexed broadcast walkthrough):\n\
+           ct pubsub [--p N] [--k K] [--topics T] [--rounds R]\n\
+                     [--faults N] [--seed S]\n\
+                                   run T topics (default K; alternating plain\n\
+                                   binomial and checked-sync corrected, varied\n\
+                                   roots) for R rounds each with K broadcasts\n\
+                                   in flight, print per-broadcast latency and\n\
+                                   message totals plus aggregate throughput\n\
+                                   exit status: 0 all broadcasts quiesced,\n\
+                                   1 incomplete, 2 usage error\n\
          stats options (one-shot runtime-telemetry snapshot):\n\
            ct stats [run options] [--reps R]           simulator campaign\n\
            ct stats --runtime [run options] [--iters I]  cluster broadcasts\n\
@@ -1025,6 +1048,153 @@ fn cmd_perf_bench_runtime(cli: &Cli) {
     }
 }
 
+/// `ct perf bench --pubsub` — the topic-multiplexed throughput sweep:
+/// k ∈ {1, 4, 16, 64} concurrent topics at P ∈ {256, 1024, 4096},
+/// fault-free checked-sync (Corollary 1 totals asserted) and 1%-fault
+/// corrected opp4, written as `BENCH_pubsub_throughput.json`.
+fn cmd_perf_bench_pubsub(cli: &Cli) {
+    let quick = cli.flag("--quick");
+    let seed0: u64 = cli.parsed("--seed", 1);
+    let logp: LogP = cli
+        .value("--logp")
+        .map(|s| s.parse().expect("valid LogP string"))
+        .unwrap_or(LogP::PAPER);
+    let bench = run_pubsub_bench(quick, seed0, logp);
+    for c in &bench.cells {
+        println!(
+            "[bench pubsub_throughput] {}: {:.2} broadcasts/sec \
+             ({} broadcasts, {} messages)",
+            c.key(),
+            c.broadcasts_per_sec(),
+            c.broadcasts,
+            c.messages
+        );
+    }
+    let headline_p = bench.cells.iter().map(|c| c.p).max().unwrap_or(0);
+    for k in [4usize, 16, 64] {
+        if let Some(s) = bench.speedup_vs_k1(headline_p, k) {
+            println!("[bench pubsub_throughput] p={headline_p} k={k} vs k=1: {s:.2}x");
+        }
+    }
+    let snapshot = bench.snapshot();
+    let path = std::path::PathBuf::from(
+        cli.value("--out")
+            .map(str::to_owned)
+            .unwrap_or_else(|| "results/BENCH_pubsub_throughput.json".to_owned()),
+    );
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+    }
+    match snapshot.write(&path) {
+        Ok(()) => println!("[bench pubsub_throughput] -> {}", path.display()),
+        Err(e) => {
+            eprintln!("could not write {}: {e}", path.display());
+            std::process::exit(2);
+        }
+    }
+    let manifest = RunManifest::new("pubsub_throughput")
+        .logp(logp)
+        .seed(seed0)
+        .with_extra("quick", quick.to_string())
+        .stamped();
+    match manifest.write_next_to(&path) {
+        Ok(mpath) => println!("[telemetry manifest {}]", mpath.display()),
+        Err(e) => eprintln!("could not write manifest for {}: {e}", path.display()),
+    }
+}
+
+/// `ct pubsub` — walkthrough: run a small multiplexed topic fleet and
+/// print every broadcast's latency and message total, then the
+/// aggregate throughput the pipelining achieved.
+fn cmd_pubsub(cli: &Cli) {
+    let p: u32 = cli.parsed("--p", 256);
+    let k: usize = cli.parsed("--k", 4);
+    let topics: usize = cli.parsed("--topics", k);
+    let rounds: usize = cli.parsed("--rounds", 2);
+    let seed: u64 = cli.parsed("--seed", 1);
+    let n_faults: u32 = cli.parsed("--faults", 0);
+    let logp: LogP = cli
+        .value("--logp")
+        .map(|s| s.parse().expect("valid LogP string"))
+        .unwrap_or(LogP::PAPER);
+    if k == 0 || topics == 0 || rounds == 0 {
+        eprintln!("--k, --topics and --rounds must be positive");
+        std::process::exit(2);
+    }
+    let mut table = TopicTable::new();
+    for t in 0..topics {
+        let root = (t as u32 * 31) % p;
+        // Alternate the two flagship configurations so the walkthrough
+        // shows barrier-bound and dissemination-bound topics mixing.
+        // Plain trees cannot survive faults (a dead rank orphans its
+        // subtree), so faulty walkthroughs upgrade them to
+        // opportunistic correction.
+        let spec = if t % 2 == 0 {
+            if n_faults > 0 {
+                BroadcastSpec::corrected_tree(
+                    TreeKind::BINOMIAL,
+                    CorrectionKind::OpportunisticOptimized { distance: 4 },
+                )
+                .with_root(root)
+            } else {
+                BroadcastSpec::plain_tree(TreeKind::BINOMIAL).with_root(root)
+            }
+        } else {
+            let mut s = BroadcastSpec::corrected_tree_sync(
+                TreeKind::BINOMIAL,
+                CorrectionKind::checked_paced(&logp, 4),
+            )
+            .with_root(root);
+            s.sync_start_override = Some(sync_barrier_us(p));
+            s
+        };
+        let mut topic = Topic::new(format!("topic-{t}"), spec, p, seed + t as u64);
+        if n_faults > 0 {
+            let plan = FaultPlan::random_count_protecting(p, n_faults, seed + t as u64, root)
+                .unwrap_or_else(|e| {
+                    eprintln!("{e}");
+                    std::process::exit(2);
+                });
+            topic = topic.with_dead(plan.mask().to_vec());
+        }
+        table.push(topic);
+    }
+    let mut cluster = Cluster::new(p, logp);
+    let report = cluster
+        .run_pubsub(&table, &PubsubOptions { k, rounds })
+        .unwrap_or_else(|e| {
+            eprintln!("pubsub run failed: {e}");
+            std::process::exit(2);
+        });
+    println!("[pubsub] p={p} topics={topics} k={k} rounds={rounds} faults={n_faults}/topic");
+    for o in &report.outcomes {
+        let label = table.get(o.topic).map(|t| t.label.as_str()).unwrap_or("?");
+        println!(
+            "  bcast {:>3}  {label:<10} round {}  {:>9.3} ms  {:>6} msgs  {}",
+            o.id,
+            o.round,
+            o.latency.as_secs_f64() * 1e3,
+            o.messages,
+            if o.completed {
+                "ok".to_owned()
+            } else {
+                format!("INCOMPLETE ({} uncolored)", o.uncolored.len())
+            }
+        );
+    }
+    println!(
+        "[pubsub] {} broadcasts in {:.3} s -> {:.2} broadcasts/sec",
+        report.outcomes.len(),
+        report.elapsed.as_secs_f64(),
+        report.broadcasts_per_sec()
+    );
+    if !report.completed() {
+        std::process::exit(1);
+    }
+}
+
 /// Dead-rank mask for telemetry commands: exact ranks via `--dead`,
 /// otherwise the usual random `--faults`/`--rate` placement.
 fn dead_mask(cli: &Cli, p: u32, seed: u64, root: u32) -> Vec<bool> {
@@ -1577,6 +1747,7 @@ fn cmd_perf(cli: &Cli) {
             }
         }
         Some("bench") if cli.flag("--runtime") => cmd_perf_bench_runtime(cli),
+        Some("bench") if cli.flag("--pubsub") => cmd_perf_bench_pubsub(cli),
         Some("bench") => {
             let quick = cli.flag("--quick");
             let p: u32 = cli.parsed("--p", if quick { 1024 } else { 4096 });
@@ -1847,6 +2018,7 @@ fn main() {
         "forensics" => cmd_forensics(&cli),
         "perf" => cmd_perf(&cli),
         "scale" => cmd_scale(&cli),
+        "pubsub" => cmd_pubsub(&cli),
         "stats" => cmd_stats(&cli),
         "top" => cmd_top(&cli),
         "serve" => cmd_serve(&cli),

@@ -152,6 +152,30 @@ fn mutated(mutation: fn(&mut Vec<Event>)) -> Vec<Event> {
     events
 }
 
+/// A multiplexed stream: the golden broadcast run twice concurrently as
+/// broadcasts 1 and 2, merged by timestamp the way the pub/sub layer's
+/// per-topic streams would interleave on one cluster. Phase spans are
+/// stripped so the monitor checks both broadcasts in a single
+/// repetition buffer, keyed by id.
+fn multiplexed_events() -> Vec<Event> {
+    let mut merged: Vec<Event> = Vec::new();
+    for b in [1u64, 2] {
+        merged.extend(
+            golden_events()
+                .into_iter()
+                .filter(|e| {
+                    !matches!(
+                        e.kind,
+                        EventKind::PhaseBegin { .. } | EventKind::PhaseEnd { .. }
+                    )
+                })
+                .map(|e| e.with_bcast(b)),
+        );
+    }
+    merged.sort_by_key(|e| e.time);
+    merged
+}
+
 // ---------------------------------------------------------------------
 // Baseline + per-class detection.
 
@@ -220,6 +244,45 @@ fn time_regression_is_flagged() {
     assert!(
         ids(&report).contains(&"time-monotone"),
         "{}",
+        report.render_text()
+    );
+}
+
+#[test]
+fn multiplexed_golden_streams_are_clean() {
+    // Two concurrent copies of a correct broadcast, distinguished only
+    // by their `b` stamps, must validate: the monitor keys every
+    // cross-rank invariant by broadcast id.
+    let report = check(&multiplexed_events());
+    assert!(report.is_ok(), "{}", report.render_text());
+    assert_eq!(report.reps, 1);
+}
+
+#[test]
+fn cross_wired_topic_delivery_is_flagged() {
+    // Cross-wire one delivery between topics: restamp a broadcast-1
+    // Deliver as broadcast 2. Broadcast 2 now delivers a message it
+    // never saw arrive — exactly the confusion a monitor that ignored
+    // the id stamps (pooling all topics into one matcher) would wave
+    // through, since the pooled multiset is unchanged.
+    let mut events = multiplexed_events();
+    let i = events
+        .iter()
+        .position(|e| e.bcast == Some(1) && matches!(e.kind, EventKind::Deliver { .. }))
+        .expect("broadcast 1 has deliveries");
+    events[i] = events[i].clone().with_bcast(2);
+    let report = check(&events);
+    assert!(
+        ids(&report).contains(&"deliver-unmatched"),
+        "{}",
+        report.render_text()
+    );
+    assert!(
+        report
+            .violations
+            .iter()
+            .any(|v| v.message.contains("in broadcast 2")),
+        "diagnosis names the wrong-topic broadcast: {}",
         report.render_text()
     );
 }

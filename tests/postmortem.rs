@@ -166,12 +166,17 @@ fn forced_stall_dump_names_the_stranded_subtree() {
         );
     }
     // Rank 2 is alive and was pushed to directly by the root: the
-    // record names the pusher in its aux field.
+    // record's aux packs `broadcast_id << 32 | pushing_rank`, so the
+    // black box attributes the push to both its sender and its topic
+    // (this cluster's first broadcast has id 1).
     let alive_tail = pm.flight.rank_tail(2, 16);
     assert!(
         alive_tail
             .iter()
-            .any(|(_, r)| r.kind == FlightKind::MailboxPush && r.rank == 2 && r.aux == 0),
+            .any(|(_, r)| r.kind == FlightKind::MailboxPush
+                && r.rank == 2
+                && r.push_peer() == 0
+                && r.push_bcast() == 1),
         "alive rank 2 received the root's push"
     );
 
@@ -205,7 +210,9 @@ fn golden_postmortem_json() -> String {
     rec.record(0, FlightKind::IterStart, NO_RANK, 1, 0, 100);
     rec.record(0, FlightKind::QuantumStart, 3, 1, 8, 350);
     rec.record(0, FlightKind::QuantumEnd, 3, 1, 8, 351);
-    rec.record(1, FlightKind::MailboxPush, 2, 0, 2, 340);
+    // MailboxPush aux packs `broadcast_id << 32 | pushing_rank`:
+    // rank 0 pushing on behalf of broadcast 1.
+    rec.record(1, FlightKind::MailboxPush, 2, 1 << 32, 2, 340);
     rec.record(1, FlightKind::QuantumStart, 2, 1, 4, 345);
     rec.record(1, FlightKind::MailboxDrain, 2, 1, 0, 345);
     rec.record(1, FlightKind::TimerArm, 2, 400, 6, 346);

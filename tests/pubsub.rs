@@ -1,0 +1,239 @@
+//! Per-topic equality for multiplexed broadcasts.
+//!
+//! The pub/sub layer's central correctness claim: running N topics
+//! concurrently over one worker pool is *observationally equivalent*,
+//! per topic, to running each topic alone. Every event the cluster
+//! emits carries its broadcast id, so each topic's stream can be
+//! filtered out of the multiplexed run and compared — after stripping
+//! timestamps and the id stamp itself — against a solo run of the same
+//! spec at the same seed.
+//!
+//! Only deterministic protocols qualify for exact stream equality:
+//! plain trees (fault-free dissemination is schedule-independent) and
+//! checked-paced synchronized correction with a provisioned barrier
+//! (`sync_start_override` far past dissemination), whose per-rank send
+//! sequences are fixed by the paper's discrete machine regardless of
+//! interleaving. Opportunistic correction reacts to wall-clock timing
+//! and is exercised by the count-level tests in `ct-runtime` instead.
+
+use std::time::Duration;
+
+use corrected_trees::core::{
+    correction::CorrectionKind,
+    protocol::{BroadcastSpec, Payload},
+    tree::TreeKind,
+};
+use corrected_trees::logp::LogP;
+use corrected_trees::obs::{Event, EventKind, VecSink};
+use corrected_trees::runtime::{Cluster, PubsubOptions, Topic, TopicTable};
+use corrected_trees::sim::Simulation;
+
+/// Canonical multiset of a stream's semantic content: every event kind
+/// rendered without its timestamps or broadcast stamp, sorted. Two
+/// streams with equal canonical forms describe the same broadcast — the
+/// same sends, arrivals, deliveries, colorings, and phase structure —
+/// even if the runs interleaved differently.
+fn canonical(events: &[Event]) -> Vec<String> {
+    let mut keys: Vec<String> = events.iter().map(|e| format!("{:?}", e.kind)).collect();
+    keys.sort();
+    keys
+}
+
+/// Message-only multiset (send/arrive/deliver), for comparison against
+/// the simulator, whose stream carries LogP-timed phase spans that are
+/// not expected to mirror the cluster's wall-clock spans one-to-one.
+fn message_multiset(events: &[Event]) -> Vec<(&'static str, u32, u32, Payload)> {
+    let mut keys: Vec<_> = events
+        .iter()
+        .filter_map(|e| match e.kind {
+            EventKind::SendStart { from, to, payload } => Some(("send", from, to, payload)),
+            EventKind::Arrive { from, to, payload } => Some(("arrive", from, to, payload)),
+            EventKind::Deliver { from, to, payload } => Some(("deliver", from, to, payload)),
+            _ => None,
+        })
+        .collect();
+    keys.sort_by_key(|&(tag, from, to, p)| (tag, from, to, format!("{p:?}")));
+    keys
+}
+
+/// Colored set with provenance: which ranks colored, and how.
+fn colored(events: &[Event]) -> Vec<(u32, String)> {
+    let mut out: Vec<_> = events
+        .iter()
+        .filter_map(|e| match e.kind {
+            EventKind::Colored { rank, via } => Some((rank, format!("{via:?}"))),
+            _ => None,
+        })
+        .collect();
+    out.sort();
+    out
+}
+
+/// The ISSUE's four deterministic topics at P=512: varied roots and
+/// tree shapes, one with checked-paced synchronized correction behind a
+/// provisioned barrier.
+fn equality_topics(p: u32) -> TopicTable {
+    let mut table = TopicTable::new();
+    table.push(Topic::new(
+        "plain-binomial-r0",
+        BroadcastSpec::plain_tree(TreeKind::BINOMIAL),
+        p,
+        11,
+    ));
+    table.push(Topic::new(
+        "plain-binomial-r37",
+        BroadcastSpec::plain_tree(TreeKind::BINOMIAL).with_root(37),
+        p,
+        12,
+    ));
+    table.push(Topic::new(
+        "plain-lame2-r101",
+        BroadcastSpec::plain_tree(TreeKind::LAME2).with_root(101),
+        p,
+        13,
+    ));
+    let mut checked = BroadcastSpec::corrected_tree_sync(
+        TreeKind::BINOMIAL,
+        CorrectionKind::checked_paced(&LogP::PAPER, 4),
+    )
+    .with_root(200);
+    // Provision the synchronized start well past wall-clock
+    // dissemination at P=512 so every rank participates in correction
+    // and Corollary 1 holds exactly (150 ms >> tree time on one core).
+    checked.sync_start_override = Some(150_000);
+    table.push(Topic::new("checked-sync-r200", checked, p, 14));
+    table
+}
+
+#[test]
+fn multiplexed_topic_streams_equal_solo_runs_at_p512_k4() {
+    let p = 512u32;
+    let table = equality_topics(p);
+    let opts = PubsubOptions { k: 4, rounds: 1 };
+
+    // Multiplexed run: all four topics admitted together (k = 4), one
+    // VecSink per topic.
+    let mut cluster = Cluster::new(p, LogP::PAPER);
+    cluster.set_timeout(Duration::from_secs(60));
+    let mut sinks: Vec<VecSink> = (0..table.len()).map(|_| VecSink::new()).collect();
+    {
+        let mut refs: Vec<&mut dyn corrected_trees::obs::EventSink> = sinks
+            .iter_mut()
+            .map(|s| s as &mut dyn corrected_trees::obs::EventSink)
+            .collect();
+        let report = cluster
+            .run_pubsub_observed(&table, &opts, &mut refs)
+            .expect("multiplexed run");
+        assert!(report.completed(), "multiplexed outcomes: {report:?}");
+        assert_eq!(report.outcomes.len(), table.len());
+    }
+
+    // Every event in a topic's sink must carry that topic's broadcast
+    // id — the filtering the equality claim rests on.
+    for sink in &sinks {
+        let ids: std::collections::BTreeSet<_> = sink.events.iter().map(|e| e.bcast).collect();
+        assert_eq!(ids.len(), 1, "one broadcast id per topic per round");
+        assert!(ids.iter().all(|id| id.is_some()));
+    }
+
+    // Solo baselines: each topic alone, k = 1, fresh cluster, same
+    // seed and spec. The pub/sub driver is its own baseline so both
+    // sides share completion semantics (quiescence, not first-colored
+    // truncation).
+    for (t, topic) in table.iter().enumerate() {
+        let mut solo_table = TopicTable::new();
+        solo_table.push(topic.clone());
+        let mut solo_cluster = Cluster::new(p, LogP::PAPER);
+        solo_cluster.set_timeout(Duration::from_secs(60));
+        let mut solo_sink = VecSink::new();
+        {
+            let mut refs: Vec<&mut dyn corrected_trees::obs::EventSink> = vec![&mut solo_sink];
+            let report = solo_cluster
+                .run_pubsub_observed(&solo_table, &PubsubOptions { k: 1, rounds: 1 }, &mut refs)
+                .expect("solo run");
+            assert!(report.completed(), "solo {}: {report:?}", topic.label);
+        }
+        assert_eq!(
+            canonical(&sinks[t].events),
+            canonical(&solo_sink.events),
+            "topic {} stream diverged from its solo run",
+            topic.label
+        );
+        let expected: Vec<(u32, String)> = (0..p)
+            .map(|r| {
+                let via = if r == topic.spec.root {
+                    "Root"
+                } else {
+                    "Dissemination"
+                };
+                (r, via.to_string())
+            })
+            .collect();
+        assert_eq!(
+            colored(&sinks[t].events),
+            expected,
+            "topic {}: every rank colors via dissemination",
+            topic.label
+        );
+    }
+}
+
+#[test]
+fn multiplexed_checked_topic_matches_simulator_multiset() {
+    // Cross-driver check: the checked-paced topic's per-topic stream
+    // out of a k=4 multiplexed cluster run carries the same message
+    // multiset as the LogP simulator running the same spec — the
+    // schedule-independence of the paper's paced machine, now holding
+    // even under topic multiplexing.
+    let p = 128u32;
+    let mut spec = BroadcastSpec::corrected_tree_sync(
+        TreeKind::BINOMIAL,
+        CorrectionKind::checked_paced(&LogP::PAPER, 4),
+    )
+    .with_root(9);
+    spec.sync_start_override = Some(60_000);
+
+    let mut table = TopicTable::new();
+    for t in 0..4u32 {
+        table.push(Topic::new(
+            format!("checked-{t}"),
+            spec,
+            p,
+            21 + u64::from(t),
+        ));
+    }
+
+    let mut cluster = Cluster::new(p, LogP::PAPER);
+    cluster.set_timeout(Duration::from_secs(60));
+    let mut sinks: Vec<VecSink> = (0..table.len()).map(|_| VecSink::new()).collect();
+    {
+        let mut refs: Vec<&mut dyn corrected_trees::obs::EventSink> = sinks
+            .iter_mut()
+            .map(|s| s as &mut dyn corrected_trees::obs::EventSink)
+            .collect();
+        let report = cluster
+            .run_pubsub_observed(&table, &PubsubOptions { k: 4, rounds: 1 }, &mut refs)
+            .expect("multiplexed run");
+        assert!(report.completed(), "{report:?}");
+    }
+
+    let mut sim_sink = VecSink::new();
+    Simulation::builder(p, LogP::PAPER)
+        .build()
+        .run_with_sink(&spec, &mut sim_sink)
+        .expect("sim run");
+
+    let reference = message_multiset(&sim_sink.events);
+    // Corollary 1: (P-1) tree sends + M*P correction sends, each
+    // arriving and delivering exactly once fault-free.
+    let m = 5u64; // 3 + ceil(l/o) with LogP::PAPER
+    let expected_msgs = (u64::from(p) - 1) + m * u64::from(p);
+    assert_eq!(reference.len() as u64, 3 * expected_msgs);
+    for (t, sink) in sinks.iter().enumerate() {
+        assert_eq!(
+            message_multiset(&sink.events),
+            reference,
+            "topic {t} diverged from the simulator"
+        );
+    }
+}

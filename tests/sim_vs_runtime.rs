@@ -168,6 +168,7 @@ fn event_schemas_are_identical_across_drivers() {
                 let stripped = Event {
                     time: corrected_trees::logp::Time::ZERO,
                     wall_us: None,
+                    bcast: None,
                     kind: e.kind.clone(),
                 };
                 stripped.to_json()
